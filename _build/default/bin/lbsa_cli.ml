@@ -1,0 +1,496 @@
+(* The lbsa command-line interface.
+
+     lbsa run-dac -n 4 --scheduler random --seed 7
+     lbsa check dac -n 3
+     lbsa check consensus -m 2
+     lbsa check kset -m 2 -k 2
+     lbsa check candidate --name flp-write-read
+     lbsa valence --protocol cons:2
+     lbsa power -n 2 --max-k 3
+     lbsa separation -n 2 --max-k 3
+     lbsa lin-check --impl snapshot:3 --trials 200
+     lbsa objects *)
+
+open Lbsa
+open Cmdliner
+
+(* --- shared argument parsing ------------------------------------------ *)
+
+let scheduler_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "rr" ] -> Ok `Rr
+    | [ "random" ] -> Ok `Random
+    | [ "solo"; pid ] -> (
+      match int_of_string_opt pid with
+      | Some pid -> Ok (`Solo pid)
+      | None -> Error (`Msg "solo:<pid> expects an integer"))
+    | _ -> Error (`Msg "scheduler is rr | random | solo:<pid>")
+  in
+  let print ppf = function
+    | `Rr -> Fmt.string ppf "rr"
+    | `Random -> Fmt.string ppf "random"
+    | `Solo pid -> Fmt.pf ppf "solo:%d" pid
+  in
+  Arg.conv (parse, print)
+
+let mk_scheduler ~n ~seed = function
+  | `Rr -> Scheduler.round_robin ~n
+  | `Random -> Scheduler.random ~seed
+  | `Solo pid -> Scheduler.solo pid
+
+let n_arg =
+  Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Instance size n.")
+
+let m_arg =
+  Arg.(value & opt int 2 & info [ "m" ] ~docv:"M" ~doc:"Consensus level m.")
+
+let k_arg =
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Set agreement level k.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let max_k_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "max-k" ] ~docv:"K" ~doc:"Length of the power prefix.")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt int 400_000
+    & info [ "max-states" ] ~docv:"S"
+        ~doc:"State bound for exhaustive exploration.")
+
+(* --- run-dac ----------------------------------------------------------- *)
+
+let run_dac n seed sched_kind =
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let prng = Prng.create seed in
+  let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+  let scheduler = mk_scheduler ~n ~seed sched_kind in
+  let r = Executor.run ~machine ~specs ~inputs ~scheduler () in
+  Fmt.pr "inputs: %a@." Fmt.(array ~sep:(any " ") Value.pp) inputs;
+  Fmt.pr "%a@." Trace.pp r.Executor.trace;
+  Array.iteri
+    (fun pid st -> Fmt.pr "p%d: %a@." pid Config.pp_status st)
+    r.Executor.final.Config.status;
+  match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+  | Ok () ->
+    Fmt.pr "safety: ok@.";
+    0
+  | Error viol ->
+    Fmt.pr "safety VIOLATION: %a@." Dac.pp_violation viol;
+    1
+
+let run_dac_cmd =
+  let sched =
+    Arg.(
+      value
+      & opt scheduler_conv `Random
+      & info [ "scheduler" ] ~docv:"SCHED" ~doc:"rr | random | solo:<pid>.")
+  in
+  Cmd.v
+    (Cmd.info "run-dac"
+       ~doc:"Run Algorithm 2 (n-DAC from one n-PAC) under a schedule.")
+    Term.(const run_dac $ n_arg $ seed_arg $ sched)
+
+(* --- check ------------------------------------------------------------- *)
+
+let report verdict =
+  Fmt.pr "%a@." Solvability.pp_verdict verdict;
+  if verdict.Solvability.ok then 0 else 1
+
+let check_dac n max_states =
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  report
+    (Solvability.for_all_inputs
+       (fun inputs ->
+         Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
+       (Dac.binary_inputs n))
+
+let check_consensus m max_states =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+  report
+    (Solvability.for_all_inputs
+       (fun inputs ->
+         Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
+       (Consensus_task.binary_inputs m))
+
+let check_kset m k max_states =
+  let machine, specs = Kset_protocols.partition ~m ~k in
+  report
+    (Solvability.check_kset ~max_states ~machine ~specs ~k
+       ~inputs:(Kset_task.distinct_inputs (m * k))
+       ())
+
+let candidates =
+  [
+    ("flp-write-read", `Consensus (Candidates.flp_write_read, 2));
+    ("flp-spin", `Consensus (Candidates.flp_spin, 2));
+    ("3dac-sa2-then-cons2", `Dac (Candidates.dac3_sa2_then_cons2, 3));
+    ("3dac-cons2-announce", `Dac (Candidates.dac3_cons2_announce, 3));
+    ( "3cons-from-22pac",
+      `Consensus (Candidates.consensus_m1_from_pac_nm ~n:2 ~m:2, 3) );
+    ( "pac-retry",
+      `Consensus (Candidates.consensus_from_pac_retry ~n:2 ~procs:2, 2) );
+  ]
+
+let check_candidate name max_states =
+  match List.assoc_opt name candidates with
+  | None ->
+    Fmt.epr "unknown candidate %S; known: %s@." name
+      (String.concat ", " (List.map fst candidates));
+    2
+  | Some (`Consensus ((machine, specs), procs)) ->
+    Fmt.pr "candidate %s (consensus among %d) — expected to FAIL:@." name procs;
+    let v =
+      Solvability.for_all_inputs
+        (fun inputs ->
+          Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
+        (Consensus_task.binary_inputs procs)
+    in
+    Fmt.pr "%a@." Solvability.pp_verdict v;
+    (if not v.Solvability.ok then
+       match
+         Solvability.consensus_witness ~max_states ~machine ~specs
+           ~inputs:v.Solvability.inputs ()
+       with
+       | Some w -> Fmt.pr "witness:@.%a@." Solvability.pp_witness w
+       | None ->
+         Fmt.pr "(liveness failure: no safety witness configuration)@.");
+    if v.Solvability.ok then 1 else 0
+  | Some (`Dac ((machine, specs), procs)) ->
+    Fmt.pr "candidate %s (%d-DAC) — expected to FAIL:@." name procs;
+    let v =
+      Solvability.for_all_inputs
+        (fun inputs ->
+          Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
+        (Dac.binary_inputs procs)
+    in
+    Fmt.pr "%a@." Solvability.pp_verdict v;
+    (if not v.Solvability.ok then
+       match
+         Solvability.dac_witness ~max_states ~machine ~specs
+           ~inputs:v.Solvability.inputs ()
+       with
+       | Some w -> Fmt.pr "witness:@.%a@." Solvability.pp_witness w
+       | None ->
+         Fmt.pr "(liveness failure: no safety witness configuration)@.");
+    if v.Solvability.ok then 1 else 0
+
+let check_cmd =
+  let task =
+    Arg.(
+      required
+      & pos 0 (some (enum
+                       [ ("dac", `Dac); ("consensus", `Consensus);
+                         ("kset", `Kset); ("candidate", `Candidate) ])) None
+      & info [] ~docv:"TASK" ~doc:"dac | consensus | kset | candidate.")
+  in
+  let cand_name =
+    Arg.(
+      value
+      & opt string "flp-write-read"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
+  in
+  let run task n m k name max_states =
+    match task with
+    | `Dac -> check_dac n max_states
+    | `Consensus -> check_consensus m max_states
+    | `Kset -> check_kset m k max_states
+    | `Candidate -> check_candidate name max_states
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check a task (all schedules, all object \
+          nondeterminism).")
+    Term.(const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg)
+
+(* --- valence ------------------------------------------------------------ *)
+
+let protocols_by_name ~n ~m =
+  [
+    ("cons", Consensus_protocols.from_consensus_obj ~m);
+    ("flp-write-read", Candidates.flp_write_read);
+    ("flp-spin", Candidates.flp_spin);
+    ("pac-retry", Candidates.consensus_from_pac_retry ~n ~procs:2);
+    ( "dac",
+      (Dac_from_pac.machine ~n, Dac_from_pac.specs ~n) );
+  ]
+
+let valence name n m max_states =
+  match List.assoc_opt name (protocols_by_name ~n ~m) with
+  | None ->
+    Fmt.epr "unknown protocol %S; known: %s@." name
+      (String.concat ", " (List.map fst (protocols_by_name ~n ~m)));
+    2
+  | Some (machine, specs) ->
+    let procs =
+      match name with
+      | "cons" -> m
+      | "dac" -> n
+      | _ -> 2
+    in
+    let inputs =
+      if name = "dac" then
+        Array.init procs (fun pid -> Value.Int (if pid = 0 then 1 else 0))
+      else Array.init procs (fun pid -> Value.Int (pid mod 2))
+    in
+    let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
+    let a = Valence.analyze graph in
+    let s = Valence.summarize a in
+    Fmt.pr "protocol %s, inputs %a: %d configurations (%d edges)%s@." name
+      Fmt.(array ~sep:(any " ") Value.pp)
+      inputs (Cgraph.n_nodes graph) (Cgraph.n_edges graph)
+      (if graph.Cgraph.truncated then " [TRUNCATED]" else "");
+    Fmt.pr "valence: %d bivalent, %d univalent, %d undecided@."
+      s.Valence.n_bivalent s.Valence.n_univalent s.Valence.n_undecided;
+    Fmt.pr "initial: %a@." Valence.pp_classification
+      (Valence.classify a graph.Cgraph.initial);
+    let criticals = Bivalency.report_critical ~machine ~specs graph a in
+    Fmt.pr "critical configurations: %d@." (List.length criticals);
+    List.iteri
+      (fun i (r : Bivalency.critical_report) ->
+        if i < 3 then
+          Fmt.pr "  node %d: common poised object = %s@." r.Bivalency.node
+            (Option.value r.Bivalency.object_name ~default:"(none)"))
+      criticals;
+    (match Bivalency.bivalence_maintainable a graph with
+    | Ok () when s.Valence.n_bivalent > 0 ->
+      Fmt.pr "bivalence maintainable: adversary avoids decisions forever@."
+    | Ok () -> Fmt.pr "no bivalent configurations@."
+    | Error id -> Fmt.pr "bivalent dead-end at node %d@." id);
+    0
+
+let valence_cmd =
+  let proto_name =
+    Arg.(
+      value
+      & opt string "cons"
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:"cons | flp-write-read | flp-spin | pac-retry | dac.")
+  in
+  Cmd.v
+    (Cmd.info "valence"
+       ~doc:"Compute the valence structure of a protocol's configuration graph.")
+    Term.(const valence $ proto_name $ n_arg $ m_arg $ max_states_arg)
+
+(* --- power / separation ------------------------------------------------- *)
+
+let power n max_k max_states =
+  Fmt.pr "closed forms / lower bounds:@.";
+  Fmt.pr "  %d-consensus: (%a)@." n
+    Fmt.(list ~sep:(any ", ") Power.pp_bound)
+    (Power.consensus_power ~m:n ~max_k);
+  Fmt.pr "  2-SA:        (%a)@."
+    Fmt.(list ~sep:(any ", ") Power.pp_bound)
+    (Power.sa2_power ~max_k);
+  Fmt.pr "  O_%d (>=):    (%a)@." n
+    Fmt.(list ~sep:(any ", ") Power.pp_bound)
+    (Power.o_n_power_lower ~n ~max_k);
+  Fmt.pr "probes (exhaustive lower-bound checks):@.";
+  let p = Power.probe_o_n_consensus ~n ~max_states () in
+  Fmt.pr "  O_%d consensus: %a@." n Power.pp_probe p;
+  let power = O_prime.default_power ~n ~max_k in
+  List.iter
+    (fun k ->
+      let p = Power.probe_oprime_family ~power ~k ~max_states () in
+      Fmt.pr "  O'_%d level %d: %a@." n k Power.pp_probe p)
+    (Listx.range 1 (min max_k 2));
+  0
+
+let power_cmd =
+  Cmd.v
+    (Cmd.info "power" ~doc:"Set agreement power: closed forms and probes.")
+    Term.(const power $ n_arg $ max_k_arg $ max_states_arg)
+
+let separation n max_k max_states =
+  let report = Separation.analyze ~max_k ~max_states ~n () in
+  Fmt.pr "%a@." Separation.pp_report report;
+  if Separation.all_ok report then 0 else 1
+
+let separation_cmd =
+  Cmd.v
+    (Cmd.info "separation"
+       ~doc:"Assemble the Corollary 6.6 artifacts for a given n.")
+    Term.(const separation $ n_arg $ max_k_arg $ max_states_arg)
+
+(* --- lin-check ----------------------------------------------------------- *)
+
+let impls ~n ~m ~max_k =
+  [
+    ("snapshot", fun () -> Snapshot_impl.implementation ~n);
+    ("naive-snapshot", fun () -> Snapshot_impl.naive ~n);
+    ("pacnm", fun () -> Pac_nm_impl.implementation ~n ~m);
+    ( "oprime",
+      fun () ->
+        Oprime_impl.implementation ~power:(O_prime.default_power ~n ~max_k) );
+  ]
+
+let default_workloads name ~n ~max_k =
+  match name with
+  | "snapshot" | "naive-snapshot" ->
+    Array.init n (fun pid ->
+        [ Classic.Snapshot.update pid (Value.Int (pid + 1));
+          Classic.Snapshot.scan ])
+  | "pacnm" ->
+    Array.init n (fun pid ->
+        [ Pac_nm.propose_p (Value.Int pid) (pid + 1); Pac_nm.decide_p (pid + 1);
+          Pac_nm.propose_c (Value.Int pid) ])
+  | "oprime" ->
+    Array.init n (fun pid ->
+        List.map
+          (fun k -> O_prime.propose (Value.Int (pid + (10 * k))) k)
+          (Listx.range 1 max_k))
+  | _ -> [||]
+
+let lin_check name n m max_k trials seed =
+  match List.assoc_opt name (impls ~n ~m ~max_k) with
+  | None ->
+    Fmt.epr "unknown implementation %S; known: %s@." name
+      (String.concat ", " (List.map fst (impls ~n ~m ~max_k)));
+    2
+  | Some mk ->
+    let impl = mk () in
+    let workloads = default_workloads name ~n ~max_k in
+    Fmt.pr "implementation %s over %d clients, %d random trials...@."
+      impl.Implementation.name (Array.length workloads) trials;
+    (match Harness.campaign ~seed ~trials ~impl ~workloads () with
+    | Ok t ->
+      Fmt.pr "all %d trials linearizable@." t;
+      0
+    | Error (i, run) ->
+      Fmt.pr "trial %d NOT linearizable; history:@.%a@." i Chistory.pp
+        run.Harness.history;
+      1)
+
+let lin_check_cmd =
+  let impl_name =
+    Arg.(
+      value
+      & opt string "snapshot"
+      & info [ "impl" ] ~docv:"NAME"
+          ~doc:"snapshot | naive-snapshot | pacnm | oprime.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random trials.")
+  in
+  Cmd.v
+    (Cmd.info "lin-check"
+       ~doc:
+         "Drive an implementation with concurrent clients and check \
+          linearizability.")
+    Term.(const lin_check $ impl_name $ n_arg $ m_arg $ max_k_arg $ trials $ seed_arg)
+
+(* --- universal / bg / qadri ------------------------------------------------ *)
+
+let universal n trials seed =
+  let target = Classic.Queue_obj.spec () in
+  let impl = Universal.implementation ~n ~target () in
+  let workloads =
+    Array.init n (fun pid ->
+        [ Classic.Queue_obj.enqueue (Value.Int (100 + pid));
+          Classic.Queue_obj.dequeue ])
+  in
+  Fmt.pr
+    "universal construction: FIFO queue among %d clients from %d-consensus + \
+     registers; %d random schedules...@."
+    n n trials;
+  match Harness.campaign ~seed ~trials ~impl ~workloads () with
+  | Ok t ->
+    Fmt.pr "all %d runs linearizable@." t;
+    0
+  | Error (i, run) ->
+    Fmt.pr "trial %d NOT linearizable:@.%a@." i Chistory.pp run.Harness.history;
+    1
+
+let universal_cmd =
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random trials.")
+  in
+  Cmd.v
+    (Cmd.info "universal"
+       ~doc:"Run Herlihy's universal construction (queue target) and check \
+             linearizability.")
+    Term.(const universal $ n_arg $ trials $ seed_arg)
+
+let bg simulators trials seed =
+  let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
+  let sim_inputs = [| Value.Int 10; Value.Int 11; Value.Int 12 |] in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs:sim_inputs in
+  Fmt.pr
+    "BG simulation: %d simulators run a 3-process protocol; %d direct \
+     outcomes possible; %d random schedules...@."
+    simulators (List.length outcomes) trials;
+  let prng = Prng.create seed in
+  let bad = ref 0 in
+  for _ = 1 to trials do
+    let r =
+      Bg_simulation.run ~p ~sim_inputs ~simulators
+        ~scheduler:(Scheduler.random ~seed:(Prng.int prng 1_000_000_000)) ()
+    in
+    match r.Bg_simulation.simulated_decisions with
+    | Some ds when List.exists (Value.equal (Value.List ds)) outcomes -> ()
+    | _ -> incr bad
+  done;
+  Fmt.pr "%d/%d runs produced genuine simulated outcomes@." (trials - !bad)
+    trials;
+  if !bad = 0 then 0 else 1
+
+let bg_cmd =
+  let simulators =
+    Arg.(value & opt int 2 & info [ "simulators" ] ~docv:"S" ~doc:"Simulator count.")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Random trials.")
+  in
+  Cmd.v
+    (Cmd.info "bg" ~doc:"Run the Borowsky-Gafni simulation and validate outcomes.")
+    Term.(const bg $ simulators $ trials $ seed_arg)
+
+let qadri m n max_states =
+  let report = Qadri.analyze ~max_states ~m ~n () in
+  Fmt.pr "%a@." Qadri.pp_report report;
+  if Qadri.all_ok report then 0 else 1
+
+let qadri_cmd =
+  Cmd.v
+    (Cmd.info "qadri"
+       ~doc:"Assemble the Theorem 7.1 artifacts for given m and n (needs \
+             m >= 2, n >= m+1).")
+    Term.(const qadri $ m_arg $ n_arg $ max_states_arg)
+
+(* --- objects -------------------------------------------------------------- *)
+
+let objects () =
+  Fmt.pr "object registry (for --protocol style arguments):@.";
+  List.iter (fun (syntax, doc) -> Fmt.pr "  %-16s %s@." syntax doc) Registry.known;
+  0
+
+let objects_cmd =
+  Cmd.v
+    (Cmd.info "objects" ~doc:"List the object zoo.")
+    Term.(const objects $ const ())
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "lbsa" ~version:"1.0.0"
+      ~doc:
+        "Executable reproduction of 'Life Beyond Set Agreement' (PODC 2017)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            run_dac_cmd; check_cmd; valence_cmd; power_cmd; separation_cmd;
+            lin_check_cmd; universal_cmd; bg_cmd; qadri_cmd; objects_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bg_demo.ml: Array Bg_simulation Executor Fault Fmt Lbsa List Listx Scheduler Sim_protocol Value

@@ -1,0 +1,1 @@
+examples/bivalency_explorer.ml: Bivalency Candidates Cgraph Config Consensus_protocols Dac_from_pac Fmt Lbsa List Valence Value

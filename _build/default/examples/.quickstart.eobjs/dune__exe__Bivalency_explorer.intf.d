@@ -1,0 +1,1 @@
+examples/bivalency_explorer.mli:

@@ -1,0 +1,1 @@
+examples/dac_demo.ml: Array Config Dac Dac_from_pac Executor Fmt Lbsa List Listx Prng Scheduler Solvability Trace Value

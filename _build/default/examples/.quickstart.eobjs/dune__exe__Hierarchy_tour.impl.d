@@ -1,0 +1,1 @@
+examples/hierarchy_tour.ml: Consensus_protocols Fmt Lbsa Level List Machine O_prime Power Qadri Solvability

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Config Dac_from_pac Executor Fmt Lbsa Obj_spec Op Pac Scheduler Trace Value

@@ -1,0 +1,1 @@
+examples/universal_demo.ml: Array Chistory Classic Fmt Harness Lbsa Lin_checker List Op Pac Scheduler Universal Value

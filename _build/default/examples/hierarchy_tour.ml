@@ -1,0 +1,97 @@
+(* hierarchy_tour: a walk through the consensus hierarchy with the
+   repository's object zoo.
+
+   Build and run:  dune exec examples/hierarchy_tour.exe
+
+   For each object we print its known consensus number and set agreement
+   power (closed form or lower bound), then machine-verify the positive
+   claims on small instances by exhaustive model checking. *)
+
+open Lbsa
+
+let pr_power name power =
+  Fmt.pr "  %-18s power = (%a, ...)@." name
+    Fmt.(list ~sep:(any ", ") Power.pp_bound)
+    power
+
+let verdict_str (v : Solvability.verdict) =
+  if v.Solvability.ok then Fmt.str "verified (%d states)" v.Solvability.states
+  else Fmt.str "FAILED: %a" Solvability.pp_verdict v
+
+let () =
+  Fmt.pr "== Set agreement power: closed forms and lower bounds ==@.";
+  pr_power "register" [ Power.Finite 1; Power.Infinite; Power.Infinite ];
+  pr_power "2-consensus" (Power.consensus_power ~m:2 ~max_k:4);
+  pr_power "3-consensus" (Power.consensus_power ~m:3 ~max_k:4);
+  pr_power "2-SA" (Power.sa2_power ~max_k:4);
+  pr_power "O_2 (≥)" (Power.o_n_power_lower ~n:2 ~max_k:4);
+  pr_power "O_3 (≥)" (Power.o_n_power_lower ~n:3 ~max_k:4);
+
+  Fmt.pr "@.== Level evidence (positive half exhaustively verified) ==@.";
+  List.iter
+    (fun m ->
+      let r = Level.consensus_obj_report ~m () in
+      Fmt.pr "%a@." Level.pp_report r)
+    [ 2; 3 ];
+  let r = Level.pac_nm_report ~n:3 ~m:2 () in
+  Fmt.pr "%a@." Level.pp_report r;
+  let r = Level.o_n_report ~n:2 () in
+  Fmt.pr "%a@." Level.pp_report r;
+
+  Fmt.pr "@.== Power probes: the lower-bound rows, machine-checked ==@.";
+  Fmt.pr "%-34s %-14s %s@." "claim" "processes" "result";
+  let probes =
+    [
+      ( "2-consensus solves 1-set among 2",
+        Power.probe_consensus_family ~m:2 ~k:1 () );
+      ( "2-consensus solves 2-set among 4",
+        Power.probe_consensus_family ~m:2 ~k:2 () );
+      ( "3-consensus solves 1-set among 3",
+        Power.probe_consensus_family ~m:3 ~k:1 () );
+      ("2-SA solves 2-set among 4", Power.probe_sa2_family ~k:2 ~procs:4 ());
+      ("2-SA solves 3-set among 5", Power.probe_sa2_family ~k:3 ~procs:5 ());
+      ("(4,2)-SA solves 2-set among 4", Power.probe_nk_sa_family ~n:4 ~k:2 ());
+      ("O_2 solves consensus among 2", Power.probe_o_n_consensus ~n:2 ());
+      ( "O'_2 solves 2-set among 4",
+        Power.probe_oprime_family
+          ~power:(O_prime.default_power ~n:2 ~max_k:2)
+          ~k:2 () );
+    ]
+  in
+  List.iter
+    (fun (claim, p) ->
+      Fmt.pr "%-34s %-14d %s@." claim p.Power.procs
+        (if p.Power.solvable then Fmt.str "solved (%d states)" p.Power.states
+         else "FAILED"))
+    probes;
+
+  Fmt.pr "@.== Classic level-2 objects solve 2-consensus ==@.";
+  let machine, specs = Consensus_protocols.from_test_and_set () in
+  let v =
+    Level.check_consensus_all_binary ~machine ~specs ~procs:2 ()
+  in
+  Fmt.pr "  test-and-set + registers, 2 processes: %s@." (verdict_str v);
+
+  Fmt.pr "@.== And the ∞-level: a sticky register seats any number ==@.";
+  List.iter
+    (fun procs ->
+      let machine, specs = Consensus_protocols.from_sticky () in
+      let v = Level.check_consensus_all_binary ~machine ~specs ~procs () in
+      Fmt.pr "  sticky, %d processes: %s@." procs (verdict_str v))
+    [ 2; 3; 4 ];
+
+  Fmt.pr "@.== The other level-2 residents, exhaustively ==@.";
+  List.iter
+    (fun (machine, specs) ->
+      let v = Level.check_consensus_all_binary ~machine ~specs ~procs:2 () in
+      Fmt.pr "  %-32s %s@." machine.Machine.name (verdict_str v))
+    [
+      Consensus_protocols.from_queue ();
+      Consensus_protocols.from_fetch_and_add ();
+      Consensus_protocols.from_swap ();
+      Consensus_protocols.from_test_and_set ();
+    ];
+
+  Fmt.pr "@.== Theorem 7.1 (Qadri): a level-2 object beyond 3-consensus ==@.";
+  let report = Qadri.analyze ~m:2 ~n:3 () in
+  Fmt.pr "%a@." Qadri.pp_report report

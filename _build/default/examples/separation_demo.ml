@@ -1,0 +1,42 @@
+(* separation_demo: the paper's main theorem (Corollary 6.6) as a single
+   executable story.
+
+   Build and run:  dune exec examples/separation_demo.exe
+
+   For n = 2 (and a lighter pass at n = 3) we assemble the separation
+   artifacts: O_n and O'_n share their set agreement power prefix, yet
+   O_n solves the (n+1)-DAC problem while O'_n reduces to n-consensus +
+   2-SA objects (Lemma 6.4), a basis over which the natural (n+1)-DAC
+   candidates all fail (Theorem 4.2's evidence) — so O'_n and registers
+   cannot implement O_n. *)
+
+open Lbsa
+
+let () =
+  Fmt.pr
+    "Life Beyond Set Agreement — Corollary 6.6, executable edition@.@.\
+     Two objects with the SAME set agreement power that are NOT\n\
+     equivalent: O_n = (n+1,n)-PAC versus O'_n = bundle of (n_k,k)-SA.@.";
+
+  let report = Separation.analyze ~max_k:3 ~n:2 () in
+  Fmt.pr "@.%a@." Separation.pp_report report;
+  Fmt.pr "Overall: %s@."
+    (if Separation.all_ok report then
+       "every artifact behaves exactly as the paper predicts"
+     else "MISMATCH against the paper (see above)");
+
+  Fmt.pr
+    "@.The chain of reasoning the artifacts instantiate:@.\
+    \  1. O_2 and O'_2 share power prefix (2, 4, 6)      [rows above]@.\
+    \  2. O_2 solves 3-DAC via its 3-PAC facet           [Thm 4.1 + Obs 5.1b]@.\
+    \  3. O'_2 = 2-consensus + 2-SA objects              [Lemma 6.4]@.\
+    \  4. 3-DAC is unsolvable over that basis            [Thm 4.2;@.\
+    \     candidate failures above are the executable evidence]@.\
+    \  => O'_2 (and registers) cannot implement O_2      [Thm 6.5]@.";
+
+  Fmt.pr "@.Lighter pass at n = 3 (power prefix only, k ≤ 2):@.";
+  let report3 = Separation.analyze ~max_k:2 ~n:3 () in
+  Fmt.pr "%a@." Separation.pp_report report3;
+  Fmt.pr "Overall (n=3): %s@."
+    (if Separation.all_ok report3 then "all artifacts as predicted"
+     else "MISMATCH (see above)")

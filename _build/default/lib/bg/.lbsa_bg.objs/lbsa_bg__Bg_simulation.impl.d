@@ -1,0 +1,1 @@
+lib/bg/bg_simulation.ml: Array Classic Config Executor Fmt Lbsa_modelcheck Lbsa_objects Lbsa_runtime Lbsa_spec Lbsa_util List Machine Obj_spec Sim_protocol Value

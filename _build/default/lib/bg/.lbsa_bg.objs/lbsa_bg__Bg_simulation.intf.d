@@ -1,0 +1,1 @@
+lib/bg/bg_simulation.mli: Executor Lbsa_runtime Lbsa_spec Machine Obj_spec Scheduler Sim_protocol Value

@@ -1,0 +1,1 @@
+lib/bg/sim_protocol.ml: Classic Config Fmt Lbsa_modelcheck Lbsa_objects Lbsa_runtime Lbsa_spec Lbsa_util List Machine Obj_spec Option Value

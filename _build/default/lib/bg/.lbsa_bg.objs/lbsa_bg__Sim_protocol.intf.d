@@ -1,0 +1,1 @@
+lib/bg/sim_protocol.mli: Lbsa_runtime Lbsa_spec Machine Obj_spec Value

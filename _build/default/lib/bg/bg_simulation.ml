@@ -1,0 +1,334 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* The BG simulation (Borowsky-Gafni 1993), executable.
+
+   S simulators jointly run a full-information snapshot protocol
+   (Sim_protocol.t) written for n_sim processes, so that the simulated
+   execution is indistinguishable from a real one.  This is the engine
+   behind the set-consensus hierarchy results the paper builds on
+   (references [2] and [6]): it transfers k-set agreement solvability
+   between system sizes.
+
+   Per simulated step (j, t) the simulators must agree on the view that
+   process j's t-th scan returns.  Each simulator:
+
+     1. polls the safe-agreement instance SA(j,t): if decided, adopts
+        the agreed view and moves on;
+     2. otherwise writes j's current (deterministic) state into the
+        simulated memory, takes a real snapshot of it, and proposes that
+        snapshot to SA(j,t) (enter at level 1, look, commit at level 2
+        or back off to 0 — Safe_agreement's discipline, inlined);
+     3. moves on to the next simulated process round-robin, returning to
+        (j,t) on a later lap to poll again.
+
+   Key mechanics, each mirroring the original construction:
+   - the simulated memory has *monotone* cells (stale duplicate writes
+     by laggard simulators are no-ops), so simulated cells never move
+     backwards and all real snapshots of it are cell-wise comparable;
+   - a laggard whose candidate view is stale necessarily sees a level-2
+     entry when it looks, and backs off — corrupted candidates are
+     never decided;
+   - a simulator that crashes inside one SA's unsafe zone blocks at most
+     that one simulated process; all others keep advancing (the BG
+     theorem's "at most one simulated failure per simulator crash").
+
+   The simulated inputs are fixed parameters; the simulators' own
+   executor inputs are unused. *)
+
+let simmem_index = 0
+
+let sa_index ~(p : Sim_protocol.t) ~j ~t = 1 + (j * p.steps) + (t - 1)
+
+let specs ~(p : Sim_protocol.t) ~simulators : Obj_spec.t array =
+  Array.init
+    (1 + (p.Sim_protocol.n_sim * p.Sim_protocol.steps))
+    (fun i ->
+      if i = simmem_index then
+        Classic.Monotone_snapshot.spec ~m:p.Sim_protocol.n_sim ()
+      else Classic.Snapshot.spec ~m:simulators ())
+
+(* --- local-state plumbing ---------------------------------------------- *)
+
+let state ~tag ~j ~agreed ~proposed ~slot =
+  Value.List [ Value.Sym tag; Value.Int j; agreed; proposed; slot ]
+
+let initial_local = state ~tag:"poll" ~j:0 ~agreed:Value.Assoc.empty
+    ~proposed:Value.Set_.empty ~slot:Value.Nil
+
+let views_of agreed j =
+  match Value.Assoc.get agreed (Value.Int j) with
+  | Some (Value.List views) -> views
+  | _ -> []
+
+let decode_agreed local =
+  match local with
+  | Value.List [ _; _; agreed; _; _ ] ->
+    List.filter_map
+      (fun (k, v) ->
+        match (k, v) with
+        | Value.Int j, Value.List views -> Some (j, views)
+        | _ -> None)
+      (Value.Assoc.bindings agreed)
+  | Value.Pair (Value.Sym "halt", _) -> []
+  | _ -> []
+
+(* --- safe-agreement cell decoding --------------------------------------- *)
+
+let cell_level = function
+  | Value.Pair (_, Value.Int level) -> level
+  | Value.Nil -> -1
+  | c -> invalid_arg (Fmt.str "Bg_simulation: bad SA cell %a" Value.pp c)
+
+let cell_candidate = function
+  | Value.Pair (candidate, _) -> candidate
+  | c -> invalid_arg (Fmt.str "Bg_simulation: bad SA cell %a" Value.pp c)
+
+type sa_status =
+  | Sa_decided of Value.t
+  | Sa_pending  (* a level-1 entry or nothing committed yet *)
+
+let sa_status scan =
+  let cells = Value.to_list_exn scan in
+  let levels = List.map cell_level cells in
+  if List.exists (( = ) 1) levels then Sa_pending
+  else
+    match
+      List.find_opt (fun c -> cell_level c = 2) cells
+    with
+    | Some cell -> Sa_decided (cell_candidate cell)
+    | None -> Sa_pending
+
+(* --- the simulator machine ---------------------------------------------- *)
+
+let machine ~(p : Sim_protocol.t) ~(sim_inputs : Value.t array) : Machine.t =
+  if Array.length sim_inputs <> p.Sim_protocol.n_sim then
+    invalid_arg "Bg_simulation.machine: inputs arity mismatch";
+  let name = Fmt.str "bg-sim-%s" p.Sim_protocol.name in
+  let n_sim = p.Sim_protocol.n_sim in
+  let steps = p.Sim_protocol.steps in
+  (* Next simulated process still missing views, cyclically after [j];
+     [None] when every process has all its views. *)
+  let next_active ~agreed j =
+    let rec go k remaining =
+      if remaining = 0 then None
+      else
+        let cand = (j + 1 + k) mod n_sim in
+        if List.length (views_of agreed cand) < steps then Some cand
+        else go (k + 1) (remaining - 1)
+    in
+    go 0 n_sim
+  in
+  let move_on ~agreed ~proposed j =
+    match next_active ~agreed j with
+    | Some j' ->
+      state ~tag:"poll" ~j:j' ~agreed ~proposed ~slot:Value.Nil
+    | None ->
+      let decisions =
+        Value.List
+          (List.map
+             (fun j ->
+               p.Sim_protocol.decide ~pid:j ~input:sim_inputs.(j)
+                 ~views:(views_of agreed j))
+             (Lbsa_util.Listx.range 0 (n_sim - 1)))
+      in
+      Value.Pair (Value.Sym "halt", decisions)
+  in
+  let remove_from_set set v =
+    Value.Set_.of_list
+      (List.filter (fun x -> not (Value.equal x v)) (Value.Set_.elements set))
+  in
+  let delta ~pid local =
+    match local with
+    | Value.List [ Value.Sym tag; Value.Int j; agreed; proposed; slot ] -> (
+      let t = List.length (views_of agreed j) + 1 in
+      let sa = sa_index ~p ~j ~t in
+      match tag with
+      | "poll" ->
+        Machine.invoke sa Classic.Snapshot.scan (fun scan ->
+            match sa_status scan with
+            | Sa_decided view ->
+              let agreed =
+                Value.Assoc.set agreed (Value.Int j)
+                  (Value.List (views_of agreed j @ [ view ]))
+              in
+              let proposed = remove_from_set proposed (Value.Int j) in
+              move_on ~agreed ~proposed j
+            | Sa_pending ->
+              if Value.Set_.mem (Value.Int j) proposed then
+                (* Already committed my proposal; come back later. *)
+                move_on ~agreed ~proposed j
+              else state ~tag:"write" ~j ~agreed ~proposed ~slot:Value.Nil)
+      | "write" ->
+        let content =
+          Sim_protocol.cell_content ~t ~input:sim_inputs.(j)
+            ~views:(views_of agreed j)
+        in
+        Machine.invoke simmem_index
+          (Classic.Monotone_snapshot.update j ~step:t content)
+          (fun _ -> state ~tag:"scan" ~j ~agreed ~proposed ~slot:Value.Nil)
+      | "scan" ->
+        Machine.invoke simmem_index Classic.Monotone_snapshot.scan
+          (fun candidate ->
+            state ~tag:"enter" ~j ~agreed ~proposed ~slot:candidate)
+      | "enter" ->
+        Machine.invoke sa
+          (Classic.Snapshot.update pid (Value.Pair (slot, Value.Int 1)))
+          (fun _ -> state ~tag:"look" ~j ~agreed ~proposed ~slot)
+      | "look" ->
+        Machine.invoke sa Classic.Snapshot.scan (fun scan ->
+            let cells = Value.to_list_exn scan in
+            let level = if List.exists (fun c -> cell_level c = 2) cells then 0 else 2 in
+            state ~tag:"commit" ~j ~agreed ~proposed
+              ~slot:(Value.Pair (Value.Int level, slot)))
+      | "commit" -> (
+        match slot with
+        | Value.Pair (Value.Int level, candidate) ->
+          Machine.invoke sa
+            (Classic.Snapshot.update pid
+               (Value.Pair (candidate, Value.Int level)))
+            (fun _ ->
+              let proposed = Value.Set_.add (Value.Int j) proposed in
+              move_on ~agreed ~proposed j)
+        | s -> Machine.bad_state ~machine:name ~pid s)
+      | _ -> Machine.bad_state ~machine:name ~pid local)
+    | Value.Pair (Value.Sym "halt", decisions) -> Machine.Decide decisions
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name
+    ~init:(fun ~pid:_ ~input:_ -> initial_local)
+    ~delta
+
+(* --- whole-run driver and validity checks ------------------------------- *)
+
+type run = {
+  simulated_decisions : Value.t list option;
+      (* the decision vector, when some simulator completed *)
+  per_simulator_progress : (int * int) list array;
+      (* (simulated pid, agreed view count) per simulator *)
+  all_views : Value.t list;  (* every agreed view observed by anyone *)
+  executor : Executor.result;
+}
+
+let run ?(max_steps = 200_000) ~(p : Sim_protocol.t) ~sim_inputs ~simulators
+    ~scheduler () : run =
+  let machine = machine ~p ~sim_inputs in
+  let specs = specs ~p ~simulators in
+  let inputs = Array.make simulators Value.Unit in
+  let r = Executor.run ~max_steps ~machine ~specs ~inputs ~scheduler () in
+  let decisions =
+    let rec find pid =
+      if pid >= simulators then None
+      else
+        match Config.decision r.Executor.final pid with
+        | Some (Value.List ds) -> Some ds
+        | _ -> find (pid + 1)
+    in
+    find 0
+  in
+  let progress =
+    Array.init simulators (fun s ->
+        List.map
+          (fun (j, views) -> (j, List.length views))
+          (decode_agreed r.Executor.final.Config.locals.(s)))
+  in
+  let all_views =
+    Array.to_list r.Executor.final.Config.locals
+    |> List.concat_map (fun local ->
+           List.concat_map snd (decode_agreed local))
+  in
+  { simulated_decisions = decisions; per_simulator_progress = progress;
+    all_views; executor = r }
+
+(* Exhaustive validation: build the full configuration graph of the
+   simulators themselves (every interleaving of simulator steps) and
+   check that every reachable terminal configuration's decision vector
+   is a genuine direct outcome of the simulated protocol.  Feasible for
+   tiny instances (the simulator state space stays in the low
+   thousands). *)
+type exhaustive_report = {
+  states : int;
+  terminals : int;
+  bad_outcomes : int;
+  all_genuine : bool;
+}
+
+let check_exhaustive ?(max_states = 500_000) ~(p : Sim_protocol.t)
+    ~sim_inputs ~simulators () : exhaustive_report =
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs:sim_inputs in
+  let machine = machine ~p ~sim_inputs in
+  let specs = specs ~p ~simulators in
+  let inputs = Array.make simulators Value.Unit in
+  let graph =
+    Lbsa_modelcheck.Graph.build ~max_states ~machine ~specs ~inputs ()
+  in
+  Lbsa_modelcheck.Graph.require_complete graph;
+  let bad = ref 0 and terminals = ref 0 in
+  Lbsa_modelcheck.Graph.iter_nodes
+    (fun _ config ->
+      if Config.all_halted config then begin
+        incr terminals;
+        Array.iter
+          (fun st ->
+            match st with
+            | Config.Decided (Value.List ds) ->
+              if not (List.exists (Value.equal (Value.List ds)) outcomes) then
+                incr bad
+            | Config.Decided _ | Config.Running | Config.Aborted
+            | Config.Crashed ->
+              ())
+          config.Config.status
+      end)
+    graph;
+  {
+    states = Lbsa_modelcheck.Graph.n_nodes graph;
+    terminals = !terminals;
+    bad_outcomes = !bad;
+    all_genuine = !bad = 0;
+  }
+
+(* Cell-wise comparability of two simulated-memory views: the snapshot
+   property over monotone cells. *)
+let view_le u v =
+  List.for_all2
+    (fun a b ->
+      Classic.Monotone_snapshot.step_of a <= Classic.Monotone_snapshot.step_of b)
+    (Value.to_list_exn u) (Value.to_list_exn v)
+
+let views_comparable views =
+  let rec go = function
+    | [] -> true
+    | u :: rest ->
+      List.for_all (fun v -> view_le u v || view_le v u) rest && go rest
+  in
+  go views
+
+(* Agreement across simulators: same (j, t) must carry the same view. *)
+let simulators_agree (r : run) =
+  let tables =
+    Array.to_list r.executor.Executor.final.Config.locals
+    |> List.map decode_agreed
+  in
+  let ok = ref true in
+  List.iteri
+    (fun i table_i ->
+      List.iteri
+        (fun i' table_i' ->
+          if i < i' then
+            List.iter
+              (fun (j, views) ->
+                match List.assoc_opt j table_i' with
+                | None -> ()
+                | Some views' ->
+                  let common = min (List.length views) (List.length views') in
+                  for t = 0 to common - 1 do
+                    if
+                      not
+                        (Value.equal (List.nth views t) (List.nth views' t))
+                    then ok := false
+                  done)
+              table_i)
+        tables)
+    tables;
+  !ok

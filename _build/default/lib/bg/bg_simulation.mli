@@ -1,0 +1,65 @@
+(** The BG simulation (Borowsky–Gafni): S simulators jointly execute a
+    full-information snapshot protocol written for n_sim processes,
+    agreeing on every simulated scan through inlined safe agreement.
+    The engine behind the set-consensus hierarchy transfer results the
+    paper cites ([2], [6]). *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val simmem_index : int
+val sa_index : p:Sim_protocol.t -> j:int -> t:int -> int
+
+val specs : p:Sim_protocol.t -> simulators:int -> Obj_spec.t array
+(** One monotone simulated memory plus one safe-agreement snapshot per
+    simulated step. *)
+
+val machine : p:Sim_protocol.t -> sim_inputs:Value.t array -> Machine.t
+(** The simulator machine; the simulated inputs are baked in and the
+    simulators' own executor inputs are ignored. *)
+
+val decode_agreed : Value.t -> (int * Value.t list) list
+(** A simulator's table of agreed views, from its local state. *)
+
+type run = {
+  simulated_decisions : Value.t list option;
+  per_simulator_progress : (int * int) list array;
+  all_views : Value.t list;
+  executor : Executor.result;
+}
+
+val run :
+  ?max_steps:int ->
+  p:Sim_protocol.t ->
+  sim_inputs:Value.t array ->
+  simulators:int ->
+  scheduler:Scheduler.t ->
+  unit ->
+  run
+
+type exhaustive_report = {
+  states : int;
+  terminals : int;
+  bad_outcomes : int;
+  all_genuine : bool;
+}
+
+val check_exhaustive :
+  ?max_states:int ->
+  p:Sim_protocol.t ->
+  sim_inputs:Value.t array ->
+  simulators:int ->
+  unit ->
+  exhaustive_report
+(** Build the full configuration graph of the simulators (every
+    interleaving) and check that every terminal decision vector is a
+    genuine direct outcome.  Raises {!Lbsa_modelcheck.Graph.Truncated}
+    if the bound is hit. *)
+
+val view_le : Value.t -> Value.t -> bool
+val views_comparable : Value.t list -> bool
+(** The snapshot property: all agreed views are cell-wise comparable. *)
+
+val simulators_agree : run -> bool
+(** Every pair of simulators holds identical views for the simulated
+    steps both know about. *)

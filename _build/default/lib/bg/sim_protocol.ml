@@ -1,0 +1,127 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Full-information snapshot protocols: the normal form the BG
+   simulation operates on (Borowsky-Gafni 1993).
+
+   Each of [n_sim] processes performs exactly [steps] rounds of
+   "write my whole state, then scan", and finally applies the
+   deterministic [decide] function to its sequence of views.  Any
+   bounded wait-free read-write protocol can be put in this form; we
+   work with the form directly.
+
+   Cell content written by process j at the start of its round t:
+     List [Int t; input_j; List views_so_far]       (views_so_far < t)
+
+   The module provides a *direct* execution as an ordinary protocol
+   machine over one monotone snapshot object — the reference semantics
+   that the BG simulation (Bg_simulation) must reproduce. *)
+
+type t = {
+  name : string;
+  n_sim : int;
+  steps : int;
+  decide : pid:int -> input:Value.t -> views:Value.t list -> Value.t;
+}
+
+let cell_content ~t ~input ~views =
+  Value.List [ Value.Int t; input; Value.List views ]
+
+(* --- the direct machine ------------------------------------------------ *)
+
+let simmem_index = 0
+
+let direct_machine (p : t) : Machine.t =
+  let name = Fmt.str "direct-%s" p.name in
+  let init ~pid:_ ~input =
+    Value.(List [ Sym "write"; Int 1; input; List [] ])
+  in
+  let delta ~pid state =
+    match state with
+    | Value.List [ Value.Sym "write"; Value.Int t; input; Value.List views ] ->
+      Machine.invoke simmem_index
+        (Classic.Monotone_snapshot.update pid ~step:t
+           (cell_content ~t ~input ~views))
+        (fun _ -> Value.(List [ Sym "scan"; Int t; input; List views ]))
+    | Value.List [ Value.Sym "scan"; Value.Int t; input; Value.List views ] ->
+      Machine.invoke simmem_index Classic.Monotone_snapshot.scan (fun view ->
+          let views = views @ [ view ] in
+          if t < p.steps then
+            Value.(List [ Sym "write"; Int (t + 1); input; List views ])
+          else Value.(List [ Sym "halt"; p.decide ~pid ~input ~views ]))
+    | Value.List [ Value.Sym "halt"; v ] -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name ~init ~delta
+
+let direct_specs (p : t) : Obj_spec.t array =
+  [| Classic.Monotone_snapshot.spec ~m:p.n_sim () |]
+
+(* All decision vectors reachable in direct executions (every schedule),
+   via the model checker's configuration graph: the reference set the
+   simulation's outputs must fall into. *)
+let direct_outcomes ?(max_states = 100_000) (p : t) ~inputs =
+  let machine = direct_machine p in
+  let specs = direct_specs p in
+  let graph = Lbsa_modelcheck.Graph.build ~max_states ~machine ~specs ~inputs () in
+  Lbsa_modelcheck.Graph.require_complete graph;
+  let outcomes = ref [] in
+  Lbsa_modelcheck.Graph.iter_nodes
+    (fun _ config ->
+      if Config.all_halted config then begin
+        let vector =
+          Value.List
+            (List.map
+               (fun pid -> Option.get (Config.decision config pid))
+               (Lbsa_util.Listx.range 0 (p.n_sim - 1)))
+        in
+        if not (List.exists (Value.equal vector) !outcomes) then
+          outcomes := vector :: !outcomes
+      end)
+    graph;
+  !outcomes
+
+(* --- example protocols -------------------------------------------------- *)
+
+(* Inputs seen in a view: the input components of its non-NIL cells. *)
+let inputs_of_view view =
+  List.filter_map
+    (fun cell ->
+      match cell with
+      | Value.Pair (_, Value.List [ _; input; _ ]) -> Some input
+      | Value.Nil -> None
+      | c -> invalid_arg (Fmt.str "Sim_protocol: bad cell %a" Value.pp c))
+    (Value.to_list_exn view)
+
+let min_value = function
+  | [] -> invalid_arg "Sim_protocol.min_value: empty"
+  | v :: rest ->
+    List.fold_left (fun acc x -> if Value.compare x acc < 0 then x else acc) v rest
+
+(* Decide the minimum input visible in the final view. *)
+let min_seen ~n_sim ~steps : t =
+  {
+    name = Fmt.str "min-seen-%d-%d" n_sim steps;
+    n_sim;
+    steps;
+    decide =
+      (fun ~pid:_ ~input:_ ~views ->
+        match List.rev views with
+        | last :: _ -> min_value (inputs_of_view last)
+        | [] -> invalid_arg "min_seen: no views");
+  }
+
+(* Decide the full set of inputs visible in the final view (a
+   participating-set flavor: outputs are comparable sets). *)
+let participants ~n_sim ~steps : t =
+  {
+    name = Fmt.str "participants-%d-%d" n_sim steps;
+    n_sim;
+    steps;
+    decide =
+      (fun ~pid:_ ~input:_ ~views ->
+        match List.rev views with
+        | last :: _ -> Value.Set_.of_list (inputs_of_view last)
+        | [] -> invalid_arg "participants: no views");
+  }

@@ -1,0 +1,35 @@
+(** Full-information snapshot protocols — the normal form the BG
+    simulation operates on — with a direct (reference) execution as an
+    ordinary machine over one monotone snapshot. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type t = {
+  name : string;
+  n_sim : int;  (** number of simulated processes *)
+  steps : int;  (** write/scan rounds each process performs *)
+  decide : pid:int -> input:Value.t -> views:Value.t list -> Value.t;
+      (** deterministic decision from the full view sequence *)
+}
+
+val cell_content : t:int -> input:Value.t -> views:Value.t list -> Value.t
+(** What process j writes at the start of its round [t]. *)
+
+val simmem_index : int
+val direct_machine : t -> Machine.t
+val direct_specs : t -> Obj_spec.t array
+
+val direct_outcomes :
+  ?max_states:int -> t -> inputs:Value.t array -> Value.t list
+(** All decision vectors reachable under any schedule (model-checked):
+    the reference set for validating the BG simulation. *)
+
+val inputs_of_view : Value.t -> Value.t list
+val min_value : Value.t list -> Value.t
+
+val min_seen : n_sim:int -> steps:int -> t
+(** Decide the minimum input visible in the final view. *)
+
+val participants : n_sim:int -> steps:int -> t
+(** Decide the set of inputs visible in the final view. *)

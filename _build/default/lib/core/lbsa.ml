@@ -1,0 +1,80 @@
+(** Umbrella module: the full public API of the "Life Beyond Set
+    Agreement" reproduction, re-exported under one roof.
+
+    Layering (bottom-up):
+    - {!Value}, {!Op}, {!Obj_spec}, {!Shistory}: sequential
+      specifications of linearizable shared objects;
+    - the object zoo: {!Register}, {!Consensus_obj}, {!Sa2}, {!Nk_sa},
+      {!Pac}, {!Pac_nm}, {!O_n}, {!O_prime}, {!Classic};
+    - {!Machine}, {!Config}, {!Scheduler}, {!Executor}, {!Trace}: the
+      asynchronous shared-memory runtime;
+    - {!Chistory}, {!Lin_checker}: linearizability;
+    - {!Implementation}, {!Harness} and the paper's constructions
+      {!Oprime_impl}, {!Pac_nm_impl}, {!Facets}, {!Snapshot_impl};
+    - tasks and protocols: {!Dac}, {!Dac_from_pac}, {!Consensus_task},
+      {!Consensus_protocols}, {!Kset_task}, {!Kset_protocols},
+      {!Candidates};
+    - the model checker: {!Cgraph}, {!Valence}, {!Bivalency},
+      {!Solvability};
+    - the hierarchy toolkit: {!Power}, {!Level}, {!Separation}. *)
+
+module Prng = Lbsa_util.Prng
+module Listx = Lbsa_util.Listx
+
+module Value = Lbsa_spec.Value
+module Op = Lbsa_spec.Op
+module Obj_spec = Lbsa_spec.Obj_spec
+module Shistory = Lbsa_spec.Shistory
+
+module Register = Lbsa_objects.Register
+module Consensus_obj = Lbsa_objects.Consensus_obj
+module Sa2 = Lbsa_objects.Sa2
+module Nk_sa = Lbsa_objects.Nk_sa
+module Pac = Lbsa_objects.Pac
+module Pac_nm = Lbsa_objects.Pac_nm
+module O_n = Lbsa_objects.O_n
+module O_prime = Lbsa_objects.O_prime
+module Classic = Lbsa_objects.Classic
+module Registry = Lbsa_objects.Registry
+
+module Machine = Lbsa_runtime.Machine
+module Config = Lbsa_runtime.Config
+module Scheduler = Lbsa_runtime.Scheduler
+module Executor = Lbsa_runtime.Executor
+module Trace = Lbsa_runtime.Trace
+module Fault = Lbsa_runtime.Fault
+
+module Chistory = Lbsa_linearizability.Chistory
+module Lin_checker = Lbsa_linearizability.Checker
+module Lin_gen = Lbsa_linearizability.Gen
+
+module Implementation = Lbsa_implement.Implementation
+module Harness = Lbsa_implement.Harness
+module Oprime_impl = Lbsa_implement.Oprime_impl
+module Pac_nm_impl = Lbsa_implement.Pac_nm_impl
+module Facets = Lbsa_implement.Facets
+module Snapshot_impl = Lbsa_implement.Snapshot_impl
+module Universal = Lbsa_implement.Universal
+
+module Dac = Lbsa_protocols.Dac
+module Dac_from_pac = Lbsa_protocols.Dac_from_pac
+module Consensus_task = Lbsa_protocols.Consensus_task
+module Consensus_protocols = Lbsa_protocols.Consensus_protocols
+module Kset_task = Lbsa_protocols.Kset_task
+module Kset_protocols = Lbsa_protocols.Kset_protocols
+module Candidates = Lbsa_protocols.Candidates
+module Safe_agreement = Lbsa_protocols.Safe_agreement
+module Obstruction_free = Lbsa_protocols.Obstruction_free
+
+module Cgraph = Lbsa_modelcheck.Graph
+module Valence = Lbsa_modelcheck.Valence
+module Bivalency = Lbsa_modelcheck.Bivalency
+module Solvability = Lbsa_modelcheck.Solvability
+
+module Sim_protocol = Lbsa_bg.Sim_protocol
+module Bg_simulation = Lbsa_bg.Bg_simulation
+
+module Power = Lbsa_hierarchy.Power
+module Level = Lbsa_hierarchy.Level
+module Separation = Lbsa_hierarchy.Separation
+module Qadri = Lbsa_hierarchy.Qadri

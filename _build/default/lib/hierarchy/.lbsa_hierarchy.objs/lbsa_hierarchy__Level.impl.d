@@ -1,0 +1,1 @@
+lib/hierarchy/level.ml: Candidates Consensus_protocols Consensus_task Fmt Lbsa_modelcheck Lbsa_protocols Lbsa_runtime Machine Solvability

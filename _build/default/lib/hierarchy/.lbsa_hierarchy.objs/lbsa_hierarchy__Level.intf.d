@@ -1,0 +1,1 @@
+lib/hierarchy/level.mli: Format Lbsa_modelcheck Lbsa_runtime Lbsa_spec Machine Obj_spec Solvability

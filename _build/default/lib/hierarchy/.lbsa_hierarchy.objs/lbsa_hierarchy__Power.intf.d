@@ -1,0 +1,1 @@
+lib/hierarchy/power.mli: Format Lbsa_objects Lbsa_runtime Lbsa_spec Machine O_prime Obj_spec

@@ -1,0 +1,1 @@
+lib/hierarchy/qadri.ml: Candidates Dac Dac_from_pac Fmt Lbsa_modelcheck Lbsa_objects Lbsa_protocols Level List Option Separation Solvability

@@ -1,0 +1,1 @@
+lib/hierarchy/qadri.mli: Format Separation

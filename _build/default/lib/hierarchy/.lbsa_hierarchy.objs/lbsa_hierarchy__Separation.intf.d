@@ -1,0 +1,1 @@
+lib/hierarchy/separation.mli: Format Power

@@ -1,0 +1,37 @@
+(** Consensus-hierarchy level evidence: the exhaustively verified
+    positive half (the object solves consensus among n processes) and
+    the candidate-failure negative half (its natural (n+1)-consensus
+    protocol fails), kept explicitly apart. *)
+
+open Lbsa_runtime
+open Lbsa_spec
+open Lbsa_modelcheck
+
+type half =
+  | Verified of Solvability.verdict
+  | Candidate_failed of string * Solvability.verdict
+  | Not_checked of string
+
+type report = {
+  object_name : string;
+  level : int;
+  solves_at_level : half;
+  fails_above : half;
+}
+
+val pp_half : Format.formatter -> half -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val check_consensus_all_binary :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  procs:int ->
+  unit ->
+  Solvability.verdict
+
+val consensus_obj_report : ?max_states:int -> m:int -> unit -> report
+val pac_nm_report : ?max_states:int -> n:int -> m:int -> unit -> report
+
+val o_n_report : ?max_states:int -> n:int -> unit -> report
+(** Observation 6.2: O_n = (n+1,n)-PAC has consensus number n. *)

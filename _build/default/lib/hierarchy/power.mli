@@ -1,0 +1,70 @@
+(** Set agreement power (Section 1): closed forms and empirical,
+    exhaustively model-checked probes of the lower bounds. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+open Lbsa_objects
+
+type bound =
+  | Finite of int
+  | Infinite
+
+val pp_bound : Format.formatter -> bound -> unit
+
+val consensus_power : m:int -> max_k:int -> bound list
+(** n_k(m-consensus) = k·m. *)
+
+val sa2_power : max_k:int -> bound list
+(** n_1 = 1; n_k = ∞ for k ≥ 2 (Section 4). *)
+
+val o_n_power_lower : n:int -> max_k:int -> bound list
+(** The constructive lower bound n_k(O_n) ≥ k·n; the paper gives no
+    closed form for the true sequence. *)
+
+type probe = {
+  k : int;
+  procs : int;
+  solvable : bool;
+  states : int;
+  detail : string option;
+}
+
+val pp_probe : Format.formatter -> probe -> unit
+
+val probe :
+  ?max_states:int ->
+  ?also_binary:bool ->
+  k:int ->
+  procs:int ->
+  protocol:Machine.t * Obj_spec.t array ->
+  unit ->
+  probe
+(** Exhaustively verify that the protocol solves k-set agreement among
+    [procs] processes (all schedules, all object nondeterminism). *)
+
+val probe_random :
+  ?trials:int ->
+  ?seed:int ->
+  k:int ->
+  procs:int ->
+  protocol:Machine.t * Obj_spec.t array ->
+  unit ->
+  probe
+(** Randomized fallback for instances whose exhaustive state space is
+    out of reach: random schedules and adversaries, safety checked on
+    every run; [detail] records that the probe was randomized. *)
+
+val probe_consensus_family :
+  m:int -> k:int -> ?max_states:int -> unit -> probe
+
+val probe_sa2_family :
+  k:int -> procs:int -> ?max_states:int -> unit -> probe
+
+val probe_nk_sa_family : n:int -> k:int -> ?max_states:int -> unit -> probe
+
+val probe_oprime_family :
+  power:O_prime.power -> k:int -> ?max_states:int -> unit -> probe
+
+val probe_o_n_consensus : n:int -> ?max_states:int -> unit -> probe
+(** Observation 6.2's positive half: O_n solves consensus among n
+    processes (checked over all binary inputs). *)

@@ -1,0 +1,117 @@
+open Lbsa_protocols
+open Lbsa_modelcheck
+
+(* Theorem 7.1 (answering Qadri's question): for all m >= 2 and
+   n >= m+1, the (n+1, m)-PAC object is a deterministic object at level
+   m of the consensus hierarchy that cannot be implemented using
+   n-consensus objects and registers.
+
+   Executable artifacts, mirroring the proof:
+   1. (n+1, m)-PAC solves m-consensus            (Theorem 5.3, positive)
+      — and its (m+1)-consensus candidate fails  (level m evidence);
+   2. (n+1, m)-PAC solves the (n+1)-DAC problem via its PAC facet
+      (Observation 5.1(b) + Theorem 4.1), exhaustively;
+   3. the natural (n+1)-DAC candidate over n-consensus + registers
+      fails Termination (b) — Theorem 4.2's boundary, which the proof of
+      7.1 reduces to. *)
+
+type report = {
+  m : int;
+  n : int;
+  artifacts : Separation.verdictish list;
+}
+
+let analyze ?(max_states = 400_000) ~m ~n () : report =
+  if m < 2 || n < m + 1 then
+    invalid_arg "Qadri.analyze: needs m >= 2 and n >= m+1";
+  let artifacts = ref [] in
+  let push a = artifacts := a :: !artifacts in
+  let verdictish ~label ~expect_ok (v : Solvability.verdict) =
+    Separation.
+      {
+        label;
+        ok = v.Solvability.ok = expect_ok;
+        detail =
+          (if v.Solvability.ok then
+             Fmt.str "solved (%d states)" v.Solvability.states
+           else
+             Fmt.str "failed (%d states): %s" v.Solvability.states
+               (Option.value v.Solvability.failure ~default:"?"));
+      }
+  in
+  (* 1. Level m. *)
+  let level = Level.pac_nm_report ~max_states ~n:(n + 1) ~m () in
+  (match level.Level.solves_at_level with
+  | Level.Verified v ->
+    push
+      (verdictish
+         ~label:(Fmt.str "(%d,%d)-PAC solves %d-consensus (Thm 5.3)" (n + 1) m m)
+         ~expect_ok:true v)
+  | _ ->
+    push
+      Separation.
+        {
+          label = Fmt.str "(%d,%d)-PAC solves %d-consensus" (n + 1) m m;
+          ok = false;
+          detail = "positive half did not verify";
+        });
+  (match level.Level.fails_above with
+  | Level.Candidate_failed (cand, v) ->
+    push
+      (verdictish
+         ~label:
+           (Fmt.str "(%d,%d)-PAC: %d-consensus candidate (%s)" (n + 1) m (m + 1)
+              cand)
+         ~expect_ok:false v)
+  | _ -> ());
+  (* 2. (n+1, m)-PAC solves (n+1)-DAC via its PAC facet. *)
+  let machine =
+    Dac_from_pac.machine_via
+      ~name:(Fmt.str "%d-DAC-from-(%d,%d)-PAC" (n + 1) (n + 1) m)
+      ~propose:Lbsa_objects.Pac_nm.propose_p ~decide:Lbsa_objects.Pac_nm.decide_p
+  in
+  let specs = [| Lbsa_objects.Pac_nm.spec ~n:(n + 1) ~m () |] in
+  let v =
+    Solvability.for_all_inputs
+      (fun inputs ->
+        Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
+      (Dac.binary_inputs (n + 1))
+  in
+  push
+    (verdictish
+       ~label:
+         (Fmt.str "(%d,%d)-PAC solves the %d-DAC problem (Obs 5.1b + Thm 4.1)"
+            (n + 1) m (n + 1))
+       ~expect_ok:true v);
+  (* 3. The announce candidate over n-consensus + registers fails for
+     n+1 processes. *)
+  let cand_machine, cand_specs = Candidates.dac_cons_announce ~m:n in
+  let v =
+    Solvability.for_all_inputs
+      (fun inputs ->
+        Solvability.check_dac ~max_states ~machine:cand_machine
+          ~specs:cand_specs ~inputs ())
+      (Dac.binary_inputs (n + 1))
+  in
+  push
+    (verdictish
+       ~label:
+         (Fmt.str
+            "%d-DAC candidate over %d-consensus + registers (Thm 4.2 boundary)"
+            (n + 1) n)
+       ~expect_ok:false v);
+  { m; n; artifacts = List.rev !artifacts }
+
+let all_ok r = List.for_all (fun (a : Separation.verdictish) -> a.Separation.ok) r.artifacts
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>Theorem 7.1 artifacts for m = %d, n = %d (object: (%d,%d)-PAC):@,"
+    r.m r.n (r.n + 1) r.m;
+  List.iter
+    (fun (a : Separation.verdictish) ->
+      Fmt.pf ppf "  [%s] %s@,      %s@,"
+        (if a.Separation.ok then "ok" else "FAIL")
+        a.Separation.label a.Separation.detail)
+    r.artifacts;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,15 @@
+(** Theorem 7.1 (Qadri's question) as executable artifacts: the
+    (n+1, m)-PAC object is at level m yet solves the (n+1)-DAC problem,
+    which the natural candidates over n-consensus + registers cannot. *)
+
+type report = {
+  m : int;
+  n : int;
+  artifacts : Separation.verdictish list;
+}
+
+val analyze : ?max_states:int -> m:int -> n:int -> unit -> report
+(** Raises [Invalid_argument] unless [m >= 2] and [n >= m+1]. *)
+
+val all_ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

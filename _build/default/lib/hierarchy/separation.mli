@@ -1,0 +1,24 @@
+(** Corollary 6.6 as executable artifacts: for n >= 2, O_n and O'_n share
+    their set agreement power prefix, O_n solves the (n+1)-DAC problem,
+    O'_n is implementable from n-consensus + 2-SA (Lemma 6.4), and the
+    natural "implement O_n from that basis" candidates fail where
+    Theorem 4.2 says they must. *)
+
+type verdictish = {
+  label : string;
+  ok : bool;  (** did the artifact behave as the paper predicts? *)
+  detail : string;
+}
+
+type report = {
+  n : int;
+  power_prefix : Power.bound list;
+  artifacts : verdictish list;
+}
+
+val analyze : ?max_k:int -> ?max_states:int -> n:int -> unit -> report
+(** Raises [Invalid_argument] when [n < 2].  [max_k] bounds the power
+    prefix (default 3). *)
+
+val all_ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/implement/facets.mli: Implementation

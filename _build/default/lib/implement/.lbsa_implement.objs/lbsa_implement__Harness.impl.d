@@ -1,0 +1,1 @@
+lib/implement/harness.ml: Array Checker Chistory Fmt Implementation Lbsa_linearizability Lbsa_runtime Lbsa_spec Lbsa_util List Machine Obj_spec Op Scheduler Stdlib Value

@@ -1,0 +1,1 @@
+lib/implement/harness.mli: Checker Chistory Implementation Lbsa_linearizability Lbsa_runtime Lbsa_spec Lbsa_util Op Scheduler Value

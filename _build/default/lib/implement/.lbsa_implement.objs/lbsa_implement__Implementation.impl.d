@@ -1,0 +1,1 @@
+lib/implement/implementation.ml: Fmt Lbsa_runtime Lbsa_spec Machine Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/implement/implementation.mli: Lbsa_runtime Lbsa_spec Machine Obj_spec Op Value

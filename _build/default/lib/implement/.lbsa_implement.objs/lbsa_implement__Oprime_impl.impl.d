@@ -1,0 +1,1 @@
+lib/implement/oprime_impl.ml: Array Consensus_obj Fmt Implementation Lbsa_objects Lbsa_spec List O_prime Obj_spec Op Sa2 Value

@@ -1,0 +1,1 @@
+lib/implement/oprime_impl.mli: Implementation Lbsa_objects Lbsa_spec O_prime Obj_spec

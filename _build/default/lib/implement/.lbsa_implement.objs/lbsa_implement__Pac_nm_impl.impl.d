@@ -1,0 +1,1 @@
+lib/implement/pac_nm_impl.ml: Consensus_obj Fmt Implementation Lbsa_objects Lbsa_spec Op Pac Pac_nm Value

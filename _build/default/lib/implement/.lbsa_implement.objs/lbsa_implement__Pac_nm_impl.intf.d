@@ -1,0 +1,1 @@
+lib/implement/pac_nm_impl.mli: Implementation

@@ -1,0 +1,1 @@
+lib/implement/snapshot_impl.ml: Array Classic Fmt Implementation Lbsa_objects Lbsa_runtime Lbsa_spec Lbsa_util List Machine Op Register Value

@@ -1,0 +1,1 @@
+lib/implement/snapshot_impl.mli: Implementation

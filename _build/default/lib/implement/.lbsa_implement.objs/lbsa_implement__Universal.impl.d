@@ -1,0 +1,1 @@
+lib/implement/universal.ml: Array Consensus_obj Fmt Implementation Lbsa_objects Lbsa_runtime Lbsa_spec List Machine Obj_spec Op Option Register Value

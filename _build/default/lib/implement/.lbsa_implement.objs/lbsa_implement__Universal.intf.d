@@ -1,0 +1,1 @@
+lib/implement/universal.mli: Implementation Lbsa_spec Obj_spec Op Value

@@ -1,0 +1,33 @@
+open Lbsa_spec
+open Lbsa_objects
+
+(* Observations 5.1(b) and 5.1(c): an (n,m)-PAC object implements an
+   n-PAC object and an m-consensus object, by exposing one facet and
+   ignoring the other. *)
+
+(* 5.1(b): n-PAC from one (n,m)-PAC. *)
+let pac_from_pac_nm ~n ~m : Implementation.t =
+  let target = Pac.spec ~n () in
+  let base = [| Pac_nm.spec ~n ~m () |] in
+  let route (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v; Value.Int i ] -> (0, Pac_nm.propose_p v i)
+    | "decide", [ Value.Int i ] -> (0, Pac_nm.decide_p i)
+    | _ -> invalid_arg (Fmt.str "Facets.pac_from_pac_nm: %a" Op.pp op)
+  in
+  Implementation.redirect
+    ~name:(Fmt.str "%d-PAC-from-(%d,%d)-PAC" n n m)
+    ~target ~base ~route
+
+(* 5.1(c): m-consensus from one (n,m)-PAC. *)
+let consensus_from_pac_nm ~n ~m : Implementation.t =
+  let target = Consensus_obj.spec ~m () in
+  let base = [| Pac_nm.spec ~n ~m () |] in
+  let route (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v ] -> (0, Pac_nm.propose_c v)
+    | _ -> invalid_arg (Fmt.str "Facets.consensus_from_pac_nm: %a" Op.pp op)
+  in
+  Implementation.redirect
+    ~name:(Fmt.str "%d-consensus-from-(%d,%d)-PAC" m n m)
+    ~target ~base ~route

@@ -1,0 +1,7 @@
+(** Observations 5.1(b,c): the facets of an (n,m)-PAC object. *)
+
+val pac_from_pac_nm : n:int -> m:int -> Implementation.t
+(** An n-PAC object implemented from one (n,m)-PAC object. *)
+
+val consensus_from_pac_nm : n:int -> m:int -> Implementation.t
+(** An m-consensus object implemented from one (n,m)-PAC object. *)

@@ -1,0 +1,206 @@
+open Lbsa_spec
+open Lbsa_runtime
+open Lbsa_linearizability
+
+(* The implementation-testing harness: drive concurrent clients through
+   an implementation's operation programs under a schedule, record the
+   concurrent history of target-level calls, and check it against the
+   target specification with the Wing-Gong checker.
+
+   Granularity: each base-object operation is one atomic step; a target
+   call's invocation event is recorded when its program starts, its
+   response event when the program reaches [Decide]. *)
+
+(* How base-object nondeterminism is resolved, as a branch-index picker. *)
+type nondet =
+  | First
+  | Random of Lbsa_util.Prng.t
+
+let branch_choice = function
+  | First -> fun _count -> 0
+  | Random prng -> fun count -> Lbsa_util.Prng.int prng count
+
+type client = {
+  mutable todo : Op.t list;  (* target ops yet to start *)
+  mutable current : (Op.t * int * Value.t) option;  (* op, inv time, local *)
+  mutable done_calls : Chistory.call list;
+}
+
+type run = {
+  history : Chistory.t;
+  base_final : Value.t array;
+  steps : int;
+}
+
+exception Stuck of string
+
+let run_clients ?(nondet = First) ?(max_steps = 100_000)
+    ~(impl : Implementation.t) ~(workloads : Op.t list array)
+    ~(scheduler : Scheduler.t) () : run =
+  let n = Array.length workloads in
+  let clients =
+    Array.map (fun ops -> { todo = ops; current = None; done_calls = [] }) workloads
+  in
+  let objects = Array.map (fun (s : Obj_spec.t) -> s.initial) impl.base in
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    !clock
+  in
+  let choose = branch_choice nondet in
+  let busy pid = clients.(pid).current <> None || clients.(pid).todo <> [] in
+  (* One atomic step of client [pid]: start the next op if idle, then
+     perform exactly one base step (or the final Decide). *)
+  let step pid =
+    let c = clients.(pid) in
+    let op, inv, local =
+      match c.current with
+      | Some cur -> cur
+      | None -> (
+        match c.todo with
+        | [] -> raise (Stuck (Fmt.str "client %d scheduled while idle" pid))
+        | op :: rest ->
+          c.todo <- rest;
+          let program = impl.program ~pid op in
+          (op, tick (), program.start))
+    in
+    let program = impl.program ~pid op in
+    match program.delta ~pid local with
+    | Machine.Invoke { obj; op = base_op; resume } ->
+      let branches = Obj_spec.branches impl.base.(obj) objects.(obj) base_op in
+      let b = List.nth branches (choose (List.length branches)) in
+      objects.(obj) <- b.next;
+      c.current <- Some (op, inv, resume b.response)
+    | Machine.Decide response ->
+      c.current <- None;
+      c.done_calls <-
+        Chistory.call ~pid ~op ~response ~inv ~res:(tick ()) :: c.done_calls
+    | Machine.Abort ->
+      raise (Stuck (Fmt.str "implementation program aborted (client %d)" pid))
+  in
+  let steps = ref 0 in
+  let rec loop i =
+    if i >= max_steps then
+      raise (Stuck (Fmt.str "harness exceeded %d steps" max_steps));
+    let runnable = List.filter busy (Lbsa_util.Listx.range 0 (n - 1)) in
+    match runnable with
+    | [] -> ()
+    | _ -> (
+      match scheduler.Scheduler.next ~step:i ~runnable with
+      | None -> ()
+      | Some pid ->
+        step pid;
+        incr steps;
+        loop (i + 1))
+  in
+  loop 0;
+  let history =
+    Array.to_list clients
+    |> List.concat_map (fun c -> List.rev c.done_calls)
+    |> List.sort (fun (a : Chistory.call) b -> Stdlib.compare a.inv b.inv)
+  in
+  { history; base_final = objects; steps = !steps }
+
+(* Run and check: the implementation is correct on this workload/schedule
+   iff the produced concurrent history linearizes against the target. *)
+let check ?(nondet = First) ?(max_steps = 100_000)
+    ~(impl : Implementation.t) ~workloads ~scheduler () =
+  let run = run_clients ~nondet ~max_steps ~impl ~workloads ~scheduler () in
+  (run, Checker.check impl.target run.history)
+
+(* Randomized campaign: [trials] random schedules (and random object
+   adversaries) over the given workloads; returns the trial count on
+   success or the first non-linearizable run. *)
+let campaign ~seed ~trials ~(impl : Implementation.t) ~workloads () =
+  let prng = Lbsa_util.Prng.create seed in
+  let rec go i =
+    if i >= trials then Ok trials
+    else
+      let sched_seed = Lbsa_util.Prng.int prng 1_000_000_000 in
+      let nondet = Random (Lbsa_util.Prng.split prng) in
+      let scheduler = Scheduler.random ~seed:sched_seed in
+      let run, outcome = check ~nondet ~impl ~workloads ~scheduler () in
+      match outcome with
+      | Checker.Linearizable _ -> go (i + 1)
+      | Checker.Not_linearizable -> Error (i, run)
+  in
+  go 0
+
+(* Exhaustive campaign over *all* interleavings of the client programs
+   (and all object nondeterminism), for tiny workloads: enumerate every
+   schedule as a sequence of client picks via DFS.  Returns the number of
+   complete interleavings checked, or the first failing run. *)
+let exhaustive ?(max_steps = 40) ~(impl : Implementation.t) ~workloads () =
+  let n = Array.length workloads in
+  let checked = ref 0 in
+  let failure = ref None in
+  (* State: per-client todo/current, object states, clock, history. *)
+  let rec go todo current objects clock history depth =
+    if !failure <> None then ()
+    else begin
+      let busy pid = current.(pid) <> None || todo.(pid) <> [] in
+      let runnable = List.filter busy (Lbsa_util.Listx.range 0 (n - 1)) in
+      if runnable = [] then begin
+        incr checked;
+        let h =
+          List.sort
+            (fun (a : Chistory.call) b -> Stdlib.compare a.inv b.inv)
+            history
+        in
+        match Checker.check impl.target h with
+        | Checker.Linearizable _ -> ()
+        | Checker.Not_linearizable -> failure := Some h
+      end
+      else if depth >= max_steps then
+        invalid_arg "Harness.exhaustive: max_steps too small for workload"
+      else
+        List.iter
+          (fun pid ->
+            if !failure = None then begin
+              let op, inv, local, todo', started =
+                match current.(pid) with
+                | Some (op, inv, local) -> (op, inv, local, todo, false)
+                | None -> (
+                  match todo.(pid) with
+                  | [] -> assert false
+                  | op :: rest ->
+                    let program = impl.program ~pid op in
+                    let todo' = Array.copy todo in
+                    todo'.(pid) <- rest;
+                    (op, clock, program.start, todo', true))
+              in
+              ignore started;
+              let program = impl.program ~pid op in
+              match program.delta ~pid local with
+              | Machine.Invoke { obj; op = base_op; resume } ->
+                List.iter
+                  (fun (b : Obj_spec.branch) ->
+                    if !failure = None then begin
+                      let objects' = Array.copy objects in
+                      objects'.(obj) <- b.next;
+                      let current' = Array.copy current in
+                      current'.(pid) <- Some (op, inv, resume b.response);
+                      go todo' current' objects' (clock + 1) history (depth + 1)
+                    end)
+                  (Obj_spec.branches impl.base.(obj) objects.(obj) base_op)
+              | Machine.Decide response ->
+                let current' = Array.copy current in
+                current'.(pid) <- None;
+                let call =
+                  Chistory.call ~pid ~op ~response ~inv ~res:(clock + 1)
+                in
+                go todo' current' objects (clock + 2) (call :: history)
+                  (depth + 1)
+              | Machine.Abort ->
+                failwith "Harness.exhaustive: implementation program aborted"
+            end)
+          runnable
+    end
+  in
+  let todo = Array.map (fun ops -> ops) workloads in
+  let current = Array.make n None in
+  let objects = Array.map (fun (s : Obj_spec.t) -> s.initial) impl.base in
+  go todo current objects 1 [] 0;
+  match !failure with
+  | None -> Ok !checked
+  | Some h -> Error h

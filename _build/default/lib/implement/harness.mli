@@ -1,0 +1,58 @@
+(** Implementation-testing harness: drive concurrent clients through an
+    implementation's operation programs, record the target-level
+    concurrent history, and check linearizability against the target
+    specification. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+open Lbsa_linearizability
+
+type nondet =
+  | First
+  | Random of Lbsa_util.Prng.t
+
+type run = {
+  history : Chistory.t;
+  base_final : Value.t array;
+  steps : int;
+}
+
+exception Stuck of string
+
+val run_clients :
+  ?nondet:nondet ->
+  ?max_steps:int ->
+  impl:Implementation.t ->
+  workloads:Op.t list array ->
+  scheduler:Scheduler.t ->
+  unit ->
+  run
+
+val check :
+  ?nondet:nondet ->
+  ?max_steps:int ->
+  impl:Implementation.t ->
+  workloads:Op.t list array ->
+  scheduler:Scheduler.t ->
+  unit ->
+  run * Checker.outcome
+
+val campaign :
+  seed:int ->
+  trials:int ->
+  impl:Implementation.t ->
+  workloads:Op.t list array ->
+  unit ->
+  (int, int * run) result
+(** [trials] random schedules and object adversaries; [Error (i, run)]
+    is the first non-linearizable run. *)
+
+val exhaustive :
+  ?max_steps:int ->
+  impl:Implementation.t ->
+  workloads:Op.t list array ->
+  unit ->
+  (int, Chistory.t) result
+(** Check every interleaving of the client programs (and every object
+    branch) for a tiny workload; [Ok n] is the number of complete
+    interleavings checked. *)

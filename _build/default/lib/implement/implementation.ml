@@ -1,0 +1,73 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Wait-free implementations of a target object from base objects — the
+   paper's notion "object A can be implemented from instances of B and
+   registers".
+
+   An implementation gives, for every target operation, a small step
+   machine over the base objects; each [Machine.Invoke] is one atomic
+   base step, and [Machine.Decide v] means "the target operation returns
+   v".  The harness (Harness module) drives concurrent clients through
+   these programs and checks the resulting concurrent history against
+   the target's sequential specification with the Wing-Gong checker. *)
+
+type op_program = {
+  start : Value.t;  (* initial local state of the operation *)
+  delta : pid:int -> Value.t -> Machine.step;
+}
+
+type t = {
+  name : string;
+  target : Obj_spec.t;  (* what we claim to implement *)
+  base : Obj_spec.t array;  (* the objects we implement it from *)
+  program : pid:int -> Op.t -> op_program;
+}
+
+let make ~name ~target ~base ~program = { name; target; base; program }
+
+(* The trivial self-implementation: every target operation is a single
+   step on a base instance of the target itself.  Used to sanity-check
+   the harness. *)
+let identity (spec : Obj_spec.t) =
+  {
+    name = Fmt.str "identity-%s" spec.Obj_spec.name;
+    target = spec;
+    base = [| spec |];
+    program =
+      (fun ~pid:_ op ->
+        {
+          start = Value.Sym "invoke";
+          delta =
+            (fun ~pid:_ state ->
+              match state with
+              | Value.Sym "invoke" ->
+                Machine.invoke 0 op (fun r -> Value.Pair (Value.Sym "return", r))
+              | Value.Pair (Value.Sym "return", r) -> Machine.Decide r
+              | s -> Machine.bad_state ~machine:"identity" ~pid:0 s);
+        });
+  }
+
+(* An implementation whose every target operation maps to exactly one
+   base operation (a "redirection", as in Observations 5.1(b,c) and the
+   definition of the (n,m)-PAC object). *)
+let redirect ~name ~target ~base ~(route : Op.t -> int * Op.t) =
+  {
+    name;
+    target;
+    base;
+    program =
+      (fun ~pid:_ op ->
+        let obj, base_op = route op in
+        {
+          start = Value.Sym "invoke";
+          delta =
+            (fun ~pid state ->
+              match state with
+              | Value.Sym "invoke" ->
+                Machine.invoke obj base_op (fun r ->
+                    Value.Pair (Value.Sym "return", r))
+              | Value.Pair (Value.Sym "return", r) -> Machine.Decide r
+              | s -> Machine.bad_state ~machine:name ~pid s);
+        });
+  }

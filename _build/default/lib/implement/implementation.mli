@@ -1,0 +1,37 @@
+(** Wait-free implementations of a target object from base objects — the
+    paper's "A can be implemented from instances of B and registers". *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type op_program = {
+  start : Value.t;
+  delta : pid:int -> Value.t -> Machine.step;
+      (** [Machine.Decide v] means the target operation returns [v]. *)
+}
+
+type t = {
+  name : string;
+  target : Obj_spec.t;
+  base : Obj_spec.t array;
+  program : pid:int -> Op.t -> op_program;
+}
+
+val make :
+  name:string ->
+  target:Obj_spec.t ->
+  base:Obj_spec.t array ->
+  program:(pid:int -> Op.t -> op_program) ->
+  t
+
+val identity : Obj_spec.t -> t
+(** Each target operation is one step on a base instance of the target
+    itself (harness sanity check). *)
+
+val redirect :
+  name:string ->
+  target:Obj_spec.t ->
+  base:Obj_spec.t array ->
+  route:(Op.t -> int * Op.t) ->
+  t
+(** Each target operation maps to exactly one base operation. *)

@@ -1,0 +1,10 @@
+(** Lemma 6.4: the implementation of O'_n from one n-consensus object and
+    one 2-SA object per level k >= 2.  Workloads must respect the port
+    bounds n_k of the target (its interface contract). *)
+
+open Lbsa_spec
+open Lbsa_objects
+
+val base : power:O_prime.power -> Obj_spec.t array
+val implementation : power:O_prime.power -> Implementation.t
+val for_n : n:int -> max_k:int -> Implementation.t

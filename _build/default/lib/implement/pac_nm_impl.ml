@@ -1,0 +1,21 @@
+open Lbsa_spec
+open Lbsa_objects
+
+(* Observation 5.1(a): an (n,m)-PAC object can be implemented from an
+   n-PAC object and an m-consensus object — the operations simply
+   redirect to the corresponding facet. *)
+
+let implementation ~n ~m : Implementation.t =
+  let target = Pac_nm.spec ~n ~m () in
+  let base = [| Pac.spec ~n (); Consensus_obj.spec ~m () |] in
+  let route (op : Op.t) =
+    match (op.name, op.args) with
+    | "proposeC", [ v ] -> (1, Consensus_obj.propose v)
+    | "proposeP", [ v; Value.Int i ] -> (0, Pac.propose v i)
+    | "decideP", [ Value.Int i ] -> (0, Pac.decide i)
+    | _ ->
+      invalid_arg (Fmt.str "Pac_nm_impl: unsupported operation %a" Op.pp op)
+  in
+  Implementation.redirect
+    ~name:(Fmt.str "(%d,%d)-PAC-from-%d-PAC-and-%d-consensus" n m n m)
+    ~target ~base ~route

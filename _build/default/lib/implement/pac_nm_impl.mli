@@ -1,0 +1,4 @@
+(** Observation 5.1(a): the (n,m)-PAC object implemented from an n-PAC
+    object and an m-consensus object by redirection. *)
+
+val implementation : n:int -> m:int -> Implementation.t

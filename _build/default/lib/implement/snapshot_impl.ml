@@ -1,0 +1,223 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* The classic wait-free atomic snapshot from single-writer registers
+   (Afek, Attiya, Dolev, Gafni, Merritt, Shavit 1993), the canonical
+   "registers implement snapshots" substrate of Herlihy's model.
+
+   n processes, n components; process pid updates component pid only.
+   Register pid holds List [Int seq; value; view] where [view] is the
+   result of the embedded scan performed by the update that wrote it.
+
+   scan():
+     collect the registers repeatedly;
+     - two consecutive collects with equal sequence numbers: return the
+       common values (a "clean double collect");
+     - some component changed twice across our collects: its latest
+       content embeds a view obtained by a scan that started after ours
+       did; return that view.
+   update(v):
+     read own register (for the sequence number), perform an embedded
+     scan, then write (seq+1, v, view).
+
+   Also provided: [naive ~n], the broken single-collect scan, which the
+   linearizability checker refutes (a negative fixture). *)
+
+let reg_content ~seq ~value ~view = Value.List [ Value.Int seq; value; view ]
+
+let initial_view n = Value.List (List.init n (fun _ -> Value.Nil))
+
+let initial_reg n = reg_content ~seq:0 ~value:Value.Nil ~view:(initial_view n)
+
+let seq_of = function
+  | Value.List [ Value.Int seq; _; _ ] -> seq
+  | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
+
+let value_of = function
+  | Value.List [ _; value; _ ] -> value
+  | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
+
+let view_of = function
+  | Value.List [ _; _; view ] -> view
+  | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
+
+(* --- the scan state machine ------------------------------------------
+
+   Scan state: List [Sym "scanning"; prev; moved; partial]
+   - prev: Nil, or the previous complete collect (List of reg contents);
+   - moved: Assoc comp -> Int count of observed changes;
+   - partial: the current collect so far, reversed.
+
+   [scan_step] performs one register read; [wrap] embeds intermediate
+   scan states into the caller's state space and [k] receives the final
+   view. *)
+
+let scanning = Value.Sym "scanning"
+
+let scan_state ~prev ~moved ~partial =
+  Value.List [ scanning; prev; moved; Value.List partial ]
+
+let start_scan = scan_state ~prev:Value.Nil ~moved:Value.Assoc.empty ~partial:[]
+
+let is_scan_state = function
+  | Value.List [ tag; _; _; _ ] -> Value.equal tag scanning
+  | _ -> false
+
+(* A collect just completed: decide whether the scan is done. *)
+let finish_or_continue ~n ~prev ~moved cur =
+  let cur_list = Value.to_list_exn cur in
+  match prev with
+  | Value.Nil -> `Continue (scan_state ~prev:cur ~moved ~partial:[])
+  | _ ->
+    let prev_list = Value.to_list_exn prev in
+    let changed =
+      List.filter
+        (fun j -> seq_of (List.nth prev_list j) <> seq_of (List.nth cur_list j))
+        (Lbsa_util.Listx.range 0 (n - 1))
+    in
+    if changed = [] then `Done (Value.List (List.map value_of cur_list))
+    else begin
+      let moved, borrowed =
+        List.fold_left
+          (fun (moved, borrowed) j ->
+            let key = Value.Int j in
+            let count =
+              match Value.Assoc.get moved key with
+              | Some (Value.Int c) -> c
+              | _ -> 0
+            in
+            let moved = Value.Assoc.set moved key (Value.Int (count + 1)) in
+            let borrowed =
+              if count + 1 >= 2 && borrowed = None then
+                Some (view_of (List.nth cur_list j))
+              else borrowed
+            in
+            (moved, borrowed))
+          (moved, None) changed
+      in
+      match borrowed with
+      | Some view -> `Done view
+      | None -> `Continue (scan_state ~prev:cur ~moved ~partial:[])
+    end
+
+let scan_step ~n ~wrap ~k state : Machine.step =
+  match state with
+  | Value.List [ _tag; prev; moved; Value.List partial ] ->
+    let idx = List.length partial in
+    Machine.invoke idx Register.read (fun r ->
+        let partial = r :: partial in
+        if List.length partial < n then
+          wrap (scan_state ~prev ~moved ~partial)
+        else
+          let cur = Value.List (List.rev partial) in
+          match finish_or_continue ~n ~prev ~moved cur with
+          | `Done view -> k view
+          | `Continue state' -> wrap state')
+  | s -> invalid_arg (Fmt.str "Snapshot_impl.scan_step: %a" Value.pp s)
+
+(* --- the implementation ---------------------------------------------- *)
+
+let implementation ~n : Implementation.t =
+  let base = Array.init n (fun _ -> Register.spec ~init:(initial_reg n) ()) in
+  let program ~pid (op : Op.t) : Implementation.op_program =
+    match (op.name, op.args) with
+    | "scan", [] ->
+      {
+        start = start_scan;
+        delta =
+          (fun ~pid state ->
+            match state with
+            | s when is_scan_state s ->
+              scan_step ~n
+                ~wrap:(fun s' -> s')
+                ~k:(fun view -> Value.Pair (Value.Sym "return", view))
+                s
+            | Value.Pair (Value.Sym "return", view) -> Machine.Decide view
+            | s -> Machine.bad_state ~machine:"snapshot-scan" ~pid s);
+      }
+    | "update", [ Value.Int i; v ] when i = pid ->
+      (* States: Sym "read-own"
+                 -> Pair (Int seq, <scan state>)      (embedded scan)
+                 -> Pair (Int seq, Pair ("write", view))
+                 -> Sym "done" *)
+      {
+        start = Value.Sym "read-own";
+        delta =
+          (fun ~pid state ->
+            match state with
+            | Value.Sym "read-own" ->
+              Machine.invoke pid Register.read (fun r ->
+                  Value.Pair (Value.Int (seq_of r), start_scan))
+            | Value.Pair ((Value.Int seq as hdr), inner) -> (
+              if is_scan_state inner then
+                scan_step ~n
+                  ~wrap:(fun s' -> Value.Pair (hdr, s'))
+                  ~k:(fun view ->
+                    Value.Pair (hdr, Value.Pair (Value.Sym "write", view)))
+                  inner
+              else
+                match inner with
+                | Value.Pair (Value.Sym "write", view) ->
+                  Machine.invoke pid
+                    (Register.write
+                       (reg_content ~seq:(seq + 1) ~value:v ~view))
+                    (fun _ -> Value.Sym "done")
+                | s -> Machine.bad_state ~machine:"snapshot-update" ~pid s)
+            | Value.Sym "done" -> Machine.Decide Value.Unit
+            | s -> Machine.bad_state ~machine:"snapshot-update" ~pid s);
+      }
+    | "update", [ Value.Int i; _ ] ->
+      invalid_arg
+        (Fmt.str
+           "Snapshot_impl: single-writer snapshot; process %d cannot update \
+            component %d"
+           pid i)
+    | _ -> invalid_arg (Fmt.str "Snapshot_impl: unsupported %a" Op.pp op)
+  in
+  Implementation.make
+    ~name:(Fmt.str "%d-snapshot-from-registers" n)
+    ~target:(Classic.Snapshot.spec ~m:n ())
+    ~base ~program
+
+(* The broken single-collect scan: reads each register once and returns
+   what it saw.  Not linearizable under concurrent updates. *)
+let naive ~n : Implementation.t =
+  let base = Array.init n (fun _ -> Register.spec ~init:(initial_reg n) ()) in
+  let program ~pid (op : Op.t) : Implementation.op_program =
+    match (op.name, op.args) with
+    | "scan", [] ->
+      {
+        start = Value.List [];
+        delta =
+          (fun ~pid state ->
+            match state with
+            | Value.List partial when List.length partial < n ->
+              Machine.invoke (List.length partial) Register.read (fun r ->
+                  Value.List (partial @ [ value_of r ]))
+            | Value.List partial -> Machine.Decide (Value.List partial)
+            | s -> Machine.bad_state ~machine:"naive-scan" ~pid s);
+      }
+    | "update", [ Value.Int i; v ] when i = pid ->
+      {
+        start = Value.Sym "read-own";
+        delta =
+          (fun ~pid state ->
+            match state with
+            | Value.Sym "read-own" ->
+              Machine.invoke pid Register.read (fun r ->
+                  Value.Pair (Value.Sym "write", Value.Int (seq_of r)))
+            | Value.Pair (Value.Sym "write", Value.Int seq) ->
+              Machine.invoke pid
+                (Register.write
+                   (reg_content ~seq:(seq + 1) ~value:v ~view:(initial_view n)))
+                (fun _ -> Value.Sym "done")
+            | Value.Sym "done" -> Machine.Decide Value.Unit
+            | s -> Machine.bad_state ~machine:"naive-update" ~pid s);
+      }
+    | _ -> invalid_arg (Fmt.str "Snapshot_impl.naive: unsupported %a" Op.pp op)
+  in
+  Implementation.make
+    ~name:(Fmt.str "naive-%d-snapshot" n)
+    ~target:(Classic.Snapshot.spec ~m:n ())
+    ~base ~program

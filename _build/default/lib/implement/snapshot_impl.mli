@@ -1,0 +1,11 @@
+(** The classic wait-free single-writer atomic snapshot from registers
+    (Afek et al. 1993): process [pid] updates component [pid]; anyone may
+    scan.  Clients issue [Classic.Snapshot.update pid v] and
+    [Classic.Snapshot.scan]. *)
+
+val implementation : n:int -> Implementation.t
+(** The correct double-collect + borrowed-view construction. *)
+
+val naive : n:int -> Implementation.t
+(** The broken single-collect scan; not linearizable (negative fixture
+    for the checker). *)

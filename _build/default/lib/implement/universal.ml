@@ -1,0 +1,217 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Herlihy's universal construction — the theorem the paper's whole
+   question rests on ("instances of any object with consensus number n,
+   together with registers, can implement ... any object that can be
+   shared by up to n processes", Herlihy 1991, cited in Section 1).
+
+   Given any *deterministic* target specification and n client processes,
+   we implement the target from:
+
+   - announce registers   announce[0..n-1]
+   - progress registers   progress[0..n-1]
+   - a chain of n-consensus objects, slot[0..max_slots-1]
+
+   The shared log of operations is the sequence of slot decisions; each
+   decision is an entry Pair(uid, encoded-op) where uid = (pid, seq)
+   identifies one client operation.  A process performing an operation:
+
+   1. reads its progress register (frontier slot s0 + log prefix; both
+      were written by its own previous operation, so they are current
+      for this process);
+   2. announces Pair(uid, op) in announce[pid];
+   3. walks slots s = s0, s0+1, ...: at slot s it first helps — it reads
+      announce[s mod n] and proposes that entry if it is pending (not in
+      its log copy) — otherwise proposes its own entry; the propose
+      response *is* the slot's decision (the consensus object answers
+      every one of its first n proposers, and each process proposes at
+      most once per slot, so the port budget is exactly respected);
+   4. appends the decision to its log copy; when its own uid appears,
+      it computes the response by replaying the deduplicated log against
+      the target specification, saves (s+1, log) in its progress
+      register, clears its announcement and returns.
+
+   Round-robin helping makes the construction wait-free: once a process
+   has announced, every process passing the slot s with s mod n = pid
+   proposes its entry, so it is decided within ~2n slots.  The same
+   entry can be decided by two different slots (a helper may act on a
+   stale log copy); replay deduplicates by uid, keeping the first
+   occurrence — the linearization order is the deduplicated log order.
+
+   The construction needs a finite slot chain here only because the
+   harness's object array is finite; [max_slots] must cover the
+   workload (roughly 2x the total operation count plus n). *)
+
+(* --- value encodings --------------------------------------------------- *)
+
+let encode_op (op : Op.t) = Value.Pair (Value.Sym op.Op.name, Value.List op.Op.args)
+
+let decode_op = function
+  | Value.Pair (Value.Sym name, Value.List args) -> Op.make name args
+  | v -> invalid_arg (Fmt.str "Universal.decode_op: %a" Value.pp v)
+
+let entry ~uid ~op = Value.Pair (uid, encode_op op)
+
+let uid_of_entry = function
+  | Value.Pair (uid, _) -> uid
+  | v -> invalid_arg (Fmt.str "Universal.uid_of_entry: %a" Value.pp v)
+
+let op_of_entry = function
+  | Value.Pair (_, enc) -> decode_op enc
+  | v -> invalid_arg (Fmt.str "Universal.op_of_entry: %a" Value.pp v)
+
+(* Deduplicate a raw log by uid, keeping first occurrences. *)
+let dedup_log entries =
+  let rec go seen = function
+    | [] -> []
+    | e :: rest ->
+      let uid = uid_of_entry e in
+      if List.exists (Value.equal uid) seen then go seen rest
+      else e :: go (uid :: seen) rest
+  in
+  go [] entries
+
+(* Replay the deduplicated log against the target; return the response
+   of the entry with the given uid (which must be present). *)
+let response_of ~(target : Obj_spec.t) ~uid raw_entries =
+  let rec go state = function
+    | [] -> invalid_arg "Universal.response_of: uid not in log"
+    | e :: rest ->
+      let state', response = Obj_spec.apply_det target state (op_of_entry e) in
+      if Value.equal (uid_of_entry e) uid then response else go state' rest
+  in
+  go target.Obj_spec.initial (dedup_log raw_entries)
+
+let count_own ~pid raw_entries =
+  List.length
+    (List.filter
+       (fun e ->
+         match uid_of_entry e with
+         | Value.Pair (Value.Int p, _) -> p = pid
+         | _ -> false)
+       (dedup_log raw_entries))
+
+let in_log ~uid raw_entries =
+  List.exists (fun e -> Value.equal (uid_of_entry e) uid) raw_entries
+
+(* --- the implementation ------------------------------------------------ *)
+
+exception Out_of_slots of string
+exception Port_budget_exceeded of string
+
+(* [consensus_m] defaults to [n]; exposing it lets the Theorem 7.1
+   boundary be demonstrated executably: with m < n clients' worth of
+   consensus ports per slot, some slot eventually answers ⊥ to its
+   (m+1)-th proposer and the construction collapses — n-consensus
+   objects cannot drive a universal construction for n+1 processes. *)
+let implementation ?(max_slots = 64) ?consensus_m ~n ~(target : Obj_spec.t) ()
+    : Implementation.t =
+  if n < 1 then invalid_arg "Universal.implementation: n >= 1";
+  let consensus_m = Option.value consensus_m ~default:n in
+  let announce pid = pid in
+  let progress pid = n + pid in
+  let slot s =
+    if s >= max_slots then
+      raise
+        (Out_of_slots
+           (Fmt.str "universal construction exhausted %d slots" max_slots))
+    else (2 * n) + s
+  in
+  let base =
+    Array.init
+      ((2 * n) + max_slots)
+      (fun i ->
+        if i < n then Register.spec () (* announce *)
+        else if i < 2 * n then
+          Register.spec ~init:Value.(Pair (Int 0, List [])) () (* progress *)
+        else Consensus_obj.spec ~m:consensus_m ())
+  in
+  (* Local states of one operation's program:
+       Sym "start"
+       Pair(Sym "announce",  Pair(uid, Pair(Int s, List log)))
+       Pair(Sym "help",      Pair(uid, Pair(Int s, List log)))
+       Pair(Sym "propose",   Pair(uid, Pair(Int s, Pair(List log, cand))))
+       Pair(Sym "return",    response)                                  *)
+  let walk ~uid ~s ~log tag =
+    Value.(Pair (Sym tag, Pair (uid, Pair (Int s, List log))))
+  in
+  let program ~pid:_ (op : Op.t) : Implementation.op_program =
+    let name = "universal" in
+    let delta ~pid state =
+      match state with
+      | Value.Sym "start" ->
+        Machine.invoke (progress pid) Register.read (fun pr ->
+            match pr with
+            | Value.Pair (Value.Int s, Value.List log) ->
+              let seq = count_own ~pid log + 1 in
+              let uid = Value.(Pair (Int pid, Int seq)) in
+              walk ~uid ~s ~log "announce"
+            | v ->
+              invalid_arg
+                (Fmt.str "universal: bad progress register %a" Value.pp v))
+      | Value.Pair
+          (Value.Sym "announce",
+           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+        Machine.invoke (announce pid)
+          (Register.write (entry ~uid ~op))
+          (fun _ -> walk ~uid ~s ~log "help")
+      | Value.Pair
+          (Value.Sym "help",
+           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+        (* Read the announce register of the process this slot helps. *)
+        Machine.invoke (announce (s mod n)) Register.read (fun a ->
+            let own = entry ~uid ~op in
+            let cand =
+              match a with
+              | Value.Pair (auid, _)
+                when (not (Value.equal auid uid)) && not (in_log ~uid:auid log)
+                ->
+                a
+              | _ -> own
+            in
+            Value.(
+              Pair
+                ( Sym "propose",
+                  Pair (uid, Pair (Int s, Pair (List log, cand))) )))
+      | Value.Pair
+          (Value.Sym "propose",
+           Value.Pair
+             (uid, Value.Pair (Value.Int s, Value.Pair (Value.List log, cand))))
+        ->
+        Machine.invoke (slot s)
+          (Consensus_obj.propose cand)
+          (fun decided ->
+            if Value.is_bot decided then
+              raise
+                (Port_budget_exceeded
+                   "universal: a slot answered ⊥ — more proposers than the \
+                    consensus objects have ports (Theorem 7.1 boundary)")
+            else
+              let log = log @ [ decided ] in
+              if Value.equal (uid_of_entry decided) uid then
+                Value.(
+                  Pair
+                    ( Sym "record",
+                      Pair (uid, Pair (Int (s + 1), List log)) ))
+              else walk ~uid ~s:(s + 1) ~log "help")
+      | Value.Pair
+          (Value.Sym "record",
+           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+        (* Save the frontier, then clear the announcement and return. *)
+        Machine.invoke (progress pid)
+          (Register.write Value.(Pair (Int s, List log)))
+          (fun _ ->
+            Value.(Pair (Sym "clear", Pair (uid, List log))))
+      | Value.Pair (Value.Sym "clear", Value.Pair (uid, Value.List log)) ->
+        Machine.invoke (announce pid) (Register.write Value.Nil) (fun _ ->
+            Value.Pair (Value.Sym "return", response_of ~target ~uid log))
+      | Value.Pair (Value.Sym "return", response) -> Machine.Decide response
+      | s -> Machine.bad_state ~machine:name ~pid s
+    in
+    { Implementation.start = Value.Sym "start"; delta }
+  in
+  Implementation.make
+    ~name:(Fmt.str "universal-%s-from-%d-consensus" target.Obj_spec.name n)
+    ~target ~base ~program

@@ -1,0 +1,32 @@
+(** Herlihy's universal construction (Herlihy 1991, the result the
+    paper's Section 1 builds on): any deterministic object shared by n
+    processes, implemented wait-free from n-consensus objects and
+    registers, with round-robin helping through announce registers and a
+    chain of consensus-decided log slots. *)
+
+open Lbsa_spec
+
+exception Out_of_slots of string
+(** Raised when the workload outruns [max_slots]. *)
+
+exception Port_budget_exceeded of string
+(** Raised when a log slot answers ⊥: the consensus objects have fewer
+    ports than there are clients (the Theorem 7.1 boundary, reachable by
+    setting [consensus_m < n]). *)
+
+val encode_op : Op.t -> Value.t
+val decode_op : Value.t -> Op.t
+
+val implementation :
+  ?max_slots:int ->
+  ?consensus_m:int ->
+  n:int ->
+  target:Obj_spec.t ->
+  unit ->
+  Implementation.t
+(** [implementation ~n ~target ()] implements [target] (which must be
+    deterministic) for [n] client processes.  [max_slots] (default 64)
+    must cover the total operation count of the workload; [consensus_m]
+    (default [n]) sizes the slot consensus objects — undersizing it
+    makes the construction collapse, demonstrating why n-consensus
+    objects cannot seat n+1 processes. *)

@@ -1,0 +1,1 @@
+lib/linearizability/checker.ml: Array Chistory Fmt Hashtbl Lbsa_spec List Obj_spec Set Value

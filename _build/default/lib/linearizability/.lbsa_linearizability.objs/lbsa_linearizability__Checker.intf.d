@@ -1,0 +1,1 @@
+lib/linearizability/checker.mli: Chistory Format Lbsa_spec Obj_spec

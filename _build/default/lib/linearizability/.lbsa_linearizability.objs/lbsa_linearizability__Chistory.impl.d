@@ -1,0 +1,1 @@
+lib/linearizability/chistory.ml: Fmt Hashtbl Lbsa_spec List Op Option Stdlib Value

@@ -1,0 +1,1 @@
+lib/linearizability/chistory.mli: Format Lbsa_spec Op Value

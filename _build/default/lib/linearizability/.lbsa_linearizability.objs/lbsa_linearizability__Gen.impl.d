@@ -1,0 +1,1 @@
+lib/linearizability/gen.ml: Array Chistory Lbsa_spec Lbsa_util List Obj_spec Op Value

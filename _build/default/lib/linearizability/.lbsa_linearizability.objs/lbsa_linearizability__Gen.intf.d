@@ -1,0 +1,1 @@
+lib/linearizability/gen.mli: Chistory Lbsa_spec Lbsa_util Obj_spec Op Value

@@ -1,0 +1,87 @@
+open Lbsa_spec
+
+(* Wing-Gong linearizability checker, extended to nondeterministic
+   sequential specifications.
+
+   A complete concurrent history H is linearizable with respect to spec S
+   iff there is a total order of its calls that (i) extends the real-time
+   precedence order of H and (ii) is an admissible sequential history of
+   S (some resolution of S's nondeterminism produces exactly the recorded
+   responses).
+
+   The search is a DFS over "linearize next some call all of whose
+   predecessors are already linearized", threading the *set* of possible
+   specification states (a set because the spec may be nondeterministic).
+   Memoization on (linearized-call bitmask, state set) prunes the
+   exponential blowup; histories are expected to be small (tens of
+   calls). *)
+
+module VSet = Set.Make (Value)
+
+type outcome =
+  | Linearizable of Chistory.call list  (* a witness linearization *)
+  | Not_linearizable
+
+let is_linearizable outcome =
+  match outcome with
+  | Linearizable _ -> true
+  | Not_linearizable -> false
+
+let check ?(memo = true) (spec : Obj_spec.t) (h : Chistory.t) : outcome =
+  if not (Chistory.well_formed h) then
+    invalid_arg "Checker.check: history is not well-formed";
+  let calls = Array.of_list h in
+  let n = Array.length calls in
+  if n > 62 then invalid_arg "Checker.check: history too long (> 62 calls)";
+  (* pred_mask.(i) = bitmask of calls that must precede call i. *)
+  let pred_mask =
+    Array.init n (fun i ->
+        let m = ref 0 in
+        for j = 0 to n - 1 do
+          if j <> i && Chistory.precedes calls.(j) calls.(i) then
+            m := !m lor (1 lsl j)
+        done;
+        !m)
+  in
+  let full = (1 lsl n) - 1 in
+  (* Memo: (done_mask, states) -> false means "no completion from here".
+     Positive results short-circuit the DFS by raising. *)
+  let visited : (int * Value.t list, unit) Hashtbl.t = Hashtbl.create 256 in
+  let exception Found of Chistory.call list in
+  let apply_call states (c : Chistory.call) =
+    VSet.fold
+      (fun s acc ->
+        List.fold_left
+          (fun acc (b : Obj_spec.branch) ->
+            if Value.equal b.response c.response then VSet.add b.next acc
+            else acc)
+          acc
+          (Obj_spec.branches spec s c.op))
+      states VSet.empty
+  in
+  let rec go done_mask states acc =
+    if done_mask = full then raise (Found (List.rev acc))
+    else
+      let key = (done_mask, VSet.elements states) in
+      if memo && Hashtbl.mem visited key then ()
+      else begin
+        for i = 0 to n - 1 do
+          let bit = 1 lsl i in
+          if done_mask land bit = 0 && pred_mask.(i) land lnot done_mask = 0
+          then begin
+            let states' = apply_call states calls.(i) in
+            if not (VSet.is_empty states') then
+              go (done_mask lor bit) states' (calls.(i) :: acc)
+          end
+        done;
+        if memo then Hashtbl.replace visited key ()
+      end
+  in
+  match go 0 (VSet.singleton spec.initial) [] with
+  | () -> Not_linearizable
+  | exception Found order -> Linearizable order
+
+let pp_outcome ppf = function
+  | Linearizable order ->
+    Fmt.pf ppf "linearizable; witness:@,%a" Chistory.pp order
+  | Not_linearizable -> Fmt.string ppf "NOT linearizable"

@@ -1,0 +1,19 @@
+(** Wing–Gong linearizability checker, extended to nondeterministic
+    sequential specifications. *)
+
+open Lbsa_spec
+
+type outcome =
+  | Linearizable of Chistory.call list  (** a witness linearization *)
+  | Not_linearizable
+
+val is_linearizable : outcome -> bool
+
+val check : ?memo:bool -> Obj_spec.t -> Chistory.t -> outcome
+(** Decide linearizability of a complete, well-formed history (at most
+    62 calls) against the specification.  Raises [Invalid_argument] on
+    ill-formed or oversized histories.  [memo] (default true) enables
+    memoization of visited (linearized-set, state-set) pairs; disabling
+    it exists for the ablation benchmark only. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,59 @@
+open Lbsa_spec
+
+(* Concurrent histories of a single object (Herlihy & Wing): a set of
+   completed calls, each with an invocation time and a response time.
+   Call a precedes call b (a <_H b) iff a's response happened before b's
+   invocation; linearizability asks for a total order extending <_H that
+   is legal for the object's sequential specification. *)
+
+type call = {
+  pid : int;
+  op : Op.t;
+  response : Value.t;
+  inv : int;  (* invocation timestamp *)
+  res : int;  (* response timestamp; inv < res *)
+}
+
+type t = call list
+
+let call ~pid ~op ~response ~inv ~res =
+  if inv >= res then invalid_arg "Chistory.call: inv must precede res";
+  { pid; op; response; inv; res }
+
+let precedes a b = a.res < b.inv
+
+let pp_call ppf c =
+  Fmt.pf ppf "p%d [%d,%d] %a -> %a" c.pid c.inv c.res Op.pp c.op Value.pp
+    c.response
+
+let pp ppf h =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_call) h
+
+(* Well-formedness: each process's calls are sequential (its intervals
+   are disjoint and ordered). *)
+let well_formed (h : t) =
+  let by_pid = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let cur = Option.value (Hashtbl.find_opt by_pid c.pid) ~default:[] in
+      Hashtbl.replace by_pid c.pid (c :: cur))
+    h;
+  Hashtbl.fold
+    (fun _ calls acc ->
+      acc
+      &&
+      let sorted = List.sort (fun a b -> Stdlib.compare a.inv b.inv) calls in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> a.res < b.inv && ok rest
+        | _ -> true
+      in
+      ok sorted)
+    by_pid true
+
+(* A sequential history (one call at a time) from per-process op lists,
+   for building known-linearizable test fixtures. *)
+let of_sequential (events : (int * Op.t * Value.t) list) : t =
+  List.mapi
+    (fun i (pid, op, response) ->
+      { pid; op; response; inv = (2 * i); res = (2 * i) + 1 })
+    events

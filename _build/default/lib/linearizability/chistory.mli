@@ -1,0 +1,29 @@
+(** Concurrent histories of a single object (Herlihy & Wing). *)
+
+open Lbsa_spec
+
+type call = {
+  pid : int;
+  op : Op.t;
+  response : Value.t;
+  inv : int;
+  res : int;
+}
+
+type t = call list
+
+val call :
+  pid:int -> op:Op.t -> response:Value.t -> inv:int -> res:int -> call
+(** Raises [Invalid_argument] unless [inv < res]. *)
+
+val precedes : call -> call -> bool
+(** Real-time precedence: [a] responded before [b] was invoked. *)
+
+val well_formed : t -> bool
+(** Per-process sequentiality of call intervals. *)
+
+val of_sequential : (int * Op.t * Value.t) list -> t
+(** A history where calls happen one after another, in list order. *)
+
+val pp_call : Format.formatter -> call -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+open Lbsa_spec
+
+(* Random concurrent-history generation for linearizability testing.
+
+   [linearizable_history] builds a history by actually running the
+   specification under a random interleaving, so the result is
+   linearizable by construction (the interleaving is a witness); such
+   histories are positive fixtures for the checker.
+
+   [corrupt] perturbs one response so that, with high probability, the
+   history is no longer linearizable (negative fixtures; the caller
+   should skip cases where the perturbation happens to stay legal). *)
+
+type pending = { pid : int; op : Op.t; inv : int }
+
+let linearizable_history ~(prng : Lbsa_util.Prng.t) ~(spec : Obj_spec.t)
+    ~(workloads : Op.t list array) : Chistory.t =
+  let n = Array.length workloads in
+  let remaining = Array.map (fun ops -> ref ops) workloads in
+  let pending : pending option array = Array.make n None in
+  let state = ref spec.initial in
+  let clock = ref 0 in
+  let tick () =
+    incr clock;
+    !clock
+  in
+  let done_calls = ref [] in
+  let choice bs = Lbsa_util.Prng.int prng (List.length bs) in
+  let can_invoke pid = pending.(pid) = None && !(remaining.(pid)) <> [] in
+  let can_respond pid = pending.(pid) <> None in
+  let busy () =
+    List.filter
+      (fun pid -> can_invoke pid || can_respond pid)
+      (Lbsa_util.Listx.range 0 (n - 1))
+  in
+  let rec loop () =
+    match busy () with
+    | [] -> ()
+    | candidates ->
+      let pid = Lbsa_util.Prng.pick prng candidates in
+      (* Invoke or respond, randomly when both are possible. *)
+      let do_invoke =
+        can_invoke pid && ((not (can_respond pid)) || Lbsa_util.Prng.bool prng)
+      in
+      if do_invoke then begin
+        match !(remaining.(pid)) with
+        | [] -> assert false
+        | op :: rest ->
+          remaining.(pid) := rest;
+          pending.(pid) <- Some { pid; op; inv = tick () }
+      end
+      else begin
+        match pending.(pid) with
+        | None -> assert false
+        | Some { op; inv; _ } ->
+          (* The linearization point: apply the op to the spec now. *)
+          let state', response = Obj_spec.apply ~choice spec !state op in
+          state := state';
+          pending.(pid) <- None;
+          done_calls :=
+            Chistory.call ~pid ~op ~response ~inv ~res:(tick ()) :: !done_calls
+      end;
+      loop ()
+  in
+  loop ();
+  List.rev !done_calls
+
+(* Replace one call's response with [substitute] (default: an unlikely
+   symbol), yielding a candidate negative fixture. *)
+let corrupt ~(prng : Lbsa_util.Prng.t) ?(substitute = Value.Sym "corrupted")
+    (h : Chistory.t) : Chistory.t =
+  match h with
+  | [] -> []
+  | _ ->
+    let idx = Lbsa_util.Prng.int prng (List.length h) in
+    List.mapi
+      (fun i (c : Chistory.call) ->
+        if i = idx then { c with response = substitute } else c)
+      h

@@ -1,0 +1,16 @@
+(** Random concurrent-history generation for linearizability testing. *)
+
+open Lbsa_spec
+
+val linearizable_history :
+  prng:Lbsa_util.Prng.t ->
+  spec:Obj_spec.t ->
+  workloads:Op.t list array ->
+  Chistory.t
+(** Run the per-process operation lists against the specification under
+    a random interleaving; the result is linearizable by construction. *)
+
+val corrupt :
+  prng:Lbsa_util.Prng.t -> ?substitute:Value.t -> Chistory.t -> Chistory.t
+(** Replace one call's response, producing a candidate non-linearizable
+    history (callers should discard cases that stay legal). *)

@@ -1,0 +1,1 @@
+lib/modelcheck/bivalency.ml: Array Config Fmt Graph Lbsa_runtime Lbsa_spec List Machine Obj_spec Op Option String Valence Value

@@ -1,0 +1,1 @@
+lib/modelcheck/bivalency.mli: Config Format Graph Lbsa_runtime Lbsa_spec Machine Obj_spec Op Valence Value

@@ -1,0 +1,1 @@
+lib/modelcheck/graph.ml: Array Config Hashtbl Lbsa_runtime Lbsa_spec List Machine Map Queue

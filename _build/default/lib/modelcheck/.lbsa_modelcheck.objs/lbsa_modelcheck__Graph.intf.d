@@ -1,0 +1,1 @@
+lib/modelcheck/graph.mli: Config Lbsa_runtime Lbsa_spec Machine

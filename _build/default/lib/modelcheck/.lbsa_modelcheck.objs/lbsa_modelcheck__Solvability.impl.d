@@ -1,0 +1,1 @@
+lib/modelcheck/solvability.ml: Array Config Fmt Graph Hashtbl Lbsa_protocols Lbsa_runtime Lbsa_spec List Map Option Value

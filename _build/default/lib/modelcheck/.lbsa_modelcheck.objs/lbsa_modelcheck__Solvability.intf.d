@@ -1,0 +1,1 @@
+lib/modelcheck/solvability.mli: Config Format Graph Lbsa_runtime Lbsa_spec Machine Obj_spec Value

@@ -1,0 +1,1 @@
+lib/modelcheck/valence.ml: Array Config Fmt Graph Lbsa_runtime Lbsa_spec List Queue Set Value

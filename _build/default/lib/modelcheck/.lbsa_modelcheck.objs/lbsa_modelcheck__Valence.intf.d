@@ -1,0 +1,1 @@
+lib/modelcheck/valence.mli: Format Graph Lbsa_spec Set Value

@@ -1,0 +1,71 @@
+(** Mechanized counterparts of the recurring moves in the paper's
+    bivalency proofs (Sections 4 and 5). *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val critical_configurations : Valence.analysis -> Graph.t -> int list
+(** Bivalent configurations whose every successor is univalent
+    (Claim 4.2.5 / Claim 5.2.2), excluding dead ends. *)
+
+val poised : machine:Machine.t -> Config.t -> (int * int option) list
+(** What each running process is about to do: [Some obj] for an object
+    operation, [None] for a decide/abort. *)
+
+val common_poised_object : machine:Machine.t -> Config.t -> int option
+(** Claim 5.2.3 analog: the single object all running processes are
+    poised on, if there is one. *)
+
+(** Detailed poised-step analysis (Subclaims 5.2.8.1/5.2.8.2). *)
+type poised_step =
+  | Poised_op of { obj : int; op : Op.t }
+  | Poised_decide of Value.t
+  | Poised_abort
+
+val poised_ops : machine:Machine.t -> Config.t -> (int * poised_step) list
+
+val common_poised_op_name :
+  machine:Machine.t -> Config.t -> (int * string) option
+(** The (object, operation-name) every running process is poised on, if
+    they all agree. *)
+
+type critical_report = {
+  node : int;
+  config : Config.t;
+  common_object : int option;
+  object_name : string option;
+}
+
+val report_critical :
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  Graph.t ->
+  Valence.analysis ->
+  critical_report list
+
+(** Claim 4.2.6 shape: the order of one p-step and one q-step flips the
+    valence — the pivot of every bivalency proof. *)
+type hook = {
+  node : int;
+  p : int;
+  q : int;
+  valent_after_p : Value.t;
+  valent_after_qp : Value.t;
+}
+
+val pp_hook : Format.formatter -> hook -> unit
+
+val find_hooks : ?limit:int -> Valence.analysis -> Graph.t -> hook list
+(** Concrete hook instances in the graph (at most [limit], default
+    10). *)
+
+val bivalence_maintainable :
+  Valence.analysis -> Graph.t -> (unit, int) result
+(** The finitized FLP adversary argument: [Ok ()] iff every reachable
+    bivalent configuration has a bivalent successor (so an infinite
+    undecided run exists); otherwise the first bivalent dead-end. *)
+
+val aborts_are_0_valent :
+  Valence.analysis -> Graph.t -> (unit, int) result
+(** Claim 4.2.2 analog on DAC graphs: configurations where the
+    distinguished process has aborted may only reach decision 0. *)

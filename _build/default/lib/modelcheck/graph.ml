@@ -1,0 +1,178 @@
+open Lbsa_runtime
+
+(* The reachable configuration graph of a protocol: nodes are global
+   configurations, edges are atomic steps (process id + event), with all
+   scheduler choices and all object nondeterminism included.  This is the
+   object the paper's proofs quantify over, built explicitly for small
+   instances. *)
+
+type edge = { pid : int; event : Config.event; target : int }
+
+type t = {
+  nodes : Config.t array;
+  edges : edge list array;  (* out-edges per node *)
+  initial : int;
+  truncated : bool;  (* true if max_states was hit: results are partial *)
+}
+
+exception Truncated
+
+module CMap = Map.Make (Config)
+
+(* Breadth-first construction of the reachable graph. *)
+let build ?(max_states = 200_000) ~(machine : Machine.t)
+    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+  let init = Config.initial ~machine ~specs ~inputs in
+  let ids = ref (CMap.singleton init 0) in
+  let nodes = ref [ init ] in
+  let n_nodes = ref 1 in
+  let edges : (int, edge list) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  Queue.add (init, 0) queue;
+  let id_of config =
+    match CMap.find_opt config !ids with
+    | Some id -> Some id
+    | None ->
+      if !n_nodes >= max_states then (
+        truncated := true;
+        None)
+      else begin
+        let id = !n_nodes in
+        ids := CMap.add config id !ids;
+        nodes := config :: !nodes;
+        incr n_nodes;
+        Queue.add (config, id) queue;
+        Some id
+      end
+  in
+  while not (Queue.is_empty queue) do
+    let config, id = Queue.pop queue in
+    let out =
+      List.concat_map
+        (fun pid ->
+          List.filter_map
+            (fun (config', event) ->
+              match id_of config' with
+              | Some target -> Some { pid; event; target }
+              | None -> None)
+            (Config.step_branches ~machine ~specs config pid))
+        (Config.running config)
+    in
+    Hashtbl.replace edges id out
+  done;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let out = Array.make (Array.length nodes) [] in
+  Hashtbl.iter (fun id es -> out.(id) <- es) edges;
+  { nodes; edges = out; initial = 0; truncated = !truncated }
+
+let n_nodes t = Array.length t.nodes
+let n_edges t = Array.fold_left (fun acc es -> acc + List.length es) 0 t.edges
+
+let node t id = t.nodes.(id)
+let out_edges t id = t.edges.(id)
+
+let iter_nodes f t = Array.iteri (fun id config -> f id config) t.nodes
+
+let require_complete t =
+  if t.truncated then raise Truncated
+
+(* Shortest path (in steps) from the initial node to [target], as the
+   list of edges taken: the schedule that reproduces a violating
+   configuration, replayable with Scheduler.fixed. *)
+let shortest_path t ~target =
+  if target = t.initial then Some []
+  else begin
+    let n = n_nodes t in
+    let parent = Array.make n None in
+    let queue = Queue.create () in
+    Queue.add t.initial queue;
+    let seen = Array.make n false in
+    seen.(t.initial) <- true;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun e ->
+          if (not seen.(e.target)) && not !found then begin
+            seen.(e.target) <- true;
+            parent.(e.target) <- Some (u, e);
+            if e.target = target then found := true
+            else Queue.add e.target queue
+          end)
+        (out_edges t u)
+    done;
+    if not !found then None
+    else begin
+      let rec walk node acc =
+        match parent.(node) with
+        | None -> acc
+        | Some (u, e) -> walk u (e :: acc)
+      in
+      Some (walk target [])
+    end
+  end
+
+let schedule_of_path edges = List.map (fun e -> e.pid) edges
+
+(* Strongly connected components (iterative Kosaraju), used for the
+   wait-freedom and livelock analyses.  Returns the component id of each
+   node and the component count; ids are assigned in topological order of
+   the condensation (sources first). *)
+let scc t =
+  let n = n_nodes t in
+  (* Pass 1: forward DFS, record finish order. *)
+  let visited = Array.make n false in
+  let finish_order = ref [] in
+  for start = 0 to n - 1 do
+    if not visited.(start) then begin
+      let stack = ref [ (start, ref (out_edges t start)) ] in
+      visited.(start) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, iter) :: rest -> (
+          match !iter with
+          | [] ->
+            finish_order := u :: !finish_order;
+            stack := rest
+          | e :: es ->
+            iter := es;
+            if not visited.(e.target) then begin
+              visited.(e.target) <- true;
+              stack := (e.target, ref (out_edges t e.target)) :: !stack
+            end)
+      done
+    end
+  done;
+  (* Reverse adjacency. *)
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun u es -> List.iter (fun e -> rev.(e.target) <- u :: rev.(e.target)) es)
+    t.edges;
+  (* Pass 2: DFS on the reverse graph in finish order. *)
+  let comp = Array.make n (-1) in
+  let next_comp = ref 0 in
+  List.iter
+    (fun start ->
+      if comp.(start) = -1 then begin
+        let c = !next_comp in
+        incr next_comp;
+        let stack = ref [ start ] in
+        comp.(start) <- c;
+        while !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | u :: rest ->
+            stack := rest;
+            List.iter
+              (fun v ->
+                if comp.(v) = -1 then begin
+                  comp.(v) <- c;
+                  stack := v :: !stack
+                end)
+              rev.(u)
+        done
+      end)
+    !finish_order;
+  (comp, !next_comp)

@@ -1,0 +1,50 @@
+(** The reachable configuration graph of a protocol: all configurations
+    reachable from the initial one under every scheduler choice and every
+    nondeterministic object response — the object the paper's proofs
+    quantify over, built explicitly for small instances. *)
+
+open Lbsa_runtime
+
+type edge = { pid : int; event : Config.event; target : int }
+
+type t = {
+  nodes : Config.t array;
+  edges : edge list array;
+  initial : int;
+  truncated : bool;
+      (** true when [max_states] was hit; results are then partial *)
+}
+
+exception Truncated
+
+val build :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Lbsa_spec.Obj_spec.t array ->
+  inputs:Lbsa_spec.Value.t array ->
+  unit ->
+  t
+(** Breadth-first construction (default bound: 200_000 states). *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val node : t -> int -> Config.t
+val out_edges : t -> int -> edge list
+val iter_nodes : (int -> Config.t -> unit) -> t -> unit
+
+val require_complete : t -> unit
+(** Raises {!Truncated} if the graph was cut off at [max_states]. *)
+
+val shortest_path : t -> target:int -> edge list option
+(** Shortest edge path from the initial node to [target] — the schedule
+    reproducing that configuration.  [None] only if [target] is not in
+    the graph (cannot happen for ids produced by this graph). *)
+
+val schedule_of_path : edge list -> int list
+(** The process ids along a path, replayable with [Scheduler.fixed].
+    Nondeterministic object branches along the path must be replayed
+    with a matching adversary. *)
+
+val scc : t -> int array * int
+(** Strongly connected components (Kosaraju): per-node component id and
+    component count, ids in topological order of the condensation. *)

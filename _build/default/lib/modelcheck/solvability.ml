@@ -1,0 +1,323 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Exhaustive task verification: does a protocol solve a task for *every*
+   schedule and *every* resolution of object nondeterminism?
+
+   The reachable configuration graph (Graph.build) contains every
+   interleaving, so checking a safety property at every node quantifies
+   over all finite executions, and liveness properties reduce to
+   structural properties of the finite graph:
+
+   - wait-free termination of process pid fails iff some reachable cycle
+     contains a step of pid (pid can take infinitely many steps without
+     halting);
+   - solo termination of pid from configuration C fails iff the pid-solo
+     subgraph from C contains a cycle, or a leaf where pid is still
+     running (the solo run gets stuck). *)
+
+type verdict = {
+  ok : bool;
+  inputs : Value.t array;
+  states : int;
+  failure : string option;
+}
+
+let pp_verdict ppf v =
+  if v.ok then
+    Fmt.pf ppf "OK (inputs=%a, %d states)"
+      Fmt.(array ~sep:(any ",") Value.pp)
+      v.inputs v.states
+  else
+    Fmt.pf ppf "FAIL (inputs=%a, %d states): %s"
+      Fmt.(array ~sep:(any ",") Value.pp)
+      v.inputs v.states
+      (Option.value v.failure ~default:"?")
+
+let fail ~inputs ~states msg = { ok = false; inputs; states; failure = Some msg }
+let pass ~inputs ~states = { ok = true; inputs; states; failure = None }
+
+(* --- liveness primitives -------------------------------------------- *)
+
+(* Does some reachable cycle contain a step of [pid]?  Using the SCC
+   condensation: yes iff some SCC contains an edge of [pid] internal to
+   it (including self-loops). *)
+let cycle_with_step_of (graph : Graph.t) pid =
+  let comp, _ = Graph.scc graph in
+  let found = ref None in
+  Graph.iter_nodes
+    (fun u _ ->
+      if !found = None then
+        List.iter
+          (fun (e : Graph.edge) ->
+            if !found = None && e.pid = pid && comp.(u) = comp.(e.target) then
+              found := Some u)
+          (Graph.out_edges graph u))
+    graph;
+  !found
+
+(* Any cycle at all (some process can run forever). *)
+let any_cycle (graph : Graph.t) =
+  let comp, n_comps = Graph.scc graph in
+  let sizes = Array.make n_comps 0 in
+  Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+  let found = ref None in
+  Graph.iter_nodes
+    (fun u _ ->
+      if !found = None then
+        if sizes.(comp.(u)) > 1 then found := Some u
+        else if
+          List.exists (fun (e : Graph.edge) -> e.target = u) (Graph.out_edges graph u)
+        then found := Some u)
+    graph;
+  !found
+
+(* Solo termination of [pid] from [config]: explore the pid-solo subgraph
+   (all nondeterministic branches), requiring that every run halts pid in
+   a status satisfying [accept].  Memoized across calls via [cache]:
+   true = all solo runs from this config are fine. *)
+type solo_cache = (Config.t, bool) Hashtbl.t
+
+let solo_cache () : solo_cache = Hashtbl.create 1024
+
+let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
+  let module CM = Map.Make (Config) in
+  (* On-stack set for cycle detection within one DFS. *)
+  let rec go on_stack config =
+    match Hashtbl.find_opt cache config with
+    | Some r -> r
+    | None ->
+      if CM.mem config on_stack then false (* solo cycle: pid spins *)
+      else
+        let r =
+          if not (Config.is_running config pid) then accept config.Config.status.(pid)
+          else
+            let branches = Config.step_branches ~machine ~specs config pid in
+            List.for_all
+              (fun (config', _) -> go (CM.add config () on_stack) config')
+              branches
+        in
+        (* Only cache completed subtrees (config not on stack anywhere):
+           caching a [false] caused by an on-stack ancestor would be
+           unsound, so cache only when the answer is stack-independent.
+           A [false] from a strict cycle is still correct to cache for
+           the node that closes the cycle's entry point; to stay simple
+           and sound we cache positives always and negatives only at the
+           DFS root. *)
+        if r then Hashtbl.replace cache config r;
+        r
+  in
+  go CM.empty config
+
+(* --- task checkers --------------------------------------------------- *)
+
+(* Exhaustive consensus check: safety at every node, wait-freedom of
+   every process. *)
+let check_consensus ?(max_states = 200_000) ~machine ~specs ~inputs () =
+  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+  let states = Graph.n_nodes graph in
+  if graph.truncated then
+    fail ~inputs ~states "state space truncated; increase max_states"
+  else
+    let violation = ref None in
+    Graph.iter_nodes
+      (fun _ config ->
+        if !violation = None then
+          match Lbsa_protocols.Consensus_task.check_safety ~inputs config with
+          | Ok () -> ()
+          | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
+      graph;
+    match !violation with
+    | Some msg -> fail ~inputs ~states msg
+    | None -> (
+      let n = Array.length inputs in
+      let rec check_pid pid =
+        if pid >= n then pass ~inputs ~states
+        else
+          match cycle_with_step_of graph pid with
+          | Some node ->
+            fail ~inputs ~states
+              (Fmt.str "process %d can take infinitely many steps (cycle at node %d)"
+                 pid node)
+          | None -> check_pid (pid + 1)
+      in
+      check_pid 0)
+
+(* Exhaustive k-set agreement check. *)
+let check_kset ?(max_states = 200_000) ~machine ~specs ~k ~inputs () =
+  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+  let states = Graph.n_nodes graph in
+  if graph.truncated then
+    fail ~inputs ~states "state space truncated; increase max_states"
+  else
+    let violation = ref None in
+    Graph.iter_nodes
+      (fun _ config ->
+        if !violation = None then
+          match Lbsa_protocols.Kset_task.check_safety ~k ~inputs config with
+          | Ok () -> ()
+          | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
+      graph;
+    match !violation with
+    | Some msg -> fail ~inputs ~states msg
+    | None -> (
+      match any_cycle graph with
+      | Some node -> fail ~inputs ~states (Fmt.str "livelock (cycle at node %d)" node)
+      | None -> pass ~inputs ~states)
+
+(* Exhaustive n-DAC check (Section 4's four properties, with the paper's
+   weak termination):
+   - safety (agreement, validity, p-only aborts) at every node;
+   - Nontriviality: no abort along p-solo runs from the initial
+     configuration (those are exactly the runs where no q stepped);
+   - Termination (a): from every reachable node, p running solo halts
+     (decides or aborts);
+   - Termination (b): from every reachable node, every q != p running
+     solo decides. *)
+let check_dac ?(max_states = 200_000) ~machine ~specs ~inputs () =
+  let p = Lbsa_protocols.Dac.distinguished in
+  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+  let states = Graph.n_nodes graph in
+  if graph.truncated then
+    fail ~inputs ~states "state space truncated; increase max_states"
+  else
+    let violation = ref None in
+    let note fmt = Fmt.kstr (fun s -> if !violation = None then violation := Some s) fmt in
+    (* Safety at every node. *)
+    Graph.iter_nodes
+      (fun id config ->
+        if !violation = None then begin
+          (match Lbsa_protocols.Dac.check_agreement config with
+          | Ok () -> ()
+          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v);
+          (match Lbsa_protocols.Dac.check_validity ~inputs config with
+          | Ok () -> ()
+          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v);
+          match Lbsa_protocols.Dac.check_aborts config with
+          | Ok () -> ()
+          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v
+        end)
+      graph;
+    (* Nontriviality: explore p-solo subgraph from the initial config. *)
+    if !violation = None then begin
+      let rec p_solo config =
+        if !violation <> None then ()
+        else if config.Config.status.(p) = Config.Aborted then
+          note "nontriviality: p aborted in a p-solo run"
+        else if Config.is_running config p then
+          List.iter
+            (fun (c', _) -> p_solo c')
+            (Config.step_branches ~machine ~specs config p)
+      in
+      p_solo (Graph.node graph graph.initial)
+    end;
+    (* Termination (a) and (b) from every node. *)
+    if !violation = None then begin
+      let cache_a = solo_cache () in
+      let caches_b = Hashtbl.create 8 in
+      let accept_a = function
+        | Config.Decided _ | Config.Aborted -> true
+        | Config.Running | Config.Crashed -> false
+      in
+      let accept_b = function
+        | Config.Decided _ -> true
+        | Config.Running | Config.Aborted | Config.Crashed -> false
+      in
+      Graph.iter_nodes
+        (fun id config ->
+          if !violation = None then begin
+            if
+              Config.is_running config p
+              && not (solo_halts ~cache:cache_a ~machine ~specs ~pid:p ~accept:accept_a config)
+            then note "node %d: termination (a) fails for p" id;
+            List.iter
+              (fun q ->
+                if !violation = None && q <> p then begin
+                  let cache =
+                    match Hashtbl.find_opt caches_b q with
+                    | Some c -> c
+                    | None ->
+                      let c = solo_cache () in
+                      Hashtbl.replace caches_b q c;
+                      c
+                  in
+                  if not (solo_halts ~cache ~machine ~specs ~pid:q ~accept:accept_b config)
+                  then note "node %d: termination (b) fails for q%d" id q
+                end)
+              (Config.running config)
+          end)
+        graph
+    end;
+    match !violation with
+    | Some msg -> fail ~inputs ~states msg
+    | None -> pass ~inputs ~states
+
+(* --- counterexample witnesses ----------------------------------------- *)
+
+(* A violating configuration together with the schedule reproducing it:
+   the pids to run, in order, from the initial configuration.  With
+   nondeterministic objects the witness also needs the branch picked at
+   each step; [replay] therefore re-walks the stored edges. *)
+type witness = {
+  schedule : int list;
+  violation : string;
+  config : Config.t;
+}
+
+let pp_witness ppf w =
+  Fmt.pf ppf "@[<v>violation: %s@,schedule: %a@,configuration:@,%a@]"
+    w.violation
+    Fmt.(list ~sep:(any " ") int)
+    w.schedule Config.pp w.config
+
+(* Find the first configuration violating [judge] and extract its
+   schedule.  [judge] returns a violation description, or None. *)
+let find_safety_witness ?(max_states = 200_000) ~machine ~specs ~inputs
+    ~(judge : Config.t -> string option) () =
+  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+  let found = ref None in
+  Graph.iter_nodes
+    (fun id config ->
+      if !found = None then
+        match judge config with
+        | Some violation -> found := Some (id, config, violation)
+        | None -> ())
+    graph;
+  match !found with
+  | None -> None
+  | Some (id, config, violation) ->
+    let path = Option.get (Graph.shortest_path graph ~target:id) in
+    Some { schedule = Graph.schedule_of_path path; violation; config }
+
+let consensus_witness ?max_states ~machine ~specs ~inputs () =
+  let judge config =
+    match Lbsa_protocols.Consensus_task.check_safety ~inputs config with
+    | Ok () -> None
+    | Error v -> Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v)
+  in
+  find_safety_witness ?max_states ~machine ~specs ~inputs ~judge ()
+
+let dac_witness ?max_states ~machine ~specs ~inputs () =
+  let judge config =
+    let ( <|> ) a b = if a = None then b else a in
+    let of_result = function
+      | Ok () -> None
+      | Error v -> Some (Fmt.str "%a" Lbsa_protocols.Dac.pp_violation v)
+    in
+    of_result (Lbsa_protocols.Dac.check_agreement config)
+    <|> of_result (Lbsa_protocols.Dac.check_validity ~inputs config)
+    <|> of_result (Lbsa_protocols.Dac.check_aborts config)
+  in
+  find_safety_witness ?max_states ~machine ~specs ~inputs ~judge ()
+
+(* Check a task over a whole family of input vectors; returns the first
+   failing verdict or the last passing one. *)
+let for_all_inputs check inputs_list =
+  if inputs_list = [] then invalid_arg "Solvability.for_all_inputs: no inputs";
+  let rec go last = function
+    | [] -> Option.get last
+    | inputs :: rest ->
+      let v = check inputs in
+      if v.ok then go (Some v) rest else v
+  in
+  go None inputs_list

@@ -1,0 +1,114 @@
+(** Exhaustive task verification: does a protocol solve a task for every
+    schedule and every resolution of object nondeterminism?  Safety is
+    checked at every reachable configuration; liveness reduces to
+    structural properties of the finite configuration graph. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type verdict = {
+  ok : bool;
+  inputs : Value.t array;
+  states : int;
+  failure : string option;
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val cycle_with_step_of : Graph.t -> int -> int option
+(** A node on a reachable cycle containing a step of the given process —
+    a wait-freedom violation witness. *)
+
+val any_cycle : Graph.t -> int option
+
+type solo_cache
+
+val solo_cache : unit -> solo_cache
+
+val solo_halts :
+  ?cache:solo_cache ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  pid:int ->
+  accept:(Config.status -> bool) ->
+  Config.t ->
+  bool
+(** Do all solo runs of [pid] from this configuration halt it with a
+    status satisfying [accept]? Explores every nondeterministic branch;
+    detects solo cycles. *)
+
+val check_consensus :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  unit ->
+  verdict
+(** Agreement + validity + no-abort at every node, wait-freedom of every
+    process. *)
+
+val check_kset :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  k:int ->
+  inputs:Value.t array ->
+  unit ->
+  verdict
+
+val check_dac :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  unit ->
+  verdict
+(** The four n-DAC properties of Section 4, with the paper's weak
+    termination: (a) p-solo runs halt p from every reachable node;
+    (b) q-solo runs decide from every reachable node; nontriviality via
+    exhaustive p-solo exploration from the initial configuration. *)
+
+(** {2 Counterexample witnesses} *)
+
+type witness = {
+  schedule : int list;
+      (** pids to run in order from the initial configuration (replay
+          with [Scheduler.fixed]; nondeterministic branches need a
+          matching adversary) *)
+  violation : string;
+  config : Config.t;
+}
+
+val pp_witness : Format.formatter -> witness -> unit
+
+val find_safety_witness :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  judge:(Config.t -> string option) ->
+  unit ->
+  witness option
+(** The first configuration violating [judge], with the shortest
+    schedule reaching it. *)
+
+val consensus_witness :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  unit ->
+  witness option
+
+val dac_witness :
+  ?max_states:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  unit ->
+  witness option
+
+val for_all_inputs :
+  (Value.t array -> verdict) -> Value.t array list -> verdict
+(** First failing verdict over a family of input vectors, or the last
+    passing one. *)

@@ -1,0 +1,120 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Valence (Fischer-Lynch-Paterson, as used throughout Sections 4-5):
+   a configuration C is v-valent if no configuration reachable from C
+   contains a decision different from v; bivalent if both 0 and 1 are
+   reachable decisions.
+
+   We compute, for every node of a configuration graph, the set of values
+   that appear as decisions in configurations reachable from it (plus
+   whether an abort is reachable), by a fixpoint over the graph — the
+   graph may have cycles (spinning protocols), so a plain DFS does not
+   suffice. *)
+
+module VSet = Set.Make (Value)
+
+type classification =
+  | Valent of Value.t  (* exactly one reachable decision value *)
+  | Bivalent  (* at least two reachable decision values *)
+  | Undecided  (* no reachable decision at all *)
+
+type analysis = {
+  graph : Graph.t;
+  decisions : VSet.t array;  (* reachable decision values per node *)
+  abort_reachable : bool array;
+}
+
+let local_decisions (config : Config.t) =
+  List.fold_left (fun s v -> VSet.add v s) VSet.empty (Config.decisions config)
+
+let local_abort (config : Config.t) =
+  Array.exists (fun st -> st = Config.Aborted) config.status
+
+(* Fixpoint propagation: ds(C) = decided(C) ∪ ⋃_{C -> C'} ds(C').
+   We iterate a worklist until stable; each node's set only grows and is
+   bounded by the (finite) decision domain, so this terminates. *)
+let analyze (graph : Graph.t) =
+  let n = Graph.n_nodes graph in
+  let decisions = Array.init n (fun id -> local_decisions (Graph.node graph id)) in
+  let abort_reachable =
+    Array.init n (fun id -> local_abort (Graph.node graph id))
+  in
+  (* Reverse edges once for backward propagation. *)
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun u es ->
+      List.iter
+        (fun (e : Graph.edge) -> preds.(e.target) <- u :: preds.(e.target))
+        es)
+    graph.edges;
+  let queue = Queue.create () in
+  for id = 0 to n - 1 do
+    Queue.add id queue
+  done;
+  let in_queue = Array.make n true in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    (* Recompute u from its successors; if it grew, reschedule preds. *)
+    let d = ref decisions.(u) in
+    let a = ref abort_reachable.(u) in
+    List.iter
+      (fun (e : Graph.edge) ->
+        d := VSet.union !d decisions.(e.target);
+        a := !a || abort_reachable.(e.target))
+      (Graph.out_edges graph u);
+    if (not (VSet.equal !d decisions.(u))) || !a <> abort_reachable.(u) then begin
+      decisions.(u) <- !d;
+      abort_reachable.(u) <- !a;
+      List.iter
+        (fun p ->
+          if not in_queue.(p) then begin
+            in_queue.(p) <- true;
+            Queue.add p queue
+          end)
+        preds.(u)
+    end
+  done;
+  { graph; decisions; abort_reachable }
+
+let decision_set t id = VSet.elements t.decisions.(id)
+
+let classify t id =
+  match VSet.elements t.decisions.(id) with
+  | [] -> Undecided
+  | [ v ] -> Valent v
+  | _ -> Bivalent
+
+let is_bivalent t id = classify t id = Bivalent
+
+let is_valent t id v =
+  match classify t id with
+  | Valent v' -> Value.equal v v'
+  | Bivalent | Undecided -> false
+
+let abort_reachable t id = t.abort_reachable.(id)
+
+let pp_classification ppf = function
+  | Valent v -> Fmt.pf ppf "%a-valent" Value.pp v
+  | Bivalent -> Fmt.string ppf "bivalent"
+  | Undecided -> Fmt.string ppf "undecided"
+
+(* Summary counts over the whole graph, for experiment tables. *)
+type summary = {
+  n_nodes : int;
+  n_bivalent : int;
+  n_univalent : int;
+  n_undecided : int;
+}
+
+let summarize t =
+  let n = Graph.n_nodes t.graph in
+  let biv = ref 0 and uni = ref 0 and und = ref 0 in
+  for id = 0 to n - 1 do
+    match classify t id with
+    | Bivalent -> incr biv
+    | Valent _ -> incr uni
+    | Undecided -> incr und
+  done;
+  { n_nodes = n; n_bivalent = !biv; n_univalent = !uni; n_undecided = !und }

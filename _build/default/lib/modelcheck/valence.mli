@@ -1,0 +1,37 @@
+(** Valence computation (the FLP vocabulary of the paper's proofs):
+    classify every configuration of a graph as v-valent, bivalent or
+    undecided, by a fixpoint over reachable decisions. *)
+
+open Lbsa_spec
+
+module VSet : Set.S with type elt = Value.t
+
+type classification =
+  | Valent of Value.t
+  | Bivalent
+  | Undecided  (** no decision reachable at all *)
+
+type analysis
+
+val analyze : Graph.t -> analysis
+
+val decision_set : analysis -> int -> Value.t list
+(** All decision values reachable from the node. *)
+
+val classify : analysis -> int -> classification
+val is_bivalent : analysis -> int -> bool
+val is_valent : analysis -> int -> Value.t -> bool
+
+val abort_reachable : analysis -> int -> bool
+(** Is a configuration with an aborted process reachable from here? *)
+
+val pp_classification : Format.formatter -> classification -> unit
+
+type summary = {
+  n_nodes : int;
+  n_bivalent : int;
+  n_univalent : int;
+  n_undecided : int;
+}
+
+val summarize : analysis -> summary

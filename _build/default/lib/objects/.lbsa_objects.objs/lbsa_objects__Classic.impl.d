@@ -1,0 +1,1 @@
+lib/objects/classic.ml: Fmt Lbsa_spec List Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/objects/classic.mli: Lbsa_spec Obj_spec Op Value

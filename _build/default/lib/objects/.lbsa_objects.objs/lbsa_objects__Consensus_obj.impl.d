@@ -1,0 +1,1 @@
+lib/objects/consensus_obj.ml: Fmt Lbsa_spec Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/objects/consensus_obj.mli: Lbsa_spec

@@ -1,0 +1,1 @@
+lib/objects/nk_sa.ml: Fmt Lbsa_spec List Obj_spec Op Set_ Value

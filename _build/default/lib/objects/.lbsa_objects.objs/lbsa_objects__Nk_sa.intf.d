@@ -1,0 +1,1 @@
+lib/objects/nk_sa.mli: Lbsa_spec

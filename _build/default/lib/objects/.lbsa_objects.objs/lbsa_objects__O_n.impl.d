@@ -1,0 +1,1 @@
+lib/objects/o_n.ml: Fmt Lbsa_spec Obj_spec Pac_nm

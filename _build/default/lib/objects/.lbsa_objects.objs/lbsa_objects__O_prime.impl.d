@@ -1,0 +1,1 @@
+lib/objects/o_prime.ml: Fmt Lbsa_spec Lbsa_util List Nk_sa Obj_spec Op Option Value

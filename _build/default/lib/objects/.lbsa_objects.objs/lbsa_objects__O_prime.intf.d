@@ -1,0 +1,1 @@
+lib/objects/o_prime.mli: Lbsa_spec Obj_spec Op Value

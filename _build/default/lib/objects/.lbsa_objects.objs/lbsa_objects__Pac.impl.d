@@ -1,0 +1,1 @@
+lib/objects/pac.ml: Fmt Lbsa_spec Lbsa_util List Obj_spec Op Shistory Value

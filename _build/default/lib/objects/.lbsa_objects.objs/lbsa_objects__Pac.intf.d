@@ -1,0 +1,1 @@
+lib/objects/pac.mli: Lbsa_spec Obj_spec Op Shistory Value

@@ -1,0 +1,1 @@
+lib/objects/pac_nm.ml: Consensus_obj Fmt Lbsa_spec Obj_spec Op Pac Value

@@ -1,0 +1,1 @@
+lib/objects/pac_nm.mli: Lbsa_spec Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/objects/register.ml: Lbsa_spec Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/objects/registry.ml: Classic Consensus_obj Fmt Lbsa_spec Nk_sa O_n O_prime Obj_spec Pac Pac_nm Register Sa2 String Value

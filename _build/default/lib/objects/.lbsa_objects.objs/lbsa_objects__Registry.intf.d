@@ -1,0 +1,1 @@
+lib/objects/registry.mli: Lbsa_spec

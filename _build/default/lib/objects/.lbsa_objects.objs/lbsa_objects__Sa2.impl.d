@@ -1,0 +1,1 @@
+lib/objects/sa2.ml: Lbsa_spec List Obj_spec Op Value

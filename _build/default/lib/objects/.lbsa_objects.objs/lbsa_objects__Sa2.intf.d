@@ -1,0 +1,1 @@
+lib/objects/sa2.mli: Lbsa_spec

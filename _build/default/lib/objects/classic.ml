@@ -1,0 +1,175 @@
+open Lbsa_spec
+
+(* Classic shared objects used to situate the paper's objects in the
+   consensus hierarchy (Herlihy 1991):
+
+   - test-and-set, fetch-and-add, swap, FIFO queue: consensus number 2;
+   - compare-and-swap, sticky register: consensus number ∞;
+   - registers: consensus number 1.
+
+   All are deterministic. *)
+
+let det next response : Obj_spec.branch list = [ { next; response } ]
+
+module Test_and_set = struct
+  let test_and_set = Op.make "test_and_set" []
+  let reset = Op.make "reset" []
+  let read = Op.make "read" []
+
+  let spec () =
+    let step state (op : Op.t) =
+      match (op.name, op.args) with
+      | "test_and_set", [] -> det (Value.Bool true) state
+      | "reset", [] -> det (Value.Bool false) Value.Unit
+      | "read", [] -> det state state
+      | _ -> Obj_spec.unknown "test-and-set" op
+    in
+    Obj_spec.make ~name:"test-and-set" ~initial:(Value.Bool false) ~step ()
+end
+
+module Fetch_and_add = struct
+  let fetch_and_add delta = Op.make "fetch_and_add" [ Value.Int delta ]
+  let read = Op.make "read" []
+
+  let spec ?(init = 0) () =
+    let step state (op : Op.t) =
+      match (op.name, op.args, state) with
+      | "fetch_and_add", [ Value.Int d ], Value.Int cur ->
+        det (Value.Int (cur + d)) state
+      | "read", [], _ -> det state state
+      | _ -> Obj_spec.unknown "fetch-and-add" op
+    in
+    Obj_spec.make ~name:"fetch-and-add" ~initial:(Value.Int init) ~step ()
+end
+
+module Swap = struct
+  let swap v = Op.make "swap" [ v ]
+
+  let spec ?(init = Value.Nil) () =
+    let step state (op : Op.t) =
+      match (op.name, op.args) with
+      | "swap", [ v ] -> det v state
+      | _ -> Obj_spec.unknown "swap" op
+    in
+    Obj_spec.make ~name:"swap" ~initial:init ~step ()
+end
+
+module Queue_obj = struct
+  let enqueue v = Op.make "enqueue" [ v ]
+  let dequeue = Op.make "dequeue" []
+
+  let spec ?(init = []) () =
+    let step state (op : Op.t) =
+      match (op.name, op.args, state) with
+      | "enqueue", [ v ], Value.List items ->
+        det (Value.List (items @ [ v ])) Value.Unit
+      | "dequeue", [], Value.List [] -> det state Value.Nil
+      | "dequeue", [], Value.List (front :: rest) ->
+        det (Value.List rest) front
+      | _ -> Obj_spec.unknown "queue" op
+    in
+    Obj_spec.make ~name:"queue" ~initial:(Value.List init) ~step ()
+end
+
+module Compare_and_swap = struct
+  let compare_and_swap ~expected ~desired =
+    Op.make "compare_and_swap" [ expected; desired ]
+
+  let read = Op.make "read" []
+
+  let spec ?(init = Value.Nil) () =
+    let step state (op : Op.t) =
+      match (op.name, op.args) with
+      | "compare_and_swap", [ expected; desired ] ->
+        if Value.equal state expected then det desired (Value.Bool true)
+        else det state (Value.Bool false)
+      | "read", [] -> det state state
+      | _ -> Obj_spec.unknown "compare-and-swap" op
+    in
+    Obj_spec.make ~name:"compare-and-swap" ~initial:init ~step ()
+end
+
+module Sticky = struct
+  (* A sticky register: the first write sticks; every write returns the
+     stuck value.  Solves consensus among any number of processes. *)
+  let write v = Op.make "write" [ v ]
+  let read = Op.make "read" []
+
+  let spec () =
+    let step state (op : Op.t) =
+      match (op.name, op.args) with
+      | "write", [ v ] ->
+        let stuck = if Value.is_nil state then v else state in
+        det stuck stuck
+      | "read", [] -> det state state
+      | _ -> Obj_spec.unknown "sticky" op
+    in
+    Obj_spec.make ~name:"sticky" ~initial:Value.Nil ~step ()
+end
+
+module Monotone_snapshot = struct
+  (* An m-component snapshot whose cells only move forward: each cell
+     holds Pair(Int t, payload) and an update with a smaller-or-equal
+     step counter is a no-op.  Single-writer monotone cells are
+     implementable from plain registers by tagging (standard); we keep
+     the object primitive so the BG simulation stays focused on the
+     simulation itself.  Consensus number 1. *)
+  let update i ~step v = Op.make "update" [ Value.Int i; Value.Int step; v ]
+  let scan = Op.make "scan" []
+
+  let initial ~m = Value.List (List.init m (fun _ -> Value.Nil))
+
+  let step_of = function
+    | Value.Pair (Value.Int t, _) -> t
+    | Value.Nil -> -1
+    | v -> invalid_arg (Fmt.str "monotone-snapshot: bad cell %a" Value.pp v)
+
+  let spec ~m () =
+    if m < 1 then invalid_arg "Monotone_snapshot.spec: m must be >= 1";
+    let step state (op : Op.t) =
+      match (op.name, op.args, state) with
+      | "update", [ Value.Int i; Value.Int t; v ], Value.List comps ->
+        if i < 0 || i >= m then
+          invalid_arg (Fmt.str "monotone-snapshot: component %d out of range" i)
+        else
+          let comps' =
+            List.mapi
+              (fun j c ->
+                if j = i && t > step_of c then Value.Pair (Value.Int t, v)
+                else c)
+              comps
+          in
+          det (Value.List comps') Value.Unit
+      | "scan", [], _ -> det state state
+      | _ -> Obj_spec.unknown "monotone-snapshot" op
+    in
+    Obj_spec.make
+      ~name:(Fmt.str "%d-monotone-snapshot" m)
+      ~initial:(initial ~m) ~step ()
+end
+
+module Snapshot = struct
+  (* An m-component atomic snapshot as a primitive object: update(i, v)
+     writes component i; scan() returns the whole vector atomically.
+     Consensus number 1; also built from registers in Snapshot_impl. *)
+  let update i v = Op.make "update" [ Value.Int i; v ]
+  let scan = Op.make "scan" []
+
+  let initial ~m = Value.List (List.init m (fun _ -> Value.Nil))
+
+  let spec ~m () =
+    if m < 1 then invalid_arg "Snapshot.spec: m must be >= 1";
+    let step state (op : Op.t) =
+      match (op.name, op.args, state) with
+      | "update", [ Value.Int i; v ], Value.List comps ->
+        if i < 0 || i >= m then
+          invalid_arg (Fmt.str "snapshot: component %d out of range" i)
+        else
+          det
+            (Value.List (List.mapi (fun j c -> if j = i then v else c) comps))
+            Value.Unit
+      | "scan", [], _ -> det state state
+      | _ -> Obj_spec.unknown "snapshot" op
+    in
+    Obj_spec.make ~name:(Fmt.str "%d-snapshot" m) ~initial:(initial ~m) ~step ()
+end

@@ -1,0 +1,81 @@
+(** Classic deterministic shared objects used to situate the paper's
+    objects in Herlihy's consensus hierarchy. *)
+
+open Lbsa_spec
+
+(** Consensus number 2. *)
+module Test_and_set : sig
+  val test_and_set : Op.t
+  (** Returns the previous bit and sets it. *)
+
+  val reset : Op.t
+  val read : Op.t
+  val spec : unit -> Obj_spec.t
+end
+
+(** Consensus number 2. *)
+module Fetch_and_add : sig
+  val fetch_and_add : int -> Op.t
+  (** Returns the previous value and adds the delta. *)
+
+  val read : Op.t
+  val spec : ?init:int -> unit -> Obj_spec.t
+end
+
+(** Consensus number 2. *)
+module Swap : sig
+  val swap : Value.t -> Op.t
+  (** Returns the previous value and installs the new one. *)
+
+  val spec : ?init:Value.t -> unit -> Obj_spec.t
+end
+
+(** FIFO queue; consensus number 2. [dequeue] on empty returns [Nil].
+    [init] pre-loads the queue (used by Herlihy's consensus-from-queue
+    construction). *)
+module Queue_obj : sig
+  val enqueue : Value.t -> Op.t
+  val dequeue : Op.t
+  val spec : ?init:Value.t list -> unit -> Obj_spec.t
+end
+
+(** Consensus number ∞. *)
+module Compare_and_swap : sig
+  val compare_and_swap : expected:Value.t -> desired:Value.t -> Op.t
+  (** Returns [Bool true] and installs [desired] iff the current value
+      equals [expected]. *)
+
+  val read : Op.t
+  val spec : ?init:Value.t -> unit -> Obj_spec.t
+end
+
+(** Sticky register: the first write sticks, every write returns the
+    stuck value. Consensus number ∞. *)
+module Sticky : sig
+  val write : Value.t -> Op.t
+  val read : Op.t
+  val spec : unit -> Obj_spec.t
+end
+
+(** m-component snapshot with forward-only cells: each cell holds
+    [Pair (Int step, payload)] and updates with a non-increasing step
+    counter are no-ops.  Used by the BG simulation; consensus
+    number 1. *)
+module Monotone_snapshot : sig
+  val update : int -> step:int -> Value.t -> Op.t
+  val scan : Op.t
+  val initial : m:int -> Value.t
+  val step_of : Value.t -> int
+  (** Step counter of a cell ([-1] for [Nil]). *)
+
+  val spec : m:int -> unit -> Obj_spec.t
+end
+
+(** m-component atomic snapshot as a primitive object; consensus
+    number 1. *)
+module Snapshot : sig
+  val update : int -> Value.t -> Op.t
+  val scan : Op.t
+  val initial : m:int -> Value.t
+  val spec : m:int -> unit -> Obj_spec.t
+end

@@ -1,0 +1,27 @@
+open Lbsa_spec
+
+(* The m-consensus object, in the deterministic linearizable formulation
+   the paper cites from Jayanti and Qadri (footnote 6): the first m
+   propose operations all receive the value of the first propose
+   operation; every later propose operation receives ⊥.
+
+   State: Pair (first-proposed-value-or-NIL, number-of-proposes). *)
+
+let propose v = Op.make "propose" [ v ]
+
+let initial = Value.(Pair (Nil, Int 0))
+
+let det next response : Obj_spec.branch list = [ { next; response } ]
+
+let spec ~m () =
+  if m < 1 then invalid_arg "Consensus_obj.spec: m must be >= 1";
+  let step state (op : Op.t) =
+    match (op.name, op.args, state) with
+    | "propose", [ v ], Value.Pair (first, Value.Int count) ->
+      if count >= m then det state Value.Bot
+      else
+        let first' = if Value.is_nil first then v else first in
+        det (Value.Pair (first', Value.Int (count + 1))) first'
+    | _ -> Obj_spec.unknown "consensus" op
+  in
+  Obj_spec.make ~name:(Fmt.str "%d-consensus" m) ~initial ~step ()

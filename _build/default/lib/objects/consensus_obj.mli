@@ -1,0 +1,11 @@
+(** The deterministic m-consensus object (Jayanti / Qadri formulation,
+    footnote 6 of the paper): the first m [propose] operations return the
+    first proposed value; all later ones return ⊥. *)
+
+val propose : Lbsa_spec.Value.t -> Lbsa_spec.Op.t
+
+val initial : Lbsa_spec.Value.t
+
+val spec : m:int -> unit -> Lbsa_spec.Obj_spec.t
+(** [spec ~m ()] is an m-consensus object. Raises [Invalid_argument] when
+    [m < 1]. *)

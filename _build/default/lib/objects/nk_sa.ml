@@ -1,0 +1,49 @@
+open Lbsa_spec
+
+(* The (n,k)-SA object: allows up to n processes to solve the k-set
+   agreement problem (Borowsky-Gafni / Chaudhuri-Reiners, as used in
+   Section 6).  Each of n PROPOSE(v) operations receives some proposed
+   value, with at most k distinct values returned overall; any propose
+   operation beyond the n-th receives ⊥.
+
+   We model "an arbitrary solution to the (n,k)-set agreement problem" by
+   maximal adversarial nondeterminism subject to the problem's
+   constraints:
+
+   - validity: every response is a value proposed so far;
+   - k-agreement: at most k distinct responses ever;
+   - port bound: at most n non-⊥ responses.
+
+   State: List [proposed-set; returned-set; Int count]. *)
+
+let propose v = Op.make "propose" [ v ]
+
+let initial = Value.(List [ Set_.empty; Set_.empty; Int 0 ])
+
+let spec ~n ~k () =
+  if n < 1 || k < 1 then invalid_arg "Nk_sa.spec: n and k must be >= 1";
+  let step state (op : Op.t) =
+    match (op.name, op.args, state) with
+    | "propose", [ v ], Value.List [ proposed; returned; Value.Int count ] ->
+      if count >= n then
+        [ ({ next = state; response = Value.Bot } : Obj_spec.branch) ]
+      else
+        let proposed' = Value.Set_.add v proposed in
+        let candidates =
+          if Value.Set_.cardinal returned < k then
+            Value.Set_.elements proposed'
+          else Value.Set_.elements returned
+        in
+        List.map
+          (fun r : Obj_spec.branch ->
+            {
+              next =
+                Value.(
+                  List
+                    [ proposed'; Set_.add r returned; Int (count + 1) ]);
+              response = r;
+            })
+          candidates
+    | _ -> Obj_spec.unknown "(n,k)-SA" op
+  in
+  Obj_spec.make ~name:(Fmt.str "(%d,%d)-SA" n k) ~initial ~step ()

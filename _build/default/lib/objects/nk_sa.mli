@@ -1,0 +1,12 @@
+(** The (n,k)-SA object: an arbitrary solution to the k-set agreement
+    problem among n processes (Section 6 of the paper).
+
+    Up to n [propose] operations each receive some value proposed so far,
+    with at most k distinct responses overall; later operations receive
+    ⊥.  Maximally nondeterministic subject to validity and k-agreement. *)
+
+val propose : Lbsa_spec.Value.t -> Lbsa_spec.Op.t
+val initial : Lbsa_spec.Value.t
+
+val spec : n:int -> k:int -> unit -> Lbsa_spec.Obj_spec.t
+(** Raises [Invalid_argument] when [n < 1] or [k < 1]. *)

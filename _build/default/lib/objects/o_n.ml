@@ -1,0 +1,16 @@
+open Lbsa_spec
+
+(* O_n, the deterministic witness object of the main theorem
+   (Definition 6.1): O_n is the (n+1, n)-PAC object.  By Observation 6.2
+   it has consensus number n; by Observation 6.3 it cannot be implemented
+   from n-consensus objects, registers and 2-SA objects. *)
+
+let spec ~n () =
+  if n < 2 then invalid_arg "O_n.spec: the paper defines O_n for n >= 2";
+  let inner = Pac_nm.spec ~n:(n + 1) ~m:n () in
+  { inner with Obj_spec.name = Fmt.str "O_%d" n }
+
+let propose_c = Pac_nm.propose_c
+let propose_p = Pac_nm.propose_p
+let decide_p = Pac_nm.decide_p
+let initial ~n = Pac_nm.initial ~n:(n + 1)

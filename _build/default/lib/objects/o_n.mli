@@ -1,0 +1,13 @@
+(** O_n = the (n+1, n)-PAC object (Definition 6.1), the deterministic
+    object witnessing that set agreement power does not determine
+    computational power.  Defined for n >= 2. *)
+
+open Lbsa_spec
+
+val spec : n:int -> unit -> Obj_spec.t
+(** Raises [Invalid_argument] when [n < 2]. *)
+
+val propose_c : Value.t -> Op.t
+val propose_p : Value.t -> int -> Op.t
+val decide_p : int -> Op.t
+val initial : n:int -> Value.t

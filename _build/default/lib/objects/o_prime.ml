@@ -1,0 +1,67 @@
+open Lbsa_spec
+
+(* O'_n, the companion object of Section 6: the bundle of (n_k, k)-SA
+   objects, one per component of the set agreement power
+   (n_1, n_2, ..., n_k, ...) of O_n.  PROPOSE(v, k) redirects to the
+   (n_k, k)-SA member.
+
+   The paper's sequence is infinite and has no closed form; its
+   construction, and all the theorems we check, are uniform in the
+   sequence, so the implementation is parameterized by a finite prefix.
+   [default_power ~n ~max_k] supplies the prefix used throughout the
+   repository: n_1 = n (Observation 6.2: O_n has consensus number n) and
+   n_k = k*n for k >= 2 — the lower bound obtained from the n-consensus
+   facet of O_n by the partition protocol (Kset_protocols.partition).
+
+   State: Assoc map k -> (n_k, k)-SA state. *)
+
+type power = int list
+(* power.(k-1) = n_k; length = number of supported levels. *)
+
+let default_power ~n ~max_k =
+  List.map (fun k -> if k = 1 then n else k * n) (Lbsa_util.Listx.range 1 max_k)
+
+let propose v k = Op.make "propose" [ v; Value.Int k ]
+
+let members ~power =
+  List.mapi (fun idx nk -> (idx + 1, Nk_sa.spec ~n:nk ~k:(idx + 1) ())) power
+
+let initial ~power =
+  Value.Assoc.of_bindings
+    (List.map (fun (k, _) -> (Value.Int k, Nk_sa.initial)) (members ~power))
+
+let spec ?name ~power () =
+  if power = [] then invalid_arg "O_prime.spec: empty power sequence";
+  List.iteri
+    (fun idx nk ->
+      if nk < 1 then
+        invalid_arg (Fmt.str "O_prime.spec: n_%d must be >= 1" (idx + 1)))
+    power;
+  let members = members ~power in
+  let step state (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v; Value.Int k ] -> (
+      match List.assoc_opt k members with
+      | None ->
+        invalid_arg
+          (Fmt.str "O'_n: no (n_k,k)-SA member for k = %d (max %d)" k
+             (List.length power))
+      | Some sa ->
+        let sub =
+          Value.Assoc.get_or state (Value.Int k) ~default:Nk_sa.initial
+        in
+        List.map
+          (fun (b : Obj_spec.branch) : Obj_spec.branch ->
+            {
+              next = Value.Assoc.set state (Value.Int k) b.next;
+              response = b.response;
+            })
+          (Obj_spec.branches sa sub (Nk_sa.propose v)))
+    | _ -> Obj_spec.unknown "O'_n" op
+  in
+  let name = Option.value name ~default:"O'_n" in
+  Obj_spec.make ~name ~initial:(initial ~power) ~step ()
+
+let spec_for ~n ~max_k () =
+  let power = default_power ~n ~max_k in
+  spec ~name:(Fmt.str "O'_%d" n) ~power ()

@@ -1,0 +1,30 @@
+(** O'_n, the companion object of Section 6: a bundle of (n_k, k)-SA
+    objects, one per component of the set agreement power of O_n.
+    [propose v k] redirects to the (n_k, k)-SA member.
+
+    The paper's power sequence is infinite with no closed form; the
+    construction is uniform in the sequence, so this module is
+    parameterized by a finite prefix. *)
+
+open Lbsa_spec
+
+type power = int list
+(** [power] lists n_1, n_2, ..., n_K. *)
+
+val default_power : n:int -> max_k:int -> power
+(** The prefix used throughout the repository: n_1 = n (Observation 6.2)
+    and n_k = k*n for k >= 2 (the lower bound from the n-consensus facet
+    via the partition protocol). *)
+
+val propose : Value.t -> int -> Op.t
+(** [propose v k] — PROPOSE(v, k). *)
+
+val members : power:power -> (int * Obj_spec.t) list
+(** The (n_k, k)-SA member specifications, keyed by k. *)
+
+val initial : power:power -> Value.t
+
+val spec : ?name:string -> power:power -> unit -> Obj_spec.t
+
+val spec_for : n:int -> max_k:int -> unit -> Obj_spec.t
+(** [spec_for ~n ~max_k ()] = [spec ~power:(default_power ~n ~max_k) ()]. *)

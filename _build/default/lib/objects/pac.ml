@@ -1,0 +1,116 @@
+open Lbsa_spec
+
+(* The n-pseudo-abortable-consensus (n-PAC) object — Algorithm 1 of the
+   paper, transcribed line by line.
+
+   The object simulates an n-DAC object deterministically: a process
+   simulates PROPOSE(v) on port i of the n-DAC by performing
+   PROPOSE(v, i) and then DECIDE(i) on the n-PAC.  The object becomes
+   permanently *upset* exactly when its operation history is not legal
+   (Lemma 3.2): a DECIDE(i) without a pending PROPOSE(-, i), or two
+   PROPOSE(-, i) without an intervening DECIDE(i).
+
+   State components (mirroring the paper):
+   - upset : bool                       initially false
+   - V     : array [1..n] of value      initially all NIL
+   - L     : label of last propose      initially NIL
+   - val   : the consensus value        initially NIL
+
+   Encoded as List [Bool upset; V-map; L; val]. *)
+
+let propose v i = Op.make "propose" [ v; Value.Int i ]
+let decide i = Op.make "decide" [ Value.Int i ]
+
+type view = { upset : bool; v : Value.t; l : Value.t; value : Value.t }
+
+let view state =
+  match state with
+  | Value.List [ Value.Bool upset; v; l; value ] -> { upset; v; l; value }
+  | _ -> invalid_arg "Pac.view: malformed n-PAC state"
+
+let encode { upset; v; l; value } =
+  Value.List [ Value.Bool upset; v; l; value ]
+
+let initial ~n =
+  let v =
+    Value.Assoc.of_bindings
+      (List.map (fun i -> (Value.Int i, Value.Nil)) (Lbsa_util.Listx.range 1 n))
+  in
+  encode { upset = false; v; l = Value.Nil; value = Value.Nil }
+
+let get_v st i = Value.Assoc.get_or st.v (Value.Int i) ~default:Value.Nil
+let set_v st i x = { st with v = Value.Assoc.set st.v (Value.Int i) x }
+
+let det next response : Obj_spec.branch list = [ { next; response } ]
+
+let check_label ~n op i =
+  if i < 1 || i > n then
+    invalid_arg (Fmt.str "%d-PAC: label out of range in %a" n Op.pp op)
+
+let spec ~n () =
+  if n < 1 then invalid_arg "Pac.spec: n must be >= 1";
+  let step state (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v; Value.Int i ] ->
+      check_label ~n op i;
+      (* Algorithm 1, lines 1-6. *)
+      let st = view state in
+      let st = if not (Value.is_nil (get_v st i)) then { st with upset = true } else st in
+      let st =
+        if not st.upset then set_v { st with l = Value.Int i } i v else st
+      in
+      det (encode st) Value.Done
+    | "decide", [ Value.Int i ] ->
+      check_label ~n op i;
+      (* Algorithm 1, lines 7-17. *)
+      let st = view state in
+      let st = if Value.is_nil (get_v st i) then { st with upset = true } else st in
+      if st.upset then det (encode st) Value.Bot
+      else
+        let st, temp =
+          if not (Value.equal st.l (Value.Int i)) then (st, Value.Bot)
+          else
+            let st =
+              if Value.is_nil st.value then { st with value = get_v st i }
+              else st
+            in
+            (st, st.value)
+        in
+        let st = set_v { st with l = Value.Nil } i Value.Nil in
+        det (encode st) temp
+    | _ -> Obj_spec.unknown "n-PAC" op
+  in
+  Obj_spec.make ~name:(Fmt.str "%d-PAC" n) ~initial:(initial ~n) ~step ()
+
+(* --- Introspection used by the Lemma 3.2-3.4 test suites ------------- *)
+
+let is_upset state = (view state).upset
+let label state = (view state).l
+let consensus_value state = (view state).value
+let v_entry state i = get_v (view state) i
+
+(* Legality of a sequential history of PAC operations (Section 3): for
+   every label i, the subsequence of operations with label i is empty or
+   begins with a propose and alternates propose / decide. *)
+let history_legal ~n (h : Shistory.t) =
+  let label_of (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ _; Value.Int i ] -> i
+    | "decide", [ Value.Int i ] -> i
+    | _ -> invalid_arg "Pac.history_legal: not a PAC operation"
+  in
+  let is_propose (op : Op.t) = op.name = "propose" in
+  let ok_for i =
+    let with_i =
+      List.filter (fun (e : Shistory.event) -> label_of e.op = i) h
+    in
+    let rec alternates expect_propose = function
+      | [] -> true
+      | (e : Shistory.event) :: rest ->
+        if is_propose e.op = expect_propose then
+          alternates (not expect_propose) rest
+        else false
+    in
+    alternates true with_i
+  in
+  List.for_all ok_for (Lbsa_util.Listx.range 1 n)

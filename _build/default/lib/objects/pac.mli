@@ -1,0 +1,36 @@
+(** The n-pseudo-abortable-consensus (n-PAC) object of Section 3,
+    specified exactly as the paper's Algorithm 1.
+
+    Deterministic and non-abortable.  [propose v i] records a pending
+    proposal with label [i] (always answering [Done]); [decide i]
+    completes it, answering the consensus value, or ⊥ when the object is
+    upset or detected an intervening operation.  The object becomes
+    permanently upset exactly when its history is illegal (Lemma 3.2). *)
+
+open Lbsa_spec
+
+val propose : Value.t -> int -> Op.t
+(** [propose v i] — PROPOSE(v, i), with label [1 <= i <= n]. *)
+
+val decide : int -> Op.t
+(** [decide i] — DECIDE(i). *)
+
+val initial : n:int -> Value.t
+
+val spec : n:int -> unit -> Obj_spec.t
+(** Raises [Invalid_argument] when [n < 1]; the step function raises on
+    labels outside [1..n]. *)
+
+(** {2 State introspection (used to check Lemmas 3.2–3.4)} *)
+
+val is_upset : Value.t -> bool
+val label : Value.t -> Value.t
+(** The L component: [Int i] when the last operation was PROPOSE(-, i). *)
+
+val consensus_value : Value.t -> Value.t
+val v_entry : Value.t -> int -> Value.t
+(** The V\[i\] component. *)
+
+val history_legal : n:int -> Shistory.t -> bool
+(** Legality of a PAC history in the sense of Section 3: per label, empty
+    or propose-first strict alternation of propose and decide. *)

@@ -1,0 +1,46 @@
+open Lbsa_spec
+
+(* The (n,m)-PAC object (Section 5): the deterministic combination of an
+   n-PAC object P and an m-consensus object C.
+
+   - PROPOSEC(v)     redirects PROPOSE(v) to C;
+   - PROPOSEP(v, i)  redirects PROPOSE(v, i) to P;
+   - DECIDEP(i)      redirects DECIDE(i) to P.
+
+   State: Pair (P-state, C-state). *)
+
+let propose_c v = Op.make "proposeC" [ v ]
+let propose_p v i = Op.make "proposeP" [ v; Value.Int i ]
+let decide_p i = Op.make "decideP" [ Value.Int i ]
+
+let initial ~n = Value.Pair (Pac.initial ~n, Consensus_obj.initial)
+
+let pac_state = function
+  | Value.Pair (p, _) -> p
+  | _ -> invalid_arg "Pac_nm.pac_state: malformed state"
+
+let consensus_state = function
+  | Value.Pair (_, c) -> c
+  | _ -> invalid_arg "Pac_nm.consensus_state: malformed state"
+
+let spec ~n ~m () =
+  if n < 1 || m < 1 then invalid_arg "Pac_nm.spec: n and m must be >= 1";
+  let pac = Pac.spec ~n () in
+  let cons = Consensus_obj.spec ~m () in
+  let step state (op : Op.t) =
+    match state with
+    | Value.Pair (pstate, cstate) -> (
+      match (op.name, op.args) with
+      | "proposeC", [ v ] ->
+        let cstate', r = Obj_spec.apply_det cons cstate (Consensus_obj.propose v) in
+        [ ({ next = Value.Pair (pstate, cstate'); response = r } : Obj_spec.branch) ]
+      | "proposeP", [ v; Value.Int i ] ->
+        let pstate', r = Obj_spec.apply_det pac pstate (Pac.propose v i) in
+        [ { next = Value.Pair (pstate', cstate); response = r } ]
+      | "decideP", [ Value.Int i ] ->
+        let pstate', r = Obj_spec.apply_det pac pstate (Pac.decide i) in
+        [ { next = Value.Pair (pstate', cstate); response = r } ]
+      | _ -> Obj_spec.unknown "(n,m)-PAC" op)
+    | _ -> invalid_arg "Pac_nm.spec: malformed state"
+  in
+  Obj_spec.make ~name:(Fmt.str "(%d,%d)-PAC" n m) ~initial:(initial ~n) ~step ()

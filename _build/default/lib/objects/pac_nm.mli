@@ -1,0 +1,25 @@
+(** The (n,m)-PAC object (Section 5): deterministic combination of an
+    n-PAC object and an m-consensus object.
+
+    Theorem 5.3: for m >= 2, this object sits at level m of the consensus
+    hierarchy, regardless of n. *)
+
+open Lbsa_spec
+
+val propose_c : Value.t -> Op.t
+(** PROPOSEC(v): redirected to the m-consensus facet. *)
+
+val propose_p : Value.t -> int -> Op.t
+(** PROPOSEP(v, i): redirected to the n-PAC facet. *)
+
+val decide_p : int -> Op.t
+(** DECIDEP(i): redirected to the n-PAC facet. *)
+
+val initial : n:int -> Value.t
+
+val pac_state : Value.t -> Value.t
+(** The n-PAC component of a state (for introspection in tests). *)
+
+val consensus_state : Value.t -> Value.t
+
+val spec : n:int -> m:int -> unit -> Obj_spec.t

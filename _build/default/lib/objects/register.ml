@@ -1,0 +1,18 @@
+open Lbsa_spec
+
+(* Atomic read/write register, the free substrate of the paper's model
+   ("instances of O and registers"). *)
+
+let read = Op.make "read" []
+let write v = Op.make "write" [ v ]
+
+let det next response : Obj_spec.branch list = [ { next; response } ]
+
+let spec ?(init = Value.Nil) () =
+  let step state (op : Op.t) =
+    match (op.name, op.args) with
+    | "read", [] -> det state state
+    | "write", [ v ] -> det v Value.Unit
+    | _ -> Obj_spec.unknown "register" op
+  in
+  Obj_spec.make ~name:"register" ~initial:init ~step ()

@@ -1,0 +1,11 @@
+(** Atomic read/write register.
+
+    Operations: [read] returns the current contents; [write v] replaces
+    them and returns [Unit].  Deterministic. *)
+
+val read : Lbsa_spec.Op.t
+val write : Lbsa_spec.Value.t -> Lbsa_spec.Op.t
+
+val spec : ?init:Lbsa_spec.Value.t -> unit -> Lbsa_spec.Obj_spec.t
+(** [spec ~init ()] is a register initially holding [init]
+    (default [Nil]). *)

@@ -1,0 +1,10 @@
+(** Name-based object construction for the CLI and table-driven
+    experiments. *)
+
+val of_string : string -> Lbsa_spec.Obj_spec.t
+(** Parse an object description such as ["pac:3"], ["cons:2"], ["2sa"],
+    ["on:2"], ["oprime:2:4"].  Raises [Invalid_argument] on unknown
+    syntax. *)
+
+val known : (string * string) list
+(** Supported descriptions with one-line help, for [--help] output. *)

@@ -1,0 +1,31 @@
+open Lbsa_spec
+
+(* The strong 2-set-agreement object (Algorithm 3 of the paper).
+
+   State: a set STATE, initially empty.  PROPOSE(v) adds v to STATE when
+   |STATE| < 2, then returns an *arbitrary* element of STATE.  The
+   arbitrariness is genuine adversarial nondeterminism: [step] returns
+   one branch per element, so the model checker explores every adversary
+   and the simulator resolves with a pluggable choice.
+
+   Consequently the object answers with at most the first two distinct
+   proposed values: it solves the k-set agreement problem among any
+   number of processes for every k >= 2. *)
+
+let propose v = Op.make "propose" [ v ]
+
+let initial = Value.Set_.empty
+
+let spec () =
+  let step state (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v ] ->
+      let state' =
+        if Value.Set_.cardinal state < 2 then Value.Set_.add v state else state
+      in
+      List.map
+        (fun r : Obj_spec.branch -> { next = state'; response = r })
+        (Value.Set_.elements state')
+    | _ -> Obj_spec.unknown "2-SA" op
+  in
+  Obj_spec.make ~name:"2-SA" ~initial ~step ()

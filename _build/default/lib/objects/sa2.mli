@@ -1,0 +1,10 @@
+(** The strong 2-set-agreement (2-SA) object, Algorithm 3 of the paper.
+
+    [propose v] adds [v] to the internal STATE set while it has fewer
+    than two elements, then returns an adversarially chosen element of
+    STATE.  Nondeterministic: the specification exposes one branch per
+    allowed response. *)
+
+val propose : Lbsa_spec.Value.t -> Lbsa_spec.Op.t
+val initial : Lbsa_spec.Value.t
+val spec : unit -> Lbsa_spec.Obj_spec.t

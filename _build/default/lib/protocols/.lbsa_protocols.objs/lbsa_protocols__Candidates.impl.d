@@ -1,0 +1,1 @@
+lib/protocols/candidates.ml: Consensus_obj Fmt Lbsa_objects Lbsa_runtime Lbsa_spec Machine Obj_spec Pac Pac_nm Register Sa2 Value

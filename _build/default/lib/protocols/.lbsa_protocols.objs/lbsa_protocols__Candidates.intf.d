@@ -1,0 +1,1 @@
+lib/protocols/candidates.mli: Lbsa_runtime Lbsa_spec Machine Obj_spec

@@ -1,0 +1,1 @@
+lib/protocols/consensus_protocols.ml: Classic Consensus_obj Fmt Lbsa_objects Lbsa_runtime Lbsa_spec Machine O_n O_prime Obj_spec Pac_nm Register Value

@@ -1,0 +1,1 @@
+lib/protocols/consensus_protocols.mli: Lbsa_objects Lbsa_runtime Lbsa_spec Machine O_prime Obj_spec Op Value

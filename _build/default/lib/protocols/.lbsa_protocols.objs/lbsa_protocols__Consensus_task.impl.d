@@ -1,0 +1,1 @@
+lib/protocols/consensus_task.ml: Array Config Executor Fmt Lbsa_runtime Lbsa_spec List Value

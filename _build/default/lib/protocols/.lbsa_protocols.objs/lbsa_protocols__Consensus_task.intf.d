@@ -1,0 +1,1 @@
+lib/protocols/consensus_task.mli: Config Executor Format Lbsa_runtime Lbsa_spec Value

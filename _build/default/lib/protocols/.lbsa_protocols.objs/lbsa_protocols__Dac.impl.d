@@ -1,0 +1,1 @@
+lib/protocols/dac.ml: Array Config Consensus_task Executor Fmt Lbsa_runtime Lbsa_spec Lbsa_util List Trace Value

@@ -1,0 +1,1 @@
+lib/protocols/dac.mli: Config Format Lbsa_runtime Lbsa_spec Machine Obj_spec Trace Value

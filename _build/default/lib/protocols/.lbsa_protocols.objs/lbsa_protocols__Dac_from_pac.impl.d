@@ -1,0 +1,1 @@
+lib/protocols/dac_from_pac.ml: Dac Fmt Lbsa_objects Lbsa_runtime Lbsa_spec Machine O_n Obj_spec Pac Pac_nm Value

@@ -1,0 +1,1 @@
+lib/protocols/dac_from_pac.mli: Lbsa_runtime Lbsa_spec Machine Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/protocols/kset_protocols.ml: Array Consensus_obj Consensus_protocols Fmt Lbsa_objects Lbsa_runtime Lbsa_spec List Machine Nk_sa O_n O_prime Obj_spec Pac_nm Sa2 Value

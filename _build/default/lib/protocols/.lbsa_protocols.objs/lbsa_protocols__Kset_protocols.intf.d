@@ -1,0 +1,1 @@
+lib/protocols/kset_protocols.mli: Lbsa_objects Lbsa_runtime Lbsa_spec Machine O_prime Obj_spec

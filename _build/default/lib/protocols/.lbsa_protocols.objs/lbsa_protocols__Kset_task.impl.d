@@ -1,0 +1,1 @@
+lib/protocols/kset_task.ml: Array Config Executor Fmt Lbsa_runtime Lbsa_spec Lbsa_util List Value

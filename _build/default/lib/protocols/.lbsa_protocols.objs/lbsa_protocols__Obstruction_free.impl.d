@@ -1,0 +1,1 @@
+lib/protocols/obstruction_free.ml: Array Fmt Lbsa_objects Lbsa_runtime Lbsa_spec List Machine Obj_spec Register Value

@@ -1,0 +1,1 @@
+lib/protocols/obstruction_free.mli: Lbsa_runtime Lbsa_spec Machine Obj_spec

@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.ml: Array Classic Config Fmt Lbsa_objects Lbsa_runtime Lbsa_spec List Machine Obj_spec Value

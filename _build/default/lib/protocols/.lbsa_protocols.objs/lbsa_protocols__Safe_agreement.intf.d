@@ -1,0 +1,1 @@
+lib/protocols/safe_agreement.mli: Config Lbsa_runtime Lbsa_spec Machine Obj_spec

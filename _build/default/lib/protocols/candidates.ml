@@ -1,0 +1,175 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Natural-but-doomed candidate protocols for the paper's impossible
+   tasks.
+
+   The paper's negative results (Theorems 4.2, 5.2, 7.1 and FLP itself)
+   quantify over *all* algorithms and therefore cannot be established by
+   testing.  What testing can do — and what these candidates are for —
+   is to exhibit the failure, found automatically by the model checker,
+   of each member of a family of natural attempts, with the violating
+   schedule as a counterexample witness.  EXPERIMENTS.md reports exactly
+   that, never claiming a mechanized impossibility proof. *)
+
+(* ------------------------------------------------------------------ *)
+(* FLP candidates: binary consensus among 2 processes, registers only. *)
+
+(* Candidate 1: write your input, read the other's register, decide your
+   own value if the other is silent, otherwise the minimum.  Fails
+   agreement: if p0 reads before p1 writes, p0 decides its own input
+   while p1, seeing both, decides the minimum. *)
+let flp_write_read : Machine.t * Obj_spec.t array =
+  let name = "flp-write-read" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "announcing", v) ->
+      Machine.invoke pid (Register.write v) (fun _ ->
+          Value.(Pair (Sym "reading", v)))
+    | Value.Pair (Value.Sym "reading", v) ->
+      Machine.invoke (1 - pid) Register.read (fun other ->
+          let decision =
+            if Value.is_nil other then v
+            else Value.Int (min (Value.to_int_exn v) (Value.to_int_exn other))
+          in
+          Value.(Pair (Sym "halt", decision)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
+
+(* Candidate 2: write your input, then spin until the other's register is
+   non-NIL, then decide the minimum.  Safe, but not wait-free: a solo run
+   spins forever.  *)
+let flp_spin : Machine.t * Obj_spec.t array =
+  let name = "flp-spin" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "announcing", v) ->
+      Machine.invoke pid (Register.write v) (fun _ ->
+          Value.(Pair (Sym "spinning", v)))
+    | Value.Pair (Value.Sym "spinning", v) ->
+      Machine.invoke (1 - pid) Register.read (fun other ->
+          if Value.is_nil other then Value.(Pair (Sym "spinning", v))
+          else
+            let decision =
+              Value.Int (min (Value.to_int_exn v) (Value.to_int_exn other))
+            in
+            Value.(Pair (Sym "halt", decision)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.2 candidates: the 3-DAC problem from 2-consensus objects,
+   registers and 2-SA objects. *)
+
+(* Funnel through 2-SA (narrowing to at most two values), then 2-consensus
+   to pick one; the process that arrives third at the consensus object
+   receives ⊥ and falls back to its 2-SA value.  Fails agreement: the
+   fallback value need not be the consensus value. *)
+let dac3_sa2_then_cons2 : Machine.t * Obj_spec.t array =
+  let sa = 0 and cons = 1 in
+  let name = "3dac-sa2-then-cons2" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "narrowing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "narrowing", v) ->
+      Machine.invoke sa (Sa2.propose v) (fun w ->
+          Value.(Pair (Sym "agreeing", w)))
+    | Value.Pair (Value.Sym "agreeing", w) ->
+      Machine.invoke cons (Consensus_obj.propose w) (fun r ->
+          if Value.is_bot r then Value.(Pair (Sym "halt", w))
+          else Value.(Pair (Sym "halt", r)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    [| Sa2.spec (); Consensus_obj.spec ~m:2 () |] )
+
+(* Race through an m-consensus object and announce the winner in a
+   register; ⊥-receivers spin on the announcement.  Safe, but
+   Termination (b) fails whenever there are more than m processes: a
+   process that reached the consensus object (m+1)-th can run solo
+   forever if the winners are never scheduled to announce.  This is the
+   natural candidate family for both Theorem 4.2 (m = 2, 3 processes)
+   and Theorem 7.1 (m = n, n+1 processes). *)
+let dac_cons_announce ~m : Machine.t * Obj_spec.t array =
+  let cons = 0 and announce = 1 in
+  let name = Fmt.str "dac-%d-consensus-announce" m in
+  let init ~pid:_ ~input = Value.(Pair (Sym "agreeing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "agreeing", v) ->
+      Machine.invoke cons (Consensus_obj.propose v) (fun r ->
+          if Value.is_bot r then Value.Sym "spinning"
+          else Value.(Pair (Sym "announcing", r)))
+    | Value.Pair (Value.Sym "announcing", r) ->
+      Machine.invoke announce (Register.write r) (fun _ ->
+          Value.(Pair (Sym "halt", r)))
+    | Value.Sym "spinning" ->
+      Machine.invoke announce Register.read (fun a ->
+          if Value.is_nil a then Value.Sym "spinning"
+          else Value.(Pair (Sym "halt", a)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    [| Consensus_obj.spec ~m (); Register.spec () |] )
+
+let dac3_cons2_announce : Machine.t * Obj_spec.t array = dac_cons_announce ~m:2
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2 candidates: (m+1)-consensus from one (n,m)-PAC object.  *)
+
+(* Use the PROPOSEC facet and announce the winner; same failure mode as
+   dac3_cons2_announce (the ⊥-receiver is not wait-free). *)
+let consensus_m1_from_pac_nm ~n ~m : Machine.t * Obj_spec.t array =
+  let pac = 0 and announce = 1 in
+  let name = Fmt.str "%d-consensus-from-(%d,%d)-PAC-announce" (m + 1) n m in
+  let init ~pid:_ ~input = Value.(Pair (Sym "agreeing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "agreeing", v) ->
+      Machine.invoke pac (Pac_nm.propose_c v) (fun r ->
+          if Value.is_bot r then Value.Sym "spinning"
+          else Value.(Pair (Sym "announcing", r)))
+    | Value.Pair (Value.Sym "announcing", r) ->
+      Machine.invoke announce (Register.write r) (fun _ ->
+          Value.(Pair (Sym "halt", r)))
+    | Value.Sym "spinning" ->
+      Machine.invoke announce Register.read (fun a ->
+          if Value.is_nil a then Value.Sym "spinning"
+          else Value.(Pair (Sym "halt", a)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    [| Pac_nm.spec ~n ~m (); Register.spec () |] )
+
+(* Use the PAC facet, Algorithm-2 style, with every process retrying on
+   ⊥: safe, but two processes alternating forever both keep receiving ⊥
+   (livelock), so termination fails under a fair schedule. *)
+let consensus_from_pac_retry ~n ~procs : Machine.t * Obj_spec.t array =
+  if procs > n then invalid_arg "consensus_from_pac_retry: procs > labels";
+  let pac = 0 in
+  let name = Fmt.str "consensus-from-%d-PAC-retry" n in
+  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let delta ~pid state =
+    let label = pid + 1 in
+    match state with
+    | Value.Pair (Value.Sym "proposing", v) ->
+      Machine.invoke pac (Pac.propose v label) (fun _ ->
+          Value.(Pair (Sym "deciding", v)))
+    | Value.Pair (Value.Sym "deciding", v) ->
+      Machine.invoke pac (Pac.decide label) (fun temp ->
+          if Value.is_bot temp then Value.(Pair (Sym "proposing", v))
+          else Value.(Pair (Sym "halt", temp)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, [| Pac.spec ~n () |])

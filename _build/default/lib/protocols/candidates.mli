@@ -1,0 +1,33 @@
+(** Natural-but-doomed candidate protocols for the paper's impossible
+    tasks.  The model checker exhibits each one's failure (a violating
+    schedule or non-terminating fair run); see EXPERIMENTS.md for the
+    epistemic status of these experiments. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val flp_write_read : Machine.t * Obj_spec.t array
+(** 2-process register consensus attempt; fails agreement. *)
+
+val flp_spin : Machine.t * Obj_spec.t array
+(** 2-process register consensus attempt; safe but not wait-free. *)
+
+val dac3_sa2_then_cons2 : Machine.t * Obj_spec.t array
+(** 3-DAC from 2-SA + 2-consensus; fails agreement (Theorem 4.2). *)
+
+val dac_cons_announce : m:int -> Machine.t * Obj_spec.t array
+(** The announce candidate family: DAC from one m-consensus object plus
+    a register; fails Termination (b) whenever more than m processes
+    run it (Theorems 4.2 and 7.1 evidence). *)
+
+val dac3_cons2_announce : Machine.t * Obj_spec.t array
+(** [dac_cons_announce ~m:2] run by 3 processes; fails Termination (b). *)
+
+val consensus_m1_from_pac_nm : n:int -> m:int -> Machine.t * Obj_spec.t array
+(** (m+1)-consensus from one (n,m)-PAC via PROPOSEC + announce; fails
+    wait-free termination (Theorem 5.2). *)
+
+val consensus_from_pac_retry :
+  n:int -> procs:int -> Machine.t * Obj_spec.t array
+(** Consensus from one n-PAC with retry-on-⊥; safe but livelocks under
+    fair alternation. *)

@@ -1,0 +1,165 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Consensus protocols from the paper's object families.
+
+   Each protocol is a one-shot "propose your input, decide the response"
+   machine; which object the proposal goes to is the only difference.
+   These are the positive directions of the hierarchy results:
+
+   - [from_consensus_obj ~m]: m processes solve consensus with one
+     m-consensus object (the definition of consensus number);
+   - [from_pac_nm ~n ~m]: m processes solve consensus with one
+     (n,m)-PAC object through its PROPOSEC facet (Observation 5.1(c),
+     the positive half of Theorem 5.3);
+   - [from_o_n ~n]: n processes solve consensus with one O_n object
+     (Observation 6.2: O_n has consensus number n);
+   - [from_oprime ~power]: n_1 processes solve consensus with one O'_n
+     object through its k = 1 member;
+   - [from_sticky]: any number of processes, one sticky register
+     (consensus number ∞ baseline). *)
+
+let obj_index = 0
+
+let proposing v = Value.(Pair (Sym "proposing", v))
+
+(* Generic one-shot machine: invoke [mk_op input] once, then decide the
+   response (or the reply of [on_response]). *)
+let one_shot ~name ~mk_op ?(on_response = fun ~input:_ r -> r) () : Machine.t =
+  let init ~pid:_ ~input = proposing input in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "proposing", v) ->
+      Machine.invoke obj_index (mk_op v) (fun r ->
+          Value.Pair (Value.Sym "halt", on_response ~input:v r))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name ~init ~delta
+
+let from_consensus_obj ~m =
+  ( one_shot ~name:(Fmt.str "consensus-from-%d-consensus" m)
+      ~mk_op:Consensus_obj.propose (),
+    [| Consensus_obj.spec ~m () |] )
+
+let from_pac_nm ~n ~m =
+  ( one_shot ~name:(Fmt.str "consensus-from-(%d,%d)-PAC" n m)
+      ~mk_op:Pac_nm.propose_c (),
+    [| Pac_nm.spec ~n ~m () |] )
+
+let from_o_n ~n =
+  ( one_shot ~name:(Fmt.str "consensus-from-O_%d" n) ~mk_op:Pac_nm.propose_c (),
+    [| O_n.spec ~n () |] )
+
+let from_oprime ~power =
+  ( one_shot ~name:"consensus-from-O'_n" ~mk_op:(fun v -> O_prime.propose v 1) (),
+    [| O_prime.spec ~power () |] )
+
+let from_sticky () =
+  ( one_shot ~name:"consensus-from-sticky" ~mk_op:Classic.Sticky.write (),
+    [| Classic.Sticky.spec () |] )
+
+(* --- Herlihy's classic constructions: consensus from the level-2 and
+   level-∞ objects.  Each 2-process protocol follows the same
+   announce-then-race shape: write your input to your announce register,
+   play the object once, and decide your own input if you won the race,
+   the rival's announcement otherwise. *)
+
+(* Shared shape for the two-process announce-and-race protocols.  [race]
+   is the racing operation on object 0; [won] interprets its response. *)
+let two_process_race ~name ~object_spec ~race ~won :
+    Machine.t * Obj_spec.t array =
+  let obj = 0 and reg0 = 1 and reg1 = 2 in
+  let reg_of pid = if pid = 0 then reg0 else reg1 in
+  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "announcing", v) ->
+      Machine.invoke (reg_of pid) (Register.write v) (fun _ ->
+          Value.(Pair (Sym "racing", v)))
+    | Value.Pair (Value.Sym "racing", v) ->
+      Machine.invoke obj race (fun r ->
+          if won r then Value.(Pair (Sym "halt", v))
+          else Value.Sym "reading-other")
+    | Value.Sym "reading-other" ->
+      Machine.invoke (reg_of (1 - pid)) Register.read (fun other ->
+          Value.(Pair (Sym "halt", other)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    [| object_spec; Register.spec (); Register.spec () |] )
+
+(* 2-consensus from a queue pre-loaded with a winner token: the first
+   dequeuer wins. *)
+let from_queue () =
+  two_process_race ~name:"consensus-from-queue"
+    ~object_spec:(Classic.Queue_obj.spec ~init:[ Value.Sym "winner" ] ())
+    ~race:Classic.Queue_obj.dequeue
+    ~won:(fun r -> Value.equal r (Value.Sym "winner"))
+
+(* 2-consensus from fetch-and-add: whoever sees the counter at 0 wins. *)
+let from_fetch_and_add () =
+  two_process_race ~name:"consensus-from-fetch-and-add"
+    ~object_spec:(Classic.Fetch_and_add.spec ())
+    ~race:(Classic.Fetch_and_add.fetch_and_add 1)
+    ~won:(fun r -> Value.equal r (Value.Int 0))
+
+(* 2-consensus from swap: whoever swaps the NIL out wins. *)
+let from_swap () =
+  two_process_race ~name:"consensus-from-swap"
+    ~object_spec:(Classic.Swap.spec ())
+    ~race:(Classic.Swap.swap (Value.Sym "taken"))
+    ~won:Value.is_nil
+
+(* n-consensus from compare-and-swap, for any n: CAS your input into the
+   cell; on failure the cell already holds the decision. *)
+let from_compare_and_swap () : Machine.t * Obj_spec.t array =
+  let name = "consensus-from-cas" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "casing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "casing", v) ->
+      Machine.invoke 0
+        (Classic.Compare_and_swap.compare_and_swap ~expected:Value.Nil
+           ~desired:v)
+        (fun won ->
+          match won with
+          | Value.Bool true -> Value.(Pair (Sym "halt", v))
+          | _ -> Value.Sym "reading")
+    | Value.Sym "reading" ->
+      Machine.invoke 0 Classic.Compare_and_swap.read (fun cur ->
+          Value.(Pair (Sym "halt", cur)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, [| Classic.Compare_and_swap.spec () |])
+
+(* Consensus among 2 processes from one test-and-set object and two
+   registers (Herlihy's classic level-2 construction): process pid writes
+   its input to register pid, then plays test-and-set; the winner decides
+   its own input, the loser decides the winner's. *)
+let from_test_and_set () : Machine.t * Obj_spec.t array =
+  let tas = 0 and reg0 = 1 and reg1 = 2 in
+  let reg_of pid = if pid = 0 then reg0 else reg1 in
+  let name = "consensus-from-test-and-set" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "announcing", v) ->
+      Machine.invoke (reg_of pid) (Register.write v) (fun _ ->
+          Value.(Pair (Sym "racing", v)))
+    | Value.Pair (Value.Sym "racing", v) ->
+      Machine.invoke tas Classic.Test_and_set.test_and_set (fun won ->
+          match won with
+          | Value.Bool false -> Value.(Pair (Sym "halt", v)) (* winner *)
+          | _ -> Value.Sym "reading-other")
+    | Value.Sym "reading-other" ->
+      Machine.invoke (reg_of (1 - pid)) Register.read (fun other ->
+          Value.(Pair (Sym "halt", other)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    [| Classic.Test_and_set.spec (); Register.spec (); Register.spec () |] )

@@ -1,0 +1,58 @@
+(** Consensus protocols from the paper's object families — the positive
+    directions of the hierarchy results.  Each function returns the
+    protocol machine together with its object array. *)
+
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+val obj_index : int
+
+val one_shot :
+  name:string ->
+  mk_op:(Value.t -> Op.t) ->
+  ?on_response:(input:Value.t -> Value.t -> Value.t) ->
+  unit ->
+  Machine.t
+(** Generic "invoke once on object 0, decide the response" machine. *)
+
+val from_consensus_obj : m:int -> Machine.t * Obj_spec.t array
+(** m processes, one m-consensus object. *)
+
+val from_pac_nm : n:int -> m:int -> Machine.t * Obj_spec.t array
+(** m processes, one (n,m)-PAC object via PROPOSEC
+    (Observation 5.1(c)). *)
+
+val from_o_n : n:int -> Machine.t * Obj_spec.t array
+(** n processes, one O_n object (Observation 6.2). *)
+
+val from_oprime : power:O_prime.power -> Machine.t * Obj_spec.t array
+(** n_1 processes, one O'_n object via its k = 1 member. *)
+
+val from_sticky : unit -> Machine.t * Obj_spec.t array
+(** Any number of processes, one sticky register. *)
+
+val from_test_and_set : unit -> Machine.t * Obj_spec.t array
+(** 2 processes, one test-and-set and two registers (Herlihy's level-2
+    construction). *)
+
+val two_process_race :
+  name:string ->
+  object_spec:Obj_spec.t ->
+  race:Op.t ->
+  won:(Value.t -> bool) ->
+  Machine.t * Obj_spec.t array
+(** The generic announce-then-race shape behind the level-2
+    constructions. *)
+
+val from_queue : unit -> Machine.t * Obj_spec.t array
+(** 2 processes, one queue pre-loaded with a winner token. *)
+
+val from_fetch_and_add : unit -> Machine.t * Obj_spec.t array
+(** 2 processes, one fetch-and-add counter. *)
+
+val from_swap : unit -> Machine.t * Obj_spec.t array
+(** 2 processes, one swap register. *)
+
+val from_compare_and_swap : unit -> Machine.t * Obj_spec.t array
+(** Any number of processes, one compare-and-swap cell. *)

@@ -1,0 +1,75 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* The consensus task and per-execution property checkers.  The checkers
+   judge a single final configuration (plus its inputs); exhaustive
+   quantification over schedules lives in Lbsa_modelcheck.Solvability. *)
+
+type violation =
+  | Disagreement of Value.t * Value.t
+  | Invalid_decision of Value.t  (* decided value was nobody's input *)
+  | Unexpected_abort of int
+  | Nontermination  (* fuel ran out with a scheduled process undecided *)
+
+let pp_violation ppf = function
+  | Disagreement (a, b) ->
+    Fmt.pf ppf "disagreement: %a vs %a" Value.pp a Value.pp b
+  | Invalid_decision v -> Fmt.pf ppf "invalid decision: %a" Value.pp v
+  | Unexpected_abort pid -> Fmt.pf ppf "process %d aborted" pid
+  | Nontermination -> Fmt.string ppf "nontermination (fuel exhausted)"
+
+let check_agreement (config : Config.t) =
+  match Config.decisions config with
+  | [] | [ _ ] -> Ok ()
+  | v :: rest -> (
+    match List.find_opt (fun v' -> not (Value.equal v v')) rest with
+    | None -> Ok ()
+    | Some v' -> Error (Disagreement (v, v')))
+
+let check_validity ~inputs (config : Config.t) =
+  let inputs = Array.to_list inputs in
+  let bad =
+    List.find_opt
+      (fun v -> not (List.exists (Value.equal v) inputs))
+      (Config.decisions config)
+  in
+  match bad with
+  | None -> Ok ()
+  | Some v -> Error (Invalid_decision v)
+
+let check_no_abort (config : Config.t) =
+  let rec find pid =
+    if pid >= Config.n_processes config then Ok ()
+    else if config.status.(pid) = Config.Aborted then
+      Error (Unexpected_abort pid)
+    else find (pid + 1)
+  in
+  find 0
+
+(* Safety of a (possibly partial) consensus execution. *)
+let check_safety ~inputs config =
+  match check_agreement config with
+  | Error _ as e -> e
+  | Ok () -> (
+    match check_validity ~inputs config with
+    | Error _ as e -> e
+    | Ok () -> check_no_abort config)
+
+(* Full check of a completed run: safety plus wait-free termination (a
+   Step_limit stop means some scheduled process never halted). *)
+let check_run ~inputs (result : Executor.result) =
+  match result.stop with
+  | Executor.Step_limit -> Error Nontermination
+  | Executor.All_halted | Executor.Scheduler_stopped ->
+    check_safety ~inputs result.final
+
+let binary_inputs n =
+  (* All 2^n assignments of {0,1} inputs, as input vectors. *)
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> [ Value.Int 0 :: rest; Value.Int 1 :: rest ])
+        (go (n - 1))
+  in
+  List.map Array.of_list (go n)

@@ -1,0 +1,30 @@
+(** The consensus task: per-execution property checkers (agreement,
+    validity, termination).  Exhaustive quantification over schedules
+    lives in {!Lbsa_modelcheck.Solvability}. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type violation =
+  | Disagreement of Value.t * Value.t
+  | Invalid_decision of Value.t
+  | Unexpected_abort of int
+  | Nontermination
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_agreement : Config.t -> (unit, violation) result
+val check_validity : inputs:Value.t array -> Config.t -> (unit, violation) result
+val check_no_abort : Config.t -> (unit, violation) result
+
+val check_safety :
+  inputs:Value.t array -> Config.t -> (unit, violation) result
+(** Agreement, validity and no-abort on a (possibly partial)
+    configuration. *)
+
+val check_run :
+  inputs:Value.t array -> Executor.result -> (unit, violation) result
+(** [check_safety] plus wait-free termination of a completed run. *)
+
+val binary_inputs : int -> Value.t array list
+(** All 2^n binary input assignments for n processes. *)

@@ -1,0 +1,132 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* The n-DAC problem (Section 4): n >= 2 processes with binary inputs
+   must decide a common binary value; process 0 is the distinguished
+   process p, which may abort instead of deciding.
+
+   Properties of an execution (verbatim from the paper):
+   - Agreement: all decided values are equal;
+   - Validity: a decided value is the input of some process that did not
+     abort;
+   - Termination (a): if p takes infinitely many steps, p decides or
+     aborts -- checked as: p cannot take [fuel] steps while remaining
+     undecided;
+   - Termination (b): every q != p running solo eventually decides;
+   - Nontriviality: if p aborts, some q != p took at least one step
+     before the abort. *)
+
+let distinguished = 0
+
+type violation =
+  | Disagreement of Value.t * Value.t
+  | Invalid_decision of Value.t
+  | Abort_by_non_distinguished of int
+  | Nontriviality_violated  (* p aborted although no q took a step *)
+  | Termination_a_violated  (* p ran out of fuel undecided *)
+  | Termination_b_violated of int  (* q ran solo out of fuel undecided *)
+
+let pp_violation ppf = function
+  | Disagreement (a, b) ->
+    Fmt.pf ppf "disagreement: %a vs %a" Value.pp a Value.pp b
+  | Invalid_decision v -> Fmt.pf ppf "invalid decision: %a" Value.pp v
+  | Abort_by_non_distinguished pid ->
+    Fmt.pf ppf "non-distinguished process %d aborted" pid
+  | Nontriviality_violated ->
+    Fmt.string ppf "p aborted with no steps by other processes"
+  | Termination_a_violated ->
+    Fmt.string ppf "p took many steps without deciding or aborting"
+  | Termination_b_violated pid ->
+    Fmt.pf ppf "process %d ran solo without deciding" pid
+
+let check_agreement (config : Config.t) =
+  match Config.decisions config with
+  | [] | [ _ ] -> Ok ()
+  | v :: rest -> (
+    match List.find_opt (fun v' -> not (Value.equal v v')) rest with
+    | None -> Ok ()
+    | Some v' -> Error (Disagreement (v, v')))
+
+(* Validity needs to know who aborted: a decided value must be the input
+   of a process that did not abort. *)
+let check_validity ~inputs (config : Config.t) =
+  let n = Config.n_processes config in
+  let eligible =
+    List.filter_map
+      (fun pid ->
+        if config.status.(pid) = Config.Aborted then None
+        else Some inputs.(pid))
+      (Lbsa_util.Listx.range 0 (n - 1))
+  in
+  match
+    List.find_opt
+      (fun v -> not (List.exists (Value.equal v) eligible))
+      (Config.decisions config)
+  with
+  | None -> Ok ()
+  | Some v -> Error (Invalid_decision v)
+
+let check_aborts (config : Config.t) =
+  let n = Config.n_processes config in
+  let rec go pid =
+    if pid >= n then Ok ()
+    else if config.status.(pid) = Config.Aborted && pid <> distinguished then
+      Error (Abort_by_non_distinguished pid)
+    else go (pid + 1)
+  in
+  go 0
+
+(* Nontriviality over a trace: p's abort must be preceded by a step of
+   some q != p. *)
+let check_nontriviality (trace : Trace.t) =
+  let rec go seen_other = function
+    | [] -> Ok ()
+    | (e : Trace.entry) :: rest -> (
+      match e.event with
+      | Config.Abort_event { pid } when pid = distinguished ->
+        if seen_other then Ok () else Error Nontriviality_violated
+      | ev ->
+        let pid = Trace.pid_of_event ev in
+        go (seen_other || pid <> distinguished) rest)
+  in
+  go false trace
+
+let check_safety ~inputs ~trace config =
+  let ( let* ) r f =
+    match r with
+    | Ok () -> f ()
+    | Error _ as e -> e
+  in
+  let* () = check_agreement config in
+  let* () = check_validity ~inputs config in
+  let* () = check_aborts config in
+  check_nontriviality trace
+
+(* Termination (a): from any reachable configuration, running p solo for
+   [fuel] steps must halt it. *)
+let check_termination_a ?(fuel = 10_000) ~machine ~specs config =
+  if not (Config.is_running config distinguished) then Ok ()
+  else
+    let r = Executor.run_solo ~max_steps:fuel ~machine ~specs config distinguished in
+    match r.stop with
+    | Executor.All_halted -> Ok ()
+    | _ -> Error Termination_a_violated
+
+(* Termination (b): from any reachable configuration, each q != p running
+   solo for [fuel] steps must decide. *)
+let check_termination_b ?(fuel = 10_000) ~machine ~specs config =
+  let n = Config.n_processes config in
+  let rec go pid =
+    if pid >= n then Ok ()
+    else if pid = distinguished || not (Config.is_running config pid) then
+      go (pid + 1)
+    else
+      let r = Executor.run_solo ~max_steps:fuel ~machine ~specs config pid in
+      match (r.stop, r.final.status.(pid)) with
+      | Executor.All_halted, Config.Decided _ -> go (pid + 1)
+      | _ -> Error (Termination_b_violated pid)
+  in
+  go 1
+
+(* All 2^n binary input vectors; the distinguished process is index 0. *)
+let binary_inputs = Consensus_task.binary_inputs

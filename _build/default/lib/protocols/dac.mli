@@ -1,0 +1,56 @@
+(** The n-DAC problem (Section 4 of the paper) and its per-execution
+    property checkers.  Process 0 is the distinguished process p. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val distinguished : int
+(** Index of the distinguished process p (always 0). *)
+
+type violation =
+  | Disagreement of Value.t * Value.t
+  | Invalid_decision of Value.t
+  | Abort_by_non_distinguished of int
+  | Nontriviality_violated
+  | Termination_a_violated
+  | Termination_b_violated of int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_agreement : Config.t -> (unit, violation) result
+
+val check_validity :
+  inputs:Value.t array -> Config.t -> (unit, violation) result
+(** A decided value must be the input of some process that did not
+    abort. *)
+
+val check_aborts : Config.t -> (unit, violation) result
+(** Only the distinguished process may abort. *)
+
+val check_nontriviality : Trace.t -> (unit, violation) result
+(** If p aborts, some other process took a step before the abort. *)
+
+val check_safety :
+  inputs:Value.t array ->
+  trace:Trace.t ->
+  Config.t ->
+  (unit, violation) result
+
+val check_termination_a :
+  ?fuel:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  Config.t ->
+  (unit, violation) result
+(** From this configuration, p running solo must decide or abort. *)
+
+val check_termination_b :
+  ?fuel:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  Config.t ->
+  (unit, violation) result
+(** From this configuration, every running q != p must decide when run
+    solo. *)
+
+val binary_inputs : int -> Value.t array list

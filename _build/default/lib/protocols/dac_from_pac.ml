@@ -1,0 +1,67 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Algorithm 2 of the paper: solving the n-DAC problem with a single
+   n-PAC object D (Theorem 4.1).
+
+     distinguished p:              each q != p:
+       D.propose(v_p, p)            while true do
+       temp <- D.decide(p)            D.propose(v_q, q)
+       if temp != ⊥ then decide temp  temp <- D.decide(q)
+       else abort                     if temp != ⊥ then decide temp; break
+
+   Processes are 0..n-1; process pid uses PAC label pid+1; the
+   distinguished process p is process 0 (Dac.distinguished).
+
+   Local states:
+     Pair(Sym "proposing", v) -- about to PROPOSE(v, label)
+     Pair(Sym "deciding", v)  -- about to DECIDE(label)
+     Pair(Sym "halt", v)      -- about to decide v
+     Sym "abort"              -- about to abort                        *)
+
+let pac_index = 0
+
+let label_of_pid pid = pid + 1
+
+let proposing v = Value.(Pair (Sym "proposing", v))
+let deciding v = Value.(Pair (Sym "deciding", v))
+
+(* Algorithm 2 parameterized by the propose/decide operations, so the
+   same machine runs against a bare n-PAC object or against the PAC facet
+   of an (n,m)-PAC / O_n object (Observation 5.1(b)). *)
+let machine_via ~name ~propose ~decide : Machine.t =
+  let init ~pid:_ ~input = proposing input in
+  let delta ~pid state =
+    let label = label_of_pid pid in
+    match state with
+    | Value.Pair (Value.Sym "proposing", v) ->
+      Machine.invoke pac_index (propose v label) (fun _done -> deciding v)
+    | Value.Pair (Value.Sym "deciding", v) ->
+      Machine.invoke pac_index (decide label) (fun temp ->
+          if Value.is_bot temp then
+            if pid = Dac.distinguished then Value.Sym "abort" else proposing v
+          else Value.Pair (Value.Sym "halt", temp))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | Value.Sym "abort" -> Machine.Abort
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name ~init ~delta
+
+let machine ~n : Machine.t =
+  if n < 2 then invalid_arg "Dac_from_pac.machine: n must be >= 2";
+  machine_via
+    ~name:(Fmt.str "%d-DAC-from-%d-PAC" n n)
+    ~propose:Pac.propose ~decide:Pac.decide
+
+let specs ~n : Obj_spec.t array = [| Pac.spec ~n () |]
+
+(* (n+1)-DAC among n+1 processes from one O_n object, via its
+   (n+1)-PAC facet — the executable content of Observation 5.1(b) plus
+   Theorem 4.1 that powers Observation 6.3. *)
+let machine_via_o_n ~n : Machine.t =
+  machine_via
+    ~name:(Fmt.str "%d-DAC-from-O_%d" (n + 1) n)
+    ~propose:Pac_nm.propose_p ~decide:Pac_nm.decide_p
+
+let specs_via_o_n ~n : Obj_spec.t array = [| O_n.spec ~n () |]

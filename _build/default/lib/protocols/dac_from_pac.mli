@@ -1,0 +1,31 @@
+(** Algorithm 2 of the paper: solving the n-DAC problem with a single
+    n-PAC object (Theorem 4.1).  Process [Dac.distinguished] plays p;
+    process [pid] uses PAC label [pid + 1]. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val pac_index : int
+(** Index of the n-PAC object in {!specs} (0). *)
+
+val label_of_pid : int -> int
+
+val machine_via :
+  name:string ->
+  propose:(Value.t -> int -> Op.t) ->
+  decide:(int -> Op.t) ->
+  Machine.t
+(** Algorithm 2 parameterized by the PAC propose/decide operations. *)
+
+val machine : n:int -> Machine.t
+(** Raises [Invalid_argument] when [n < 2]. *)
+
+val specs : n:int -> Obj_spec.t array
+(** The single n-PAC object. *)
+
+val machine_via_o_n : n:int -> Machine.t
+(** (n+1)-DAC among n+1 processes through the (n+1)-PAC facet of O_n
+    (Observation 5.1(b) + Theorem 4.1). *)
+
+val specs_via_o_n : n:int -> Obj_spec.t array
+(** The single O_n object. *)

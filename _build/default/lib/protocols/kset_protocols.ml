@@ -1,0 +1,80 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* k-set agreement protocols — the positive directions of the set
+   agreement power computations (Sections 1 and 6).
+
+   - [partition ~m ~k]: k*m processes solve k-set agreement using k
+     m-consensus objects: process pid proposes to object pid/m, and each
+     group of m agrees on one value, so at most k values are decided.
+     This is the protocol behind the closed form n_k(m-consensus) = k*m.
+   - [from_sa2 ~procs ~k]: any number of processes solve k-set agreement
+     (k >= 2) with one strong 2-SA object (Section 4: "the 2-SA object
+     solves the k-set agreement problem among n processes for all k >= 2
+     and all n >= 1").
+   - [from_nk_sa ~n ~k]: n processes, one (n,k)-SA object.
+   - [from_oprime ~power ~k]: n_k processes, one O'_n object through its
+     k-th member (the definition of O'_n's set agreement power).      *)
+
+let partition ~m ~k : Machine.t * Obj_spec.t array =
+  if m < 1 || k < 1 then invalid_arg "Kset_protocols.partition";
+  let name = Fmt.str "%d-set-from-%d-consensus-partition" k m in
+  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "proposing", v) ->
+      let group = pid / m in
+      if group >= k then
+        invalid_arg
+          (Fmt.str "%s: pid %d exceeds %d processes" name pid (k * m));
+      Machine.invoke group (Consensus_obj.propose v) (fun r ->
+          Value.(Pair (Sym "halt", r)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  ( Machine.make ~name ~init ~delta,
+    Array.init k (fun _ -> Consensus_obj.spec ~m ()) )
+
+let from_sa2 ~k : Machine.t * Obj_spec.t array =
+  if k < 2 then
+    invalid_arg "Kset_protocols.from_sa2: the 2-SA object needs k >= 2";
+  ( Consensus_protocols.one_shot
+      ~name:(Fmt.str "%d-set-from-2-SA" k)
+      ~mk_op:Sa2.propose (),
+    [| Sa2.spec () |] )
+
+let from_nk_sa ~n ~k : Machine.t * Obj_spec.t array =
+  ( Consensus_protocols.one_shot
+      ~name:(Fmt.str "%d-set-from-(%d,%d)-SA" k n k)
+      ~mk_op:Nk_sa.propose (),
+    [| Nk_sa.spec ~n ~k () |] )
+
+let from_oprime ~power ~k : Machine.t * Obj_spec.t array =
+  if k < 1 || k > List.length power then
+    invalid_arg "Kset_protocols.from_oprime: k outside the power prefix";
+  ( Consensus_protocols.one_shot
+      ~name:(Fmt.str "%d-set-from-O'_n" k)
+      ~mk_op:(fun v -> O_prime.propose v k)
+      (),
+    [| O_prime.spec ~power () |] )
+
+(* k-set agreement among k*n processes from O_n objects, through the
+   n-consensus facet (PROPOSEC) of O_n and the partition protocol: the
+   constructive lower bound n_k(O_n) >= k*n used by
+   O_prime.default_power. *)
+let partition_from_o_n ~n ~k : Machine.t * Obj_spec.t array =
+  let name = Fmt.str "%d-set-from-O_%d-partition" k n in
+  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "proposing", v) ->
+      let group = pid / n in
+      if group >= k then
+        invalid_arg (Fmt.str "%s: pid %d exceeds %d processes" name pid (k * n));
+      Machine.invoke group (Pac_nm.propose_c v) (fun r ->
+          Value.(Pair (Sym "halt", r)))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, Array.init k (fun _ -> O_n.spec ~n ()))

@@ -1,0 +1,24 @@
+(** k-set agreement protocols — the positive directions of the set
+    agreement power computations.  Each function returns the protocol
+    machine and its object array. *)
+
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+val partition : m:int -> k:int -> Machine.t * Obj_spec.t array
+(** k*m processes, k m-consensus objects: process [pid] proposes to
+    object [pid/m].  The protocol behind n_k(m-consensus) = k*m. *)
+
+val from_sa2 : k:int -> Machine.t * Obj_spec.t array
+(** Any number of processes, one strong 2-SA object; requires k >= 2. *)
+
+val from_nk_sa : n:int -> k:int -> Machine.t * Obj_spec.t array
+(** n processes, one (n,k)-SA object. *)
+
+val from_oprime : power:O_prime.power -> k:int -> Machine.t * Obj_spec.t array
+(** n_k processes, one O'_n object through its k-th member. *)
+
+val partition_from_o_n : n:int -> k:int -> Machine.t * Obj_spec.t array
+(** k*n processes, k O_n objects via their n-consensus facets: the
+    constructive lower bound n_k(O_n) >= k*n. *)

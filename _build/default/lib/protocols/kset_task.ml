@@ -1,0 +1,62 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* The k-set agreement task (Chaudhuri): every process decides a proposed
+   value, and at most k distinct values are decided. *)
+
+type violation =
+  | Too_many_values of Value.t list  (* more than k distinct decisions *)
+  | Invalid_decision of Value.t
+  | Nontermination
+
+let pp_violation ppf = function
+  | Too_many_values vs ->
+    Fmt.pf ppf "more than k distinct decisions: %a"
+      Fmt.(list ~sep:(any ", ") Value.pp)
+      vs
+  | Invalid_decision v -> Fmt.pf ppf "invalid decision: %a" Value.pp v
+  | Nontermination -> Fmt.string ppf "nontermination (fuel exhausted)"
+
+let distinct_decisions (config : Config.t) =
+  Lbsa_util.Listx.sort_uniq Value.compare (Config.decisions config)
+
+let check_k_agreement ~k config =
+  let distinct = distinct_decisions config in
+  if List.length distinct <= k then Ok () else Error (Too_many_values distinct)
+
+let check_validity ~inputs (config : Config.t) =
+  let inputs = Array.to_list inputs in
+  match
+    List.find_opt
+      (fun v -> not (List.exists (Value.equal v) inputs))
+      (Config.decisions config)
+  with
+  | None -> Ok ()
+  | Some v -> Error (Invalid_decision v)
+
+let check_safety ~k ~inputs config =
+  match check_k_agreement ~k config with
+  | Error _ as e -> e
+  | Ok () -> check_validity ~inputs config
+
+let check_run ~k ~inputs (result : Executor.result) =
+  match result.stop with
+  | Executor.Step_limit -> Error Nontermination
+  | Executor.All_halted | Executor.Scheduler_stopped ->
+    check_safety ~k ~inputs result.final
+
+(* Input vectors where all processes have distinct values — the hardest
+   case for k-agreement. *)
+let distinct_inputs n = Array.init n (fun pid -> Value.Int pid)
+
+(* All input vectors over values {0..d-1} for n processes (d^n of them). *)
+let all_inputs ~d n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest ->
+          List.map (fun v -> Value.Int v :: rest) (Lbsa_util.Listx.range 0 (d - 1)))
+        (go (n - 1))
+  in
+  List.map Array.of_list (go n)

@@ -1,0 +1,26 @@
+(** The k-set agreement task: every process decides a proposed value and
+    at most k distinct values are decided. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type violation =
+  | Too_many_values of Value.t list
+  | Invalid_decision of Value.t
+  | Nontermination
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val distinct_decisions : Config.t -> Value.t list
+val check_k_agreement : k:int -> Config.t -> (unit, violation) result
+val check_validity : inputs:Value.t array -> Config.t -> (unit, violation) result
+val check_safety :
+  k:int -> inputs:Value.t array -> Config.t -> (unit, violation) result
+val check_run :
+  k:int -> inputs:Value.t array -> Executor.result -> (unit, violation) result
+
+val distinct_inputs : int -> Value.t array
+(** All-distinct inputs, the hardest case for k-agreement. *)
+
+val all_inputs : d:int -> int -> Value.t array list
+(** All input vectors over the value domain [{0..d-1}]. *)

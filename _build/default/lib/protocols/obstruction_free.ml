@@ -1,0 +1,112 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Obstruction-free consensus from registers, via iterated commit-adopt
+   (Gafni's commit-adopt; Herlihy-Luchangco-Moir obstruction-freedom).
+
+   FLP/Theorem 4.2-style impossibilities say registers cannot solve
+   wait-free consensus; this protocol is the classic "life beyond
+   wait-freedom" counterpoint: safety is unconditional, and any process
+   that ever runs long enough *alone* decides.  The adversary can spin
+   it forever (perfect lockstep is a livelock), and the repository's
+   model checker exhibits both facts.
+
+   Round r uses two register banks A[r][0..n-1] and B[r][0..n-1]:
+
+     CA_r(v):
+       A[r][i] <- v;                collect A[r];
+       if every value seen = v then B[r][i] <- (commit, v)
+                               else B[r][i] <- (adopt,  v);
+       collect B[r];
+       if I wrote (commit, v) and every entry seen is (commit, v)
+          then COMMIT v
+       else if some entry seen is (commit, v') then ADOPT v'
+       else ADOPT my v
+
+     loop: (status, v) := CA_r(v); if COMMIT then decide v else r := r+1
+
+   Commit-adopt agreement: if someone commits v at round r, every other
+   process leaves round r with v, so round r+1 is unanimous and commits.
+   Registers are bounded here only because the harness needs a fixed
+   object array; exceeding [max_rounds] raises. *)
+
+exception Out_of_rounds of string
+
+let commit_tag = Value.Sym "commit"
+let adopt_tag = Value.Sym "adopt"
+
+let a_reg ~n ~r pid = (2 * n * (r - 1)) + pid
+let b_reg ~n ~r pid = (2 * n * (r - 1)) + n + pid
+
+let machine ~n ~max_rounds : Machine.t =
+  let name = Fmt.str "of-consensus-%d" n in
+  let check_round r =
+    if r > max_rounds then
+      raise
+        (Out_of_rounds
+           (Fmt.str "obstruction-free consensus exceeded %d rounds" max_rounds))
+  in
+  let init ~pid:_ ~input = Value.(List [ Sym "a-write"; Int 1; input ]) in
+  let delta ~pid state =
+    match state with
+    | Value.List [ Value.Sym "a-write"; Value.Int r; v ] ->
+      check_round r;
+      Machine.invoke
+        (a_reg ~n ~r pid)
+        (Register.write v)
+        (fun _ -> Value.(List [ Sym "a-collect"; Int r; v; List [] ]))
+    | Value.List
+        [ Value.Sym "a-collect"; Value.Int r; v; Value.List partial ] ->
+      let idx = List.length partial in
+      Machine.invoke (a_reg ~n ~r idx) Register.read (fun entry ->
+          let partial = partial @ [ entry ] in
+          if List.length partial < n then
+            Value.(List [ Sym "a-collect"; Int r; v; List partial ])
+          else
+            let unanimous =
+              List.for_all
+                (fun e -> Value.is_nil e || Value.equal e v)
+                partial
+            in
+            let tag = if unanimous then commit_tag else adopt_tag in
+            Value.(List [ Sym "b-write"; Int r; tag; v ]))
+    | Value.List [ Value.Sym "b-write"; Value.Int r; tag; v ] ->
+      Machine.invoke
+        (b_reg ~n ~r pid)
+        (Register.write (Value.Pair (tag, v)))
+        (fun _ -> Value.(List [ Sym "b-collect"; Int r; tag; v; List [] ]))
+    | Value.List
+        [ Value.Sym "b-collect"; Value.Int r; tag; v; Value.List partial ] ->
+      let idx = List.length partial in
+      Machine.invoke (b_reg ~n ~r idx) Register.read (fun entry ->
+          let partial = partial @ [ entry ] in
+          if List.length partial < n then
+            Value.(List [ Sym "b-collect"; Int r; tag; v; List partial ])
+          else
+            let seen = List.filter (fun e -> not (Value.is_nil e)) partial in
+            let all_commit_v =
+              Value.equal tag commit_tag
+              && List.for_all (Value.equal (Value.Pair (commit_tag, v))) seen
+            in
+            if all_commit_v then Value.(Pair (Sym "halt", v))
+            else
+              let adopted =
+                match
+                  List.find_opt
+                    (function
+                      | Value.Pair (t, _) -> Value.equal t commit_tag
+                      | _ -> false)
+                    seen
+                with
+                | Some (Value.Pair (_, v')) -> v'
+                | _ -> v
+              in
+              Value.(List [ Sym "a-write"; Int (r + 1); adopted ]))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name ~init ~delta
+
+let specs ~n ~max_rounds : Obj_spec.t array =
+  Array.init (2 * n * max_rounds) (fun _ -> Register.spec ())

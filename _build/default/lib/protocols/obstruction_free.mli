@@ -1,0 +1,13 @@
+(** Obstruction-free consensus from registers (iterated commit-adopt):
+    unconditionally safe, decides whenever a process runs a whole round
+    alone, livelocks under perfect lockstep — the classic counterpoint
+    to the wait-free impossibilities the paper's proofs rely on. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+exception Out_of_rounds of string
+(** The bounded register banks ran out ([max_rounds] exceeded). *)
+
+val machine : n:int -> max_rounds:int -> Machine.t
+val specs : n:int -> max_rounds:int -> Obj_spec.t array

@@ -1,0 +1,102 @@
+open Lbsa_spec
+open Lbsa_objects
+open Lbsa_runtime
+
+(* Safe agreement (Borowsky-Gafni 1993) — the building block of the BG
+   simulation behind the set-consensus hierarchy results the paper cites
+   ([2], [6]).  It is consensus with conditional termination: agreement
+   and validity always hold, and every process decides provided no
+   process stops inside its (two-step) unsafe zone.
+
+   Implementation from one n-component atomic snapshot whose component i
+   holds Pair(value_i, level_i), level ∈ {NIL, 0, 1, 2}:
+
+     propose(v):                       (unsafe zone: steps 1-3)
+       1. update(i, (v, 1))
+       2. s <- scan
+       3. if some level in s is 2 then update(i, (v, 0))
+          else update(i, (v, 2))
+       4. repeat s <- scan until no level in s is 1
+       5. decide value of the smallest-id component at level 2
+
+   Agreement: consider the first clean scan (no level 1).  The set W of
+   level-2 components is non-empty then (the first process to finish
+   step 3 either saw a 2 or installed one), and it can never grow: any
+   later proposer's step-2 scan sees a member of W and backs off to 0.
+   All deciders therefore read the same W and decide the same minimum.
+
+   This object shows the *conditional* side of the hierarchy: it is
+   built solely from level-1 objects (a snapshot), solves consensus
+   among any n processes in crash-free fair runs, and escapes FLP only
+   because termination is conditional — a crash in the unsafe zone
+   blocks everyone else forever. *)
+
+let snapshot_index = 0
+
+let level_nil = Value.Nil
+
+let comp ~v ~level = Value.Pair (v, level)
+
+let level_of = function
+  | Value.Pair (_, l) -> l
+  | Value.Nil -> level_nil
+  | c -> invalid_arg (Fmt.str "Safe_agreement: bad component %a" Value.pp c)
+
+let value_of = function
+  | Value.Pair (v, _) -> v
+  | c -> invalid_arg (Fmt.str "Safe_agreement: bad component %a" Value.pp c)
+
+let levels scan = List.map level_of (Value.to_list_exn scan)
+
+let some_level_2 scan =
+  List.exists (Value.equal (Value.Int 2)) (levels scan)
+
+let some_level_1 scan =
+  List.exists (Value.equal (Value.Int 1)) (levels scan)
+
+let decision_of scan =
+  (* Value of the smallest-id component at level 2. *)
+  let rec go i = function
+    | [] -> invalid_arg "Safe_agreement.decision_of: no level-2 component"
+    | c :: rest ->
+      if Value.equal (level_of c) (Value.Int 2) then value_of c
+      else go (i + 1) rest
+  in
+  go 0 (Value.to_list_exn scan)
+
+let machine ~n : Machine.t =
+  let name = Fmt.str "safe-agreement-%d" n in
+  ignore n;
+  let init ~pid:_ ~input = Value.(Pair (Sym "enter", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "enter", v) ->
+      Machine.invoke snapshot_index
+        (Classic.Snapshot.update pid (comp ~v ~level:(Value.Int 1)))
+        (fun _ -> Value.(Pair (Sym "look", v)))
+    | Value.Pair (Value.Sym "look", v) ->
+      Machine.invoke snapshot_index Classic.Snapshot.scan (fun s ->
+          let level = if some_level_2 s then Value.Int 0 else Value.Int 2 in
+          Value.(Pair (Sym "commit", Pair (v, level))))
+    | Value.Pair (Value.Sym "commit", Value.Pair (v, level)) ->
+      Machine.invoke snapshot_index
+        (Classic.Snapshot.update pid (comp ~v ~level))
+        (fun _ -> Value.Sym "wait")
+    | Value.Sym "wait" ->
+      Machine.invoke snapshot_index Classic.Snapshot.scan (fun s ->
+          if some_level_1 s then Value.Sym "wait"
+          else Value.Pair (Value.Sym "halt", decision_of s))
+    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  Machine.make ~name ~init ~delta
+
+let specs ~n : Obj_spec.t array = [| Classic.Snapshot.spec ~m:n () |]
+
+(* A process is in its unsafe zone while its own component is at
+   level 1 (it has entered but not yet committed or backed off). *)
+let in_unsafe_zone (config : Config.t) pid =
+  match config.Config.objects.(snapshot_index) with
+  | Value.List comps ->
+    Value.equal (level_of (List.nth comps pid)) (Value.Int 1)
+  | _ -> false

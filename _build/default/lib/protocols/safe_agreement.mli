@@ -1,0 +1,13 @@
+(** Safe agreement (Borowsky–Gafni): consensus with conditional
+    termination, built from one atomic snapshot.  Agreement and validity
+    are unconditional; termination holds provided no process stops
+    inside its two-step unsafe zone. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val machine : n:int -> Machine.t
+val specs : n:int -> Obj_spec.t array
+
+val in_unsafe_zone : Config.t -> int -> bool
+(** Is the process between its level-1 entry and its level-2/0 commit? *)

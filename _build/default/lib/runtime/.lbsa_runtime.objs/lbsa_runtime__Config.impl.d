@@ -1,0 +1,1 @@
+lib/runtime/config.ml: Array Fmt Hashtbl Lbsa_spec Lbsa_util List Machine Obj_spec Op Stdlib Value

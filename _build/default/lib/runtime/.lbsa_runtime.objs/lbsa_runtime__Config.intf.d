@@ -1,0 +1,1 @@
+lib/runtime/config.mli: Format Lbsa_spec Machine Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Config Fmt Lbsa_spec Lbsa_util List Machine Obj_spec Scheduler Trace

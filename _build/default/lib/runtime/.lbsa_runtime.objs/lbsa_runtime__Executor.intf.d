@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Config Lbsa_spec Lbsa_util Machine Obj_spec Scheduler Trace Value

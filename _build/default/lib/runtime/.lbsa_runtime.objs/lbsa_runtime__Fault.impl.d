@@ -1,0 +1,1 @@
+lib/runtime/fault.ml: Fmt Hashtbl Lbsa_util List Option Scheduler

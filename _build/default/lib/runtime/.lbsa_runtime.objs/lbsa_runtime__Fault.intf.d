@@ -1,0 +1,1 @@
+lib/runtime/fault.mli: Format Lbsa_util Scheduler

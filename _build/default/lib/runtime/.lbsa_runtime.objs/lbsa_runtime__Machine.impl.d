@@ -1,0 +1,1 @@
+lib/runtime/machine.ml: Fmt Lbsa_spec Op Value

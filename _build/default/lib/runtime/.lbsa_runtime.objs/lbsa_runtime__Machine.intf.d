@@ -1,0 +1,1 @@
+lib/runtime/machine.mli: Lbsa_spec Op Value

@@ -1,0 +1,1 @@
+lib/runtime/scheduler.ml: Array Fmt Lbsa_util List

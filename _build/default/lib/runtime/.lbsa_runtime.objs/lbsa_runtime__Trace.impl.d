@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Config Fmt Lbsa_spec List Op String Value

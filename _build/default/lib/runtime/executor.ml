@@ -1,0 +1,76 @@
+open Lbsa_spec
+
+(* The executor: runs a protocol machine over shared objects under a
+   scheduler, resolving object nondeterminism with a pluggable adversary,
+   and returns the final configuration plus the full trace. *)
+
+type nondet =
+  | First  (* always the first branch: a fixed benign adversary *)
+  | Random of Lbsa_util.Prng.t  (* seeded random adversary *)
+  | Strategy of (Config.t list -> int)  (* custom adversary *)
+
+let choice_of_nondet = function
+  | First -> fun _ -> 0
+  | Random prng -> fun bs -> Lbsa_util.Prng.int prng (List.length bs)
+  | Strategy f -> f
+
+type stop_reason =
+  | All_halted  (* every process decided, aborted or crashed *)
+  | Scheduler_stopped  (* the scheduler returned None *)
+  | Step_limit  (* the max_steps fuel ran out *)
+
+type result = {
+  final : Config.t;
+  trace : Trace.t;
+  steps : int;
+  stop : stop_reason;
+}
+
+let run ?(nondet = First) ?(max_steps = 100_000) ~(machine : Machine.t)
+    ~(specs : Obj_spec.t array) ~inputs ~(scheduler : Scheduler.t) () =
+  let choice = choice_of_nondet nondet in
+  let builder = Trace.builder () in
+  let rec go config step =
+    if step >= max_steps then { final = config; trace = Trace.build builder; steps = step; stop = Step_limit }
+    else
+      match Config.running config with
+      | [] ->
+        { final = config; trace = Trace.build builder; steps = step; stop = All_halted }
+      | runnable -> (
+        match scheduler.next ~step ~runnable with
+        | None ->
+          {
+            final = config;
+            trace = Trace.build builder;
+            steps = step;
+            stop = Scheduler_stopped;
+          }
+        | Some pid ->
+          if not (Config.is_running config pid) then
+            invalid_arg
+              (Fmt.str "Executor.run: scheduler %s picked halted process %d"
+                 scheduler.name pid);
+          let config', event = Config.step ~machine ~specs ~choice config pid in
+          Trace.add builder event;
+          go config' (step + 1))
+  in
+  go (Config.initial ~machine ~specs ~inputs) 0
+
+(* Run a single process solo from a given configuration until it halts or
+   the fuel runs out -- the "q-solo history" device the paper's proofs
+   use over and over. *)
+let run_solo ?(nondet = First) ?(max_steps = 100_000) ~machine ~specs config
+    pid =
+  let choice = choice_of_nondet nondet in
+  let builder = Trace.builder () in
+  let rec go config step =
+    if step >= max_steps then
+      { final = config; trace = Trace.build builder; steps = step; stop = Step_limit }
+    else if not (Config.is_running config pid) then
+      { final = config; trace = Trace.build builder; steps = step; stop = All_halted }
+    else
+      let config', event = Config.step ~machine ~specs ~choice config pid in
+      Trace.add builder event;
+      go config' (step + 1)
+  in
+  go config 0

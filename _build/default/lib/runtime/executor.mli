@@ -1,0 +1,44 @@
+(** The executor: runs a protocol machine over shared objects under a
+    scheduler, resolving object nondeterminism with a pluggable
+    adversary. *)
+
+open Lbsa_spec
+
+(** How object nondeterminism (2-SA, (n,k)-SA) is resolved. *)
+type nondet =
+  | First  (** always the first branch (fixed benign adversary) *)
+  | Random of Lbsa_util.Prng.t  (** seeded random adversary *)
+  | Strategy of (Config.t list -> int)  (** custom adversary *)
+
+type stop_reason =
+  | All_halted
+  | Scheduler_stopped
+  | Step_limit
+
+type result = {
+  final : Config.t;
+  trace : Trace.t;
+  steps : int;
+  stop : stop_reason;
+}
+
+val run :
+  ?nondet:nondet ->
+  ?max_steps:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  inputs:Value.t array ->
+  scheduler:Scheduler.t ->
+  unit ->
+  result
+
+val run_solo :
+  ?nondet:nondet ->
+  ?max_steps:int ->
+  machine:Machine.t ->
+  specs:Obj_spec.t array ->
+  Config.t ->
+  int ->
+  result
+(** Continue a configuration with one process running solo until it
+    halts — the paper's "q-solo history" device. *)

@@ -1,0 +1,63 @@
+(* Structured crash injection.
+
+   In the asynchronous model a crash is indistinguishable from never
+   being scheduled again, so crashes are implemented as scheduler
+   surgery: a plan says after how many of its own steps each victim
+   stops.  [apply plan scheduler] yields a scheduler that follows the
+   base scheduler but silently removes each victim once its budget is
+   exhausted. *)
+
+type plan = (int * int) list
+(* (pid, steps_before_crash): pid takes exactly that many steps, then
+   crashes.  Processes not listed never crash. *)
+
+let pp_plan ppf plan =
+  Fmt.pf ppf "[%a]"
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf (pid, steps) ->
+          Fmt.pf ppf "p%d after %d" pid steps))
+    plan
+
+let apply (plan : plan) (base : Scheduler.t) : Scheduler.t =
+  let taken = Hashtbl.create 8 in
+  let crashed pid =
+    match List.assoc_opt pid plan with
+    | None -> false
+    | Some budget -> Option.value (Hashtbl.find_opt taken pid) ~default:0 >= budget
+  in
+  let next ~step ~runnable =
+    let runnable = List.filter (fun pid -> not (crashed pid)) runnable in
+    match base.Scheduler.next ~step ~runnable with
+    | None -> None
+    | Some pid ->
+      Hashtbl.replace taken pid
+        (Option.value (Hashtbl.find_opt taken pid) ~default:0 + 1);
+      Some pid
+  in
+  Scheduler.make ~name:(Fmt.str "%s+crash%a" base.Scheduler.name pp_plan plan) next
+
+(* All crash plans over n processes where each victim in [victims]
+   crashes after at most [max_steps] of its own steps — used for
+   fault-injection sweeps. *)
+let enumerate ~victims ~max_steps : plan list =
+  let rec go = function
+    | [] -> [ [] ]
+    | pid :: rest ->
+      let tails = go rest in
+      List.concat_map
+        (fun tail ->
+          [] :: List.map (fun s -> [ (pid, s) ]) (Lbsa_util.Listx.range 0 max_steps)
+          |> List.map (fun choice -> choice @ tail))
+        tails
+  in
+  go victims
+
+(* Random crash plan: each victim crashes with probability 1/2 after a
+   uniform number of its own steps. *)
+let random ~prng ~victims ~max_steps : plan =
+  List.filter_map
+    (fun pid ->
+      if Lbsa_util.Prng.bool prng then
+        Some (pid, Lbsa_util.Prng.int prng (max_steps + 1))
+      else None)
+    victims

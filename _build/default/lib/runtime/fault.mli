@@ -1,0 +1,17 @@
+(** Structured crash injection: a crash is scheduler surgery (the victim
+    is never scheduled again after its step budget). *)
+
+type plan = (int * int) list
+(** [(pid, steps_before_crash)] pairs; unlisted processes never crash. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val apply : plan -> Scheduler.t -> Scheduler.t
+(** Follow the base scheduler, removing each victim once its budget is
+    exhausted. *)
+
+val enumerate : victims:int list -> max_steps:int -> plan list
+(** All plans where each victim either survives or crashes after at most
+    [max_steps] of its own steps. *)
+
+val random : prng:Lbsa_util.Prng.t -> victims:int list -> max_steps:int -> plan

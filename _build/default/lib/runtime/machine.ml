@@ -1,0 +1,46 @@
+open Lbsa_spec
+
+(* Protocols as step machines over comparable local states.
+
+   A process's local state is a [Value.t]; [delta] inspects it and says
+   what the process does next:
+
+   - [Invoke { obj; op; resume }]: one atomic step on shared object
+     [obj]; [resume] maps the object's response to the next local state;
+   - [Decide v]: the process decides v and halts;
+   - [Abort]: the process aborts and halts (only the distinguished
+     process of an n-DAC execution ever does this).
+
+   Keeping local states comparable (rather than using closures as
+   continuations) is what makes global configurations comparable, so the
+   model checker can memoize; [resume] is re-derived from the local state
+   on every visit and never stored. *)
+
+type step =
+  | Invoke of { obj : int; op : Op.t; resume : Value.t -> Value.t }
+  | Decide of Value.t
+  | Abort
+
+type t = {
+  name : string;
+  init : pid:int -> input:Value.t -> Value.t;
+  delta : pid:int -> Value.t -> step;
+}
+
+let make ~name ~init ~delta = { name; init; delta }
+
+let invoke obj op resume = Invoke { obj; op; resume }
+
+let bad_state ~machine ~pid state =
+  invalid_arg
+    (Fmt.str "machine %s: process %d has no transition from local state %a"
+       machine pid Value.pp state)
+
+(* A machine whose every process decides its input immediately; useful in
+   tests and as a trivial baseline. *)
+let trivial_decide_input =
+  {
+    name = "decide-input";
+    init = (fun ~pid:_ ~input -> input);
+    delta = (fun ~pid:_ v -> Decide v);
+  }

@@ -1,0 +1,37 @@
+(** Protocols as step machines over comparable local states.
+
+    A process's local state is a {!Lbsa_spec.Value.t}.  [delta ~pid state]
+    says what the process does next; an [Invoke] is a single atomic step
+    on a shared object, exactly the step granularity of the paper's
+    model.  Local states being comparable is what makes whole
+    configurations comparable and hence model-checkable. *)
+
+open Lbsa_spec
+
+type step =
+  | Invoke of { obj : int; op : Op.t; resume : Value.t -> Value.t }
+      (** One atomic operation on shared object [obj]; [resume] maps the
+          response to the next local state. *)
+  | Decide of Value.t  (** Decide and halt. *)
+  | Abort  (** Abort and halt (n-DAC distinguished process only). *)
+
+type t = {
+  name : string;
+  init : pid:int -> input:Value.t -> Value.t;
+  delta : pid:int -> Value.t -> step;
+}
+
+val make :
+  name:string ->
+  init:(pid:int -> input:Value.t -> Value.t) ->
+  delta:(pid:int -> Value.t -> step) ->
+  t
+
+val invoke : int -> Op.t -> (Value.t -> Value.t) -> step
+
+val bad_state : machine:string -> pid:int -> Value.t -> 'a
+(** Raise a descriptive [Invalid_argument] for an unreachable local
+    state; protocols use it as their catch-all [delta] clause. *)
+
+val trivial_decide_input : t
+(** Every process immediately decides its input. *)

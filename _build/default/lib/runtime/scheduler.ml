@@ -1,0 +1,87 @@
+(* Schedulers: adversaries that pick which running process takes the next
+   atomic step.  A scheduler sees the step index and the set of running
+   processes; returning [None] ends the run (e.g. a solo scheduler whose
+   process has halted). *)
+
+type t = {
+  name : string;
+  next : step:int -> runnable:int list -> int option;
+}
+
+let make ~name next = { name; next }
+
+let round_robin ~n =
+  let next ~step ~runnable =
+    match runnable with
+    | [] -> None
+    | _ ->
+      (* Scan from (step mod n) for the next runnable pid, so halted
+         processes don't stall the rotation. *)
+      let start = step mod n in
+      let rec find k =
+        if k >= n then None
+        else
+          let pid = (start + k) mod n in
+          if List.mem pid runnable then Some pid else find (k + 1)
+      in
+      find 0
+  in
+  make ~name:"round-robin" next
+
+let random ~seed =
+  let prng = Lbsa_util.Prng.create seed in
+  let next ~step:_ ~runnable =
+    match runnable with
+    | [] -> None
+    | _ -> Some (Lbsa_util.Prng.pick prng runnable)
+  in
+  make ~name:(Fmt.str "random:%d" seed) next
+
+let solo pid =
+  let next ~step:_ ~runnable =
+    if List.mem pid runnable then Some pid else None
+  in
+  make ~name:(Fmt.str "solo:p%d" pid) next
+
+(* Run a fixed finite schedule, then stop. *)
+let fixed pids =
+  let arr = Array.of_list pids in
+  let next ~step ~runnable =
+    if step >= Array.length arr then None
+    else
+      let pid = arr.(step) in
+      if List.mem pid runnable then Some pid else None
+  in
+  make ~name:"fixed" next
+
+(* Run a fixed prefix, then continue with another scheduler. *)
+let prefix pids continue =
+  let arr = Array.of_list pids in
+  let next ~step ~runnable =
+    if step < Array.length arr then
+      let pid = arr.(step) in
+      if List.mem pid runnable then Some pid else None
+    else continue.next ~step:(step - Array.length arr) ~runnable
+  in
+  make ~name:(Fmt.str "prefix->%s" continue.name) next
+
+(* Exclude a set of processes (they behave as crashed from the
+   scheduler's point of view). *)
+let excluding dead sched =
+  let next ~step ~runnable =
+    let runnable = List.filter (fun pid -> not (List.mem pid dead)) runnable in
+    sched.next ~step ~runnable
+  in
+  make ~name:(Fmt.str "%s\\dead" sched.name) next
+
+(* A scheduler biased to starve [victim]: it schedules the victim only
+   when no other process is runnable.  This is the classic unfair
+   adversary used to exercise solo-termination properties. *)
+let starving victim sched =
+  let next ~step ~runnable =
+    let others = List.filter (fun pid -> pid <> victim) runnable in
+    match others with
+    | [] -> if List.mem victim runnable then Some victim else None
+    | _ -> sched.next ~step ~runnable:others
+  in
+  make ~name:(Fmt.str "starve:p%d" victim) next

@@ -1,0 +1,31 @@
+(** Schedulers: adversaries choosing which running process takes the next
+    atomic step.  Returning [None] ends the run. *)
+
+type t = {
+  name : string;
+  next : step:int -> runnable:int list -> int option;
+}
+
+val make : name:string -> (step:int -> runnable:int list -> int option) -> t
+
+val round_robin : n:int -> t
+(** Fair rotation over [n] processes, skipping halted ones. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable processes; reproducible from [seed]. *)
+
+val solo : int -> t
+(** Only the given process runs ("solo runs" of the paper). *)
+
+val fixed : int list -> t
+(** Play exactly this finite schedule, then stop. *)
+
+val prefix : int list -> t -> t
+(** Play the finite prefix, then hand over to the given scheduler. *)
+
+val excluding : int list -> t -> t
+(** Treat the listed processes as crashed. *)
+
+val starving : int -> t -> t
+(** Starve the given process: schedule it only when nobody else can
+    run. *)

@@ -1,0 +1,1 @@
+lib/spec/obj_spec.ml: Fmt Format List Op Option Value

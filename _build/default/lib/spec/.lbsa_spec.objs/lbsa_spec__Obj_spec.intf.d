@@ -1,0 +1,1 @@
+lib/spec/obj_spec.mli: Format Op Value

@@ -1,0 +1,1 @@
+lib/spec/shistory.ml: Fmt List Obj_spec Op Set Value

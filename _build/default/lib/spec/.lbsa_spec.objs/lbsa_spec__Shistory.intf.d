@@ -1,0 +1,1 @@
+lib/spec/shistory.mli: Format Obj_spec Op Value

@@ -1,0 +1,1 @@
+lib/spec/value.ml: Fmt Hashtbl List Stdlib String

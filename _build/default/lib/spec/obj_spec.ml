@@ -1,0 +1,71 @@
+(* Sequential specifications of linearizable shared objects.
+
+   A specification is a (possibly nondeterministic) transition function on
+   comparable states.  [step state op] returns the non-empty list of all
+   possible (next state, response) branches:
+
+   - deterministic objects (registers, consensus objects, PAC objects)
+     always return a singleton;
+   - nondeterministic objects (the strong 2-SA object, (n,k)-SA objects)
+     return one branch per allowed response, exactly mirroring the
+     adversarial choice in the paper.
+
+   Simulation resolves branches with a pluggable [choice]; the model
+   checker explores all of them. *)
+
+type state = Value.t
+
+type branch = { next : state; response : Value.t }
+
+type t = {
+  name : string;
+  initial : state;
+  step : state -> Op.t -> branch list;
+  pp_state : Format.formatter -> state -> unit;
+}
+
+exception Unknown_operation of string * Op.t
+
+let unknown t op = raise (Unknown_operation (t, op))
+
+let make ?pp_state ~name ~initial ~step () =
+  let pp_state = Option.value pp_state ~default:Value.pp in
+  { name; initial; step; pp_state }
+
+let branches t state op =
+  match t.step state op with
+  | [] ->
+    invalid_arg
+      (Fmt.str "Obj_spec %s: no branch for %a in state %a" t.name Op.pp op
+         t.pp_state state)
+  | bs -> bs
+
+let is_deterministic_at t state op =
+  match t.step state op with
+  | [ _ ] -> true
+  | _ -> false
+
+(* Apply assuming determinism; raises if the object actually branches. *)
+let apply_det t state op =
+  match branches t state op with
+  | [ b ] -> (b.next, b.response)
+  | bs ->
+    invalid_arg
+      (Fmt.str "Obj_spec %s: %a is nondeterministic here (%d branches)"
+         t.name Op.pp op (List.length bs))
+
+(* Apply resolving nondeterminism with [choice], which picks an index
+   into the branch list.  [choice] sees the full branch list so an
+   adversary can pick by inspecting responses. *)
+let apply ~choice t state op =
+  let bs = branches t state op in
+  match bs with
+  | [ b ] -> (b.next, b.response)
+  | _ ->
+    let i = choice bs in
+    if i < 0 || i >= List.length bs then
+      invalid_arg "Obj_spec.apply: choice out of range";
+    let b = List.nth bs i in
+    (b.next, b.response)
+
+let pp ppf t = Fmt.pf ppf "<%s>" t.name

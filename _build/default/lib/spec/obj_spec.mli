@@ -1,0 +1,49 @@
+(** Sequential specifications of linearizable shared objects.
+
+    A specification is a (possibly nondeterministic) transition function
+    on comparable states: [step state op] returns every allowed
+    (next-state, response) branch.  Deterministic objects return
+    singletons; the strong 2-SA object of the paper returns one branch per
+    value the adversary may hand back. *)
+
+type state = Value.t
+
+type branch = { next : state; response : Value.t }
+
+type t = {
+  name : string;
+  initial : state;
+  step : state -> Op.t -> branch list;
+  pp_state : Format.formatter -> state -> unit;
+}
+
+exception Unknown_operation of string * Op.t
+(** Raised by specifications when handed an operation they do not
+    support. *)
+
+val unknown : string -> Op.t -> 'a
+(** [unknown name op] raises {!Unknown_operation}. *)
+
+val make :
+  ?pp_state:(Format.formatter -> state -> unit) ->
+  name:string ->
+  initial:state ->
+  step:(state -> Op.t -> branch list) ->
+  unit ->
+  t
+
+val branches : t -> state -> Op.t -> branch list
+(** All branches; guaranteed non-empty (raises [Invalid_argument] on a
+    specification bug). *)
+
+val is_deterministic_at : t -> state -> Op.t -> bool
+
+val apply_det : t -> state -> Op.t -> state * Value.t
+(** Apply an operation that must be deterministic at this state. *)
+
+val apply :
+  choice:(branch list -> int) -> t -> state -> Op.t -> state * Value.t
+(** Apply an operation, resolving nondeterminism with [choice] (an index
+    into the branch list). *)
+
+val pp : Format.formatter -> t -> unit

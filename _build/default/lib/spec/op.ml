@@ -1,0 +1,19 @@
+(* An operation invocation: a name plus argument values.  Objects give
+   meaning to operations via their sequential specification. *)
+
+type t = { name : string; args : Value.t list }
+
+let make name args = { name; args }
+
+let compare a b =
+  let c = String.compare a.name b.name in
+  if c <> 0 then c else List.compare Value.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let pp ppf { name; args } =
+  match args with
+  | [] -> Fmt.pf ppf "%s()" name
+  | _ -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") Value.pp) args
+
+let to_string op = Fmt.str "%a" pp op

@@ -1,0 +1,9 @@
+(** Operation invocations: a name plus argument values. *)
+
+type t = { name : string; args : Value.t list }
+
+val make : string -> Value.t list -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,56 @@
+(* Sequential histories: sequences of (operation, response) events applied
+   to a single object, in the sense of Section 3 of the paper.  Replaying
+   a history against a specification checks that every recorded response
+   is one the specification allows, and returns the reachable final
+   states (a set, because of nondeterministic objects). *)
+
+type event = { op : Op.t; response : Value.t }
+
+type t = event list
+
+let event op response = { op; response }
+
+let pp_event ppf { op; response } =
+  Fmt.pf ppf "%a -> %a" Op.pp op Value.pp response
+
+let pp ppf h = Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_event) h
+
+(* All specification states reachable by replaying [h] from [state],
+   keeping only branches whose response matches the recorded one. *)
+let replay_from (spec : Obj_spec.t) state (h : t) : Obj_spec.state list =
+  let module VS = Set.Make (Value) in
+  let step states { op; response } =
+    VS.fold
+      (fun s acc ->
+        List.fold_left
+          (fun acc (b : Obj_spec.branch) ->
+            if Value.equal b.response response then VS.add b.next acc else acc)
+          acc
+          (Obj_spec.branches spec s op))
+      states VS.empty
+  in
+  let final = List.fold_left step (VS.singleton state) h in
+  VS.elements final
+
+let replay spec h = replay_from spec spec.Obj_spec.initial h
+
+(* A history is admissible if some resolution of the object's
+   nondeterminism produces exactly the recorded responses. *)
+let admissible spec h = replay spec h <> []
+
+(* Generate a history by applying the given operations in order,
+   resolving nondeterminism with [choice]. *)
+let run ?(choice = fun _ -> 0) (spec : Obj_spec.t) ops : t * Obj_spec.state =
+  let state = ref spec.initial in
+  let events =
+    List.map
+      (fun op ->
+        let next, response = Obj_spec.apply ~choice spec !state op in
+        state := next;
+        { op; response })
+      ops
+  in
+  (events, !state)
+
+let responses h = List.map (fun e -> e.response) h
+let ops h = List.map (fun e -> e.op) h

@@ -1,0 +1,33 @@
+(** Sequential histories of a single object: sequences of
+    (operation, response) events, as in Section 3 of the paper. *)
+
+type event = { op : Op.t; response : Value.t }
+type t = event list
+
+val event : Op.t -> Value.t -> event
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val replay_from : Obj_spec.t -> Obj_spec.state -> t -> Obj_spec.state list
+(** All states reachable by replaying the history from the given state,
+    keeping only nondeterministic branches that match the recorded
+    responses. *)
+
+val replay : Obj_spec.t -> t -> Obj_spec.state list
+(** [replay spec h] = [replay_from spec spec.initial h]. *)
+
+val admissible : Obj_spec.t -> t -> bool
+(** Does some resolution of the object's nondeterminism produce exactly
+    the recorded responses? *)
+
+val run :
+  ?choice:(Obj_spec.branch list -> int) ->
+  Obj_spec.t ->
+  Op.t list ->
+  t * Obj_spec.state
+(** Apply the operations in order (resolving nondeterminism with
+    [choice], default: first branch); returns the history and final
+    state. *)
+
+val responses : t -> Value.t list
+val ops : t -> Op.t list

@@ -1,0 +1,176 @@
+(* The universal value type.
+
+   Everything in the simulation universe -- proposal values, object
+   responses, object states, and protocol local states -- is a [Value.t].
+   Keeping a single comparable, hashable tree type is the design decision
+   that makes global configurations comparable, which in turn is what lets
+   the model checker memoize reachability and compute valences. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Bot (* the special value "⊥" returned by upset/exhausted objects *)
+  | Nil (* the special value "NIL" used in sequential specifications *)
+  | Done (* the response "done" of propose operations on PAC objects *)
+  | Pair of t * t
+  | List of t list
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Bot, Bot -> 0
+  | Bot, _ -> -1
+  | _, Bot -> 1
+  | Nil, Nil -> 0
+  | Nil, _ -> -1
+  | _, Nil -> 1
+  | Done, Done -> 0
+  | Done, _ -> -1
+  | _, Done -> 1
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | List xs, List ys -> compare_lists xs ys
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+let hash (v : t) = Hashtbl.hash v
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Sym s -> Fmt.string ppf s
+  | Bot -> Fmt.string ppf "⊥"
+  | Nil -> Fmt.string ppf "NIL"
+  | Done -> Fmt.string ppf "done"
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp) vs
+
+let to_string v = Fmt.str "%a" pp v
+
+(* Constructors / accessors used pervasively. *)
+
+let int i = Int i
+let bool b = Bool b
+let sym s = Sym s
+let pair a b = Pair (a, b)
+let list vs = List vs
+
+let to_int = function
+  | Int i -> Some i
+  | _ -> None
+
+let to_int_exn v =
+  match v with
+  | Int i -> i
+  | _ -> invalid_arg (Fmt.str "Value.to_int_exn: %a" pp v)
+
+let to_list_exn = function
+  | List vs -> vs
+  | v -> invalid_arg (Fmt.str "Value.to_list_exn: %a" pp v)
+
+let is_bot = function
+  | Bot -> true
+  | _ -> false
+
+let is_nil = function
+  | Nil -> true
+  | _ -> false
+
+(* Association-list maps encoded as values, used for structured object
+   states (e.g. the V[1..n] array of an n-PAC object).  Keys are kept
+   sorted so that equal maps are structurally equal values. *)
+module Assoc = struct
+  let empty = List []
+
+  let rec set_sorted k v = function
+    | [] -> [ Pair (k, v) ]
+    | Pair (k', v') :: rest as all ->
+      let c = compare k k' in
+      if c < 0 then Pair (k, v) :: all
+      else if c = 0 then Pair (k, v) :: rest
+      else Pair (k', v') :: set_sorted k v rest
+    | _ -> invalid_arg "Value.Assoc: malformed map"
+
+  let set m k v =
+    match m with
+    | List entries -> List (set_sorted k v entries)
+    | _ -> invalid_arg "Value.Assoc.set: not a map"
+
+  let get m k =
+    match m with
+    | List entries ->
+      let rec find = function
+        | [] -> None
+        | Pair (k', v') :: rest -> if equal k k' then Some v' else find rest
+        | _ -> invalid_arg "Value.Assoc: malformed map"
+      in
+      find entries
+    | _ -> invalid_arg "Value.Assoc.get: not a map"
+
+  let get_or m k ~default =
+    match get m k with
+    | Some v -> v
+    | None -> default
+
+  let bindings m =
+    match m with
+    | List entries ->
+      List.map
+        (function
+          | Pair (k, v) -> (k, v)
+          | _ -> invalid_arg "Value.Assoc: malformed map")
+        entries
+    | _ -> invalid_arg "Value.Assoc.bindings: not a map"
+
+  let of_bindings bs =
+    List.fold_left (fun m (k, v) -> set m k v) empty bs
+end
+
+module Set_ = struct
+  (* Sets encoded as sorted duplicate-free value lists. *)
+  let empty = List []
+
+  let elements = function
+    | List vs -> vs
+    | _ -> invalid_arg "Value.Set_.elements: not a set"
+
+  let mem v s = List.exists (equal v) (elements s)
+
+  let add v s =
+    let rec ins = function
+      | [] -> [ v ]
+      | x :: rest as all ->
+        let c = compare v x in
+        if c < 0 then v :: all else if c = 0 then all else x :: ins rest
+    in
+    List (ins (elements s))
+
+  let cardinal s = List.length (elements s)
+
+  let of_list vs = List.fold_left (fun s v -> add v s) empty vs
+end

@@ -1,0 +1,59 @@
+(** The universal value type of the simulation universe.
+
+    Proposal values, object responses, object states and protocol local
+    states are all values of this single comparable, hashable tree type.
+    This is what makes whole configurations comparable and therefore
+    memoizable by the model checker. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Sym of string
+  | Bot  (** the special value ⊥ returned by upset/exhausted objects *)
+  | Nil  (** the NIL of the paper's sequential specifications *)
+  | Done  (** the [done] response of PAC propose operations *)
+  | Pair of t * t
+  | List of t list
+
+val compare : t -> t -> int
+(** Total structural order. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val int : int -> t
+val bool : bool -> t
+val sym : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+
+val to_int : t -> int option
+val to_int_exn : t -> int
+val to_list_exn : t -> t list
+val is_bot : t -> bool
+val is_nil : t -> bool
+
+(** Finite maps encoded as values (sorted association lists), used for
+    structured object states such as the V[1..n] array of an n-PAC. *)
+module Assoc : sig
+  val empty : t
+  val set : t -> t -> t -> t
+  val get : t -> t -> t option
+  val get_or : t -> t -> default:t -> t
+  val bindings : t -> (t * t) list
+  val of_bindings : (t * t) list -> t
+end
+
+(** Finite sets encoded as values (sorted duplicate-free lists), used for
+    e.g. the STATE component of the strong 2-SA object. *)
+module Set_ : sig
+  val empty : t
+  val mem : t -> t -> bool
+  val add : t -> t -> t
+  val cardinal : t -> int
+  val elements : t -> t list
+  val of_list : t list -> t
+end

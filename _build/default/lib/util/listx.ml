@@ -1,0 +1,51 @@
+(* Small list utilities shared across the library. *)
+
+let rec range lo hi = if lo > hi then [] else lo :: range (lo + 1) hi
+
+let init n f = List.init n f
+
+let dedup_sorted compare xs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if compare a b = 0 then go rest else a :: go rest
+    | xs -> xs
+  in
+  go xs
+
+let sort_uniq compare xs = dedup_sorted compare (List.sort compare xs)
+
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+(* All ways to interleave the elements of the given sequences while
+   preserving each sequence's internal order.  Used by the
+   linearizability test generators; exponential, intended for tiny
+   inputs only. *)
+let interleavings seqs =
+  let rec go seqs =
+    let nonempty = List.filter (fun s -> s <> []) seqs in
+    if nonempty = [] then [ [] ]
+    else
+      List.concat_map
+        (fun i ->
+          match List.nth seqs i with
+          | [] -> []
+          | x :: rest ->
+            let seqs' = List.mapi (fun j s -> if j = i then rest else s) seqs in
+            List.map (fun tail -> x :: tail) (go seqs'))
+        (range 0 (List.length seqs - 1))
+  in
+  go seqs
+
+let count p xs = List.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 xs
+
+let max_by cmp = function
+  | [] -> invalid_arg "Listx.max_by: empty list"
+  | x :: xs -> List.fold_left (fun best y -> if cmp y best > 0 then y else best) x xs
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs

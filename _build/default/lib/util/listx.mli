@@ -1,0 +1,24 @@
+(** Small list utilities shared across the library. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [lo; lo+1; ...; hi] (empty when [lo > hi]). *)
+
+val init : int -> (int -> 'a) -> 'a list
+
+val dedup_sorted : ('a -> 'a -> int) -> 'a list -> 'a list
+(** Remove adjacent duplicates of a sorted list. *)
+
+val sort_uniq : ('a -> 'a -> int) -> 'a list -> 'a list
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+
+val interleavings : 'a list list -> 'a list list
+(** All ways to interleave the given sequences preserving each one's
+    internal order; exponential, intended for tiny inputs only. *)
+
+val count : ('a -> bool) -> 'a list -> int
+
+val max_by : ('a -> 'a -> int) -> 'a list -> 'a
+(** Raises [Invalid_argument] on the empty list. *)
+
+val take : int -> 'a list -> 'a list

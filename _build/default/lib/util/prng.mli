@@ -1,0 +1,37 @@
+(** Deterministic, splittable pseudo-random number generator (SplitMix64).
+
+    All randomized components of the library (schedulers, workload
+    generators, nondeterminism adversaries) draw from this generator so
+    that every run is reproducible from an integer seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator determined by [seed]. *)
+
+val copy : t -> t
+(** Independent copy sharing no future state with the original. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent
+    generator; used to give each process its own stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** Fisher–Yates shuffle of a copy of the array. *)

@@ -1,0 +1,1 @@
+test/test_bg.ml: Alcotest Array Bg_simulation Fault Fmt Lbsa List Listx Scheduler Sim_protocol Value

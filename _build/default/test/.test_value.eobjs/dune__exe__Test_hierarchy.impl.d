@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Consensus_protocols Fmt Lbsa Level List Power Qadri Separation Solvability

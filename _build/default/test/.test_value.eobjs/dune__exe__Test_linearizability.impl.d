@@ -1,0 +1,1 @@
+test/test_linearizability.ml: Alcotest Array Chistory Classic Lbsa Lin_checker Lin_gen List Listx Pac Prng Register Sa2 Shistory Value

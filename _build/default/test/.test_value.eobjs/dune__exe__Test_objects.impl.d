@@ -1,0 +1,1 @@
+test/test_objects.ml: Alcotest Classic Consensus_obj Lbsa List Listx Nk_sa O_n O_prime Obj_spec Op Pac_nm Prng Register Registry Sa2 Shistory Value

@@ -1,0 +1,1 @@
+test/test_pac.ml: Alcotest Fmt Lbsa List Listx Obj_spec Op Pac Prng Shistory Value

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Config Consensus_protocols Dac Dac_from_pac Executor Fault Fmt Lbsa List Machine Obj_spec Prng Register Sa2 Scheduler String Trace Value

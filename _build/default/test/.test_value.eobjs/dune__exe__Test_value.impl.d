@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array Lbsa List Listx Op Option Prng Register Sa2 Shistory Value

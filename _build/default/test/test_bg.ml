@@ -1,0 +1,216 @@
+(* The BG simulation: simulated executions must be indistinguishable
+   from real ones (decision vectors land in the direct-execution set),
+   simulators agree on every simulated view, the snapshot property holds
+   on agreed views, and a crashed simulator blocks at most one simulated
+   process. *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let sim_inputs n = Array.init n (fun j -> Value.Int (10 + j))
+
+let check_run_valid ~p ~inputs ~outcomes (r : Bg_simulation.run) =
+  (match r.Bg_simulation.simulated_decisions with
+  | None -> Alcotest.fail "no simulator completed"
+  | Some ds ->
+    Alcotest.(check int) "full decision vector" p.Sim_protocol.n_sim
+      (List.length ds);
+    let vector = Value.List ds in
+    Alcotest.(check bool)
+      (Fmt.str "simulated outcome %a is a direct outcome" Value.pp vector)
+      true
+      (List.exists (Value.equal vector) outcomes));
+  ignore inputs;
+  Alcotest.(check bool) "simulators agree on views" true
+    (Bg_simulation.simulators_agree r);
+  Alcotest.(check bool) "agreed views are cell-wise comparable" true
+    (Bg_simulation.views_comparable r.Bg_simulation.all_views)
+
+let test_solo_simulator () =
+  let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
+  let inputs = sim_inputs 3 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  let r =
+    Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:1
+      ~scheduler:(Scheduler.solo 0) ()
+  in
+  check_run_valid ~p ~inputs ~outcomes r;
+  (* A solo simulator produces the solo-style simulated execution: the
+     simulated processes run in the simulator's round-robin order, so
+     process 0's first view contains only itself. *)
+  match r.Bg_simulation.simulated_decisions with
+  | Some (first :: _) ->
+    Alcotest.(check v) "simulated p0 ran first, saw only itself"
+      (Value.Int 10) first
+  | _ -> Alcotest.fail "expected decisions"
+
+let test_two_simulators_random () =
+  let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
+  let inputs = sim_inputs 3 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  for seed = 1 to 40 do
+    let r =
+      Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:2
+        ~scheduler:(Scheduler.random ~seed) ()
+    in
+    check_run_valid ~p ~inputs ~outcomes r
+  done
+
+let test_more_simulators_than_processes () =
+  let p = Sim_protocol.min_seen ~n_sim:2 ~steps:1 in
+  let inputs = sim_inputs 2 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  for seed = 1 to 20 do
+    let r =
+      Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:3
+        ~scheduler:(Scheduler.random ~seed) ()
+    in
+    check_run_valid ~p ~inputs ~outcomes r
+  done
+
+let test_multi_step_protocol () =
+  let p = Sim_protocol.participants ~n_sim:2 ~steps:2 in
+  let inputs = sim_inputs 2 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  for seed = 1 to 40 do
+    let r =
+      Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:2
+        ~scheduler:(Scheduler.random ~seed) ()
+    in
+    check_run_valid ~p ~inputs ~outcomes r
+  done
+
+let test_crashed_simulator_blocks_at_most_one () =
+  (* Crash simulator 0 after a few of its own steps, at every small
+     budget: the survivor must complete all but at most one simulated
+     process; when nothing was blocked it must finish and its outcome
+     must be a direct outcome. *)
+  let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
+  let inputs = sim_inputs 3 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  List.iter
+    (fun budget ->
+      let scheduler =
+        Fault.apply [ (0, budget) ] (Scheduler.round_robin ~n:2)
+      in
+      let r =
+        Bg_simulation.run ~max_steps:5_000 ~p ~sim_inputs:inputs ~simulators:2
+          ~scheduler ()
+      in
+      match r.Bg_simulation.simulated_decisions with
+      | Some ds ->
+        let vector = Value.List ds in
+        Alcotest.(check bool)
+          (Fmt.str "budget %d: outcome %a is a direct outcome" budget Value.pp
+             vector)
+          true
+          (List.exists (Value.equal vector) outcomes)
+      | None ->
+        (* Blocked: the survivor (simulator 1) must have completed all
+           simulated processes except at most one. *)
+        let progress = r.Bg_simulation.per_simulator_progress.(1) in
+        let incomplete =
+          List.length
+            (List.filter
+               (fun j ->
+                 match List.assoc_opt j progress with
+                 | Some c -> c < p.Sim_protocol.steps
+                 | None -> true)
+               (Listx.range 0 (p.Sim_protocol.n_sim - 1)))
+        in
+        Alcotest.(check bool)
+          (Fmt.str "budget %d: at most one simulated process blocked" budget)
+          true (incomplete <= 1))
+    (Listx.range 0 12)
+
+let test_exhaustive_tiny () =
+  (* EVERY interleaving of the simulators, not just sampled schedules:
+     every terminal decision vector is a genuine direct outcome. *)
+  List.iter
+    (fun (n_sim, simulators) ->
+      let p = Sim_protocol.min_seen ~n_sim ~steps:1 in
+      let sim_inputs = Array.init n_sim (fun j -> Value.Int (10 + j)) in
+      let r =
+        Bg_simulation.check_exhaustive ~p ~sim_inputs ~simulators ()
+      in
+      Alcotest.(check bool)
+        (Fmt.str "n_sim=%d sims=%d: %d states, %d terminals, %d bad" n_sim
+           simulators r.Bg_simulation.states r.Bg_simulation.terminals
+           r.Bg_simulation.bad_outcomes)
+        true r.Bg_simulation.all_genuine;
+      Alcotest.(check bool) "some terminals" true (r.Bg_simulation.terminals > 0))
+    [ (2, 2); (3, 2) ]
+
+let test_exhaustive_three_simulators () =
+  let p = Sim_protocol.min_seen ~n_sim:2 ~steps:1 in
+  let sim_inputs = [| Value.Int 10; Value.Int 11 |] in
+  let r =
+    Bg_simulation.check_exhaustive ~max_states:1_000_000 ~p ~sim_inputs
+      ~simulators:3 ()
+  in
+  Alcotest.(check bool) "all genuine" true r.Bg_simulation.all_genuine
+
+let test_direct_outcomes_sanity () =
+  (* The direct outcome set of min-seen with 2 processes and distinct
+     inputs: solo-first orders give (10,10), (10,11)... enumerate and
+     sanity-check shape. *)
+  let p = Sim_protocol.min_seen ~n_sim:2 ~steps:1 in
+  let inputs = sim_inputs 2 in
+  let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+  Alcotest.(check bool) "at least two distinct outcomes" true
+    (List.length outcomes >= 2);
+  (* Every outcome's entries are proposed inputs. *)
+  List.iter
+    (fun vector ->
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "outcome entries are inputs" true
+            (List.mem d [ Value.Int 10; Value.Int 11 ]))
+        (Value.to_list_exn vector))
+    outcomes;
+  (* p0 deciding 11 while p1 decides 10 (fully crossed) is impossible
+     for min-seen: whoever scans second sees both. *)
+  Alcotest.(check bool) "crossed outcome impossible" false
+    (List.exists
+       (Value.equal (Value.List [ Value.Int 11; Value.Int 10 ]))
+       outcomes)
+
+let test_view_comparability_helpers () =
+  let cell t = Value.Pair (Value.Int t, Value.Sym "x") in
+  let view a b = Value.List [ cell a; cell b ] in
+  Alcotest.(check bool) "le" true (Bg_simulation.view_le (view 1 1) (view 2 1));
+  Alcotest.(check bool) "not le" false
+    (Bg_simulation.view_le (view 2 1) (view 1 2));
+  Alcotest.(check bool) "comparable set" true
+    (Bg_simulation.views_comparable [ view 0 0; view 1 0; view 1 2 ]);
+  Alcotest.(check bool) "incomparable pair detected" false
+    (Bg_simulation.views_comparable [ view 2 1; view 1 2 ])
+
+let () =
+  Alcotest.run "bg-simulation"
+    [
+      ( "simulation",
+        [
+          Alcotest.test_case "solo simulator" `Quick test_solo_simulator;
+          Alcotest.test_case "2 simulators / 3 processes, random" `Quick
+            test_two_simulators_random;
+          Alcotest.test_case "3 simulators / 2 processes" `Quick
+            test_more_simulators_than_processes;
+          Alcotest.test_case "multi-step protocol" `Quick
+            test_multi_step_protocol;
+          Alcotest.test_case "crash blocks at most one" `Quick
+            test_crashed_simulator_blocks_at_most_one;
+          Alcotest.test_case "exhaustive (all interleavings)" `Quick
+            test_exhaustive_tiny;
+          Alcotest.test_case "exhaustive, 3 simulators" `Slow
+            test_exhaustive_three_simulators;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "direct outcomes sanity" `Quick
+            test_direct_outcomes_sanity;
+          Alcotest.test_case "view comparability" `Quick
+            test_view_comparability_helpers;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* The hierarchy toolkit: set agreement power, level reports, and the
+   Section 6 separation artifacts. *)
+
+open Lbsa
+
+let bound = Alcotest.testable Power.pp_bound (fun a b -> a = b)
+
+let test_closed_forms () =
+  Alcotest.(check (list bound)) "m-consensus power"
+    [ Power.Finite 2; Power.Finite 4; Power.Finite 6 ]
+    (Power.consensus_power ~m:2 ~max_k:3);
+  Alcotest.(check (list bound)) "2-SA power"
+    [ Power.Finite 1; Power.Infinite; Power.Infinite ]
+    (Power.sa2_power ~max_k:3);
+  Alcotest.(check (list bound)) "O_n power lower bound"
+    [ Power.Finite 3; Power.Finite 6; Power.Finite 9 ]
+    (Power.o_n_power_lower ~n:3 ~max_k:3)
+
+let test_probe_consensus_family () =
+  (* k=1, m=2: consensus among 2 from one 2-consensus object. *)
+  let p = Power.probe_consensus_family ~m:2 ~k:1 () in
+  Alcotest.(check bool) "m=2 k=1 solvable" true p.Power.solvable;
+  (* k=2, m=2: 2-set agreement among 4 from two 2-consensus objects. *)
+  let p = Power.probe_consensus_family ~m:2 ~k:2 () in
+  Alcotest.(check bool) "m=2 k=2 solvable" true p.Power.solvable;
+  Alcotest.(check int) "procs = k*m" 4 p.Power.procs
+
+let test_probe_sa2_family () =
+  let p = Power.probe_sa2_family ~k:2 ~procs:4 () in
+  Alcotest.(check bool) "2-SA solves 2-set among 4" true p.Power.solvable;
+  let p = Power.probe_sa2_family ~k:3 ~procs:5 () in
+  Alcotest.(check bool) "2-SA solves 3-set among 5" true p.Power.solvable
+
+let test_probe_beyond_power_fails () =
+  (* One 2-consensus object cannot serve 3 processes in the one-shot
+     protocol: the third propose returns ⊥ and the protocol's decision
+     is invalid.  (This is a probe of the protocol, not an impossibility
+     proof — but it is the right shape: k=1, procs > m fails.) *)
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let p =
+    Power.probe ~k:1 ~procs:3 ~protocol:(machine, specs) ()
+  in
+  Alcotest.(check bool) "m=2 cannot seat 3 (one-shot)" false p.Power.solvable
+
+let test_probe_nk_sa () =
+  let p = Power.probe_nk_sa_family ~n:4 ~k:2 () in
+  Alcotest.(check bool) "(4,2)-SA solves among 4" true p.Power.solvable
+
+let test_o_n_consensus_probe () =
+  let p = Power.probe_o_n_consensus ~n:2 () in
+  Alcotest.(check bool) "O_2 solves consensus among 2" true p.Power.solvable
+
+let test_level_reports () =
+  let r = Level.consensus_obj_report ~m:2 () in
+  Alcotest.(check int) "level" 2 r.Level.level;
+  (match r.Level.solves_at_level with
+  | Level.Verified _ -> ()
+  | _ -> Alcotest.fail "positive half should verify");
+  (match r.Level.fails_above with
+  | Level.Candidate_failed (_, v) ->
+    Alcotest.(check bool) "candidate failed" false v.Solvability.ok
+  | _ -> Alcotest.fail "negative half should be a candidate failure");
+  let r = Level.pac_nm_report ~n:3 ~m:2 () in
+  (match r.Level.solves_at_level with
+  | Level.Verified _ -> ()
+  | _ -> Alcotest.fail "(3,2)-PAC positive half should verify");
+  let r = Level.o_n_report ~n:2 () in
+  Alcotest.(check string) "O_2 name" "O_2" r.Level.object_name;
+  match r.Level.solves_at_level with
+  | Level.Verified _ -> ()
+  | _ -> Alcotest.fail "O_2 positive half should verify"
+
+let test_separation_n2 () =
+  let report = Separation.analyze ~max_k:2 ~n:2 () in
+  Alcotest.(check bool)
+    (Fmt.str "all artifacts behave as the paper predicts:@.%a"
+       Separation.pp_report report)
+    true
+    (Separation.all_ok report);
+  Alcotest.(check (list bound)) "shared power prefix"
+    [ Power.Finite 2; Power.Finite 4 ]
+    report.Separation.power_prefix
+
+let test_qadri_theorem_7_1 () =
+  let report = Qadri.analyze ~m:2 ~n:3 () in
+  Alcotest.(check bool)
+    (Fmt.str "Theorem 7.1 artifacts behave as predicted:@.%a" Qadri.pp_report
+       report)
+    true (Qadri.all_ok report);
+  Alcotest.(check int) "four artifacts" 4 (List.length report.Qadri.artifacts)
+
+let test_qadri_rejects_bad_params () =
+  (match Qadri.analyze ~m:1 ~n:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "m=1 must be rejected");
+  match Qadri.analyze ~m:2 ~n:2 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=m must be rejected"
+
+let test_separation_n4 () =
+  let report = Separation.analyze ~max_k:2 ~n:4 () in
+  Alcotest.(check bool)
+    (Fmt.str "n=4 artifacts:@.%a" Separation.pp_report report)
+    true
+    (Separation.all_ok report)
+
+let test_separation_rejects_n1 () =
+  match Separation.analyze ~n:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=1 must be rejected"
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ( "power",
+        [
+          Alcotest.test_case "closed forms" `Quick test_closed_forms;
+          Alcotest.test_case "consensus family probes" `Quick
+            test_probe_consensus_family;
+          Alcotest.test_case "2-SA family probes" `Quick test_probe_sa2_family;
+          Alcotest.test_case "beyond power fails" `Quick
+            test_probe_beyond_power_fails;
+          Alcotest.test_case "(n,k)-SA probe" `Quick test_probe_nk_sa;
+          Alcotest.test_case "O_n consensus probe" `Quick
+            test_o_n_consensus_probe;
+        ] );
+      ("level", [ Alcotest.test_case "reports" `Quick test_level_reports ]);
+      ( "separation",
+        [
+          Alcotest.test_case "n=2 artifacts" `Slow test_separation_n2;
+          Alcotest.test_case "n=4 artifacts" `Slow test_separation_n4;
+          Alcotest.test_case "n=1 rejected" `Quick test_separation_rejects_n1;
+        ] );
+      ( "qadri",
+        [
+          Alcotest.test_case "Theorem 7.1 (m=2, n=3)" `Slow
+            test_qadri_theorem_7_1;
+          Alcotest.test_case "parameter validation" `Quick
+            test_qadri_rejects_bad_params;
+        ] );
+    ]

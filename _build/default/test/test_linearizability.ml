@@ -1,0 +1,271 @@
+(* The Wing-Gong linearizability checker and the history generators. *)
+
+open Lbsa
+
+let check_lin spec h =
+  match Lin_checker.check spec h with
+  | Lin_checker.Linearizable _ -> true
+  | Lin_checker.Not_linearizable -> false
+
+let test_sequential_register_history () =
+  let reg = Register.spec () in
+  let h =
+    Chistory.of_sequential
+      [
+        (0, Register.write (Value.Int 1), Value.Unit);
+        (1, Register.read, Value.Int 1);
+        (0, Register.write (Value.Int 2), Value.Unit);
+        (1, Register.read, Value.Int 2);
+      ]
+  in
+  Alcotest.(check bool) "sequential history linearizable" true
+    (check_lin reg h)
+
+let test_stale_read_rejected () =
+  (* write(1) completes strictly before a read that returns NIL. *)
+  let reg = Register.spec () in
+  let h =
+    [
+      Chistory.call ~pid:0 ~op:(Register.write (Value.Int 1)) ~response:Value.Unit
+        ~inv:1 ~res:2;
+      Chistory.call ~pid:1 ~op:Register.read ~response:Value.Nil ~inv:3 ~res:4;
+    ]
+  in
+  Alcotest.(check bool) "stale read not linearizable" false (check_lin reg h)
+
+let test_concurrent_read_may_be_stale () =
+  (* The same read overlapping the write IS linearizable (read first). *)
+  let reg = Register.spec () in
+  let h =
+    [
+      Chistory.call ~pid:0 ~op:(Register.write (Value.Int 1)) ~response:Value.Unit
+        ~inv:1 ~res:4;
+      Chistory.call ~pid:1 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:3;
+    ]
+  in
+  Alcotest.(check bool) "concurrent stale read ok" true (check_lin reg h)
+
+let test_queue_reordering_rejected () =
+  (* enqueue(1) before enqueue(2) in real time, but dequeue returns 2
+     first: not linearizable (FIFO). *)
+  let q = Classic.Queue_obj.spec () in
+  let h =
+    [
+      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.Int 1))
+        ~response:Value.Unit ~inv:1 ~res:2;
+      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.Int 2))
+        ~response:Value.Unit ~inv:3 ~res:4;
+      Chistory.call ~pid:1 ~op:Classic.Queue_obj.dequeue ~response:(Value.Int 2)
+        ~inv:5 ~res:6;
+    ]
+  in
+  Alcotest.(check bool) "queue reorder rejected" false (check_lin q h)
+
+let test_nondeterministic_target () =
+  (* 2-SA: two overlapping proposes may both get either of the two
+     values; a response outside the proposals is rejected. *)
+  let sa = Sa2.spec () in
+  let mk r1 r2 =
+    [
+      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.Int 1)) ~response:r1 ~inv:1
+        ~res:4;
+      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.Int 2)) ~response:r2 ~inv:2
+        ~res:3;
+    ]
+  in
+  Alcotest.(check bool) "1/2 ok" true (check_lin sa (mk (Value.Int 1) (Value.Int 2)));
+  Alcotest.(check bool) "1/1 ok" true (check_lin sa (mk (Value.Int 1) (Value.Int 1)));
+  Alcotest.(check bool) "2/2 ok" true (check_lin sa (mk (Value.Int 2) (Value.Int 2)));
+  (* Whichever propose linearizes first must return its own value
+     (Algorithm 3 adds before answering), so the "crossed" outcome is
+     impossible. *)
+  Alcotest.(check bool) "2/1 rejected" false
+    (check_lin sa (mk (Value.Int 2) (Value.Int 1)));
+  Alcotest.(check bool) "9 rejected" false
+    (check_lin sa (mk (Value.Int 9) (Value.Int 1)))
+
+let test_sa2_sequential_first_value () =
+  (* Non-overlapping: the first propose must get its own value (STATE has
+     one element at its linearization point). *)
+  let sa = Sa2.spec () in
+  let h =
+    [
+      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.Int 1)) ~response:(Value.Int 2)
+        ~inv:1 ~res:2;
+      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.Int 2)) ~response:(Value.Int 2)
+        ~inv:3 ~res:4;
+    ]
+  in
+  Alcotest.(check bool) "first propose cannot see later value" false
+    (check_lin sa h)
+
+let test_pac_concurrent_history () =
+  (* PAC calls from two processes; the recorded responses fix which
+     linearization orders are admissible. *)
+  let pac = Pac.spec ~n:2 () in
+  (* p0: propose(5,1) -> done ; decide(1) -> 5 (clean pair)
+     p1: propose(6,2) -> done, entirely after p0's pair. *)
+  let h =
+    [
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+        ~inv:1 ~res:2;
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:(Value.Int 5) ~inv:3
+        ~res:4;
+      Chistory.call ~pid:1 ~op:(Pac.propose (Value.Int 6) 2) ~response:Value.Done
+        ~inv:5 ~res:6;
+    ]
+  in
+  Alcotest.(check bool) "clean pair linearizable" true (check_lin pac h);
+  (* If the decide overlaps p1's propose, a ⊥ response is explained by
+     the order propose(5,1) propose(6,2) decide(1). *)
+  let h' =
+    [
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+        ~inv:1 ~res:2;
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.Bot ~inv:3 ~res:6;
+      Chistory.call ~pid:1 ~op:(Pac.propose (Value.Int 6) 2) ~response:Value.Done
+        ~inv:4 ~res:5;
+    ]
+  in
+  Alcotest.(check bool) "⊥ explained by interleaving" true (check_lin pac h');
+  (* But a ⊥ decide with no concurrent operation is inadmissible. *)
+  let h'' =
+    [
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+        ~inv:1 ~res:2;
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.Bot ~inv:3 ~res:4;
+    ]
+  in
+  Alcotest.(check bool) "unexplained ⊥ rejected" false (check_lin pac h'')
+
+let test_generated_histories_linearizable () =
+  let prng = Prng.create 2024 in
+  let reg = Register.spec () in
+  for _trial = 1 to 50 do
+    let workloads =
+      Array.init 3 (fun pid ->
+          List.init 3 (fun i ->
+              if (pid + i) mod 2 = 0 then Register.write (Value.Int (pid * 10 + i))
+              else Register.read))
+    in
+    let h = Lin_gen.linearizable_history ~prng ~spec:reg ~workloads in
+    Alcotest.(check bool) "well-formed" true (Chistory.well_formed h);
+    Alcotest.(check bool) "generated history linearizable" true
+      (check_lin reg h)
+  done
+
+let test_generated_nondet_histories_linearizable () =
+  let prng = Prng.create 7 in
+  let sa = Sa2.spec () in
+  for _trial = 1 to 50 do
+    let workloads =
+      Array.init 3 (fun pid -> [ Sa2.propose (Value.Int pid) ])
+    in
+    let h = Lin_gen.linearizable_history ~prng ~spec:sa ~workloads in
+    Alcotest.(check bool) "nondet generated linearizable" true (check_lin sa h)
+  done
+
+let test_corrupt_history_rejected () =
+  let prng = Prng.create 5 in
+  let reg = Register.spec () in
+  let workloads =
+    [| [ Register.write (Value.Int 1); Register.read ];
+       [ Register.write (Value.Int 2); Register.read ] |]
+  in
+  let h = Lin_gen.linearizable_history ~prng ~spec:reg ~workloads in
+  let bad = Lin_gen.corrupt ~prng h in
+  (* The substitute response (a fresh symbol) can never be produced by a
+     register over int writes, except when it replaces a write's Unit...
+     writes return Unit, so corrupting a write is detectable too. *)
+  Alcotest.(check bool) "corrupted rejected" false (check_lin reg bad)
+
+(* Differential test: the Wing-Gong checker against brute-force
+   enumeration of all interleavings.  A sequential-call history (each
+   call's interval disjoint) is linearizable iff the one real-time order
+   is admissible; a per-process-concurrent history is linearizable iff
+   SOME interleaving of the per-process sequences replays the recorded
+   responses. *)
+let test_checker_vs_bruteforce () =
+  let prng = Prng.create 314 in
+  let spec = Classic.Fetch_and_add.spec () in
+  for _trial = 1 to 60 do
+    (* Three processes, one op each, all fully concurrent: on such a
+       history, linearizability = "some permutation of the calls
+       replays the recorded responses", which we brute-force with
+       Listx.interleavings over singleton sequences. *)
+    let workloads =
+      Array.init 3 (fun _ ->
+          [ Classic.Fetch_and_add.fetch_and_add (1 + Prng.int prng 2) ])
+    in
+    let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
+    let h = if Prng.bool prng then h else Lin_gen.corrupt ~prng h in
+    let concurrent =
+      List.map (fun (c : Chistory.call) -> { c with Chistory.inv = 1; res = 10 }) h
+    in
+    let brute =
+      List.exists
+        (fun order ->
+          Shistory.admissible spec
+            (List.map
+               (fun (c : Chistory.call) ->
+                 Shistory.event c.Chistory.op c.Chistory.response)
+               order))
+        (Listx.interleavings (List.map (fun c -> [ c ]) concurrent))
+    in
+    let checker =
+      match Lin_checker.check spec concurrent with
+      | Lin_checker.Linearizable _ -> true
+      | Lin_checker.Not_linearizable -> false
+    in
+    Alcotest.(check bool) "checker agrees with brute force" brute checker
+  done
+
+let test_checker_input_validation () =
+  let reg = Register.spec () in
+  (* Ill-formed: overlapping calls by the same process. *)
+  let bad =
+    [
+      Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:1 ~res:4;
+      Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:3;
+    ]
+  in
+  (match Lin_checker.check reg bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ill-formed history should be rejected");
+  match Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inv >= res should be rejected"
+
+let () =
+  Alcotest.run "linearizability"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "sequential register" `Quick
+            test_sequential_register_history;
+          Alcotest.test_case "stale read rejected" `Quick
+            test_stale_read_rejected;
+          Alcotest.test_case "concurrent stale read ok" `Quick
+            test_concurrent_read_may_be_stale;
+          Alcotest.test_case "queue reorder rejected" `Quick
+            test_queue_reordering_rejected;
+          Alcotest.test_case "nondeterministic target" `Quick
+            test_nondeterministic_target;
+          Alcotest.test_case "2-SA sequential order" `Quick
+            test_sa2_sequential_first_value;
+          Alcotest.test_case "PAC histories" `Quick test_pac_concurrent_history;
+          Alcotest.test_case "input validation" `Quick
+            test_checker_input_validation;
+          Alcotest.test_case "differential vs brute force" `Quick
+            test_checker_vs_bruteforce;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "generated linearizable (register)" `Quick
+            test_generated_histories_linearizable;
+          Alcotest.test_case "generated linearizable (2-SA)" `Quick
+            test_generated_nondet_histories_linearizable;
+          Alcotest.test_case "corrupt rejected" `Quick
+            test_corrupt_history_rejected;
+        ] );
+    ]

@@ -1,0 +1,536 @@
+(* The model checker: configuration graphs, valence, the bivalency
+   toolkit, and exhaustive task solvability — including the experiments
+   that mechanize the paper's positive theorems on small instances. *)
+
+open Lbsa
+
+(* --- graph construction ----------------------------------------------- *)
+
+let test_graph_counts_tiny () =
+  (* One process, two steps: write then decide.  Graph: 3 nodes chain. *)
+  let name = "wd" in
+  let machine =
+    Machine.make ~name
+      ~init:(fun ~pid:_ ~input -> Value.Pair (Value.Sym "w", input))
+      ~delta:(fun ~pid state ->
+        match state with
+        | Value.Pair (Value.Sym "w", x) ->
+          Machine.invoke 0 (Register.write x) (fun _ -> Value.Pair (Value.Sym "d", x))
+        | Value.Pair (Value.Sym "d", x) -> Machine.Decide x
+        | s -> Machine.bad_state ~machine:name ~pid s)
+  in
+  let graph =
+    Cgraph.build ~machine ~specs:[| Register.spec () |] ~inputs:[| Value.Int 1 |] ()
+  in
+  Alcotest.(check int) "3 nodes" 3 (Cgraph.n_nodes graph);
+  Alcotest.(check int) "2 edges" 2 (Cgraph.n_edges graph);
+  Alcotest.(check bool) "complete" true (not graph.Cgraph.truncated)
+
+let test_graph_nondet_branches () =
+  (* Two processes each propose once to a 2-SA object: the second propose
+     forks on the adversary's choice. *)
+  let machine = Consensus_protocols.one_shot ~name:"sa" ~mk_op:Sa2.propose () in
+  let graph =
+    Cgraph.build ~machine ~specs:[| Sa2.spec () |]
+      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  (* Some node must have two out-edges for the same pid (the nondet
+     fork). *)
+  let forked = ref false in
+  Cgraph.iter_nodes
+    (fun id _ ->
+      let es = Cgraph.out_edges graph id in
+      List.iter
+        (fun pid ->
+          if
+            List.length (List.filter (fun (e : Cgraph.edge) -> e.pid = pid) es)
+            >= 2
+          then forked := true)
+        [ 0; 1 ])
+    graph;
+  Alcotest.(check bool) "nondeterministic fork present" true !forked
+
+let test_graph_truncation () =
+  let machine, specs = Candidates.flp_spin in
+  let graph =
+    Cgraph.build ~max_states:5 ~machine ~specs
+      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  Alcotest.(check bool) "truncated" true graph.Cgraph.truncated;
+  match Cgraph.require_complete graph with
+  | exception Cgraph.Truncated -> ()
+  | _ -> Alcotest.fail "require_complete must raise"
+
+let test_scc_on_spin_graph () =
+  (* flp_spin's graph has cycles (the spin loops). *)
+  let machine, specs = Candidates.flp_spin in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  Alcotest.(check bool) "cycle found" true (Solvability.any_cycle graph <> None);
+  (* The spin loops are self-loops, so components are singletons; the
+     SCC decomposition must still cover every node exactly once. *)
+  let comp, n_comps = Cgraph.scc graph in
+  Alcotest.(check int) "component array covers nodes" (Cgraph.n_nodes graph)
+    (Array.length comp);
+  Alcotest.(check bool) "component ids in range" true
+    (Array.for_all (fun c -> c >= 0 && c < n_comps) comp);
+  (* A genuinely multi-node SCC: two processes ping-ponging between two
+     registers. *)
+  let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let comp, n_comps = Cgraph.scc graph in
+  Alcotest.(check bool) "multi-node SCC exists (livelock ring)" true
+    (n_comps < Array.length comp)
+
+(* --- valence ----------------------------------------------------------- *)
+
+let consensus_2cons_graph inputs =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let graph = Cgraph.build ~machine ~specs ~inputs () in
+  (graph, Valence.analyze graph, machine, specs)
+
+let test_initial_config_bivalent () =
+  (* With inputs 0,1 and a 2-consensus object, the schedule decides who
+     proposes first, so the initial configuration is bivalent. *)
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  Alcotest.(check bool) "initial bivalent" true
+    (Valence.is_bivalent a graph.Cgraph.initial)
+
+let test_same_inputs_univalent () =
+  (* With equal inputs, validity forces 0-valence everywhere. *)
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 0 |] in
+  Alcotest.(check bool) "0-valent" true
+    (Valence.is_valent a graph.Cgraph.initial (Value.Int 0))
+
+let test_decided_configs_univalent () =
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  Cgraph.iter_nodes
+    (fun id config ->
+      match Config.decisions config with
+      | d :: _ ->
+        Alcotest.(check bool) "decided node is d-valent" true
+          (Valence.is_valent a id d)
+      | [] -> ())
+    graph
+
+let test_valence_summary_consistent () =
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let s = Valence.summarize a in
+  Alcotest.(check int) "counts partition nodes" (Cgraph.n_nodes graph)
+    (s.Valence.n_bivalent + s.Valence.n_univalent + s.Valence.n_undecided);
+  Alcotest.(check bool) "some bivalent" true (s.Valence.n_bivalent > 0);
+  Alcotest.(check bool) "some univalent" true (s.Valence.n_univalent > 0)
+
+(* --- bivalency toolkit: the proof's moves on a real protocol ---------- *)
+
+let test_critical_configuration_structure () =
+  (* Claims 5.2.2/5.2.3 mechanized on consensus-from-2-consensus among 2
+     processes: critical configurations exist, and at each one every
+     running process is poised on the same non-register object (the
+     2-consensus object). *)
+  let graph, a, machine, specs =
+    consensus_2cons_graph [| Value.Int 0; Value.Int 1 |]
+  in
+  let reports = Bivalency.report_critical ~machine ~specs graph a in
+  Alcotest.(check bool) "critical configurations exist" true (reports <> []);
+  List.iter
+    (fun (r : Bivalency.critical_report) ->
+      match r.Bivalency.object_name with
+      | Some name -> Alcotest.(check string) "poised on the consensus object"
+          "2-consensus" name
+      | None -> Alcotest.fail "critical config without common poised object")
+    reports
+
+let test_flp_trichotomy_on_register_candidates () =
+  (* The FLP trichotomy, finitized.  A register-only consensus candidate
+     either (i) has schedule-dependent decisions and then violates
+     agreement (flp-write-read), or (ii) is safe but has a
+     schedule-independent decision (flp-spin decides the minimum: the
+     initial configuration is univalent) and pays with non-wait-free
+     spinning. *)
+  let machine, specs = Candidates.flp_write_read in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  Alcotest.(check bool) "write-read: initial bivalent" true
+    (Valence.is_bivalent a graph.Cgraph.initial);
+  let machine, specs = Candidates.flp_spin in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  Alcotest.(check bool) "spin: initial 0-valent (always the minimum)" true
+    (Valence.is_valent a graph.Cgraph.initial (Value.Int 0))
+
+let test_bivalence_maintainable_over_bare_pac () =
+  (* The FLP adversary survives over a bare 2-PAC object: the retry
+     protocol's initial configuration is bivalent and every reachable
+     bivalent configuration has a bivalent successor, so the adversary
+     can avoid a decision forever (the livelock the paper's ⊥ responses
+     create).  Evidence that an n-PAC object alone does not raise the
+     consensus number above 1. *)
+  let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  Alcotest.(check bool) "initial bivalent" true
+    (Valence.is_bivalent a graph.Cgraph.initial);
+  match Bivalency.bivalence_maintainable a graph with
+  | Ok () -> ()
+  | Error id -> Alcotest.failf "bivalent dead-end at node %d" id
+
+let test_consensus_object_breaks_bivalence_maintenance () =
+  (* In contrast, over a 2-consensus object the bivalence is NOT
+     maintainable: critical configurations are dead-ends into
+     univalence.  (This is exactly why consensus is solvable there.) *)
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  match Bivalency.bivalence_maintainable a graph with
+  | Ok () -> Alcotest.fail "bivalence should not be maintainable"
+  | Error _ -> ()
+
+let test_dac_aborts_are_0_valent () =
+  (* Claim 4.2.2 on Algorithm 2 with the paper's canonical inputs
+     (p has 1, everyone else 0): any configuration where p aborted can
+     only reach decision 0. *)
+  let n = 3 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let graph = Cgraph.build ~machine ~specs ~inputs () in
+  let a = Valence.analyze graph in
+  (match Bivalency.aborts_are_0_valent a graph with
+  | Ok () -> ()
+  | Error id -> Alcotest.failf "abort-yet-not-0-valent at node %d" id);
+  (* Claim 4.2.4: the initial configuration I is bivalent. *)
+  Alcotest.(check bool) "I bivalent" true
+    (Valence.is_bivalent a graph.Cgraph.initial)
+
+let test_poised_op_names_at_criticals () =
+  (* Claims 5.2.3-5.2.5 fine structure on the solvable instance:
+     consensus among m over one (n,m)-PAC (via PROPOSEC).  At every
+     critical configuration, all processes are poised on the SAME
+     operation name (proposeC) on the SAME object — the consensus facet,
+     which is exactly where Claim 5.2.5 says the decision must happen. *)
+  let machine, specs = Consensus_protocols.from_pac_nm ~n:2 ~m:2 in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  let criticals = Bivalency.critical_configurations a graph in
+  Alcotest.(check bool) "criticals exist" true (criticals <> []);
+  List.iter
+    (fun node ->
+      match
+        Bivalency.common_poised_op_name ~machine (Cgraph.node graph node)
+      with
+      | Some (0, "proposeC") -> ()
+      | Some (obj, name) ->
+        Alcotest.failf "node %d poised on obj%d.%s, expected proposeC" node
+          obj name
+      | None -> Alcotest.failf "node %d: mixed poised steps" node)
+    criticals;
+  (* Contrapositive over a bare PAC: the retry protocol has NO critical
+     configuration at all (Claim 5.2.8's impossibility shape: the PAC
+     cannot host the decision point). *)
+  let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  Alcotest.(check (list int)) "no critical configuration over a bare PAC" []
+    (Bivalency.critical_configurations a graph)
+
+let test_poised_reporting () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let c =
+    Config.initial ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |]
+  in
+  (match Bivalency.poised ~machine c with
+  | [ (0, Some 0); (1, Some 0) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected poised result (%d entries)" (List.length other));
+  Alcotest.(check (option int)) "common object" (Some 0)
+    (Bivalency.common_poised_object ~machine c)
+
+(* --- solvability: the paper's positive theorems, exhaustively --------- *)
+
+let test_theorem_4_1_exhaustive () =
+  (* Theorem 4.1 for n = 2 and n = 3: Algorithm 2 solves n-DAC, checked
+     over all schedules, for all binary inputs. *)
+  List.iter
+    (fun n ->
+      let machine = Dac_from_pac.machine ~n in
+      let specs = Dac_from_pac.specs ~n in
+      let verdict =
+        Solvability.for_all_inputs
+          (fun inputs -> Solvability.check_dac ~machine ~specs ~inputs ())
+          (Dac.binary_inputs n)
+      in
+      if not verdict.Solvability.ok then
+        Alcotest.failf "n=%d: %a" n Solvability.pp_verdict verdict)
+    [ 2; 3 ]
+
+let test_consensus_solvable_exhaustive () =
+  (* m-consensus object solves consensus among m, all schedules, m=2,3. *)
+  List.iter
+    (fun m ->
+      let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+      let verdict =
+        Solvability.for_all_inputs
+          (fun inputs -> Solvability.check_consensus ~machine ~specs ~inputs ())
+          (Consensus_task.binary_inputs m)
+      in
+      if not verdict.Solvability.ok then
+        Alcotest.failf "m=%d: %a" m Solvability.pp_verdict verdict)
+    [ 2; 3 ]
+
+let test_kset_solvable_exhaustive () =
+  (* 2-set agreement among 4 processes from two 2-consensus objects
+     (partition), distinct inputs, all schedules. *)
+  let machine, specs = Kset_protocols.partition ~m:2 ~k:2 in
+  let verdict =
+    Solvability.check_kset ~machine ~specs ~k:2
+      ~inputs:(Kset_task.distinct_inputs 4) ()
+  in
+  if not verdict.Solvability.ok then
+    Alcotest.failf "partition: %a" Solvability.pp_verdict verdict;
+  (* 2-set agreement among 4 from one 2-SA object (all object
+     nondeterminism explored). *)
+  let machine, specs = Kset_protocols.from_sa2 ~k:2 in
+  let verdict =
+    Solvability.check_kset ~machine ~specs ~k:2
+      ~inputs:(Kset_task.distinct_inputs 4) ()
+  in
+  if not verdict.Solvability.ok then
+    Alcotest.failf "2-SA: %a" Solvability.pp_verdict verdict;
+  (* And over EVERY input vector from a 3-value domain (27 vectors),
+     3 processes. *)
+  let verdict =
+    Solvability.for_all_inputs
+      (fun inputs -> Solvability.check_kset ~machine ~specs ~k:2 ~inputs ())
+      (Kset_task.all_inputs ~d:3 3)
+  in
+  if not verdict.Solvability.ok then
+    Alcotest.failf "2-SA all-inputs: %a" Solvability.pp_verdict verdict
+
+let test_classic_constructions_exhaustive () =
+  (* Herlihy's level-2 constructions solve 2-consensus, exhaustively. *)
+  List.iter
+    (fun (machine, specs) ->
+      let verdict =
+        Solvability.for_all_inputs
+          (fun inputs -> Solvability.check_consensus ~machine ~specs ~inputs ())
+          (Consensus_task.binary_inputs 2)
+      in
+      if not verdict.Solvability.ok then
+        Alcotest.failf "%s: %a" machine.Machine.name Solvability.pp_verdict
+          verdict)
+    [
+      Consensus_protocols.from_test_and_set ();
+      Consensus_protocols.from_queue ();
+      Consensus_protocols.from_fetch_and_add ();
+      Consensus_protocols.from_swap ();
+    ];
+  (* CAS and sticky seat 3 processes (they are level-∞). *)
+  List.iter
+    (fun (machine, specs) ->
+      let verdict =
+        Solvability.for_all_inputs
+          (fun inputs -> Solvability.check_consensus ~machine ~specs ~inputs ())
+          (Consensus_task.binary_inputs 3)
+      in
+      if not verdict.Solvability.ok then
+        Alcotest.failf "%s: %a" machine.Machine.name Solvability.pp_verdict
+          verdict)
+    [
+      Consensus_protocols.from_compare_and_swap ();
+      Consensus_protocols.from_sticky ();
+    ]
+
+let test_candidates_fail_exhaustive () =
+  (* flp-write-read: safety violation found. *)
+  let machine, specs = Candidates.flp_write_read in
+  let verdict =
+    Solvability.check_consensus ~machine ~specs
+      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  Alcotest.(check bool) "flp-write-read fails" false verdict.Solvability.ok;
+  (* flp-spin: wait-freedom violation (cycle) found. *)
+  let machine, specs = Candidates.flp_spin in
+  let verdict =
+    Solvability.check_consensus ~machine ~specs
+      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  Alcotest.(check bool) "flp-spin fails" false verdict.Solvability.ok;
+  (* 3-DAC candidates (Theorem 4.2's evidence). *)
+  List.iter
+    (fun (label, (machine, specs)) ->
+      let verdict =
+        Solvability.for_all_inputs
+          (fun inputs -> Solvability.check_dac ~machine ~specs ~inputs ())
+          (Dac.binary_inputs 3)
+      in
+      Alcotest.(check bool) label false verdict.Solvability.ok)
+    [
+      ("3dac-sa2-then-cons2 fails", Candidates.dac3_sa2_then_cons2);
+      ("3dac-cons2-announce fails", Candidates.dac3_cons2_announce);
+    ];
+  (* (m+1)-consensus from (n,m)-PAC (Theorem 5.2's evidence). *)
+  let machine, specs = Candidates.consensus_m1_from_pac_nm ~n:2 ~m:2 in
+  let verdict =
+    Solvability.for_all_inputs
+      (fun inputs -> Solvability.check_consensus ~machine ~specs ~inputs ())
+      (Consensus_task.binary_inputs 3)
+  in
+  Alcotest.(check bool) "3-consensus from (2,2)-PAC fails" false
+    verdict.Solvability.ok
+
+let test_witness_schedule_replays () =
+  (* Extract the disagreement witness for flp-write-read and replay its
+     schedule through the executor: the violation must reproduce. *)
+  let machine, specs = Candidates.flp_write_read in
+  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  match Solvability.consensus_witness ~machine ~specs ~inputs () with
+  | None -> Alcotest.fail "expected a disagreement witness"
+  | Some w ->
+    Alcotest.(check bool) "schedule non-empty" true (w.Solvability.schedule <> []);
+    let r =
+      Executor.run ~machine ~specs ~inputs
+        ~scheduler:(Scheduler.fixed w.Solvability.schedule) ()
+    in
+    (match Consensus_task.check_safety ~inputs r.Executor.final with
+    | Error _ -> ()
+    | Ok () ->
+      Alcotest.failf "witness schedule did not reproduce:@.%a"
+        (fun ppf -> Solvability.pp_witness ppf)
+        w)
+
+let test_dac_witness () =
+  let machine, specs = Candidates.dac3_sa2_then_cons2 in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  match Solvability.dac_witness ~machine ~specs ~inputs () with
+  | None ->
+    (* This input vector may be safe; some binary vector must witness. *)
+    let witnessed =
+      List.exists
+        (fun inputs ->
+          Solvability.dac_witness ~machine ~specs ~inputs () <> None)
+        (Dac.binary_inputs 3)
+    in
+    Alcotest.(check bool) "some input vector witnesses" true witnessed
+  | Some w ->
+    Alcotest.(check bool) "violation described" true
+      (String.length w.Solvability.violation > 0)
+
+let test_hooks_exist_on_consensus_graph () =
+  (* Claim 4.2.6's pivot exists concretely: on the 2-consensus protocol
+     graph, swapping one p-step and one q-step flips the valence. *)
+  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let hooks = Bivalency.find_hooks a graph in
+  Alcotest.(check bool) "hooks found" true (hooks <> []);
+  List.iter
+    (fun (h : Bivalency.hook) ->
+      Alcotest.(check bool) "opposite valences" false
+        (Value.equal h.Bivalency.valent_after_p h.Bivalency.valent_after_qp))
+    hooks;
+  (* Complementary fact: over a bare 2-PAC no hook exists at all —
+     delaying the decisive step never lands in the OPPOSITE valence,
+     only back in bivalence (the ⊥ response resets the race).  That is
+     exactly why the adversary can maintain bivalence there. *)
+  let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
+  let graph =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let a = Valence.analyze graph in
+  Alcotest.(check (list string)) "no hooks on the bare PAC graph" []
+    (List.map
+       (fun h -> Fmt.str "%a" Bivalency.pp_hook h)
+       (Bivalency.find_hooks a graph))
+
+let test_shortest_path_initial () =
+  let graph, _, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  Alcotest.(check (option (list int)))
+    "empty path to the initial node" (Some [])
+    (Option.map Cgraph.schedule_of_path
+       (Cgraph.shortest_path graph ~target:graph.Cgraph.initial))
+
+let test_solo_halts_primitive () =
+  let machine, specs = Candidates.flp_spin in
+  let c = Config.initial ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] in
+  let accept = function
+    | Config.Decided _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "spin protocol: solo run of p0 never halts" false
+    (Solvability.solo_halts ~machine ~specs ~pid:0 ~accept c);
+  let machine = Dac_from_pac.machine ~n:2 in
+  let specs = Dac_from_pac.specs ~n:2 in
+  let c = Config.initial ~machine ~specs ~inputs:[| Value.Int 1; Value.Int 0 |] in
+  Alcotest.(check bool) "Algorithm 2: q1 solo decides" true
+    (Solvability.solo_halts ~machine ~specs ~pid:1 ~accept c)
+
+let () =
+  Alcotest.run "modelcheck"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "tiny chain" `Quick test_graph_counts_tiny;
+          Alcotest.test_case "nondet branches" `Quick test_graph_nondet_branches;
+          Alcotest.test_case "truncation" `Quick test_graph_truncation;
+          Alcotest.test_case "scc on spin graph" `Quick test_scc_on_spin_graph;
+        ] );
+      ( "valence",
+        [
+          Alcotest.test_case "initial bivalent" `Quick
+            test_initial_config_bivalent;
+          Alcotest.test_case "same inputs univalent" `Quick
+            test_same_inputs_univalent;
+          Alcotest.test_case "decided nodes univalent" `Quick
+            test_decided_configs_univalent;
+          Alcotest.test_case "summary partitions" `Quick
+            test_valence_summary_consistent;
+        ] );
+      ( "bivalency",
+        [
+          Alcotest.test_case "critical configs (Claims 5.2.2/5.2.3)" `Quick
+            test_critical_configuration_structure;
+          Alcotest.test_case "FLP trichotomy (registers)" `Quick
+            test_flp_trichotomy_on_register_candidates;
+          Alcotest.test_case "FLP adversary over bare PAC" `Quick
+            test_bivalence_maintainable_over_bare_pac;
+          Alcotest.test_case "no maintenance over consensus obj" `Quick
+            test_consensus_object_breaks_bivalence_maintenance;
+          Alcotest.test_case "DAC aborts 0-valent (Claim 4.2.2)" `Quick
+            test_dac_aborts_are_0_valent;
+          Alcotest.test_case "poised reporting" `Quick test_poised_reporting;
+          Alcotest.test_case "poised op names at criticals (Claim 5.2.x)"
+            `Quick test_poised_op_names_at_criticals;
+        ] );
+      ( "solvability",
+        [
+          Alcotest.test_case "Theorem 4.1 exhaustive (n=2,3)" `Quick
+            test_theorem_4_1_exhaustive;
+          Alcotest.test_case "consensus exhaustive (m=2,3)" `Quick
+            test_consensus_solvable_exhaustive;
+          Alcotest.test_case "k-set exhaustive" `Quick
+            test_kset_solvable_exhaustive;
+          Alcotest.test_case "classic constructions exhaustive" `Quick
+            test_classic_constructions_exhaustive;
+          Alcotest.test_case "candidates fail" `Quick
+            test_candidates_fail_exhaustive;
+          Alcotest.test_case "solo_halts primitive" `Quick
+            test_solo_halts_primitive;
+          Alcotest.test_case "witness schedule replays" `Quick
+            test_witness_schedule_replays;
+          Alcotest.test_case "DAC witness" `Quick test_dac_witness;
+          Alcotest.test_case "hooks (Claim 4.2.6 pivot)" `Quick
+            test_hooks_exist_on_consensus_graph;
+          Alcotest.test_case "shortest path to initial" `Quick
+            test_shortest_path_initial;
+        ] );
+    ]

@@ -1,0 +1,337 @@
+(* Semantics of the object zoo (everything except the PAC family, which
+   has its own suite in test_pac.ml). *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+(* Run ops against a spec with the first-branch adversary; return
+   responses. *)
+let run_first spec ops =
+  let h, _ = Shistory.run spec ops in
+  Shistory.responses h
+
+(* --- registers -------------------------------------------------------- *)
+
+let test_register () =
+  let reg = Register.spec () in
+  Alcotest.(check (list v)) "read initial" [ Value.Nil ]
+    (run_first reg [ Register.read ]);
+  Alcotest.(check (list v)) "write then read"
+    [ Value.Unit; Value.Int 3; Value.Unit; Value.Int 4 ]
+    (run_first reg
+       [
+         Register.write (Value.Int 3);
+         Register.read;
+         Register.write (Value.Int 4);
+         Register.read;
+       ]);
+  let reg5 = Register.spec ~init:(Value.Int 5) () in
+  Alcotest.(check (list v)) "custom init" [ Value.Int 5 ]
+    (run_first reg5 [ Register.read ])
+
+let test_register_unknown_op () =
+  let reg = Register.spec () in
+  match Shistory.run reg [ Op.make "bogus" [] ] with
+  | exception Obj_spec.Unknown_operation _ -> ()
+  | _ -> Alcotest.fail "expected Unknown_operation"
+
+(* --- m-consensus ------------------------------------------------------ *)
+
+let test_consensus_obj () =
+  let c = Consensus_obj.spec ~m:3 () in
+  let props = List.map (fun i -> Consensus_obj.propose (Value.Int i)) [ 7; 8; 9; 10 ] in
+  Alcotest.(check (list v)) "first 3 get first value, then ⊥"
+    [ Value.Int 7; Value.Int 7; Value.Int 7; Value.Bot ]
+    (run_first c props)
+
+let test_consensus_obj_deterministic () =
+  let c = Consensus_obj.spec ~m:2 () in
+  Alcotest.(check bool) "deterministic" true
+    (Obj_spec.is_deterministic_at c c.Obj_spec.initial
+       (Consensus_obj.propose (Value.Int 1)))
+
+let test_consensus_obj_bad_m () =
+  Alcotest.check_raises "m=0 rejected"
+    (Invalid_argument "Consensus_obj.spec: m must be >= 1") (fun () ->
+      ignore (Consensus_obj.spec ~m:0 ()))
+
+(* --- strong 2-SA ------------------------------------------------------ *)
+
+let test_sa2_branches () =
+  let sa = Sa2.spec () in
+  let st = sa.Obj_spec.initial in
+  (* First propose: single branch, returns own value. *)
+  let bs = Obj_spec.branches sa st (Sa2.propose (Value.Int 1)) in
+  Alcotest.(check int) "first propose one branch" 1 (List.length bs);
+  let st1 = (List.hd bs).Obj_spec.next in
+  (* Second distinct propose: two branches. *)
+  let bs2 = Obj_spec.branches sa st1 (Sa2.propose (Value.Int 2)) in
+  Alcotest.(check int) "second propose two branches" 2 (List.length bs2);
+  let responses =
+    List.sort Value.compare (List.map (fun (b : Obj_spec.branch) -> b.response) bs2)
+  in
+  Alcotest.(check (list v)) "branch responses" [ Value.Int 1; Value.Int 2 ] responses;
+  (* Third value never enters STATE. *)
+  let st2 = (List.hd bs2).Obj_spec.next in
+  let bs3 = Obj_spec.branches sa st2 (Sa2.propose (Value.Int 3)) in
+  List.iter
+    (fun (b : Obj_spec.branch) ->
+      Alcotest.(check bool) "response among first two" true
+        (List.mem b.response [ Value.Int 1; Value.Int 2 ]))
+    bs3
+
+let test_sa2_at_most_two_distinct () =
+  (* Under a random adversary, 100 proposes yield at most 2 distinct
+     responses, each among the first two proposed values. *)
+  let sa = Sa2.spec () in
+  let prng = Prng.create 42 in
+  let choice bs = Prng.int prng (List.length bs) in
+  let ops = List.init 100 (fun i -> Sa2.propose (Value.Int i)) in
+  let h, _ = Shistory.run ~choice sa ops in
+  let distinct = Listx.sort_uniq Value.compare (Shistory.responses h) in
+  Alcotest.(check bool) "≤ 2 distinct" true (List.length distinct <= 2);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "among first two" true
+        (List.mem r [ Value.Int 0; Value.Int 1 ]))
+    distinct
+
+(* --- (n,k)-SA --------------------------------------------------------- *)
+
+let test_nk_sa_port_bound () =
+  let sa = Nk_sa.spec ~n:2 ~k:1 () in
+  let responses =
+    run_first sa (List.init 3 (fun i -> Nk_sa.propose (Value.Int i)))
+  in
+  Alcotest.(check v) "third is ⊥" Value.Bot (List.nth responses 2)
+
+let test_nk_sa_k_agreement () =
+  (* (5,2)-SA under random adversaries: ≤ 2 distinct non-⊥ responses,
+     all proposed. *)
+  let sa = Nk_sa.spec ~n:5 ~k:2 () in
+  let prng = Prng.create 7 in
+  let choice bs = Prng.int prng (List.length bs) in
+  for _trial = 1 to 50 do
+    let ops = List.init 5 (fun i -> Nk_sa.propose (Value.Int i)) in
+    let h, _ = Shistory.run ~choice sa ops in
+    let rs = List.filter (fun r -> not (Value.is_bot r)) (Shistory.responses h) in
+    let distinct = Listx.sort_uniq Value.compare rs in
+    Alcotest.(check bool) "≤ k distinct" true (List.length distinct <= 2);
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "validity" true
+          (match r with
+          | Value.Int i -> i >= 0 && i < 5
+          | _ -> false))
+      distinct
+  done
+
+let test_nk_sa_k1_is_consensus_like () =
+  (* (3,1)-SA: once a value is returned, all later responses equal it. *)
+  let sa = Nk_sa.spec ~n:3 ~k:1 () in
+  let prng = Prng.create 11 in
+  let choice bs = Prng.int prng (List.length bs) in
+  for _trial = 1 to 50 do
+    let ops = List.init 3 (fun i -> Nk_sa.propose (Value.Int i)) in
+    let h, _ = Shistory.run ~choice sa ops in
+    match Shistory.responses h with
+    | first :: rest ->
+      List.iter (fun r -> Alcotest.(check v) "agreement" first r) rest
+    | [] -> Alcotest.fail "no responses"
+  done
+
+(* --- classic objects -------------------------------------------------- *)
+
+let test_test_and_set () =
+  let tas = Classic.Test_and_set.spec () in
+  Alcotest.(check (list v)) "tas semantics"
+    [ Value.Bool false; Value.Bool true; Value.Bool true; Value.Unit;
+      Value.Bool false ]
+    (run_first tas
+       Classic.Test_and_set.
+         [ test_and_set; test_and_set; read; reset; test_and_set ])
+
+let test_fetch_and_add () =
+  let faa = Classic.Fetch_and_add.spec () in
+  Alcotest.(check (list v)) "faa semantics"
+    [ Value.Int 0; Value.Int 5; Value.Int 4 ]
+    (run_first faa
+       Classic.Fetch_and_add.[ fetch_and_add 5; fetch_and_add (-1); read ])
+
+let test_swap () =
+  let swap = Classic.Swap.spec () in
+  Alcotest.(check (list v)) "swap returns previous"
+    [ Value.Nil; Value.Int 1; Value.Int 2 ]
+    (run_first swap
+       Classic.Swap.[ swap (Value.Int 1); swap (Value.Int 2); swap (Value.Int 3) ])
+
+let test_queue () =
+  let q = Classic.Queue_obj.spec () in
+  Alcotest.(check (list v)) "fifo order"
+    [ Value.Nil; Value.Unit; Value.Unit; Value.Int 1; Value.Int 2; Value.Nil ]
+    (run_first q
+       Classic.Queue_obj.
+         [ dequeue; enqueue (Value.Int 1); enqueue (Value.Int 2); dequeue;
+           dequeue; dequeue ])
+
+let test_cas () =
+  let cas = Classic.Compare_and_swap.spec () in
+  Alcotest.(check (list v)) "cas semantics"
+    [ Value.Bool true; Value.Bool false; Value.Int 1 ]
+    (run_first cas
+       Classic.Compare_and_swap.
+         [
+           compare_and_swap ~expected:Value.Nil ~desired:(Value.Int 1);
+           compare_and_swap ~expected:Value.Nil ~desired:(Value.Int 2);
+           read;
+         ])
+
+let test_sticky () =
+  let sticky = Classic.Sticky.spec () in
+  Alcotest.(check (list v)) "first write sticks"
+    [ Value.Int 1; Value.Int 1; Value.Int 1 ]
+    (run_first sticky
+       Classic.Sticky.[ write (Value.Int 1); write (Value.Int 2); read ])
+
+let test_snapshot_primitive () =
+  let snap = Classic.Snapshot.spec ~m:2 () in
+  Alcotest.(check (list v)) "update and scan"
+    [ Value.Unit; Value.List [ Value.Nil; Value.Int 9 ] ]
+    (run_first snap
+       Classic.Snapshot.[ update 1 (Value.Int 9); scan ])
+
+(* --- (n,m)-PAC composition ------------------------------------------- *)
+
+let test_pac_nm_facets () =
+  let p = Pac_nm.spec ~n:2 ~m:2 () in
+  let responses =
+    run_first p
+      [
+        Pac_nm.propose_c (Value.Int 5);
+        Pac_nm.propose_c (Value.Int 6);
+        Pac_nm.propose_c (Value.Int 7);
+        Pac_nm.propose_p (Value.Int 1) 1;
+        Pac_nm.decide_p 1;
+      ]
+  in
+  Alcotest.(check (list v)) "facets behave independently"
+    [ Value.Int 5; Value.Int 5; Value.Bot; Value.Done; Value.Int 1 ]
+    responses
+
+let test_o_n_is_pac_nm () =
+  let o2 = O_n.spec ~n:2 () in
+  Alcotest.(check string) "name" "O_2" o2.Obj_spec.name;
+  (* The PAC facet has n+1 = 3 labels. *)
+  let responses =
+    run_first o2
+      [ O_n.propose_p (Value.Int 1) 3; O_n.decide_p 3 ]
+  in
+  Alcotest.(check (list v)) "label 3 usable" [ Value.Done; Value.Int 1 ] responses;
+  Alcotest.check_raises "n=1 rejected"
+    (Invalid_argument "O_n.spec: the paper defines O_n for n >= 2") (fun () ->
+      ignore (O_n.spec ~n:1 ()))
+
+(* --- O'_n ------------------------------------------------------------- *)
+
+let test_oprime_members () =
+  let power = O_prime.default_power ~n:2 ~max_k:3 in
+  Alcotest.(check (list int)) "default power" [ 2; 4; 6 ] power;
+  let o = O_prime.spec ~power () in
+  (* k=1 member behaves like 1-set agreement among 2. *)
+  let responses =
+    run_first o [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 2) 1 ]
+  in
+  (match responses with
+  | [ a; b ] ->
+    Alcotest.(check v) "1-agreement" a b
+  | _ -> Alcotest.fail "two responses expected");
+  (* Port exhaustion on k=1 after n_1 = 2 proposes. *)
+  let responses =
+    run_first o
+      [
+        O_prime.propose (Value.Int 1) 1;
+        O_prime.propose (Value.Int 2) 1;
+        O_prime.propose (Value.Int 3) 1;
+      ]
+  in
+  Alcotest.(check v) "port exhausted" Value.Bot (List.nth responses 2);
+  (* Unknown level rejected. *)
+  match Shistory.run o [ O_prime.propose (Value.Int 1) 9 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for k=9"
+
+(* --- registry --------------------------------------------------------- *)
+
+let test_registry () =
+  List.iter
+    (fun (desc, expected_name) ->
+      let spec = Registry.of_string desc in
+      Alcotest.(check string) desc expected_name spec.Obj_spec.name)
+    [
+      ("reg", "register");
+      ("cons:3", "3-consensus");
+      ("2sa", "2-SA");
+      ("nksa:4:2", "(4,2)-SA");
+      ("pac:3", "3-PAC");
+      ("pacnm:3:2", "(3,2)-PAC");
+      ("on:2", "O_2");
+      ("oprime:2:3", "O'_2");
+      ("tas", "test-and-set");
+      ("faa", "fetch-and-add");
+      ("swap", "swap");
+      ("queue", "queue");
+      ("cas", "compare-and-swap");
+      ("sticky", "sticky");
+      ("snapshot:3", "3-snapshot");
+    ];
+  match Registry.of_string "nonsense" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected parse failure"
+
+let () =
+  Alcotest.run "objects"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "read/write" `Quick test_register;
+          Alcotest.test_case "unknown op" `Quick test_register_unknown_op;
+        ] );
+      ( "consensus-obj",
+        [
+          Alcotest.test_case "first m then ⊥" `Quick test_consensus_obj;
+          Alcotest.test_case "deterministic" `Quick
+            test_consensus_obj_deterministic;
+          Alcotest.test_case "bad m" `Quick test_consensus_obj_bad_m;
+        ] );
+      ( "2sa",
+        [
+          Alcotest.test_case "branch structure" `Quick test_sa2_branches;
+          Alcotest.test_case "at most two distinct" `Quick
+            test_sa2_at_most_two_distinct;
+        ] );
+      ( "nksa",
+        [
+          Alcotest.test_case "port bound" `Quick test_nk_sa_port_bound;
+          Alcotest.test_case "k-agreement" `Quick test_nk_sa_k_agreement;
+          Alcotest.test_case "k=1 agreement" `Quick
+            test_nk_sa_k1_is_consensus_like;
+        ] );
+      ( "classic",
+        [
+          Alcotest.test_case "test-and-set" `Quick test_test_and_set;
+          Alcotest.test_case "fetch-and-add" `Quick test_fetch_and_add;
+          Alcotest.test_case "swap" `Quick test_swap;
+          Alcotest.test_case "queue" `Quick test_queue;
+          Alcotest.test_case "compare-and-swap" `Quick test_cas;
+          Alcotest.test_case "sticky" `Quick test_sticky;
+          Alcotest.test_case "snapshot" `Quick test_snapshot_primitive;
+        ] );
+      ( "combined",
+        [
+          Alcotest.test_case "(n,m)-PAC facets" `Quick test_pac_nm_facets;
+          Alcotest.test_case "O_n" `Quick test_o_n_is_pac_nm;
+          Alcotest.test_case "O'_n members" `Quick test_oprime_members;
+        ] );
+      ("registry", [ Alcotest.test_case "parse" `Quick test_registry ]);
+    ]

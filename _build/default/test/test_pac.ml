@@ -1,0 +1,311 @@
+(* The n-PAC object (Algorithm 1): line-by-line semantics, the upset
+   discipline (Lemma 3.2), the state invariants (Lemmas 3.3, 3.4) and
+   the agreement/validity/nontriviality theorem (Theorem 3.5). *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let run ?choice spec ops = Shistory.run ?choice spec ops
+
+let responses h = Shistory.responses h
+
+(* --- basic scenarios -------------------------------------------------- *)
+
+let test_solo_propose_decide () =
+  let pac = Pac.spec ~n:3 () in
+  let h, st = run pac [ Pac.propose (Value.Int 7) 2; Pac.decide 2 ] in
+  Alcotest.(check (list v)) "done then value" [ Value.Done; Value.Int 7 ]
+    (responses h);
+  Alcotest.(check bool) "not upset" false (Pac.is_upset st);
+  Alcotest.(check v) "consensus value recorded" (Value.Int 7)
+    (Pac.consensus_value st)
+
+let test_second_pair_returns_same_value () =
+  (* Sequential pairs on different labels: the first decided value is the
+     consensus value forever. *)
+  let pac = Pac.spec ~n:3 () in
+  let h, _ =
+    run pac
+      [
+        Pac.propose (Value.Int 7) 1;
+        Pac.decide 1;
+        Pac.propose (Value.Int 8) 2;
+        Pac.decide 2;
+      ]
+  in
+  Alcotest.(check (list v)) "second pair decides first value"
+    [ Value.Done; Value.Int 7; Value.Done; Value.Int 7 ]
+    (responses h)
+
+let test_interleaved_operations_return_bot () =
+  (* An operation between a propose and its matching decide makes the
+     decide return ⊥ ("detected concurrency"). *)
+  let pac = Pac.spec ~n:3 () in
+  let h, st =
+    run pac
+      [
+        Pac.propose (Value.Int 1) 1;
+        Pac.propose (Value.Int 2) 2;  (* intervenes: L moves to 2 *)
+        Pac.decide 1;
+        Pac.decide 2;
+      ]
+  in
+  Alcotest.(check (list v)) "both decides get ⊥"
+    [ Value.Done; Value.Done; Value.Bot; Value.Bot ]
+    (responses h);
+  (* The history is legal (alternation respected per label), so the
+     object is NOT upset -- ⊥ came from concurrency detection. *)
+  Alcotest.(check bool) "not upset" false (Pac.is_upset st)
+
+let test_retry_after_bot_succeeds_solo () =
+  (* Algorithm 2's loop: after a ⊥, a solo re-propose/decide pair
+     decides. *)
+  let pac = Pac.spec ~n:3 () in
+  let h, _ =
+    run pac
+      [
+        Pac.propose (Value.Int 1) 1;
+        Pac.propose (Value.Int 2) 2;
+        Pac.decide 1;  (* ⊥ *)
+        Pac.propose (Value.Int 1) 1;
+        Pac.decide 1;  (* decides *)
+      ]
+  in
+  Alcotest.(check v) "retry decides own value" (Value.Int 1)
+    (List.nth (responses h) 4)
+
+let test_decide_without_propose_upsets () =
+  let pac = Pac.spec ~n:2 () in
+  let h, st = run pac [ Pac.decide 1; Pac.propose (Value.Int 3) 1; Pac.decide 1 ] in
+  Alcotest.(check bool) "upset" true (Pac.is_upset st);
+  Alcotest.(check (list v)) "⊥ forever for decides, done for proposes"
+    [ Value.Bot; Value.Done; Value.Bot ]
+    (responses h)
+
+let test_double_propose_same_label_upsets () =
+  let pac = Pac.spec ~n:2 () in
+  let _, st =
+    run pac [ Pac.propose (Value.Int 1) 1; Pac.propose (Value.Int 2) 1 ]
+  in
+  Alcotest.(check bool) "upset" true (Pac.is_upset st)
+
+let test_upset_is_permanent () =
+  (* Observation 3.1. *)
+  let pac = Pac.spec ~n:2 () in
+  let ops =
+    Pac.decide 1
+    :: List.concat_map
+         (fun i -> [ Pac.propose (Value.Int i) 2; Pac.decide 2 ])
+         [ 1; 2; 3 ]
+  in
+  let h, st = run pac ops in
+  Alcotest.(check bool) "still upset" true (Pac.is_upset st);
+  List.iteri
+    (fun i r ->
+      if i mod 2 = 0 then Alcotest.(check v) "decides ⊥" Value.Bot r)
+    (responses h)
+
+let test_label_range_checked () =
+  let pac = Pac.spec ~n:2 () in
+  (match run pac [ Pac.propose (Value.Int 1) 3 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label 3 should be rejected for 2-PAC");
+  match run pac [ Pac.decide 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label 0 should be rejected"
+
+let test_pac_deterministic () =
+  let pac = Pac.spec ~n:2 () in
+  Alcotest.(check bool) "propose deterministic" true
+    (Obj_spec.is_deterministic_at pac pac.Obj_spec.initial
+       (Pac.propose (Value.Int 1) 1));
+  Alcotest.(check bool) "decide deterministic" true
+    (Obj_spec.is_deterministic_at pac pac.Obj_spec.initial (Pac.decide 1))
+
+(* --- Lemma 3.2: upset iff history illegal ----------------------------- *)
+
+(* Enumerate all operation sequences of length <= len over a small
+   alphabet and check upset(final state) = not legal(history). *)
+let test_lemma_3_2_exhaustive () =
+  let n = 2 in
+  let pac = Pac.spec ~n () in
+  let alphabet =
+    [
+      Pac.propose (Value.Int 1) 1;
+      Pac.propose (Value.Int 2) 2;
+      Pac.decide 1;
+      Pac.decide 2;
+    ]
+  in
+  let count = ref 0 in
+  let rec go state history depth =
+    let h = List.rev history in
+    let upset = Pac.is_upset state in
+    let legal = Pac.history_legal ~n h in
+    incr count;
+    Alcotest.(check bool)
+      (Fmt.str "upset iff illegal (%d ops)" (List.length h))
+      (not legal) upset;
+    if depth > 0 then
+      List.iter
+        (fun op ->
+          let state', response = Obj_spec.apply_det pac state op in
+          go state' (Shistory.event op response :: history) (depth - 1))
+        alphabet
+  in
+  go pac.Obj_spec.initial [] 5;
+  Alcotest.(check bool) "explored many histories" true (!count > 1000)
+
+(* --- Lemmas 3.3 / 3.4: V[] and L track the last operations ------------ *)
+
+let test_lemmas_3_3_and_3_4 () =
+  let n = 3 in
+  let pac = Pac.spec ~n () in
+  let prng = Prng.create 123 in
+  for _trial = 1 to 200 do
+    let len = Prng.int prng 10 in
+    let ops =
+      List.init len (fun _ ->
+          let i = 1 + Prng.int prng n in
+          if Prng.bool prng then Pac.propose (Value.Int (Prng.int prng 5)) i
+          else Pac.decide i)
+    in
+    let h, st = run pac ops in
+    if not (Pac.is_upset st) then begin
+      (* Lemma 3.4: L = i iff the last operation is PROPOSE(-, i). *)
+      (match List.rev h with
+      | [] -> Alcotest.(check v) "L initially NIL" Value.Nil (Pac.label st)
+      | last :: _ -> (
+        match (last.Shistory.op.Op.name, last.Shistory.op.Op.args) with
+        | "propose", [ _; Value.Int i ] ->
+          Alcotest.(check v) "L = last propose label" (Value.Int i)
+            (Pac.label st)
+        | _ -> Alcotest.(check v) "L = NIL after decide" Value.Nil (Pac.label st)));
+      (* Lemma 3.3: V[i] = v iff the last op with label i is
+         PROPOSE(v, i). *)
+      List.iter
+        (fun i ->
+          let last_with_i =
+            List.rev h
+            |> List.find_opt (fun (e : Shistory.event) ->
+                   match e.op.Op.args with
+                   | [ _; Value.Int j ] | [ Value.Int j ] -> j = i
+                   | _ -> false)
+          in
+          let expected =
+            match last_with_i with
+            | Some { op = { Op.name = "propose"; args = [ value; _ ] }; _ } ->
+              value
+            | _ -> Value.Nil
+          in
+          Alcotest.(check v) (Fmt.str "V[%d]" i) expected (Pac.v_entry st i))
+        (Listx.range 1 n)
+    end
+  done
+
+(* --- Theorem 3.5 ------------------------------------------------------ *)
+
+(* Generate random op sequences; check agreement, validity and
+   nontriviality of the decide responses. *)
+let test_theorem_3_5 () =
+  let n = 3 in
+  let pac = Pac.spec ~n () in
+  let prng = Prng.create 99 in
+  for _trial = 1 to 300 do
+    let len = Prng.int prng 14 in
+    let ops =
+      List.init len (fun _ ->
+          let i = 1 + Prng.int prng n in
+          if Prng.bool prng then Pac.propose (Value.Int (Prng.int prng 4)) i
+          else Pac.decide i)
+    in
+    let h, _ = run pac ops in
+    let decide_events =
+      List.filter (fun (e : Shistory.event) -> e.op.Op.name = "decide") h
+    in
+    (* (a) Agreement among non-⊥ decide responses. *)
+    let non_bot =
+      List.filter (fun (e : Shistory.event) -> not (Value.is_bot e.response))
+        decide_events
+    in
+    (match non_bot with
+    | [] -> ()
+    | first :: rest ->
+      List.iter
+        (fun (e : Shistory.event) ->
+          Alcotest.(check v) "agreement" first.Shistory.response e.response)
+        rest);
+    (* (b) Validity: every non-⊥ decided value was proposed. *)
+    let proposed =
+      List.filter_map
+        (fun (e : Shistory.event) ->
+          match (e.op.Op.name, e.op.Op.args) with
+          | "propose", [ value; _ ] -> Some value
+          | _ -> None)
+        h
+    in
+    List.iter
+      (fun (e : Shistory.event) ->
+        Alcotest.(check bool) "validity" true
+          (List.exists (Value.equal e.response) proposed))
+      non_bot;
+    (* (c) Nontriviality: a decide returns ⊥ iff the object was upset
+       before it, or the immediately preceding operation is not a
+       propose with the same label. *)
+    let rec scan state prev = function
+      | [] -> ()
+      | (e : Shistory.event) :: rest ->
+        (match (e.op.Op.name, e.op.Op.args) with
+        | "decide", [ Value.Int i ] ->
+          let expected_bot =
+            Pac.is_upset state
+            ||
+            (match prev with
+            | Some ({ Op.name = "propose"; args = [ _; Value.Int j ] } : Op.t)
+              ->
+              j <> i
+            | _ -> true)
+          in
+          Alcotest.(check bool) "nontriviality" expected_bot
+            (Value.is_bot e.response)
+        | _ -> ());
+        let state', _ = Obj_spec.apply_det pac state e.op in
+        scan state' (Some e.op) rest
+    in
+    scan pac.Obj_spec.initial None h
+  done
+
+let () =
+  Alcotest.run "pac"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "solo propose/decide" `Quick
+            test_solo_propose_decide;
+          Alcotest.test_case "consensus value persists" `Quick
+            test_second_pair_returns_same_value;
+          Alcotest.test_case "interleaving yields ⊥" `Quick
+            test_interleaved_operations_return_bot;
+          Alcotest.test_case "retry after ⊥" `Quick
+            test_retry_after_bot_succeeds_solo;
+          Alcotest.test_case "decide w/o propose upsets" `Quick
+            test_decide_without_propose_upsets;
+          Alcotest.test_case "double propose upsets" `Quick
+            test_double_propose_same_label_upsets;
+          Alcotest.test_case "upset permanent (Obs 3.1)" `Quick
+            test_upset_is_permanent;
+          Alcotest.test_case "label range" `Quick test_label_range_checked;
+          Alcotest.test_case "deterministic" `Quick test_pac_deterministic;
+        ] );
+      ( "lemmas",
+        [
+          Alcotest.test_case "Lemma 3.2 (exhaustive, depth 5)" `Quick
+            test_lemma_3_2_exhaustive;
+          Alcotest.test_case "Lemmas 3.3/3.4 (random)" `Quick
+            test_lemmas_3_3_and_3_4;
+        ] );
+      ( "theorem-3.5",
+        [ Alcotest.test_case "agreement/validity/nontriviality" `Quick
+            test_theorem_3_5 ] );
+    ]

@@ -1,0 +1,378 @@
+(* Property-based tests (qcheck): invariants of the core data structures
+   and objects under randomly generated workloads. *)
+
+open Lbsa
+
+let count = 300
+
+(* --- generators ------------------------------------------------------- *)
+
+let value_gen : Value.t QCheck.arbitrary =
+  let open QCheck in
+  let base =
+    Gen.oneof
+      [
+        Gen.return Value.Unit;
+        Gen.map Value.bool Gen.bool;
+        Gen.map Value.int (Gen.int_bound 20);
+        Gen.map Value.sym (Gen.oneofl [ "a"; "b"; "c" ]);
+        Gen.return Value.Bot;
+        Gen.return Value.Nil;
+        Gen.return Value.Done;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then base
+    else
+      Gen.oneof
+        [
+          base;
+          Gen.map2 Value.pair (tree (depth - 1)) (tree (depth - 1));
+          Gen.map Value.list (Gen.list_size (Gen.int_bound 3) (tree (depth - 1)));
+        ]
+  in
+  make ~print:Value.to_string (tree 3)
+
+(* Random PAC operation sequence over n labels and small values. *)
+let pac_ops_gen ~n =
+  let open QCheck.Gen in
+  list_size (int_bound 16)
+    ( int_range 1 n >>= fun i ->
+      bool >>= fun is_propose ->
+      if is_propose then
+        map (fun v -> Pac.propose (Value.Int v) i) (int_bound 3)
+      else return (Pac.decide i) )
+
+let pac_ops_arb ~n =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map Op.to_string ops))
+    (pac_ops_gen ~n)
+
+(* --- Value laws -------------------------------------------------------- *)
+
+let prop_compare_total_order =
+  QCheck.Test.make ~count ~name:"Value.compare is a total order"
+    (QCheck.triple value_gen value_gen value_gen) (fun (a, b, c) ->
+      let sgn x = Stdlib.compare x 0 in
+      sgn (Value.compare a b) = -sgn (Value.compare b a)
+      && ((not (Value.compare a b <= 0 && Value.compare b c <= 0))
+         || Value.compare a c <= 0))
+
+let prop_equal_consistent_with_compare =
+  QCheck.Test.make ~count ~name:"Value.equal iff compare = 0"
+    (QCheck.pair value_gen value_gen) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let prop_assoc_get_set =
+  QCheck.Test.make ~count ~name:"Assoc.get after set"
+    (QCheck.triple value_gen value_gen value_gen) (fun (k, v, k') ->
+      let m = Value.Assoc.set Value.Assoc.empty k v in
+      match Value.Assoc.get m k' with
+      | Some v' -> Value.equal k k' && Value.equal v v'
+      | None -> not (Value.equal k k'))
+
+let prop_set_add_mem =
+  QCheck.Test.make ~count ~name:"Set_.mem after add"
+    (QCheck.pair value_gen (QCheck.small_list value_gen)) (fun (x, xs) ->
+      let s = Value.Set_.of_list xs in
+      Value.Set_.mem x (Value.Set_.add x s))
+
+let prop_set_cardinal_distinct =
+  QCheck.Test.make ~count ~name:"Set_ cardinal = distinct count"
+    (QCheck.small_list value_gen) (fun xs ->
+      Value.Set_.cardinal (Value.Set_.of_list xs)
+      = List.length (Listx.sort_uniq Value.compare xs))
+
+(* --- PAC invariants ---------------------------------------------------- *)
+
+let run_pac ~n ops =
+  let pac = Pac.spec ~n () in
+  Shistory.run pac ops
+
+let prop_pac_upset_iff_illegal =
+  QCheck.Test.make ~count ~name:"Lemma 3.2: upset iff history illegal"
+    (pac_ops_arb ~n:3) (fun ops ->
+      let h, st = run_pac ~n:3 ops in
+      Pac.is_upset st = not (Pac.history_legal ~n:3 h))
+
+let prop_pac_agreement =
+  QCheck.Test.make ~count ~name:"Thm 3.5(a): non-⊥ decides agree"
+    (pac_ops_arb ~n:3) (fun ops ->
+      let h, _ = run_pac ~n:3 ops in
+      let decided =
+        List.filter_map
+          (fun (e : Shistory.event) ->
+            if e.op.Op.name = "decide" && not (Value.is_bot e.response) then
+              Some e.response
+            else None)
+          h
+      in
+      List.length (Listx.sort_uniq Value.compare decided) <= 1)
+
+let prop_pac_validity =
+  QCheck.Test.make ~count ~name:"Thm 3.5(b): decided values were proposed"
+    (pac_ops_arb ~n:3) (fun ops ->
+      let h, _ = run_pac ~n:3 ops in
+      let proposed =
+        List.filter_map
+          (fun (e : Shistory.event) ->
+            match (e.op.Op.name, e.op.Op.args) with
+            | "propose", [ v; _ ] -> Some v
+            | _ -> None)
+          h
+      in
+      List.for_all
+        (fun (e : Shistory.event) ->
+          e.op.Op.name <> "decide"
+          || Value.is_bot e.response
+          || List.exists (Value.equal e.response) proposed)
+        h)
+
+let prop_pac_proposes_return_done =
+  QCheck.Test.make ~count ~name:"proposes always return done"
+    (pac_ops_arb ~n:3) (fun ops ->
+      let h, _ = run_pac ~n:3 ops in
+      List.for_all
+        (fun (e : Shistory.event) ->
+          e.op.Op.name <> "propose" || Value.equal e.response Value.Done)
+        h)
+
+(* --- 2-SA and (n,k)-SA invariants -------------------------------------- *)
+
+let int_ops_gen =
+  QCheck.Gen.(list_size (int_range 1 12) (int_bound 6))
+
+let prop_sa2_responses_valid =
+  QCheck.Test.make ~count
+    ~name:"2-SA: responses among first two distinct proposals"
+    (QCheck.make int_ops_gen) (fun vs ->
+      let sa = Sa2.spec () in
+      let prng = Prng.create (Hashtbl.hash vs) in
+      let choice bs = Prng.int prng (List.length bs) in
+      let ops = List.map (fun v -> Sa2.propose (Value.Int v)) vs in
+      let h, _ = Shistory.run ~choice sa ops in
+      let first_two =
+        Listx.take 2
+          (List.fold_left
+             (fun acc v ->
+               if List.exists (Value.equal v) acc then acc else acc @ [ v ])
+             []
+             (List.map (fun v -> Value.Int v) vs))
+      in
+      List.for_all
+        (fun r -> List.exists (Value.equal r) first_two)
+        (Shistory.responses h))
+
+let prop_nk_sa_invariants =
+  QCheck.Test.make ~count ~name:"(n,k)-SA: ≤k distinct, valid, port-bounded"
+    (QCheck.make int_ops_gen) (fun vs ->
+      let n = 4 and k = 2 in
+      let sa = Nk_sa.spec ~n ~k () in
+      let prng = Prng.create (Hashtbl.hash (vs, 1)) in
+      let choice bs = Prng.int prng (List.length bs) in
+      let ops = List.map (fun v -> Nk_sa.propose (Value.Int v)) vs in
+      let h, _ = Shistory.run ~choice sa ops in
+      let responses = Shistory.responses h in
+      let non_bot = List.filter (fun r -> not (Value.is_bot r)) responses in
+      let distinct = Listx.sort_uniq Value.compare non_bot in
+      List.length distinct <= k
+      && List.length non_bot <= n
+      && List.for_all
+           (fun r -> List.exists (fun v -> Value.equal r (Value.Int v)) vs)
+           distinct
+      && List.for_all Value.is_bot
+           (if List.length responses > n then
+              List.filteri (fun i _ -> i >= n) responses
+            else []))
+
+let prop_consensus_obj_agreement =
+  QCheck.Test.make ~count ~name:"m-consensus: first m get first value"
+    (QCheck.make int_ops_gen) (fun vs ->
+      QCheck.assume (vs <> []);
+      let m = 3 in
+      let c = Consensus_obj.spec ~m () in
+      let ops = List.map (fun v -> Consensus_obj.propose (Value.Int v)) vs in
+      let h, _ = Shistory.run c ops in
+      let first = Value.Int (List.hd vs) in
+      List.for_all
+        (fun (i, r) ->
+          if i < m then Value.equal r first else Value.is_bot r)
+        (List.mapi (fun i r -> (i, r)) (Shistory.responses h)))
+
+(* --- executor / linearizability --------------------------------------- *)
+
+let prop_executor_deterministic =
+  QCheck.Test.make ~count:50 ~name:"executor reproducible from seed"
+    QCheck.small_nat (fun seed ->
+      let machine = Dac_from_pac.machine ~n:3 in
+      let specs = Dac_from_pac.specs ~n:3 in
+      let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+      let run () =
+        let r =
+          Executor.run ~machine ~specs ~inputs
+            ~scheduler:(Scheduler.random ~seed) ()
+        in
+        (r.Executor.steps, Config.decisions r.Executor.final)
+      in
+      run () = run ())
+
+let prop_generated_histories_linearizable =
+  QCheck.Test.make ~count:100 ~name:"generated histories linearize"
+    QCheck.small_nat (fun seed ->
+      let prng = Prng.create (seed + 1) in
+      let spec = Classic.Fetch_and_add.spec () in
+      let workloads =
+        Array.init 3 (fun _ ->
+            List.init 2 (fun _ -> Classic.Fetch_and_add.fetch_and_add 1))
+      in
+      let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
+      match Lin_checker.check spec h with
+      | Lin_checker.Linearizable _ -> true
+      | Lin_checker.Not_linearizable -> false)
+
+let prop_algorithm2_safety_random =
+  QCheck.Test.make ~count:100 ~name:"Algorithm 2 safe under random schedules"
+    QCheck.small_nat (fun seed ->
+      let n = 4 in
+      let machine = Dac_from_pac.machine ~n in
+      let specs = Dac_from_pac.specs ~n in
+      let prng = Prng.create (seed * 7 + 1) in
+      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+      let r =
+        Executor.run ~machine ~specs ~inputs
+          ~scheduler:(Scheduler.random ~seed) ()
+      in
+      match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_universal_linearizable =
+  QCheck.Test.make ~count:40 ~name:"universal construction linearizes"
+    QCheck.small_nat (fun seed ->
+      let target = Classic.Fetch_and_add.spec () in
+      let impl = Universal.implementation ~n:2 ~target () in
+      let workloads =
+        Array.init 2 (fun _ ->
+            List.init 2 (fun _ -> Classic.Fetch_and_add.fetch_and_add 1))
+      in
+      let nondet = Harness.Random (Prng.create (seed + 17)) in
+      let run =
+        Harness.run_clients ~nondet ~impl ~workloads
+          ~scheduler:(Scheduler.random ~seed:(seed + 1)) ()
+      in
+      Lin_checker.is_linearizable (Lin_checker.check target run.Harness.history))
+
+let prop_op_encode_roundtrip =
+  QCheck.Test.make ~count ~name:"Universal op encode/decode roundtrip"
+    (QCheck.pair (QCheck.oneofl [ "propose"; "read"; "x_y" ])
+       (QCheck.small_list value_gen)) (fun (name, args) ->
+      let op = Op.make name args in
+      Op.equal op (Universal.decode_op (Universal.encode_op op)))
+
+let prop_checker_memo_ablation_agrees =
+  QCheck.Test.make ~count:40 ~name:"lin-checker memo on/off agree"
+    QCheck.small_nat (fun seed ->
+      let prng = Prng.create (seed + 3) in
+      let spec = Register.spec () in
+      let workloads =
+        Array.init 2 (fun pid ->
+            [ Register.write (Value.Int pid); Register.read ])
+      in
+      let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
+      let h = if seed mod 2 = 0 then h else Lin_gen.corrupt ~prng h in
+      Lin_checker.is_linearizable (Lin_checker.check ~memo:true spec h)
+      = Lin_checker.is_linearizable (Lin_checker.check ~memo:false spec h))
+
+let prop_safe_agreement_safety =
+  QCheck.Test.make ~count:100 ~name:"safe agreement: agreement + validity"
+    QCheck.small_nat (fun seed ->
+      let n = 3 in
+      let machine = Safe_agreement.machine ~n in
+      let specs = Safe_agreement.specs ~n in
+      let prng = Prng.create (seed * 5 + 2) in
+      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 3)) in
+      let r =
+        Executor.run ~machine ~specs ~inputs
+          ~scheduler:(Scheduler.random ~seed:(seed + 1)) ()
+      in
+      match Consensus_task.check_safety ~inputs r.Executor.final with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_bg_simulation_faithful =
+  QCheck.Test.make ~count:25 ~name:"BG simulation outcomes are genuine"
+    (QCheck.pair QCheck.small_nat (QCheck.oneofl [ 1; 2 ])) (fun (seed, steps) ->
+      let p = Sim_protocol.min_seen ~n_sim:2 ~steps in
+      let inputs = [| Value.Int 10; Value.Int 11 |] in
+      let outcomes = Sim_protocol.direct_outcomes p ~inputs in
+      let r =
+        Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:2
+          ~scheduler:(Scheduler.random ~seed:(seed + 1)) ()
+      in
+      match r.Bg_simulation.simulated_decisions with
+      | Some ds ->
+        List.exists (Value.equal (Value.List ds)) outcomes
+        && Bg_simulation.simulators_agree r
+        && Bg_simulation.views_comparable r.Bg_simulation.all_views
+      | None -> false)
+
+let prop_fault_plans_preserve_dac_safety =
+  QCheck.Test.make ~count:60 ~name:"random crash plans never break DAC safety"
+    QCheck.small_nat (fun seed ->
+      let n = 4 in
+      let machine = Dac_from_pac.machine ~n in
+      let specs = Dac_from_pac.specs ~n in
+      let prng = Prng.create (seed + 11) in
+      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+      let plan = Fault.random ~prng ~victims:[ 1; 2; 3 ] ~max_steps:6 in
+      let scheduler = Fault.apply plan (Scheduler.random ~seed:(seed + 2)) in
+      let r = Executor.run ~machine ~specs ~inputs ~scheduler () in
+      match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+      | Ok () -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "value-laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compare_total_order;
+            prop_equal_consistent_with_compare;
+            prop_assoc_get_set;
+            prop_set_add_mem;
+            prop_set_cardinal_distinct;
+          ] );
+      ( "pac-invariants",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pac_upset_iff_illegal;
+            prop_pac_agreement;
+            prop_pac_validity;
+            prop_pac_proposes_return_done;
+          ] );
+      ( "agreement-objects",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sa2_responses_valid;
+            prop_nk_sa_invariants;
+            prop_consensus_obj_agreement;
+          ] );
+      ( "runtime",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_executor_deterministic;
+            prop_generated_histories_linearizable;
+            prop_algorithm2_safety_random;
+          ] );
+      ( "constructions",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_universal_linearizable;
+            prop_op_encode_roundtrip;
+            prop_checker_memo_ablation_agrees;
+            prop_safe_agreement_safety;
+            prop_bg_simulation_faithful;
+            prop_fault_plans_preserve_dac_safety;
+          ] );
+    ]

@@ -1,0 +1,582 @@
+(* Protocols and task checkers: Algorithm 2 (n-DAC from n-PAC),
+   consensus and k-set agreement protocols, and the candidate family. *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+(* --- Algorithm 2 under concrete schedules ----------------------------- *)
+
+let test_dac_solo_p_decides_own_input () =
+  (* Nontriviality + validity: p running solo decides its own input. *)
+  let n = 3 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let r = Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.solo 0) () in
+  Alcotest.(check (option v)) "p decides its input" (Some (Value.Int 1))
+    (Config.decision r.Executor.final 0)
+
+let test_dac_round_robin_agreement () =
+  let n = 4 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  List.iter
+    (fun inputs ->
+      let r =
+        Executor.run ~machine ~specs ~inputs
+          ~scheduler:(Scheduler.round_robin ~n) ()
+      in
+      match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+      | Ok () -> ()
+      | Error viol -> Alcotest.failf "%a" Dac.pp_violation viol)
+    (Dac.binary_inputs n)
+
+let test_dac_random_schedules () =
+  let n = 5 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let prng = Prng.create 77 in
+  for seed = 1 to 100 do
+    let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+    let r =
+      Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.random ~seed) ()
+    in
+    (match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+    | Ok () -> ()
+    | Error viol -> Alcotest.failf "seed %d: %a" seed Dac.pp_violation viol);
+    (* Termination from wherever the run stopped. *)
+    (match Dac.check_termination_a ~machine ~specs r.Executor.final with
+    | Ok () -> ()
+    | Error viol -> Alcotest.failf "seed %d: %a" seed Dac.pp_violation viol);
+    match Dac.check_termination_b ~machine ~specs r.Executor.final with
+    | Ok () -> ()
+    | Error viol -> Alcotest.failf "seed %d: %a" seed Dac.pp_violation viol
+  done
+
+let test_dac_crash_tolerance () =
+  (* Crash every non-p process after a prefix: p still decides or
+     aborts (termination (a)); the paper allows aborting here. *)
+  let n = 3 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let r =
+    Executor.run ~machine ~specs ~inputs
+      ~scheduler:
+        (Scheduler.prefix [ 1; 2; 0 ] (Scheduler.excluding [ 1; 2 ]
+           (Scheduler.round_robin ~n)))
+      ()
+  in
+  let p_status = r.Executor.final.Config.status.(0) in
+  Alcotest.(check bool) "p halted" true
+    (match p_status with
+    | Config.Decided _ | Config.Aborted -> true
+    | _ -> false)
+
+let test_dac_via_o_n () =
+  (* Observation 5.1(b) executable: Algorithm 2 over O_2's PAC facet
+     solves 3-DAC under fair schedules. *)
+  let n = 2 in
+  let machine = Dac_from_pac.machine_via_o_n ~n in
+  let specs = Dac_from_pac.specs_via_o_n ~n in
+  List.iter
+    (fun inputs ->
+      let r =
+        Executor.run ~machine ~specs ~inputs
+          ~scheduler:(Scheduler.round_robin ~n:(n + 1)) ()
+      in
+      match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+      | Ok () -> ()
+      | Error viol -> Alcotest.failf "%a" Dac.pp_violation viol)
+    (Dac.binary_inputs (n + 1))
+
+(* --- DAC property checkers on synthetic outcomes ---------------------- *)
+
+let synthetic_config ~statuses =
+  (* A config with given statuses; locals/objects irrelevant for the
+     safety checkers that only look at statuses. *)
+  Config.
+    {
+      locals = Array.make (Array.length statuses) Value.Unit;
+      objects = [||];
+      status = statuses;
+    }
+
+let test_dac_checkers_flag_violations () =
+  let c_disagree =
+    synthetic_config
+      ~statuses:[| Config.Decided (Value.Int 0); Config.Decided (Value.Int 1) |]
+  in
+  (match Dac.check_agreement c_disagree with
+  | Error (Dac.Disagreement _) -> ()
+  | _ -> Alcotest.fail "disagreement not flagged");
+  let c_invalid =
+    synthetic_config ~statuses:[| Config.Decided (Value.Int 1); Config.Running |]
+  in
+  (match Dac.check_validity ~inputs:[| Value.Int 0; Value.Int 0 |] c_invalid with
+  | Error (Dac.Invalid_decision _) -> ()
+  | _ -> Alcotest.fail "invalid decision not flagged");
+  (* A decided value whose only proposer aborted is invalid. *)
+  let c_aborted_proposer =
+    synthetic_config ~statuses:[| Config.Aborted; Config.Decided (Value.Int 1) |]
+  in
+  (match
+     Dac.check_validity ~inputs:[| Value.Int 1; Value.Int 0 |] c_aborted_proposer
+   with
+  | Error (Dac.Invalid_decision _) -> ()
+  | _ -> Alcotest.fail "aborted proposer's value accepted");
+  let c_bad_abort =
+    synthetic_config ~statuses:[| Config.Running; Config.Aborted |]
+  in
+  match Dac.check_aborts c_bad_abort with
+  | Error (Dac.Abort_by_non_distinguished 1) -> ()
+  | _ -> Alcotest.fail "non-p abort not flagged"
+
+let test_nontriviality_checker () =
+  (* p aborts as the very first event: violation. *)
+  let bad =
+    Trace.append Trace.empty (Config.Abort_event { pid = 0 })
+  in
+  (match Dac.check_nontriviality bad with
+  | Error Dac.Nontriviality_violated -> ()
+  | _ -> Alcotest.fail "untriggered abort not flagged");
+  (* A q-step before the abort: fine. *)
+  let ok =
+    Trace.append
+      (Trace.append Trace.empty
+         (Config.Op_event
+            { pid = 1; obj = 0; op = Register.read; response = Value.Nil }))
+      (Config.Abort_event { pid = 0 })
+  in
+  match Dac.check_nontriviality ok with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "legitimate abort flagged"
+
+(* --- consensus protocols ---------------------------------------------- *)
+
+let run_consensus ~machine ~specs ~procs:_ ~seed inputs =
+  Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.random ~seed) ()
+
+let test_consensus_from_obj () =
+  let m = 3 in
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+  for seed = 1 to 50 do
+    let inputs = [| Value.Int 4; Value.Int 5; Value.Int 6 |] in
+    let r = run_consensus ~machine ~specs ~procs:m ~seed inputs in
+    match Consensus_task.check_run ~inputs r with
+    | Ok () -> ()
+    | Error viol ->
+      Alcotest.failf "seed %d: %a" seed Consensus_task.pp_violation viol
+  done
+
+let test_consensus_from_pac_nm_and_sticky () =
+  List.iter
+    (fun (machine, specs, procs) ->
+      for seed = 1 to 30 do
+        let inputs = Array.init procs (fun i -> Value.Int i) in
+        let r = run_consensus ~machine ~specs ~procs ~seed inputs in
+        match Consensus_task.check_run ~inputs r with
+        | Ok () -> ()
+        | Error viol ->
+          Alcotest.failf "%s seed %d: %a" machine.Machine.name seed
+            Consensus_task.pp_violation viol
+      done)
+    [
+      (let m, s = Consensus_protocols.from_pac_nm ~n:2 ~m:3 in
+       (m, s, 3));
+      (let m, s = Consensus_protocols.from_o_n ~n:2 in
+       (m, s, 2));
+      (let m, s = Consensus_protocols.from_sticky () in
+       (m, s, 5));
+      (let m, s = Consensus_protocols.from_test_and_set () in
+       (m, s, 2));
+      (let m, s =
+         Consensus_protocols.from_oprime
+           ~power:(O_prime.default_power ~n:3 ~max_k:2)
+       in
+       (m, s, 3));
+    ]
+
+(* --- k-set agreement protocols ---------------------------------------- *)
+
+let check_kset_run ~k ~machine ~specs ~procs ~seed =
+  let inputs = Kset_task.distinct_inputs procs in
+  let r =
+    Executor.run
+      ~nondet:(Executor.Random (Prng.create (seed * 13)))
+      ~machine ~specs ~inputs ~scheduler:(Scheduler.random ~seed) ()
+  in
+  match Kset_task.check_run ~k ~inputs r with
+  | Ok () -> ()
+  | Error viol ->
+    Alcotest.failf "%s seed %d: %a" machine.Machine.name seed
+      Kset_task.pp_violation viol
+
+let test_kset_partition () =
+  (* 2-set agreement among 6 processes from 3-consensus objects. *)
+  let machine, specs = Kset_protocols.partition ~m:3 ~k:2 in
+  for seed = 1 to 30 do
+    check_kset_run ~k:2 ~machine ~specs ~procs:6 ~seed
+  done
+
+let test_kset_from_sa2 () =
+  let machine, specs = Kset_protocols.from_sa2 ~k:2 in
+  for seed = 1 to 30 do
+    check_kset_run ~k:2 ~machine ~specs ~procs:7 ~seed
+  done
+
+let test_kset_from_nk_sa () =
+  let machine, specs = Kset_protocols.from_nk_sa ~n:5 ~k:3 in
+  for seed = 1 to 30 do
+    check_kset_run ~k:3 ~machine ~specs ~procs:5 ~seed
+  done
+
+let test_kset_from_oprime_and_o_n () =
+  let power = O_prime.default_power ~n:2 ~max_k:3 in
+  let machine, specs = Kset_protocols.from_oprime ~power ~k:2 in
+  for seed = 1 to 20 do
+    check_kset_run ~k:2 ~machine ~specs ~procs:4 ~seed
+  done;
+  let machine, specs = Kset_protocols.partition_from_o_n ~n:2 ~k:2 in
+  for seed = 1 to 20 do
+    check_kset_run ~k:2 ~machine ~specs ~procs:4 ~seed
+  done
+
+let test_kset_rejects_bad_k () =
+  (match Kset_protocols.from_sa2 ~k:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k=1 from 2-SA should be rejected");
+  match Kset_protocols.from_oprime ~power:[ 2; 4 ] ~k:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "k beyond prefix should be rejected"
+
+(* --- candidates behave as designed under targeted schedules ----------- *)
+
+let test_flp_write_read_disagrees () =
+  let machine, specs = Candidates.flp_write_read in
+  let inputs = [| Value.Int 1; Value.Int 0 |] in
+  (* p0 runs alone first (sees NIL, keeps its 1), then p1 (sees 1,
+     decides min = 0). *)
+  let r =
+    Executor.run ~machine ~specs ~inputs
+      ~scheduler:(Scheduler.fixed [ 0; 0; 0; 1; 1; 1 ]) ()
+  in
+  match Consensus_task.check_agreement r.Executor.final with
+  | Error (Consensus_task.Disagreement _) -> ()
+  | _ -> Alcotest.fail "expected the classic disagreement schedule to fire"
+
+let test_flp_spin_not_wait_free () =
+  let machine, specs = Candidates.flp_spin in
+  let inputs = [| Value.Int 1; Value.Int 0 |] in
+  let r =
+    Executor.run ~max_steps:200 ~machine ~specs ~inputs
+      ~scheduler:(Scheduler.solo 0) ()
+  in
+  Alcotest.(check bool) "p0 spins forever solo" true
+    (r.Executor.stop = Executor.Step_limit)
+
+let test_pac_retry_livelocks_under_alternation () =
+  let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
+  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let r =
+    Executor.run ~max_steps:400 ~machine ~specs ~inputs
+      ~scheduler:(Scheduler.round_robin ~n:2) ()
+  in
+  Alcotest.(check bool) "fair alternation livelocks" true
+    (r.Executor.stop = Executor.Step_limit)
+
+(* --- safe agreement (Borowsky-Gafni) ----------------------------------- *)
+
+let test_safe_agreement_crash_free_runs () =
+  (* Under fair schedules without crashes, everyone decides one common
+     proposed value. *)
+  List.iter
+    (fun n ->
+      let machine = Safe_agreement.machine ~n in
+      let specs = Safe_agreement.specs ~n in
+      for seed = 1 to 50 do
+        let inputs = Kset_task.distinct_inputs n in
+        let r =
+          Executor.run ~machine ~specs ~inputs
+            ~scheduler:(Scheduler.random ~seed) ()
+        in
+        Alcotest.(check bool) "halted" true
+          (r.Executor.stop = Executor.All_halted);
+        (match Consensus_task.check_safety ~inputs r.Executor.final with
+        | Ok () -> ()
+        | Error viol ->
+          Alcotest.failf "n=%d seed=%d: %a" n seed Consensus_task.pp_violation
+            viol);
+        Alcotest.(check int) "everyone decided" n
+          (List.length (Config.decisions r.Executor.final))
+      done)
+    [ 2; 3; 5 ]
+
+let test_safe_agreement_exhaustive_safety () =
+  (* Agreement and validity at every reachable configuration, over all
+     schedules (n = 2 and 3). *)
+  List.iter
+    (fun n ->
+      let machine = Safe_agreement.machine ~n in
+      let specs = Safe_agreement.specs ~n in
+      let inputs = Kset_task.distinct_inputs n in
+      let graph = Cgraph.build ~machine ~specs ~inputs () in
+      Alcotest.(check bool) "complete" true (not graph.Cgraph.truncated);
+      Cgraph.iter_nodes
+        (fun id config ->
+          match Consensus_task.check_safety ~inputs config with
+          | Ok () -> ()
+          | Error viol ->
+            Alcotest.failf "n=%d node %d: %a" n id
+              Consensus_task.pp_violation viol)
+        graph)
+    [ 2; 3 ]
+
+let test_safe_agreement_unsafe_zone_blocks () =
+  (* A crash inside the unsafe zone blocks everyone else: run p0 for one
+     step (level 1, unsafe), then p1 solo — it spins forever. *)
+  let n = 2 in
+  let machine = Safe_agreement.machine ~n in
+  let specs = Safe_agreement.specs ~n in
+  let inputs = Kset_task.distinct_inputs n in
+  let r =
+    Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.fixed [ 0 ]) ()
+  in
+  Alcotest.(check bool) "p0 is in its unsafe zone" true
+    (Safe_agreement.in_unsafe_zone r.Executor.final 0);
+  let r2 =
+    Executor.run_solo ~max_steps:500 ~machine ~specs r.Executor.final 1
+  in
+  Alcotest.(check bool) "p1 spins forever" true
+    (r2.Executor.stop = Executor.Step_limit)
+
+let test_safe_agreement_conditional_termination () =
+  (* From every reachable configuration where NO process is inside its
+     unsafe zone, every running process decides when run solo — the
+     precise sense in which termination is conditional. *)
+  let n = 2 in
+  let machine = Safe_agreement.machine ~n in
+  let specs = Safe_agreement.specs ~n in
+  let inputs = Kset_task.distinct_inputs n in
+  let graph = Cgraph.build ~machine ~specs ~inputs () in
+  let cache = Solvability.solo_cache () in
+  let accept = function
+    | Config.Decided _ -> true
+    | _ -> false
+  in
+  Cgraph.iter_nodes
+    (fun id config ->
+      let unsafe =
+        List.exists
+          (Safe_agreement.in_unsafe_zone config)
+          (Listx.range 0 (n - 1))
+      in
+      if not unsafe then
+        List.iter
+          (fun pid ->
+            if
+              not
+                (Solvability.solo_halts ~cache ~machine ~specs ~pid ~accept
+                   config)
+            then
+              Alcotest.failf
+                "node %d: p%d blocked although nobody is in an unsafe zone" id
+                pid)
+          (Config.running config))
+    graph
+
+(* --- obstruction-free consensus (iterated commit-adopt) ---------------- *)
+
+let test_of_consensus_solo_decides () =
+  let n = 2 in
+  let machine = Obstruction_free.machine ~n ~max_rounds:5 in
+  let specs = Obstruction_free.specs ~n ~max_rounds:5 in
+  List.iter
+    (fun pid ->
+      let inputs = [| Value.Int 0; Value.Int 1 |] in
+      let r =
+        Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.solo pid) ()
+      in
+      Alcotest.(check (option v)) "solo runner decides its own input"
+        (Some inputs.(pid))
+        (Config.decision r.Executor.final pid))
+    [ 0; 1 ]
+
+let test_of_consensus_random_terminates_safely () =
+  let n = 3 in
+  let machine = Obstruction_free.machine ~n ~max_rounds:100 in
+  let specs = Obstruction_free.specs ~n ~max_rounds:100 in
+  for seed = 1 to 50 do
+    let inputs = Kset_task.distinct_inputs n in
+    let r =
+      Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.random ~seed)
+        ()
+    in
+    Alcotest.(check bool) "terminates" true
+      (r.Executor.stop = Executor.All_halted);
+    match Consensus_task.check_safety ~inputs r.Executor.final with
+    | Ok () -> ()
+    | Error viol ->
+      Alcotest.failf "seed %d: %a" seed Consensus_task.pp_violation viol
+  done
+
+let test_of_consensus_lockstep_livelocks () =
+  (* Perfect round-robin lockstep with different inputs never converges:
+     the round counter outruns any bound. *)
+  let n = 2 in
+  let machine = Obstruction_free.machine ~n ~max_rounds:6 in
+  let specs = Obstruction_free.specs ~n ~max_rounds:6 in
+  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  match
+    Executor.run ~max_steps:10_000 ~machine ~specs ~inputs
+      ~scheduler:(Scheduler.round_robin ~n) ()
+  with
+  | exception Obstruction_free.Out_of_rounds _ -> ()
+  | r ->
+    Alcotest.failf "expected livelock, stopped with %s"
+      (match r.Executor.stop with
+      | Executor.All_halted -> "all halted"
+      | Executor.Scheduler_stopped -> "scheduler stop"
+      | Executor.Step_limit -> "step limit")
+
+let test_of_consensus_bounded_exhaustive_safety () =
+  (* Safety at every configuration of a bounded exploration (the full
+     state space is infinite: rounds can grow forever). *)
+  let n = 2 in
+  let machine = Obstruction_free.machine ~n ~max_rounds:50 in
+  let specs = Obstruction_free.specs ~n ~max_rounds:50 in
+  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let graph = Cgraph.build ~max_states:20_000 ~machine ~specs ~inputs () in
+  Cgraph.iter_nodes
+    (fun id config ->
+      match Consensus_task.check_safety ~inputs config with
+      | Ok () -> ()
+      | Error viol ->
+        Alcotest.failf "node %d: %a" id Consensus_task.pp_violation viol)
+    graph;
+  (* Obstruction-freedom, exhaustively on the explored region: every
+     running process decides when run solo. *)
+  let cache = Solvability.solo_cache () in
+  let accept = function
+    | Config.Decided _ -> true
+    | _ -> false
+  in
+  let checked = ref 0 in
+  Cgraph.iter_nodes
+    (fun id config ->
+      (* Solo runs from deep frontier nodes can outrun max_rounds; only
+         judge nodes whose round counters are low. *)
+      if id < 2_000 then
+        List.iter
+          (fun pid ->
+            incr checked;
+            if not (Solvability.solo_halts ~cache ~machine ~specs ~pid ~accept config)
+            then Alcotest.failf "node %d: p%d solo run failed to decide" id pid)
+          (Config.running config))
+    graph;
+  Alcotest.(check bool) "many solo checks" true (!checked > 1_000)
+
+(* --- classic consensus constructions ----------------------------------- *)
+
+let test_consensus_from_classic_objects () =
+  List.iter
+    (fun (machine, specs) ->
+      for seed = 1 to 30 do
+        let inputs = [| Value.Int 7; Value.Int 8 |] in
+        let r = run_consensus ~machine ~specs ~procs:2 ~seed inputs in
+        match Consensus_task.check_run ~inputs r with
+        | Ok () -> ()
+        | Error viol ->
+          Alcotest.failf "%s seed %d: %a" machine.Machine.name seed
+            Consensus_task.pp_violation viol
+      done)
+    [
+      Consensus_protocols.from_queue ();
+      Consensus_protocols.from_fetch_and_add ();
+      Consensus_protocols.from_swap ();
+    ];
+  (* CAS seats any number of processes. *)
+  let machine, specs = Consensus_protocols.from_compare_and_swap () in
+  for seed = 1 to 30 do
+    let inputs = Kset_task.distinct_inputs 5 in
+    let r = run_consensus ~machine ~specs ~procs:5 ~seed inputs in
+    match Consensus_task.check_run ~inputs r with
+    | Ok () -> ()
+    | Error viol ->
+      Alcotest.failf "cas seed %d: %a" seed Consensus_task.pp_violation viol
+  done
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "algorithm-2",
+        [
+          Alcotest.test_case "solo p decides own input" `Quick
+            test_dac_solo_p_decides_own_input;
+          Alcotest.test_case "round-robin all binary inputs" `Quick
+            test_dac_round_robin_agreement;
+          Alcotest.test_case "100 random schedules (n=5)" `Quick
+            test_dac_random_schedules;
+          Alcotest.test_case "crash tolerance" `Quick test_dac_crash_tolerance;
+          Alcotest.test_case "via O_n facet (Obs 5.1b)" `Quick test_dac_via_o_n;
+        ] );
+      ( "dac-checkers",
+        [
+          Alcotest.test_case "violations flagged" `Quick
+            test_dac_checkers_flag_violations;
+          Alcotest.test_case "nontriviality" `Quick test_nontriviality_checker;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "from m-consensus" `Quick test_consensus_from_obj;
+          Alcotest.test_case "from (n,m)-PAC, O_n, sticky, TAS, O'_n" `Quick
+            test_consensus_from_pac_nm_and_sticky;
+        ] );
+      ( "kset",
+        [
+          Alcotest.test_case "partition" `Quick test_kset_partition;
+          Alcotest.test_case "from 2-SA" `Quick test_kset_from_sa2;
+          Alcotest.test_case "from (n,k)-SA" `Quick test_kset_from_nk_sa;
+          Alcotest.test_case "from O'_n and O_n" `Quick
+            test_kset_from_oprime_and_o_n;
+          Alcotest.test_case "parameter validation" `Quick
+            test_kset_rejects_bad_k;
+        ] );
+      ( "safe-agreement",
+        [
+          Alcotest.test_case "crash-free runs decide" `Quick
+            test_safe_agreement_crash_free_runs;
+          Alcotest.test_case "exhaustive safety (n=2,3)" `Quick
+            test_safe_agreement_exhaustive_safety;
+          Alcotest.test_case "unsafe-zone crash blocks" `Quick
+            test_safe_agreement_unsafe_zone_blocks;
+          Alcotest.test_case "conditional termination (exhaustive)" `Quick
+            test_safe_agreement_conditional_termination;
+        ] );
+      ( "obstruction-free",
+        [
+          Alcotest.test_case "solo decides" `Quick
+            test_of_consensus_solo_decides;
+          Alcotest.test_case "random schedules terminate safely" `Quick
+            test_of_consensus_random_terminates_safely;
+          Alcotest.test_case "lockstep livelocks" `Quick
+            test_of_consensus_lockstep_livelocks;
+          Alcotest.test_case "bounded exhaustive safety + OF" `Quick
+            test_of_consensus_bounded_exhaustive_safety;
+        ] );
+      ( "classic-consensus",
+        [
+          Alcotest.test_case "queue/faa/swap/cas constructions" `Quick
+            test_consensus_from_classic_objects;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "flp-write-read disagrees" `Quick
+            test_flp_write_read_disagrees;
+          Alcotest.test_case "flp-spin not wait-free" `Quick
+            test_flp_spin_not_wait_free;
+          Alcotest.test_case "pac-retry livelocks" `Quick
+            test_pac_retry_livelocks_under_alternation;
+        ] );
+    ]

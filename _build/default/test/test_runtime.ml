@@ -1,0 +1,331 @@
+(* The runtime layer: machines, configurations, schedulers, executor,
+   traces. *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+(* A tiny two-phase machine: write own input to register pid, read the
+   other register, decide the pair. *)
+let two_phase : Machine.t * Obj_spec.t array =
+  let name = "two-phase" in
+  let init ~pid:_ ~input = Value.(Pair (Sym "writing", input)) in
+  let delta ~pid state =
+    match state with
+    | Value.Pair (Value.Sym "writing", x) ->
+      Machine.invoke pid (Register.write x) (fun _ ->
+          Value.(Pair (Sym "reading", x)))
+    | Value.Pair (Value.Sym "reading", x) ->
+      Machine.invoke (1 - pid) Register.read (fun other ->
+          Value.(Pair (Sym "halt", Pair (x, other))))
+    | Value.Pair (Value.Sym "halt", r) -> Machine.Decide r
+    | s -> Machine.bad_state ~machine:name ~pid s
+  in
+  (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
+
+let inputs01 = [| Value.Int 0; Value.Int 1 |]
+
+let test_round_robin_runs_to_completion () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.round_robin ~n:2) ()
+  in
+  Alcotest.(check bool) "halted" true (r.Executor.stop = Executor.All_halted);
+  Alcotest.(check int) "6 steps (2 ops + decide each)" 6 r.Executor.steps;
+  (* Round-robin interleaves fully: both see each other's write. *)
+  Alcotest.(check (option v)) "p0 decision"
+    (Some Value.(Pair (Int 0, Int 1)))
+    (Config.decision r.Executor.final 0);
+  Alcotest.(check (option v)) "p1 decision"
+    (Some Value.(Pair (Int 1, Int 0)))
+    (Config.decision r.Executor.final 1)
+
+let test_solo_scheduler () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01 ~scheduler:(Scheduler.solo 0) ()
+  in
+  Alcotest.(check bool) "scheduler stopped after p0 halted" true
+    (r.Executor.stop = Executor.Scheduler_stopped);
+  Alcotest.(check (option v)) "p0 saw NIL"
+    (Some Value.(Pair (Int 0, Nil)))
+    (Config.decision r.Executor.final 0);
+  Alcotest.(check (option v)) "p1 never ran" None
+    (Config.decision r.Executor.final 1)
+
+let test_fixed_scheduler_and_trace () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.fixed [ 0; 0; 1; 1; 1; 0 ])
+      ()
+  in
+  Alcotest.(check int) "trace length" 6 (Trace.length r.Executor.trace);
+  (* p0 wrote and read before p1 wrote: p0 sees NIL, p1 sees 0. *)
+  Alcotest.(check (option v)) "p0 decision"
+    (Some Value.(Pair (Int 0, Nil)))
+    (Config.decision r.Executor.final 0);
+  Alcotest.(check (option v)) "p1 decision"
+    (Some Value.(Pair (Int 1, Int 0)))
+    (Config.decision r.Executor.final 1);
+  (* Trace pids follow the fixed schedule. *)
+  let pids =
+    List.map (fun (e : Trace.entry) -> Trace.pid_of_event e.event) r.Executor.trace
+  in
+  Alcotest.(check (list int)) "schedule respected" [ 0; 0; 1; 1; 1; 0 ] pids
+
+let test_random_scheduler_deterministic_by_seed () =
+  let machine, specs = two_phase in
+  let run seed =
+    let r =
+      Executor.run ~machine ~specs ~inputs:inputs01
+        ~scheduler:(Scheduler.random ~seed) ()
+    in
+    List.map
+      (fun (e : Trace.entry) -> Trace.pid_of_event e.event)
+      r.Executor.trace
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (run 7) (run 7);
+  Alcotest.(check bool) "halts for any seed" true
+    (List.for_all (fun seed -> List.length (run seed) = 6) [ 1; 2; 3; 4; 5 ])
+
+let test_starving_scheduler () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.starving 0 (Scheduler.round_robin ~n:2))
+      ()
+  in
+  (* p1 runs to completion first; p0 then sees p1's write. *)
+  Alcotest.(check (option v)) "p0 saw p1's value"
+    (Some Value.(Pair (Int 0, Int 1)))
+    (Config.decision r.Executor.final 0)
+
+let test_excluding_scheduler () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.excluding [ 1 ] (Scheduler.round_robin ~n:2))
+      ()
+  in
+  Alcotest.(check (option v)) "p1 crashed-like: never decided" None
+    (Config.decision r.Executor.final 1);
+  Alcotest.(check (option v)) "p0 decided alone"
+    (Some Value.(Pair (Int 0, Nil)))
+    (Config.decision r.Executor.final 0)
+
+let test_run_solo_continuation () =
+  let machine, specs = two_phase in
+  (* Let p0 take one step, then p1 solo to completion. *)
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.fixed [ 0 ]) ()
+  in
+  let r2 = Executor.run_solo ~machine ~specs r.Executor.final 1 in
+  Alcotest.(check bool) "p1 halted" true (r2.Executor.stop = Executor.All_halted);
+  Alcotest.(check (option v)) "p1 saw p0's write"
+    (Some Value.(Pair (Int 1, Int 0)))
+    (Config.decision r2.Executor.final 1)
+
+let test_config_crash () =
+  let machine, specs = two_phase in
+  let c = Config.initial ~machine ~specs ~inputs:inputs01 in
+  let c = Config.crash c 1 in
+  Alcotest.(check (list int)) "only p0 runnable" [ 0 ] (Config.running c);
+  Alcotest.(check bool) "not all halted" false (Config.all_halted c)
+
+let test_config_compare () =
+  let machine, specs = two_phase in
+  let c1 = Config.initial ~machine ~specs ~inputs:inputs01 in
+  let c2 = Config.initial ~machine ~specs ~inputs:inputs01 in
+  Alcotest.(check bool) "equal initials" true (Config.equal c1 c2);
+  let c3, _ = Config.step ~machine ~specs ~choice:(fun _ -> 0) c1 0 in
+  Alcotest.(check bool) "step changes config" false (Config.equal c1 c3)
+
+let test_step_limit () =
+  (* A machine that spins forever on a register read. *)
+  let name = "spinner" in
+  let machine =
+    Machine.make ~name
+      ~init:(fun ~pid:_ ~input:_ -> Value.Sym "spin")
+      ~delta:(fun ~pid state ->
+        match state with
+        | Value.Sym "spin" ->
+          Machine.invoke 0 Register.read (fun _ -> Value.Sym "spin")
+        | s -> Machine.bad_state ~machine:name ~pid s)
+  in
+  let r =
+    Executor.run ~max_steps:50 ~machine ~specs:[| Register.spec () |]
+      ~inputs:[| Value.Unit |] ~scheduler:(Scheduler.solo 0) ()
+  in
+  Alcotest.(check bool) "fuel ran out" true (r.Executor.stop = Executor.Step_limit);
+  Alcotest.(check int) "exactly max_steps" 50 r.Executor.steps
+
+let test_nondet_resolution () =
+  (* Two processes race proposes into a 2-SA object; under Random nondet
+     the decided values are always among the proposals. *)
+  let machine =
+    Consensus_protocols.one_shot ~name:"sa2-race" ~mk_op:Sa2.propose ()
+  in
+  let specs = [| Sa2.spec () |] in
+  for seed = 1 to 20 do
+    let r =
+      Executor.run
+        ~nondet:(Executor.Random (Prng.create seed))
+        ~machine ~specs ~inputs:inputs01
+        ~scheduler:(Scheduler.random ~seed) ()
+    in
+    List.iter
+      (fun d ->
+        Alcotest.(check bool) "decision among proposals" true
+          (List.mem d [ Value.Int 0; Value.Int 1 ]))
+      (Config.decisions r.Executor.final)
+  done
+
+let test_strategy_nondet () =
+  (* A custom adversary that always picks the branch with the largest
+     2-SA STATE response: after both inputs are in STATE, every response
+     is the maximum (1), so both processes decide 1. *)
+  let machine =
+    Consensus_protocols.one_shot ~name:"sa2-max" ~mk_op:Sa2.propose ()
+  in
+  let specs = [| Sa2.spec () |] in
+  let pick_max (configs : Config.t list) =
+    (* Branch list order follows Set_ element order (sorted ascending),
+       so the last branch carries the largest response. *)
+    List.length configs - 1
+  in
+  let r =
+    Executor.run
+      ~nondet:(Executor.Strategy pick_max)
+      ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.fixed [ 0; 1; 0; 1 ]) ()
+  in
+  (* p0 proposes 0 (gets 0, STATE={0}); p1 proposes 1: branches sorted
+     {0,1}, adversary picks 1.  Decisions: 0 and 1... the adversary
+     maximizes per-branch, so p1 decides 1 while p0 already had 0. *)
+  Alcotest.(check (option v)) "p0 decided 0" (Some (Value.Int 0))
+    (Config.decision r.Executor.final 0);
+  Alcotest.(check (option v)) "p1 decided 1 (max branch)" (Some (Value.Int 1))
+    (Config.decision r.Executor.final 1)
+
+let test_machine_bad_state_raises () =
+  let machine, specs = two_phase in
+  let c = Config.initial ~machine ~specs ~inputs:inputs01 in
+  let broken = { c with Config.locals = [| Value.Sym "garbage"; Value.Sym "garbage" |] } in
+  match Config.step_branches ~machine ~specs broken 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bad_state to raise"
+
+let test_prefix_scheduler () =
+  let machine, specs = two_phase in
+  (* Prefix gives p1 a head start, then round-robin finishes. *)
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.prefix [ 1; 1 ] (Scheduler.round_robin ~n:2)) ()
+  in
+  Alcotest.(check bool) "halted" true (r.Executor.stop = Executor.All_halted);
+  (* p1 wrote and read before p0 wrote: p1 saw NIL. *)
+  Alcotest.(check (option v)) "p1 read NIL"
+    (Some Value.(Pair (Int 1, Nil)))
+    (Config.decision r.Executor.final 1);
+  Alcotest.(check (option v)) "p0 read p1's value"
+    (Some Value.(Pair (Int 0, Int 1)))
+    (Config.decision r.Executor.final 0)
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let test_fault_plan () =
+  let machine, specs = two_phase in
+  (* p1 crashes after its first step: p0 reads p1's write but p1 never
+     decides. *)
+  let scheduler =
+    Fault.apply [ (1, 1) ] (Scheduler.starving 0 (Scheduler.round_robin ~n:2))
+  in
+  let r = Executor.run ~machine ~specs ~inputs:inputs01 ~scheduler () in
+  Alcotest.(check (option v)) "p1 never decided" None
+    (Config.decision r.Executor.final 1);
+  Alcotest.(check (option v)) "p0 saw p1's write"
+    (Some Value.(Pair (Int 0, Int 1)))
+    (Config.decision r.Executor.final 0)
+
+let test_fault_enumerate () =
+  let plans = Fault.enumerate ~victims:[ 1; 2 ] ~max_steps:2 in
+  (* Each victim: survive or crash after 0/1/2 steps = 4 options. *)
+  Alcotest.(check int) "4 * 4 plans" 16 (List.length plans);
+  (* Algorithm 2 stays safe under every crash plan for the non-p
+     processes. *)
+  let n = 3 in
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  List.iter
+    (fun plan ->
+      let scheduler = Fault.apply plan (Scheduler.round_robin ~n) in
+      let r = Executor.run ~machine ~specs ~inputs ~scheduler () in
+      match Dac.check_safety ~inputs ~trace:r.Executor.trace r.Executor.final with
+      | Ok () -> ()
+      | Error viol ->
+        Alcotest.failf "plan %a: %a" Fault.pp_plan plan Dac.pp_violation viol)
+    plans
+
+let test_fault_random_plan_reproducible () =
+  let mk seed =
+    Fault.random ~prng:(Prng.create seed) ~victims:[ 1; 2; 3 ] ~max_steps:5
+  in
+  Alcotest.(check bool) "same seed same plan" true (mk 4 = mk 4)
+
+let test_trace_lanes () =
+  let machine, specs = two_phase in
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.round_robin ~n:2) ()
+  in
+  let rendered = Fmt.str "%a" (Trace.pp_lanes ~n:2) r.Executor.trace in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0 && String.sub rendered 0 2 = "p0");
+  (* One line per step plus the header. *)
+  let lines = String.split_on_char '\n' (String.trim rendered) in
+  Alcotest.(check int) "7 lines" 7 (List.length lines)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "round robin" `Quick
+            test_round_robin_runs_to_completion;
+          Alcotest.test_case "solo" `Quick test_solo_scheduler;
+          Alcotest.test_case "fixed + trace" `Quick
+            test_fixed_scheduler_and_trace;
+          Alcotest.test_case "random reproducible" `Quick
+            test_random_scheduler_deterministic_by_seed;
+          Alcotest.test_case "starving" `Quick test_starving_scheduler;
+          Alcotest.test_case "excluding" `Quick test_excluding_scheduler;
+          Alcotest.test_case "run_solo continuation" `Quick
+            test_run_solo_continuation;
+          Alcotest.test_case "prefix scheduler" `Quick test_prefix_scheduler;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "nondeterminism resolution" `Quick
+            test_nondet_resolution;
+          Alcotest.test_case "custom adversary strategy" `Quick
+            test_strategy_nondet;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plan application" `Quick test_fault_plan;
+          Alcotest.test_case "plan enumeration sweep" `Quick
+            test_fault_enumerate;
+          Alcotest.test_case "random plan reproducible" `Quick
+            test_fault_random_plan_reproducible;
+          Alcotest.test_case "trace lanes rendering" `Quick test_trace_lanes;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "crash" `Quick test_config_crash;
+          Alcotest.test_case "compare" `Quick test_config_compare;
+          Alcotest.test_case "bad state raises" `Quick
+            test_machine_bad_state_raises;
+        ] );
+    ]

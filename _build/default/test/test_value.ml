@@ -1,0 +1,281 @@
+(* Tests for the universal value type and the sequential-spec layer. *)
+
+open Lbsa
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let sample_values =
+  Value.
+    [
+      Unit;
+      Bool false;
+      Bool true;
+      Int (-3);
+      Int 0;
+      Int 42;
+      Sym "a";
+      Sym "b";
+      Bot;
+      Nil;
+      Done;
+      Pair (Int 1, Sym "x");
+      List [];
+      List [ Int 1; Int 2 ];
+      List [ Int 1; Int 2; Int 3 ];
+    ]
+
+let test_compare_reflexive () =
+  List.iter
+    (fun x -> Alcotest.(check int) "x = x" 0 (Value.compare x x))
+    sample_values
+
+let test_compare_antisymmetric () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let c1 = Value.compare x y and c2 = Value.compare y x in
+          Alcotest.(check bool) "antisymmetry" true (c1 = -c2 || (c1 = 0 && c2 = 0)))
+        sample_values)
+    sample_values
+
+let test_compare_transitive () =
+  let sorted = List.sort Value.compare sample_values in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "sorted order" true (Value.compare a b <= 0);
+      check rest
+    | _ -> ()
+  in
+  check sorted
+
+let test_equal_hash_consistent () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if Value.equal x y then
+            Alcotest.(check int) "equal implies same hash" (Value.hash x)
+              (Value.hash y))
+        sample_values)
+    sample_values
+
+let test_pp () =
+  Alcotest.(check string) "bot" "⊥" (Value.to_string Value.Bot);
+  Alcotest.(check string) "nil" "NIL" (Value.to_string Value.Nil);
+  Alcotest.(check string) "done" "done" (Value.to_string Value.Done);
+  Alcotest.(check string) "pair" "(1, x)"
+    (Value.to_string Value.(Pair (Int 1, Sym "x")));
+  Alcotest.(check string) "list" "[1; 2]"
+    (Value.to_string Value.(List [ Int 1; Int 2 ]))
+
+let test_accessors () =
+  Alcotest.(check (option int)) "to_int" (Some 5) (Value.to_int (Value.Int 5));
+  Alcotest.(check (option int)) "to_int sym" None (Value.to_int (Value.Sym "x"));
+  Alcotest.(check int) "to_int_exn" 7 (Value.to_int_exn (Value.Int 7));
+  Alcotest.check_raises "to_int_exn fails" (Invalid_argument "Value.to_int_exn: ⊥")
+    (fun () -> ignore (Value.to_int_exn Value.Bot));
+  Alcotest.(check bool) "is_bot" true (Value.is_bot Value.Bot);
+  Alcotest.(check bool) "is_nil" true (Value.is_nil Value.Nil);
+  Alcotest.(check bool) "is_nil of bot" false (Value.is_nil Value.Bot)
+
+let test_assoc () =
+  let m = Value.Assoc.empty in
+  let m = Value.Assoc.set m (Value.Int 2) (Value.Sym "two") in
+  let m = Value.Assoc.set m (Value.Int 1) (Value.Sym "one") in
+  Alcotest.(check (option v)) "get 1" (Some (Value.Sym "one"))
+    (Value.Assoc.get m (Value.Int 1));
+  Alcotest.(check (option v)) "get 2" (Some (Value.Sym "two"))
+    (Value.Assoc.get m (Value.Int 2));
+  Alcotest.(check (option v)) "get missing" None (Value.Assoc.get m (Value.Int 3));
+  (* Insertion order must not matter for equality (sorted encoding). *)
+  let m' = Value.Assoc.of_bindings
+      [ (Value.Int 1, Value.Sym "one"); (Value.Int 2, Value.Sym "two") ]
+  in
+  Alcotest.(check v) "order-insensitive" m m';
+  (* Overwrite. *)
+  let m2 = Value.Assoc.set m (Value.Int 1) (Value.Sym "uno") in
+  Alcotest.(check (option v)) "overwrite" (Some (Value.Sym "uno"))
+    (Value.Assoc.get m2 (Value.Int 1));
+  Alcotest.(check int) "bindings length" 2 (List.length (Value.Assoc.bindings m2))
+
+let test_set () =
+  let s = Value.Set_.empty in
+  let s = Value.Set_.add (Value.Int 2) s in
+  let s = Value.Set_.add (Value.Int 1) s in
+  let s = Value.Set_.add (Value.Int 2) s in
+  Alcotest.(check int) "cardinal dedups" 2 (Value.Set_.cardinal s);
+  Alcotest.(check bool) "mem 1" true (Value.Set_.mem (Value.Int 1) s);
+  Alcotest.(check bool) "mem 3" false (Value.Set_.mem (Value.Int 3) s);
+  let s' = Value.Set_.of_list [ Value.Int 1; Value.Int 2 ] in
+  Alcotest.(check v) "order-insensitive" s s'
+
+let test_op () =
+  let op1 = Op.make "propose" [ Value.Int 1 ] in
+  let op2 = Op.make "propose" [ Value.Int 1 ] in
+  let op3 = Op.make "propose" [ Value.Int 2 ] in
+  Alcotest.(check bool) "op equal" true (Op.equal op1 op2);
+  Alcotest.(check bool) "op differ" false (Op.equal op1 op3);
+  Alcotest.(check string) "op pp" "propose(1)" (Op.to_string op1);
+  Alcotest.(check string) "op pp nullary" "read()"
+    (Op.to_string (Op.make "read" []))
+
+let test_shistory_replay () =
+  let reg = Register.spec () in
+  let h, final =
+    Shistory.run reg [ Register.write (Value.Int 5); Register.read ]
+  in
+  Alcotest.(check v) "final state" (Value.Int 5) final;
+  Alcotest.(check (list v)) "responses" [ Value.Unit; Value.Int 5 ]
+    (Shistory.responses h);
+  Alcotest.(check bool) "admissible" true (Shistory.admissible reg h);
+  (* Tamper with a response: no longer admissible. *)
+  let bad =
+    List.map
+      (fun (e : Shistory.event) ->
+        if Op.equal e.op Register.read then { e with Shistory.response = Value.Int 6 }
+        else e)
+      h
+  in
+  Alcotest.(check bool) "tampered inadmissible" false (Shistory.admissible reg bad)
+
+let test_shistory_nondet_replay () =
+  (* 2-SA: propose a then b; the second response is either a or b, so
+     replay must track both branch resolutions. *)
+  let sa = Sa2.spec () in
+  let h =
+    [
+      Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 1);
+      Shistory.event (Sa2.propose (Value.Int 2)) (Value.Int 2);
+    ]
+  in
+  Alcotest.(check bool) "b-response admissible" true (Shistory.admissible sa h);
+  let h' =
+    [
+      Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 1);
+      Shistory.event (Sa2.propose (Value.Int 2)) (Value.Int 1);
+    ]
+  in
+  Alcotest.(check bool) "a-response admissible" true (Shistory.admissible sa h');
+  let bad =
+    [ Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 9) ]
+  in
+  Alcotest.(check bool) "foreign response inadmissible" false
+    (Shistory.admissible sa bad)
+
+(* --- Listx -------------------------------------------------------------- *)
+
+let fact n = List.fold_left ( * ) 1 (Listx.range 1 n)
+
+let test_listx_range () =
+  Alcotest.(check (list int)) "range" [ 2; 3; 4 ] (Listx.range 2 4);
+  Alcotest.(check (list int)) "empty range" [] (Listx.range 3 2);
+  Alcotest.(check (list int)) "singleton" [ 5 ] (Listx.range 5 5)
+
+let test_listx_sort_uniq () =
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 3 ]
+    (Listx.sort_uniq compare [ 3; 1; 2; 1; 3; 3 ])
+
+let test_listx_interleavings () =
+  (* Count: multinomial coefficient; order preservation within each
+     sequence. *)
+  let inter = Listx.interleavings [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "C(4,2) = 6" 6 (List.length inter);
+  List.iter
+    (fun order ->
+      let pos x = Option.get (List.find_index (( = ) x) order) in
+      Alcotest.(check bool) "1 before 2" true (pos 1 < pos 2);
+      Alcotest.(check bool) "3 before 4" true (pos 3 < pos 4))
+    inter;
+  (* Singletons: permutations. *)
+  Alcotest.(check int) "3! permutations" (fact 3)
+    (List.length (Listx.interleavings [ [ 1 ]; [ 2 ]; [ 3 ] ]));
+  Alcotest.(check (list (list int))) "empty input" [ [] ]
+    (Listx.interleavings [])
+
+let test_listx_misc () =
+  Alcotest.(check int) "count" 2 (Listx.count (fun x -> x > 1) [ 0; 2; 3 ]);
+  Alcotest.(check int) "max_by" 9 (Listx.max_by compare [ 3; 9; 1 ]);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take beyond" [ 1 ] (Listx.take 5 [ 1 ]);
+  Alcotest.(check int) "cartesian size" 6
+    (List.length (Listx.cartesian [ 1; 2 ] [ 3; 4; 5 ]))
+
+(* --- PRNG ---------------------------------------------------------------- *)
+
+let test_prng_reproducible () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  Alcotest.(check (list int)) "same stream"
+    (List.init 10 (fun _ -> Prng.int a 1000))
+    (List.init 10 (fun _ -> Prng.int b 1000))
+
+let test_prng_split_independent () =
+  let a = Prng.create 42 in
+  let c = Prng.split a in
+  (* The split stream differs from the parent's continuation. *)
+  let xs = List.init 10 (fun _ -> Prng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Prng.int c 1_000_000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int p 13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int p 0))
+
+let test_prng_shuffle () =
+  let p = Prng.create 5 in
+  let a = [| 1; 2; 3; 4; 5 |] in
+  let s = Prng.shuffle p a in
+  Alcotest.(check (list int)) "permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare (Array.to_list s));
+  Alcotest.(check (list int)) "original untouched" [ 1; 2; 3; 4; 5 ]
+    (Array.to_list a)
+
+let () =
+  Alcotest.run "value"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare reflexive" `Quick test_compare_reflexive;
+          Alcotest.test_case "compare antisymmetric" `Quick
+            test_compare_antisymmetric;
+          Alcotest.test_case "compare transitive (sorted)" `Quick
+            test_compare_transitive;
+          Alcotest.test_case "equal implies equal hash" `Quick
+            test_equal_hash_consistent;
+          Alcotest.test_case "pretty-printing" `Quick test_pp;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "assoc-and-set",
+        [
+          Alcotest.test_case "assoc maps" `Quick test_assoc;
+          Alcotest.test_case "value sets" `Quick test_set;
+        ] );
+      ("op", [ Alcotest.test_case "operations" `Quick test_op ]);
+      ( "shistory",
+        [
+          Alcotest.test_case "replay deterministic" `Quick test_shistory_replay;
+          Alcotest.test_case "replay nondeterministic" `Quick
+            test_shistory_nondet_replay;
+        ] );
+      ( "listx",
+        [
+          Alcotest.test_case "range" `Quick test_listx_range;
+          Alcotest.test_case "sort_uniq" `Quick test_listx_sort_uniq;
+          Alcotest.test_case "interleavings" `Quick test_listx_interleavings;
+          Alcotest.test_case "misc" `Quick test_listx_misc;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "reproducible" `Quick test_prng_reproducible;
+          Alcotest.test_case "split independent" `Quick
+            test_prng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+    ]

@@ -744,8 +744,66 @@ let run_micro () =
       Fmt.pr "%-48s %16s %10.4f@." name time r2)
     rows
 
+(* ---------------------------------------------------------------------- *)
+(* Exploration micro-benchmark: the seed Map.Make(Config) explorer
+   (Cgraph.build_cmap) against the hash-set/CSR engine (Cgraph.build),
+   sequentially and with the default domain count.  Both must produce
+   the identical graph; states/sec comes from each graph's own stats. *)
+
+let run_explore () =
+  hr "Exploration engines (states/sec; same graph from every engine)";
+  let cases =
+    [
+      ( "3-process consensus (m=3)",
+        (fun () -> Consensus_protocols.from_consensus_obj ~m:3),
+        [| Value.Int 0; Value.Int 1; Value.Int 0 |],
+        3000 );
+      ( "5-process DAC (Algorithm 2)",
+        (fun () -> (Dac_from_pac.machine ~n:5, Dac_from_pac.specs ~n:5)),
+        [| Value.Int 1; Value.Int 0; Value.Int 0; Value.Int 0; Value.Int 0 |],
+        10 );
+      ( "6-process DAC (Algorithm 2)",
+        (fun () -> (Dac_from_pac.machine ~n:6, Dac_from_pac.specs ~n:6)),
+        Array.init 6 (fun pid -> Value.Int (if pid = 0 then 1 else 0)),
+        3 );
+    ]
+  in
+  Fmt.pr "%-30s %8s %14s %14s %14s %9s@." "graph" "states" "cmap st/s"
+    "hash st/s" "hash-par st/s" "speedup";
+  List.iter
+    (fun (label, mk, inputs, reps) ->
+      let machine, specs = mk () in
+      let time build =
+        (* Fresh compacted heap per engine (a retained graph from one
+           engine would tax the next engine's GC), warm once, then sum
+           the explorer's own wall clock over reps. *)
+        Gc.compact ();
+        let g = build () in
+        let shape = (Cgraph.n_nodes g, Cgraph.n_edges g) in
+        let wall = ref 0. in
+        for _ = 1 to reps do
+          let g = build () in
+          wall := !wall +. (Cgraph.stats g).Cgraph.wall_s
+        done;
+        (shape, float (fst shape) *. float reps /. !wall)
+      in
+      let s0, cmap_rate =
+        time (fun () -> Cgraph.build_cmap ~machine ~specs ~inputs ())
+      in
+      let s1, seq_rate =
+        time (fun () -> Cgraph.build ~domains:1 ~machine ~specs ~inputs ())
+      in
+      let s2, par_rate = time (fun () -> Cgraph.build ~machine ~specs ~inputs ()) in
+      assert (s0 = s1);
+      assert (s0 = s2);
+      Fmt.pr "%-30s %8d %14.0f %14.0f %14.0f %8.1fx@." label (fst s0) cmap_rate
+        seq_rate par_rate
+        (Float.max seq_rate par_rate /. cmap_rate))
+    cases
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if mode = "tables" || mode = "all" then all_tables ();
+  if mode = "explore" || mode = "all" then run_explore ();
   if mode = "micro" || mode = "all" then run_micro ();
   Fmt.pr "@.done.@."

@@ -60,9 +60,18 @@ let max_k_arg =
 let max_states_arg =
   Arg.(
     value
-    & opt int 400_000
+    & opt int Lbsa_modelcheck.Graph.default_max_states
     & info [ "max-states" ] ~docv:"S"
         ~doc:"State bound for exhaustive exploration.")
+
+let stats_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print exploration statistics (states/sec, frontier profile, dedup \
+           rate, domains) after the verdict.")
 
 (* --- run-dac ----------------------------------------------------------- *)
 
@@ -100,30 +109,34 @@ let run_dac_cmd =
 
 (* --- check ------------------------------------------------------------- *)
 
-let report verdict =
+let report ?(stats = false) verdict =
   Fmt.pr "%a@." Solvability.pp_verdict verdict;
+  (if stats then
+     match verdict.Solvability.stats with
+     | Some s -> Fmt.pr "%a@." Cgraph.pp_stats s
+     | None -> Fmt.pr "(no exploration statistics recorded)@.");
   if verdict.Solvability.ok then 0 else 1
 
-let check_dac n max_states =
+let check_dac n max_states stats =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  report
+  report ~stats
     (Solvability.for_all_inputs
        (fun inputs ->
          Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
        (Dac.binary_inputs n))
 
-let check_consensus m max_states =
+let check_consensus m max_states stats =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
-  report
+  report ~stats
     (Solvability.for_all_inputs
        (fun inputs ->
          Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
        (Consensus_task.binary_inputs m))
 
-let check_kset m k max_states =
+let check_kset m k max_states stats =
   let machine, specs = Kset_protocols.partition ~m ~k in
-  report
+  report ~stats
     (Solvability.check_kset ~max_states ~machine ~specs ~k
        ~inputs:(Kset_task.distinct_inputs (m * k))
        ())
@@ -198,11 +211,11 @@ let check_cmd =
       & opt string "flp-write-read"
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
-  let run task n m k name max_states =
+  let run task n m k name max_states stats =
     match task with
-    | `Dac -> check_dac n max_states
-    | `Consensus -> check_consensus m max_states
-    | `Kset -> check_kset m k max_states
+    | `Dac -> check_dac n max_states stats
+    | `Consensus -> check_consensus m max_states stats
+    | `Kset -> check_kset m k max_states stats
     | `Candidate -> check_candidate name max_states
   in
   Cmd.v
@@ -210,7 +223,9 @@ let check_cmd =
        ~doc:
          "Exhaustively model-check a task (all schedules, all object \
           nondeterminism).")
-    Term.(const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg)
+    Term.(
+      const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
+      $ stats_arg)
 
 (* --- valence ------------------------------------------------------------ *)
 
@@ -224,7 +239,7 @@ let protocols_by_name ~n ~m =
       (Dac_from_pac.machine ~n, Dac_from_pac.specs ~n) );
   ]
 
-let valence name n m max_states =
+let valence name n m max_states stats =
   match List.assoc_opt name (protocols_by_name ~n ~m) with
   | None ->
     Fmt.epr "unknown protocol %S; known: %s@." name
@@ -243,6 +258,7 @@ let valence name n m max_states =
       else Array.init procs (fun pid -> Value.Int (pid mod 2))
     in
     let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
+    if stats then Fmt.pr "%a@." Cgraph.pp_stats (Cgraph.stats graph);
     let a = Valence.analyze graph in
     let s = Valence.summarize a in
     Fmt.pr "protocol %s, inputs %a: %d configurations (%d edges)%s@." name
@@ -279,7 +295,8 @@ let valence_cmd =
   Cmd.v
     (Cmd.info "valence"
        ~doc:"Compute the valence structure of a protocol's configuration graph.")
-    Term.(const valence $ proto_name $ n_arg $ m_arg $ max_states_arg)
+    Term.(
+      const valence $ proto_name $ n_arg $ m_arg $ max_states_arg $ stats_arg)
 
 (* --- power / separation ------------------------------------------------- *)
 

@@ -34,7 +34,7 @@ let pp_report ppf r =
   Fmt.pf ppf "@[<v>%s at level %d@,  positive: %a@,  negative: %a@]"
     r.object_name r.level pp_half r.solves_at_level pp_half r.fails_above
 
-let check_consensus_all_binary ?(max_states = 200_000) ~machine ~specs ~procs () =
+let check_consensus_all_binary ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~machine ~specs ~procs () =
   Solvability.for_all_inputs
     (fun inputs ->
       Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
@@ -44,7 +44,7 @@ let check_consensus_all_binary ?(max_states = 200_000) ~machine ~specs ~procs ()
    (m+1)-process candidate (everyone proposes, ⊥-receiver reads an
    announcement) fails.  We reuse the (n,m)-PAC candidate with its PAC
    facet unused, which degenerates to exactly that protocol. *)
-let consensus_obj_report ?(max_states = 200_000) ~m () =
+let consensus_obj_report ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~m () =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
   let positive = check_consensus_all_binary ~max_states ~machine ~specs ~procs:m () in
   let cand_machine, cand_specs = Candidates.consensus_m1_from_pac_nm ~n:2 ~m in
@@ -67,7 +67,7 @@ let consensus_obj_report ?(max_states = 200_000) ~m () =
 (* Theorem 5.3: (n,m)-PAC is at level m.  The positive half is
    Observation 5.1(c); the negative half is the failure of the natural
    (m+1)-consensus candidates over the object. *)
-let pac_nm_report ?(max_states = 200_000) ~n ~m () =
+let pac_nm_report ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~n ~m () =
   let machine, specs = Consensus_protocols.from_pac_nm ~n ~m in
   let positive = check_consensus_all_binary ~max_states ~machine ~specs ~procs:m () in
   let cand_machine, cand_specs = Candidates.consensus_m1_from_pac_nm ~n ~m in
@@ -88,6 +88,6 @@ let pac_nm_report ?(max_states = 200_000) ~n ~m () =
   }
 
 (* Observation 6.2: O_n has consensus number n. *)
-let o_n_report ?(max_states = 200_000) ~n () =
+let o_n_report ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~n () =
   let r = pac_nm_report ~max_states ~n:(n + 1) ~m:n () in
   { r with object_name = Fmt.str "O_%d" n }

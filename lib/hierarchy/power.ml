@@ -57,7 +57,7 @@ let pp_probe ppf p =
 (* Exhaustively check that [protocol] solves k-set agreement among
    [procs] processes on the all-distinct input vector (the adversarially
    hardest one) plus, optionally, all binary inputs. *)
-let probe ?(max_states = 200_000) ?(also_binary = false) ~k ~procs
+let probe ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ?(also_binary = false) ~k ~procs
     ~(protocol : Machine.t * Obj_spec.t array) () =
   let machine, specs = protocol in
   let inputs_list =
@@ -120,24 +120,24 @@ let probe_random ?(trials = 2000) ?(seed = 1) ~k ~procs
    forms; upper bounds are impossibility statements (see EXPERIMENTS.md
    for how the candidate experiments address them). *)
 
-let probe_consensus_family ~m ~k ?(max_states = 200_000) () =
+let probe_consensus_family ~m ~k ?(max_states = Lbsa_modelcheck.Graph.default_max_states) () =
   probe ~max_states ~k ~procs:(k * m)
     ~protocol:(Kset_protocols.partition ~m ~k)
     ()
 
-let probe_sa2_family ~k ~procs ?(max_states = 200_000) () =
+let probe_sa2_family ~k ~procs ?(max_states = Lbsa_modelcheck.Graph.default_max_states) () =
   probe ~max_states ~k ~procs ~protocol:(Kset_protocols.from_sa2 ~k) ()
 
-let probe_nk_sa_family ~n ~k ?(max_states = 200_000) () =
+let probe_nk_sa_family ~n ~k ?(max_states = Lbsa_modelcheck.Graph.default_max_states) () =
   probe ~max_states ~k ~procs:n ~protocol:(Kset_protocols.from_nk_sa ~n ~k) ()
 
-let probe_oprime_family ~power ~k ?(max_states = 200_000) () =
+let probe_oprime_family ~power ~k ?(max_states = Lbsa_modelcheck.Graph.default_max_states) () =
   let nk = List.nth power (k - 1) in
   probe ~max_states ~k ~procs:nk
     ~protocol:(Kset_protocols.from_oprime ~power ~k)
     ()
 
-let probe_o_n_consensus ~n ?(max_states = 200_000) () =
+let probe_o_n_consensus ~n ?(max_states = Lbsa_modelcheck.Graph.default_max_states) () =
   let machine, specs = Consensus_protocols.from_o_n ~n in
   let verdict =
     Solvability.for_all_inputs

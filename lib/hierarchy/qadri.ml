@@ -21,7 +21,7 @@ type report = {
   artifacts : Separation.verdictish list;
 }
 
-let analyze ?(max_states = 400_000) ~m ~n () : report =
+let analyze ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~m ~n () : report =
   if m < 2 || n < m + 1 then
     invalid_arg "Qadri.analyze: needs m >= 2 and n >= m+1";
   let artifacts = ref [] in

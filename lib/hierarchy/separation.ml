@@ -49,7 +49,7 @@ let of_verdict ~label ~expect_ok (v : Solvability.verdict) =
            (Option.value v.Solvability.failure ~default:"?"));
   }
 
-let analyze ?(max_k = 3) ?(max_states = 400_000) ~n () : report =
+let analyze ?(max_k = 3) ?(max_states = Lbsa_modelcheck.Graph.default_max_states) ~n () : report =
   if n < 2 then invalid_arg "Separation.analyze: n >= 2";
   let power = O_prime.default_power ~n ~max_k in
   let artifacts = ref [] in

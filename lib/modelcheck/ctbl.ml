@@ -1,0 +1,81 @@
+open Lbsa_runtime
+
+(* Open-addressing hash table from configurations to node ids — the dedup
+   structure of the explorer.  Linear probing over power-of-two capacity;
+   stored hashes let most probe misses skip the structural [Config.equal].
+   Replaces the seed's [Map.Make(Config)], whose every lookup paid
+   O(log n) full structural compares. *)
+
+let dummy : Config.t = { locals = [||]; objects = [||]; status = [||] }
+
+type t = {
+  mutable mask : int;  (* capacity - 1; capacity is a power of two *)
+  mutable size : int;
+  mutable keys : Config.t array;  (* physically [dummy] = empty slot *)
+  mutable hashes : int array;
+  mutable ids : int array;
+}
+
+let create n =
+  let cap = ref 16 in
+  while !cap < n * 2 do
+    cap := !cap * 2
+  done;
+  {
+    mask = !cap - 1;
+    size = 0;
+    keys = Array.make !cap dummy;
+    hashes = Array.make !cap 0;
+    ids = Array.make !cap (-1);
+  }
+
+let length t = t.size
+
+let rec probe t key hash i =
+  if t.keys.(i) == dummy then `Empty i
+  else if t.hashes.(i) = hash && Config.equal t.keys.(i) key then `Found i
+  else probe t key hash ((i + 1) land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_hashes = t.hashes and old_ids = t.ids in
+  let cap = (t.mask + 1) * 2 in
+  t.mask <- cap - 1;
+  t.keys <- Array.make cap dummy;
+  t.hashes <- Array.make cap 0;
+  t.ids <- Array.make cap (-1);
+  Array.iteri
+    (fun i k ->
+      if k != dummy then begin
+        let h = old_hashes.(i) in
+        match probe t k h (h land t.mask) with
+        | `Empty j ->
+          t.keys.(j) <- k;
+          t.hashes.(j) <- h;
+          t.ids.(j) <- old_ids.(i)
+        | `Found _ -> assert false
+      end)
+    old_keys
+
+(* Look the configuration up; if absent, insert it with id
+   [if_absent key] (not called when present).  Returns the id now bound.
+   [if_absent] receives the key so callers can pass one registration
+   function for the whole build instead of allocating a closure per
+   lookup; detect a fresh insert by comparing [length] before and
+   after. *)
+let find_or_add t key ~hash ~if_absent =
+  match probe t key hash (hash land t.mask) with
+  | `Found i -> t.ids.(i)
+  | `Empty i ->
+    let id = if_absent key in
+    t.keys.(i) <- key;
+    t.hashes.(i) <- hash;
+    t.ids.(i) <- id;
+    t.size <- t.size + 1;
+    (* Keep load factor under 2/3 so probe chains stay short. *)
+    if t.size * 3 > (t.mask + 1) * 2 then grow t;
+    id
+
+let find_opt t key ~hash =
+  match probe t key hash (hash land t.mask) with
+  | `Found i -> Some t.ids.(i)
+  | `Empty _ -> None

@@ -1,0 +1,30 @@
+(** Open-addressing hash table from configurations to node ids: the
+    dedup structure of the state-space explorer.  Keys are compared by
+    stored full-tree hash first, then [Config.equal], so lookups in a
+    graph of hundreds of thousands of states stay O(1) instead of the
+    O(log n) structural compares of a [Map.Make(Config)]. *)
+
+open Lbsa_runtime
+
+type t
+
+val create : int -> t
+(** [create n] sizes the table for about [n] expected entries (it grows
+    as needed regardless). *)
+
+val length : t -> int
+
+val find_or_add :
+  t -> Config.t -> hash:int -> if_absent:(Config.t -> int) -> int
+(** [find_or_add t c ~hash ~if_absent] returns the id bound to [c],
+    inserting [if_absent c] first when [c] is new.  [hash] is passed in
+    so callers can hash once per candidate (and with whatever consistent
+    hash they choose); [if_absent] receives the key so one registration
+    function can serve the whole build without per-lookup closures.  It
+    is not called when [c] is already present; detect a fresh insert by
+    comparing {!length} before and after. *)
+
+val find_opt : t -> Config.t -> hash:int -> int option
+(** [hash] must be the same value the caller would pass to
+    {!find_or_add} for this key — the table stores whatever hash the
+    caller uses, so one build must hash consistently throughout. *)

@@ -4,24 +4,402 @@ open Lbsa_runtime
    configurations, edges are atomic steps (process id + event), with all
    scheduler choices and all object nondeterminism included.  This is the
    object the paper's proofs quantify over, built explicitly for small
-   instances. *)
+   instances.
+
+   Construction is a level-synchronous BFS: each frontier is expanded in
+   parallel across OCaml domains (the per-node successor computation is
+   pure), then merged sequentially in frontier order.  Because the merge
+   assigns node ids in exactly the discovery order of the seed's
+   single-threaded FIFO BFS, the resulting graph — ids, edge order,
+   truncation point — is bit-identical regardless of the domain count,
+   so every downstream table and test is reproducible.  Dedup goes
+   through {!Ctbl}, an open-addressing hash set keyed on the full
+   element-wise [Config.hash].  Out-edges live in one flat array in CSR
+   form (per-node slices via [offsets]) instead of a per-node list
+   array. *)
 
 type edge = { pid : int; event : Config.event; target : int }
 
+type stats = {
+  states : int;
+  edges : int;
+  levels : int;  (* BFS depth = number of frontiers expanded *)
+  frontier_sizes : int array;  (* one entry per level *)
+  peak_frontier : int;
+  dedup_hits : int;  (* successors that were already-known states *)
+  dedup_rate : float;  (* dedup_hits / successors generated *)
+  wall_s : float;
+  states_per_sec : float;
+  domains : int;
+  truncated : bool;
+}
+
 type t = {
   nodes : Config.t array;
-  edges : edge list array;  (* out-edges per node *)
+  edges : edge array;  (* all out-edges, flat, grouped by source node *)
+  offsets : int array;  (* length nodes+1; node id owns [offsets.(id), offsets.(id+1)) *)
   initial : int;
   truncated : bool;  (* true if max_states was hit: results are partial *)
+  stats : stats;
 }
 
 exception Truncated
 
-module CMap = Map.Make (Config)
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>states: %d%s@,edges: %d@,levels: %d (peak frontier %d)@,\
+     dedup: %d hits (%.1f%% of %d successors)@,\
+     wall: %.3f s (%.0f states/s, %d domain%s)@]"
+    s.states
+    (if s.truncated then " [TRUNCATED]" else "")
+    s.edges s.levels s.peak_frontier s.dedup_hits (100. *. s.dedup_rate)
+    (s.dedup_hits + s.states - 1 + if s.truncated then 1 else 0)
+    s.wall_s s.states_per_sec s.domains
+    (if s.domains = 1 then "" else "s")
 
-(* Breadth-first construction of the reachable graph. *)
-let build ?(max_states = 200_000) ~(machine : Machine.t)
+(* --- small growable arrays (flat storage while the size is unknown) --- *)
+
+module Dyn = struct
+  type 'a t = { mutable arr : 'a array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let push d x =
+    if d.len = Array.length d.arr then begin
+      let cap = max 64 (2 * Array.length d.arr) in
+      let arr = Array.make cap x in
+      Array.blit d.arr 0 arr 0 d.len;
+      d.arr <- arr
+    end;
+    d.arr.(d.len) <- x;
+    d.len <- d.len + 1
+
+  let to_array d = Array.sub d.arr 0 d.len
+end
+
+(* --- parallel frontier expansion -------------------------------------- *)
+
+(* All successors of one configuration, grouped per pid (one list cell
+   and pair per *process*, not per successor), in the deterministic order
+   the seed BFS used: pids ascending, object branches in spec order. *)
+let successors ~machine ~specs config =
+  let acc = ref [] in
+  for pid = Config.n_processes config - 1 downto 0 do
+    if Config.is_running config pid then
+      acc := (pid, Config.step_branches ~machine ~specs config pid) :: !acc
+  done;
+  !acc
+
+(* [recommended_domain_count] probes the machine; do it once, not per
+   build (builds of tiny graphs run at ~1M states/s, where even a few
+   microseconds of setup shows up). *)
+let default_domains =
+  let d = lazy (max 1 (min 8 (Domain.recommended_domain_count ()))) in
+  fun () -> Lazy.force d
+
+(* Below this frontier size the spawn/join overhead outweighs the work. *)
+let parallel_threshold = 256
+
+(* Expand the first [n] entries of the frontier buffer; [out.(i)] gets
+   node [i]'s successor list.  Chunks are written to disjoint indices, so
+   domains share no mutable state; [Domain.join] publishes the writes. *)
+let expand ~domains ~machine ~specs frontier n =
+  let out = Array.make n [] in
+  let work lo hi =
+    for i = lo to hi - 1 do
+      out.(i) <- successors ~machine ~specs frontier.(i)
+    done
+  in
+  let d = min domains n in
+  if d <= 1 || n < parallel_threshold then work 0 n
+  else begin
+    let chunk = (n + d - 1) / d in
+    let spawned =
+      List.init (d - 1) (fun k ->
+          let lo = (k + 1) * chunk in
+          let hi = min n (lo + chunk) in
+          Domain.spawn (fun () -> work lo (max lo hi)))
+    in
+    work 0 (min n chunk);
+    List.iter Domain.join spawned
+  end;
+  out
+
+(* --- construction ------------------------------------------------------ *)
+
+let default_max_states = 1_000_000
+
+(* The explorer's configuration hash: the FNV-style combination of
+   per-element full-tree hashes.  Computing it relative to the parent
+   configuration makes it cheap: a step rebuilds only the one local and
+   one object it touches, so every element still physically shared with
+   the parent reuses the parent's element hash and only the ~2 fresh
+   subtrees are walked.  Structurally equal configurations reached from
+   different parents hash identically — sharing only skips
+   recomputation.  (This function replaces [Config.hash] inside [build];
+   the table only needs one consistent hash per run.) *)
+let hash_status acc = function
+  | Config.Running -> Lbsa_spec.Value.hash_combine acc 29
+  | Config.Decided v ->
+    Lbsa_spec.Value.hash_combine
+      (Lbsa_spec.Value.hash_combine acc 31)
+      (Lbsa_spec.Value.hash v)
+  | Config.Aborted -> Lbsa_spec.Value.hash_combine acc 37
+  | Config.Crashed -> Lbsa_spec.Value.hash_combine acc 41
+
+let elem_hashes (c : Config.t) =
+  ( Array.map Lbsa_spec.Value.hash c.locals,
+    Array.map Lbsa_spec.Value.hash c.objects )
+
+(* Element-hash arrays of a child, derived from its parent's: a step
+   rebuilds at most one local and one object (decide/abort steps rebuild
+   neither), so almost every slot reuses the parent's hash.  An array
+   still physically shared with the parent reuses the hash array as-is
+   (zero allocation for status-only steps).  The BFS threads these
+   arrays along with the frontier, so element hashes are computed fresh
+   only for the ~2 subtrees each step actually rebuilds. *)
+let child_elem_hashes ~(parent : Config.t) ~hl ~ho (c : Config.t) =
+  let derive base hashes arr =
+    if arr == base then hashes
+    else
+      Array.mapi
+        (fun i v ->
+          if v == base.(i) then hashes.(i) else Lbsa_spec.Value.hash v)
+        arr
+  in
+  (derive parent.locals hl c.locals, derive parent.objects ho c.objects)
+
+let succ_hash ~(parent : Config.t) ~hl ~ho (c : Config.t) =
+  let comb = Lbsa_spec.Value.hash_combine in
+  let acc = ref 0x811c9dc5 in
+  let pl = parent.locals and po = parent.objects in
+  let cl = c.locals and co = c.objects and cs = c.status in
+  for i = 0 to Array.length cl - 1 do
+    let v = cl.(i) in
+    acc := comb !acc (if v == pl.(i) then hl.(i) else Lbsa_spec.Value.hash v)
+  done;
+  acc := comb !acc 43;
+  for i = 0 to Array.length co - 1 do
+    let v = co.(i) in
+    acc := comb !acc (if v == po.(i) then ho.(i) else Lbsa_spec.Value.hash v)
+  done;
+  acc := comb !acc 47;
+  for i = 0 to Array.length cs - 1 do
+    acc := hash_status !acc cs.(i)
+  done;
+  !acc land max_int
+
+let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some d -> invalid_arg (Fmt.str "Graph.build: domains %d < 1" d)
+    | None -> default_domains ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let init = Config.initial ~machine ~specs ~inputs in
+  let tbl = Ctbl.create 16 in
+  let nodes = Dyn.create () in
+  let edges = Dyn.create () in
+  let offsets = Dyn.create () in
+  let n_nodes = ref 0 in
+  let truncated = ref false in
+  let dedup_hits = ref 0 in
+  let n_succs = ref 0 in
+  let frontier_sizes = Dyn.create () in
+  (* Two frontier buffers, swapped each level; no per-level copying.
+     [cur_h]/[nxt_h] carry each frontier node's element-hash arrays,
+     index-aligned with [cur]/[nxt], so children derive their hashes
+     from their parent's instead of rehashing whole configurations. *)
+  let cur = ref (Dyn.create ()) in
+  let nxt = ref (Dyn.create ()) in
+  let cur_h = ref (Dyn.create ()) in
+  let nxt_h = ref (Dyn.create ()) in
+  let register config =
+    let id = !n_nodes in
+    incr n_nodes;
+    Dyn.push nodes config;
+    Dyn.push !nxt config;
+    id
+  in
+  let init_hl, init_ho = elem_hashes init in
+  ignore
+    (Ctbl.find_or_add tbl init
+       ~hash:(succ_hash ~parent:init ~hl:init_hl ~ho:init_ho init)
+       ~if_absent:register);
+  Dyn.push !nxt_h (init_hl, init_ho);
+  while (!nxt).Dyn.len > 0 do
+    let f = !nxt in
+    nxt := !cur;
+    cur := f;
+    (!nxt).Dyn.len <- 0;
+    let f_h = !nxt_h in
+    nxt_h := !cur_h;
+    cur_h := f_h;
+    (!nxt_h).Dyn.len <- 0;
+    Dyn.push frontier_sizes f.Dyn.len;
+    let succs = expand ~domains ~machine ~specs f.Dyn.arr f.Dyn.len in
+    Array.iteri
+      (fun i succ_list ->
+        (* Nodes are expanded in id order, so this records offsets.(id). *)
+        Dyn.push offsets edges.Dyn.len;
+        let parent = f.Dyn.arr.(i) in
+        let hl, ho = f_h.Dyn.arr.(i) in
+        List.iter
+          (fun (pid, branches) ->
+            List.iter
+              (fun ((config' : Config.t), event) ->
+                incr n_succs;
+                let hash = succ_hash ~parent ~hl ~ho config' in
+                (* target = -1 marks a successor dropped by truncation. *)
+                let target =
+                  let before = Ctbl.length tbl in
+                  if before < max_states then begin
+                    let id =
+                      Ctbl.find_or_add tbl config' ~hash ~if_absent:register
+                    in
+                    if Ctbl.length tbl = before then incr dedup_hits
+                    else
+                      Dyn.push !nxt_h
+                        (child_elem_hashes ~parent ~hl ~ho config');
+                    id
+                  end
+                  else
+                    match Ctbl.find_opt tbl config' ~hash with
+                    | Some id ->
+                      incr dedup_hits;
+                      id
+                    | None ->
+                      truncated := true;
+                      -1
+                in
+                if target >= 0 then Dyn.push edges { pid; event; target })
+              branches)
+          succ_list)
+      succs;
+  done;
+  Dyn.push offsets edges.Dyn.len;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let frontier_sizes = Dyn.to_array frontier_sizes in
+  let stats =
+    {
+      states = !n_nodes;
+      edges = edges.Dyn.len;
+      levels = Array.length frontier_sizes;
+      frontier_sizes;
+      peak_frontier = Array.fold_left max 0 frontier_sizes;
+      dedup_hits = !dedup_hits;
+      dedup_rate =
+        (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
+      wall_s;
+      states_per_sec =
+        (if wall_s > 0. then float !n_nodes /. wall_s else float !n_nodes);
+      domains;
+      truncated = !truncated;
+    }
+  in
+  {
+    nodes = Dyn.to_array nodes;
+    edges = Dyn.to_array edges;
+    offsets = Dyn.to_array offsets;
+    initial = 0;
+    truncated = !truncated;
+    stats;
+  }
+
+(* The seed explorer: single-threaded FIFO BFS deduping through a
+   persistent [Map.Make(Config)].  Kept as the differential-testing
+   oracle and the benchmark baseline; [build] must produce the identical
+   graph.
+
+   The comparator reproduces the seed's comparison path verbatim — in
+   particular WITHOUT the physical-equality fast paths [Value.compare]
+   has since gained — so benchmarking [build] against [build_cmap]
+   measures the new engine against the explorer the seed shipped, not a
+   baseline retroactively sped up by this refactor. *)
+module Seed_ord = struct
+  type t = Config.t
+
+  open Lbsa_spec
+
+  let rec compare_value (a : Value.t) (b : Value.t) =
+    match (a, b) with
+    | Value.Unit, Value.Unit -> 0
+    | Value.Unit, _ -> -1
+    | _, Value.Unit -> 1
+    | Value.Bool x, Value.Bool y -> Stdlib.compare x y
+    | Value.Bool _, _ -> -1
+    | _, Value.Bool _ -> 1
+    | Value.Int x, Value.Int y -> Stdlib.compare x y
+    | Value.Int _, _ -> -1
+    | _, Value.Int _ -> 1
+    | Value.Sym x, Value.Sym y -> String.compare x y
+    | Value.Sym _, _ -> -1
+    | _, Value.Sym _ -> 1
+    | Value.Bot, Value.Bot -> 0
+    | Value.Bot, _ -> -1
+    | _, Value.Bot -> 1
+    | Value.Nil, Value.Nil -> 0
+    | Value.Nil, _ -> -1
+    | _, Value.Nil -> 1
+    | Value.Done, Value.Done -> 0
+    | Value.Done, _ -> -1
+    | _, Value.Done -> 1
+    | Value.Pair (x1, y1), Value.Pair (x2, y2) ->
+      let c = compare_value x1 x2 in
+      if c <> 0 then c else compare_value y1 y2
+    | Value.Pair _, _ -> -1
+    | _, Value.Pair _ -> 1
+    | Value.List xs, Value.List ys -> compare_value_lists xs ys
+
+  and compare_value_lists xs ys =
+    match (xs, ys) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | x :: xs', y :: ys' ->
+      let c = compare_value x y in
+      if c <> 0 then c else compare_value_lists xs' ys'
+
+  let compare_status (a : Config.status) (b : Config.status) =
+    match (a, b) with
+    | Config.Running, Config.Running -> 0
+    | Config.Running, _ -> -1
+    | _, Config.Running -> 1
+    | Config.Decided x, Config.Decided y -> compare_value x y
+    | Config.Decided _, _ -> -1
+    | _, Config.Decided _ -> 1
+    | Config.Aborted, Config.Aborted -> 0
+    | Config.Aborted, _ -> -1
+    | _, Config.Aborted -> 1
+    | Config.Crashed, Config.Crashed -> 0
+
+  let compare (a : Config.t) (b : Config.t) =
+    let arr cmp x y =
+      let c = Stdlib.compare (Array.length x) (Array.length y) in
+      if c <> 0 then c
+      else
+        let rec go i =
+          if i >= Array.length x then 0
+          else
+            let c = cmp x.(i) y.(i) in
+            if c <> 0 then c else go (i + 1)
+        in
+        go 0
+    in
+    let c = arr compare_value a.Config.locals b.Config.locals in
+    if c <> 0 then c
+    else
+      let c = arr compare_value a.Config.objects b.Config.objects in
+      if c <> 0 then c else arr compare_status a.Config.status b.Config.status
+end
+
+module CMap = Map.Make (Seed_ord)
+
+let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
+    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+  let t0 = Unix.gettimeofday () in
   let init = Config.initial ~machine ~specs ~inputs in
   let ids = ref (CMap.singleton init 0) in
   let nodes = ref [ init ] in
@@ -29,10 +407,15 @@ let build ?(max_states = 200_000) ~(machine : Machine.t)
   let edges : (int, edge list) Hashtbl.t = Hashtbl.create 1024 in
   let queue = Queue.create () in
   let truncated = ref false in
+  let dedup_hits = ref 0 in
+  let n_succs = ref 0 in
   Queue.add (init, 0) queue;
   let id_of config =
+    incr n_succs;
     match CMap.find_opt config !ids with
-    | Some id -> Some id
+    | Some id ->
+      incr dedup_hits;
+      Some id
     | None ->
       if !n_nodes >= max_states then (
         truncated := true;
@@ -62,20 +445,73 @@ let build ?(max_states = 200_000) ~(machine : Machine.t)
     Hashtbl.replace edges id out
   done;
   let nodes = Array.of_list (List.rev !nodes) in
-  let out = Array.make (Array.length nodes) [] in
-  Hashtbl.iter (fun id es -> out.(id) <- es) edges;
-  { nodes; edges = out; initial = 0; truncated = !truncated }
+  let n = Array.length nodes in
+  let offsets = Array.make (n + 1) 0 in
+  let flat = Dyn.create () in
+  for id = 0 to n - 1 do
+    offsets.(id) <- flat.Dyn.len;
+    List.iter (Dyn.push flat)
+      (Option.value (Hashtbl.find_opt edges id) ~default:[])
+  done;
+  offsets.(n) <- flat.Dyn.len;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stats =
+    {
+      states = n;
+      edges = flat.Dyn.len;
+      levels = 0;
+      frontier_sizes = [||];
+      peak_frontier = 0;
+      dedup_hits = !dedup_hits;
+      dedup_rate =
+        (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
+      wall_s;
+      states_per_sec = (if wall_s > 0. then float n /. wall_s else float n);
+      domains = 1;
+      truncated = !truncated;
+    }
+  in
+  {
+    nodes;
+    edges = Dyn.to_array flat;
+    offsets;
+    initial = 0;
+    truncated = !truncated;
+    stats;
+  }
+
+(* --- accessors ---------------------------------------------------------- *)
 
 let n_nodes t = Array.length t.nodes
-let n_edges t = Array.fold_left (fun acc es -> acc + List.length es) 0 t.edges
+let n_edges t = Array.length t.edges
+let stats t = t.stats
 
 let node t id = t.nodes.(id)
-let out_edges t id = t.edges.(id)
+
+let iter_out_edges t id f =
+  for i = t.offsets.(id) to t.offsets.(id + 1) - 1 do
+    f t.edges.(i)
+  done
+
+let fold_out_edges t id f acc =
+  let acc = ref acc in
+  for i = t.offsets.(id) to t.offsets.(id + 1) - 1 do
+    acc := f !acc t.edges.(i)
+  done;
+  !acc
+
+let exists_out_edge t id p =
+  let rec go i = i < t.offsets.(id + 1) && (p t.edges.(i) || go (i + 1)) in
+  go t.offsets.(id)
+
+let out_degree t id = t.offsets.(id + 1) - t.offsets.(id)
+
+let out_edges t id =
+  List.init (out_degree t id) (fun i -> t.edges.(t.offsets.(id) + i))
 
 let iter_nodes f t = Array.iteri (fun id config -> f id config) t.nodes
 
-let require_complete t =
-  if t.truncated then raise Truncated
+let require_complete t = if t.truncated then raise Truncated
 
 (* Shortest path (in steps) from the initial node to [target], as the
    list of edges taken: the schedule that reproduces a violating
@@ -92,15 +528,13 @@ let shortest_path t ~target =
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      List.iter
-        (fun e ->
+      iter_out_edges t u (fun e ->
           if (not seen.(e.target)) && not !found then begin
             seen.(e.target) <- true;
             parent.(e.target) <- Some (u, e);
             if e.target = target then found := true
             else Queue.add e.target queue
           end)
-        (out_edges t u)
     done;
     if not !found then None
     else begin
@@ -118,7 +552,8 @@ let schedule_of_path edges = List.map (fun e -> e.pid) edges
 (* Strongly connected components (iterative Kosaraju), used for the
    wait-freedom and livelock analyses.  Returns the component id of each
    node and the component count; ids are assigned in topological order of
-   the condensation (sources first). *)
+   the condensation (sources first).  Both passes walk the flat CSR edge
+   array by index — no per-node list allocation. *)
 let scc t =
   let n = n_nodes t in
   (* Pass 1: forward DFS, record finish order. *)
@@ -126,30 +561,43 @@ let scc t =
   let finish_order = ref [] in
   for start = 0 to n - 1 do
     if not visited.(start) then begin
-      let stack = ref [ (start, ref (out_edges t start)) ] in
+      let stack = ref [ (start, ref t.offsets.(start)) ] in
       visited.(start) <- true;
       while !stack <> [] do
         match !stack with
         | [] -> ()
-        | (u, iter) :: rest -> (
-          match !iter with
-          | [] ->
+        | (u, next_edge) :: rest ->
+          if !next_edge >= t.offsets.(u + 1) then begin
             finish_order := u :: !finish_order;
             stack := rest
-          | e :: es ->
-            iter := es;
+          end
+          else begin
+            let e = t.edges.(!next_edge) in
+            incr next_edge;
             if not visited.(e.target) then begin
               visited.(e.target) <- true;
-              stack := (e.target, ref (out_edges t e.target)) :: !stack
-            end)
+              stack := (e.target, ref t.offsets.(e.target)) :: !stack
+            end
+          end
       done
     end
   done;
-  (* Reverse adjacency. *)
-  let rev = Array.make n [] in
-  Array.iteri
-    (fun u es -> List.iter (fun e -> rev.(e.target) <- u :: rev.(e.target)) es)
+  (* Reverse adjacency in CSR form: count in-degrees, then fill. *)
+  let rev_offsets = Array.make (n + 1) 0 in
+  Array.iter
+    (fun e -> rev_offsets.(e.target + 1) <- rev_offsets.(e.target + 1) + 1)
     t.edges;
+  for i = 1 to n do
+    rev_offsets.(i) <- rev_offsets.(i) + rev_offsets.(i - 1)
+  done;
+  let rev = Array.make (Array.length t.edges) 0 in
+  let cursor = Array.copy rev_offsets in
+  Array.iteri
+    (fun u _ ->
+      iter_out_edges t u (fun e ->
+          rev.(cursor.(e.target)) <- u;
+          cursor.(e.target) <- cursor.(e.target) + 1))
+    t.nodes;
   (* Pass 2: DFS on the reverse graph in finish order. *)
   let comp = Array.make n (-1) in
   let next_comp = ref 0 in
@@ -165,13 +613,13 @@ let scc t =
           | [] -> ()
           | u :: rest ->
             stack := rest;
-            List.iter
-              (fun v ->
-                if comp.(v) = -1 then begin
-                  comp.(v) <- c;
-                  stack := v :: !stack
-                end)
-              rev.(u)
+            for i = rev_offsets.(u) to rev_offsets.(u + 1) - 1 do
+              let v = rev.(i) in
+              if comp.(v) = -1 then begin
+                comp.(v) <- c;
+                stack := v :: !stack
+              end
+            done
         done
       end)
     !finish_order;

@@ -1,35 +1,86 @@
 (** The reachable configuration graph of a protocol: all configurations
     reachable from the initial one under every scheduler choice and every
     nondeterministic object response — the object the paper's proofs
-    quantify over, built explicitly for small instances. *)
+    quantify over, built explicitly for small instances.
+
+    The explorer is a level-synchronous parallel BFS (OCaml domains) with
+    an open-addressing dedup table over the full element-wise
+    [Config.hash], producing the same graph — identical node ids, edge
+    order and truncation point — for any domain count. *)
 
 open Lbsa_runtime
 
 type edge = { pid : int; event : Config.event; target : int }
 
-type t = {
+(** Exploration statistics, collected by every [build]. *)
+type stats = {
+  states : int;
+  edges : int;
+  levels : int;  (** BFS depth: number of frontiers expanded *)
+  frontier_sizes : int array;  (** one entry per level *)
+  peak_frontier : int;
+  dedup_hits : int;  (** generated successors that were already known *)
+  dedup_rate : float;  (** [dedup_hits] / successors generated *)
+  wall_s : float;
+  states_per_sec : float;
+  domains : int;
+  truncated : bool;
+}
+
+type t = private {
   nodes : Config.t array;
-  edges : edge list array;
+  edges : edge array;  (** all out-edges, flat, grouped by source node *)
+  offsets : int array;
+      (** length [nodes + 1]; node [id]'s out-edges are the slice
+          [offsets.(id) .. offsets.(id+1) - 1] of [edges] *)
   initial : int;
   truncated : bool;
       (** true when [max_states] was hit; results are then partial *)
+  stats : stats;
 }
 
 exception Truncated
 
+val default_max_states : int
+(** 1_000_000. *)
+
 val build :
+  ?max_states:int ->
+  ?domains:int ->
+  machine:Machine.t ->
+  specs:Lbsa_spec.Obj_spec.t array ->
+  inputs:Lbsa_spec.Value.t array ->
+  unit ->
+  t
+(** Breadth-first construction (default bound: [default_max_states]).
+    [domains] defaults to [Domain.recommended_domain_count ()] capped at
+    8; the produced graph does not depend on it. *)
+
+val build_cmap :
   ?max_states:int ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
   inputs:Lbsa_spec.Value.t array ->
   unit ->
   t
-(** Breadth-first construction (default bound: 200_000 states). *)
+(** The seed explorer: sequential BFS deduping through a
+    [Map.Make(Config)].  Kept as differential-testing oracle and
+    benchmark baseline; produces a graph identical to {!build}. *)
 
 val n_nodes : t -> int
 val n_edges : t -> int
 val node : t -> int -> Config.t
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
 val out_edges : t -> int -> edge list
+(** Allocates a fresh list; prefer {!iter_out_edges}/{!fold_out_edges}
+    on hot paths. *)
+
+val out_degree : t -> int -> int
+val iter_out_edges : t -> int -> (edge -> unit) -> unit
+val fold_out_edges : t -> int -> ('a -> edge -> 'a) -> 'a -> 'a
+val exists_out_edge : t -> int -> (edge -> bool) -> bool
 val iter_nodes : (int -> Config.t -> unit) -> t -> unit
 
 val require_complete : t -> unit

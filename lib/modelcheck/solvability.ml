@@ -21,6 +21,7 @@ type verdict = {
   inputs : Value.t array;
   states : int;
   failure : string option;
+  stats : Graph.stats option;  (* exploration stats of the checked graph *)
 }
 
 let pp_verdict ppf v =
@@ -34,8 +35,11 @@ let pp_verdict ppf v =
       v.inputs v.states
       (Option.value v.failure ~default:"?")
 
-let fail ~inputs ~states msg = { ok = false; inputs; states; failure = Some msg }
-let pass ~inputs ~states = { ok = true; inputs; states; failure = None }
+let fail ?stats ~inputs ~states msg =
+  { ok = false; inputs; states; failure = Some msg; stats }
+
+let pass ?stats ~inputs ~states () =
+  { ok = true; inputs; states; failure = None; stats }
 
 (* --- liveness primitives -------------------------------------------- *)
 
@@ -48,11 +52,9 @@ let cycle_with_step_of (graph : Graph.t) pid =
   Graph.iter_nodes
     (fun u _ ->
       if !found = None then
-        List.iter
-          (fun (e : Graph.edge) ->
+        Graph.iter_out_edges graph u (fun e ->
             if !found = None && e.pid = pid && comp.(u) = comp.(e.target) then
-              found := Some u)
-          (Graph.out_edges graph u))
+              found := Some u))
     graph;
   !found
 
@@ -66,9 +68,8 @@ let any_cycle (graph : Graph.t) =
     (fun u _ ->
       if !found = None then
         if sizes.(comp.(u)) > 1 then found := Some u
-        else if
-          List.exists (fun (e : Graph.edge) -> e.target = u) (Graph.out_edges graph u)
-        then found := Some u)
+        else if Graph.exists_out_edge graph u (fun e -> e.target = u) then
+          found := Some u)
     graph;
   !found
 
@@ -113,11 +114,13 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
 
 (* Exhaustive consensus check: safety at every node, wait-freedom of
    every process. *)
-let check_consensus ?(max_states = 200_000) ~machine ~specs ~inputs () =
-  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+let check_consensus ?(max_states = Graph.default_max_states) ?domains ~machine
+    ~specs ~inputs () =
+  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
   let states = Graph.n_nodes graph in
+  let stats = Graph.stats graph in
   if graph.truncated then
-    fail ~inputs ~states "state space truncated; increase max_states"
+    fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
     let violation = ref None in
     Graph.iter_nodes
@@ -128,15 +131,15 @@ let check_consensus ?(max_states = 200_000) ~machine ~specs ~inputs () =
           | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
       graph;
     match !violation with
-    | Some msg -> fail ~inputs ~states msg
+    | Some msg -> fail ~stats ~inputs ~states msg
     | None -> (
       let n = Array.length inputs in
       let rec check_pid pid =
-        if pid >= n then pass ~inputs ~states
+        if pid >= n then pass ~stats ~inputs ~states ()
         else
           match cycle_with_step_of graph pid with
           | Some node ->
-            fail ~inputs ~states
+            fail ~stats ~inputs ~states
               (Fmt.str "process %d can take infinitely many steps (cycle at node %d)"
                  pid node)
           | None -> check_pid (pid + 1)
@@ -144,11 +147,13 @@ let check_consensus ?(max_states = 200_000) ~machine ~specs ~inputs () =
       check_pid 0)
 
 (* Exhaustive k-set agreement check. *)
-let check_kset ?(max_states = 200_000) ~machine ~specs ~k ~inputs () =
-  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+let check_kset ?(max_states = Graph.default_max_states) ?domains ~machine
+    ~specs ~k ~inputs () =
+  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
   let states = Graph.n_nodes graph in
+  let stats = Graph.stats graph in
   if graph.truncated then
-    fail ~inputs ~states "state space truncated; increase max_states"
+    fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
     let violation = ref None in
     Graph.iter_nodes
@@ -159,11 +164,12 @@ let check_kset ?(max_states = 200_000) ~machine ~specs ~k ~inputs () =
           | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
       graph;
     match !violation with
-    | Some msg -> fail ~inputs ~states msg
+    | Some msg -> fail ~stats ~inputs ~states msg
     | None -> (
       match any_cycle graph with
-      | Some node -> fail ~inputs ~states (Fmt.str "livelock (cycle at node %d)" node)
-      | None -> pass ~inputs ~states)
+      | Some node ->
+        fail ~stats ~inputs ~states (Fmt.str "livelock (cycle at node %d)" node)
+      | None -> pass ~stats ~inputs ~states ())
 
 (* Exhaustive n-DAC check (Section 4's four properties, with the paper's
    weak termination):
@@ -174,12 +180,14 @@ let check_kset ?(max_states = 200_000) ~machine ~specs ~k ~inputs () =
      (decides or aborts);
    - Termination (b): from every reachable node, every q != p running
      solo decides. *)
-let check_dac ?(max_states = 200_000) ~machine ~specs ~inputs () =
+let check_dac ?(max_states = Graph.default_max_states) ?domains ~machine ~specs
+    ~inputs () =
   let p = Lbsa_protocols.Dac.distinguished in
-  let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
+  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
   let states = Graph.n_nodes graph in
+  let stats = Graph.stats graph in
   if graph.truncated then
-    fail ~inputs ~states "state space truncated; increase max_states"
+    fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
     let violation = ref None in
     let note fmt = Fmt.kstr (fun s -> if !violation = None then violation := Some s) fmt in
@@ -249,8 +257,8 @@ let check_dac ?(max_states = 200_000) ~machine ~specs ~inputs () =
         graph
     end;
     match !violation with
-    | Some msg -> fail ~inputs ~states msg
-    | None -> pass ~inputs ~states
+    | Some msg -> fail ~stats ~inputs ~states msg
+    | None -> pass ~stats ~inputs ~states ()
 
 (* --- counterexample witnesses ----------------------------------------- *)
 
@@ -272,8 +280,8 @@ let pp_witness ppf w =
 
 (* Find the first configuration violating [judge] and extract its
    schedule.  [judge] returns a violation description, or None. *)
-let find_safety_witness ?(max_states = 200_000) ~machine ~specs ~inputs
-    ~(judge : Config.t -> string option) () =
+let find_safety_witness ?(max_states = Graph.default_max_states) ~machine ~specs
+    ~inputs ~(judge : Config.t -> string option) () =
   let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
   let found = ref None in
   Graph.iter_nodes

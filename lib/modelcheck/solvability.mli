@@ -11,6 +11,9 @@ type verdict = {
   inputs : Value.t array;
   states : int;
   failure : string option;
+  stats : Graph.stats option;
+      (** exploration statistics of the checked graph, when one was
+          built *)
 }
 
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -39,16 +42,19 @@ val solo_halts :
 
 val check_consensus :
   ?max_states:int ->
+  ?domains:int ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
   unit ->
   verdict
 (** Agreement + validity + no-abort at every node, wait-freedom of every
-    process. *)
+    process.  [max_states] defaults to [Graph.default_max_states];
+    [domains] is forwarded to {!Graph.build}. *)
 
 val check_kset :
   ?max_states:int ->
+  ?domains:int ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   k:int ->
@@ -58,6 +64,7 @@ val check_kset :
 
 val check_dac :
   ?max_states:int ->
+  ?domains:int ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->

@@ -42,12 +42,10 @@ let analyze (graph : Graph.t) =
   in
   (* Reverse edges once for backward propagation. *)
   let preds = Array.make n [] in
-  Array.iteri
-    (fun u es ->
-      List.iter
-        (fun (e : Graph.edge) -> preds.(e.target) <- u :: preds.(e.target))
-        es)
-    graph.edges;
+  for u = 0 to n - 1 do
+    Graph.iter_out_edges graph u (fun e ->
+        preds.(e.target) <- u :: preds.(e.target))
+  done;
   let queue = Queue.create () in
   for id = 0 to n - 1 do
     Queue.add id queue
@@ -59,11 +57,9 @@ let analyze (graph : Graph.t) =
     (* Recompute u from its successors; if it grew, reschedule preds. *)
     let d = ref decisions.(u) in
     let a = ref abort_reachable.(u) in
-    List.iter
-      (fun (e : Graph.edge) ->
+    Graph.iter_out_edges graph u (fun e ->
         d := VSet.union !d decisions.(e.target);
-        a := !a || abort_reachable.(e.target))
-      (Graph.out_edges graph u);
+        a := !a || abort_reachable.(e.target));
     if (not (VSet.equal !d decisions.(u))) || !a <> abort_reachable.(u) then begin
       decisions.(u) <- !d;
       abort_reachable.(u) <- !a;

@@ -48,8 +48,49 @@ let compare a b =
     let c = arr Value.compare a.objects b.objects in
     if c <> 0 then c else arr compare_status a.status b.status
 
-let equal a b = compare a b = 0
-let hash t = Hashtbl.hash (t.locals, t.objects, t.status)
+let status_equal a b =
+  match (a, b) with
+  | Running, Running | Aborted, Aborted | Crashed, Crashed -> true
+  | Decided x, Decided y -> Value.equal x y
+  | (Running | Decided _ | Aborted | Crashed), _ -> false
+
+(* Steps copy the component arrays shallowly, so distinct configurations
+   still share most elements physically; checking [==] per element makes
+   the frequent equal-confirm of dedup tables near O(n) instead of a full
+   tree walk. *)
+let equal a b =
+  a == b
+  ||
+  let arr_eq eq x y =
+    x == y
+    || Array.length x = Array.length y
+       &&
+       let rec go i =
+         i >= Array.length x || ((x.(i) == y.(i) || eq x.(i) y.(i)) && go (i + 1))
+       in
+       go 0
+  in
+  arr_eq Value.equal a.locals b.locals
+  && arr_eq Value.equal a.objects b.objects
+  && arr_eq status_equal a.status b.status
+
+(* Element-wise hash: every local, object state and status contributes in
+   full.  The old [Hashtbl.hash (locals, objects, status)] inspected only
+   ~10 heap nodes, so configurations differing deep inside their value
+   trees collided en masse and degraded dedup tables to linear scans. *)
+let hash t =
+  let comb = Value.hash_combine in
+  let fold_status acc = function
+    | Running -> comb acc 29
+    | Decided v -> Value.hash_fold (comb acc 31) v
+    | Aborted -> comb acc 37
+    | Crashed -> comb acc 41
+  in
+  let acc = Array.fold_left Value.hash_fold 0x811c9dc5 t.locals in
+  let acc = comb acc 43 in
+  let acc = Array.fold_left Value.hash_fold acc t.objects in
+  let acc = comb acc 47 in
+  Array.fold_left fold_status acc t.status land max_int
 
 let n_processes t = Array.length t.locals
 

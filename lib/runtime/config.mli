@@ -18,7 +18,10 @@ type t = {
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Element-wise hash of the full configuration (every local, object
+    state and status contributes) — safe to key large dedup tables on. *)
 
 val n_processes : t -> int
 

@@ -26,6 +26,11 @@ let apply (plan : plan) (base : Scheduler.t) : Scheduler.t =
     | Some budget -> Option.value (Hashtbl.find_opt taken pid) ~default:0 >= budget
   in
   let next ~step ~runnable =
+    (* A run always starts at step 0, so reset the per-run budgets there:
+       the same scheduler value can then drive several runs without the
+       second run starting with budgets already spent and victims
+       pre-crashed. *)
+    if step = 0 then Hashtbl.reset taken;
     let runnable = List.filter (fun pid -> not (crashed pid)) runnable in
     match base.Scheduler.next ~step ~runnable with
     | None -> None

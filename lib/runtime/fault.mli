@@ -8,7 +8,9 @@ val pp_plan : Format.formatter -> plan -> unit
 
 val apply : plan -> Scheduler.t -> Scheduler.t
 (** Follow the base scheduler, removing each victim once its budget is
-    exhausted. *)
+    exhausted.  Per-run state (step budgets) resets whenever a run
+    starts (step 0), so the scheduler value is safe to reuse across
+    runs. *)
 
 val enumerate : victims:int list -> max_steps:int -> plan list
 (** All plans where each victim either survives or crashes after at most

@@ -29,11 +29,15 @@ let round_robin ~n =
   make ~name:"round-robin" next
 
 let random ~seed =
-  let prng = Lbsa_util.Prng.create seed in
-  let next ~step:_ ~runnable =
+  (* The PRNG is per-run state: re-seed at step 0 so that reusing the
+     scheduler value for a second run replays the same seed-determined
+     schedule instead of silently continuing the exhausted stream. *)
+  let prng = ref (Lbsa_util.Prng.create seed) in
+  let next ~step ~runnable =
+    if step = 0 then prng := Lbsa_util.Prng.create seed;
     match runnable with
     | [] -> None
-    | _ -> Some (Lbsa_util.Prng.pick prng runnable)
+    | _ -> Some (Lbsa_util.Prng.pick !prng runnable)
   in
   make ~name:(Fmt.str "random:%d" seed) next
 

@@ -12,7 +12,9 @@ val round_robin : n:int -> t
 (** Fair rotation over [n] processes, skipping halted ones. *)
 
 val random : seed:int -> t
-(** Uniform choice among runnable processes; reproducible from [seed]. *)
+(** Uniform choice among runnable processes; reproducible from [seed].
+    The PRNG re-seeds at step 0, so reusing the scheduler for a second
+    run replays the same schedule rather than continuing the stream. *)
 
 val solo : int -> t
 (** Only the given process runs ("solo runs" of the paper). *)

@@ -10,7 +10,18 @@ type t = entry list
 
 let empty = []
 
-let append trace event = trace @ [ { index = List.length trace; event } ]
+(* One traversal per call (the old [trace @ [...]] plus [List.length]
+   walked the list twice).  Still O(n) per append by nature of the list
+   representation: to build a trace incrementally, use [builder]/[add],
+   or [of_events] for a ready-made event list. *)
+let append trace event =
+  let rec go i = function
+    | [] -> [ { index = i; event } ]
+    | e :: rest -> e :: go (i + 1) rest
+  in
+  go 0 trace
+
+let of_events events = List.mapi (fun index event -> { index; event }) events
 
 (* Efficient builder used by the executor. *)
 type builder = { mutable rev : entry list; mutable len : int }

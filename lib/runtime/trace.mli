@@ -5,7 +5,14 @@ type entry = { index : int; event : Config.event }
 type t = entry list
 
 val empty : t
+
 val append : t -> Config.event -> t
+(** O(length) per call — fine for one-off extension, quadratic if used
+    in a loop; build incrementally with {!builder}/{!add} (as the
+    executor does) or all at once with {!of_events} instead. *)
+
+val of_events : Config.event list -> t
+(** Index a whole event list into a trace in one O(n) pass. *)
 
 (** Mutable builder used by the executor. *)
 type builder

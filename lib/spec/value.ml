@@ -17,9 +17,14 @@ type t =
   | Pair of t * t
   | List of t list
 
+(* Physical equality short-circuits: step functions rebuild only the
+   parts of a value they change, so sibling configurations share most
+   subtrees physically and deep compares usually cut off immediately. *)
 let rec compare a b =
-  match (a, b) with
-  | Unit, Unit -> 0
+  if a == b then 0
+  else
+    match (a, b) with
+    | Unit, Unit -> 0
   | Unit, _ -> -1
   | _, Unit -> 1
   | Bool x, Bool y -> Stdlib.compare x y
@@ -48,16 +53,37 @@ let rec compare a b =
   | List xs, List ys -> compare_lists xs ys
 
 and compare_lists xs ys =
-  match (xs, ys) with
-  | [], [] -> 0
+  if xs == ys then 0
+  else
+    match (xs, ys) with
+    | [], [] -> 0
   | [], _ -> -1
   | _, [] -> 1
   | x :: xs', y :: ys' ->
     let c = compare x y in
     if c <> 0 then c else compare_lists xs' ys'
 
-let equal a b = compare a b = 0
-let hash (v : t) = Hashtbl.hash v
+let equal a b = a == b || compare a b = 0
+
+(* Element-wise FNV-1a-style hashing over the WHOLE tree.  [Hashtbl.hash]
+   inspects only ~10 meaningful leaves, so large values that differ deep
+   inside (long lists, nested pairs) all collide; the model checker's
+   dedup tables need every leaf to contribute. *)
+let hash_combine h k = (h lxor k) * 0x100000001b3
+
+let rec hash_fold acc = function
+  | Unit -> hash_combine acc 3
+  | Bool false -> hash_combine acc 5
+  | Bool true -> hash_combine acc 7
+  | Int i -> hash_combine acc (i lxor 0x2545F491)
+  | Sym s -> hash_combine acc (Hashtbl.hash s)
+  | Bot -> hash_combine acc 11
+  | Nil -> hash_combine acc 13
+  | Done -> hash_combine acc 17
+  | Pair (a, b) -> hash_fold (hash_fold (hash_combine acc 19) a) b
+  | List vs -> List.fold_left hash_fold (hash_combine acc 23) vs
+
+let hash (v : t) = hash_fold 0x811c9dc5 v land max_int
 
 let rec pp ppf = function
   | Unit -> Fmt.string ppf "()"

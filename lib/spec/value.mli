@@ -20,7 +20,21 @@ val compare : t -> t -> int
 (** Total structural order. *)
 
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Element-wise hash over the whole tree: every leaf contributes, so
+    values differing arbitrarily deep hash differently with high
+    probability (unlike [Hashtbl.hash], which truncates). *)
+
+val hash_fold : int -> t -> int
+(** [hash_fold acc v] folds [v]'s full structure into the accumulator —
+    the building block for hashing aggregates of values (e.g. whole
+    configurations) without re-mixing per element. *)
+
+val hash_combine : int -> int -> int
+(** The FNV-style mixing step used by [hash_fold], for callers that fold
+    non-[Value] components (tags, statuses) into the same stream. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -1,6 +1,11 @@
 (* SplitMix64: a small, fast, splittable PRNG with reproducible streams.
    We avoid [Random] so that every simulation, schedule and generated
-   workload in the repository is a pure function of its seed. *)
+   workload in the repository is a pure function of its seed.
+
+   [int] uses rejection sampling, so bounded draws are exactly uniform
+   (no modulo bias).  A rejected draw consumes one extra raw output, but
+   the stream is still a pure function of the seed: the same seed and
+   the same sequence of calls always yield the same values. *)
 
 type t = { mutable state : int64 }
 
@@ -23,8 +28,16 @@ let split t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let r = Int64.to_int (next_int64 t) land max_int in
-  r mod bound
+  (* Rejection sampling: a raw draw r lies in a "group" of [bound]
+     consecutive values starting at r - (r mod bound); only the last
+     group can be incomplete, and draws landing there are biased, so we
+     redraw.  Rejection probability is < bound / 2^62. *)
+  let rec draw () =
+    let r = Int64.to_int (next_int64 t) land max_int in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 

@@ -21,8 +21,9 @@ val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
-    if [bound <= 0]. *)
+(** [int t bound] is exactly uniform in [\[0, bound)] (rejection
+    sampling, no modulo bias); still a pure function of the seed.
+    Raises [Invalid_argument] if [bound <= 0]. *)
 
 val bool : t -> bool
 (** Fair coin. *)

@@ -85,6 +85,87 @@ let test_scc_on_spin_graph () =
   Alcotest.(check bool) "multi-node SCC exists (livelock ring)" true
     (n_comps < Array.length comp)
 
+(* --- explorer determinism and statistics ------------------------------- *)
+
+let check_same_graph label (g1 : Cgraph.t) (g2 : Cgraph.t) =
+  Alcotest.(check int)
+    (label ^ ": node count") (Cgraph.n_nodes g1) (Cgraph.n_nodes g2);
+  Alcotest.(check int)
+    (label ^ ": edge count") (Cgraph.n_edges g1) (Cgraph.n_edges g2);
+  Alcotest.(check int) (label ^ ": initial") g1.Cgraph.initial g2.Cgraph.initial;
+  for id = 0 to Cgraph.n_nodes g1 - 1 do
+    if not (Config.equal (Cgraph.node g1 id) (Cgraph.node g2 id)) then
+      Alcotest.failf "%s: node %d differs" label id;
+    (* Edge records are pure data (pids, ops, values), so structural
+       equality compares them in full, order included. *)
+    if Cgraph.out_edges g1 id <> Cgraph.out_edges g2 id then
+      Alcotest.failf "%s: out-edges of node %d differ" label id
+  done
+
+let test_build_matches_cmap_oracle () =
+  (* The rewritten explorer against the seed explorer, on a branchy
+     nondeterministic graph and on a consensus graph. *)
+  List.iter
+    (fun (label, (machine, specs), inputs) ->
+      let g = Cgraph.build ~machine ~specs ~inputs () in
+      let oracle = Cgraph.build_cmap ~machine ~specs ~inputs () in
+      check_same_graph label g oracle)
+    [
+      ( "2-SA one-shot",
+        ( Consensus_protocols.one_shot ~name:"sa" ~mk_op:Sa2.propose (),
+          [| Sa2.spec () |] ),
+        [| Value.Int 0; Value.Int 1 |] );
+      ( "3-consensus",
+        Consensus_protocols.from_consensus_obj ~m:3,
+        [| Value.Int 0; Value.Int 1; Value.Int 0 |] );
+    ]
+
+let test_build_domain_count_invariant () =
+  (* Identical node ids and edges whatever the domain count.  dac5's
+     peak frontier exceeds the parallel threshold, so the 4-domain build
+     exercises real multi-domain expansion. *)
+  let n = 5 in
+  let machine = Dac_from_pac.machine ~n and specs = Dac_from_pac.specs ~n in
+  let inputs = Array.init n (fun pid -> Value.Int (if pid = 0 then 1 else 0)) in
+  let g1 = Cgraph.build ~domains:1 ~machine ~specs ~inputs () in
+  let g4 = Cgraph.build ~domains:4 ~machine ~specs ~inputs () in
+  check_same_graph "domains 1 vs 4" g1 g4;
+  Alcotest.(check int) "1-domain stats" 1 (Cgraph.stats g1).Cgraph.domains;
+  Alcotest.(check int) "4-domain stats" 4 (Cgraph.stats g4).Cgraph.domains
+
+let test_exploration_stats_sane () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let g =
+    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  let s = Cgraph.stats g in
+  Alcotest.(check int) "states = node count" (Cgraph.n_nodes g) s.Cgraph.states;
+  Alcotest.(check int) "edges = edge count" (Cgraph.n_edges g) s.Cgraph.edges;
+  Alcotest.(check bool) "levels > 0" true (s.Cgraph.levels > 0);
+  Alcotest.(check int) "one frontier size per level" s.Cgraph.levels
+    (Array.length s.Cgraph.frontier_sizes);
+  (* Every node passes through the frontier exactly once. *)
+  Alcotest.(check int) "frontier sizes sum to states" s.Cgraph.states
+    (Array.fold_left ( + ) 0 s.Cgraph.frontier_sizes);
+  Alcotest.(check bool) "peak frontier sane" true
+    (s.Cgraph.peak_frontier >= 1 && s.Cgraph.peak_frontier <= s.Cgraph.states);
+  Alcotest.(check bool) "wall clock non-negative" true (s.Cgraph.wall_s >= 0.);
+  Alcotest.(check bool) "dedup rate in [0,1]" true
+    (s.Cgraph.dedup_rate >= 0. && s.Cgraph.dedup_rate <= 1.);
+  Alcotest.(check bool) "not truncated" true (not s.Cgraph.truncated)
+
+let test_verdict_carries_stats () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let v =
+    Solvability.check_consensus ~machine ~specs
+      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+  in
+  match v.Solvability.stats with
+  | Some s ->
+    Alcotest.(check int) "stats states = verdict states" v.Solvability.states
+      s.Cgraph.states
+  | None -> Alcotest.fail "verdict carries no exploration stats"
+
 (* --- valence ----------------------------------------------------------- *)
 
 let consensus_2cons_graph inputs =
@@ -483,6 +564,14 @@ let () =
           Alcotest.test_case "nondet branches" `Quick test_graph_nondet_branches;
           Alcotest.test_case "truncation" `Quick test_graph_truncation;
           Alcotest.test_case "scc on spin graph" `Quick test_scc_on_spin_graph;
+          Alcotest.test_case "matches seed CMap oracle" `Quick
+            test_build_matches_cmap_oracle;
+          Alcotest.test_case "identical graph for any domain count" `Quick
+            test_build_domain_count_invariant;
+          Alcotest.test_case "exploration stats sane" `Quick
+            test_exploration_stats_sane;
+          Alcotest.test_case "verdict carries stats" `Quick
+            test_verdict_carries_stats;
         ] );
       ( "valence",
         [

@@ -135,19 +135,18 @@ let test_dac_checkers_flag_violations () =
 
 let test_nontriviality_checker () =
   (* p aborts as the very first event: violation. *)
-  let bad =
-    Trace.append Trace.empty (Config.Abort_event { pid = 0 })
-  in
+  let bad = Trace.of_events [ Config.Abort_event { pid = 0 } ] in
   (match Dac.check_nontriviality bad with
   | Error Dac.Nontriviality_violated -> ()
   | _ -> Alcotest.fail "untriggered abort not flagged");
   (* A q-step before the abort: fine. *)
   let ok =
-    Trace.append
-      (Trace.append Trace.empty
-         (Config.Op_event
-            { pid = 1; obj = 0; op = Register.read; response = Value.Nil }))
-      (Config.Abort_event { pid = 0 })
+    Trace.of_events
+      [
+        Config.Op_event
+          { pid = 1; obj = 0; op = Register.read; response = Value.Nil };
+        Config.Abort_event { pid = 0 };
+      ]
   in
   match Dac.check_nontriviality ok with
   | Ok () -> ()

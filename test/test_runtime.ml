@@ -289,6 +289,110 @@ let test_trace_lanes () =
   let lines = String.split_on_char '\n' (String.trim rendered) in
   Alcotest.(check int) "7 lines" 7 (List.length lines)
 
+(* --- regressions: hashing, scheduler/fault reuse, prng ------------------ *)
+
+let test_config_hash_deep_differences () =
+  (* Configurations that differ only deep inside a 30-element list used
+     to collide en masse under the shallow [Hashtbl.hash] (it inspects
+     ~10 heap nodes); the element-wise hash must keep them essentially
+     all distinct. *)
+  let mk i =
+    {
+      Config.locals =
+        [|
+          Value.List (List.init 30 (fun j -> Value.Int (if j = 29 then i else 0)));
+        |];
+      objects = [| Value.Nil |];
+      status = [| Config.Running |];
+    }
+  in
+  let hashes = List.init 1000 (fun i -> Config.hash (mk i)) in
+  let distinct = List.length (Listx.sort_uniq Stdlib.compare hashes) in
+  Alcotest.(check bool)
+    (Fmt.str "%d distinct hashes out of 1000" distinct)
+    true (distinct >= 990)
+
+let test_fault_apply_reusable () =
+  let machine, specs = two_phase in
+  let scheduler =
+    Fault.apply [ (1, 1) ] (Scheduler.starving 0 (Scheduler.round_robin ~n:2))
+  in
+  let run () = Executor.run ~machine ~specs ~inputs:inputs01 ~scheduler () in
+  let r1 = run () in
+  let r2 = run () in
+  (* The crash budgets are per-run: the second run must replay the first
+     (p1 still gets its one step before crashing, so p0 still observes
+     p1's write) instead of starting with the victim pre-crashed. *)
+  Alcotest.(check int) "same number of steps" r1.Executor.steps r2.Executor.steps;
+  Alcotest.(check (option v)) "p0 saw p1's write again"
+    (Some Value.(Pair (Int 0, Int 1)))
+    (Config.decision r2.Executor.final 0);
+  Alcotest.(check (option v)) "p1 still crashed undecided" None
+    (Config.decision r2.Executor.final 1)
+
+let test_random_scheduler_reusable () =
+  let machine, specs = two_phase in
+  let scheduler = Scheduler.random ~seed:11 in
+  let run () = Executor.run ~machine ~specs ~inputs:inputs01 ~scheduler () in
+  let r1 = run () in
+  let r2 = run () in
+  (* The PRNG re-seeds at step 0, so reusing the scheduler value replays
+     the same schedule instead of continuing the exhausted stream. *)
+  Alcotest.(check int) "same number of steps" r1.Executor.steps r2.Executor.steps;
+  Alcotest.(check bool) "same trace" true
+    (Trace.events r1.Executor.trace = Trace.events r2.Executor.trace)
+
+let test_fixed_stops_on_halted_pid () =
+  let machine, specs = two_phase in
+  (* p0 halts after 3 steps (write, read, decide); the schedule names it
+     a 4th time: the run stops rather than skipping to another pid. *)
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.fixed [ 0; 0; 0; 0; 1 ]) ()
+  in
+  Alcotest.(check bool) "scheduler stopped" true
+    (r.Executor.stop = Executor.Scheduler_stopped);
+  Alcotest.(check int) "3 steps taken" 3 r.Executor.steps;
+  Alcotest.(check (option v)) "p0 decided solo"
+    (Some Value.(Pair (Int 0, Nil)))
+    (Config.decision r.Executor.final 0);
+  Alcotest.(check (option v)) "p1 never stepped to a decision" None
+    (Config.decision r.Executor.final 1)
+
+let test_prefix_stops_on_halted_pid () =
+  let machine, specs = two_phase in
+  (* Same halted-pid semantics as [fixed]: the prefix does not fall
+     through to the continuation when its scheduled pid has halted. *)
+  let r =
+    Executor.run ~machine ~specs ~inputs:inputs01
+      ~scheduler:(Scheduler.prefix [ 0; 0; 0; 0 ] (Scheduler.round_robin ~n:2))
+      ()
+  in
+  Alcotest.(check bool) "scheduler stopped" true
+    (r.Executor.stop = Executor.Scheduler_stopped);
+  Alcotest.(check int) "3 steps taken" 3 r.Executor.steps;
+  Alcotest.(check (option v)) "p1 untouched" None
+    (Config.decision r.Executor.final 1)
+
+let test_prng_int_uniform () =
+  let prng = Prng.create 2026 in
+  let bound = 10 and draws = 20_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Prng.int prng bound in
+    if x < 0 || x >= bound then Alcotest.failf "draw %d out of [0,%d)" x bound;
+    counts.(x) <- counts.(x) + 1
+  done;
+  (* Expected 2000 per bucket, sigma ~42: a +-200 corridor is ~4.7 sigma,
+     so a pass is overwhelmingly likely for a uniform stream and a fail
+     catches gross bias (e.g. the old modulo construction on a skewed
+     bound). *)
+  Array.iteri
+    (fun x c ->
+      if c < 1800 || c > 2200 then
+        Alcotest.failf "bucket %d has %d draws (expected ~2000)" x c)
+    counts
+
 let () =
   Alcotest.run "runtime"
     [
@@ -306,6 +410,12 @@ let () =
           Alcotest.test_case "run_solo continuation" `Quick
             test_run_solo_continuation;
           Alcotest.test_case "prefix scheduler" `Quick test_prefix_scheduler;
+          Alcotest.test_case "random scheduler reusable" `Quick
+            test_random_scheduler_reusable;
+          Alcotest.test_case "fixed stops on halted pid" `Quick
+            test_fixed_stops_on_halted_pid;
+          Alcotest.test_case "prefix stops on halted pid" `Quick
+            test_prefix_stops_on_halted_pid;
           Alcotest.test_case "step limit" `Quick test_step_limit;
           Alcotest.test_case "nondeterminism resolution" `Quick
             test_nondet_resolution;
@@ -319,6 +429,8 @@ let () =
             test_fault_enumerate;
           Alcotest.test_case "random plan reproducible" `Quick
             test_fault_random_plan_reproducible;
+          Alcotest.test_case "apply is reusable across runs" `Quick
+            test_fault_apply_reusable;
           Alcotest.test_case "trace lanes rendering" `Quick test_trace_lanes;
         ] );
       ( "config",
@@ -327,5 +439,9 @@ let () =
           Alcotest.test_case "compare" `Quick test_config_compare;
           Alcotest.test_case "bad state raises" `Quick
             test_machine_bad_state_raises;
+          Alcotest.test_case "hash separates deep differences" `Quick
+            test_config_hash_deep_differences;
         ] );
+      ( "prng",
+        [ Alcotest.test_case "bounded draws uniform" `Quick test_prng_int_uniform ] );
     ]

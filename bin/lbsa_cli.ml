@@ -9,6 +9,7 @@
      lbsa power -n 2 --max-k 3
      lbsa separation -n 2 --max-k 3
      lbsa lin-check --impl snapshot:3 --trials 200
+     lbsa fuzz --impl snapshot:3 --trials 1000 --faults 2 --seed 42
      lbsa objects *)
 
 open Lbsa
@@ -406,6 +407,124 @@ let lin_check_cmd =
           linearizability.")
     Term.(const lin_check $ impl_name $ n_arg $ m_arg $ max_k_arg $ trials $ seed_arg)
 
+(* --- fuzz ----------------------------------------------------------------- *)
+
+let fuzz impl_names spec_names trials procs ops faults seed no_shrink domains =
+  let shrink = not no_shrink in
+  let domains = if domains <= 0 then None else Some domains in
+  let parse_targets ~what ~parse names =
+    List.filter_map
+      (fun name ->
+        match parse name with
+        | t -> Some t
+        | exception Invalid_argument msg ->
+          Fmt.epr "unknown %s target %S: %s@." what name msg;
+          None)
+      names
+  in
+  let impls = parse_targets ~what:"impl" ~parse:Fuzz_targets.impl_target impl_names in
+  let specs = parse_targets ~what:"spec" ~parse:Fuzz_targets.spec_target spec_names in
+  if (impls = [] && impl_names <> []) || (specs = [] && spec_names <> []) then 2
+  else begin
+    (* Default campaign: every registry spec at full budget, every honest
+       construction at a fifth of it (harness trials are ~5x dearer). *)
+    let specs, impls, impl_trials =
+      if impls = [] && specs = [] then
+        (Fuzz_targets.all_specs (), Fuzz_targets.all_impls (),
+         max 1 (trials / 5))
+      else (specs, impls, trials)
+    in
+    let reports =
+      List.map
+        (fun t ->
+          Fuzz_engine.fuzz_spec ?domains ~shrink ~procs ~ops_per_proc:ops
+            ~trials ~seed t)
+        specs
+      @ List.map
+          (fun t ->
+            Fuzz_engine.fuzz_impl ?domains ~shrink ~faults ~ops_per_proc:ops
+              ~trials:impl_trials ~seed t)
+          impls
+    in
+    List.iter (fun r -> Fmt.pr "%a@." Fuzz_engine.pp_report r) reports;
+    let failed =
+      Lbsa_util.Listx.count
+        (fun r -> r.Fuzz_engine.failure <> None)
+        reports
+    in
+    if failed = 0 then begin
+      Fmt.pr "fuzz: %d campaigns clean@." (List.length reports);
+      0
+    end
+    else begin
+      Fmt.pr "fuzz: %d/%d campaigns FAILED@." failed (List.length reports);
+      1
+    end
+  end
+
+let fuzz_cmd =
+  let impl_names =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "impl" ] ~docv:"NAME"
+          ~doc:
+            "Implementation target (repeatable): snapshot:<n>, \
+             naive-snapshot:<n>, pacnm:<n>:<m>, oprime:<n>:<K>, \
+             universal:<n>, pac-facet:<n>:<m>, cons-facet:<n>:<m>, \
+             mutant-pac:<n>, identity:<object>.  Without --impl/--spec, \
+             fuzzes every registry spec and every honest construction.")
+  in
+  let spec_names =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "spec" ] ~docv:"NAME"
+          ~doc:"Spec target in registry syntax (repeatable), e.g. pac:2.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 1000
+      & info [ "trials" ] ~docv:"T" ~doc:"Trials per campaign.")
+  in
+  let procs =
+    Arg.(
+      value & opt int 3
+      & info [ "procs" ] ~docv:"P"
+          ~doc:
+            "Client count for spec-level fuzzing (implementations fix their \
+             own).")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"K" ~doc:"Max operations per process.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 0
+      & info [ "faults" ] ~docv:"F"
+          ~doc:"Max crash victims per implementation trial.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains (0 = auto).  Results never depend on this.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Conformance-fuzz objects and implementations: random workloads, \
+          schedules, and crash faults under the linearizability oracle, with \
+          seed-reproducible shrunk counterexamples.")
+    Term.(
+      const fuzz $ impl_names $ spec_names $ trials $ procs $ ops $ faults
+      $ seed_arg $ no_shrink $ domains)
+
 (* --- universal / bg / qadri ------------------------------------------------ *)
 
 let universal n trials seed =
@@ -509,5 +628,6 @@ let () =
        (Cmd.group info
           [
             run_dac_cmd; check_cmd; valence_cmd; power_cmd; separation_cmd;
-            lin_check_cmd; universal_cmd; bg_cmd; qadri_cmd; objects_cmd;
+            lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd; qadri_cmd;
+            objects_cmd;
           ]))

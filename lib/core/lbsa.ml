@@ -16,6 +16,8 @@
       {!Candidates};
     - the model checker: {!Cgraph}, {!Valence}, {!Bivalency},
       {!Solvability};
+    - the conformance fuzzer: {!Fuzz_case}, {!Fuzz_targets},
+      {!Fuzz_engine}, {!Fuzz_mutant};
     - the hierarchy toolkit: {!Power}, {!Level}, {!Separation}. *)
 
 module Prng = Lbsa_util.Prng
@@ -70,6 +72,11 @@ module Cgraph = Lbsa_modelcheck.Graph
 module Valence = Lbsa_modelcheck.Valence
 module Bivalency = Lbsa_modelcheck.Bivalency
 module Solvability = Lbsa_modelcheck.Solvability
+
+module Fuzz_case = Lbsa_fuzz.Fuzz_case
+module Fuzz_targets = Lbsa_fuzz.Targets
+module Fuzz_engine = Lbsa_fuzz.Engine
+module Fuzz_mutant = Lbsa_fuzz.Mutant
 
 module Sim_protocol = Lbsa_bg.Sim_protocol
 module Bg_simulation = Lbsa_bg.Bg_simulation

@@ -1,0 +1,263 @@
+open Lbsa_spec
+open Lbsa_implement
+open Lbsa_linearizability
+
+(* The fuzzing engine.  Implementation campaigns run random (workload,
+   schedule, fault, nondeterminism) cases through Implement.Harness and
+   feed the recorded concurrent history — pending calls included — to
+   the Wing-Gong oracle; spec campaigns round-trip the positive and
+   negative history generators through the checker.  Trials fan out
+   across domains with one pure PRNG substream per trial, so the first
+   failing trial index (and hence the report) is identical for every
+   domain count. *)
+
+module Prng = Lbsa_util.Prng
+
+type kind =
+  | Violation  (* harness history rejected by the linearizability oracle *)
+  | Broken of string  (* spec-level generator round-trip failed *)
+  | Crash of string  (* harness or program raised *)
+
+type failure = {
+  target : string;
+  trial : int;  (* lowest failing trial index — the reproduction handle *)
+  seed : int;
+  kind : kind;
+  case : Fuzz_case.t;
+  history : Chistory.t;
+  pending : Checker.pending list;
+  shrunk : (Fuzz_case.t * Chistory.t) option;
+}
+
+type report = {
+  rtarget : string;
+  trials : int;
+  failure : failure option;
+  domains_used : int;
+  wall_s : float;
+}
+
+let default_domains =
+  lazy (max 1 (min 8 (Domain.recommended_domain_count ())))
+
+(* --- evaluation -------------------------------------------------------- *)
+
+type eval =
+  | Ok_run
+  | Bad of kind * Chistory.t * Checker.pending list
+
+let same_kind a b =
+  match (a, b) with
+  | Violation, Violation -> true
+  | Broken _, Broken _ -> true
+  | Crash _, Crash _ -> true
+  | _ -> false
+
+let eval_impl_case ~(impl : Implementation.t) (case : Fuzz_case.t) : eval =
+  let n = Array.length case.workloads in
+  let scheduler = Fuzz_case.scheduler ~n case in
+  let nondet = Harness.Random (Prng.create case.nondet_seed) in
+  match
+    Harness.check ~nondet ~impl ~workloads:case.workloads ~scheduler ()
+  with
+  | _, Checker.Linearizable _ -> Ok_run
+  | run, Checker.Not_linearizable -> Bad (Violation, run.history, run.pending)
+  | exception e -> Bad (Crash (Printexc.to_string e), [], [])
+
+(* Spec-level round trip, driven only by the case's workloads and
+   nondet seed: the positive generator must produce a well-formed
+   linearizable history, and [Gen.corrupt] must either certify a
+   non-linearizable perturbation or give up — never raise. *)
+let eval_spec_case ~(spec : Obj_spec.t) (case : Fuzz_case.t) : eval =
+  let prng = Prng.create case.nondet_seed in
+  match Gen.linearizable_history ~prng ~spec ~workloads:case.workloads with
+  | exception e -> Bad (Crash (Printexc.to_string e), [], [])
+  | h -> (
+    if not (Chistory.well_formed h) then
+      Bad (Broken "generated history ill-formed", h, [])
+    else
+      match Checker.check spec h with
+      | Checker.Not_linearizable ->
+        Bad (Broken "positive fixture rejected by checker", h, [])
+      | Checker.Linearizable _ -> (
+        match Gen.corrupt ~prng ~spec h with
+        | exception e ->
+          Bad (Crash ("Gen.corrupt: " ^ Printexc.to_string e), h, [])
+        | Some _ | None -> Ok_run))
+
+(* --- deterministic multi-domain fan-out -------------------------------- *)
+
+(* Contiguous chunks, one per domain, each scanned in ascending trial
+   order; a CAS-min on the best (lowest) failing index lets domains stop
+   early without ever racing past a smaller candidate.  The owner of the
+   global minimum always reaches it (everything before it passes), so
+   the result is the same as a sequential scan. *)
+let fan ?domains ~trials ~(run : int -> 'a option) () : (int * 'a) option * int
+    =
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Engine.fan: domains must be >= 1" else d
+    | None -> Lazy.force default_domains
+  in
+  let d = max 1 (min domains trials) in
+  if d = 1 then
+    let rec go i =
+      if i >= trials then None
+      else match run i with Some f -> Some (i, f) | None -> go (i + 1)
+    in
+    (go 0, 1)
+  else begin
+    let best = Atomic.make max_int in
+    let found = Array.make d None in
+    let chunk = (trials + d - 1) / d in
+    let work k =
+      let lo = k * chunk and hi = min trials ((k + 1) * chunk) in
+      let i = ref lo in
+      while !i < hi && !i < Atomic.get best do
+        (match run !i with
+        | Some f ->
+          found.(k) <- Some (!i, f);
+          let rec cas_min () =
+            let b = Atomic.get best in
+            if !i < b && not (Atomic.compare_and_set best b !i) then cas_min ()
+          in
+          cas_min ();
+          i := hi  (* later trials in this chunk cannot beat our own find *)
+        | None -> ());
+        incr i
+      done
+    in
+    let spawned =
+      List.init (d - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+    in
+    work 0;
+    List.iter Domain.join spawned;
+    let result =
+      Array.fold_left
+        (fun acc x ->
+          match (acc, x) with
+          | Some (i, _), Some (j, _) when j < i -> x
+          | None, x -> x
+          | acc, _ -> acc)
+        None found
+    in
+    (result, d)
+  end
+
+(* --- shrinking --------------------------------------------------------- *)
+
+(* Greedy first-improvement descent over [Fuzz_case.shrinks], keeping a
+   candidate only when it fails with the SAME kind (an oracle violation
+   must not shrink into a mere crash and vice versa).  Bounded by a
+   candidate-evaluation budget; termination also follows from the
+   well-founded shrink measure. *)
+let shrink_case ~eval ~kind ~(case : Fuzz_case.t) ~history ~pending () =
+  let budget = ref 400 in
+  let rec descend case history pending =
+    let next =
+      List.find_map
+        (fun c ->
+          if !budget <= 0 then None
+          else begin
+            decr budget;
+            match eval c with
+            | Bad (k, h, p) when same_kind kind k -> Some (c, h, p)
+            | _ -> None
+          end)
+        (Fuzz_case.shrinks case)
+    in
+    match next with
+    | Some (c, h, p) -> descend c h p
+    | None -> (case, history, pending)
+  in
+  descend case history pending
+
+(* --- campaigns --------------------------------------------------------- *)
+
+let campaign ?domains ?(shrink = true) ~trials ~seed ~name ~gen_case ~eval () =
+  if trials < 1 then invalid_arg "Engine.campaign: trials must be >= 1";
+  let t0 = Unix.gettimeofday () in
+  let run trial =
+    let case = gen_case (Prng.of_substream ~seed ~index:trial) in
+    match eval case with
+    | Ok_run -> None
+    | Bad (kind, history, pending) -> Some (kind, case, history, pending)
+  in
+  let found, domains_used = fan ?domains ~trials ~run () in
+  let failure =
+    Option.map
+      (fun (trial, (kind, case, history, pending)) ->
+        let shrunk =
+          if not shrink then None
+          else
+            let c, h, _ =
+              shrink_case ~eval ~kind ~case ~history ~pending ()
+            in
+            Some (c, h)
+        in
+        { target = name; trial; seed; kind; case; history; pending; shrunk })
+      found
+  in
+  {
+    rtarget = name;
+    trials;
+    failure;
+    domains_used;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let fuzz_impl ?domains ?shrink ?(faults = 0) ?(ops_per_proc = 4) ~trials ~seed
+    (t : Targets.impl_target) =
+  let gen_case prng =
+    Fuzz_case.gen ~prng
+      ~gen_workloads:(t.gen_workloads ~ops_per_proc)
+      ~procs:t.iprocs ~max_faults:faults ()
+  in
+  campaign ?domains ?shrink ~trials ~seed ~name:("impl " ^ t.idesc) ~gen_case
+    ~eval:(eval_impl_case ~impl:t.impl) ()
+
+let fuzz_spec ?domains ?shrink ?(procs = 3) ?(ops_per_proc = 4) ~trials ~seed
+    (t : Targets.spec_target) =
+  let gen_case prng =
+    Fuzz_case.gen ~prng
+      ~gen_workloads:(Targets.spec_workloads t ~procs ~ops_per_proc)
+      ~procs ~max_faults:0 ()
+  in
+  campaign ?domains ?shrink ~trials ~seed ~name:("spec " ^ t.desc) ~gen_case
+    ~eval:(eval_spec_case ~spec:t.spec) ()
+
+(* --- reporting --------------------------------------------------------- *)
+
+let pp_kind ppf = function
+  | Violation -> Fmt.string ppf "linearizability violation"
+  | Broken why -> Fmt.pf ppf "generator round-trip failure: %s" why
+  | Crash exn -> Fmt.pf ppf "crash: %s" exn
+
+let pp_pending ppf (pending : Checker.pending list) =
+  match pending with
+  | [] -> ()
+  | ps ->
+    Fmt.pf ppf "@,pending: %a"
+      Fmt.(
+        list ~sep:(any "; ") (fun ppf (p : Checker.pending) ->
+            pf ppf "p%d:%a" p.pid Op.pp p.op))
+      ps
+
+let pp_failure ppf f =
+  Fmt.pf ppf
+    "@[<v>FAIL %s: %a@,  reproduce with --seed %d (trial %d)@,@[<v 2>case:@,%a@]@,@[<v 2>history:@,%a%a@]@]"
+    f.target pp_kind f.kind f.seed f.trial Fuzz_case.pp f.case Chistory.pp
+    f.history pp_pending f.pending;
+  match f.shrunk with
+  | None -> ()
+  | Some (c, h) ->
+    Fmt.pf ppf "@,@[<v 2>shrunk to %d calls:@,%a@,@[<v 2>history:@,%a@]@]"
+      (Fuzz_case.n_calls c) Fuzz_case.pp c Chistory.pp h
+
+let pp_report ppf r =
+  match r.failure with
+  | None ->
+    Fmt.pf ppf "PASS %-24s %6d trials  %d domains  %.2fs" r.rtarget r.trials
+      r.domains_used r.wall_s
+  | Some f -> pp_failure ppf f

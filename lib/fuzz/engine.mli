@@ -1,0 +1,85 @@
+(** The fuzzing engine: random-case campaigns against implementations
+    (harness + linearizability oracle, crash faults included via pending
+    calls) and against specifications (generator round-trips), with
+    deterministic multi-domain fan-out and counterexample shrinking. *)
+
+open Lbsa_spec
+open Lbsa_linearizability
+
+type kind =
+  | Violation  (** harness history rejected by the linearizability oracle *)
+  | Broken of string  (** spec-level generator round-trip failed *)
+  | Crash of string  (** harness or program raised *)
+
+type failure = {
+  target : string;
+  trial : int;  (** lowest failing trial index — the reproduction handle *)
+  seed : int;
+  kind : kind;
+  case : Fuzz_case.t;
+  history : Chistory.t;
+  pending : Checker.pending list;
+  shrunk : (Fuzz_case.t * Chistory.t) option;
+}
+
+type report = {
+  rtarget : string;
+  trials : int;
+  failure : failure option;
+  domains_used : int;
+  wall_s : float;
+}
+
+type eval = Ok_run | Bad of kind * Chistory.t * Checker.pending list
+
+val eval_impl_case :
+  impl:Lbsa_implement.Implementation.t -> Fuzz_case.t -> eval
+
+val eval_spec_case : spec:Obj_spec.t -> Fuzz_case.t -> eval
+
+val fan :
+  ?domains:int ->
+  trials:int ->
+  run:(int -> 'a option) ->
+  unit ->
+  (int * 'a) option * int
+(** Scan trial indices [0, trials) for the lowest failing one, fanning
+    contiguous chunks across domains with a CAS-min cutoff.  The result
+    (and every per-trial PRNG, when [run] derives it with
+    {!Lbsa_util.Prng.of_substream}) is identical for every domain count.
+    Also returns the number of domains used. *)
+
+val shrink_case :
+  eval:(Fuzz_case.t -> eval) ->
+  kind:kind ->
+  case:Fuzz_case.t ->
+  history:Chistory.t ->
+  pending:Checker.pending list ->
+  unit ->
+  Fuzz_case.t * Chistory.t * Checker.pending list
+(** Greedy first-improvement descent over {!Fuzz_case.shrinks}; a
+    candidate is kept only when it fails with the same [kind]. *)
+
+val fuzz_impl :
+  ?domains:int ->
+  ?shrink:bool ->
+  ?faults:int ->
+  ?ops_per_proc:int ->
+  trials:int ->
+  seed:int ->
+  Targets.impl_target ->
+  report
+
+val fuzz_spec :
+  ?domains:int ->
+  ?shrink:bool ->
+  ?procs:int ->
+  ?ops_per_proc:int ->
+  trials:int ->
+  seed:int ->
+  Targets.spec_target ->
+  report
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp_failure : Format.formatter -> failure -> unit
+val pp_report : Format.formatter -> report -> unit

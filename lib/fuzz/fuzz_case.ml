@@ -1,0 +1,194 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* One fuzz trial, as pure data: the per-process workloads, the schedule
+   under which they run, the crash-fault plan carved out of it, and the
+   seed resolving base-object nondeterminism.  Everything a failing
+   trial needs to reproduce — and everything the shrinker perturbs — is
+   in this record; re-evaluating a case is a pure function of it. *)
+
+module Prng = Lbsa_util.Prng
+
+type sched =
+  | Rr  (* fair rotation *)
+  | Rand of int  (* uniform adversary, seeded *)
+  | Bursts of (int * int) list * int
+      (* solo bursts (pid, length), then the seeded uniform adversary:
+         the unfair schedules behind the paper's solo-run arguments *)
+
+type t = {
+  workloads : Op.t list array;
+  sched : sched;
+  faults : Fault.plan;
+  nondet_seed : int;  (* resolves object nondeterminism in the harness *)
+}
+
+let n_calls t =
+  Array.fold_left (fun acc ops -> acc + List.length ops) 0 t.workloads
+
+(* --- schedules --------------------------------------------------------- *)
+
+(* Solo-burst scheduler: play each burst's pid for its length (skipping
+   bursts whose pid can no longer run), then fall back to the random
+   scheduler.  Per-run state resets at step 0, same reuse convention as
+   [Scheduler.random] and [Fault.apply]. *)
+let solo_bursts ~bursts ~seed =
+  let state = ref bursts in
+  let prng = ref (Prng.create seed) in
+  let next ~step ~runnable =
+    if step = 0 then begin
+      state := bursts;
+      prng := Prng.create seed
+    end;
+    match runnable with
+    | [] -> None
+    | _ ->
+      let rec pick () =
+        match !state with
+        | [] -> Some (Prng.pick !prng runnable)
+        | (pid, len) :: rest ->
+          if len <= 0 || not (List.mem pid runnable) then begin
+            state := rest;
+            pick ()
+          end
+          else begin
+            state := (pid, len - 1) :: rest;
+            Some pid
+          end
+      in
+      pick ()
+  in
+  Scheduler.make
+    ~name:
+      (Fmt.str "bursts[%a]->random:%d"
+         Fmt.(list ~sep:(any ";") (fun ppf (p, l) -> pf ppf "p%d*%d" p l))
+         bursts seed)
+    next
+
+let scheduler ~n t =
+  let base =
+    match t.sched with
+    | Rr -> Scheduler.round_robin ~n
+    | Rand seed -> Scheduler.random ~seed
+    | Bursts (bursts, seed) -> solo_bursts ~bursts ~seed
+  in
+  if t.faults = [] then base else Fault.apply t.faults base
+
+(* --- generation -------------------------------------------------------- *)
+
+(* The Wing-Gong checker packs linearized calls into one int bitmask, so
+   a history (completed + pending calls) must fit in
+   [Checker.max_calls] = 62 bits; the generator enforces the cap rather
+   than letting the oracle blow up. *)
+let clamp_calls workloads =
+  let budget = ref Lbsa_linearizability.Checker.max_calls in
+  Array.map
+    (fun ops ->
+      let take = min (List.length ops) !budget in
+      budget := !budget - take;
+      List.filteri (fun i _ -> i < take) ops)
+    workloads
+
+let gen ~prng ~(gen_workloads : Prng.t -> Op.t list array) ~procs ~max_faults
+    () =
+  let workloads = clamp_calls (gen_workloads prng) in
+  let sched =
+    match Prng.int prng 4 with
+    | 0 -> Rr
+    | 1 | 2 -> Rand (Prng.int prng 1_000_000_000)
+    | _ ->
+      let n_bursts = 1 + Prng.int prng 3 in
+      let bursts =
+        List.init n_bursts (fun _ ->
+            (Prng.int prng (max 1 procs), 1 + Prng.int prng 8))
+      in
+      Bursts (bursts, Prng.int prng 1_000_000_000)
+  in
+  let faults =
+    if max_faults <= 0 then []
+    else
+      let victims =
+        Array.to_list (Prng.shuffle prng (Array.init procs Fun.id))
+        |> List.filteri (fun i _ -> i < max_faults)
+      in
+      Fault.random ~prng ~victims ~max_steps:12
+  in
+  { workloads; sched; faults; nondet_seed = Prng.int prng 1_000_000_000 }
+
+(* --- shrinking --------------------------------------------------------- *)
+
+(* Candidate reductions, coarsest first (delta-debugging order): drop a
+   whole process, drop a fault, drop a single operation, crash victims
+   earlier, simplify the schedule.  Every candidate strictly decreases
+   the measure (total ops, fault count, fault budgets, schedule rank),
+   so greedy first-improvement shrinking terminates. *)
+let shrinks t =
+  let n = Array.length t.workloads in
+  let set_workload i ops =
+    let w = Array.copy t.workloads in
+    w.(i) <- ops;
+    { t with workloads = w }
+  in
+  let drop_procs =
+    List.filter_map
+      (fun i ->
+        if t.workloads.(i) <> [] then Some (set_workload i []) else None)
+      (Lbsa_util.Listx.range 0 (n - 1))
+  in
+  let drop_faults =
+    List.mapi
+      (fun j _ -> { t with faults = List.filteri (fun k _ -> k <> j) t.faults })
+      t.faults
+  in
+  let drop_ops =
+    List.concat_map
+      (fun i ->
+        List.mapi
+          (fun j _ ->
+            set_workload i (List.filteri (fun k _ -> k <> j) t.workloads.(i)))
+          t.workloads.(i))
+      (Lbsa_util.Listx.range 0 (n - 1))
+  in
+  let halve_faults =
+    List.filter_map
+      (fun (j, (pid, budget)) ->
+        if budget >= 2 then
+          Some
+            {
+              t with
+              faults =
+                List.mapi
+                  (fun k f -> if k = j then (pid, budget / 2) else f)
+                  t.faults;
+            }
+        else None)
+      (List.mapi (fun j f -> (j, f)) t.faults)
+  in
+  let simpler_sched =
+    match t.sched with
+    | Bursts (_, seed) -> [ { t with sched = Rand seed } ]
+    | Rand _ -> [ { t with sched = Rr } ]
+    | Rr -> []
+  in
+  drop_procs @ drop_faults @ drop_ops @ halve_faults @ simpler_sched
+
+(* --- printing ---------------------------------------------------------- *)
+
+let pp_sched ppf = function
+  | Rr -> Fmt.string ppf "rr"
+  | Rand seed -> Fmt.pf ppf "random:%d" seed
+  | Bursts (bursts, seed) ->
+    Fmt.pf ppf "bursts[%a]->random:%d"
+      Fmt.(list ~sep:(any ";") (fun ppf (p, l) -> pf ppf "p%d*%d" p l))
+      bursts seed
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>schedule: %a@,faults: %a@,nondet seed: %d@,%a@]" pp_sched
+    t.sched Fault.pp_plan t.faults t.nondet_seed
+    Fmt.(
+      iter_bindings
+        (fun f w -> Array.iteri (fun pid ops -> f pid ops) w)
+        ~sep:cut
+        (fun ppf (pid, ops) ->
+          pf ppf "p%d: [%a]" pid (list ~sep:(any "; ") Op.pp) ops))
+    t.workloads

@@ -1,0 +1,51 @@
+(** A fuzz trial as pure data: per-process workloads, a schedule, a
+    crash-fault plan, and the seed resolving object nondeterminism.
+    Re-evaluating a case is a pure function of the record, which is what
+    makes seeds reproducible and shrinking sound. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+type sched =
+  | Rr  (** fair rotation *)
+  | Rand of int  (** uniform adversary, seeded *)
+  | Bursts of (int * int) list * int
+      (** solo bursts [(pid, length)], then the seeded uniform adversary
+          — the unfair schedules behind the paper's solo-run arguments *)
+
+type t = {
+  workloads : Op.t list array;
+  sched : sched;
+  faults : Fault.plan;
+  nondet_seed : int;
+}
+
+val n_calls : t -> int
+
+val solo_bursts : bursts:(int * int) list -> seed:int -> Scheduler.t
+(** Play each burst's pid for its length (skipping bursts whose pid can
+    no longer run), then fall back to [Scheduler.random].  Per-run state
+    resets at step 0, so the value is reusable across runs. *)
+
+val scheduler : n:int -> t -> Scheduler.t
+(** The case's schedule with its fault plan applied. *)
+
+val gen :
+  prng:Lbsa_util.Prng.t ->
+  gen_workloads:(Lbsa_util.Prng.t -> Op.t list array) ->
+  procs:int ->
+  max_faults:int ->
+  unit ->
+  t
+(** Draw a random case.  Workloads are clamped so the total call count
+    fits the checker's {!Lbsa_linearizability.Checker.max_calls} bitmask
+    bound. *)
+
+val shrinks : t -> t list
+(** Candidate reductions, coarsest first (delta-debugging order): drop a
+    process, drop a fault, drop one op, crash victims earlier, simplify
+    the schedule.  Each candidate strictly decreases a well-founded
+    measure, so greedy first-improvement shrinking terminates. *)
+
+val pp_sched : Format.formatter -> sched -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+open Lbsa_spec
+open Lbsa_implement
+
+(* A deliberately wrong n-PAC: Algorithm 1 with the propose-path upset
+   guard flipped.  The correct object becomes permanently upset when a
+   second PROPOSE(-, i) arrives with V[i] still occupied (an illegal
+   history, Lemma 3.2); this mutant silently overwrites the slot
+   instead, so a later DECIDE(i) happily returns the second value where
+   the real object must answer ⊥ forever.
+
+   The mutant exists to keep the fuzzer honest: [impl ~n] claims to
+   implement the *correct* n-PAC from this broken base, and the oracle
+   must both catch it and shrink the counterexample to its essence —
+   propose(v,i); propose(w,i); decide(i), three calls on one label. *)
+
+type view = { upset : bool; v : Value.t; l : Value.t; value : Value.t }
+
+let view state =
+  match state with
+  | Value.List [ Value.Bool upset; v; l; value ] -> { upset; v; l; value }
+  | _ -> invalid_arg "Mutant.view: malformed state"
+
+let encode { upset; v; l; value } =
+  Value.List [ Value.Bool upset; v; l; value ]
+
+let get_v st i = Value.Assoc.get_or st.v (Value.Int i) ~default:Value.Nil
+let set_v st i x = { st with v = Value.Assoc.set st.v (Value.Int i) x }
+let det next response : Obj_spec.branch list = [ { next; response } ]
+
+let flipped_spec ~n =
+  if n < 1 then invalid_arg "Mutant.flipped_spec: n must be >= 1";
+  let check_label op i =
+    if i < 1 || i > n then
+      invalid_arg (Fmt.str "mutant %d-PAC: label out of range in %a" n Op.pp op)
+  in
+  let step state (op : Op.t) =
+    match (op.name, op.args) with
+    | "propose", [ v; Value.Int i ] ->
+      check_label op i;
+      let st = view state in
+      (* BUG (the seeded mutation): Algorithm 1 line 2 sets upset when
+         V[i] is occupied; this object skips that check and
+         overwrites. *)
+      let st =
+        if not st.upset then set_v { st with l = Value.Int i } i v else st
+      in
+      det (encode st) Value.Done
+    | "decide", [ Value.Int i ] ->
+      check_label op i;
+      (* Decide path verbatim from Algorithm 1, lines 7-17. *)
+      let st = view state in
+      let st =
+        if Value.is_nil (get_v st i) then { st with upset = true } else st
+      in
+      if st.upset then det (encode st) Value.Bot
+      else
+        let st, temp =
+          if not (Value.equal st.l (Value.Int i)) then (st, Value.Bot)
+          else
+            let st =
+              if Value.is_nil st.value then { st with value = get_v st i }
+              else st
+            in
+            (st, st.value)
+        in
+        let st = set_v { st with l = Value.Nil } i Value.Nil in
+        det (encode st) temp
+    | _ -> Obj_spec.unknown "mutant n-PAC" op
+  in
+  let initial =
+    let v =
+      Value.Assoc.of_bindings
+        (List.map
+           (fun i -> (Value.Int i, Value.Nil))
+           (Lbsa_util.Listx.range 1 n))
+    in
+    encode { upset = false; v; l = Value.Nil; value = Value.Nil }
+  in
+  Obj_spec.make ~name:(Fmt.str "mutant-%d-PAC" n) ~initial ~step ()
+
+let impl ~n =
+  Implementation.redirect
+    ~name:(Fmt.str "mutant-pac:%d" n)
+    ~target:(Lbsa_objects.Pac.spec ~n ())
+    ~base:[| flipped_spec ~n |]
+    ~route:(fun op -> (0, op))

@@ -1,0 +1,14 @@
+(** A deliberately broken n-PAC used as a known-bad fixture: Algorithm 1
+    with the propose-path upset guard flipped (a re-propose on a busy
+    label silently overwrites instead of upsetting the object).  The
+    fuzzer must catch {!impl} against the correct n-PAC spec and shrink
+    the counterexample to propose; propose; decide on one label. *)
+
+open Lbsa_spec
+open Lbsa_implement
+
+val flipped_spec : n:int -> Obj_spec.t
+
+val impl : n:int -> Implementation.t
+(** Claims to implement the correct [Pac.spec ~n ()] from the flipped
+    base object. *)

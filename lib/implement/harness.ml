@@ -28,6 +28,9 @@ type client = {
 
 type run = {
   history : Chistory.t;
+  pending : Checker.pending list;
+      (* target calls invoked but never answered: the run's schedule
+         ended (crash plan, solo burst) mid-operation *)
   base_final : Value.t array;
   steps : int;
 }
@@ -99,14 +102,24 @@ let run_clients ?(nondet = First) ?(max_steps = 100_000)
     |> List.concat_map (fun c -> List.rev c.done_calls)
     |> List.sort (fun (a : Chistory.call) b -> Stdlib.compare a.inv b.inv)
   in
-  { history; base_final = objects; steps = !steps }
+  let pending =
+    Array.to_list clients
+    |> List.mapi (fun pid c -> (pid, c.current))
+    |> List.filter_map (fun (pid, cur) ->
+           Option.map
+             (fun (op, inv, _) -> { Checker.pid; op; inv })
+             cur)
+  in
+  { history; pending; base_final = objects; steps = !steps }
 
 (* Run and check: the implementation is correct on this workload/schedule
-   iff the produced concurrent history linearizes against the target. *)
+   iff the produced concurrent history — with its in-flight calls given
+   the drop-or-any-response completion semantics — linearizes against
+   the target. *)
 let check ?(nondet = First) ?(max_steps = 100_000)
     ~(impl : Implementation.t) ~workloads ~scheduler () =
   let run = run_clients ~nondet ~max_steps ~impl ~workloads ~scheduler () in
-  (run, Checker.check impl.target run.history)
+  (run, Checker.check ~pending:run.pending impl.target run.history)
 
 (* Randomized campaign: [trials] random schedules (and random object
    adversaries) over the given workloads; returns the trial count on

@@ -13,6 +13,9 @@ type nondet =
 
 type run = {
   history : Chistory.t;
+  pending : Checker.pending list;
+      (** target calls invoked but never answered (the schedule ended
+          mid-operation, e.g. under a crash plan) *)
   base_final : Value.t array;
   steps : int;
 }

@@ -14,9 +14,19 @@ open Lbsa_spec
    specification states (a set because the spec may be nondeterministic).
    Memoization on (linearized-call bitmask, state set) prunes the
    exponential blowup; histories are expected to be small (tens of
-   calls). *)
+   calls).
+
+   Pending calls (invoked but never answered — a process crashed or was
+   starved mid-operation) get the standard completion semantics: each one
+   may either be dropped (it never took effect) or linearized anywhere
+   after its invocation with ANY response the specification allows
+   (nobody observed the answer, so it is unconstrained).  The DFS treats
+   a pending call as an optional step whose application unions the
+   next-states of every branch. *)
 
 module VSet = Set.Make (Value)
+
+type pending = { pid : int; op : Op.t; inv : int }
 
 type outcome =
   | Linearizable of Chistory.call list  (* a witness linearization *)
@@ -27,23 +37,48 @@ let is_linearizable outcome =
   | Linearizable _ -> true
   | Not_linearizable -> false
 
-let check ?(memo = true) (spec : Obj_spec.t) (h : Chistory.t) : outcome =
+let max_calls = 62
+
+let check ?(memo = true) ?(pending = []) (spec : Obj_spec.t) (h : Chistory.t) :
+    outcome =
   if not (Chistory.well_formed h) then
     invalid_arg "Checker.check: history is not well-formed";
   let calls = Array.of_list h in
-  let n = Array.length calls in
-  if n > 62 then invalid_arg "Checker.check: history too long (> 62 calls)";
-  (* pred_mask.(i) = bitmask of calls that must precede call i. *)
+  let nc = Array.length calls in
+  let pend = Array.of_list pending in
+  let np = Array.length pend in
+  let n = nc + np in
+  if n > max_calls then
+    invalid_arg
+      (Fmt.str "Checker.check: history too long (> %d calls)" max_calls);
+  (* A pending call must lie after every completed call of its process. *)
+  Array.iter
+    (fun (p : pending) ->
+      Array.iter
+        (fun (c : Chistory.call) ->
+          if c.pid = p.pid && c.res >= p.inv then
+            invalid_arg "Checker.check: pending call overlaps its process")
+        calls)
+    pend;
+  (* Calls are indexed [0, nc) completed then [nc, n) pending.
+     pred_mask.(i) = bitmask of calls that must precede call i.  Pending
+     calls never respond, so nothing is ever constrained to follow one:
+     their bits appear in no mask. *)
   let pred_mask =
     Array.init n (fun i ->
         let m = ref 0 in
-        for j = 0 to n - 1 do
-          if j <> i && Chistory.precedes calls.(j) calls.(i) then
-            m := !m lor (1 lsl j)
-        done;
+        if i < nc then
+          for j = 0 to nc - 1 do
+            if j <> i && Chistory.precedes calls.(j) calls.(i) then
+              m := !m lor (1 lsl j)
+          done
+        else
+          for j = 0 to nc - 1 do
+            if calls.(j).res < pend.(i - nc).inv then m := !m lor (1 lsl j)
+          done;
         !m)
   in
-  let full = (1 lsl n) - 1 in
+  let full_completed = (1 lsl nc) - 1 in
   (* Memo: (done_mask, states) -> false means "no completion from here".
      Positive results short-circuit the DFS by raising. *)
   let visited : (int * Value.t list, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -59,8 +94,19 @@ let check ?(memo = true) (spec : Obj_spec.t) (h : Chistory.t) : outcome =
           (Obj_spec.branches spec s c.op))
       states VSet.empty
   in
+  (* A linearized pending call may take any branch. *)
+  let apply_pending states (p : pending) =
+    VSet.fold
+      (fun s acc ->
+        List.fold_left
+          (fun acc (b : Obj_spec.branch) -> VSet.add b.next acc)
+          acc
+          (Obj_spec.branches spec s p.op))
+      states VSet.empty
+  in
   let rec go done_mask states acc =
-    if done_mask = full then raise (Found (List.rev acc))
+    if done_mask land full_completed = full_completed then
+      raise (Found (List.rev acc))
     else
       let key = (done_mask, VSet.elements states) in
       if memo && Hashtbl.mem visited key then ()
@@ -68,11 +114,16 @@ let check ?(memo = true) (spec : Obj_spec.t) (h : Chistory.t) : outcome =
         for i = 0 to n - 1 do
           let bit = 1 lsl i in
           if done_mask land bit = 0 && pred_mask.(i) land lnot done_mask = 0
-          then begin
-            let states' = apply_call states calls.(i) in
-            if not (VSet.is_empty states') then
-              go (done_mask lor bit) states' (calls.(i) :: acc)
-          end
+          then
+            if i < nc then begin
+              let states' = apply_call states calls.(i) in
+              if not (VSet.is_empty states') then
+                go (done_mask lor bit) states' (calls.(i) :: acc)
+            end
+            else
+              (* The witness lists completed calls only; a linearized
+                 pending call has no recorded response to report. *)
+              go (done_mask lor bit) (apply_pending states pend.(i - nc)) acc
         done;
         if memo then Hashtbl.replace visited key ()
       end

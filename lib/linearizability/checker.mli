@@ -1,19 +1,40 @@
 (** Wing–Gong linearizability checker, extended to nondeterministic
-    sequential specifications. *)
+    sequential specifications and to histories with pending calls. *)
 
 open Lbsa_spec
 
+type pending = { pid : int; op : Op.t; inv : int }
+(** An operation that was invoked at time [inv] but never answered (its
+    process crashed or was starved mid-operation). *)
+
 type outcome =
-  | Linearizable of Chistory.call list  (** a witness linearization *)
+  | Linearizable of Chistory.call list
+      (** a witness linearization (completed calls only; linearized
+          pending calls have no recorded response to report) *)
   | Not_linearizable
 
 val is_linearizable : outcome -> bool
 
-val check : ?memo:bool -> Obj_spec.t -> Chistory.t -> outcome
-(** Decide linearizability of a complete, well-formed history (at most
-    62 calls) against the specification.  Raises [Invalid_argument] on
-    ill-formed or oversized histories.  [memo] (default true) enables
-    memoization of visited (linearized-set, state-set) pairs; disabling
-    it exists for the ablation benchmark only. *)
+val max_calls : int
+(** Hard size limit of {!check}: 62.  The DFS memoizes on a bitmask of
+    linearized calls packed into one OCaml [int], so completed + pending
+    calls together must fit in 62 bits.  Callers generating histories
+    (the fuzzer, the harness campaigns) must cap workloads accordingly;
+    {!check} raises [Invalid_argument] — it never silently truncates. *)
+
+val check :
+  ?memo:bool -> ?pending:pending list -> Obj_spec.t -> Chistory.t -> outcome
+(** Decide linearizability of a complete, well-formed history against
+    the specification.  Each [pending] call may either be dropped (it
+    never took effect) or linearized anywhere after its invocation with
+    any response the specification allows — the standard completion
+    semantics for crashed operations, without which a crash-truncated
+    run whose in-flight operation took effect would be misjudged.
+
+    Raises [Invalid_argument] on an ill-formed history, on a pending
+    call overlapping a completed call of the same process, or when
+    completed + pending calls exceed {!max_calls} (62).  [memo] (default
+    true) enables memoization of visited (linearized-set, state-set)
+    pairs; disabling it exists for the ablation benchmark only. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -7,9 +7,11 @@ open Lbsa_spec
    linearizable by construction (the interleaving is a witness); such
    histories are positive fixtures for the checker.
 
-   [corrupt] perturbs one response so that, with high probability, the
-   history is no longer linearizable (negative fixtures; the caller
-   should skip cases where the perturbation happens to stay legal). *)
+   [corrupt] perturbs one response and VERIFIES with the checker that
+   the perturbed history is no longer linearizable, resampling the
+   perturbation up to a bound; a [Some] result is a certified negative
+   fixture, [None] means no illegal perturbation was found (e.g. the
+   specification accepts the substitute response everywhere). *)
 
 type pending = { pid : int; op : Op.t; inv : int }
 
@@ -66,14 +68,27 @@ let linearizable_history ~(prng : Lbsa_util.Prng.t) ~(spec : Obj_spec.t)
   List.rev !done_calls
 
 (* Replace one call's response with [substitute] (default: an unlikely
-   symbol), yielding a candidate negative fixture. *)
-let corrupt ~(prng : Lbsa_util.Prng.t) ?(substitute = Value.Sym "corrupted")
-    (h : Chistory.t) : Chistory.t =
+   symbol), then certify non-linearizability with the checker; resample
+   the perturbed call up to [attempts] times before giving up. *)
+let corrupt ~(prng : Lbsa_util.Prng.t) ~(spec : Obj_spec.t)
+    ?(substitute = Value.Sym "corrupted") ?(attempts = 16) (h : Chistory.t) :
+    Chistory.t option =
   match h with
-  | [] -> []
+  | [] -> None
   | _ ->
-    let idx = Lbsa_util.Prng.int prng (List.length h) in
-    List.mapi
-      (fun i (c : Chistory.call) ->
-        if i = idx then { c with response = substitute } else c)
-      h
+    let len = List.length h in
+    let rec try_once k =
+      if k >= attempts then None
+      else
+        let idx = Lbsa_util.Prng.int prng len in
+        let bad =
+          List.mapi
+            (fun i (c : Chistory.call) ->
+              if i = idx then { c with response = substitute } else c)
+            h
+        in
+        match Checker.check spec bad with
+        | Checker.Not_linearizable -> Some bad
+        | Checker.Linearizable _ -> try_once (k + 1)
+    in
+    try_once 0

@@ -11,6 +11,15 @@ val linearizable_history :
     a random interleaving; the result is linearizable by construction. *)
 
 val corrupt :
-  prng:Lbsa_util.Prng.t -> ?substitute:Value.t -> Chistory.t -> Chistory.t
-(** Replace one call's response, producing a candidate non-linearizable
-    history (callers should discard cases that stay legal). *)
+  prng:Lbsa_util.Prng.t ->
+  spec:Obj_spec.t ->
+  ?substitute:Value.t ->
+  ?attempts:int ->
+  Chistory.t ->
+  Chistory.t option
+(** Replace one call's response and certify with {!Checker.check}
+    against [spec] that the result is NOT linearizable, resampling the
+    perturbed position up to [attempts] (default 16) times.  [Some bad]
+    is a verified negative fixture; [None] means every sampled
+    perturbation stayed legal (possible when the specification accepts
+    [substitute] — default [Sym "corrupted"] — as a response). *)

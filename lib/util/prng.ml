@@ -26,6 +26,19 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* Keyed substream: a pure function of (seed, index), unlike [split],
+   which consumes an output of the parent and therefore depends on every
+   draw made before it.  The derived state is the SplitMix64 mix of
+   seed + (index+1)*gamma, so distinct indices land in distinct,
+   well-scrambled stream positions. *)
+let of_substream ~seed ~index =
+  if index < 0 then invalid_arg "Prng.of_substream: index must be >= 0";
+  let t =
+    { state = Int64.add (Int64.of_int seed)
+        (Int64.mul golden_gamma (Int64.of_int index)) }
+  in
+  { state = next_int64 t }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling: a raw draw r lies in a "group" of [bound]

@@ -17,6 +17,14 @@ val split : t -> t
 (** [split t] advances [t] and returns a statistically independent
     generator; used to give each process its own stream. *)
 
+val of_substream : seed:int -> index:int -> t
+(** [of_substream ~seed ~index] is the [index]-th derived generator of
+    [seed], a pure function of both arguments: unlike {!split} it
+    depends on no other draws, so parallel consumers (one substream per
+    trial, say) see identical streams regardless of domain count,
+    scheduling, or the order in which substreams are created.  Raises
+    [Invalid_argument] when [index < 0]. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -173,11 +173,13 @@ let test_corrupt_history_rejected () =
        [ Register.write (Value.Int 2); Register.read ] |]
   in
   let h = Lin_gen.linearizable_history ~prng ~spec:reg ~workloads in
-  let bad = Lin_gen.corrupt ~prng h in
   (* The substitute response (a fresh symbol) can never be produced by a
-     register over int writes, except when it replaces a write's Unit...
-     writes return Unit, so corrupting a write is detectable too. *)
-  Alcotest.(check bool) "corrupted rejected" false (check_lin reg bad)
+     register, so corrupt always finds a certified-illegal perturbation
+     here. *)
+  match Lin_gen.corrupt ~prng ~spec:reg h with
+  | None -> Alcotest.fail "corrupt found no illegal perturbation"
+  | Some bad ->
+    Alcotest.(check bool) "corrupted rejected" false (check_lin reg bad)
 
 (* Differential test: the Wing-Gong checker against brute-force
    enumeration of all interleavings.  A sequential-call history (each
@@ -198,7 +200,10 @@ let test_checker_vs_bruteforce () =
           [ Classic.Fetch_and_add.fetch_and_add (1 + Prng.int prng 2) ])
     in
     let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
-    let h = if Prng.bool prng then h else Lin_gen.corrupt ~prng h in
+    let h =
+      if Prng.bool prng then h
+      else Option.value (Lin_gen.corrupt ~prng ~spec h) ~default:h
+    in
     let concurrent =
       List.map (fun (c : Chistory.call) -> { c with Chistory.inv = 1; res = 10 }) h
     in
@@ -236,6 +241,24 @@ let test_checker_input_validation () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "inv >= res should be rejected"
 
+let test_checker_call_limit () =
+  (* The checker packs linearized calls into one OCaml int bitmask, so
+     histories are capped at Lin_checker.max_calls = 62: 62 calls check
+     fine, 63 raise Invalid_argument (a documented refusal, never a
+     crash or a silent truncation). *)
+  Alcotest.(check int) "documented limit" 62 Lin_checker.max_calls;
+  let reg = Register.spec () in
+  let seq k =
+    Chistory.of_sequential
+      (List.init k (fun _ -> (0, Register.read, Value.Nil)))
+  in
+  (match Lin_checker.check reg (seq Lin_checker.max_calls) with
+  | Lin_checker.Linearizable _ -> ()
+  | Lin_checker.Not_linearizable -> Alcotest.fail "62 reads are linearizable");
+  match Lin_checker.check reg (seq (Lin_checker.max_calls + 1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "63 calls must raise Invalid_argument"
+
 let () =
   Alcotest.run "linearizability"
     [
@@ -256,6 +279,8 @@ let () =
           Alcotest.test_case "PAC histories" `Quick test_pac_concurrent_history;
           Alcotest.test_case "input validation" `Quick
             test_checker_input_validation;
+          Alcotest.test_case "62-call bitmask limit" `Quick
+            test_checker_call_limit;
           Alcotest.test_case "differential vs brute force" `Quick
             test_checker_vs_bruteforce;
         ] );

@@ -133,6 +133,27 @@ let test_build_domain_count_invariant () =
   Alcotest.(check int) "1-domain stats" 1 (Cgraph.stats g1).Cgraph.domains;
   Alcotest.(check int) "4-domain stats" 4 (Cgraph.stats g4).Cgraph.domains
 
+let test_build_domains_1_2_4_with_oracle () =
+  (* Domain counts 1, 2 and 4 on two protocol graphs of different shape
+     (branchy consensus-object graph, DAC-from-PAC graph), with the seed
+     CMap explorer as a fourth, independently-computed reference. *)
+  List.iter
+    (fun (label, (machine, specs), inputs) ->
+      let oracle = Cgraph.build_cmap ~machine ~specs ~inputs () in
+      List.iter
+        (fun domains ->
+          let g = Cgraph.build ~domains ~machine ~specs ~inputs () in
+          check_same_graph (Fmt.str "%s, domains=%d" label domains) g oracle)
+        [ 1; 2; 4 ])
+    [
+      ( "cons:2",
+        Consensus_protocols.from_consensus_obj ~m:2,
+        [| Value.Int 0; Value.Int 1 |] );
+      ( "dac:3",
+        (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3),
+        [| Value.Int 1; Value.Int 0; Value.Int 0 |] );
+    ]
+
 let test_exploration_stats_sane () =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   let g =
@@ -566,6 +587,8 @@ let () =
           Alcotest.test_case "scc on spin graph" `Quick test_scc_on_spin_graph;
           Alcotest.test_case "matches seed CMap oracle" `Quick
             test_build_matches_cmap_oracle;
+          Alcotest.test_case "domains 1/2/4 vs CMap oracle" `Quick
+            test_build_domains_1_2_4_with_oracle;
           Alcotest.test_case "identical graph for any domain count" `Quick
             test_build_domain_count_invariant;
           Alcotest.test_case "exploration stats sane" `Quick

@@ -279,7 +279,10 @@ let prop_checker_memo_ablation_agrees =
             [ Register.write (Value.Int pid); Register.read ])
       in
       let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
-      let h = if seed mod 2 = 0 then h else Lin_gen.corrupt ~prng h in
+      let h =
+        if seed mod 2 = 0 then h
+        else Option.value (Lin_gen.corrupt ~prng ~spec h) ~default:h
+      in
       Lin_checker.is_linearizable (Lin_checker.check ~memo:true spec h)
       = Lin_checker.is_linearizable (Lin_checker.check ~memo:false spec h))
 

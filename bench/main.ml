@@ -359,13 +359,10 @@ let table_t7 () =
    let specs = Obstruction_free.specs ~n ~max_rounds:50 in
    let inputs = [| Value.Int 0; Value.Int 1 |] in
    let graph = Cgraph.build ~max_states:20_000 ~machine ~specs ~inputs () in
-   let bad = ref 0 in
-   Cgraph.iter_nodes
-     (fun _ config ->
-       match Consensus_task.check_safety ~inputs config with
-       | Ok () -> ()
-       | Error _ -> incr bad)
-     graph;
+   let first_bad =
+     Cgraph.find_node graph (fun _ config ->
+         Result.is_error (Consensus_task.check_safety ~inputs config))
+   in
    let lockstep_livelocks =
      match
        Executor.run ~max_steps:10_000
@@ -377,8 +374,10 @@ let table_t7 () =
      | _ -> false
    in
    cell "obstruction-free consensus (registers, commit-adopt)"
-     (Fmt.str "safe at %d states (%d bad); lockstep livelocks: %b"
-        (Cgraph.n_nodes graph) !bad lockstep_livelocks))
+     (Fmt.str "safe at %d states (first violation: %s); lockstep livelocks: %b"
+        (Cgraph.n_nodes graph)
+        (match first_bad with None -> "none" | Some id -> string_of_int id)
+        lockstep_livelocks))
 
 (* ---------------------------------------------------------------------- *)
 (* T8: the surrounding classics — Herlihy's universal construction and
@@ -454,16 +453,15 @@ let table_t8 () =
       let specs = Safe_agreement.specs ~n in
       let inputs = Kset_task.distinct_inputs n in
       let graph = Cgraph.build ~machine ~specs ~inputs () in
-      let bad = ref 0 in
-      Cgraph.iter_nodes
-        (fun _ config ->
-          match Consensus_task.check_safety ~inputs config with
-          | Ok () -> ()
-          | Error _ -> incr bad)
-        graph;
+      let first_bad =
+        Cgraph.find_node graph (fun _ config ->
+            Result.is_error (Consensus_task.check_safety ~inputs config))
+      in
       cell
         (Fmt.str "safe agreement n=%d: safety at every configuration" n)
-        (Fmt.str "%d violations in %d states" !bad (Cgraph.n_nodes graph)))
+        (Fmt.str "first violation: %s in %d states"
+           (match first_bad with None -> "none" | Some id -> string_of_int id)
+           (Cgraph.n_nodes graph)))
     [ 2; 3 ];
   (let n = 2 in
    let machine = Safe_agreement.machine ~n in
@@ -659,6 +657,9 @@ let micro_tests () =
       (let graph = Cgraph.build ~machine ~specs ~inputs () in
        Test.make ~name:"valence analysis (3-DAC graph)"
          (Staged.stage (fun () -> ignore (Valence.analyze graph))));
+      (let graph = Cgraph.build ~machine ~specs ~inputs () in
+       Test.make ~name:"valence fixpoint oracle (3-DAC graph)"
+         (Staged.stage (fun () -> ignore (Valence.analyze_fixpoint graph))));
     ]
   in
   let b4 =
@@ -684,6 +685,10 @@ let micro_tests () =
     [
       Test.make ~name:"linearizability check (9 calls, 3 procs)"
         (Staged.stage (fun () -> ignore (Lin_checker.check spec history)));
+      (let session = Lin_checker.session spec in
+       Test.make ~name:"lin check, reused session (9 calls, 3 procs)"
+         (Staged.stage (fun () ->
+              ignore (Lin_checker.check_with session history))));
       Test.make ~name:"ablation: lin check without memoization"
         (Staged.stage (fun () ->
              ignore (Lin_checker.check ~memo:false spec history)));
@@ -801,9 +806,215 @@ let run_explore () =
         (Float.max seq_rate par_rate /. cmap_rate))
     cases
 
+(* ---------------------------------------------------------------------- *)
+(* BENCH_verify.json: fixed-workload verification-pipeline measurements,
+   written as machine-readable JSON so the perf trajectory has data
+   points (schema documented in DESIGN.md).  Fixed seeds and short
+   budgets — usable as a CI smoke. *)
+
+(* The seed's checker, kept verbatim as the baseline for the checker
+   measurement: per-check Hashtbl-and-sort well-formedness test,
+   functional Value sets threaded through the DFS, and a structural
+   (int * Value.t list) memo key. *)
+module Seed_shape_checker = struct
+  module VSet = Set.Make (Value)
+
+  let well_formed (h : Chistory.t) =
+    let by_pid = Hashtbl.create 8 in
+    List.iter
+      (fun (c : Chistory.call) ->
+        let cur = Option.value (Hashtbl.find_opt by_pid c.pid) ~default:[] in
+        Hashtbl.replace by_pid c.pid (c :: cur))
+      h;
+    Hashtbl.fold
+      (fun _ calls acc ->
+        acc
+        &&
+        let sorted =
+          List.sort
+            (fun (a : Chistory.call) (b : Chistory.call) ->
+              Stdlib.compare a.inv b.inv)
+            calls
+        in
+        let rec ok = function
+          | (a : Chistory.call) :: (b :: _ as rest) ->
+            a.res < b.inv && ok rest
+          | _ -> true
+        in
+        ok sorted)
+      by_pid true
+
+  let check (spec : Obj_spec.t) (h : Chistory.t) =
+    if not (well_formed h) then
+      invalid_arg "Checker.check: history is not well-formed";
+    let calls = Array.of_list h in
+    let nc = Array.length calls in
+    let pred_mask =
+      Array.init nc (fun i ->
+          let m = ref 0 in
+          for j = 0 to nc - 1 do
+            if j <> i && Chistory.precedes calls.(j) calls.(i) then
+              m := !m lor (1 lsl j)
+          done;
+          !m)
+    in
+    let full = (1 lsl nc) - 1 in
+    let visited : (int * Value.t list, unit) Hashtbl.t = Hashtbl.create 256 in
+    let exception Found of Chistory.call list in
+    let apply_call states (c : Chistory.call) =
+      VSet.fold
+        (fun s acc ->
+          List.fold_left
+            (fun acc (b : Obj_spec.branch) ->
+              if Value.equal b.response c.response then VSet.add b.next acc
+              else acc)
+            acc
+            (Obj_spec.branches spec s c.op))
+        states VSet.empty
+    in
+    let rec go done_mask states acc =
+      if done_mask = full then raise (Found (List.rev acc))
+      else
+        let key = (done_mask, VSet.elements states) in
+        if Hashtbl.mem visited key then ()
+        else begin
+          for i = 0 to nc - 1 do
+            let bit = 1 lsl i in
+            if done_mask land bit = 0 && pred_mask.(i) land lnot done_mask = 0
+            then begin
+              let states' = apply_call states calls.(i) in
+              if not (VSet.is_empty states') then
+                go (done_mask lor bit) states' (calls.(i) :: acc)
+            end
+          done;
+          Hashtbl.replace visited key ()
+        end
+    in
+    match go 0 (VSet.singleton spec.Obj_spec.initial) [] with
+    | () -> None
+    | exception Found order -> Some order
+end
+
+(* Mean seconds per call: warm once, then batches of 50 until >= 0.1 s
+   of measurement; report the fastest of [k] such measurements (the
+   steady-state figure, robust against frequency scaling and GC noise). *)
+let time_per ?(k = 5) f =
+  f ();
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    let reps = ref 0 in
+    let elapsed = ref 0. in
+    while !elapsed < 0.1 do
+      for _ = 1 to 50 do
+        f ()
+      done;
+      reps := !reps + 50;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    !elapsed /. float !reps
+  in
+  let best = ref (one ()) in
+  for _ = 2 to k do
+    let t = one () in
+    if t < !best then best := t
+  done;
+  !best
+
+let run_json () =
+  hr "Verification pipeline measurements -> BENCH_verify.json";
+  let machine = Dac_from_pac.machine ~n:3 in
+  let specs = Dac_from_pac.specs ~n:3 in
+  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let graph = Cgraph.build ~machine ~specs ~inputs () in
+  let gstats = Cgraph.stats graph in
+  let nodes = Cgraph.n_nodes graph in
+  let t_val = time_per (fun () -> ignore (Valence.analyze graph)) in
+  let t_fix = time_per (fun () -> ignore (Valence.analyze_fixpoint graph)) in
+  let spec = Classic.Fetch_and_add.spec () in
+  let workloads =
+    Array.init 3 (fun _ ->
+        List.init 3 (fun _ -> Classic.Fetch_and_add.fetch_and_add 1))
+  in
+  let history =
+    Lin_gen.linearizable_history ~prng:(Prng.create 99) ~spec ~workloads
+  in
+  let session = Lin_checker.session spec in
+  let t_sess =
+    time_per (fun () -> ignore (Lin_checker.check_with session history))
+  in
+  let t_fresh = time_per (fun () -> ignore (Lin_checker.check spec history)) in
+  let t_seed =
+    time_per (fun () -> ignore (Seed_shape_checker.check spec history))
+  in
+  let sweep d =
+    let _, fs =
+      Solvability.for_all_inputs_timed ~domains:d
+        (fun inputs ->
+          Solvability.check_dac ~domains:1 ~machine ~specs ~inputs ())
+        (Dac.binary_inputs 3)
+    in
+    fs
+  in
+  (* Warm once so the first sweep doesn't pay one-time setup. *)
+  ignore (sweep 1);
+  let fs1 = sweep 1 and fs2 = sweep 2 and fs4 = sweep 4 in
+  (* Parallel speedup is bounded by the cores actually available: on a
+     single-core box the d > 1 sweeps only measure spawn overhead. *)
+  let cores = Domain.recommended_domain_count () in
+  Fmt.pr "explore:  %d states at %.0f states/s (%d domains)@." nodes
+    gstats.Cgraph.states_per_sec gstats.Cgraph.domains;
+  Fmt.pr "valence:  %.1f ns/node (fixpoint oracle %.1f ns/node, %.2fx)@."
+    (t_val *. 1e9 /. float nodes)
+    (t_fix *. 1e9 /. float nodes)
+    (t_fix /. t_val);
+  Fmt.pr
+    "checker:  %.0f checks/s fresh, %.0f reused session (seed shape %.0f; \
+     %.2fx / %.2fx)@."
+    (1. /. t_fresh) (1. /. t_sess) (1. /. t_seed) (t_seed /. t_fresh)
+    (t_seed /. t_sess);
+  Fmt.pr
+    "for_all_inputs (8 x dac:3): %.3fs @@1, %.3fs @@2, %.3fs @@4 domains (%d \
+     core%s available)@."
+    fs1.Solvability.wall_s fs2.Solvability.wall_s fs4.Solvability.wall_s cores
+    (if cores = 1 then "" else "s");
+  let oc = open_out "BENCH_verify.json" in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"lbsa-bench-verify/1\",\n";
+  p
+    "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
+     \"states_per_sec\": %.0f, \"domains\": %d },\n"
+    nodes gstats.Cgraph.states_per_sec gstats.Cgraph.domains;
+  p
+    "  \"valence\": { \"graph\": \"dac:3\", \"nodes\": %d, \
+     \"analyze_ns_per_node\": %.1f, \"fixpoint_ns_per_node\": %.1f, \
+     \"speedup\": %.2f },\n"
+    nodes
+    (t_val *. 1e9 /. float nodes)
+    (t_fix *. 1e9 /. float nodes)
+    (t_fix /. t_val);
+  p
+    "  \"checker\": { \"case\": \"faa 9 calls 3 procs\", \
+     \"fresh_checks_per_sec\": %.0f, \"session_checks_per_sec\": %.0f, \
+     \"seed_shape_checks_per_sec\": %.0f, \"speedup_fresh_vs_seed\": %.2f, \
+     \"speedup_session_vs_seed\": %.2f },\n"
+    (1. /. t_fresh) (1. /. t_sess) (1. /. t_seed) (t_seed /. t_fresh)
+    (t_seed /. t_sess);
+  p
+    "  \"for_all_inputs\": { \"family\": \"dac:3 binary inputs\", \
+     \"vectors\": %d, \"cores_available\": %d, \"wall_s\": { \"1\": %.4f, \
+     \"2\": %.4f, \"4\": %.4f }, \"speedup_4_domains\": %.2f }\n"
+    fs1.Solvability.vectors cores fs1.Solvability.wall_s
+    fs2.Solvability.wall_s fs4.Solvability.wall_s
+    (fs1.Solvability.wall_s /. fs4.Solvability.wall_s);
+  p "}\n";
+  close_out oc;
+  Fmt.pr "wrote BENCH_verify.json@."
+
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if mode = "tables" || mode = "all" then all_tables ();
   if mode = "explore" || mode = "all" then run_explore ();
   if mode = "micro" || mode = "all" then run_micro ();
+  if mode = "--json" || mode = "json" then run_json ();
   Fmt.pr "@.done.@."

@@ -74,6 +74,24 @@ let stats_arg =
           "Print exploration statistics (states/sec, frontier profile, dedup \
            rate, domains) after the verdict.")
 
+let check_domains_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Parallelism for input-family sweeps: fan the input vectors across \
+           D domains, exploring each vector's graph on a single domain.  0 \
+           (default) keeps the sequential sweep with an auto-parallel \
+           explorer; 1 is fully sequential.  The verdict — including which \
+           failing vector is reported — never depends on this.")
+
+(* With a fanned sweep (D > 1) each vector's exploration is pinned to one
+   domain to avoid oversubscription; with D unset the explorer keeps its
+   auto parallelism. *)
+let sweep_plan d =
+  if d <= 0 then (1, None) else (d, Some 1)
+
 (* --- run-dac ----------------------------------------------------------- *)
 
 let run_dac n seed sched_kind =
@@ -110,35 +128,49 @@ let run_dac_cmd =
 
 (* --- check ------------------------------------------------------------- *)
 
-let report ?(stats = false) verdict =
+let report ?(stats = false) ?family verdict =
   Fmt.pr "%a@." Solvability.pp_verdict verdict;
-  (if stats then
-     match verdict.Solvability.stats with
+  (if stats then begin
+     (match verdict.Solvability.stats with
      | Some s -> Fmt.pr "%a@." Cgraph.pp_stats s
      | None -> Fmt.pr "(no exploration statistics recorded)@.");
+     match family with
+     | Some fs -> Fmt.pr "%a@." Solvability.pp_family_stats fs
+     | None -> ()
+   end);
   if verdict.Solvability.ok then 0 else 1
 
-let check_dac n max_states stats =
+let check_dac n max_states stats d =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  report ~stats
-    (Solvability.for_all_inputs
-       (fun inputs ->
-         Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
-       (Dac.binary_inputs n))
+  let sweep, inner = sweep_plan d in
+  let verdict, family =
+    Solvability.for_all_inputs_timed ~domains:sweep
+      (fun inputs ->
+        Solvability.check_dac ~max_states ?domains:inner ~machine ~specs
+          ~inputs ())
+      (Dac.binary_inputs n)
+  in
+  report ~stats ~family verdict
 
-let check_consensus m max_states stats =
+let check_consensus m max_states stats d =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
-  report ~stats
-    (Solvability.for_all_inputs
-       (fun inputs ->
-         Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
-       (Consensus_task.binary_inputs m))
+  let sweep, inner = sweep_plan d in
+  let verdict, family =
+    Solvability.for_all_inputs_timed ~domains:sweep
+      (fun inputs ->
+        Solvability.check_consensus ~max_states ?domains:inner ~machine ~specs
+          ~inputs ())
+      (Consensus_task.binary_inputs m)
+  in
+  report ~stats ~family verdict
 
-let check_kset m k max_states stats =
+let check_kset m k max_states stats d =
   let machine, specs = Kset_protocols.partition ~m ~k in
+  (* A single input vector: [--domains] drives the explorer itself. *)
+  let domains = if d <= 0 then None else Some d in
   report ~stats
-    (Solvability.check_kset ~max_states ~machine ~specs ~k
+    (Solvability.check_kset ~max_states ?domains ~machine ~specs ~k
        ~inputs:(Kset_task.distinct_inputs (m * k))
        ())
 
@@ -154,7 +186,8 @@ let candidates =
       `Consensus (Candidates.consensus_from_pac_retry ~n:2 ~procs:2, 2) );
   ]
 
-let check_candidate name max_states =
+let check_candidate name max_states d =
+  let sweep, inner = sweep_plan d in
   match List.assoc_opt name candidates with
   | None ->
     Fmt.epr "unknown candidate %S; known: %s@." name
@@ -163,9 +196,10 @@ let check_candidate name max_states =
   | Some (`Consensus ((machine, specs), procs)) ->
     Fmt.pr "candidate %s (consensus among %d) — expected to FAIL:@." name procs;
     let v =
-      Solvability.for_all_inputs
+      Solvability.for_all_inputs ~domains:sweep
         (fun inputs ->
-          Solvability.check_consensus ~max_states ~machine ~specs ~inputs ())
+          Solvability.check_consensus ~max_states ?domains:inner ~machine
+            ~specs ~inputs ())
         (Consensus_task.binary_inputs procs)
     in
     Fmt.pr "%a@." Solvability.pp_verdict v;
@@ -181,9 +215,10 @@ let check_candidate name max_states =
   | Some (`Dac ((machine, specs), procs)) ->
     Fmt.pr "candidate %s (%d-DAC) — expected to FAIL:@." name procs;
     let v =
-      Solvability.for_all_inputs
+      Solvability.for_all_inputs ~domains:sweep
         (fun inputs ->
-          Solvability.check_dac ~max_states ~machine ~specs ~inputs ())
+          Solvability.check_dac ~max_states ?domains:inner ~machine ~specs
+            ~inputs ())
         (Dac.binary_inputs procs)
     in
     Fmt.pr "%a@." Solvability.pp_verdict v;
@@ -212,12 +247,12 @@ let check_cmd =
       & opt string "flp-write-read"
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
-  let run task n m k name max_states stats =
+  let run task n m k name max_states stats domains =
     match task with
-    | `Dac -> check_dac n max_states stats
-    | `Consensus -> check_consensus m max_states stats
-    | `Kset -> check_kset m k max_states stats
-    | `Candidate -> check_candidate name max_states
+    | `Dac -> check_dac n max_states stats domains
+    | `Consensus -> check_consensus m max_states stats domains
+    | `Kset -> check_kset m k max_states stats domains
+    | `Candidate -> check_candidate name max_states domains
   in
   Cmd.v
     (Cmd.info "check"
@@ -226,7 +261,7 @@ let check_cmd =
           nondeterminism).")
     Term.(
       const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
-      $ stats_arg)
+      $ stats_arg $ check_domains_arg)
 
 (* --- valence ------------------------------------------------------------ *)
 

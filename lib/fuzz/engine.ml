@@ -53,12 +53,24 @@ let same_kind a b =
   | Crash _, Crash _ -> true
   | _ -> false
 
-let eval_impl_case ~(impl : Implementation.t) (case : Fuzz_case.t) : eval =
+(* Checker sessions are not thread-safe and [fan] runs trials on several
+   domains, so campaigns hold one session per domain in domain-local
+   storage.  [session] below is a thunk fetching the calling domain's
+   session; outcomes never depend on session state, so determinism
+   across domain counts is untouched. *)
+let dls_sessions spec =
+  let key = Domain.DLS.new_key (fun () -> Checker.session spec) in
+  fun () -> Domain.DLS.get key
+
+let eval_impl_case ?session ~(impl : Implementation.t) (case : Fuzz_case.t) :
+    eval =
   let n = Array.length case.workloads in
   let scheduler = Fuzz_case.scheduler ~n case in
   let nondet = Harness.Random (Prng.create case.nondet_seed) in
+  let session = Option.map (fun get -> get ()) session in
   match
-    Harness.check ~nondet ~impl ~workloads:case.workloads ~scheduler ()
+    Harness.check ?session ~nondet ~impl ~workloads:case.workloads ~scheduler
+      ()
   with
   | _, Checker.Linearizable _ -> Ok_run
   | run, Checker.Not_linearizable -> Bad (Violation, run.history, run.pending)
@@ -68,15 +80,20 @@ let eval_impl_case ~(impl : Implementation.t) (case : Fuzz_case.t) : eval =
    nondet seed: the positive generator must produce a well-formed
    linearizable history, and [Gen.corrupt] must either certify a
    non-linearizable perturbation or give up — never raise. *)
-let eval_spec_case ~(spec : Obj_spec.t) (case : Fuzz_case.t) : eval =
+let eval_spec_case ?session ~(spec : Obj_spec.t) (case : Fuzz_case.t) : eval =
   let prng = Prng.create case.nondet_seed in
+  let check h =
+    match session with
+    | Some get -> Checker.check_with (get ()) h
+    | None -> Checker.check spec h
+  in
   match Gen.linearizable_history ~prng ~spec ~workloads:case.workloads with
   | exception e -> Bad (Crash (Printexc.to_string e), [], [])
   | h -> (
     if not (Chistory.well_formed h) then
       Bad (Broken "generated history ill-formed", h, [])
     else
-      match Checker.check spec h with
+      match check h with
       | Checker.Not_linearizable ->
         Bad (Broken "positive fixture rejected by checker", h, [])
       | Checker.Linearizable _ -> (
@@ -215,7 +232,8 @@ let fuzz_impl ?domains ?shrink ?(faults = 0) ?(ops_per_proc = 4) ~trials ~seed
       ~procs:t.iprocs ~max_faults:faults ()
   in
   campaign ?domains ?shrink ~trials ~seed ~name:("impl " ^ t.idesc) ~gen_case
-    ~eval:(eval_impl_case ~impl:t.impl) ()
+    ~eval:(eval_impl_case ~session:(dls_sessions t.impl.target) ~impl:t.impl)
+    ()
 
 let fuzz_spec ?domains ?shrink ?(procs = 3) ?(ops_per_proc = 4) ~trials ~seed
     (t : Targets.spec_target) =
@@ -225,7 +243,7 @@ let fuzz_spec ?domains ?shrink ?(procs = 3) ?(ops_per_proc = 4) ~trials ~seed
       ~procs ~max_faults:0 ()
   in
   campaign ?domains ?shrink ~trials ~seed ~name:("spec " ^ t.desc) ~gen_case
-    ~eval:(eval_spec_case ~spec:t.spec) ()
+    ~eval:(eval_spec_case ~session:(dls_sessions t.spec) ~spec:t.spec) ()
 
 (* --- reporting --------------------------------------------------------- *)
 

@@ -32,10 +32,22 @@ type report = {
 
 type eval = Ok_run | Bad of kind * Chistory.t * Checker.pending list
 
-val eval_impl_case :
-  impl:Lbsa_implement.Implementation.t -> Fuzz_case.t -> eval
+val dls_sessions : Obj_spec.t -> unit -> Checker.session
+(** A domain-local [Checker.session] per calling domain for the given
+    spec, so campaign trials fanned across domains each reuse their own
+    interning tables.  Outcomes never depend on session state. *)
 
-val eval_spec_case : spec:Obj_spec.t -> Fuzz_case.t -> eval
+val eval_impl_case :
+  ?session:(unit -> Checker.session) ->
+  impl:Lbsa_implement.Implementation.t ->
+  Fuzz_case.t ->
+  eval
+(** [session], when given, must produce sessions for [impl.target]
+    (e.g. {!dls_sessions}). *)
+
+val eval_spec_case :
+  ?session:(unit -> Checker.session) -> spec:Obj_spec.t -> Fuzz_case.t -> eval
+(** [session], when given, must produce sessions for [spec]. *)
 
 val fan :
   ?domains:int ->

@@ -115,24 +115,32 @@ let run_clients ?(nondet = First) ?(max_steps = 100_000)
 (* Run and check: the implementation is correct on this workload/schedule
    iff the produced concurrent history — with its in-flight calls given
    the drop-or-any-response completion semantics — linearizes against
-   the target. *)
-let check ?(nondet = First) ?(max_steps = 100_000)
+   the target.  [session] (a [Checker.session] for [impl.target]) reuses
+   the checker's interning tables across checks; the outcome does not
+   depend on it. *)
+let check ?session ?(nondet = First) ?(max_steps = 100_000)
     ~(impl : Implementation.t) ~workloads ~scheduler () =
   let run = run_clients ~nondet ~max_steps ~impl ~workloads ~scheduler () in
-  (run, Checker.check ~pending:run.pending impl.target run.history)
+  let session =
+    match session with Some s -> s | None -> Checker.session impl.target
+  in
+  (run, Checker.check_with ~pending:run.pending session run.history)
 
 (* Randomized campaign: [trials] random schedules (and random object
    adversaries) over the given workloads; returns the trial count on
-   success or the first non-linearizable run. *)
+   success or the first non-linearizable run.  One checker session
+   serves every trial — the campaign is single-threaded and the target
+   spec never changes. *)
 let campaign ~seed ~trials ~(impl : Implementation.t) ~workloads () =
   let prng = Lbsa_util.Prng.create seed in
+  let session = Checker.session impl.target in
   let rec go i =
     if i >= trials then Ok trials
     else
       let sched_seed = Lbsa_util.Prng.int prng 1_000_000_000 in
       let nondet = Random (Lbsa_util.Prng.split prng) in
       let scheduler = Scheduler.random ~seed:sched_seed in
-      let run, outcome = check ~nondet ~impl ~workloads ~scheduler () in
+      let run, outcome = check ~session ~nondet ~impl ~workloads ~scheduler () in
       match outcome with
       | Checker.Linearizable _ -> go (i + 1)
       | Checker.Not_linearizable -> Error (i, run)
@@ -147,6 +155,9 @@ let exhaustive ?(max_steps = 40) ~(impl : Implementation.t) ~workloads () =
   let n = Array.length workloads in
   let checked = ref 0 in
   let failure = ref None in
+  (* One checker session for the whole enumeration: every complete
+     interleaving is checked against the same target spec. *)
+  let session = Checker.session impl.target in
   (* State: per-client todo/current, object states, clock, history. *)
   let rec go todo current objects clock history depth =
     if !failure <> None then ()
@@ -160,7 +171,7 @@ let exhaustive ?(max_steps = 40) ~(impl : Implementation.t) ~workloads () =
             (fun (a : Chistory.call) b -> Stdlib.compare a.inv b.inv)
             history
         in
-        match Checker.check impl.target h with
+        match Checker.check_with session h with
         | Checker.Linearizable _ -> ()
         | Checker.Not_linearizable -> failure := Some h
       end

@@ -32,6 +32,7 @@ val run_clients :
   run
 
 val check :
+  ?session:Checker.session ->
   ?nondet:nondet ->
   ?max_steps:int ->
   impl:Implementation.t ->
@@ -39,6 +40,9 @@ val check :
   scheduler:Scheduler.t ->
   unit ->
   run * Checker.outcome
+(** [session] must be a [Checker.session] for [impl.target]; passing one
+    reuses its interning tables across calls (the outcome does not depend
+    on it).  Campaign-style callers should create one per domain. *)
 
 val campaign :
   seed:int ->

@@ -16,6 +16,20 @@ open Lbsa_spec
    exponential blowup; histories are expected to be small (tens of
    calls).
 
+   Spec states are interned to small ints in a {!session}, and canonical
+   state sets (sorted id lists) are themselves interned, so the DFS
+   threads a single machine int per node and the memo key is just
+   [(done_mask, set id)] — no structural hashing of value trees on the
+   hot path.  On top of that the session memoizes whole transitions:
+   [(set id, op id) -> [(response, next set id)]], filled from the
+   [Obj_spec.branches] memo on first use.  The same (state set, op,
+   response) triples recur across DFS branches and across the thousands
+   of checks of a harness campaign or fuzz run, so a warm session
+   resolves each DFS step with one small hashtable probe.  A session may
+   be reused for any number of checks against the same spec (it only
+   ever caches spec-determined facts, so results are identical with a
+   fresh one); it is not thread-safe — use one session per domain.
+
    Pending calls (invoked but never answered — a process crashed or was
    starved mid-operation) get the standard completion semantics: each one
    may either be dropped (it never took effect) or linearized anywhere
@@ -24,7 +38,21 @@ open Lbsa_spec
    a pending call as an optional step whose application unions the
    next-states of every branch. *)
 
-module VSet = Set.Make (Value)
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module OTbl = Hashtbl.Make (struct
+  type t = Op.t
+
+  let equal = Op.equal
+
+  let hash (o : Op.t) =
+    List.fold_left Value.hash_fold (Hashtbl.hash o.name) o.args
+end)
 
 type pending = { pid : int; op : Op.t; inv : int }
 
@@ -37,12 +65,174 @@ let is_linearizable outcome =
   | Linearizable _ -> true
   | Not_linearizable -> false
 
-let max_calls = 62
+(* The DFS packs the linearized-call set into one OCaml int bitmask; the
+   top (sign) bit stays clear so mask arithmetic is order-preserving. *)
+let max_calls = Sys.int_size - 1
 
-let check ?(memo = true) ?(pending = []) (spec : Obj_spec.t) (h : Chistory.t) :
+type session = {
+  spec : Obj_spec.t;
+  state_ids : int VTbl.t;  (* spec state -> interned id *)
+  mutable state_vals : Value.t array;  (* interned id -> spec state *)
+  mutable n_states : int;
+  op_ids : int OTbl.t;
+  mutable n_ops : int;
+  mutable last_op : (Op.t * int) option;
+      (* one-entry structural cache in front of [op_ids]: workloads draw
+         from a small op menu, so consecutive calls usually carry equal
+         ops and [Op.equal] is cheaper than hashing *)
+  branch_tbl : (int * int, (int * Value.t) array) Hashtbl.t;
+      (* (state id, op id) -> [(next state id, response)] *)
+  set_ids : (int list, int) Hashtbl.t;  (* sorted state ids -> set id *)
+  mutable set_members : int list array;  (* set id -> its sorted ids *)
+  mutable n_sets : int;
+  mutable trans : (int * Value.t * int) list array;
+      (* set id -> (op id, response, successor set id), filled lazily per
+         (op, response); -1 marks "no state admits this response".  Any
+         one set sees a handful of (op, response) pairs, so an assoc list
+         behind an array index beats a hashtable probe. *)
+  mutable trans_any : (int * int) list array;
+      (* set id -> (op id, successor set id over ALL branches) — pending
+         calls, whose response is unconstrained *)
+  mutable init_set : int;  (* interned {initial} *)
+}
+
+let intern_state t v =
+  match VTbl.find_opt t.state_ids v with
+  | Some i -> i
+  | None ->
+    let i = t.n_states in
+    if i = Array.length t.state_vals then begin
+      let a = Array.make (max 8 (2 * i)) v in
+      Array.blit t.state_vals 0 a 0 i;
+      t.state_vals <- a
+    end;
+    t.state_vals.(i) <- v;
+    VTbl.add t.state_ids v i;
+    t.n_states <- i + 1;
+    i
+
+let intern_op t op =
+  match t.last_op with
+  | Some (o, i) when Op.equal o op -> i
+  | _ ->
+    let i =
+      match OTbl.find_opt t.op_ids op with
+      | Some i -> i
+      | None ->
+        let i = t.n_ops in
+        OTbl.add t.op_ids op i;
+        t.n_ops <- i + 1;
+        i
+    in
+    t.last_op <- Some (op, i);
+    i
+
+let intern_set t ids =
+  match Hashtbl.find_opt t.set_ids ids with
+  | Some i -> i
+  | None ->
+    let i = t.n_sets in
+    if i = Array.length t.set_members then begin
+      let cap = max 8 (2 * i) in
+      let a = Array.make cap ids in
+      Array.blit t.set_members 0 a 0 i;
+      t.set_members <- a;
+      let tr = Array.make cap [] in
+      Array.blit t.trans 0 tr 0 i;
+      t.trans <- tr;
+      let ta = Array.make cap [] in
+      Array.blit t.trans_any 0 ta 0 i;
+      t.trans_any <- ta
+    end;
+    t.set_members.(i) <- ids;
+    Hashtbl.add t.set_ids ids i;
+    t.n_sets <- i + 1;
+    i
+
+let branches t s_id op_id op =
+  match Hashtbl.find_opt t.branch_tbl (s_id, op_id) with
+  | Some a -> a
+  | None ->
+    let bs = Obj_spec.branches t.spec t.state_vals.(s_id) op in
+    let a =
+      Array.of_list
+        (List.map
+           (fun (b : Obj_spec.branch) -> (intern_state t b.next, b.response))
+           bs)
+    in
+    Hashtbl.add t.branch_tbl (s_id, op_id) a;
+    a
+
+(* Successor set of [set_id] under a completed call: every branch of
+   every member state whose response matches.  Memoized per (set, op)
+   as a response assoc; returns -1 when the set dies. *)
+let step t set_id op_id op response =
+  let rec assoc = function
+    | [] ->
+      let acc = ref [] in
+      List.iter
+        (fun s ->
+          Array.iter
+            (fun (next, resp) ->
+              if Value.equal resp response then acc := next :: !acc)
+            (branches t s op_id op))
+        t.set_members.(set_id);
+      let next =
+        match List.sort_uniq compare !acc with
+        | [] -> -1
+        | ids -> intern_set t ids
+      in
+      (* [intern_set] may have swapped [t.trans] for a grown copy:
+         re-read it when consing. *)
+      t.trans.(set_id) <- (op_id, response, next) :: t.trans.(set_id);
+      next
+    | (o, r, next) :: tl ->
+      if o = op_id && Value.equal r response then next else assoc tl
+  in
+  assoc t.trans.(set_id)
+
+(* Successor set under a linearized pending call: any branch goes. *)
+let step_any t set_id op_id op =
+  let rec assoc = function
+    | [] ->
+      let acc = ref [] in
+      List.iter
+        (fun s ->
+          Array.iter (fun (next, _) -> acc := next :: !acc)
+            (branches t s op_id op))
+        t.set_members.(set_id);
+      let next = intern_set t (List.sort_uniq compare !acc) in
+      t.trans_any.(set_id) <- (op_id, next) :: t.trans_any.(set_id);
+      next
+    | (o, next) :: tl -> if o = op_id then next else assoc tl
+  in
+  assoc t.trans_any.(set_id)
+
+let session (spec : Obj_spec.t) =
+  let t =
+    {
+      spec;
+      state_ids = VTbl.create 16;
+      state_vals = [||];
+      n_states = 0;
+      op_ids = OTbl.create 16;
+      n_ops = 0;
+      last_op = None;
+      branch_tbl = Hashtbl.create 16;
+      set_ids = Hashtbl.create 16;
+      set_members = [||];
+      n_sets = 0;
+      trans = [||];
+      trans_any = [||];
+      init_set = 0;
+    }
+  in
+  let s0 = intern_state t spec.initial in
+  t.init_set <- intern_set t [ s0 ];
+  t
+
+let check_with ?(memo = true) ?(pending = []) (t : session) (h : Chistory.t) :
     outcome =
-  if not (Chistory.well_formed h) then
-    invalid_arg "Checker.check: history is not well-formed";
   let calls = Array.of_list h in
   let nc = Array.length calls in
   let pend = Array.of_list pending in
@@ -63,74 +253,87 @@ let check ?(memo = true) ?(pending = []) (spec : Obj_spec.t) (h : Chistory.t) :
   (* Calls are indexed [0, nc) completed then [nc, n) pending.
      pred_mask.(i) = bitmask of calls that must precede call i.  Pending
      calls never respond, so nothing is ever constrained to follow one:
-     their bits appear in no mask. *)
-  let pred_mask =
-    Array.init n (fun i ->
-        let m = ref 0 in
-        if i < nc then
-          for j = 0 to nc - 1 do
-            if j <> i && Chistory.precedes calls.(j) calls.(i) then
-              m := !m lor (1 lsl j)
-          done
-        else
-          for j = 0 to nc - 1 do
-            if calls.(j).res < pend.(i - nc).inv then m := !m lor (1 lsl j)
-          done;
-        !m)
-  in
+     their bits appear in no mask.  The same all-pairs scan checks
+     well-formedness (each process's intervals pairwise disjoint, as in
+     {!Chistory.well_formed}) — one pass instead of two. *)
+  let pred_mask = Array.make n 0 in
+  for i = 0 to nc - 1 do
+    let ci = calls.(i) in
+    let m = ref 0 in
+    for j = 0 to nc - 1 do
+      if j <> i then begin
+        let cj = calls.(j) in
+        if cj.res < ci.inv then m := !m lor (1 lsl j)
+        else if cj.pid = ci.pid && cj.inv <= ci.res then
+          invalid_arg "Checker.check: history is not well-formed"
+      end
+    done;
+    pred_mask.(i) <- !m
+  done;
+  for k = 0 to np - 1 do
+    let inv_p = pend.(k).inv in
+    let m = ref 0 in
+    for j = 0 to nc - 1 do
+      if calls.(j).res < inv_p then m := !m lor (1 lsl j)
+    done;
+    pred_mask.(nc + k) <- !m
+  done;
+  let op_id = Array.make n 0 in
+  for i = 0 to n - 1 do
+    op_id.(i) <- intern_op t (if i < nc then calls.(i).op else pend.(i - nc).op)
+  done;
   let full_completed = (1 lsl nc) - 1 in
-  (* Memo: (done_mask, states) -> false means "no completion from here".
-     Positive results short-circuit the DFS by raising. *)
-  let visited : (int * Value.t list, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Memo: (done_mask, state-set id) present means "no completion from
+     here".  Per-check (done_mask is history-relative) and allocated
+     lazily: a greedily-linearizable history never stores a dead node,
+     so the common passing check builds no table at all.  Positive
+     results short-circuit the DFS by raising. *)
+  let visited : (int * int, unit) Hashtbl.t option ref = ref None in
+  let visited_tbl () =
+    match !visited with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      visited := Some tbl;
+      tbl
+  in
   let exception Found of Chistory.call list in
-  let apply_call states (c : Chistory.call) =
-    VSet.fold
-      (fun s acc ->
-        List.fold_left
-          (fun acc (b : Obj_spec.branch) ->
-            if Value.equal b.response c.response then VSet.add b.next acc
-            else acc)
-          acc
-          (Obj_spec.branches spec s c.op))
-      states VSet.empty
-  in
-  (* A linearized pending call may take any branch. *)
-  let apply_pending states (p : pending) =
-    VSet.fold
-      (fun s acc ->
-        List.fold_left
-          (fun acc (b : Obj_spec.branch) -> VSet.add b.next acc)
-          acc
-          (Obj_spec.branches spec s p.op))
-      states VSet.empty
-  in
-  let rec go done_mask states acc =
+  let rec go done_mask set_id acc =
     if done_mask land full_completed = full_completed then
       raise (Found (List.rev acc))
     else
-      let key = (done_mask, VSet.elements states) in
-      if memo && Hashtbl.mem visited key then ()
-      else begin
+      let seen =
+        memo
+        &&
+        match !visited with
+        | Some tbl -> Hashtbl.mem tbl (done_mask, set_id)
+        | None -> false
+      in
+      if not seen then begin
         for i = 0 to n - 1 do
           let bit = 1 lsl i in
           if done_mask land bit = 0 && pred_mask.(i) land lnot done_mask = 0
           then
             if i < nc then begin
-              let states' = apply_call states calls.(i) in
-              if not (VSet.is_empty states') then
-                go (done_mask lor bit) states' (calls.(i) :: acc)
+              let set' = step t set_id op_id.(i) calls.(i).op calls.(i).response in
+              if set' >= 0 then go (done_mask lor bit) set' (calls.(i) :: acc)
             end
             else
               (* The witness lists completed calls only; a linearized
                  pending call has no recorded response to report. *)
-              go (done_mask lor bit) (apply_pending states pend.(i - nc)) acc
+              go (done_mask lor bit)
+                (step_any t set_id op_id.(i) pend.(i - nc).op)
+                acc
         done;
-        if memo then Hashtbl.replace visited key ()
+        if memo then Hashtbl.replace (visited_tbl ()) (done_mask, set_id) ()
       end
   in
-  match go 0 (VSet.singleton spec.initial) [] with
+  match go 0 t.init_set [] with
   | () -> Not_linearizable
   | exception Found order -> Linearizable order
+
+let check ?memo ?pending (spec : Obj_spec.t) (h : Chistory.t) : outcome =
+  check_with ?memo ?pending (session spec) h
 
 let pp_outcome ppf = function
   | Linearizable order ->

@@ -30,25 +30,19 @@ let pp ppf h =
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,") pp_call) h
 
 (* Well-formedness: each process's calls are sequential (its intervals
-   are disjoint and ordered). *)
+   are disjoint and ordered).  Since every call satisfies inv < res,
+   that is exactly pairwise disjointness of same-process intervals,
+   checked allocation-free — this runs on every [Checker] invocation. *)
 let well_formed (h : t) =
-  let by_pid = Hashtbl.create 8 in
-  List.iter
-    (fun c ->
-      let cur = Option.value (Hashtbl.find_opt by_pid c.pid) ~default:[] in
-      Hashtbl.replace by_pid c.pid (c :: cur))
-    h;
-  Hashtbl.fold
-    (fun _ calls acc ->
-      acc
-      &&
-      let sorted = List.sort (fun a b -> Stdlib.compare a.inv b.inv) calls in
-      let rec ok = function
-        | a :: (b :: _ as rest) -> a.res < b.inv && ok rest
-        | _ -> true
-      in
-      ok sorted)
-    by_pid true
+  let rec ok = function
+    | [] -> true
+    | c :: rest ->
+      List.for_all
+        (fun c' -> c'.pid <> c.pid || c'.res < c.inv || c.res < c'.inv)
+        rest
+      && ok rest
+  in
+  ok h
 
 (* A sequential history (one call at a time) from per-process op lists,
    for building known-linearizable test fixtures. *)

@@ -511,6 +511,17 @@ let out_edges t id =
 
 let iter_nodes f t = Array.iteri (fun id config -> f id config) t.nodes
 
+let find_map_node t f =
+  let n = Array.length t.nodes in
+  let rec go id =
+    if id >= n then None
+    else match f id t.nodes.(id) with Some _ as r -> r | None -> go (id + 1)
+  in
+  go 0
+
+let find_node t p =
+  find_map_node t (fun id config -> if p id config then Some id else None)
+
 let require_complete t = if t.truncated then raise Truncated
 
 (* Shortest path (in steps) from the initial node to [target], as the
@@ -549,78 +560,88 @@ let shortest_path t ~target =
 
 let schedule_of_path edges = List.map (fun e -> e.pid) edges
 
-(* Strongly connected components (iterative Kosaraju), used for the
-   wait-freedom and livelock analyses.  Returns the component id of each
-   node and the component count; ids are assigned in topological order of
-   the condensation (sources first).  Both passes walk the flat CSR edge
-   array by index — no per-node list allocation. *)
+(* Strongly connected components (iterative Tarjan), used for the
+   valence, wait-freedom and livelock analyses.  Returns the component
+   id of each node and the component count; ids are assigned in
+   topological order of the condensation (sources first).  One DFS over
+   the flat CSR edge array with preallocated int-array stacks — no
+   reverse-graph build, no per-node allocation. *)
 let scc t =
   let n = n_nodes t in
-  (* Pass 1: forward DFS, record finish order. *)
-  let visited = Array.make n false in
-  let finish_order = ref [] in
+  let n_edges = Array.length t.edges in
+  (* Flatten edge targets into an int array once so the DFS scans plain
+     ints instead of chasing edge records. *)
+  let target = Array.make (max n_edges 1) 0 in
+  for i = 0 to n_edges - 1 do
+    target.(i) <- t.edges.(i).target
+  done;
+  let index = Array.make n (-1) in  (* discovery order; -1 = unvisited *)
+  let lowlink = Array.make n 0 in
+  (* A node is on Tarjan's component stack iff it has been discovered
+     and not yet assigned a component, so no separate on-stack flag. *)
+  let comp = Array.make n (-1) in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* Tarjan's component stack plus an explicit DFS stack. *)
+  let comp_stack = Array.make (max n 1) 0 in
+  let comp_sp = ref 0 in
+  let stack_node = Array.make (max n 1) 0 in
+  let stack_edge = Array.make (max n 1) 0 in
+  let push v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    comp_stack.(!comp_sp) <- v;
+    incr comp_sp
+  in
   for start = 0 to n - 1 do
-    if not visited.(start) then begin
-      let stack = ref [ (start, ref t.offsets.(start)) ] in
-      visited.(start) <- true;
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | (u, next_edge) :: rest ->
-          if !next_edge >= t.offsets.(u + 1) then begin
-            finish_order := u :: !finish_order;
-            stack := rest
+    if index.(start) = -1 then begin
+      let sp = ref 0 in
+      stack_node.(0) <- start;
+      stack_edge.(0) <- t.offsets.(start);
+      push start;
+      while !sp >= 0 do
+        let u = stack_node.(!sp) in
+        let ei = stack_edge.(!sp) in
+        if ei >= t.offsets.(u + 1) then begin
+          (* u finished: emit its component if it is a root, then fold
+             its lowlink into its DFS parent. *)
+          if lowlink.(u) = index.(u) then begin
+            let c = !next_comp in
+            incr next_comp;
+            let rec pop () =
+              decr comp_sp;
+              let v = comp_stack.(!comp_sp) in
+              comp.(v) <- c;
+              if v <> u then pop ()
+            in
+            pop ()
+          end;
+          decr sp;
+          if !sp >= 0 then begin
+            let p = stack_node.(!sp) in
+            if lowlink.(u) < lowlink.(p) then lowlink.(p) <- lowlink.(u)
           end
-          else begin
-            let e = t.edges.(!next_edge) in
-            incr next_edge;
-            if not visited.(e.target) then begin
-              visited.(e.target) <- true;
-              stack := (e.target, ref t.offsets.(e.target)) :: !stack
-            end
+        end
+        else begin
+          stack_edge.(!sp) <- ei + 1;
+          let v = target.(ei) in
+          if index.(v) = -1 then begin
+            push v;
+            incr sp;
+            stack_node.(!sp) <- v;
+            stack_edge.(!sp) <- t.offsets.(v)
           end
+          else if comp.(v) = -1 && index.(v) < lowlink.(u) then
+            lowlink.(u) <- index.(v)
+        end
       done
     end
   done;
-  (* Reverse adjacency in CSR form: count in-degrees, then fill. *)
-  let rev_offsets = Array.make (n + 1) 0 in
-  Array.iter
-    (fun e -> rev_offsets.(e.target + 1) <- rev_offsets.(e.target + 1) + 1)
-    t.edges;
-  for i = 1 to n do
-    rev_offsets.(i) <- rev_offsets.(i) + rev_offsets.(i - 1)
+  (* Tarjan emits components sinks-first; flip the numbering so ids are
+     in topological order of the condensation, sources first. *)
+  let nc = !next_comp in
+  for u = 0 to n - 1 do
+    comp.(u) <- nc - 1 - comp.(u)
   done;
-  let rev = Array.make (Array.length t.edges) 0 in
-  let cursor = Array.copy rev_offsets in
-  Array.iteri
-    (fun u _ ->
-      iter_out_edges t u (fun e ->
-          rev.(cursor.(e.target)) <- u;
-          cursor.(e.target) <- cursor.(e.target) + 1))
-    t.nodes;
-  (* Pass 2: DFS on the reverse graph in finish order. *)
-  let comp = Array.make n (-1) in
-  let next_comp = ref 0 in
-  List.iter
-    (fun start ->
-      if comp.(start) = -1 then begin
-        let c = !next_comp in
-        incr next_comp;
-        let stack = ref [ start ] in
-        comp.(start) <- c;
-        while !stack <> [] do
-          match !stack with
-          | [] -> ()
-          | u :: rest ->
-            stack := rest;
-            for i = rev_offsets.(u) to rev_offsets.(u + 1) - 1 do
-              let v = rev.(i) in
-              if comp.(v) = -1 then begin
-                comp.(v) <- c;
-                stack := v :: !stack
-              end
-            done
-        done
-      end)
-    !finish_order;
-  (comp, !next_comp)
+  (comp, nc)

@@ -83,6 +83,14 @@ val fold_out_edges : t -> int -> ('a -> edge -> 'a) -> 'a -> 'a
 val exists_out_edge : t -> int -> (edge -> bool) -> bool
 val iter_nodes : (int -> Config.t -> unit) -> t -> unit
 
+val find_node : t -> (int -> Config.t -> bool) -> int option
+(** Lowest node id satisfying the predicate, stopping at the first hit —
+    node ids are BFS order, so this is also the shallowest such
+    configuration. *)
+
+val find_map_node : t -> (int -> Config.t -> 'a option) -> 'a option
+(** First [Some] produced by [f] in node-id order, stopping there. *)
+
 val require_complete : t -> unit
 (** Raises {!Truncated} if the graph was cut off at [max_states]. *)
 
@@ -97,5 +105,5 @@ val schedule_of_path : edge list -> int list
     with a matching adversary. *)
 
 val scc : t -> int array * int
-(** Strongly connected components (Kosaraju): per-node component id and
+(** Strongly connected components (Tarjan): per-node component id and
     component count, ids in topological order of the condensation. *)

@@ -48,30 +48,18 @@ let pass ?stats ~inputs ~states () =
    it (including self-loops). *)
 let cycle_with_step_of (graph : Graph.t) pid =
   let comp, _ = Graph.scc graph in
-  let found = ref None in
-  Graph.iter_nodes
-    (fun u _ ->
-      if !found = None then
-        Graph.iter_out_edges graph u (fun e ->
-            if !found = None && e.pid = pid && comp.(u) = comp.(e.target) then
-              found := Some u))
-    graph;
-  !found
+  Graph.find_node graph (fun u _ ->
+      Graph.exists_out_edge graph u (fun e ->
+          e.pid = pid && comp.(u) = comp.(e.target)))
 
 (* Any cycle at all (some process can run forever). *)
 let any_cycle (graph : Graph.t) =
   let comp, n_comps = Graph.scc graph in
   let sizes = Array.make n_comps 0 in
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
-  let found = ref None in
-  Graph.iter_nodes
-    (fun u _ ->
-      if !found = None then
-        if sizes.(comp.(u)) > 1 then found := Some u
-        else if Graph.exists_out_edge graph u (fun e -> e.target = u) then
-          found := Some u)
-    graph;
-  !found
+  Graph.find_node graph (fun u _ ->
+      sizes.(comp.(u)) > 1
+      || Graph.exists_out_edge graph u (fun e -> e.target = u))
 
 (* Solo termination of [pid] from [config]: explore the pid-solo subgraph
    (all nondeterministic branches), requiring that every run halts pid in
@@ -122,15 +110,14 @@ let check_consensus ?(max_states = Graph.default_max_states) ?domains ~machine
   if graph.truncated then
     fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
-    let violation = ref None in
-    Graph.iter_nodes
-      (fun _ config ->
-        if !violation = None then
+    let violation =
+      Graph.find_map_node graph (fun _ config ->
           match Lbsa_protocols.Consensus_task.check_safety ~inputs config with
-          | Ok () -> ()
-          | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
-      graph;
-    match !violation with
+          | Ok () -> None
+          | Error v ->
+            Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
+    in
+    match violation with
     | Some msg -> fail ~stats ~inputs ~states msg
     | None -> (
       let n = Array.length inputs in
@@ -155,15 +142,14 @@ let check_kset ?(max_states = Graph.default_max_states) ?domains ~machine
   if graph.truncated then
     fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
-    let violation = ref None in
-    Graph.iter_nodes
-      (fun _ config ->
-        if !violation = None then
+    let violation =
+      Graph.find_map_node graph (fun _ config ->
           match Lbsa_protocols.Kset_task.check_safety ~k ~inputs config with
-          | Ok () -> ()
-          | Error v -> violation := Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
-      graph;
-    match !violation with
+          | Ok () -> None
+          | Error v ->
+            Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
+    in
+    match violation with
     | Some msg -> fail ~stats ~inputs ~states msg
     | None -> (
       match any_cycle graph with
@@ -189,38 +175,36 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ~machine ~specs
   if graph.truncated then
     fail ~stats ~inputs ~states "state space truncated; increase max_states"
   else
-    let violation = ref None in
-    let note fmt = Fmt.kstr (fun s -> if !violation = None then violation := Some s) fmt in
-    (* Safety at every node. *)
-    Graph.iter_nodes
-      (fun id config ->
-        if !violation = None then begin
-          (match Lbsa_protocols.Dac.check_agreement config with
-          | Ok () -> ()
-          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v);
-          (match Lbsa_protocols.Dac.check_validity ~inputs config with
-          | Ok () -> ()
-          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v);
-          match Lbsa_protocols.Dac.check_aborts config with
-          | Ok () -> ()
-          | Error v -> note "node %d: %a" id Lbsa_protocols.Dac.pp_violation v
-        end)
-      graph;
+    let ( <|> ) a b = match a with None -> b () | Some _ -> a in
+    (* Safety at every node, stopping at the first violation. *)
+    let safety () =
+      Graph.find_map_node graph (fun id config ->
+          let of_result = function
+            | Ok () -> None
+            | Error v ->
+              Some (Fmt.str "node %d: %a" id Lbsa_protocols.Dac.pp_violation v)
+          in
+          of_result (Lbsa_protocols.Dac.check_agreement config)
+          <|> (fun () ->
+                of_result (Lbsa_protocols.Dac.check_validity ~inputs config))
+          <|> fun () -> of_result (Lbsa_protocols.Dac.check_aborts config))
+    in
     (* Nontriviality: explore p-solo subgraph from the initial config. *)
-    if !violation = None then begin
+    let nontriviality () =
+      let exception Abort_found in
       let rec p_solo config =
-        if !violation <> None then ()
-        else if config.Config.status.(p) = Config.Aborted then
-          note "nontriviality: p aborted in a p-solo run"
+        if config.Config.status.(p) = Config.Aborted then raise Abort_found
         else if Config.is_running config p then
           List.iter
             (fun (c', _) -> p_solo c')
             (Config.step_branches ~machine ~specs config p)
       in
-      p_solo (Graph.node graph graph.initial)
-    end;
+      match p_solo (Graph.node graph graph.initial) with
+      | () -> None
+      | exception Abort_found -> Some "nontriviality: p aborted in a p-solo run"
+    in
     (* Termination (a) and (b) from every node. *)
-    if !violation = None then begin
+    let termination () =
       let cache_a = solo_cache () in
       let caches_b = Hashtbl.create 8 in
       let accept_a = function
@@ -231,32 +215,34 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ~machine ~specs
         | Config.Decided _ -> true
         | Config.Running | Config.Aborted | Config.Crashed -> false
       in
-      Graph.iter_nodes
-        (fun id config ->
-          if !violation = None then begin
-            if
-              Config.is_running config p
-              && not (solo_halts ~cache:cache_a ~machine ~specs ~pid:p ~accept:accept_a config)
-            then note "node %d: termination (a) fails for p" id;
-            List.iter
-              (fun q ->
-                if !violation = None && q <> p then begin
-                  let cache =
-                    match Hashtbl.find_opt caches_b q with
-                    | Some c -> c
-                    | None ->
-                      let c = solo_cache () in
-                      Hashtbl.replace caches_b q c;
-                      c
-                  in
-                  if not (solo_halts ~cache ~machine ~specs ~pid:q ~accept:accept_b config)
-                  then note "node %d: termination (b) fails for q%d" id q
-                end)
-              (Config.running config)
-          end)
-        graph
-    end;
-    match !violation with
+      Graph.find_map_node graph (fun id config ->
+          (if
+             Config.is_running config p
+             && not
+                  (solo_halts ~cache:cache_a ~machine ~specs ~pid:p
+                     ~accept:accept_a config)
+           then Some (Fmt.str "node %d: termination (a) fails for p" id)
+           else None)
+          <|> fun () ->
+          List.find_map
+            (fun q ->
+              if q = p then None
+              else
+                let cache =
+                  match Hashtbl.find_opt caches_b q with
+                  | Some c -> c
+                  | None ->
+                    let c = solo_cache () in
+                    Hashtbl.replace caches_b q c;
+                    c
+                in
+                if
+                  not (solo_halts ~cache ~machine ~specs ~pid:q ~accept:accept_b config)
+                then Some (Fmt.str "node %d: termination (b) fails for q%d" id q)
+                else None)
+            (Config.running config))
+    in
+    match safety () <|> nontriviality <|> termination with
     | Some msg -> fail ~stats ~inputs ~states msg
     | None -> pass ~stats ~inputs ~states ()
 
@@ -283,15 +269,11 @@ let pp_witness ppf w =
 let find_safety_witness ?(max_states = Graph.default_max_states) ~machine ~specs
     ~inputs ~(judge : Config.t -> string option) () =
   let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
-  let found = ref None in
-  Graph.iter_nodes
-    (fun id config ->
-      if !found = None then
-        match judge config with
-        | Some violation -> found := Some (id, config, violation)
-        | None -> ())
-    graph;
-  match !found with
+  let found =
+    Graph.find_map_node graph (fun id config ->
+        Option.map (fun violation -> (id, config, violation)) (judge config))
+  in
+  match found with
   | None -> None
   | Some (id, config, violation) ->
     let path = Option.get (Graph.shortest_path graph ~target:id) in
@@ -319,13 +301,107 @@ let dac_witness ?max_states ~machine ~specs ~inputs () =
   find_safety_witness ?max_states ~machine ~specs ~inputs ~judge ()
 
 (* Check a task over a whole family of input vectors; returns the first
-   failing verdict or the last passing one. *)
-let for_all_inputs check inputs_list =
+   failing verdict or the last passing one.  [domains] > 1 fans the
+   vectors out across that many domains in contiguous chunks — each
+   vector builds an independent graph — with the winning (lowest) failing
+   index agreed by CAS-min, so the verdict is identical for any domain
+   count (the same trick as the fuzzer's [Engine.fan]; this library sits
+   below the fuzzer, so the fan is reimplemented here).  When fanning
+   out, the per-vector check should itself run with [~domains:1] to avoid
+   oversubscription. *)
+
+type family_stats = {
+  vectors : int;
+  fan_domains : int;
+  total_states : int;
+  wall_s : float;
+  vectors_per_sec : float;
+}
+
+let pp_family_stats ppf s =
+  Fmt.pf ppf
+    "family: %d vectors, %d states total, %.3f s (%.0f vectors/s, %d domain%s)"
+    s.vectors s.total_states s.wall_s s.vectors_per_sec s.fan_domains
+    (if s.fan_domains = 1 then "" else "s")
+
+let for_all_inputs_timed ?(domains = 1) check inputs_list =
   if inputs_list = [] then invalid_arg "Solvability.for_all_inputs: no inputs";
-  let rec go last = function
-    | [] -> Option.get last
-    | inputs :: rest ->
-      let v = check inputs in
-      if v.ok then go (Some v) rest else v
+  if domains < 1 then
+    invalid_arg "Solvability.for_all_inputs: domains must be >= 1";
+  let vectors = Array.of_list inputs_list in
+  let n = Array.length vectors in
+  let d = min domains n in
+  let t0 = Unix.gettimeofday () in
+  let states = Atomic.make 0 in
+  let checked v =
+    ignore (Atomic.fetch_and_add states v.states);
+    v
   in
-  go None inputs_list
+  let verdict =
+    if d = 1 then begin
+      let rec go last i =
+        if i >= n then Option.get last
+        else
+          let v = checked (check vectors.(i)) in
+          if v.ok then go (Some v) (i + 1) else v
+      in
+      go None 0
+    end
+    else begin
+      let best = Atomic.make max_int in
+      let found = Array.make d None in
+      let last = Atomic.make None in
+      let chunk = (n + d - 1) / d in
+      let work k =
+        let lo = k * chunk and hi = min n ((k + 1) * chunk) in
+        let i = ref lo in
+        while !i < hi && !i < Atomic.get best do
+          let v = checked (check vectors.(!i)) in
+          (if not v.ok then begin
+             found.(k) <- Some (!i, v);
+             let rec cas_min () =
+               let b = Atomic.get best in
+               if !i < b && not (Atomic.compare_and_set best b !i) then
+                 cas_min ()
+             in
+             cas_min ();
+             i := hi (* later vectors in this chunk cannot beat this find *)
+           end
+           else if !i = n - 1 then Atomic.set last (Some v));
+          incr i
+        done
+      in
+      let spawned =
+        List.init (d - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+      in
+      work 0;
+      List.iter Domain.join spawned;
+      let first_fail =
+        Array.fold_left
+          (fun acc x ->
+            match (acc, x) with
+            | Some (i, _), Some (j, _) when j < i -> x
+            | None, x -> x
+            | acc, _ -> acc)
+          None found
+      in
+      match first_fail with
+      | Some (_, v) -> v
+      | None ->
+        (* No chunk failed, so every chunk ran to completion and the owner
+           of the last vector recorded its (passing) verdict. *)
+        Option.get (Atomic.get last)
+    end
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  ( verdict,
+    {
+      vectors = n;
+      fan_domains = d;
+      total_states = Atomic.get states;
+      wall_s;
+      vectors_per_sec = (if wall_s > 0. then float_of_int n /. wall_s else 0.);
+    } )
+
+let for_all_inputs ?domains check inputs_list =
+  fst (for_all_inputs_timed ?domains check inputs_list)

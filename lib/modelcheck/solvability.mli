@@ -115,7 +115,30 @@ val dac_witness :
   unit ->
   witness option
 
+(** {2 Input-family sweeps} *)
+
+type family_stats = {
+  vectors : int;  (** input vectors in the family *)
+  fan_domains : int;  (** domains actually used by the fan-out *)
+  total_states : int;  (** sum of [verdict.states] over checked vectors *)
+  wall_s : float;
+  vectors_per_sec : float;
+}
+
+val pp_family_stats : Format.formatter -> family_stats -> unit
+
 val for_all_inputs :
-  (Value.t array -> verdict) -> Value.t array list -> verdict
+  ?domains:int -> (Value.t array -> verdict) -> Value.t array list -> verdict
 (** First failing verdict over a family of input vectors, or the last
-    passing one. *)
+    passing one.  [domains] (default 1) fans vectors out across that many
+    domains; the verdict — including which failing vector wins — is
+    identical for any domain count (lowest failing index, agreed by
+    CAS-min).  When [domains > 1], run the per-vector check itself with
+    [~domains:1] to avoid oversubscribing cores. *)
+
+val for_all_inputs_timed :
+  ?domains:int ->
+  (Value.t array -> verdict) ->
+  Value.t array list ->
+  verdict * family_stats
+(** Same, plus wall-clock/throughput statistics for the whole sweep. *)

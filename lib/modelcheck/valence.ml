@@ -8,11 +8,19 @@ open Lbsa_runtime
 
    We compute, for every node of a configuration graph, the set of values
    that appear as decisions in configurations reachable from it (plus
-   whether an abort is reachable), by a fixpoint over the graph — the
-   graph may have cycles (spinning protocols), so a plain DFS does not
-   suffice. *)
+   whether an abort is reachable).  The decision domain of a real graph is
+   tiny (a handful of values), so we intern decision values to small ints
+   and represent each node's reachable-decision set as a bitmask.  The
+   reachable set is constant on every strongly connected component, so one
+   reverse-topological pass over the [Graph.scc] condensation computes the
+   exact fixpoint — cycles (spinning protocols) included — with a single
+   [lor] per edge.
+
+   The seed worklist fixpoint is kept as {!analyze_fixpoint}, the
+   differential-testing oracle (same pattern as [Graph.build_cmap]). *)
 
 module VSet = Set.Make (Value)
+module VTbl = Hashtbl.Make (Value)
 
 type classification =
   | Valent of Value.t  (* exactly one reachable decision value *)
@@ -21,21 +29,146 @@ type classification =
 
 type analysis = {
   graph : Graph.t;
-  decisions : VSet.t array;  (* reachable decision values per node *)
-  abort_reachable : bool array;
+  table : Value.t array;  (* interned decision id -> value *)
+  masks : int array;  (* reachable decision ids per node, as a bitmask *)
+  aborts : bool array;
 }
 
-let local_decisions (config : Config.t) =
-  List.fold_left (fun s v -> VSet.add v s) VSet.empty (Config.decisions config)
-
 let local_abort (config : Config.t) =
-  Array.exists (fun st -> st = Config.Aborted) config.status
+  let st = config.status in
+  let len = Array.length st in
+  let rec go i =
+    i < len
+    && (match st.(i) with Config.Aborted -> true | _ -> go (i + 1))
+  in
+  go 0
 
-(* Fixpoint propagation: ds(C) = decided(C) ∪ ⋃_{C -> C'} ds(C').
-   We iterate a worklist until stable; each node's set only grows and is
-   bounded by the (finite) decision domain, so this terminates. *)
+(* Intern every decision value appearing in the graph (first occurrence in
+   node-id order) and return the per-node local-decision bitmasks.  The
+   decision domain of any graph we build is a handful of values — far
+   below the word size (the guard is belt-and-braces for pathological
+   inputs) — so a linear scan over the table beats hashing every
+   decision of every node. *)
+let intern_decisions (graph : Graph.t) =
+  let n = Graph.n_nodes graph in
+  let table = ref [||] in
+  let count = ref 0 in
+  let intern v =
+    let tbl = !table in
+    let k = !count in
+    let rec find i =
+      if i >= k then begin
+        if k >= Sys.int_size - 1 then
+          invalid_arg "Valence.analyze: decision domain exceeds word size";
+        if k = Array.length tbl then begin
+          let a = Array.make (max 4 (2 * k)) v in
+          Array.blit tbl 0 a 0 k;
+          table := a
+        end;
+        !table.(k) <- v;
+        count := k + 1;
+        k
+      end
+      else if Value.equal tbl.(i) v then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let local = Array.make n 0 in
+  for id = 0 to n - 1 do
+    List.iter
+      (fun v -> local.(id) <- local.(id) lor (1 lsl intern v))
+      (Config.decisions (Graph.node graph id))
+  done;
+  (Array.sub !table 0 !count, local)
+
+(* One pass over the condensation: [Graph.scc] numbers components in
+   topological order (sources first), so processing components in
+   descending id order sees every successor component finalized.  Edges
+   internal to a component only re-union the component with itself. *)
 let analyze (graph : Graph.t) =
   let n = Graph.n_nodes graph in
+  let comp, n_comps = Graph.scc graph in
+  let cmask = Array.make n_comps 0 in
+  let cabort = Array.make n_comps false in
+  (* Intern decisions and seed the per-component masks in one pass over
+     the nodes (same first-occurrence interning order as
+     {!intern_decisions}, which the oracle uses). *)
+  let table = ref [||] in
+  let count = ref 0 in
+  let intern v =
+    let tbl = !table in
+    let k = !count in
+    let rec find i =
+      if i >= k then begin
+        if k >= Sys.int_size - 1 then
+          invalid_arg "Valence.analyze: decision domain exceeds word size";
+        if k = Array.length tbl then begin
+          let a = Array.make (max 4 (2 * k)) v in
+          Array.blit tbl 0 a 0 k;
+          table := a
+        end;
+        !table.(k) <- v;
+        count := k + 1;
+        k
+      end
+      else if Value.equal tbl.(i) v then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  for u = 0 to n - 1 do
+    let st = (Graph.node graph u).Config.status in
+    let c = comp.(u) in
+    for p = 0 to Array.length st - 1 do
+      match st.(p) with
+      | Config.Decided v -> cmask.(c) <- cmask.(c) lor (1 lsl intern v)
+      | Config.Aborted -> cabort.(c) <- true
+      | Config.Running | Config.Crashed -> ()
+    done
+  done;
+  let table = Array.sub !table 0 !count in
+  (* Group node ids by component (counting sort into a CSR layout) so the
+     reverse-topological sweep touches each edge exactly once. *)
+  let counts = Array.make (n_comps + 1) 0 in
+  for u = 0 to n - 1 do
+    counts.(comp.(u) + 1) <- counts.(comp.(u) + 1) + 1
+  done;
+  for c = 1 to n_comps do
+    counts.(c) <- counts.(c) + counts.(c - 1)
+  done;
+  let members = Array.make n 0 in
+  let cursor = Array.copy counts in
+  for u = 0 to n - 1 do
+    let c = comp.(u) in
+    members.(cursor.(c)) <- u;
+    cursor.(c) <- cursor.(c) + 1
+  done;
+  for c = n_comps - 1 downto 0 do
+    for i = counts.(c) to counts.(c + 1) - 1 do
+      let u = members.(i) in
+      Graph.iter_out_edges graph u (fun e ->
+          let c' = comp.(e.target) in
+          cmask.(c) <- cmask.(c) lor cmask.(c');
+          if cabort.(c') then cabort.(c) <- true)
+    done
+  done;
+  let masks = Array.make n 0 in
+  let aborts = Array.make n false in
+  for u = 0 to n - 1 do
+    let c = comp.(u) in
+    masks.(u) <- cmask.(c);
+    aborts.(u) <- cabort.(c)
+  done;
+  { graph; table; masks; aborts }
+
+(* The seed fixpoint: worklist over functional [VSet]s, all n nodes
+   seeded.  Exact but allocation-heavy; kept as the oracle. *)
+let analyze_fixpoint (graph : Graph.t) =
+  let n = Graph.n_nodes graph in
+  let local_decisions config =
+    List.fold_left (fun s v -> VSet.add v s) VSet.empty (Config.decisions config)
+  in
   let decisions = Array.init n (fun id -> local_decisions (Graph.node graph id)) in
   let abort_reachable =
     Array.init n (fun id -> local_abort (Graph.node graph id))
@@ -72,24 +205,52 @@ let analyze (graph : Graph.t) =
         preds.(u)
     end
   done;
-  { graph; decisions; abort_reachable }
+  (* Re-express the VSet result in the interned representation so both
+     analyses answer through the same accessors. *)
+  let table, _local = intern_decisions graph in
+  let id_of = VTbl.create 16 in
+  Array.iteri (fun i v -> VTbl.add id_of v i) table;
+  let masks =
+    Array.init n (fun u ->
+        VSet.fold (fun v m -> m lor (1 lsl VTbl.find id_of v)) decisions.(u) 0)
+  in
+  { graph; table; masks; aborts = abort_reachable }
 
-let decision_set t id = VSet.elements t.decisions.(id)
+let popcount m =
+  let c = ref 0 and m = ref m in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr c
+  done;
+  !c
+
+let decision_set t id =
+  let m = t.masks.(id) in
+  let vs = ref [] in
+  for i = Array.length t.table - 1 downto 0 do
+    if m land (1 lsl i) <> 0 then vs := t.table.(i) :: !vs
+  done;
+  List.sort Value.compare !vs
 
 let classify t id =
-  match VSet.elements t.decisions.(id) with
-  | [] -> Undecided
-  | [ v ] -> Valent v
-  | _ -> Bivalent
+  let m = t.masks.(id) in
+  if m = 0 then Undecided
+  else if m land (m - 1) = 0 then
+    (* Single bit set: find it. *)
+    let rec bit i = if m = 1 lsl i then i else bit (i + 1) in
+    Valent t.table.(bit 0)
+  else Bivalent
 
-let is_bivalent t id = classify t id = Bivalent
+let is_bivalent t id =
+  let m = t.masks.(id) in
+  m <> 0 && m land (m - 1) <> 0
 
 let is_valent t id v =
   match classify t id with
   | Valent v' -> Value.equal v v'
   | Bivalent | Undecided -> false
 
-let abort_reachable t id = t.abort_reachable.(id)
+let abort_reachable t id = t.aborts.(id)
 
 let pp_classification ppf = function
   | Valent v -> Fmt.pf ppf "%a-valent" Value.pp v
@@ -108,9 +269,9 @@ let summarize t =
   let n = Graph.n_nodes t.graph in
   let biv = ref 0 and uni = ref 0 and und = ref 0 in
   for id = 0 to n - 1 do
-    match classify t id with
-    | Bivalent -> incr biv
-    | Valent _ -> incr uni
-    | Undecided -> incr und
+    match popcount t.masks.(id) with
+    | 0 -> incr und
+    | 1 -> incr uni
+    | _ -> incr biv
   done;
   { n_nodes = n; n_bivalent = !biv; n_univalent = !uni; n_undecided = !und }

@@ -1,10 +1,8 @@
 (** Valence computation (the FLP vocabulary of the paper's proofs):
     classify every configuration of a graph as v-valent, bivalent or
-    undecided, by a fixpoint over reachable decisions. *)
+    undecided, by the exact fixpoint over reachable decisions. *)
 
 open Lbsa_spec
-
-module VSet : Set.S with type elt = Value.t
 
 type classification =
   | Valent of Value.t
@@ -14,6 +12,15 @@ type classification =
 type analysis
 
 val analyze : Graph.t -> analysis
+(** Interns decision values to small ints and propagates per-node
+    reachable-decision bitmasks in one reverse-topological pass over the
+    {!Graph.scc} condensation (exact on cyclic graphs: an SCC's nodes
+    share one reachable set). *)
+
+val analyze_fixpoint : Graph.t -> analysis
+(** The seed worklist fixpoint over functional value sets.  Kept as
+    differential-testing oracle and benchmark baseline; agrees with
+    {!analyze} on every accessor. *)
 
 val decision_set : analysis -> int -> Value.t list
 (** All decision values reachable from the node. *)

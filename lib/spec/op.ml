@@ -9,7 +9,10 @@ let compare a b =
   let c = String.compare a.name b.name in
   if c <> 0 then c else List.compare Value.compare a.args b.args
 
-let equal a b = compare a b = 0
+let equal a b =
+  a == b
+  || (a.name == b.name || String.equal a.name b.name)
+     && List.equal Value.equal a.args b.args
 
 let pp ppf { name; args } =
   match args with

@@ -218,6 +218,67 @@ let test_decided_configs_univalent () =
       | [] -> ())
     graph
 
+(* The condensation-pass valence against the seed worklist fixpoint: the
+   two analyses must agree on every accessor at every node. *)
+let check_valence_agrees label graph =
+  let a = Valence.analyze graph in
+  let o = Valence.analyze_fixpoint graph in
+  for id = 0 to Cgraph.n_nodes graph - 1 do
+    let ca = Valence.classify a id and co = Valence.classify o id in
+    if ca <> co then
+      Alcotest.failf "%s: node %d classified %a, oracle says %a" label id
+        Valence.pp_classification ca Valence.pp_classification co;
+    if
+      not
+        (List.equal Value.equal
+           (Valence.decision_set a id)
+           (Valence.decision_set o id))
+    then Alcotest.failf "%s: node %d decision sets differ" label id;
+    if Valence.abort_reachable a id <> Valence.abort_reachable o id then
+      Alcotest.failf "%s: node %d abort reachability differs" label id
+  done
+
+let test_valence_matches_fixpoint_oracle () =
+  (* The bench graphs, plus the cyclic candidates: flp_spin (self-loop
+     spins) and pac-retry consensus (a multi-node livelock SCC), where
+     the condensation pass actually has non-singleton components to
+     collapse. *)
+  List.iter
+    (fun (label, (machine, specs), inputs) ->
+      check_valence_agrees label (Cgraph.build ~machine ~specs ~inputs ()))
+    [
+      ( "cons:2",
+        Consensus_protocols.from_consensus_obj ~m:2,
+        [| Value.Int 0; Value.Int 1 |] );
+      ( "cons:3",
+        Consensus_protocols.from_consensus_obj ~m:3,
+        [| Value.Int 0; Value.Int 1; Value.Int 0 |] );
+      ( "dac:3",
+        (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3),
+        [| Value.Int 1; Value.Int 0; Value.Int 0 |] );
+      ("flp_spin (cyclic)", Candidates.flp_spin, [| Value.Int 0; Value.Int 1 |]);
+      ( "pac-retry (livelock SCC)",
+        Candidates.consensus_from_pac_retry ~n:2 ~procs:2,
+        [| Value.Int 0; Value.Int 1 |] );
+    ]
+
+let test_valence_matches_oracle_randomized () =
+  (* Randomized input vectors drive the same machines through different
+     graph shapes (decided sinks move, abort sets change); ten seeded
+     draws per machine. *)
+  let prng = Prng.create 2026 in
+  for trial = 1 to 10 do
+    let inputs = Array.init 3 (fun _ -> Value.Int (Prng.int prng 2)) in
+    let machine, specs =
+      if Prng.bool prng then
+        (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3)
+      else Consensus_protocols.from_consensus_obj ~m:3
+    in
+    check_valence_agrees
+      (Fmt.str "randomized trial %d (%s)" trial machine.Machine.name)
+      (Cgraph.build ~machine ~specs ~inputs ())
+  done
+
 let test_valence_summary_consistent () =
   let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
   let s = Valence.summarize a in
@@ -376,6 +437,69 @@ let test_theorem_4_1_exhaustive () =
       if not verdict.Solvability.ok then
         Alcotest.failf "n=%d: %a" n Solvability.pp_verdict verdict)
     [ 2; 3 ]
+
+let test_for_all_inputs_domains_agree () =
+  (* The parallel fan-out's contract: the verdict — including WHICH
+     failing vector is reported — is identical for any domain count.
+     First on a real sweep (dac:3 solves DAC on all 8 binary vectors, so
+     every domain count must return the same passing verdict for the
+     LAST vector), then on synthetic checks failing at chosen indices
+     (the fan-out must report the lowest failing index even when a
+     later-failing vector finishes first in another domain). *)
+  let machine = Dac_from_pac.machine ~n:3 in
+  let specs = Dac_from_pac.specs ~n:3 in
+  let family = Dac.binary_inputs 3 in
+  let sweep d =
+    Solvability.for_all_inputs ~domains:d
+      (fun inputs -> Solvability.check_dac ~domains:1 ~machine ~specs ~inputs ())
+      family
+  in
+  let reference = sweep 1 in
+  Alcotest.(check bool) "dac:3 family passes" true reference.Solvability.ok;
+  List.iter
+    (fun d ->
+      let v = sweep d in
+      Alcotest.(check bool)
+        (Fmt.str "domains=%d: same ok" d)
+        reference.Solvability.ok v.Solvability.ok;
+      Alcotest.(check bool)
+        (Fmt.str "domains=%d: same reported vector" d)
+        true
+        (Array.for_all2 Value.equal reference.Solvability.inputs
+           v.Solvability.inputs))
+    [ 2; 4 ];
+  let vectors = Array.of_list family in
+  List.iter
+    (fun failing ->
+      let synthetic inputs =
+        let i = ref 0 in
+        Array.iteri (fun j v -> if Array.for_all2 Value.equal v inputs then i := j) vectors;
+        {
+          Solvability.ok = not (List.mem !i failing);
+          inputs;
+          states = 1;
+          failure = (if List.mem !i failing then Some "synthetic" else None);
+          stats = None;
+        }
+      in
+      let r1 = Solvability.for_all_inputs ~domains:1 synthetic family in
+      List.iter
+        (fun d ->
+          let v = Solvability.for_all_inputs ~domains:d synthetic family in
+          Alcotest.(check bool)
+            (Fmt.str "synthetic %s, domains=%d: same ok"
+               (String.concat "," (List.map string_of_int failing))
+               d)
+            r1.Solvability.ok v.Solvability.ok;
+          Alcotest.(check bool)
+            (Fmt.str "synthetic %s, domains=%d: lowest failing vector"
+               (String.concat "," (List.map string_of_int failing))
+               d)
+            true
+            (Array.for_all2 Value.equal r1.Solvability.inputs
+               v.Solvability.inputs))
+        [ 2; 4 ])
+    [ []; [ 7 ]; [ 3; 5 ]; [ 6; 2 ]; [ 0; 1; 2; 3; 4; 5; 6; 7 ] ]
 
 let test_consensus_solvable_exhaustive () =
   (* m-consensus object solves consensus among m, all schedules, m=2,3. *)
@@ -604,6 +728,10 @@ let () =
             test_same_inputs_univalent;
           Alcotest.test_case "decided nodes univalent" `Quick
             test_decided_configs_univalent;
+          Alcotest.test_case "condensation matches fixpoint oracle" `Quick
+            test_valence_matches_fixpoint_oracle;
+          Alcotest.test_case "oracle agreement, randomized inputs" `Quick
+            test_valence_matches_oracle_randomized;
           Alcotest.test_case "summary partitions" `Quick
             test_valence_summary_consistent;
         ] );
@@ -627,6 +755,8 @@ let () =
         [
           Alcotest.test_case "Theorem 4.1 exhaustive (n=2,3)" `Quick
             test_theorem_4_1_exhaustive;
+          Alcotest.test_case "for_all_inputs domains 1/2/4 agree" `Quick
+            test_for_all_inputs_domains_agree;
           Alcotest.test_case "consensus exhaustive (m=2,3)" `Quick
             test_consensus_solvable_exhaustive;
           Alcotest.test_case "k-set exhaustive" `Quick

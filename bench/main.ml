@@ -32,7 +32,7 @@ let table_t1 () =
   let n = 2 in
   let pac = Pac.spec ~n () in
   let alphabet =
-    [ Pac.propose (Value.Int 1) 1; Pac.propose (Value.Int 2) 2;
+    [ Pac.propose (Value.int 1) 1; Pac.propose (Value.int 2) 2;
       Pac.decide 1; Pac.decide 2 ]
   in
   let histories = ref 0 and consistent = ref 0 in
@@ -61,7 +61,7 @@ let table_t1 () =
     let ops =
       List.init len (fun _ ->
           let i = 1 + Prng.int prng n in
-          if Prng.bool prng then Pac.propose (Value.Int (Prng.int prng 3)) i
+          if Prng.bool prng then Pac.propose (Value.int (Prng.int prng 3)) i
           else Pac.decide i)
     in
     let h, st = Shistory.run pac ops in
@@ -115,7 +115,7 @@ let table_t2 () =
       let prng = Prng.create (n * 99) in
       let trials = 1000 and bad = ref 0 in
       for seed = 1 to trials do
-        let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+        let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
         let r =
           Executor.run ~machine ~specs ~inputs
             ~scheduler:(Scheduler.random ~seed) ()
@@ -188,7 +188,7 @@ let table_t4 () =
      protocol. *)
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   let criticals = Bivalency.report_critical ~machine ~specs graph a in
@@ -208,9 +208,9 @@ let table_t5 () =
   (let impl = Pac_nm_impl.implementation ~n:2 ~m:2 in
    let workloads =
      [|
-       [ Pac_nm.propose_p (Value.Int 1) 1; Pac_nm.decide_p 1 ];
-       [ Pac_nm.propose_c (Value.Int 9) ];
-       [ Pac_nm.propose_c (Value.Int 8) ];
+       [ Pac_nm.propose_p (Value.int 1) 1; Pac_nm.decide_p 1 ];
+       [ Pac_nm.propose_c (Value.int 9) ];
+       [ Pac_nm.propose_c (Value.int 8) ];
      |]
    in
    match Harness.exhaustive ~impl ~workloads () with
@@ -222,8 +222,8 @@ let table_t5 () =
    let impl = Oprime_impl.implementation ~power in
    let workloads =
      [|
-       [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 10) 2 ];
-       [ O_prime.propose (Value.Int 2) 1; O_prime.propose (Value.Int 20) 2 ];
+       [ O_prime.propose (Value.int 1) 1; O_prime.propose (Value.int 10) 2 ];
+       [ O_prime.propose (Value.int 2) 1; O_prime.propose (Value.int 20) 2 ];
      |]
    in
    match Harness.exhaustive ~impl ~workloads () with
@@ -234,11 +234,11 @@ let table_t5 () =
   (let impl = Oprime_impl.for_n ~n:2 ~max_k:4 in
    let workloads =
      [|
-       [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 11) 2;
-         O_prime.propose (Value.Int 12) 3 ];
-       [ O_prime.propose (Value.Int 2) 1; O_prime.propose (Value.Int 21) 3;
-         O_prime.propose (Value.Int 22) 4 ];
-       [ O_prime.propose (Value.Int 31) 2; O_prime.propose (Value.Int 32) 4 ];
+       [ O_prime.propose (Value.int 1) 1; O_prime.propose (Value.int 11) 2;
+         O_prime.propose (Value.int 12) 3 ];
+       [ O_prime.propose (Value.int 2) 1; O_prime.propose (Value.int 21) 3;
+         O_prime.propose (Value.int 22) 4 ];
+       [ O_prime.propose (Value.int 31) 2; O_prime.propose (Value.int 32) 4 ];
      |]
    in
    match Harness.campaign ~seed:5 ~trials:500 ~impl ~workloads () with
@@ -249,7 +249,7 @@ let table_t5 () =
   (let impl = Snapshot_impl.implementation ~n:3 in
    let workloads =
      Array.init 3 (fun pid ->
-         [ Classic.Snapshot.update pid (Value.Int (pid + 1));
+         [ Classic.Snapshot.update pid (Value.int (pid + 1));
            Classic.Snapshot.scan ])
    in
    match Harness.campaign ~seed:7 ~trials:300 ~impl ~workloads () with
@@ -263,8 +263,8 @@ let table_t5 () =
   let workloads =
     [|
       [ Classic.Snapshot.scan ];
-      [ Classic.Snapshot.update 1 (Value.Int 7) ];
-      [ Classic.Snapshot.update 2 (Value.Int 8) ];
+      [ Classic.Snapshot.update 1 (Value.int 7) ];
+      [ Classic.Snapshot.update 2 (Value.int 8) ];
     |]
   in
   match Harness.exhaustive ~max_steps:60 ~impl ~workloads () with
@@ -330,18 +330,18 @@ let table_t7 () =
   (let machine, specs = Candidates.flp_write_read in
    let v =
      Solvability.check_consensus ~machine ~specs
-       ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+       ~inputs:[| Value.int 0; Value.int 1 |] ()
    in
    cell "write-read candidate (terminating)" (verdict_cell v ~expect_ok:false));
   (let machine, specs = Candidates.flp_spin in
    let v =
      Solvability.check_consensus ~machine ~specs
-       ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+       ~inputs:[| Value.int 0; Value.int 1 |] ()
    in
    cell "spin candidate (safe, not wait-free)" (verdict_cell v ~expect_ok:false));
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   let maintainable =
@@ -357,7 +357,7 @@ let table_t7 () =
   (let n = 2 in
    let machine = Obstruction_free.machine ~n ~max_rounds:50 in
    let specs = Obstruction_free.specs ~n ~max_rounds:50 in
-   let inputs = [| Value.Int 0; Value.Int 1 |] in
+   let inputs = [| Value.int 0; Value.int 1 |] in
    let graph = Cgraph.build ~max_states:20_000 ~machine ~specs ~inputs () in
    let first_bad =
      Cgraph.find_node graph (fun _ config ->
@@ -403,8 +403,8 @@ let table_t8 () =
       ( "queue",
         Classic.Queue_obj.spec (),
         [|
-          [ Classic.Queue_obj.enqueue (Value.Int 1); Classic.Queue_obj.dequeue ];
-          [ Classic.Queue_obj.enqueue (Value.Int 2) ];
+          [ Classic.Queue_obj.enqueue (Value.int 1); Classic.Queue_obj.dequeue ];
+          [ Classic.Queue_obj.enqueue (Value.int 2) ];
           [ Classic.Queue_obj.dequeue ];
         |] );
       ( "fetch-and-add",
@@ -414,7 +414,7 @@ let table_t8 () =
       ( "3-PAC",
         Pac.spec ~n:3 (),
         Array.init 3 (fun pid ->
-            [ Pac.propose (Value.Int pid) (pid + 1); Pac.decide (pid + 1) ]) );
+            [ Pac.propose (Value.int pid) (pid + 1); Pac.decide (pid + 1) ]) );
     ];
   (let impl =
      Universal.implementation ~n:2 ~target:(Classic.Fetch_and_add.spec ()) ()
@@ -505,7 +505,7 @@ let table_t10 () =
     "T10 BG simulation: fewer simulators faithfully run a larger \
      full-information snapshot protocol";
   let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
-  let inputs = [| Value.Int 10; Value.Int 11; Value.Int 12 |] in
+  let inputs = [| Value.int 10; Value.int 11; Value.int 12 |] in
   let outcomes = Sim_protocol.direct_outcomes p ~inputs in
   cell "direct 3-process outcome vectors (model-checked)"
     (string_of_int (List.length outcomes));
@@ -517,7 +517,7 @@ let table_t10 () =
         ~scheduler:(Scheduler.random ~seed) ()
     in
     (match r.Bg_simulation.simulated_decisions with
-    | Some ds when List.exists (Value.equal (Value.List ds)) outcomes ->
+    | Some ds when List.exists (Value.equal (Value.list ds)) outcomes ->
       incr ok
     | _ -> ());
     if Bg_simulation.simulators_agree r then incr agree;
@@ -534,7 +534,7 @@ let table_t10 () =
   List.iter
     (fun (n_sim, simulators) ->
       let p = Sim_protocol.min_seen ~n_sim ~steps:1 in
-      let sim_inputs = Array.init n_sim (fun j -> Value.Int (10 + j)) in
+      let sim_inputs = Array.init n_sim (fun j -> Value.int (10 + j)) in
       let r = Bg_simulation.check_exhaustive ~p ~sim_inputs ~simulators () in
       cell
         (Fmt.str "exhaustive: %d sims / %d procs, all interleavings" simulators
@@ -606,26 +606,26 @@ let micro_tests () =
         (Staged.stage (fun () ->
              let st, _ =
                Obj_spec.apply_det pac3 pac3.Obj_spec.initial
-                 (Pac.propose (Value.Int 1) 1)
+                 (Pac.propose (Value.int 1) 1)
              in
              ignore (Obj_spec.apply_det pac3 st (Pac.decide 1))));
       Test.make ~name:"8-consensus propose"
         (Staged.stage (fun () ->
              ignore
                (Obj_spec.apply_det cons8 cons8.Obj_spec.initial
-                  (Consensus_obj.propose (Value.Int 1)))));
+                  (Consensus_obj.propose (Value.int 1)))));
       Test.make ~name:"2-SA propose (random adversary)"
         (Staged.stage (fun () ->
              ignore
                (Obj_spec.apply
                   ~choice:(fun bs -> Prng.int prng (List.length bs))
                   sa2 sa2.Obj_spec.initial
-                  (Sa2.propose (Value.Int 1)))));
+                  (Sa2.propose (Value.int 1)))));
       Test.make ~name:"register write+read"
         (Staged.stage (fun () ->
              let st, _ =
                Obj_spec.apply_det reg reg.Obj_spec.initial
-                 (Register.write (Value.Int 1))
+                 (Register.write (Value.int 1))
              in
              ignore (Obj_spec.apply_det reg st Register.read)));
     ]
@@ -639,7 +639,7 @@ let micro_tests () =
         Test.make ~name:(Fmt.str "algorithm-2 end-to-end n=%d" n)
           (Staged.stage (fun () ->
                incr counter;
-               let inputs = Array.init n (fun i -> Value.Int (i land 1)) in
+               let inputs = Array.init n (fun i -> Value.int (i land 1)) in
                ignore
                  (Executor.run ~machine ~specs ~inputs
                     ~scheduler:(Scheduler.random ~seed:!counter)
@@ -649,7 +649,7 @@ let micro_tests () =
   let b3 =
     let machine = Dac_from_pac.machine ~n:3 in
     let specs = Dac_from_pac.specs ~n:3 in
-    let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+    let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
     [
       Test.make ~name:"graph build (3-DAC)"
         (Staged.stage (fun () ->
@@ -669,7 +669,7 @@ let micro_tests () =
         (Staged.stage (fun () ->
              ignore
                (Solvability.check_consensus ~machine ~specs
-                  ~inputs:[| Value.Int 0; Value.Int 1 |] ())));
+                  ~inputs:[| Value.int 0; Value.int 1 |] ())));
     ]
   in
   let b5 =
@@ -761,15 +761,15 @@ let run_explore () =
     [
       ( "3-process consensus (m=3)",
         (fun () -> Consensus_protocols.from_consensus_obj ~m:3),
-        [| Value.Int 0; Value.Int 1; Value.Int 0 |],
+        [| Value.int 0; Value.int 1; Value.int 0 |],
         3000 );
       ( "5-process DAC (Algorithm 2)",
         (fun () -> (Dac_from_pac.machine ~n:5, Dac_from_pac.specs ~n:5)),
-        [| Value.Int 1; Value.Int 0; Value.Int 0; Value.Int 0; Value.Int 0 |],
+        [| Value.int 1; Value.int 0; Value.int 0; Value.int 0; Value.int 0 |],
         10 );
       ( "6-process DAC (Algorithm 2)",
         (fun () -> (Dac_from_pac.machine ~n:6, Dac_from_pac.specs ~n:6)),
-        Array.init 6 (fun pid -> Value.Int (if pid = 0 then 1 else 0)),
+        Array.init 6 (fun pid -> Value.int (if pid = 0 then 1 else 0)),
         3 );
     ]
   in
@@ -924,10 +924,21 @@ let run_json () =
   hr "Verification pipeline measurements -> BENCH_verify.json";
   let machine = Dac_from_pac.machine ~n:3 in
   let specs = Dac_from_pac.specs ~n:3 in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   let graph = Cgraph.build ~machine ~specs ~inputs () in
   let gstats = Cgraph.stats graph in
   let nodes = Cgraph.n_nodes graph in
+  (* Before/after for the explorer: the seed CMap explorer rebuilds the
+     same graph through structural [Config.compare]; the current one
+     dedups through cached hashes and pointer-equality [Value.equal]. *)
+  let t_build =
+    time_per ~k:3 (fun () ->
+        ignore (Cgraph.build ~domains:1 ~machine ~specs ~inputs ()))
+  in
+  let t_cmap =
+    time_per ~k:3 (fun () ->
+        ignore (Cgraph.build_cmap ~machine ~specs ~inputs ()))
+  in
   let t_val = time_per (fun () -> ignore (Valence.analyze graph)) in
   let t_fix = time_per (fun () -> ignore (Valence.analyze_fixpoint graph)) in
   let spec = Classic.Fetch_and_add.spec () in
@@ -961,8 +972,18 @@ let run_json () =
   (* Parallel speedup is bounded by the cores actually available: on a
      single-core box the d > 1 sweeps only measure spawn overhead. *)
   let cores = Domain.recommended_domain_count () in
+  let istats = Value.intern_stats () in
+  let probe = gstats.Cgraph.probe in
   Fmt.pr "explore:  %d states at %.0f states/s (%d domains)@." nodes
     gstats.Cgraph.states_per_sec gstats.Cgraph.domains;
+  Fmt.pr "explore:  %.2f ms/build vs %.2f ms seed CMap (%.2fx)@."
+    (t_build *. 1e3) (t_cmap *. 1e3) (t_cmap /. t_build);
+  Fmt.pr
+    "hashcons: %d hits / %d misses (%d live values, %d stripes); dedup \
+     probes %d, %d compares avoided on hash, %d equal-confirms@."
+    istats.Value.hits istats.Value.misses istats.Value.size
+    istats.Value.stripes probe.Ctbl.probes probe.Ctbl.hash_skips
+    probe.Ctbl.equal_confirms;
   Fmt.pr "valence:  %.1f ns/node (fixpoint oracle %.1f ns/node, %.2fx)@."
     (t_val *. 1e9 /. float nodes)
     (t_fix *. 1e9 /. float nodes)
@@ -980,11 +1001,20 @@ let run_json () =
   let oc = open_out "BENCH_verify.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"lbsa-bench-verify/1\",\n";
+  p "  \"schema\": \"lbsa-bench-verify/2\",\n";
   p
     "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
-     \"states_per_sec\": %.0f, \"domains\": %d },\n"
-    nodes gstats.Cgraph.states_per_sec gstats.Cgraph.domains;
+     \"states_per_sec\": %.0f, \"domains\": %d, \"build_ms\": %.3f, \
+     \"cmap_build_ms\": %.3f, \"speedup_vs_cmap\": %.2f },\n"
+    nodes gstats.Cgraph.states_per_sec gstats.Cgraph.domains (t_build *. 1e3)
+    (t_cmap *. 1e3) (t_cmap /. t_build);
+  p
+    "  \"hashcons\": { \"intern_hits\": %d, \"intern_misses\": %d, \
+     \"table_size\": %d, \"stripes\": %d, \"dedup_probes\": %d, \
+     \"probe_compares_avoided\": %d, \"probe_equal_confirms\": %d },\n"
+    istats.Value.hits istats.Value.misses istats.Value.size
+    istats.Value.stripes probe.Ctbl.probes probe.Ctbl.hash_skips
+    probe.Ctbl.equal_confirms;
   p
     "  \"valence\": { \"graph\": \"dac:3\", \"nodes\": %d, \
      \"analyze_ns_per_node\": %.1f, \"fixpoint_ns_per_node\": %.1f, \

@@ -98,7 +98,7 @@ let run_dac n seed sched_kind =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
   let prng = Prng.create seed in
-  let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+  let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
   let scheduler = mk_scheduler ~n ~seed sched_kind in
   let r = Executor.run ~machine ~specs ~inputs ~scheduler () in
   Fmt.pr "inputs: %a@." Fmt.(array ~sep:(any " ") Value.pp) inputs;
@@ -290,8 +290,8 @@ let valence name n m max_states stats =
     in
     let inputs =
       if name = "dac" then
-        Array.init procs (fun pid -> Value.Int (if pid = 0 then 1 else 0))
-      else Array.init procs (fun pid -> Value.Int (pid mod 2))
+        Array.init procs (fun pid -> Value.int (if pid = 0 then 1 else 0))
+      else Array.init procs (fun pid -> Value.int (pid mod 2))
     in
     let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
     if stats then Fmt.pr "%a@." Cgraph.pp_stats (Cgraph.stats graph);
@@ -390,16 +390,16 @@ let default_workloads name ~n ~max_k =
   match name with
   | "snapshot" | "naive-snapshot" ->
     Array.init n (fun pid ->
-        [ Classic.Snapshot.update pid (Value.Int (pid + 1));
+        [ Classic.Snapshot.update pid (Value.int (pid + 1));
           Classic.Snapshot.scan ])
   | "pacnm" ->
     Array.init n (fun pid ->
-        [ Pac_nm.propose_p (Value.Int pid) (pid + 1); Pac_nm.decide_p (pid + 1);
-          Pac_nm.propose_c (Value.Int pid) ])
+        [ Pac_nm.propose_p (Value.int pid) (pid + 1); Pac_nm.decide_p (pid + 1);
+          Pac_nm.propose_c (Value.int pid) ])
   | "oprime" ->
     Array.init n (fun pid ->
         List.map
-          (fun k -> O_prime.propose (Value.Int (pid + (10 * k))) k)
+          (fun k -> O_prime.propose (Value.int (pid + (10 * k))) k)
           (Listx.range 1 max_k))
   | _ -> [||]
 
@@ -567,7 +567,7 @@ let universal n trials seed =
   let impl = Universal.implementation ~n ~target () in
   let workloads =
     Array.init n (fun pid ->
-        [ Classic.Queue_obj.enqueue (Value.Int (100 + pid));
+        [ Classic.Queue_obj.enqueue (Value.int (100 + pid));
           Classic.Queue_obj.dequeue ])
   in
   Fmt.pr
@@ -594,7 +594,7 @@ let universal_cmd =
 
 let bg simulators trials seed =
   let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
-  let sim_inputs = [| Value.Int 10; Value.Int 11; Value.Int 12 |] in
+  let sim_inputs = [| Value.int 10; Value.int 11; Value.int 12 |] in
   let outcomes = Sim_protocol.direct_outcomes p ~inputs:sim_inputs in
   Fmt.pr
     "BG simulation: %d simulators run a 3-process protocol; %d direct \
@@ -608,7 +608,7 @@ let bg simulators trials seed =
         ~scheduler:(Scheduler.random ~seed:(Prng.int prng 1_000_000_000)) ()
     in
     match r.Bg_simulation.simulated_decisions with
-    | Some ds when List.exists (Value.equal (Value.List ds)) outcomes -> ()
+    | Some ds when List.exists (Value.equal (Value.list ds)) outcomes -> ()
     | _ -> incr bad
   done;
   Fmt.pr "%d/%d runs produced genuine simulated outcomes@." (trials - !bad)
@@ -650,6 +650,57 @@ let objects_cmd =
     (Cmd.info "objects" ~doc:"List the object zoo.")
     Term.(const objects $ const ())
 
+(* --- fingerprint ----------------------------------------------------------- *)
+
+(* Structural fingerprint of a fixed configuration graph, for the
+   cross-process determinism regression: two runs of this command must
+   print identical lines no matter how many unrelated values were
+   interned first.  Intern ids are allocation-order-dependent, so if one
+   ever leaked into a hash, a node id or an ordering, shifting the id
+   space with [--intern-warmup] would change the output.  The fold below
+   deliberately touches only structural data: per-node [Config.hash]
+   (purely structural by construction) in node-id order, then each
+   node's out-edge (pid, target) sequence. *)
+let fingerprint warmup n max_states =
+  for i = 1 to warmup do
+    ignore (Value.list [ Value.int (1_000_000 + i); Value.sym "warmup" ])
+  done;
+  let machine = Dac_from_pac.machine ~n in
+  let specs = Dac_from_pac.specs ~n in
+  let inputs = Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0)) in
+  let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
+  let h = ref 0x811c9dc5 in
+  let comb k = h := Value.hash_combine !h k land max_int in
+  for id = 0 to Cgraph.n_nodes graph - 1 do
+    comb (Config.hash (Cgraph.node graph id));
+    Cgraph.iter_out_edges graph id (fun e ->
+        comb e.Cgraph.pid;
+        comb e.Cgraph.target)
+  done;
+  Fmt.pr "states=%d edges=%d truncated=%b fingerprint=%08x@."
+    (Cgraph.n_nodes graph) (Cgraph.n_edges graph) graph.Cgraph.truncated
+    (!h land 0xffffffff);
+  0
+
+let fingerprint_cmd =
+  let warmup =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "intern-warmup" ] ~docv:"N"
+          ~doc:
+            "Construct N throwaway values before building the graph, \
+             shifting every subsequent intern id.  The printed fingerprint \
+             must not change.")
+  in
+  Cmd.v
+    (Cmd.info "fingerprint"
+       ~doc:
+         "Print a structural fingerprint of the dac configuration graph \
+          (cross-process determinism probe: output must be independent of \
+          value-interning order).")
+    Term.(const fingerprint $ warmup $ n_arg $ max_states_arg)
+
 (* --- main ------------------------------------------------------------------ *)
 
 let () =
@@ -664,5 +715,5 @@ let () =
           [
             run_dac_cmd; check_cmd; valence_cmd; power_cmd; separation_cmd;
             lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd; qadri_cmd;
-            objects_cmd;
+            objects_cmd; fingerprint_cmd;
           ]))

@@ -14,7 +14,7 @@ let pp_vector ppf ds = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) ds
 
 let () =
   let p = Sim_protocol.min_seen ~n_sim:3 ~steps:1 in
-  let inputs = [| Value.Int 10; Value.Int 11; Value.Int 12 |] in
+  let inputs = [| Value.int 10; Value.int 11; Value.int 12 |] in
 
   Fmt.pr
     "Simulated protocol: %s — 3 processes, inputs (10, 11, 12);@.\
@@ -37,7 +37,7 @@ let () =
       in
       match r.Bg_simulation.simulated_decisions with
       | Some ds ->
-        let inside = List.exists (Value.equal (Value.List ds)) outcomes in
+        let inside = List.exists (Value.equal (Value.list ds)) outcomes in
         Fmt.pr "  seed %2d: simulated outcome %a — %s (%d simulator steps)@."
           seed pp_vector ds
           (if inside then "a genuine 3-process outcome" else "IMPOSSIBLE (bug!)")

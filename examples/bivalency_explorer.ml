@@ -61,20 +61,20 @@ let () =
      poised on the consensus object there. *)
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   explore ~label:"2 processes, one 2-consensus object (solvable)" ~machine
-    ~specs ~inputs:[| Value.Int 0; Value.Int 1 |];
+    ~specs ~inputs:[| Value.int 0; Value.int 1 |];
 
   (* 2. Registers only, the terminating candidate: bivalent initial
      configuration, but safety is violated instead. *)
   let machine, specs = Candidates.flp_write_read in
   explore ~label:"2 processes, registers only (write-read candidate)" ~machine
-    ~specs ~inputs:[| Value.Int 0; Value.Int 1 |];
+    ~specs ~inputs:[| Value.int 0; Value.int 1 |];
 
   (* 3. A bare 2-PAC object with the retry protocol: the adversary
      maintains bivalence forever — the livelock the ⊥ responses create.
      Evidence that n-PAC alone has consensus number 1. *)
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   explore ~label:"2 processes, one 2-PAC object (retry candidate)" ~machine
-    ~specs ~inputs:[| Value.Int 0; Value.Int 1 |];
+    ~specs ~inputs:[| Value.int 0; Value.int 1 |];
 
   (* 4. Algorithm 2 on the paper's canonical DAC inputs: the initial
      configuration is bivalent (Claim 4.2.4) and abort-configurations
@@ -82,7 +82,7 @@ let () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   explore ~label:"Algorithm 2, 3-DAC, inputs (1,0,0)" ~machine ~specs ~inputs;
   let graph = Cgraph.build ~machine ~specs ~inputs () in
   let a = Valence.analyze graph in

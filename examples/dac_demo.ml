@@ -26,7 +26,7 @@ let random_campaign ~n ~trials =
   let prng = Prng.create (n * 1000 + 7) in
   let aborts = ref 0 and decides = ref 0 in
   for seed = 1 to trials do
-    let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+    let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
     (* Randomly crash a subset of processes (never all). *)
     let dead =
       List.filter (fun _ -> Prng.int prng 4 = 0) (Listx.range 0 (n - 1))
@@ -82,7 +82,7 @@ let () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   (* p proposes; q1 proposes (intervening); p decides -> ⊥ -> abort. *)
   let r =
     Executor.run ~machine ~specs ~inputs

@@ -23,14 +23,14 @@ let () =
   section "1. A 3-PAC object, solo (Algorithm 1)";
   let pac = Pac.spec ~n:3 () in
   let st = ref pac.Obj_spec.initial in
-  ignore (apply pac st (Pac.propose (Value.Int 42) 1));
+  ignore (apply pac st (Pac.propose (Value.int 42) 1));
   ignore (apply pac st (Pac.decide 1));
   Fmt.pr "  (a clean propose/decide pair decides the proposed value)@.";
 
   section "2. Concurrency detection: an operation intervenes";
   let st = ref pac.Obj_spec.initial in
-  ignore (apply pac st (Pac.propose (Value.Int 1) 1));
-  ignore (apply pac st (Pac.propose (Value.Int 2) 2));
+  ignore (apply pac st (Pac.propose (Value.int 1) 1));
+  ignore (apply pac st (Pac.propose (Value.int 2) 2));
   ignore (apply pac st (Pac.decide 1));
   Fmt.pr "  (the decide saw label 2's propose in between: ⊥, no upset)@.";
   Fmt.pr "  upset? %b@." (Pac.is_upset !st);
@@ -40,7 +40,7 @@ let () =
   ignore (apply pac st (Pac.decide 2));
   Fmt.pr "  upset? %b (Lemma 3.2: upset iff the history is illegal)@."
     (Pac.is_upset !st);
-  ignore (apply pac st (Pac.propose (Value.Int 5) 1));
+  ignore (apply pac st (Pac.propose (Value.int 5) 1));
   ignore (apply pac st (Pac.decide 1));
   Fmt.pr "  (⊥ forever afterwards)@.";
 
@@ -48,7 +48,7 @@ let () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   let r =
     Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.round_robin ~n) ()
   in

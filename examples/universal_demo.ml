@@ -51,8 +51,8 @@ let () =
     ~target:(Classic.Queue_obj.spec ())
     ~workloads:
       [|
-        [ Classic.Queue_obj.enqueue (Value.Int 1); Classic.Queue_obj.dequeue ];
-        [ Classic.Queue_obj.enqueue (Value.Int 2) ];
+        [ Classic.Queue_obj.enqueue (Value.int 1); Classic.Queue_obj.dequeue ];
+        [ Classic.Queue_obj.enqueue (Value.int 2) ];
         [ Classic.Queue_obj.dequeue ];
       |]
     ~trials:300;
@@ -73,7 +73,7 @@ let () =
     ~target:(Pac.spec ~n:3 ())
     ~workloads:
       (Array.init 3 (fun pid ->
-           [ Pac.propose (Value.Int pid) (pid + 1); Pac.decide (pid + 1) ]))
+           [ Pac.propose (Value.int pid) (pid + 1); Pac.decide (pid + 1) ]))
     ~trials:300;
 
   Fmt.pr "@.Done.@."

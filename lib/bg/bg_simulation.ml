@@ -52,37 +52,38 @@ let specs ~(p : Sim_protocol.t) ~simulators : Obj_spec.t array =
 (* --- local-state plumbing ---------------------------------------------- *)
 
 let state ~tag ~j ~agreed ~proposed ~slot =
-  Value.List [ Value.Sym tag; Value.Int j; agreed; proposed; slot ]
+  Value.list [ Value.sym tag; Value.int j; agreed; proposed; slot ]
 
 let initial_local = state ~tag:"poll" ~j:0 ~agreed:Value.Assoc.empty
-    ~proposed:Value.Set_.empty ~slot:Value.Nil
+    ~proposed:Value.Set_.empty ~slot:Value.nil
 
 let views_of agreed j =
-  match Value.Assoc.get agreed (Value.Int j) with
-  | Some (Value.List views) -> views
+  match Value.Assoc.get agreed (Value.int j) with
+  | Some { Value.node = List views; _ } -> views
   | _ -> []
 
 let decode_agreed local =
   match local with
-  | Value.List [ _; _; agreed; _; _ ] ->
+  | { Value.node = List [ _; _; agreed; _; _ ]; _ } ->
     List.filter_map
       (fun (k, v) ->
         match (k, v) with
-        | Value.Int j, Value.List views -> Some (j, views)
+        | { Value.node = Int j; _ }, { Value.node = List views; _ } ->
+          Some (j, views)
         | _ -> None)
       (Value.Assoc.bindings agreed)
-  | Value.Pair (Value.Sym "halt", _) -> []
+  | { Value.node = Pair ({ node = Sym "halt"; _ }, _); _ } -> []
   | _ -> []
 
 (* --- safe-agreement cell decoding --------------------------------------- *)
 
 let cell_level = function
-  | Value.Pair (_, Value.Int level) -> level
-  | Value.Nil -> -1
+  | { Value.node = Pair (_, { node = Int level; _ }); _ } -> level
+  | { Value.node = Nil; _ } -> -1
   | c -> invalid_arg (Fmt.str "Bg_simulation: bad SA cell %a" Value.pp c)
 
 let cell_candidate = function
-  | Value.Pair (candidate, _) -> candidate
+  | { Value.node = Pair (candidate, _); _ } -> candidate
   | c -> invalid_arg (Fmt.str "Bg_simulation: bad SA cell %a" Value.pp c)
 
 type sa_status =
@@ -123,17 +124,17 @@ let machine ~(p : Sim_protocol.t) ~(sim_inputs : Value.t array) : Machine.t =
   let move_on ~agreed ~proposed j =
     match next_active ~agreed j with
     | Some j' ->
-      state ~tag:"poll" ~j:j' ~agreed ~proposed ~slot:Value.Nil
+      state ~tag:"poll" ~j:j' ~agreed ~proposed ~slot:Value.nil
     | None ->
       let decisions =
-        Value.List
+        Value.list
           (List.map
              (fun j ->
                p.Sim_protocol.decide ~pid:j ~input:sim_inputs.(j)
                  ~views:(views_of agreed j))
              (Lbsa_util.Listx.range 0 (n_sim - 1)))
       in
-      Value.Pair (Value.Sym "halt", decisions)
+      Value.pair (Value.sym "halt", decisions)
   in
   let remove_from_set set v =
     Value.Set_.of_list
@@ -141,7 +142,18 @@ let machine ~(p : Sim_protocol.t) ~(sim_inputs : Value.t array) : Machine.t =
   in
   let delta ~pid local =
     match local with
-    | Value.List [ Value.Sym tag; Value.Int j; agreed; proposed; slot ] -> (
+    | {
+        Value.node =
+          List
+            [
+              { node = Sym tag; _ };
+              { node = Int j; _ };
+              agreed;
+              proposed;
+              slot;
+            ];
+        _;
+      } -> (
       let t = List.length (views_of agreed j) + 1 in
       let sa = sa_index ~p ~j ~t in
       match tag with
@@ -150,16 +162,16 @@ let machine ~(p : Sim_protocol.t) ~(sim_inputs : Value.t array) : Machine.t =
             match sa_status scan with
             | Sa_decided view ->
               let agreed =
-                Value.Assoc.set agreed (Value.Int j)
-                  (Value.List (views_of agreed j @ [ view ]))
+                Value.Assoc.set agreed (Value.int j)
+                  (Value.list (views_of agreed j @ [ view ]))
               in
-              let proposed = remove_from_set proposed (Value.Int j) in
+              let proposed = remove_from_set proposed (Value.int j) in
               move_on ~agreed ~proposed j
             | Sa_pending ->
-              if Value.Set_.mem (Value.Int j) proposed then
+              if Value.Set_.mem (Value.int j) proposed then
                 (* Already committed my proposal; come back later. *)
                 move_on ~agreed ~proposed j
-              else state ~tag:"write" ~j ~agreed ~proposed ~slot:Value.Nil)
+              else state ~tag:"write" ~j ~agreed ~proposed ~slot:Value.nil)
       | "write" ->
         let content =
           Sim_protocol.cell_content ~t ~input:sim_inputs.(j)
@@ -167,33 +179,34 @@ let machine ~(p : Sim_protocol.t) ~(sim_inputs : Value.t array) : Machine.t =
         in
         Machine.invoke simmem_index
           (Classic.Monotone_snapshot.update j ~step:t content)
-          (fun _ -> state ~tag:"scan" ~j ~agreed ~proposed ~slot:Value.Nil)
+          (fun _ -> state ~tag:"scan" ~j ~agreed ~proposed ~slot:Value.nil)
       | "scan" ->
         Machine.invoke simmem_index Classic.Monotone_snapshot.scan
           (fun candidate ->
             state ~tag:"enter" ~j ~agreed ~proposed ~slot:candidate)
       | "enter" ->
         Machine.invoke sa
-          (Classic.Snapshot.update pid (Value.Pair (slot, Value.Int 1)))
+          (Classic.Snapshot.update pid (Value.pair (slot, Value.int 1)))
           (fun _ -> state ~tag:"look" ~j ~agreed ~proposed ~slot)
       | "look" ->
         Machine.invoke sa Classic.Snapshot.scan (fun scan ->
             let cells = Value.to_list_exn scan in
             let level = if List.exists (fun c -> cell_level c = 2) cells then 0 else 2 in
             state ~tag:"commit" ~j ~agreed ~proposed
-              ~slot:(Value.Pair (Value.Int level, slot)))
+              ~slot:(Value.pair (Value.int level, slot)))
       | "commit" -> (
         match slot with
-        | Value.Pair (Value.Int level, candidate) ->
+        | { Value.node = Pair ({ node = Int level; _ }, candidate); _ } ->
           Machine.invoke sa
             (Classic.Snapshot.update pid
-               (Value.Pair (candidate, Value.Int level)))
+               (Value.pair (candidate, Value.int level)))
             (fun _ ->
-              let proposed = Value.Set_.add (Value.Int j) proposed in
+              let proposed = Value.Set_.add (Value.int j) proposed in
               move_on ~agreed ~proposed j)
         | s -> Machine.bad_state ~machine:name ~pid s)
       | _ -> Machine.bad_state ~machine:name ~pid local)
-    | Value.Pair (Value.Sym "halt", decisions) -> Machine.Decide decisions
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, decisions); _ } ->
+      Machine.Decide decisions
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name
@@ -215,14 +228,14 @@ let run ?(max_steps = 200_000) ~(p : Sim_protocol.t) ~sim_inputs ~simulators
     ~scheduler () : run =
   let machine = machine ~p ~sim_inputs in
   let specs = specs ~p ~simulators in
-  let inputs = Array.make simulators Value.Unit in
+  let inputs = Array.make simulators Value.unit_ in
   let r = Executor.run ~max_steps ~machine ~specs ~inputs ~scheduler () in
   let decisions =
     let rec find pid =
       if pid >= simulators then None
       else
         match Config.decision r.Executor.final pid with
-        | Some (Value.List ds) -> Some ds
+        | Some { Value.node = List ds; _ } -> Some ds
         | _ -> find (pid + 1)
     in
     find 0
@@ -259,7 +272,7 @@ let check_exhaustive ?(max_states = 500_000) ~(p : Sim_protocol.t)
   let outcomes = Sim_protocol.direct_outcomes p ~inputs:sim_inputs in
   let machine = machine ~p ~sim_inputs in
   let specs = specs ~p ~simulators in
-  let inputs = Array.make simulators Value.Unit in
+  let inputs = Array.make simulators Value.unit_ in
   let graph =
     Lbsa_modelcheck.Graph.build ~max_states ~machine ~specs ~inputs ()
   in
@@ -272,8 +285,8 @@ let check_exhaustive ?(max_states = 500_000) ~(p : Sim_protocol.t)
         Array.iter
           (fun st ->
             match st with
-            | Config.Decided (Value.List ds) ->
-              if not (List.exists (Value.equal (Value.List ds)) outcomes) then
+            | Config.Decided { Value.node = List ds; _ } ->
+              if not (List.exists (Value.equal (Value.list ds)) outcomes) then
                 incr bad
             | Config.Decided _ | Config.Running | Config.Aborted
             | Config.Crashed ->

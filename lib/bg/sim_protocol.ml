@@ -26,7 +26,7 @@ type t = {
 }
 
 let cell_content ~t ~input ~views =
-  Value.List [ Value.Int t; input; Value.List views ]
+  Value.list [ Value.int t; input; Value.list views ]
 
 (* --- the direct machine ------------------------------------------------ *)
 
@@ -35,22 +35,42 @@ let simmem_index = 0
 let direct_machine (p : t) : Machine.t =
   let name = Fmt.str "direct-%s" p.name in
   let init ~pid:_ ~input =
-    Value.(List [ Sym "write"; Int 1; input; List [] ])
+    Value.(list [ sym "write"; int 1; input; list [] ])
   in
   let delta ~pid state =
     match state with
-    | Value.List [ Value.Sym "write"; Value.Int t; input; Value.List views ] ->
+    | {
+        Value.node =
+          List
+            [
+              { node = Sym "write"; _ };
+              { node = Int t; _ };
+              input;
+              { node = List views; _ };
+            ];
+        _;
+      } ->
       Machine.invoke simmem_index
         (Classic.Monotone_snapshot.update pid ~step:t
            (cell_content ~t ~input ~views))
-        (fun _ -> Value.(List [ Sym "scan"; Int t; input; List views ]))
-    | Value.List [ Value.Sym "scan"; Value.Int t; input; Value.List views ] ->
+        (fun _ -> Value.(list [ sym "scan"; int t; input; list views ]))
+    | {
+        Value.node =
+          List
+            [
+              { node = Sym "scan"; _ };
+              { node = Int t; _ };
+              input;
+              { node = List views; _ };
+            ];
+        _;
+      } ->
       Machine.invoke simmem_index Classic.Monotone_snapshot.scan (fun view ->
           let views = views @ [ view ] in
           if t < p.steps then
-            Value.(List [ Sym "write"; Int (t + 1); input; List views ])
-          else Value.(List [ Sym "halt"; p.decide ~pid ~input ~views ]))
-    | Value.List [ Value.Sym "halt"; v ] -> Machine.Decide v
+            Value.(list [ sym "write"; int (t + 1); input; list views ])
+          else Value.(list [ sym "halt"; p.decide ~pid ~input ~views ]))
+    | { Value.node = List [ { node = Sym "halt"; _ }; v ]; _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta
@@ -71,7 +91,7 @@ let direct_outcomes ?(max_states = 100_000) (p : t) ~inputs =
     (fun _ config ->
       if Config.all_halted config then begin
         let vector =
-          Value.List
+          Value.list
             (List.map
                (fun pid -> Option.get (Config.decision config pid))
                (Lbsa_util.Listx.range 0 (p.n_sim - 1)))
@@ -89,8 +109,9 @@ let inputs_of_view view =
   List.filter_map
     (fun cell ->
       match cell with
-      | Value.Pair (_, Value.List [ _; input; _ ]) -> Some input
-      | Value.Nil -> None
+      | { Value.node = Pair (_, { node = List [ _; input; _ ]; _ }); _ } ->
+        Some input
+      | { Value.node = Nil; _ } -> None
       | c -> invalid_arg (Fmt.str "Sim_protocol: bad cell %a" Value.pp c))
     (Value.to_list_exn view)
 

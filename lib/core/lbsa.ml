@@ -69,6 +69,7 @@ module Safe_agreement = Lbsa_protocols.Safe_agreement
 module Obstruction_free = Lbsa_protocols.Obstruction_free
 
 module Cgraph = Lbsa_modelcheck.Graph
+module Ctbl = Lbsa_modelcheck.Ctbl
 module Valence = Lbsa_modelcheck.Valence
 module Bivalency = Lbsa_modelcheck.Bivalency
 module Solvability = Lbsa_modelcheck.Solvability

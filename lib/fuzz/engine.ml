@@ -55,9 +55,12 @@ let same_kind a b =
 
 (* Checker sessions are not thread-safe and [fan] runs trials on several
    domains, so campaigns hold one session per domain in domain-local
-   storage.  [session] below is a thunk fetching the calling domain's
-   session; outcomes never depend on session state, so determinism
-   across domain counts is untouched. *)
+   storage.  Value interning itself is global and domain-safe now (the
+   hash-consed [Value] core), so what a session shares across a domain's
+   trials is only the spec-transition and state-set memos.  [session]
+   below is a thunk fetching the calling domain's session; outcomes
+   never depend on session state, so determinism across domain counts is
+   untouched. *)
 let dls_sessions spec =
   let key = Domain.DLS.new_key (fun () -> Checker.session spec) in
   fun () -> Domain.DLS.get key

@@ -17,14 +17,15 @@ type view = { upset : bool; v : Value.t; l : Value.t; value : Value.t }
 
 let view state =
   match state with
-  | Value.List [ Value.Bool upset; v; l; value ] -> { upset; v; l; value }
+  | { Value.node = List [ { node = Bool upset; _ }; v; l; value ]; _ } ->
+    { upset; v; l; value }
   | _ -> invalid_arg "Mutant.view: malformed state"
 
 let encode { upset; v; l; value } =
-  Value.List [ Value.Bool upset; v; l; value ]
+  Value.list [ Value.bool upset; v; l; value ]
 
-let get_v st i = Value.Assoc.get_or st.v (Value.Int i) ~default:Value.Nil
-let set_v st i x = { st with v = Value.Assoc.set st.v (Value.Int i) x }
+let get_v st i = Value.Assoc.get_or st.v (Value.int i) ~default:Value.nil
+let set_v st i x = { st with v = Value.Assoc.set st.v (Value.int i) x }
 let det next response : Obj_spec.branch list = [ { next; response } ]
 
 let flipped_spec ~n =
@@ -35,27 +36,27 @@ let flipped_spec ~n =
   in
   let step state (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ v; Value.Int i ] ->
+    | "propose", [ v; { Value.node = Int i; _ } ] ->
       check_label op i;
       let st = view state in
       (* BUG (the seeded mutation): Algorithm 1 line 2 sets upset when
          V[i] is occupied; this object skips that check and
          overwrites. *)
       let st =
-        if not st.upset then set_v { st with l = Value.Int i } i v else st
+        if not st.upset then set_v { st with l = Value.int i } i v else st
       in
-      det (encode st) Value.Done
-    | "decide", [ Value.Int i ] ->
+      det (encode st) Value.done_
+    | "decide", [ { Value.node = Int i; _ } ] ->
       check_label op i;
       (* Decide path verbatim from Algorithm 1, lines 7-17. *)
       let st = view state in
       let st =
         if Value.is_nil (get_v st i) then { st with upset = true } else st
       in
-      if st.upset then det (encode st) Value.Bot
+      if st.upset then det (encode st) Value.bot
       else
         let st, temp =
-          if not (Value.equal st.l (Value.Int i)) then (st, Value.Bot)
+          if not (Value.equal st.l (Value.int i)) then (st, Value.bot)
           else
             let st =
               if Value.is_nil st.value then { st with value = get_v st i }
@@ -63,7 +64,7 @@ let flipped_spec ~n =
             in
             (st, st.value)
         in
-        let st = set_v { st with l = Value.Nil } i Value.Nil in
+        let st = set_v { st with l = Value.nil } i Value.nil in
         det (encode st) temp
     | _ -> Obj_spec.unknown "mutant n-PAC" op
   in
@@ -71,10 +72,10 @@ let flipped_spec ~n =
     let v =
       Value.Assoc.of_bindings
         (List.map
-           (fun i -> (Value.Int i, Value.Nil))
+           (fun i -> (Value.int i, Value.nil))
            (Lbsa_util.Listx.range 1 n))
     in
-    encode { upset = false; v; l = Value.Nil; value = Value.Nil }
+    encode { upset = false; v; l = Value.nil; value = Value.nil }
   in
   Obj_spec.make ~name:(Fmt.str "mutant-%d-PAC" n) ~initial ~step ()
 

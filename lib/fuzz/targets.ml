@@ -9,7 +9,7 @@ open Lbsa_implement
 
 module Prng = Lbsa_util.Prng
 
-let small_int prng = Value.Int (Prng.int prng 4)
+let small_int prng = Value.int (Prng.int prng 4)
 
 (* --- spec-level targets ------------------------------------------------ *)
 
@@ -95,7 +95,7 @@ let spec_target desc =
           if Prng.int prng 3 = 2 then Classic.Compare_and_swap.read
           else
             let expected =
-              if Prng.bool prng then Value.Nil else small_int prng
+              if Prng.bool prng then Value.nil else small_int prng
             in
             Classic.Compare_and_swap.compare_and_swap ~expected
               ~desired:(small_int prng)),

@@ -134,10 +134,10 @@ let analyze ?(max_k = 3) ?(max_states = Lbsa_modelcheck.Graph.default_max_states
     (* Two clients on the k=1 member, one on each higher member: small
        enough for exhaustive interleaving checking, within port bounds. *)
     [|
-      [ O_prime.propose (Value.Int 10) 1 ];
-      [ O_prime.propose (Value.Int 20) 1 ];
+      [ O_prime.propose (Value.int 10) 1 ];
+      [ O_prime.propose (Value.int 20) 1 ];
       List.map
-        (fun k -> O_prime.propose (Value.Int 30) k)
+        (fun k -> O_prime.propose (Value.int 30) k)
         (Lbsa_util.Listx.range 2 max_k);
     |]
   in

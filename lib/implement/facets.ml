@@ -11,8 +11,8 @@ let pac_from_pac_nm ~n ~m : Implementation.t =
   let base = [| Pac_nm.spec ~n ~m () |] in
   let route (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ v; Value.Int i ] -> (0, Pac_nm.propose_p v i)
-    | "decide", [ Value.Int i ] -> (0, Pac_nm.decide_p i)
+    | "propose", [ v; { Value.node = Int i; _ } ] -> (0, Pac_nm.propose_p v i)
+    | "decide", [ { Value.node = Int i; _ } ] -> (0, Pac_nm.decide_p i)
     | _ -> invalid_arg (Fmt.str "Facets.pac_from_pac_nm: %a" Op.pp op)
   in
   Implementation.redirect

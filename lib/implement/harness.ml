@@ -116,8 +116,9 @@ let run_clients ?(nondet = First) ?(max_steps = 100_000)
    iff the produced concurrent history — with its in-flight calls given
    the drop-or-any-response completion semantics — linearizes against
    the target.  [session] (a [Checker.session] for [impl.target]) reuses
-   the checker's interning tables across checks; the outcome does not
-   depend on it. *)
+   the checker's spec-transition and state-set memos across checks
+   (value interning is global now, so that is all a session carries);
+   the outcome does not depend on it. *)
 let check ?session ?(nondet = First) ?(max_steps = 100_000)
     ~(impl : Implementation.t) ~workloads ~scheduler () =
   let run = run_clients ~nondet ~max_steps ~impl ~workloads ~scheduler () in

@@ -37,13 +37,14 @@ let identity (spec : Obj_spec.t) =
     program =
       (fun ~pid:_ op ->
         {
-          start = Value.Sym "invoke";
+          start = Value.sym "invoke";
           delta =
             (fun ~pid:_ state ->
               match state with
-              | Value.Sym "invoke" ->
-                Machine.invoke 0 op (fun r -> Value.Pair (Value.Sym "return", r))
-              | Value.Pair (Value.Sym "return", r) -> Machine.Decide r
+              | { Value.node = Sym "invoke"; _ } ->
+                Machine.invoke 0 op (fun r -> Value.pair (Value.sym "return", r))
+              | { Value.node = Pair ({ node = Sym "return"; _ }, r); _ } ->
+                Machine.Decide r
               | s -> Machine.bad_state ~machine:"identity" ~pid:0 s);
         });
   }
@@ -60,14 +61,15 @@ let redirect ~name ~target ~base ~(route : Op.t -> int * Op.t) =
       (fun ~pid:_ op ->
         let obj, base_op = route op in
         {
-          start = Value.Sym "invoke";
+          start = Value.sym "invoke";
           delta =
             (fun ~pid state ->
               match state with
-              | Value.Sym "invoke" ->
+              | { Value.node = Sym "invoke"; _ } ->
                 Machine.invoke obj base_op (fun r ->
-                    Value.Pair (Value.Sym "return", r))
-              | Value.Pair (Value.Sym "return", r) -> Machine.Decide r
+                    Value.pair (Value.sym "return", r))
+              | { Value.node = Pair ({ node = Sym "return"; _ }, r); _ } ->
+                Machine.Decide r
               | s -> Machine.bad_state ~machine:name ~pid s);
         });
   }

@@ -35,8 +35,8 @@ let implementation ~(power : O_prime.power) : Implementation.t =
   let target = O_prime.spec ~power () in
   let route (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ v; Value.Int 1 ] -> (0, Consensus_obj.propose v)
-    | "propose", [ v; Value.Int k ] when k >= 2 && k <= List.length power ->
+    | "propose", [ v; { Value.node = Int 1; _ } ] -> (0, Consensus_obj.propose v)
+    | "propose", [ v; { Value.node = Int k; _ } ] when k >= 2 && k <= List.length power ->
       (k - 1, Sa2.propose v)
     | _ ->
       invalid_arg (Fmt.str "Oprime_impl: unsupported operation %a" Op.pp op)

@@ -11,8 +11,8 @@ let implementation ~n ~m : Implementation.t =
   let route (op : Op.t) =
     match (op.name, op.args) with
     | "proposeC", [ v ] -> (1, Consensus_obj.propose v)
-    | "proposeP", [ v; Value.Int i ] -> (0, Pac.propose v i)
-    | "decideP", [ Value.Int i ] -> (0, Pac.decide i)
+    | "proposeP", [ v; { Value.node = Int i; _ } ] -> (0, Pac.propose v i)
+    | "decideP", [ { Value.node = Int i; _ } ] -> (0, Pac.decide i)
     | _ ->
       invalid_arg (Fmt.str "Pac_nm_impl: unsupported operation %a" Op.pp op)
   in

@@ -24,22 +24,22 @@ open Lbsa_runtime
    Also provided: [naive ~n], the broken single-collect scan, which the
    linearizability checker refutes (a negative fixture). *)
 
-let reg_content ~seq ~value ~view = Value.List [ Value.Int seq; value; view ]
+let reg_content ~seq ~value ~view = Value.list [ Value.int seq; value; view ]
 
-let initial_view n = Value.List (List.init n (fun _ -> Value.Nil))
+let initial_view n = Value.list (List.init n (fun _ -> Value.nil))
 
-let initial_reg n = reg_content ~seq:0 ~value:Value.Nil ~view:(initial_view n)
+let initial_reg n = reg_content ~seq:0 ~value:Value.nil ~view:(initial_view n)
 
 let seq_of = function
-  | Value.List [ Value.Int seq; _; _ ] -> seq
+  | { Value.node = List [ { node = Int seq; _ }; _; _ ]; _ } -> seq
   | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
 
 let value_of = function
-  | Value.List [ _; value; _ ] -> value
+  | { Value.node = List [ _; value; _ ]; _ } -> value
   | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
 
 let view_of = function
-  | Value.List [ _; _; view ] -> view
+  | { Value.node = List [ _; _; view ]; _ } -> view
   | v -> invalid_arg (Fmt.str "Snapshot_impl: bad register content %a" Value.pp v)
 
 (* --- the scan state machine ------------------------------------------
@@ -53,22 +53,22 @@ let view_of = function
    scan states into the caller's state space and [k] receives the final
    view. *)
 
-let scanning = Value.Sym "scanning"
+let scanning = Value.sym "scanning"
 
 let scan_state ~prev ~moved ~partial =
-  Value.List [ scanning; prev; moved; Value.List partial ]
+  Value.list [ scanning; prev; moved; Value.list partial ]
 
-let start_scan = scan_state ~prev:Value.Nil ~moved:Value.Assoc.empty ~partial:[]
+let start_scan = scan_state ~prev:Value.nil ~moved:Value.Assoc.empty ~partial:[]
 
 let is_scan_state = function
-  | Value.List [ tag; _; _; _ ] -> Value.equal tag scanning
+  | { Value.node = List [ tag; _; _; _ ]; _ } -> Value.equal tag scanning
   | _ -> false
 
 (* A collect just completed: decide whether the scan is done. *)
 let finish_or_continue ~n ~prev ~moved cur =
   let cur_list = Value.to_list_exn cur in
   match prev with
-  | Value.Nil -> `Continue (scan_state ~prev:cur ~moved ~partial:[])
+  | { Value.node = Nil; _ } -> `Continue (scan_state ~prev:cur ~moved ~partial:[])
   | _ ->
     let prev_list = Value.to_list_exn prev in
     let changed =
@@ -76,18 +76,18 @@ let finish_or_continue ~n ~prev ~moved cur =
         (fun j -> seq_of (List.nth prev_list j) <> seq_of (List.nth cur_list j))
         (Lbsa_util.Listx.range 0 (n - 1))
     in
-    if changed = [] then `Done (Value.List (List.map value_of cur_list))
+    if changed = [] then `Done (Value.list (List.map value_of cur_list))
     else begin
       let moved, borrowed =
         List.fold_left
           (fun (moved, borrowed) j ->
-            let key = Value.Int j in
+            let key = Value.int j in
             let count =
               match Value.Assoc.get moved key with
-              | Some (Value.Int c) -> c
+              | Some { Value.node = Int c; _ } -> c
               | _ -> 0
             in
-            let moved = Value.Assoc.set moved key (Value.Int (count + 1)) in
+            let moved = Value.Assoc.set moved key (Value.int (count + 1)) in
             let borrowed =
               if count + 1 >= 2 && borrowed = None then
                 Some (view_of (List.nth cur_list j))
@@ -103,14 +103,14 @@ let finish_or_continue ~n ~prev ~moved cur =
 
 let scan_step ~n ~wrap ~k state : Machine.step =
   match state with
-  | Value.List [ _tag; prev; moved; Value.List partial ] ->
+  | { Value.node = List [ _tag; prev; moved; { node = List partial; _ } ]; _ } ->
     let idx = List.length partial in
     Machine.invoke idx Register.read (fun r ->
         let partial = r :: partial in
         if List.length partial < n then
           wrap (scan_state ~prev ~moved ~partial)
         else
-          let cur = Value.List (List.rev partial) in
+          let cur = Value.list (List.rev partial) in
           match finish_or_continue ~n ~prev ~moved cur with
           | `Done view -> k view
           | `Continue state' -> wrap state')
@@ -131,43 +131,45 @@ let implementation ~n : Implementation.t =
             | s when is_scan_state s ->
               scan_step ~n
                 ~wrap:(fun s' -> s')
-                ~k:(fun view -> Value.Pair (Value.Sym "return", view))
+                ~k:(fun view -> Value.pair (Value.sym "return", view))
                 s
-            | Value.Pair (Value.Sym "return", view) -> Machine.Decide view
+            | { Value.node = Pair ({ node = Sym "return"; _ }, view); _ } ->
+              Machine.Decide view
             | s -> Machine.bad_state ~machine:"snapshot-scan" ~pid s);
       }
-    | "update", [ Value.Int i; v ] when i = pid ->
+    | "update", [ { Value.node = Int i; _ }; v ] when i = pid ->
       (* States: Sym "read-own"
                  -> Pair (Int seq, <scan state>)      (embedded scan)
                  -> Pair (Int seq, Pair ("write", view))
                  -> Sym "done" *)
       {
-        start = Value.Sym "read-own";
+        start = Value.sym "read-own";
         delta =
           (fun ~pid state ->
             match state with
-            | Value.Sym "read-own" ->
+            | { Value.node = Sym "read-own"; _ } ->
               Machine.invoke pid Register.read (fun r ->
-                  Value.Pair (Value.Int (seq_of r), start_scan))
-            | Value.Pair ((Value.Int seq as hdr), inner) -> (
+                  Value.pair (Value.int (seq_of r), start_scan))
+            | { Value.node = Pair (({ node = Int seq; _ } as hdr), inner); _ }
+              -> (
               if is_scan_state inner then
                 scan_step ~n
-                  ~wrap:(fun s' -> Value.Pair (hdr, s'))
+                  ~wrap:(fun s' -> Value.pair (hdr, s'))
                   ~k:(fun view ->
-                    Value.Pair (hdr, Value.Pair (Value.Sym "write", view)))
+                    Value.pair (hdr, Value.pair (Value.sym "write", view)))
                   inner
               else
                 match inner with
-                | Value.Pair (Value.Sym "write", view) ->
+                | { Value.node = Pair ({ node = Sym "write"; _ }, view); _ } ->
                   Machine.invoke pid
                     (Register.write
                        (reg_content ~seq:(seq + 1) ~value:v ~view))
-                    (fun _ -> Value.Sym "done")
+                    (fun _ -> Value.sym "done")
                 | s -> Machine.bad_state ~machine:"snapshot-update" ~pid s)
-            | Value.Sym "done" -> Machine.Decide Value.Unit
+            | { Value.node = Sym "done"; _ } -> Machine.Decide Value.unit_
             | s -> Machine.bad_state ~machine:"snapshot-update" ~pid s);
       }
-    | "update", [ Value.Int i; _ ] ->
+    | "update", [ { Value.node = Int i; _ }; _ ] ->
       invalid_arg
         (Fmt.str
            "Snapshot_impl: single-writer snapshot; process %d cannot update \
@@ -188,31 +190,36 @@ let naive ~n : Implementation.t =
     match (op.name, op.args) with
     | "scan", [] ->
       {
-        start = Value.List [];
+        start = Value.list [];
         delta =
           (fun ~pid state ->
             match state with
-            | Value.List partial when List.length partial < n ->
+            | { Value.node = List partial; _ } when List.length partial < n ->
               Machine.invoke (List.length partial) Register.read (fun r ->
-                  Value.List (partial @ [ value_of r ]))
-            | Value.List partial -> Machine.Decide (Value.List partial)
+                  Value.list (partial @ [ value_of r ]))
+            | { Value.node = List partial; _ } ->
+              Machine.Decide (Value.list partial)
             | s -> Machine.bad_state ~machine:"naive-scan" ~pid s);
       }
-    | "update", [ Value.Int i; v ] when i = pid ->
+    | "update", [ { Value.node = Int i; _ }; v ] when i = pid ->
       {
-        start = Value.Sym "read-own";
+        start = Value.sym "read-own";
         delta =
           (fun ~pid state ->
             match state with
-            | Value.Sym "read-own" ->
+            | { Value.node = Sym "read-own"; _ } ->
               Machine.invoke pid Register.read (fun r ->
-                  Value.Pair (Value.Sym "write", Value.Int (seq_of r)))
-            | Value.Pair (Value.Sym "write", Value.Int seq) ->
+                  Value.pair (Value.sym "write", Value.int (seq_of r)))
+            | {
+                Value.node =
+                  Pair ({ node = Sym "write"; _ }, { node = Int seq; _ });
+                _;
+              } ->
               Machine.invoke pid
                 (Register.write
                    (reg_content ~seq:(seq + 1) ~value:v ~view:(initial_view n)))
-                (fun _ -> Value.Sym "done")
-            | Value.Sym "done" -> Machine.Decide Value.Unit
+                (fun _ -> Value.sym "done")
+            | { Value.node = Sym "done"; _ } -> Machine.Decide Value.unit_
             | s -> Machine.bad_state ~machine:"naive-update" ~pid s);
       }
     | _ -> invalid_arg (Fmt.str "Snapshot_impl.naive: unsupported %a" Op.pp op)

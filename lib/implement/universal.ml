@@ -46,20 +46,21 @@ open Lbsa_runtime
 
 (* --- value encodings --------------------------------------------------- *)
 
-let encode_op (op : Op.t) = Value.Pair (Value.Sym op.Op.name, Value.List op.Op.args)
+let encode_op (op : Op.t) = Value.pair (Value.sym op.Op.name, Value.list op.Op.args)
 
 let decode_op = function
-  | Value.Pair (Value.Sym name, Value.List args) -> Op.make name args
+  | { Value.node = Pair ({ node = Sym name; _ }, { node = List args; _ }); _ } ->
+    Op.make name args
   | v -> invalid_arg (Fmt.str "Universal.decode_op: %a" Value.pp v)
 
-let entry ~uid ~op = Value.Pair (uid, encode_op op)
+let entry ~uid ~op = Value.pair (uid, encode_op op)
 
 let uid_of_entry = function
-  | Value.Pair (uid, _) -> uid
+  | { Value.node = Pair (uid, _); _ } -> uid
   | v -> invalid_arg (Fmt.str "Universal.uid_of_entry: %a" Value.pp v)
 
 let op_of_entry = function
-  | Value.Pair (_, enc) -> decode_op enc
+  | { Value.node = Pair (_, enc); _ } -> decode_op enc
   | v -> invalid_arg (Fmt.str "Universal.op_of_entry: %a" Value.pp v)
 
 (* Deduplicate a raw log by uid, keeping first occurrences. *)
@@ -89,7 +90,7 @@ let count_own ~pid raw_entries =
     (List.filter
        (fun e ->
          match uid_of_entry e with
-         | Value.Pair (Value.Int p, _) -> p = pid
+         | { Value.node = Pair ({ node = Int p; _ }, _); _ } -> p = pid
          | _ -> false)
        (dedup_log raw_entries))
 
@@ -125,7 +126,7 @@ let implementation ?(max_slots = 64) ?consensus_m ~n ~(target : Obj_spec.t) ()
       (fun i ->
         if i < n then Register.spec () (* announce *)
         else if i < 2 * n then
-          Register.spec ~init:Value.(Pair (Int 0, List [])) () (* progress *)
+          Register.spec ~init:Value.(pair (int 0, list [])) () (* progress *)
         else Consensus_obj.spec ~m:consensus_m ())
   in
   (* Local states of one operation's program:
@@ -135,51 +136,95 @@ let implementation ?(max_slots = 64) ?consensus_m ~n ~(target : Obj_spec.t) ()
        Pair(Sym "propose",   Pair(uid, Pair(Int s, Pair(List log, cand))))
        Pair(Sym "return",    response)                                  *)
   let walk ~uid ~s ~log tag =
-    Value.(Pair (Sym tag, Pair (uid, Pair (Int s, List log))))
+    Value.(pair (sym tag, pair (uid, pair (int s, list log))))
   in
   let program ~pid:_ (op : Op.t) : Implementation.op_program =
     let name = "universal" in
     let delta ~pid state =
       match state with
-      | Value.Sym "start" ->
+      | { Value.node = Sym "start"; _ } ->
         Machine.invoke (progress pid) Register.read (fun pr ->
             match pr with
-            | Value.Pair (Value.Int s, Value.List log) ->
+            | {
+                Value.node = Pair ({ node = Int s; _ }, { node = List log; _ });
+                _;
+              } ->
               let seq = count_own ~pid log + 1 in
-              let uid = Value.(Pair (Int pid, Int seq)) in
+              let uid = Value.(pair (int pid, int seq)) in
               walk ~uid ~s ~log "announce"
             | v ->
               invalid_arg
                 (Fmt.str "universal: bad progress register %a" Value.pp v))
-      | Value.Pair
-          (Value.Sym "announce",
-           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+      | {
+          Value.node =
+            Pair
+              ( { node = Sym "announce"; _ },
+                {
+                  node =
+                    Pair
+                      ( uid,
+                        {
+                          node = Pair ({ node = Int s; _ }, { node = List log; _ });
+                          _;
+                        } );
+                  _;
+                } );
+          _;
+        } ->
         Machine.invoke (announce pid)
           (Register.write (entry ~uid ~op))
           (fun _ -> walk ~uid ~s ~log "help")
-      | Value.Pair
-          (Value.Sym "help",
-           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+      | {
+          Value.node =
+            Pair
+              ( { node = Sym "help"; _ },
+                {
+                  node =
+                    Pair
+                      ( uid,
+                        {
+                          node = Pair ({ node = Int s; _ }, { node = List log; _ });
+                          _;
+                        } );
+                  _;
+                } );
+          _;
+        } ->
         (* Read the announce register of the process this slot helps. *)
         Machine.invoke (announce (s mod n)) Register.read (fun a ->
             let own = entry ~uid ~op in
             let cand =
               match a with
-              | Value.Pair (auid, _)
+              | { Value.node = Pair (auid, _); _ }
                 when (not (Value.equal auid uid)) && not (in_log ~uid:auid log)
                 ->
                 a
               | _ -> own
             in
             Value.(
-              Pair
-                ( Sym "propose",
-                  Pair (uid, Pair (Int s, Pair (List log, cand))) )))
-      | Value.Pair
-          (Value.Sym "propose",
-           Value.Pair
-             (uid, Value.Pair (Value.Int s, Value.Pair (Value.List log, cand))))
-        ->
+              pair
+                ( sym "propose",
+                  pair (uid, pair (int s, pair (list log, cand))) )))
+      | {
+          Value.node =
+            Pair
+              ( { node = Sym "propose"; _ },
+                {
+                  node =
+                    Pair
+                      ( uid,
+                        {
+                          node =
+                            Pair
+                              ( { node = Int s; _ },
+                                { node = Pair ({ node = List log; _ }, cand); _ }
+                              );
+                          _;
+                        } );
+                  _;
+                } );
+          _;
+        } ->
         Machine.invoke (slot s)
           (Consensus_obj.propose cand)
           (fun decided ->
@@ -192,25 +237,45 @@ let implementation ?(max_slots = 64) ?consensus_m ~n ~(target : Obj_spec.t) ()
               let log = log @ [ decided ] in
               if Value.equal (uid_of_entry decided) uid then
                 Value.(
-                  Pair
-                    ( Sym "record",
-                      Pair (uid, Pair (Int (s + 1), List log)) ))
+                  pair
+                    ( sym "record",
+                      pair (uid, pair (int (s + 1), list log)) ))
               else walk ~uid ~s:(s + 1) ~log "help")
-      | Value.Pair
-          (Value.Sym "record",
-           Value.Pair (uid, Value.Pair (Value.Int s, Value.List log))) ->
+      | {
+          Value.node =
+            Pair
+              ( { node = Sym "record"; _ },
+                {
+                  node =
+                    Pair
+                      ( uid,
+                        {
+                          node = Pair ({ node = Int s; _ }, { node = List log; _ });
+                          _;
+                        } );
+                  _;
+                } );
+          _;
+        } ->
         (* Save the frontier, then clear the announcement and return. *)
         Machine.invoke (progress pid)
-          (Register.write Value.(Pair (Int s, List log)))
+          (Register.write Value.(pair (int s, list log)))
           (fun _ ->
-            Value.(Pair (Sym "clear", Pair (uid, List log))))
-      | Value.Pair (Value.Sym "clear", Value.Pair (uid, Value.List log)) ->
-        Machine.invoke (announce pid) (Register.write Value.Nil) (fun _ ->
-            Value.Pair (Value.Sym "return", response_of ~target ~uid log))
-      | Value.Pair (Value.Sym "return", response) -> Machine.Decide response
+            Value.(pair (sym "clear", pair (uid, list log))))
+      | {
+          Value.node =
+            Pair
+              ( { node = Sym "clear"; _ },
+                { node = Pair (uid, { node = List log; _ }); _ } );
+          _;
+        } ->
+        Machine.invoke (announce pid) (Register.write Value.nil) (fun _ ->
+            Value.pair (Value.sym "return", response_of ~target ~uid log))
+      | { Value.node = Pair ({ node = Sym "return"; _ }, response); _ } ->
+        Machine.Decide response
       | s -> Machine.bad_state ~machine:name ~pid s
     in
-    { Implementation.start = Value.Sym "start"; delta }
+    { Implementation.start = Value.sym "start"; delta }
   in
   Implementation.make
     ~name:(Fmt.str "universal-%s-from-%d-consensus" target.Obj_spec.name n)

@@ -16,11 +16,19 @@ open Lbsa_spec
    exponential blowup; histories are expected to be small (tens of
    calls).
 
-   Spec states are interned to small ints in a {!session}, and canonical
-   state sets (sorted id lists) are themselves interned, so the DFS
-   threads a single machine int per node and the memo key is just
-   [(done_mask, set id)] — no structural hashing of value trees on the
-   hot path.  On top of that the session memoizes whole transitions:
+   Spec states are hash-consed [Value]s, so each state already carries a
+   canonical small int: its global intern id.  The per-session
+   state-interning layer the checker used to maintain (a value-to-id
+   hashtable plus an id-to-value array, rebuilt per session) collapsed
+   onto those ids and was deleted.  Canonical state sets (members sorted
+   by value id) are still interned per session, so the DFS threads a
+   single machine int per node and the memo key is just
+   [(done_mask, set id)] — no structural hashing or comparison of value
+   trees anywhere on the hot path.  Sorting set members by intern id is
+   safe despite ids being allocation-order-dependent: the order is a
+   private canonical form for the session's memo tables and never
+   reaches a caller (see the invariant note in [Value]).  On top of that
+   the session memoizes whole transitions:
    [(set id, op id) -> [(response, next set id)]], filled from the
    [Obj_spec.branches] memo on first use.  The same (state set, op,
    response) triples recur across DFS branches and across the thousands
@@ -38,20 +46,11 @@ open Lbsa_spec
    a pending call as an optional step whose application unions the
    next-states of every branch. *)
 
-module VTbl = Hashtbl.Make (struct
-  type t = Value.t
-
-  let equal = Value.equal
-  let hash = Value.hash
-end)
-
 module OTbl = Hashtbl.Make (struct
   type t = Op.t
 
   let equal = Op.equal
-
-  let hash (o : Op.t) =
-    List.fold_left Value.hash_fold (Hashtbl.hash o.name) o.args
+  let hash = Op.hash
 end)
 
 type pending = { pid : int; op : Op.t; inv : int }
@@ -71,19 +70,17 @@ let max_calls = Sys.int_size - 1
 
 type session = {
   spec : Obj_spec.t;
-  state_ids : int VTbl.t;  (* spec state -> interned id *)
-  mutable state_vals : Value.t array;  (* interned id -> spec state *)
-  mutable n_states : int;
   op_ids : int OTbl.t;
   mutable n_ops : int;
   mutable last_op : (Op.t * int) option;
       (* one-entry structural cache in front of [op_ids]: workloads draw
          from a small op menu, so consecutive calls usually carry equal
          ops and [Op.equal] is cheaper than hashing *)
-  branch_tbl : (int * int, (int * Value.t) array) Hashtbl.t;
-      (* (state id, op id) -> [(next state id, response)] *)
-  set_ids : (int list, int) Hashtbl.t;  (* sorted state ids -> set id *)
-  mutable set_members : int list array;  (* set id -> its sorted ids *)
+  branch_tbl : (int * int, (Value.t * Value.t) array) Hashtbl.t;
+      (* (state value id, op id) -> [(next state, response)] *)
+  set_ids : (int list, int) Hashtbl.t;
+      (* sorted state value ids -> set id *)
+  mutable set_members : Value.t list array;  (* set id -> members, id-sorted *)
   mutable n_sets : int;
   mutable trans : (int * Value.t * int) list array;
       (* set id -> (op id, response, successor set id), filled lazily per
@@ -96,20 +93,11 @@ type session = {
   mutable init_set : int;  (* interned {initial} *)
 }
 
-let intern_state t v =
-  match VTbl.find_opt t.state_ids v with
-  | Some i -> i
-  | None ->
-    let i = t.n_states in
-    if i = Array.length t.state_vals then begin
-      let a = Array.make (max 8 (2 * i)) v in
-      Array.blit t.state_vals 0 a 0 i;
-      t.state_vals <- a
-    end;
-    t.state_vals.(i) <- v;
-    VTbl.add t.state_ids v i;
-    t.n_states <- i + 1;
-    i
+(* The session's canonical member order: by global intern id.  Ids are
+   allocation-order-dependent, but this order is a private key format
+   for [set_ids]/[set_members] and never escapes the session, so no
+   observable result depends on it. *)
+let compare_by_id (a : Value.t) (b : Value.t) = Int.compare a.Value.id b.Value.id
 
 let intern_op t op =
   match t.last_op with
@@ -127,14 +115,16 @@ let intern_op t op =
     t.last_op <- Some (op, i);
     i
 
-let intern_set t ids =
+(* [members] must be sorted by [compare_by_id] and duplicate-free. *)
+let intern_set t members =
+  let ids = List.map (fun (v : Value.t) -> v.Value.id) members in
   match Hashtbl.find_opt t.set_ids ids with
   | Some i -> i
   | None ->
     let i = t.n_sets in
     if i = Array.length t.set_members then begin
       let cap = max 8 (2 * i) in
-      let a = Array.make cap ids in
+      let a = Array.make cap members in
       Array.blit t.set_members 0 a 0 i;
       t.set_members <- a;
       let tr = Array.make cap [] in
@@ -144,23 +134,22 @@ let intern_set t ids =
       Array.blit t.trans_any 0 ta 0 i;
       t.trans_any <- ta
     end;
-    t.set_members.(i) <- ids;
+    t.set_members.(i) <- members;
     Hashtbl.add t.set_ids ids i;
     t.n_sets <- i + 1;
     i
 
-let branches t s_id op_id op =
-  match Hashtbl.find_opt t.branch_tbl (s_id, op_id) with
+let branches t (s : Value.t) op_id op =
+  let key = (s.Value.id, op_id) in
+  match Hashtbl.find_opt t.branch_tbl key with
   | Some a -> a
   | None ->
-    let bs = Obj_spec.branches t.spec t.state_vals.(s_id) op in
+    let bs = Obj_spec.branches t.spec s op in
     let a =
       Array.of_list
-        (List.map
-           (fun (b : Obj_spec.branch) -> (intern_state t b.next, b.response))
-           bs)
+        (List.map (fun (b : Obj_spec.branch) -> (b.next, b.response)) bs)
     in
-    Hashtbl.add t.branch_tbl (s_id, op_id) a;
+    Hashtbl.add t.branch_tbl key a;
     a
 
 (* Successor set of [set_id] under a completed call: every branch of
@@ -178,9 +167,9 @@ let step t set_id op_id op response =
             (branches t s op_id op))
         t.set_members.(set_id);
       let next =
-        match List.sort_uniq compare !acc with
+        match List.sort_uniq compare_by_id !acc with
         | [] -> -1
-        | ids -> intern_set t ids
+        | members -> intern_set t members
       in
       (* [intern_set] may have swapped [t.trans] for a grown copy:
          re-read it when consing. *)
@@ -201,7 +190,7 @@ let step_any t set_id op_id op =
           Array.iter (fun (next, _) -> acc := next :: !acc)
             (branches t s op_id op))
         t.set_members.(set_id);
-      let next = intern_set t (List.sort_uniq compare !acc) in
+      let next = intern_set t (List.sort_uniq compare_by_id !acc) in
       t.trans_any.(set_id) <- (op_id, next) :: t.trans_any.(set_id);
       next
     | (o, next) :: tl -> if o = op_id then next else assoc tl
@@ -212,9 +201,6 @@ let session (spec : Obj_spec.t) =
   let t =
     {
       spec;
-      state_ids = VTbl.create 16;
-      state_vals = [||];
-      n_states = 0;
       op_ids = OTbl.create 16;
       n_ops = 0;
       last_op = None;
@@ -227,8 +213,7 @@ let session (spec : Obj_spec.t) =
       init_set = 0;
     }
   in
-  let s0 = intern_state t spec.initial in
-  t.init_set <- intern_set t [ s0 ];
+  t.init_set <- intern_set t [ spec.initial ];
   t
 
 let check_with ?(memo = true) ?(pending = []) (t : session) (h : Chistory.t) :

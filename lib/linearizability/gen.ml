@@ -71,7 +71,7 @@ let linearizable_history ~(prng : Lbsa_util.Prng.t) ~(spec : Obj_spec.t)
    symbol), then certify non-linearizability with the checker; resample
    the perturbed call up to [attempts] times before giving up. *)
 let corrupt ~(prng : Lbsa_util.Prng.t) ~(spec : Obj_spec.t)
-    ?(substitute = Value.Sym "corrupted") ?(attempts = 16) (h : Chistory.t) :
+    ?(substitute = Value.sym "corrupted") ?(attempts = 16) (h : Chistory.t) :
     Chistory.t option =
   match h with
   | [] -> None

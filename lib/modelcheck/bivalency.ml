@@ -195,7 +195,7 @@ let aborts_are_0_valent (a : Valence.analysis) (graph : Graph.t) =
       if !bad = None && config.status.(0) = Config.Aborted then
         match Valence.decision_set a id with
         | [] -> ()
-        | [ v ] when Value.equal v (Value.Int 0) -> ()
+        | [ v ] when Value.equal v (Value.int 0) -> ()
         | _ -> bad := Some id)
     graph;
   match !bad with

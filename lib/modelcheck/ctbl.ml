@@ -2,9 +2,17 @@ open Lbsa_runtime
 
 (* Open-addressing hash table from configurations to node ids — the dedup
    structure of the explorer.  Linear probing over power-of-two capacity;
-   stored hashes let most probe misses skip the structural [Config.equal].
-   Replaces the seed's [Map.Make(Config)], whose every lookup paid
-   O(log n) full structural compares. *)
+   stored hashes let most probe misses skip [Config.equal] entirely, and
+   with hash-consed values the equal that does run is a per-element
+   pointer scan, not a tree walk.  Replaces the seed's
+   [Map.Make(Config)], whose every lookup paid O(log n) full structural
+   compares.
+
+   The table counts its probe traffic ([probes] slot inspections,
+   [hash_skips] occupied slots dismissed on stored-hash mismatch alone,
+   [equal_confirms] slots where [Config.equal] actually ran) so the
+   bench harness can report how much structural comparison the cached
+   hashes avoid. *)
 
 let dummy : Config.t = { locals = [||]; objects = [||]; status = [||] }
 
@@ -14,7 +22,12 @@ type t = {
   mutable keys : Config.t array;  (* physically [dummy] = empty slot *)
   mutable hashes : int array;
   mutable ids : int array;
+  mutable n_probes : int;
+  mutable n_hash_skips : int;
+  mutable n_equal_confirms : int;
 }
+
+type probe_stats = { probes : int; hash_skips : int; equal_confirms : int }
 
 let create n =
   let cap = ref 16 in
@@ -27,14 +40,38 @@ let create n =
     keys = Array.make !cap dummy;
     hashes = Array.make !cap 0;
     ids = Array.make !cap (-1);
+    n_probes = 0;
+    n_hash_skips = 0;
+    n_equal_confirms = 0;
   }
 
 let length t = t.size
 
+let probe_stats t =
+  {
+    probes = t.n_probes;
+    hash_skips = t.n_hash_skips;
+    equal_confirms = t.n_equal_confirms;
+  }
+
 let rec probe t key hash i =
+  t.n_probes <- t.n_probes + 1;
   if t.keys.(i) == dummy then `Empty i
-  else if t.hashes.(i) = hash && Config.equal t.keys.(i) key then `Found i
-  else probe t key hash ((i + 1) land t.mask)
+  else if t.hashes.(i) <> hash then begin
+    t.n_hash_skips <- t.n_hash_skips + 1;
+    probe t key hash ((i + 1) land t.mask)
+  end
+  else begin
+    t.n_equal_confirms <- t.n_equal_confirms + 1;
+    if Config.equal t.keys.(i) key then `Found i
+    else probe t key hash ((i + 1) land t.mask)
+  end
+
+(* Reinsertion during [grow] never compares keys (all stored keys are
+   distinct), so it bypasses the counting probe and leaves the stats
+   reflecting only lookup traffic. *)
+let rec probe_empty t hash i =
+  if t.keys.(i) == dummy then i else probe_empty t hash ((i + 1) land t.mask)
 
 let grow t =
   let old_keys = t.keys and old_hashes = t.hashes and old_ids = t.ids in
@@ -47,12 +84,10 @@ let grow t =
     (fun i k ->
       if k != dummy then begin
         let h = old_hashes.(i) in
-        match probe t k h (h land t.mask) with
-        | `Empty j ->
-          t.keys.(j) <- k;
-          t.hashes.(j) <- h;
-          t.ids.(j) <- old_ids.(i)
-        | `Found _ -> assert false
+        let j = probe_empty t h (h land t.mask) in
+        t.keys.(j) <- k;
+        t.hashes.(j) <- h;
+        t.ids.(j) <- old_ids.(i)
       end)
     old_keys
 

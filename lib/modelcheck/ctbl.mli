@@ -8,6 +8,18 @@ open Lbsa_runtime
 
 type t
 
+type probe_stats = {
+  probes : int;  (** total slot inspections across all lookups *)
+  hash_skips : int;
+      (** occupied slots dismissed on stored-hash mismatch alone — each
+          one a structural [Config.equal] the cached hashes avoided *)
+  equal_confirms : int;  (** slots where [Config.equal] actually ran *)
+}
+
+val probe_stats : t -> probe_stats
+(** Probe-traffic counters since {!create}.  Reinsertions during
+    internal growth are not counted; the numbers reflect lookups only. *)
+
 val create : int -> t
 (** [create n] sizes the table for about [n] expected entries (it grows
     as needed regardless). *)

@@ -13,10 +13,19 @@ open Lbsa_runtime
    single-threaded FIFO BFS, the resulting graph — ids, edge order,
    truncation point — is bit-identical regardless of the domain count,
    so every downstream table and test is reproducible.  Dedup goes
-   through {!Ctbl}, an open-addressing hash set keyed on the full
-   element-wise [Config.hash].  Out-edges live in one flat array in CSR
-   form (per-node slices via [offsets]) instead of a per-node list
-   array. *)
+   through {!Ctbl}, an open-addressing hash set keyed on [Config.hash] —
+   with hash-consed values that is a fold over cached per-element
+   hashes, O(#processes) per configuration, so the build needs no
+   incremental hashing machinery of its own.  (An earlier revision
+   threaded parent-to-child element-hash arrays through the frontier to
+   avoid rehashing whole value trees; interning made that redundant and
+   it was deleted.)  Out-edges live in one flat array in CSR form
+   (per-node slices via [offsets]) instead of a per-node list array.
+
+   Determinism caveat: everything stored or ordered here — node ids,
+   edge order, [Config.hash] — is structural.  Value intern ids are
+   allocation-order-dependent and must never feed into this module's
+   hashes or orderings; see the invariant note in [Value]. *)
 
 type edge = { pid : int; event : Config.event; target : int }
 
@@ -28,6 +37,7 @@ type stats = {
   peak_frontier : int;
   dedup_hits : int;  (* successors that were already-known states *)
   dedup_rate : float;  (* dedup_hits / successors generated *)
+  probe : Ctbl.probe_stats;  (* dedup-table probe traffic; zeros for build_cmap *)
   wall_s : float;
   states_per_sec : float;
   domains : int;
@@ -49,11 +59,13 @@ let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>states: %d%s@,edges: %d@,levels: %d (peak frontier %d)@,\
      dedup: %d hits (%.1f%% of %d successors)@,\
+     probes: %d (%d skipped on hash, %d equal-confirms)@,\
      wall: %.3f s (%.0f states/s, %d domain%s)@]"
     s.states
     (if s.truncated then " [TRUNCATED]" else "")
     s.edges s.levels s.peak_frontier s.dedup_hits (100. *. s.dedup_rate)
     (s.dedup_hits + s.states - 1 + if s.truncated then 1 else 0)
+    s.probe.Ctbl.probes s.probe.Ctbl.hash_skips s.probe.Ctbl.equal_confirms
     s.wall_s s.states_per_sec s.domains
     (if s.domains = 1 then "" else "s")
 
@@ -129,66 +141,6 @@ let expand ~domains ~machine ~specs frontier n =
 
 let default_max_states = 1_000_000
 
-(* The explorer's configuration hash: the FNV-style combination of
-   per-element full-tree hashes.  Computing it relative to the parent
-   configuration makes it cheap: a step rebuilds only the one local and
-   one object it touches, so every element still physically shared with
-   the parent reuses the parent's element hash and only the ~2 fresh
-   subtrees are walked.  Structurally equal configurations reached from
-   different parents hash identically — sharing only skips
-   recomputation.  (This function replaces [Config.hash] inside [build];
-   the table only needs one consistent hash per run.) *)
-let hash_status acc = function
-  | Config.Running -> Lbsa_spec.Value.hash_combine acc 29
-  | Config.Decided v ->
-    Lbsa_spec.Value.hash_combine
-      (Lbsa_spec.Value.hash_combine acc 31)
-      (Lbsa_spec.Value.hash v)
-  | Config.Aborted -> Lbsa_spec.Value.hash_combine acc 37
-  | Config.Crashed -> Lbsa_spec.Value.hash_combine acc 41
-
-let elem_hashes (c : Config.t) =
-  ( Array.map Lbsa_spec.Value.hash c.locals,
-    Array.map Lbsa_spec.Value.hash c.objects )
-
-(* Element-hash arrays of a child, derived from its parent's: a step
-   rebuilds at most one local and one object (decide/abort steps rebuild
-   neither), so almost every slot reuses the parent's hash.  An array
-   still physically shared with the parent reuses the hash array as-is
-   (zero allocation for status-only steps).  The BFS threads these
-   arrays along with the frontier, so element hashes are computed fresh
-   only for the ~2 subtrees each step actually rebuilds. *)
-let child_elem_hashes ~(parent : Config.t) ~hl ~ho (c : Config.t) =
-  let derive base hashes arr =
-    if arr == base then hashes
-    else
-      Array.mapi
-        (fun i v ->
-          if v == base.(i) then hashes.(i) else Lbsa_spec.Value.hash v)
-        arr
-  in
-  (derive parent.locals hl c.locals, derive parent.objects ho c.objects)
-
-let succ_hash ~(parent : Config.t) ~hl ~ho (c : Config.t) =
-  let comb = Lbsa_spec.Value.hash_combine in
-  let acc = ref 0x811c9dc5 in
-  let pl = parent.locals and po = parent.objects in
-  let cl = c.locals and co = c.objects and cs = c.status in
-  for i = 0 to Array.length cl - 1 do
-    let v = cl.(i) in
-    acc := comb !acc (if v == pl.(i) then hl.(i) else Lbsa_spec.Value.hash v)
-  done;
-  acc := comb !acc 43;
-  for i = 0 to Array.length co - 1 do
-    let v = co.(i) in
-    acc := comb !acc (if v == po.(i) then ho.(i) else Lbsa_spec.Value.hash v)
-  done;
-  acc := comb !acc 47;
-  for i = 0 to Array.length cs - 1 do
-    acc := hash_status !acc cs.(i)
-  done;
-  !acc land max_int
-
 let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let domains =
@@ -209,13 +161,11 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
   let n_succs = ref 0 in
   let frontier_sizes = Dyn.create () in
   (* Two frontier buffers, swapped each level; no per-level copying.
-     [cur_h]/[nxt_h] carry each frontier node's element-hash arrays,
-     index-aligned with [cur]/[nxt], so children derive their hashes
-     from their parent's instead of rehashing whole configurations. *)
+     Hashing a candidate successor is [Config.hash]: a fold over the
+     elements' cached hash fields, so there is nothing to carry between
+     parent and child any more. *)
   let cur = ref (Dyn.create ()) in
   let nxt = ref (Dyn.create ()) in
-  let cur_h = ref (Dyn.create ()) in
-  let nxt_h = ref (Dyn.create ()) in
   let register config =
     let id = !n_nodes in
     incr n_nodes;
@@ -223,35 +173,24 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     Dyn.push !nxt config;
     id
   in
-  let init_hl, init_ho = elem_hashes init in
-  ignore
-    (Ctbl.find_or_add tbl init
-       ~hash:(succ_hash ~parent:init ~hl:init_hl ~ho:init_ho init)
-       ~if_absent:register);
-  Dyn.push !nxt_h (init_hl, init_ho);
+  ignore (Ctbl.find_or_add tbl init ~hash:(Config.hash init) ~if_absent:register);
   while (!nxt).Dyn.len > 0 do
     let f = !nxt in
     nxt := !cur;
     cur := f;
     (!nxt).Dyn.len <- 0;
-    let f_h = !nxt_h in
-    nxt_h := !cur_h;
-    cur_h := f_h;
-    (!nxt_h).Dyn.len <- 0;
     Dyn.push frontier_sizes f.Dyn.len;
     let succs = expand ~domains ~machine ~specs f.Dyn.arr f.Dyn.len in
     Array.iteri
-      (fun i succ_list ->
+      (fun _i succ_list ->
         (* Nodes are expanded in id order, so this records offsets.(id). *)
         Dyn.push offsets edges.Dyn.len;
-        let parent = f.Dyn.arr.(i) in
-        let hl, ho = f_h.Dyn.arr.(i) in
         List.iter
           (fun (pid, branches) ->
             List.iter
               (fun ((config' : Config.t), event) ->
                 incr n_succs;
-                let hash = succ_hash ~parent ~hl ~ho config' in
+                let hash = Config.hash config' in
                 (* target = -1 marks a successor dropped by truncation. *)
                 let target =
                   let before = Ctbl.length tbl in
@@ -259,10 +198,7 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
                     let id =
                       Ctbl.find_or_add tbl config' ~hash ~if_absent:register
                     in
-                    if Ctbl.length tbl = before then incr dedup_hits
-                    else
-                      Dyn.push !nxt_h
-                        (child_elem_hashes ~parent ~hl ~ho config');
+                    if Ctbl.length tbl = before then incr dedup_hits;
                     id
                   end
                   else
@@ -292,6 +228,7 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
       dedup_hits = !dedup_hits;
       dedup_rate =
         (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
+      probe = Ctbl.probe_stats tbl;
       wall_s;
       states_per_sec =
         (if wall_s > 0. then float !n_nodes /. wall_s else float !n_nodes);
@@ -314,17 +251,19 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
    graph.
 
    The comparator reproduces the seed's comparison path verbatim — in
-   particular WITHOUT the physical-equality fast paths [Value.compare]
-   has since gained — so benchmarking [build] against [build_cmap]
-   measures the new engine against the explorer the seed shipped, not a
-   baseline retroactively sped up by this refactor. *)
+   particular WITHOUT the physical-equality and intern-id fast paths
+   [Value.compare] has since gained — so benchmarking [build] against
+   [build_cmap] measures the new engine against the explorer the seed
+   shipped, not a baseline retroactively sped up by this refactor.  It
+   reads through the hash-consed records to their structural [node]s
+   and walks whole trees. *)
 module Seed_ord = struct
   type t = Config.t
 
   open Lbsa_spec
 
   let rec compare_value (a : Value.t) (b : Value.t) =
-    match (a, b) with
+    match (Value.node a, Value.node b) with
     | Value.Unit, Value.Unit -> 0
     | Value.Unit, _ -> -1
     | _, Value.Unit -> 1
@@ -465,6 +404,7 @@ let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
       dedup_hits = !dedup_hits;
       dedup_rate =
         (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
+      probe = { Ctbl.probes = 0; hash_skips = 0; equal_confirms = 0 };
       wall_s;
       states_per_sec = (if wall_s > 0. then float n /. wall_s else float n);
       domains = 1;

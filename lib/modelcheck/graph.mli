@@ -21,6 +21,10 @@ type stats = {
   peak_frontier : int;
   dedup_hits : int;  (** generated successors that were already known *)
   dedup_rate : float;  (** [dedup_hits] / successors generated *)
+  probe : Ctbl.probe_stats;
+      (** dedup-table probe traffic — how many structural equality
+          checks the stored hashes avoided; all zeros for [build_cmap],
+          whose map baseline has no probe counters *)
   wall_s : float;
   states_per_sec : float;
   domains : int;

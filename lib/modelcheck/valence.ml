@@ -10,7 +10,9 @@ open Lbsa_runtime
    that appear as decisions in configurations reachable from it (plus
    whether an abort is reachable).  The decision domain of a real graph is
    tiny (a handful of values), so we intern decision values to small ints
-   and represent each node's reachable-decision set as a bitmask.  The
+   (first-occurrence order; a pointer-equality scan, since values are
+   hash-consed) and represent each node's reachable-decision set as a
+   bitmask.  The
    reachable set is constant on every strongly connected component, so one
    reverse-topological pass over the [Graph.scc] condensation computes the
    exact fixpoint — cycles (spinning protocols) included — with a single
@@ -47,8 +49,11 @@ let local_abort (config : Config.t) =
    node-id order) and return the per-node local-decision bitmasks.  The
    decision domain of any graph we build is a handful of values — far
    below the word size (the guard is belt-and-braces for pathological
-   inputs) — so a linear scan over the table beats hashing every
-   decision of every node. *)
+   inputs) — and [Value.equal] on hash-consed values is pointer
+   equality, so the linear table scan is a few pointer compares: the
+   former per-session value-hashing layer collapsed into it.  Bit
+   positions come from first-occurrence order, never from intern ids
+   (which are allocation-order-dependent), so masks are reproducible. *)
 let intern_decisions (graph : Graph.t) =
   let n = Graph.n_nodes graph in
   let table = ref [||] in

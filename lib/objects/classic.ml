@@ -19,33 +19,33 @@ module Test_and_set = struct
   let spec () =
     let step state (op : Op.t) =
       match (op.name, op.args) with
-      | "test_and_set", [] -> det (Value.Bool true) state
-      | "reset", [] -> det (Value.Bool false) Value.Unit
+      | "test_and_set", [] -> det (Value.bool true) state
+      | "reset", [] -> det (Value.bool false) Value.unit_
       | "read", [] -> det state state
       | _ -> Obj_spec.unknown "test-and-set" op
     in
-    Obj_spec.make ~name:"test-and-set" ~initial:(Value.Bool false) ~step ()
+    Obj_spec.make ~name:"test-and-set" ~initial:(Value.bool false) ~step ()
 end
 
 module Fetch_and_add = struct
-  let fetch_and_add delta = Op.make "fetch_and_add" [ Value.Int delta ]
+  let fetch_and_add delta = Op.make "fetch_and_add" [ Value.int delta ]
   let read = Op.make "read" []
 
   let spec ?(init = 0) () =
     let step state (op : Op.t) =
       match (op.name, op.args, state) with
-      | "fetch_and_add", [ Value.Int d ], Value.Int cur ->
-        det (Value.Int (cur + d)) state
+      | "fetch_and_add", [ { Value.node = Int d; _ } ], { Value.node = Int cur; _ } ->
+        det (Value.int (cur + d)) state
       | "read", [], _ -> det state state
       | _ -> Obj_spec.unknown "fetch-and-add" op
     in
-    Obj_spec.make ~name:"fetch-and-add" ~initial:(Value.Int init) ~step ()
+    Obj_spec.make ~name:"fetch-and-add" ~initial:(Value.int init) ~step ()
 end
 
 module Swap = struct
   let swap v = Op.make "swap" [ v ]
 
-  let spec ?(init = Value.Nil) () =
+  let spec ?(init = Value.nil) () =
     let step state (op : Op.t) =
       match (op.name, op.args) with
       | "swap", [ v ] -> det v state
@@ -61,14 +61,14 @@ module Queue_obj = struct
   let spec ?(init = []) () =
     let step state (op : Op.t) =
       match (op.name, op.args, state) with
-      | "enqueue", [ v ], Value.List items ->
-        det (Value.List (items @ [ v ])) Value.Unit
-      | "dequeue", [], Value.List [] -> det state Value.Nil
-      | "dequeue", [], Value.List (front :: rest) ->
-        det (Value.List rest) front
+      | "enqueue", [ v ], { Value.node = List items; _ } ->
+        det (Value.list (items @ [ v ])) Value.unit_
+      | "dequeue", [], { Value.node = List []; _ } -> det state Value.nil
+      | "dequeue", [], { Value.node = List (front :: rest); _ } ->
+        det (Value.list rest) front
       | _ -> Obj_spec.unknown "queue" op
     in
-    Obj_spec.make ~name:"queue" ~initial:(Value.List init) ~step ()
+    Obj_spec.make ~name:"queue" ~initial:(Value.list init) ~step ()
 end
 
 module Compare_and_swap = struct
@@ -77,12 +77,12 @@ module Compare_and_swap = struct
 
   let read = Op.make "read" []
 
-  let spec ?(init = Value.Nil) () =
+  let spec ?(init = Value.nil) () =
     let step state (op : Op.t) =
       match (op.name, op.args) with
       | "compare_and_swap", [ expected; desired ] ->
-        if Value.equal state expected then det desired (Value.Bool true)
-        else det state (Value.Bool false)
+        if Value.equal state expected then det desired (Value.bool true)
+        else det state (Value.bool false)
       | "read", [] -> det state state
       | _ -> Obj_spec.unknown "compare-and-swap" op
     in
@@ -104,7 +104,7 @@ module Sticky = struct
       | "read", [] -> det state state
       | _ -> Obj_spec.unknown "sticky" op
     in
-    Obj_spec.make ~name:"sticky" ~initial:Value.Nil ~step ()
+    Obj_spec.make ~name:"sticky" ~initial:Value.nil ~step ()
 end
 
 module Monotone_snapshot = struct
@@ -114,32 +114,34 @@ module Monotone_snapshot = struct
      implementable from plain registers by tagging (standard); we keep
      the object primitive so the BG simulation stays focused on the
      simulation itself.  Consensus number 1. *)
-  let update i ~step v = Op.make "update" [ Value.Int i; Value.Int step; v ]
+  let update i ~step v = Op.make "update" [ Value.int i; Value.int step; v ]
   let scan = Op.make "scan" []
 
-  let initial ~m = Value.List (List.init m (fun _ -> Value.Nil))
+  let initial ~m = Value.list (List.init m (fun _ -> Value.nil))
 
   let step_of = function
-    | Value.Pair (Value.Int t, _) -> t
-    | Value.Nil -> -1
+    | { Value.node = Pair ({ node = Int t; _ }, _); _ } -> t
+    | { Value.node = Nil; _ } -> -1
     | v -> invalid_arg (Fmt.str "monotone-snapshot: bad cell %a" Value.pp v)
 
   let spec ~m () =
     if m < 1 then invalid_arg "Monotone_snapshot.spec: m must be >= 1";
     let step state (op : Op.t) =
       match (op.name, op.args, state) with
-      | "update", [ Value.Int i; Value.Int t; v ], Value.List comps ->
+      | ( "update",
+          [ { Value.node = Int i; _ }; { node = Int t; _ }; v ],
+          { Value.node = List comps; _ } ) ->
         if i < 0 || i >= m then
           invalid_arg (Fmt.str "monotone-snapshot: component %d out of range" i)
         else
           let comps' =
             List.mapi
               (fun j c ->
-                if j = i && t > step_of c then Value.Pair (Value.Int t, v)
+                if j = i && t > step_of c then Value.pair (Value.int t, v)
                 else c)
               comps
           in
-          det (Value.List comps') Value.Unit
+          det (Value.list comps') Value.unit_
       | "scan", [], _ -> det state state
       | _ -> Obj_spec.unknown "monotone-snapshot" op
     in
@@ -152,22 +154,22 @@ module Snapshot = struct
   (* An m-component atomic snapshot as a primitive object: update(i, v)
      writes component i; scan() returns the whole vector atomically.
      Consensus number 1; also built from registers in Snapshot_impl. *)
-  let update i v = Op.make "update" [ Value.Int i; v ]
+  let update i v = Op.make "update" [ Value.int i; v ]
   let scan = Op.make "scan" []
 
-  let initial ~m = Value.List (List.init m (fun _ -> Value.Nil))
+  let initial ~m = Value.list (List.init m (fun _ -> Value.nil))
 
   let spec ~m () =
     if m < 1 then invalid_arg "Snapshot.spec: m must be >= 1";
     let step state (op : Op.t) =
       match (op.name, op.args, state) with
-      | "update", [ Value.Int i; v ], Value.List comps ->
+      | "update", [ { Value.node = Int i; _ }; v ], { Value.node = List comps; _ } ->
         if i < 0 || i >= m then
           invalid_arg (Fmt.str "snapshot: component %d out of range" i)
         else
           det
-            (Value.List (List.mapi (fun j c -> if j = i then v else c) comps))
-            Value.Unit
+            (Value.list (List.mapi (fun j c -> if j = i then v else c) comps))
+            Value.unit_
       | "scan", [], _ -> det state state
       | _ -> Obj_spec.unknown "snapshot" op
     in

@@ -9,7 +9,7 @@ open Lbsa_spec
 
 let propose v = Op.make "propose" [ v ]
 
-let initial = Value.(Pair (Nil, Int 0))
+let initial = Value.(pair (nil, int 0))
 
 let det next response : Obj_spec.branch list = [ { next; response } ]
 
@@ -17,11 +17,11 @@ let spec ~m () =
   if m < 1 then invalid_arg "Consensus_obj.spec: m must be >= 1";
   let step state (op : Op.t) =
     match (op.name, op.args, state) with
-    | "propose", [ v ], Value.Pair (first, Value.Int count) ->
-      if count >= m then det state Value.Bot
+    | "propose", [ v ], { Value.node = Pair (first, { node = Int count; _ }); _ } ->
+      if count >= m then det state Value.bot
       else
         let first' = if Value.is_nil first then v else first in
-        det (Value.Pair (first', Value.Int (count + 1))) first'
+        det (Value.pair (first', Value.int (count + 1))) first'
     | _ -> Obj_spec.unknown "consensus" op
   in
   Obj_spec.make ~name:(Fmt.str "%d-consensus" m) ~initial ~step ()

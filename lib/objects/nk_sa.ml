@@ -18,15 +18,17 @@ open Lbsa_spec
 
 let propose v = Op.make "propose" [ v ]
 
-let initial = Value.(List [ Set_.empty; Set_.empty; Int 0 ])
+let initial = Value.(list [ Set_.empty; Set_.empty; int 0 ])
 
 let spec ~n ~k () =
   if n < 1 || k < 1 then invalid_arg "Nk_sa.spec: n and k must be >= 1";
   let step state (op : Op.t) =
     match (op.name, op.args, state) with
-    | "propose", [ v ], Value.List [ proposed; returned; Value.Int count ] ->
+    | ( "propose",
+        [ v ],
+        { Value.node = List [ proposed; returned; { node = Int count; _ } ]; _ } ) ->
       if count >= n then
-        [ ({ next = state; response = Value.Bot } : Obj_spec.branch) ]
+        [ ({ next = state; response = Value.bot } : Obj_spec.branch) ]
       else
         let proposed' = Value.Set_.add v proposed in
         let candidates =
@@ -39,8 +41,8 @@ let spec ~n ~k () =
             {
               next =
                 Value.(
-                  List
-                    [ proposed'; Set_.add r returned; Int (count + 1) ]);
+                  list
+                    [ proposed'; Set_.add r returned; int (count + 1) ]);
               response = r;
             })
           candidates

@@ -21,14 +21,14 @@ type power = int list
 let default_power ~n ~max_k =
   List.map (fun k -> if k = 1 then n else k * n) (Lbsa_util.Listx.range 1 max_k)
 
-let propose v k = Op.make "propose" [ v; Value.Int k ]
+let propose v k = Op.make "propose" [ v; Value.int k ]
 
 let members ~power =
   List.mapi (fun idx nk -> (idx + 1, Nk_sa.spec ~n:nk ~k:(idx + 1) ())) power
 
 let initial ~power =
   Value.Assoc.of_bindings
-    (List.map (fun (k, _) -> (Value.Int k, Nk_sa.initial)) (members ~power))
+    (List.map (fun (k, _) -> (Value.int k, Nk_sa.initial)) (members ~power))
 
 let spec ?name ~power () =
   if power = [] then invalid_arg "O_prime.spec: empty power sequence";
@@ -40,7 +40,7 @@ let spec ?name ~power () =
   let members = members ~power in
   let step state (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ v; Value.Int k ] -> (
+    | "propose", [ v; { Value.node = Int k; _ } ] -> (
       match List.assoc_opt k members with
       | None ->
         invalid_arg
@@ -48,12 +48,12 @@ let spec ?name ~power () =
              (List.length power))
       | Some sa ->
         let sub =
-          Value.Assoc.get_or state (Value.Int k) ~default:Nk_sa.initial
+          Value.Assoc.get_or state (Value.int k) ~default:Nk_sa.initial
         in
         List.map
           (fun (b : Obj_spec.branch) : Obj_spec.branch ->
             {
-              next = Value.Assoc.set state (Value.Int k) b.next;
+              next = Value.Assoc.set state (Value.int k) b.next;
               response = b.response;
             })
           (Obj_spec.branches sa sub (Nk_sa.propose v)))

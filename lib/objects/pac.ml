@@ -18,28 +18,29 @@ open Lbsa_spec
 
    Encoded as List [Bool upset; V-map; L; val]. *)
 
-let propose v i = Op.make "propose" [ v; Value.Int i ]
-let decide i = Op.make "decide" [ Value.Int i ]
+let propose v i = Op.make "propose" [ v; Value.int i ]
+let decide i = Op.make "decide" [ Value.int i ]
 
 type view = { upset : bool; v : Value.t; l : Value.t; value : Value.t }
 
 let view state =
   match state with
-  | Value.List [ Value.Bool upset; v; l; value ] -> { upset; v; l; value }
+  | { Value.node = List [ { node = Bool upset; _ }; v; l; value ]; _ } ->
+    { upset; v; l; value }
   | _ -> invalid_arg "Pac.view: malformed n-PAC state"
 
 let encode { upset; v; l; value } =
-  Value.List [ Value.Bool upset; v; l; value ]
+  Value.list [ Value.bool upset; v; l; value ]
 
 let initial ~n =
   let v =
     Value.Assoc.of_bindings
-      (List.map (fun i -> (Value.Int i, Value.Nil)) (Lbsa_util.Listx.range 1 n))
+      (List.map (fun i -> (Value.int i, Value.nil)) (Lbsa_util.Listx.range 1 n))
   in
-  encode { upset = false; v; l = Value.Nil; value = Value.Nil }
+  encode { upset = false; v; l = Value.nil; value = Value.nil }
 
-let get_v st i = Value.Assoc.get_or st.v (Value.Int i) ~default:Value.Nil
-let set_v st i x = { st with v = Value.Assoc.set st.v (Value.Int i) x }
+let get_v st i = Value.Assoc.get_or st.v (Value.int i) ~default:Value.nil
+let set_v st i x = { st with v = Value.Assoc.set st.v (Value.int i) x }
 
 let det next response : Obj_spec.branch list = [ { next; response } ]
 
@@ -51,24 +52,24 @@ let spec ~n () =
   if n < 1 then invalid_arg "Pac.spec: n must be >= 1";
   let step state (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ v; Value.Int i ] ->
+    | "propose", [ v; { Value.node = Int i; _ } ] ->
       check_label ~n op i;
       (* Algorithm 1, lines 1-6. *)
       let st = view state in
       let st = if not (Value.is_nil (get_v st i)) then { st with upset = true } else st in
       let st =
-        if not st.upset then set_v { st with l = Value.Int i } i v else st
+        if not st.upset then set_v { st with l = Value.int i } i v else st
       in
-      det (encode st) Value.Done
-    | "decide", [ Value.Int i ] ->
+      det (encode st) Value.done_
+    | "decide", [ { Value.node = Int i; _ } ] ->
       check_label ~n op i;
       (* Algorithm 1, lines 7-17. *)
       let st = view state in
       let st = if Value.is_nil (get_v st i) then { st with upset = true } else st in
-      if st.upset then det (encode st) Value.Bot
+      if st.upset then det (encode st) Value.bot
       else
         let st, temp =
-          if not (Value.equal st.l (Value.Int i)) then (st, Value.Bot)
+          if not (Value.equal st.l (Value.int i)) then (st, Value.bot)
           else
             let st =
               if Value.is_nil st.value then { st with value = get_v st i }
@@ -76,7 +77,7 @@ let spec ~n () =
             in
             (st, st.value)
         in
-        let st = set_v { st with l = Value.Nil } i Value.Nil in
+        let st = set_v { st with l = Value.nil } i Value.nil in
         det (encode st) temp
     | _ -> Obj_spec.unknown "n-PAC" op
   in
@@ -95,8 +96,8 @@ let v_entry state i = get_v (view state) i
 let history_legal ~n (h : Shistory.t) =
   let label_of (op : Op.t) =
     match (op.name, op.args) with
-    | "propose", [ _; Value.Int i ] -> i
-    | "decide", [ Value.Int i ] -> i
+    | "propose", [ _; { Value.node = Int i; _ } ] -> i
+    | "decide", [ { Value.node = Int i; _ } ] -> i
     | _ -> invalid_arg "Pac.history_legal: not a PAC operation"
   in
   let is_propose (op : Op.t) = op.name = "propose" in

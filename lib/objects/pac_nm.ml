@@ -10,17 +10,17 @@ open Lbsa_spec
    State: Pair (P-state, C-state). *)
 
 let propose_c v = Op.make "proposeC" [ v ]
-let propose_p v i = Op.make "proposeP" [ v; Value.Int i ]
-let decide_p i = Op.make "decideP" [ Value.Int i ]
+let propose_p v i = Op.make "proposeP" [ v; Value.int i ]
+let decide_p i = Op.make "decideP" [ Value.int i ]
 
-let initial ~n = Value.Pair (Pac.initial ~n, Consensus_obj.initial)
+let initial ~n = Value.pair (Pac.initial ~n, Consensus_obj.initial)
 
 let pac_state = function
-  | Value.Pair (p, _) -> p
+  | { Value.node = Pair (p, _); _ } -> p
   | _ -> invalid_arg "Pac_nm.pac_state: malformed state"
 
 let consensus_state = function
-  | Value.Pair (_, c) -> c
+  | { Value.node = Pair (_, c); _ } -> c
   | _ -> invalid_arg "Pac_nm.consensus_state: malformed state"
 
 let spec ~n ~m () =
@@ -29,17 +29,17 @@ let spec ~n ~m () =
   let cons = Consensus_obj.spec ~m () in
   let step state (op : Op.t) =
     match state with
-    | Value.Pair (pstate, cstate) -> (
+    | { Value.node = Pair (pstate, cstate); _ } -> (
       match (op.name, op.args) with
       | "proposeC", [ v ] ->
         let cstate', r = Obj_spec.apply_det cons cstate (Consensus_obj.propose v) in
-        [ ({ next = Value.Pair (pstate, cstate'); response = r } : Obj_spec.branch) ]
-      | "proposeP", [ v; Value.Int i ] ->
+        [ ({ next = Value.pair (pstate, cstate'); response = r } : Obj_spec.branch) ]
+      | "proposeP", [ v; { Value.node = Int i; _ } ] ->
         let pstate', r = Obj_spec.apply_det pac pstate (Pac.propose v i) in
-        [ { next = Value.Pair (pstate', cstate); response = r } ]
-      | "decideP", [ Value.Int i ] ->
+        [ { next = Value.pair (pstate', cstate); response = r } ]
+      | "decideP", [ { Value.node = Int i; _ } ] ->
         let pstate', r = Obj_spec.apply_det pac pstate (Pac.decide i) in
-        [ { next = Value.Pair (pstate', cstate); response = r } ]
+        [ { next = Value.pair (pstate', cstate); response = r } ]
       | _ -> Obj_spec.unknown "(n,m)-PAC" op)
     | _ -> invalid_arg "Pac_nm.spec: malformed state"
   in

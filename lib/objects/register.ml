@@ -8,11 +8,11 @@ let write v = Op.make "write" [ v ]
 
 let det next response : Obj_spec.branch list = [ { next; response } ]
 
-let spec ?(init = Value.Nil) () =
+let spec ?(init = Value.nil) () =
   let step state (op : Op.t) =
     match (op.name, op.args) with
     | "read", [] -> det state state
-    | "write", [ v ] -> det v Value.Unit
+    | "write", [ v ] -> det v Value.unit_
     | _ -> Obj_spec.unknown "register" op
   in
   Obj_spec.make ~name:"register" ~initial:init ~step ()

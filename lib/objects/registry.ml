@@ -19,7 +19,7 @@ let parse_error s = invalid_arg (Fmt.str "Registry.of_string: cannot parse %S" s
 let of_string s : Obj_spec.t =
   match String.split_on_char ':' s with
   | [ "reg" ] -> Register.spec ()
-  | [ "reg"; v ] -> Register.spec ~init:(Value.Int (int_of_string v)) ()
+  | [ "reg"; v ] -> Register.spec ~init:(Value.int (int_of_string v)) ()
   | [ "cons"; m ] -> Consensus_obj.spec ~m:(int_of_string m) ()
   | [ "2sa" ] -> Sa2.spec ()
   | [ "nksa"; n; k ] ->

@@ -22,20 +22,20 @@ open Lbsa_runtime
    while p1, seeing both, decides the minimum. *)
 let flp_write_read : Machine.t * Obj_spec.t array =
   let name = "flp-write-read" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "announcing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "announcing", v) ->
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, v); _ } ->
       Machine.invoke pid (Register.write v) (fun _ ->
-          Value.(Pair (Sym "reading", v)))
-    | Value.Pair (Value.Sym "reading", v) ->
+          Value.(pair (sym "reading", v)))
+    | { Value.node = Pair ({ node = Sym "reading"; _ }, v); _ } ->
       Machine.invoke (1 - pid) Register.read (fun other ->
           let decision =
             if Value.is_nil other then v
-            else Value.Int (min (Value.to_int_exn v) (Value.to_int_exn other))
+            else Value.int (min (Value.to_int_exn v) (Value.to_int_exn other))
           in
-          Value.(Pair (Sym "halt", decision)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", decision)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
@@ -45,21 +45,21 @@ let flp_write_read : Machine.t * Obj_spec.t array =
    spins forever.  *)
 let flp_spin : Machine.t * Obj_spec.t array =
   let name = "flp-spin" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "announcing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "announcing", v) ->
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, v); _ } ->
       Machine.invoke pid (Register.write v) (fun _ ->
-          Value.(Pair (Sym "spinning", v)))
-    | Value.Pair (Value.Sym "spinning", v) ->
+          Value.(pair (sym "spinning", v)))
+    | { Value.node = Pair ({ node = Sym "spinning"; _ }, v); _ } ->
       Machine.invoke (1 - pid) Register.read (fun other ->
-          if Value.is_nil other then Value.(Pair (Sym "spinning", v))
+          if Value.is_nil other then Value.(pair (sym "spinning", v))
           else
             let decision =
-              Value.Int (min (Value.to_int_exn v) (Value.to_int_exn other))
+              Value.int (min (Value.to_int_exn v) (Value.to_int_exn other))
             in
-            Value.(Pair (Sym "halt", decision)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+            Value.(pair (sym "halt", decision)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
@@ -75,17 +75,17 @@ let flp_spin : Machine.t * Obj_spec.t array =
 let dac3_sa2_then_cons2 : Machine.t * Obj_spec.t array =
   let sa = 0 and cons = 1 in
   let name = "3dac-sa2-then-cons2" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "narrowing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "narrowing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "narrowing", v) ->
+    | { Value.node = Pair ({ node = Sym "narrowing"; _ }, v); _ } ->
       Machine.invoke sa (Sa2.propose v) (fun w ->
-          Value.(Pair (Sym "agreeing", w)))
-    | Value.Pair (Value.Sym "agreeing", w) ->
+          Value.(pair (sym "agreeing", w)))
+    | { Value.node = Pair ({ node = Sym "agreeing"; _ }, w); _ } ->
       Machine.invoke cons (Consensus_obj.propose w) (fun r ->
-          if Value.is_bot r then Value.(Pair (Sym "halt", w))
-          else Value.(Pair (Sym "halt", r)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          if Value.is_bot r then Value.(pair (sym "halt", w))
+          else Value.(pair (sym "halt", r)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,
@@ -101,21 +101,21 @@ let dac3_sa2_then_cons2 : Machine.t * Obj_spec.t array =
 let dac_cons_announce ~m : Machine.t * Obj_spec.t array =
   let cons = 0 and announce = 1 in
   let name = Fmt.str "dac-%d-consensus-announce" m in
-  let init ~pid:_ ~input = Value.(Pair (Sym "agreeing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "agreeing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "agreeing", v) ->
+    | { Value.node = Pair ({ node = Sym "agreeing"; _ }, v); _ } ->
       Machine.invoke cons (Consensus_obj.propose v) (fun r ->
-          if Value.is_bot r then Value.Sym "spinning"
-          else Value.(Pair (Sym "announcing", r)))
-    | Value.Pair (Value.Sym "announcing", r) ->
+          if Value.is_bot r then Value.sym "spinning"
+          else Value.(pair (sym "announcing", r)))
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, r); _ } ->
       Machine.invoke announce (Register.write r) (fun _ ->
-          Value.(Pair (Sym "halt", r)))
-    | Value.Sym "spinning" ->
+          Value.(pair (sym "halt", r)))
+    | { Value.node = Sym "spinning"; _ } ->
       Machine.invoke announce Register.read (fun a ->
-          if Value.is_nil a then Value.Sym "spinning"
-          else Value.(Pair (Sym "halt", a)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          if Value.is_nil a then Value.sym "spinning"
+          else Value.(pair (sym "halt", a)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,
@@ -131,21 +131,21 @@ let dac3_cons2_announce : Machine.t * Obj_spec.t array = dac_cons_announce ~m:2
 let consensus_m1_from_pac_nm ~n ~m : Machine.t * Obj_spec.t array =
   let pac = 0 and announce = 1 in
   let name = Fmt.str "%d-consensus-from-(%d,%d)-PAC-announce" (m + 1) n m in
-  let init ~pid:_ ~input = Value.(Pair (Sym "agreeing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "agreeing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "agreeing", v) ->
+    | { Value.node = Pair ({ node = Sym "agreeing"; _ }, v); _ } ->
       Machine.invoke pac (Pac_nm.propose_c v) (fun r ->
-          if Value.is_bot r then Value.Sym "spinning"
-          else Value.(Pair (Sym "announcing", r)))
-    | Value.Pair (Value.Sym "announcing", r) ->
+          if Value.is_bot r then Value.sym "spinning"
+          else Value.(pair (sym "announcing", r)))
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, r); _ } ->
       Machine.invoke announce (Register.write r) (fun _ ->
-          Value.(Pair (Sym "halt", r)))
-    | Value.Sym "spinning" ->
+          Value.(pair (sym "halt", r)))
+    | { Value.node = Sym "spinning"; _ } ->
       Machine.invoke announce Register.read (fun a ->
-          if Value.is_nil a then Value.Sym "spinning"
-          else Value.(Pair (Sym "halt", a)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          if Value.is_nil a then Value.sym "spinning"
+          else Value.(pair (sym "halt", a)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,
@@ -158,18 +158,18 @@ let consensus_from_pac_retry ~n ~procs : Machine.t * Obj_spec.t array =
   if procs > n then invalid_arg "consensus_from_pac_retry: procs > labels";
   let pac = 0 in
   let name = Fmt.str "consensus-from-%d-PAC-retry" n in
-  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "proposing", input)) in
   let delta ~pid state =
     let label = pid + 1 in
     match state with
-    | Value.Pair (Value.Sym "proposing", v) ->
+    | { Value.node = Pair ({ node = Sym "proposing"; _ }, v); _ } ->
       Machine.invoke pac (Pac.propose v label) (fun _ ->
-          Value.(Pair (Sym "deciding", v)))
-    | Value.Pair (Value.Sym "deciding", v) ->
+          Value.(pair (sym "deciding", v)))
+    | { Value.node = Pair ({ node = Sym "deciding"; _ }, v); _ } ->
       Machine.invoke pac (Pac.decide label) (fun temp ->
-          if Value.is_bot temp then Value.(Pair (Sym "proposing", v))
-          else Value.(Pair (Sym "halt", temp)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          if Value.is_bot temp then Value.(pair (sym "proposing", v))
+          else Value.(pair (sym "halt", temp)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, [| Pac.spec ~n () |])

@@ -22,7 +22,7 @@ open Lbsa_runtime
 
 let obj_index = 0
 
-let proposing v = Value.(Pair (Sym "proposing", v))
+let proposing v = Value.(pair (sym "proposing", v))
 
 (* Generic one-shot machine: invoke [mk_op input] once, then decide the
    response (or the reply of [on_response]). *)
@@ -30,10 +30,10 @@ let one_shot ~name ~mk_op ?(on_response = fun ~input:_ r -> r) () : Machine.t =
   let init ~pid:_ ~input = proposing input in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "proposing", v) ->
+    | { Value.node = Pair ({ node = Sym "proposing"; _ }, v); _ } ->
       Machine.invoke obj_index (mk_op v) (fun r ->
-          Value.Pair (Value.Sym "halt", on_response ~input:v r))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.pair (Value.sym "halt", on_response ~input:v r))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta
@@ -72,20 +72,20 @@ let two_process_race ~name ~object_spec ~race ~won :
     Machine.t * Obj_spec.t array =
   let obj = 0 and reg0 = 1 and reg1 = 2 in
   let reg_of pid = if pid = 0 then reg0 else reg1 in
-  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "announcing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "announcing", v) ->
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, v); _ } ->
       Machine.invoke (reg_of pid) (Register.write v) (fun _ ->
-          Value.(Pair (Sym "racing", v)))
-    | Value.Pair (Value.Sym "racing", v) ->
+          Value.(pair (sym "racing", v)))
+    | { Value.node = Pair ({ node = Sym "racing"; _ }, v); _ } ->
       Machine.invoke obj race (fun r ->
-          if won r then Value.(Pair (Sym "halt", v))
-          else Value.Sym "reading-other")
-    | Value.Sym "reading-other" ->
+          if won r then Value.(pair (sym "halt", v))
+          else Value.sym "reading-other")
+    | { Value.node = Sym "reading-other"; _ } ->
       Machine.invoke (reg_of (1 - pid)) Register.read (fun other ->
-          Value.(Pair (Sym "halt", other)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", other)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,
@@ -95,43 +95,43 @@ let two_process_race ~name ~object_spec ~race ~won :
    dequeuer wins. *)
 let from_queue () =
   two_process_race ~name:"consensus-from-queue"
-    ~object_spec:(Classic.Queue_obj.spec ~init:[ Value.Sym "winner" ] ())
+    ~object_spec:(Classic.Queue_obj.spec ~init:[ Value.sym "winner" ] ())
     ~race:Classic.Queue_obj.dequeue
-    ~won:(fun r -> Value.equal r (Value.Sym "winner"))
+    ~won:(fun r -> Value.equal r (Value.sym "winner"))
 
 (* 2-consensus from fetch-and-add: whoever sees the counter at 0 wins. *)
 let from_fetch_and_add () =
   two_process_race ~name:"consensus-from-fetch-and-add"
     ~object_spec:(Classic.Fetch_and_add.spec ())
     ~race:(Classic.Fetch_and_add.fetch_and_add 1)
-    ~won:(fun r -> Value.equal r (Value.Int 0))
+    ~won:(fun r -> Value.equal r (Value.int 0))
 
 (* 2-consensus from swap: whoever swaps the NIL out wins. *)
 let from_swap () =
   two_process_race ~name:"consensus-from-swap"
     ~object_spec:(Classic.Swap.spec ())
-    ~race:(Classic.Swap.swap (Value.Sym "taken"))
+    ~race:(Classic.Swap.swap (Value.sym "taken"))
     ~won:Value.is_nil
 
 (* n-consensus from compare-and-swap, for any n: CAS your input into the
    cell; on failure the cell already holds the decision. *)
 let from_compare_and_swap () : Machine.t * Obj_spec.t array =
   let name = "consensus-from-cas" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "casing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "casing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "casing", v) ->
+    | { Value.node = Pair ({ node = Sym "casing"; _ }, v); _ } ->
       Machine.invoke 0
-        (Classic.Compare_and_swap.compare_and_swap ~expected:Value.Nil
+        (Classic.Compare_and_swap.compare_and_swap ~expected:Value.nil
            ~desired:v)
         (fun won ->
           match won with
-          | Value.Bool true -> Value.(Pair (Sym "halt", v))
-          | _ -> Value.Sym "reading")
-    | Value.Sym "reading" ->
+          | { Value.node = Bool true; _ } -> Value.(pair (sym "halt", v))
+          | _ -> Value.sym "reading")
+    | { Value.node = Sym "reading"; _ } ->
       Machine.invoke 0 Classic.Compare_and_swap.read (fun cur ->
-          Value.(Pair (Sym "halt", cur)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", cur)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, [| Classic.Compare_and_swap.spec () |])
@@ -144,21 +144,21 @@ let from_test_and_set () : Machine.t * Obj_spec.t array =
   let tas = 0 and reg0 = 1 and reg1 = 2 in
   let reg_of pid = if pid = 0 then reg0 else reg1 in
   let name = "consensus-from-test-and-set" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "announcing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "announcing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "announcing", v) ->
+    | { Value.node = Pair ({ node = Sym "announcing"; _ }, v); _ } ->
       Machine.invoke (reg_of pid) (Register.write v) (fun _ ->
-          Value.(Pair (Sym "racing", v)))
-    | Value.Pair (Value.Sym "racing", v) ->
+          Value.(pair (sym "racing", v)))
+    | { Value.node = Pair ({ node = Sym "racing"; _ }, v); _ } ->
       Machine.invoke tas Classic.Test_and_set.test_and_set (fun won ->
           match won with
-          | Value.Bool false -> Value.(Pair (Sym "halt", v)) (* winner *)
-          | _ -> Value.Sym "reading-other")
-    | Value.Sym "reading-other" ->
+          | { Value.node = Bool false; _ } -> Value.(pair (sym "halt", v)) (* winner *)
+          | _ -> Value.sym "reading-other")
+    | { Value.node = Sym "reading-other"; _ } ->
       Machine.invoke (reg_of (1 - pid)) Register.read (fun other ->
-          Value.(Pair (Sym "halt", other)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", other)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,

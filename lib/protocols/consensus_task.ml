@@ -69,7 +69,7 @@ let binary_inputs n =
     if n = 0 then [ [] ]
     else
       List.concat_map
-        (fun rest -> [ Value.Int 0 :: rest; Value.Int 1 :: rest ])
+        (fun rest -> [ Value.int 0 :: rest; Value.int 1 :: rest ])
         (go (n - 1))
   in
   List.map Array.of_list (go n)

@@ -24,8 +24,8 @@ let pac_index = 0
 
 let label_of_pid pid = pid + 1
 
-let proposing v = Value.(Pair (Sym "proposing", v))
-let deciding v = Value.(Pair (Sym "deciding", v))
+let proposing v = Value.(pair (sym "proposing", v))
+let deciding v = Value.(pair (sym "deciding", v))
 
 (* Algorithm 2 parameterized by the propose/decide operations, so the
    same machine runs against a bare n-PAC object or against the PAC facet
@@ -35,15 +35,15 @@ let machine_via ~name ~propose ~decide : Machine.t =
   let delta ~pid state =
     let label = label_of_pid pid in
     match state with
-    | Value.Pair (Value.Sym "proposing", v) ->
+    | { Value.node = Pair ({ node = Sym "proposing"; _ }, v); _ } ->
       Machine.invoke pac_index (propose v label) (fun _done -> deciding v)
-    | Value.Pair (Value.Sym "deciding", v) ->
+    | { Value.node = Pair ({ node = Sym "deciding"; _ }, v); _ } ->
       Machine.invoke pac_index (decide label) (fun temp ->
           if Value.is_bot temp then
-            if pid = Dac.distinguished then Value.Sym "abort" else proposing v
-          else Value.Pair (Value.Sym "halt", temp))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
-    | Value.Sym "abort" -> Machine.Abort
+            if pid = Dac.distinguished then Value.sym "abort" else proposing v
+          else Value.pair (Value.sym "halt", temp))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
+    | { Value.node = Sym "abort"; _ } -> Machine.Abort
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta

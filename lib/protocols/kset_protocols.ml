@@ -20,17 +20,17 @@ open Lbsa_runtime
 let partition ~m ~k : Machine.t * Obj_spec.t array =
   if m < 1 || k < 1 then invalid_arg "Kset_protocols.partition";
   let name = Fmt.str "%d-set-from-%d-consensus-partition" k m in
-  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "proposing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "proposing", v) ->
+    | { Value.node = Pair ({ node = Sym "proposing"; _ }, v); _ } ->
       let group = pid / m in
       if group >= k then
         invalid_arg
           (Fmt.str "%s: pid %d exceeds %d processes" name pid (k * m));
       Machine.invoke group (Consensus_obj.propose v) (fun r ->
-          Value.(Pair (Sym "halt", r)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", r)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   ( Machine.make ~name ~init ~delta,
@@ -65,16 +65,16 @@ let from_oprime ~power ~k : Machine.t * Obj_spec.t array =
    O_prime.default_power. *)
 let partition_from_o_n ~n ~k : Machine.t * Obj_spec.t array =
   let name = Fmt.str "%d-set-from-O_%d-partition" k n in
-  let init ~pid:_ ~input = Value.(Pair (Sym "proposing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "proposing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "proposing", v) ->
+    | { Value.node = Pair ({ node = Sym "proposing"; _ }, v); _ } ->
       let group = pid / n in
       if group >= k then
         invalid_arg (Fmt.str "%s: pid %d exceeds %d processes" name pid (k * n));
       Machine.invoke group (Pac_nm.propose_c v) (fun r ->
-          Value.(Pair (Sym "halt", r)))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          Value.(pair (sym "halt", r)))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, Array.init k (fun _ -> O_n.spec ~n ()))

@@ -47,7 +47,7 @@ let check_run ~k ~inputs (result : Executor.result) =
 
 (* Input vectors where all processes have distinct values — the hardest
    case for k-agreement. *)
-let distinct_inputs n = Array.init n (fun pid -> Value.Int pid)
+let distinct_inputs n = Array.init n (fun pid -> Value.int pid)
 
 (* All input vectors over values {0..d-1} for n processes (d^n of them). *)
 let all_inputs ~d n =
@@ -56,7 +56,7 @@ let all_inputs ~d n =
     else
       List.concat_map
         (fun rest ->
-          List.map (fun v -> Value.Int v :: rest) (Lbsa_util.Listx.range 0 (d - 1)))
+          List.map (fun v -> Value.int v :: rest) (Lbsa_util.Listx.range 0 (d - 1)))
         (go (n - 1))
   in
   List.map Array.of_list (go n)

@@ -33,8 +33,8 @@ open Lbsa_runtime
 
 exception Out_of_rounds of string
 
-let commit_tag = Value.Sym "commit"
-let adopt_tag = Value.Sym "adopt"
+let commit_tag = Value.sym "commit"
+let adopt_tag = Value.sym "adopt"
 
 let a_reg ~n ~r pid = (2 * n * (r - 1)) + pid
 let b_reg ~n ~r pid = (2 * n * (r - 1)) + n + pid
@@ -47,22 +47,34 @@ let machine ~n ~max_rounds : Machine.t =
         (Out_of_rounds
            (Fmt.str "obstruction-free consensus exceeded %d rounds" max_rounds))
   in
-  let init ~pid:_ ~input = Value.(List [ Sym "a-write"; Int 1; input ]) in
+  let init ~pid:_ ~input = Value.(list [ sym "a-write"; int 1; input ]) in
   let delta ~pid state =
     match state with
-    | Value.List [ Value.Sym "a-write"; Value.Int r; v ] ->
+    | {
+        Value.node = List [ { node = Sym "a-write"; _ }; { node = Int r; _ }; v ];
+        _;
+      } ->
       check_round r;
       Machine.invoke
         (a_reg ~n ~r pid)
         (Register.write v)
-        (fun _ -> Value.(List [ Sym "a-collect"; Int r; v; List [] ]))
-    | Value.List
-        [ Value.Sym "a-collect"; Value.Int r; v; Value.List partial ] ->
+        (fun _ -> Value.(list [ sym "a-collect"; int r; v; list [] ]))
+    | {
+        Value.node =
+          List
+            [
+              { node = Sym "a-collect"; _ };
+              { node = Int r; _ };
+              v;
+              { node = List partial; _ };
+            ];
+        _;
+      } ->
       let idx = List.length partial in
       Machine.invoke (a_reg ~n ~r idx) Register.read (fun entry ->
           let partial = partial @ [ entry ] in
           if List.length partial < n then
-            Value.(List [ Sym "a-collect"; Int r; v; List partial ])
+            Value.(list [ sym "a-collect"; int r; v; list partial ])
           else
             let unanimous =
               List.for_all
@@ -70,40 +82,55 @@ let machine ~n ~max_rounds : Machine.t =
                 partial
             in
             let tag = if unanimous then commit_tag else adopt_tag in
-            Value.(List [ Sym "b-write"; Int r; tag; v ]))
-    | Value.List [ Value.Sym "b-write"; Value.Int r; tag; v ] ->
+            Value.(list [ sym "b-write"; int r; tag; v ]))
+    | {
+        Value.node =
+          List [ { node = Sym "b-write"; _ }; { node = Int r; _ }; tag; v ];
+        _;
+      } ->
       Machine.invoke
         (b_reg ~n ~r pid)
-        (Register.write (Value.Pair (tag, v)))
-        (fun _ -> Value.(List [ Sym "b-collect"; Int r; tag; v; List [] ]))
-    | Value.List
-        [ Value.Sym "b-collect"; Value.Int r; tag; v; Value.List partial ] ->
+        (Register.write (Value.pair (tag, v)))
+        (fun _ -> Value.(list [ sym "b-collect"; int r; tag; v; list [] ]))
+    | {
+        Value.node =
+          List
+            [
+              { node = Sym "b-collect"; _ };
+              { node = Int r; _ };
+              tag;
+              v;
+              { node = List partial; _ };
+            ];
+        _;
+      } ->
       let idx = List.length partial in
       Machine.invoke (b_reg ~n ~r idx) Register.read (fun entry ->
           let partial = partial @ [ entry ] in
           if List.length partial < n then
-            Value.(List [ Sym "b-collect"; Int r; tag; v; List partial ])
+            Value.(list [ sym "b-collect"; int r; tag; v; list partial ])
           else
             let seen = List.filter (fun e -> not (Value.is_nil e)) partial in
             let all_commit_v =
               Value.equal tag commit_tag
-              && List.for_all (Value.equal (Value.Pair (commit_tag, v))) seen
+              && List.for_all (Value.equal (Value.pair (commit_tag, v))) seen
             in
-            if all_commit_v then Value.(Pair (Sym "halt", v))
+            if all_commit_v then Value.(pair (sym "halt", v))
             else
               let adopted =
                 match
                   List.find_opt
                     (function
-                      | Value.Pair (t, _) -> Value.equal t commit_tag
+                      | { Value.node = Pair (t, _); _ } ->
+                        Value.equal t commit_tag
                       | _ -> false)
                     seen
                 with
-                | Some (Value.Pair (_, v')) -> v'
+                | Some { Value.node = Pair (_, v'); _ } -> v'
                 | _ -> v
               in
-              Value.(List [ Sym "a-write"; Int (r + 1); adopted ]))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+              Value.(list [ sym "a-write"; int (r + 1); adopted ]))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta

@@ -33,33 +33,33 @@ open Lbsa_runtime
 
 let snapshot_index = 0
 
-let level_nil = Value.Nil
+let level_nil = Value.nil
 
-let comp ~v ~level = Value.Pair (v, level)
+let comp ~v ~level = Value.pair (v, level)
 
 let level_of = function
-  | Value.Pair (_, l) -> l
-  | Value.Nil -> level_nil
+  | { Value.node = Pair (_, l); _ } -> l
+  | { Value.node = Nil; _ } -> level_nil
   | c -> invalid_arg (Fmt.str "Safe_agreement: bad component %a" Value.pp c)
 
 let value_of = function
-  | Value.Pair (v, _) -> v
+  | { Value.node = Pair (v, _); _ } -> v
   | c -> invalid_arg (Fmt.str "Safe_agreement: bad component %a" Value.pp c)
 
 let levels scan = List.map level_of (Value.to_list_exn scan)
 
 let some_level_2 scan =
-  List.exists (Value.equal (Value.Int 2)) (levels scan)
+  List.exists (Value.equal (Value.int 2)) (levels scan)
 
 let some_level_1 scan =
-  List.exists (Value.equal (Value.Int 1)) (levels scan)
+  List.exists (Value.equal (Value.int 1)) (levels scan)
 
 let decision_of scan =
   (* Value of the smallest-id component at level 2. *)
   let rec go i = function
     | [] -> invalid_arg "Safe_agreement.decision_of: no level-2 component"
     | c :: rest ->
-      if Value.equal (level_of c) (Value.Int 2) then value_of c
+      if Value.equal (level_of c) (Value.int 2) then value_of c
       else go (i + 1) rest
   in
   go 0 (Value.to_list_exn scan)
@@ -67,26 +67,30 @@ let decision_of scan =
 let machine ~n : Machine.t =
   let name = Fmt.str "safe-agreement-%d" n in
   ignore n;
-  let init ~pid:_ ~input = Value.(Pair (Sym "enter", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "enter", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "enter", v) ->
+    | { Value.node = Pair ({ node = Sym "enter"; _ }, v); _ } ->
       Machine.invoke snapshot_index
-        (Classic.Snapshot.update pid (comp ~v ~level:(Value.Int 1)))
-        (fun _ -> Value.(Pair (Sym "look", v)))
-    | Value.Pair (Value.Sym "look", v) ->
+        (Classic.Snapshot.update pid (comp ~v ~level:(Value.int 1)))
+        (fun _ -> Value.(pair (sym "look", v)))
+    | { Value.node = Pair ({ node = Sym "look"; _ }, v); _ } ->
       Machine.invoke snapshot_index Classic.Snapshot.scan (fun s ->
-          let level = if some_level_2 s then Value.Int 0 else Value.Int 2 in
-          Value.(Pair (Sym "commit", Pair (v, level))))
-    | Value.Pair (Value.Sym "commit", Value.Pair (v, level)) ->
+          let level = if some_level_2 s then Value.int 0 else Value.int 2 in
+          Value.(pair (sym "commit", pair (v, level))))
+    | {
+        Value.node =
+          Pair ({ node = Sym "commit"; _ }, { node = Pair (v, level); _ });
+        _;
+      } ->
       Machine.invoke snapshot_index
         (Classic.Snapshot.update pid (comp ~v ~level))
-        (fun _ -> Value.Sym "wait")
-    | Value.Sym "wait" ->
+        (fun _ -> Value.sym "wait")
+    | { Value.node = Sym "wait"; _ } ->
       Machine.invoke snapshot_index Classic.Snapshot.scan (fun s ->
-          if some_level_1 s then Value.Sym "wait"
-          else Value.Pair (Value.Sym "halt", decision_of s))
-    | Value.Pair (Value.Sym "halt", v) -> Machine.Decide v
+          if some_level_1 s then Value.sym "wait"
+          else Value.pair (Value.sym "halt", decision_of s))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, v); _ } -> Machine.Decide v
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta
@@ -97,6 +101,6 @@ let specs ~n : Obj_spec.t array = [| Classic.Snapshot.spec ~m:n () |]
    level 1 (it has entered but not yet committed or backed off). *)
 let in_unsafe_zone (config : Config.t) pid =
   match config.Config.objects.(snapshot_index) with
-  | Value.List comps ->
-    Value.equal (level_of (List.nth comps pid)) (Value.Int 1)
+  | { Value.node = List comps; _ } ->
+    Value.equal (level_of (List.nth comps pid)) (Value.int 1)
   | _ -> false

@@ -54,10 +54,10 @@ let status_equal a b =
   | Decided x, Decided y -> Value.equal x y
   | (Running | Decided _ | Aborted | Crashed), _ -> false
 
-(* Steps copy the component arrays shallowly, so distinct configurations
-   still share most elements physically; checking [==] per element makes
-   the frequent equal-confirm of dedup tables near O(n) instead of a full
-   tree walk. *)
+(* Values are hash-consed, so [Value.equal] is pointer equality: the
+   frequent equal-confirm of dedup tables is a per-element pointer scan,
+   O(#processes), never a tree walk — even for configurations built by
+   different parents that share nothing physically at the array level. *)
 let equal a b =
   a == b
   ||
@@ -65,9 +65,7 @@ let equal a b =
     x == y
     || Array.length x = Array.length y
        &&
-       let rec go i =
-         i >= Array.length x || ((x.(i) == y.(i) || eq x.(i) y.(i)) && go (i + 1))
-       in
+       let rec go i = i >= Array.length x || (eq x.(i) y.(i) && go (i + 1)) in
        go 0
   in
   arr_eq Value.equal a.locals b.locals
@@ -75,9 +73,11 @@ let equal a b =
   && arr_eq status_equal a.status b.status
 
 (* Element-wise hash: every local, object state and status contributes in
-   full.  The old [Hashtbl.hash (locals, objects, status)] inspected only
-   ~10 heap nodes, so configurations differing deep inside their value
-   trees collided en masse and degraded dedup tables to linear scans. *)
+   full — but [Value.hash_fold] reads each element's cached structural
+   hash, so the whole fold is O(#processes), independent of value-tree
+   size.  The hashes mixed here are structural, never intern ids, so the
+   result is identical across processes and construction orders (the
+   explorer's determinism depends on this). *)
 let hash t =
   let comb = Value.hash_combine in
   let fold_status acc = function

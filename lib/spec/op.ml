@@ -14,6 +14,15 @@ let equal a b =
   || (a.name == b.name || String.equal a.name b.name)
      && List.equal Value.equal a.args b.args
 
+(* FNV stream over the name then the args' cached structural hashes —
+   the same mixing as [Value.hash_fold], so op hashes are as
+   collision-resistant (and as cheap) as value hashes. *)
+let hash (o : t) =
+  List.fold_left Value.hash_fold
+    (Value.hash_combine 0x811c9dc5 (Hashtbl.hash o.name))
+    o.args
+  land max_int
+
 let pp ppf { name; args } =
   match args with
   | [] -> Fmt.pf ppf "%s()" name

@@ -5,5 +5,10 @@ type t = { name : string; args : Value.t list }
 val make : string -> Value.t list -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** FNV stream over the name and the args' cached structural hashes,
+    consistent with [Value.hash_fold]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -8,7 +8,7 @@ open Lbsa
 
 let v = Alcotest.testable Value.pp Value.equal
 
-let sim_inputs n = Array.init n (fun j -> Value.Int (10 + j))
+let sim_inputs n = Array.init n (fun j -> Value.int (10 + j))
 
 let check_run_valid ~p ~inputs ~outcomes (r : Bg_simulation.run) =
   (match r.Bg_simulation.simulated_decisions with
@@ -16,7 +16,7 @@ let check_run_valid ~p ~inputs ~outcomes (r : Bg_simulation.run) =
   | Some ds ->
     Alcotest.(check int) "full decision vector" p.Sim_protocol.n_sim
       (List.length ds);
-    let vector = Value.List ds in
+    let vector = Value.list ds in
     Alcotest.(check bool)
       (Fmt.str "simulated outcome %a is a direct outcome" Value.pp vector)
       true
@@ -42,7 +42,7 @@ let test_solo_simulator () =
   match r.Bg_simulation.simulated_decisions with
   | Some (first :: _) ->
     Alcotest.(check v) "simulated p0 ran first, saw only itself"
-      (Value.Int 10) first
+      (Value.int 10) first
   | _ -> Alcotest.fail "expected decisions"
 
 let test_two_simulators_random () =
@@ -100,7 +100,7 @@ let test_crashed_simulator_blocks_at_most_one () =
       in
       match r.Bg_simulation.simulated_decisions with
       | Some ds ->
-        let vector = Value.List ds in
+        let vector = Value.list ds in
         Alcotest.(check bool)
           (Fmt.str "budget %d: outcome %a is a direct outcome" budget Value.pp
              vector)
@@ -130,7 +130,7 @@ let test_exhaustive_tiny () =
   List.iter
     (fun (n_sim, simulators) ->
       let p = Sim_protocol.min_seen ~n_sim ~steps:1 in
-      let sim_inputs = Array.init n_sim (fun j -> Value.Int (10 + j)) in
+      let sim_inputs = Array.init n_sim (fun j -> Value.int (10 + j)) in
       let r =
         Bg_simulation.check_exhaustive ~p ~sim_inputs ~simulators ()
       in
@@ -144,7 +144,7 @@ let test_exhaustive_tiny () =
 
 let test_exhaustive_three_simulators () =
   let p = Sim_protocol.min_seen ~n_sim:2 ~steps:1 in
-  let sim_inputs = [| Value.Int 10; Value.Int 11 |] in
+  let sim_inputs = [| Value.int 10; Value.int 11 |] in
   let r =
     Bg_simulation.check_exhaustive ~max_states:1_000_000 ~p ~sim_inputs
       ~simulators:3 ()
@@ -166,19 +166,19 @@ let test_direct_outcomes_sanity () =
       List.iter
         (fun d ->
           Alcotest.(check bool) "outcome entries are inputs" true
-            (List.mem d [ Value.Int 10; Value.Int 11 ]))
+            (List.mem d [ Value.int 10; Value.int 11 ]))
         (Value.to_list_exn vector))
     outcomes;
   (* p0 deciding 11 while p1 decides 10 (fully crossed) is impossible
      for min-seen: whoever scans second sees both. *)
   Alcotest.(check bool) "crossed outcome impossible" false
     (List.exists
-       (Value.equal (Value.List [ Value.Int 11; Value.Int 10 ]))
+       (Value.equal (Value.list [ Value.int 11; Value.int 10 ]))
        outcomes)
 
 let test_view_comparability_helpers () =
-  let cell t = Value.Pair (Value.Int t, Value.Sym "x") in
-  let view a b = Value.List [ cell a; cell b ] in
+  let cell t = Value.pair (Value.int t, Value.sym "x") in
+  let view a b = Value.list [ cell a; cell b ] in
   Alcotest.(check bool) "le" true (Bg_simulation.view_le (view 1 1) (view 2 1));
   Alcotest.(check bool) "not le" false
     (Bg_simulation.view_le (view 2 1) (view 1 2));

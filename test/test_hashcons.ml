@@ -1,0 +1,290 @@
+(* Properties of the hash-consed value core: agreement with a structural
+   reference implementation, physical sharing, and order-insensitivity
+   of the sorted [Assoc]/[Set_] encodings.
+
+   The reference implementation below operates on a plain description
+   tree that never goes near the intern table, so any divergence between
+   the O(1) interned operations and a from-scratch structural walk shows
+   up as a counterexample. *)
+
+open Lbsa
+
+let count = 500
+
+(* --- a structural mirror of [Value.node] ------------------------------- *)
+
+type descr =
+  | DUnit
+  | DBool of bool
+  | DInt of int
+  | DSym of string
+  | DBot
+  | DNil
+  | DDone
+  | DPair of descr * descr
+  | DList of descr list
+
+let rec build = function
+  | DUnit -> Value.unit_
+  | DBool b -> Value.bool b
+  | DInt i -> Value.int i
+  | DSym s -> Value.sym s
+  | DBot -> Value.bot
+  | DNil -> Value.nil
+  | DDone -> Value.done_
+  | DPair (a, b) -> Value.pair (build a, build b)
+  | DList ds -> Value.list (List.map build ds)
+
+(* Reference structural order: the documented [Value.compare] ladder,
+   recomputed on descriptions with no sharing or id shortcuts. *)
+let rec ref_compare a b =
+  match (a, b) with
+  | DUnit, DUnit -> 0
+  | DUnit, _ -> -1
+  | _, DUnit -> 1
+  | DBool x, DBool y -> Stdlib.compare x y
+  | DBool _, _ -> -1
+  | _, DBool _ -> 1
+  | DInt x, DInt y -> Stdlib.compare x y
+  | DInt _, _ -> -1
+  | _, DInt _ -> 1
+  | DSym x, DSym y -> String.compare x y
+  | DSym _, _ -> -1
+  | _, DSym _ -> 1
+  | DBot, DBot -> 0
+  | DBot, _ -> -1
+  | _, DBot -> 1
+  | DNil, DNil -> 0
+  | DNil, _ -> -1
+  | _, DNil -> 1
+  | DDone, DDone -> 0
+  | DDone, _ -> -1
+  | _, DDone -> 1
+  | DPair (x1, y1), DPair (x2, y2) ->
+    let c = ref_compare x1 x2 in
+    if c <> 0 then c else ref_compare y1 y2
+  | DPair _, _ -> -1
+  | _, DPair _ -> 1
+  | DList xs, DList ys -> ref_compare_lists xs ys
+
+and ref_compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = ref_compare x y in
+    if c <> 0 then c else ref_compare_lists xs' ys'
+
+(* Reference full-tree hash: the same per-constructor mixing as the
+   interner, recomputed bottom-up from scratch — if a cached hash ever
+   went stale or mixed an intern id, this detects it. *)
+let fnv_seed = 0x811c9dc5
+
+let rec ref_hash d =
+  let comb = Value.hash_combine in
+  (match d with
+  | DUnit -> comb fnv_seed 3
+  | DBool false -> comb fnv_seed 5
+  | DBool true -> comb fnv_seed 7
+  | DInt i -> comb fnv_seed (i lxor 0x2545F491)
+  | DSym s -> comb fnv_seed (Hashtbl.hash s)
+  | DBot -> comb fnv_seed 11
+  | DNil -> comb fnv_seed 13
+  | DDone -> comb fnv_seed 17
+  | DPair (a, b) -> comb (comb (comb fnv_seed 19) (ref_hash a)) (ref_hash b)
+  | DList ds ->
+    List.fold_left (fun acc d -> comb acc (ref_hash d)) (comb fnv_seed 23) ds)
+  land max_int
+
+let rec pp_descr ppf = function
+  | DUnit -> Fmt.string ppf "()"
+  | DBool b -> Fmt.bool ppf b
+  | DInt i -> Fmt.int ppf i
+  | DSym s -> Fmt.string ppf s
+  | DBot -> Fmt.string ppf "bot"
+  | DNil -> Fmt.string ppf "nil"
+  | DDone -> Fmt.string ppf "done"
+  | DPair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_descr a pp_descr b
+  | DList ds -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_descr) ds
+
+let descr_gen : descr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base =
+    oneof
+      [
+        return DUnit;
+        map (fun b -> DBool b) bool;
+        (* straddle the interner's small-int cache boundary on purpose *)
+        map (fun i -> DInt i) (int_range (-40) 300);
+        map (fun s -> DSym s) (oneofl [ "a"; "b"; "c"; "halt"; "propose" ]);
+        return DBot;
+        return DNil;
+        return DDone;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then base
+    else
+      oneof
+        [
+          base;
+          map2 (fun a b -> DPair (a, b)) (tree (depth - 1)) (tree (depth - 1));
+          map (fun ds -> DList ds) (list_size (int_bound 4) (tree (depth - 1)));
+        ]
+  in
+  tree 4
+
+let descr_arb = QCheck.make ~print:(Fmt.str "%a" pp_descr) descr_gen
+let descr_pair_arb = QCheck.pair descr_arb descr_arb
+
+(* --- agreement with the reference -------------------------------------- *)
+
+let prop_compare_agrees =
+  QCheck.Test.make ~count ~name:"compare agrees with structural reference"
+    descr_pair_arb (fun (d1, d2) ->
+      let sign c = Stdlib.compare c 0 in
+      sign (Value.compare (build d1) (build d2)) = sign (ref_compare d1 d2))
+
+let prop_equal_agrees =
+  QCheck.Test.make ~count ~name:"equal iff structurally equal" descr_pair_arb
+    (fun (d1, d2) ->
+      Value.equal (build d1) (build d2) = (ref_compare d1 d2 = 0))
+
+let prop_hash_agrees =
+  QCheck.Test.make ~count ~name:"cached hash = structural recomputation"
+    descr_arb (fun d -> Value.hash (build d) = ref_hash d)
+
+let prop_hash_fold_consistent =
+  QCheck.Test.make ~count ~name:"hash_fold folds the cached hash" descr_arb
+    (fun d ->
+      let v = build d in
+      Value.hash_fold 12345 v = Value.hash_combine 12345 (Value.hash v))
+
+(* --- physical sharing --------------------------------------------------- *)
+
+let prop_reconstruction_shares =
+  QCheck.Test.make ~count ~name:"re-construction is physically shared"
+    descr_arb (fun d -> build d == build d)
+
+let prop_equal_is_pointer_equal =
+  QCheck.Test.make ~count ~name:"structural equality implies pointer equality"
+    descr_pair_arb (fun (d1, d2) ->
+      let v1 = build d1 and v2 = build d2 in
+      if ref_compare d1 d2 = 0 then v1 == v2 else not (v1 == v2))
+
+(* --- Assoc / Set_ round trips ------------------------------------------ *)
+
+let small_kv_arb =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 8) (pair (int_bound 6) (int_bound 20)))
+
+let prop_assoc_order_insensitive =
+  QCheck.Test.make ~count ~name:"Assoc: insertion order is unobservable"
+    small_kv_arb (fun kvs ->
+      (* last-wins per key; keep only final bindings so both insertion
+         orders encode the same map *)
+      let dedup =
+        List.fold_left
+          (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+          [] kvs
+      in
+      let to_value (k, v) = (Value.int k, Value.int v) in
+      let m1 = Value.Assoc.of_bindings (List.map to_value dedup) in
+      let m2 = Value.Assoc.of_bindings (List.map to_value (List.rev dedup)) in
+      m1 == m2)
+
+let prop_assoc_get_after_of_bindings =
+  QCheck.Test.make ~count ~name:"Assoc: get retrieves every binding"
+    small_kv_arb (fun kvs ->
+      let dedup =
+        List.fold_left
+          (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+          [] kvs
+      in
+      let m =
+        Value.Assoc.of_bindings
+          (List.map (fun (k, v) -> (Value.int k, Value.int v)) dedup)
+      in
+      List.for_all
+        (fun (k, v) ->
+          match Value.Assoc.get m (Value.int k) with
+          | Some v' -> Value.equal v' (Value.int v)
+          | None -> false)
+        dedup)
+
+let small_int_list_arb =
+  QCheck.make QCheck.Gen.(list_size (int_bound 10) (int_bound 8))
+
+let prop_set_order_insensitive =
+  QCheck.Test.make ~count ~name:"Set_: insertion order is unobservable"
+    small_int_list_arb (fun xs ->
+      let vs = List.map Value.int xs in
+      Value.Set_.of_list vs == Value.Set_.of_list (List.rev vs))
+
+let prop_set_roundtrip =
+  QCheck.Test.make ~count ~name:"Set_: mem/cardinal/elements round-trip"
+    small_int_list_arb (fun xs ->
+      let vs = List.map Value.int xs in
+      let s = Value.Set_.of_list vs in
+      List.for_all (fun v -> Value.Set_.mem v s) vs
+      && Value.Set_.cardinal s
+         = List.length (List.sort_uniq Value.compare vs)
+      && (* elements come back sorted in structural order *)
+      let es = Value.Set_.elements s in
+      List.sort Value.compare es = es)
+
+(* --- intern table bookkeeping ------------------------------------------ *)
+
+let test_intern_stats () =
+  let s0 = Value.intern_stats () in
+  Alcotest.(check bool) "stripes power of two" true (s0.Value.stripes > 0);
+  (* A fresh deep value: at least one miss; re-building it: hits only. *)
+  let d = DList [ DPair (DInt 9999, DSym "a"); DBot; DInt 12345 ] in
+  let v1 = build d in
+  let s1 = Value.intern_stats () in
+  let v2 = build d in
+  let s2 = Value.intern_stats () in
+  Alcotest.(check bool) "fresh build misses" true (s1.Value.misses > s0.Value.misses);
+  Alcotest.(check bool) "rebuild only hits" true (s2.Value.misses = s1.Value.misses);
+  Alcotest.(check bool) "rebuild hits" true (s2.Value.hits > s1.Value.hits);
+  Alcotest.(check bool) "shared" true (v1 == v2);
+  Alcotest.(check bool) "size tracks misses" true (s2.Value.size = s2.Value.misses)
+
+let test_small_int_cache () =
+  (* Small ints come from a lock-free cache; out-of-range ints go through
+     the table — either way, equal ints are the same pointer. *)
+  List.iter
+    (fun i -> Alcotest.(check bool) "int shared" true (Value.int i == Value.int i))
+    [ -16; -1; 0; 1; 255; 256; 100_000; -100_000 ]
+
+let () =
+  Alcotest.run "hashcons"
+    [
+      ( "structural-agreement",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compare_agrees;
+            prop_equal_agrees;
+            prop_hash_agrees;
+            prop_hash_fold_consistent;
+          ] );
+      ( "sharing",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_reconstruction_shares; prop_equal_is_pointer_equal ] );
+      ( "assoc-set",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_assoc_order_insensitive;
+            prop_assoc_get_after_of_bindings;
+            prop_set_order_insensitive;
+            prop_set_roundtrip;
+          ] );
+      ( "intern-table",
+        [
+          Alcotest.test_case "stats track hits/misses/size" `Quick
+            test_intern_stats;
+          Alcotest.test_case "small-int cache shares" `Quick
+            test_small_int_cache;
+        ] );
+    ]

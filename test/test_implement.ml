@@ -7,8 +7,8 @@ open Lbsa
 let test_identity_impl () =
   let impl = Implementation.identity (Register.spec ()) in
   let workloads =
-    [| [ Register.write (Value.Int 1); Register.read ];
-       [ Register.write (Value.Int 2); Register.read ] |]
+    [| [ Register.write (Value.int 1); Register.read ];
+       [ Register.write (Value.int 2); Register.read ] |]
   in
   match Harness.exhaustive ~impl ~workloads () with
   | Ok count -> Alcotest.(check bool) "some interleavings" true (count > 1)
@@ -18,8 +18,8 @@ let test_identity_campaign () =
   let impl = Implementation.identity (Classic.Queue_obj.spec ()) in
   let workloads =
     [|
-      [ Classic.Queue_obj.enqueue (Value.Int 1); Classic.Queue_obj.dequeue ];
-      [ Classic.Queue_obj.enqueue (Value.Int 2); Classic.Queue_obj.dequeue ];
+      [ Classic.Queue_obj.enqueue (Value.int 1); Classic.Queue_obj.dequeue ];
+      [ Classic.Queue_obj.enqueue (Value.int 2); Classic.Queue_obj.dequeue ];
     |]
   in
   match Harness.campaign ~seed:1 ~trials:50 ~impl ~workloads () with
@@ -31,9 +31,9 @@ let test_pac_nm_impl_exhaustive () =
   let impl = Pac_nm_impl.implementation ~n:2 ~m:2 in
   let workloads =
     [|
-      [ Pac_nm.propose_p (Value.Int 1) 1; Pac_nm.decide_p 1 ];
-      [ Pac_nm.propose_c (Value.Int 9) ];
-      [ Pac_nm.propose_c (Value.Int 8) ];
+      [ Pac_nm.propose_p (Value.int 1) 1; Pac_nm.decide_p 1 ];
+      [ Pac_nm.propose_c (Value.int 9) ];
+      [ Pac_nm.propose_c (Value.int 8) ];
     |]
   in
   match Harness.exhaustive ~impl ~workloads () with
@@ -45,10 +45,10 @@ let test_pac_nm_impl_campaign () =
   let impl = Pac_nm_impl.implementation ~n:3 ~m:2 in
   let workloads =
     [|
-      [ Pac_nm.propose_p (Value.Int 1) 1; Pac_nm.decide_p 1;
-        Pac_nm.propose_c (Value.Int 5) ];
-      [ Pac_nm.propose_p (Value.Int 2) 2; Pac_nm.decide_p 2 ];
-      [ Pac_nm.propose_c (Value.Int 6); Pac_nm.propose_p (Value.Int 3) 3;
+      [ Pac_nm.propose_p (Value.int 1) 1; Pac_nm.decide_p 1;
+        Pac_nm.propose_c (Value.int 5) ];
+      [ Pac_nm.propose_p (Value.int 2) 2; Pac_nm.decide_p 2 ];
+      [ Pac_nm.propose_c (Value.int 6); Pac_nm.propose_p (Value.int 3) 3;
         Pac_nm.decide_p 3 ];
     |]
   in
@@ -61,8 +61,8 @@ let test_facets () =
   let impl_b = Facets.pac_from_pac_nm ~n:2 ~m:2 in
   let workloads_b =
     [|
-      [ Pac.propose (Value.Int 1) 1; Pac.decide 1 ];
-      [ Pac.propose (Value.Int 2) 2; Pac.decide 2 ];
+      [ Pac.propose (Value.int 1) 1; Pac.decide 1 ];
+      [ Pac.propose (Value.int 2) 2; Pac.decide 2 ];
     |]
   in
   (match Harness.exhaustive ~impl:impl_b ~workloads:workloads_b () with
@@ -71,9 +71,9 @@ let test_facets () =
   let impl_c = Facets.consensus_from_pac_nm ~n:2 ~m:2 in
   let workloads_c =
     [|
-      [ Consensus_obj.propose (Value.Int 1) ];
-      [ Consensus_obj.propose (Value.Int 2) ];
-      [ Consensus_obj.propose (Value.Int 3) ];
+      [ Consensus_obj.propose (Value.int 1) ];
+      [ Consensus_obj.propose (Value.int 2) ];
+      [ Consensus_obj.propose (Value.int 3) ];
     |]
   in
   match Harness.exhaustive ~impl:impl_c ~workloads:workloads_c () with
@@ -86,8 +86,8 @@ let test_oprime_impl_exhaustive () =
   let impl = Oprime_impl.implementation ~power in
   let workloads =
     [|
-      [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 10) 2 ];
-      [ O_prime.propose (Value.Int 2) 1; O_prime.propose (Value.Int 20) 2 ];
+      [ O_prime.propose (Value.int 1) 1; O_prime.propose (Value.int 10) 2 ];
+      [ O_prime.propose (Value.int 2) 1; O_prime.propose (Value.int 20) 2 ];
     |]
   in
   match Harness.exhaustive ~impl ~workloads () with
@@ -101,12 +101,12 @@ let test_oprime_impl_campaign () =
   (* Respect the port bounds: n_1 = 2, n_2 = 4, n_3 = 6, n_4 = 8. *)
   let workloads =
     [|
-      [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 11) 2;
-        O_prime.propose (Value.Int 12) 3 ];
-      [ O_prime.propose (Value.Int 2) 1; O_prime.propose (Value.Int 21) 2;
-        O_prime.propose (Value.Int 22) 4 ];
-      [ O_prime.propose (Value.Int 31) 2; O_prime.propose (Value.Int 32) 3;
-        O_prime.propose (Value.Int 33) 4 ];
+      [ O_prime.propose (Value.int 1) 1; O_prime.propose (Value.int 11) 2;
+        O_prime.propose (Value.int 12) 3 ];
+      [ O_prime.propose (Value.int 2) 1; O_prime.propose (Value.int 21) 2;
+        O_prime.propose (Value.int 22) 4 ];
+      [ O_prime.propose (Value.int 31) 2; O_prime.propose (Value.int 32) 3;
+        O_prime.propose (Value.int 33) 4 ];
     |]
   in
   match Harness.campaign ~seed:21 ~trials:100 ~impl ~workloads () with
@@ -118,8 +118,8 @@ let test_snapshot_impl_small () =
   let impl = Snapshot_impl.implementation ~n:2 in
   let workloads =
     [|
-      [ Classic.Snapshot.update 0 (Value.Int 1); Classic.Snapshot.scan ];
-      [ Classic.Snapshot.update 1 (Value.Int 2) ];
+      [ Classic.Snapshot.update 0 (Value.int 1); Classic.Snapshot.scan ];
+      [ Classic.Snapshot.update 1 (Value.int 2) ];
     |]
   in
   match Harness.exhaustive ~max_steps:80 ~impl ~workloads () with
@@ -131,10 +131,10 @@ let test_snapshot_impl_campaign () =
   let impl = Snapshot_impl.implementation ~n:3 in
   let workloads =
     [|
-      [ Classic.Snapshot.update 0 (Value.Int 1); Classic.Snapshot.scan;
-        Classic.Snapshot.update 0 (Value.Int 2) ];
-      [ Classic.Snapshot.update 1 (Value.Int 3); Classic.Snapshot.scan ];
-      [ Classic.Snapshot.scan; Classic.Snapshot.update 2 (Value.Int 4) ];
+      [ Classic.Snapshot.update 0 (Value.int 1); Classic.Snapshot.scan;
+        Classic.Snapshot.update 0 (Value.int 2) ];
+      [ Classic.Snapshot.update 1 (Value.int 3); Classic.Snapshot.scan ];
+      [ Classic.Snapshot.scan; Classic.Snapshot.update 2 (Value.int 4) ];
     |]
   in
   match Harness.campaign ~seed:31 ~trials:60 ~impl ~workloads () with
@@ -151,8 +151,8 @@ let test_naive_snapshot_broken () =
   let workloads =
     [|
       [ Classic.Snapshot.scan ];
-      [ Classic.Snapshot.update 1 (Value.Int 7) ];
-      [ Classic.Snapshot.update 2 (Value.Int 8) ];
+      [ Classic.Snapshot.update 1 (Value.int 7) ];
+      [ Classic.Snapshot.update 2 (Value.int 8) ];
     |]
   in
   match Harness.exhaustive ~max_steps:60 ~impl ~workloads () with
@@ -180,9 +180,9 @@ let test_universal_queue_campaign () =
   let impl = Universal.implementation ~n:3 ~target () in
   let workloads =
     [|
-      [ Classic.Queue_obj.enqueue (Value.Int 1); Classic.Queue_obj.dequeue ];
-      [ Classic.Queue_obj.enqueue (Value.Int 2); Classic.Queue_obj.dequeue ];
-      [ Classic.Queue_obj.enqueue (Value.Int 3); Classic.Queue_obj.dequeue ];
+      [ Classic.Queue_obj.enqueue (Value.int 1); Classic.Queue_obj.dequeue ];
+      [ Classic.Queue_obj.enqueue (Value.int 2); Classic.Queue_obj.dequeue ];
+      [ Classic.Queue_obj.enqueue (Value.int 3); Classic.Queue_obj.dequeue ];
     |]
   in
   match Harness.campaign ~seed:3 ~trials:200 ~impl ~workloads () with
@@ -198,7 +198,7 @@ let test_universal_pac_campaign () =
   let impl = Universal.implementation ~n:3 ~target () in
   let workloads =
     Array.init 3 (fun pid ->
-        [ Pac.propose (Value.Int pid) (pid + 1); Pac.decide (pid + 1) ])
+        [ Pac.propose (Value.int pid) (pid + 1); Pac.decide (pid + 1) ])
   in
   match Harness.campaign ~seed:13 ~trials:200 ~impl ~workloads () with
   | Ok t -> Alcotest.(check int) "all trials pass" 200 t
@@ -251,7 +251,7 @@ let test_universal_helping_completes_crashed_ops () =
   let impl = Universal.implementation ~n:2 ~target () in
   let workloads =
     [|
-      [ Classic.Queue_obj.enqueue (Value.Int 77) ];
+      [ Classic.Queue_obj.enqueue (Value.int 77) ];
       [ Classic.Queue_obj.dequeue; Classic.Queue_obj.dequeue ];
     |]
   in
@@ -275,7 +275,7 @@ let test_universal_helping_completes_crashed_ops () =
       run.Harness.history
   in
   Alcotest.(check bool) "a dequeue returned the crashed client's value" true
-    (List.exists (Value.equal (Value.Int 77)) dequeue_results)
+    (List.exists (Value.equal (Value.int 77)) dequeue_results)
 
 let test_broken_oprime_impl_caught () =
   (* A subtly wrong Lemma 6.4 implementation: route every k >= 2 level
@@ -288,8 +288,8 @@ let test_broken_oprime_impl_caught () =
   let base = [| Consensus_obj.spec ~m:2 (); Sa2.spec () |] in
   let route (op : Op.t) =
     match (op.Op.name, op.Op.args) with
-    | "propose", [ v; Value.Int 1 ] -> (0, Consensus_obj.propose v)
-    | "propose", [ v; Value.Int _ ] -> (1, Sa2.propose v)
+    | "propose", [ v; { Value.node = Int 1; _ } ] -> (0, Consensus_obj.propose v)
+    | "propose", [ v; { Value.node = Int _; _ } ] -> (1, Sa2.propose v)
     | _ -> invalid_arg "broken oprime"
   in
   let impl =
@@ -297,7 +297,7 @@ let test_broken_oprime_impl_caught () =
       ~route
   in
   let workloads =
-    [| [ O_prime.propose (Value.Int 20) 2 ]; [ O_prime.propose (Value.Int 30) 3 ] |]
+    [| [ O_prime.propose (Value.int 20) 2 ]; [ O_prime.propose (Value.int 30) 3 ] |]
   in
   match Harness.exhaustive ~impl ~workloads () with
   | Ok _ -> Alcotest.fail "the shared-2-SA shortcut should be caught"
@@ -321,7 +321,7 @@ let test_universal_out_of_slots () =
 
 let test_single_writer_enforced () =
   let impl = Snapshot_impl.implementation ~n:2 in
-  let workloads = [| [ Classic.Snapshot.update 1 (Value.Int 1) ]; [] |] in
+  let workloads = [| [ Classic.Snapshot.update 1 (Value.int 1) ]; [] |] in
   match
     Harness.run_clients ~impl ~workloads
       ~scheduler:(Scheduler.round_robin ~n:2) ()

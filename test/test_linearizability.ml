@@ -12,10 +12,10 @@ let test_sequential_register_history () =
   let h =
     Chistory.of_sequential
       [
-        (0, Register.write (Value.Int 1), Value.Unit);
-        (1, Register.read, Value.Int 1);
-        (0, Register.write (Value.Int 2), Value.Unit);
-        (1, Register.read, Value.Int 2);
+        (0, Register.write (Value.int 1), Value.unit_);
+        (1, Register.read, Value.int 1);
+        (0, Register.write (Value.int 2), Value.unit_);
+        (1, Register.read, Value.int 2);
       ]
   in
   Alcotest.(check bool) "sequential history linearizable" true
@@ -26,9 +26,9 @@ let test_stale_read_rejected () =
   let reg = Register.spec () in
   let h =
     [
-      Chistory.call ~pid:0 ~op:(Register.write (Value.Int 1)) ~response:Value.Unit
+      Chistory.call ~pid:0 ~op:(Register.write (Value.int 1)) ~response:Value.unit_
         ~inv:1 ~res:2;
-      Chistory.call ~pid:1 ~op:Register.read ~response:Value.Nil ~inv:3 ~res:4;
+      Chistory.call ~pid:1 ~op:Register.read ~response:Value.nil ~inv:3 ~res:4;
     ]
   in
   Alcotest.(check bool) "stale read not linearizable" false (check_lin reg h)
@@ -38,9 +38,9 @@ let test_concurrent_read_may_be_stale () =
   let reg = Register.spec () in
   let h =
     [
-      Chistory.call ~pid:0 ~op:(Register.write (Value.Int 1)) ~response:Value.Unit
+      Chistory.call ~pid:0 ~op:(Register.write (Value.int 1)) ~response:Value.unit_
         ~inv:1 ~res:4;
-      Chistory.call ~pid:1 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:3;
+      Chistory.call ~pid:1 ~op:Register.read ~response:Value.nil ~inv:2 ~res:3;
     ]
   in
   Alcotest.(check bool) "concurrent stale read ok" true (check_lin reg h)
@@ -51,11 +51,11 @@ let test_queue_reordering_rejected () =
   let q = Classic.Queue_obj.spec () in
   let h =
     [
-      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.Int 1))
-        ~response:Value.Unit ~inv:1 ~res:2;
-      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.Int 2))
-        ~response:Value.Unit ~inv:3 ~res:4;
-      Chistory.call ~pid:1 ~op:Classic.Queue_obj.dequeue ~response:(Value.Int 2)
+      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.int 1))
+        ~response:Value.unit_ ~inv:1 ~res:2;
+      Chistory.call ~pid:0 ~op:(Classic.Queue_obj.enqueue (Value.int 2))
+        ~response:Value.unit_ ~inv:3 ~res:4;
+      Chistory.call ~pid:1 ~op:Classic.Queue_obj.dequeue ~response:(Value.int 2)
         ~inv:5 ~res:6;
     ]
   in
@@ -67,22 +67,22 @@ let test_nondeterministic_target () =
   let sa = Sa2.spec () in
   let mk r1 r2 =
     [
-      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.Int 1)) ~response:r1 ~inv:1
+      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.int 1)) ~response:r1 ~inv:1
         ~res:4;
-      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.Int 2)) ~response:r2 ~inv:2
+      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.int 2)) ~response:r2 ~inv:2
         ~res:3;
     ]
   in
-  Alcotest.(check bool) "1/2 ok" true (check_lin sa (mk (Value.Int 1) (Value.Int 2)));
-  Alcotest.(check bool) "1/1 ok" true (check_lin sa (mk (Value.Int 1) (Value.Int 1)));
-  Alcotest.(check bool) "2/2 ok" true (check_lin sa (mk (Value.Int 2) (Value.Int 2)));
+  Alcotest.(check bool) "1/2 ok" true (check_lin sa (mk (Value.int 1) (Value.int 2)));
+  Alcotest.(check bool) "1/1 ok" true (check_lin sa (mk (Value.int 1) (Value.int 1)));
+  Alcotest.(check bool) "2/2 ok" true (check_lin sa (mk (Value.int 2) (Value.int 2)));
   (* Whichever propose linearizes first must return its own value
      (Algorithm 3 adds before answering), so the "crossed" outcome is
      impossible. *)
   Alcotest.(check bool) "2/1 rejected" false
-    (check_lin sa (mk (Value.Int 2) (Value.Int 1)));
+    (check_lin sa (mk (Value.int 2) (Value.int 1)));
   Alcotest.(check bool) "9 rejected" false
-    (check_lin sa (mk (Value.Int 9) (Value.Int 1)))
+    (check_lin sa (mk (Value.int 9) (Value.int 1)))
 
 let test_sa2_sequential_first_value () =
   (* Non-overlapping: the first propose must get its own value (STATE has
@@ -90,9 +90,9 @@ let test_sa2_sequential_first_value () =
   let sa = Sa2.spec () in
   let h =
     [
-      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.Int 1)) ~response:(Value.Int 2)
+      Chistory.call ~pid:0 ~op:(Sa2.propose (Value.int 1)) ~response:(Value.int 2)
         ~inv:1 ~res:2;
-      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.Int 2)) ~response:(Value.Int 2)
+      Chistory.call ~pid:1 ~op:(Sa2.propose (Value.int 2)) ~response:(Value.int 2)
         ~inv:3 ~res:4;
     ]
   in
@@ -107,11 +107,11 @@ let test_pac_concurrent_history () =
      p1: propose(6,2) -> done, entirely after p0's pair. *)
   let h =
     [
-      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.int 5) 1) ~response:Value.done_
         ~inv:1 ~res:2;
-      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:(Value.Int 5) ~inv:3
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:(Value.int 5) ~inv:3
         ~res:4;
-      Chistory.call ~pid:1 ~op:(Pac.propose (Value.Int 6) 2) ~response:Value.Done
+      Chistory.call ~pid:1 ~op:(Pac.propose (Value.int 6) 2) ~response:Value.done_
         ~inv:5 ~res:6;
     ]
   in
@@ -120,10 +120,10 @@ let test_pac_concurrent_history () =
      the order propose(5,1) propose(6,2) decide(1). *)
   let h' =
     [
-      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.int 5) 1) ~response:Value.done_
         ~inv:1 ~res:2;
-      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.Bot ~inv:3 ~res:6;
-      Chistory.call ~pid:1 ~op:(Pac.propose (Value.Int 6) 2) ~response:Value.Done
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.bot ~inv:3 ~res:6;
+      Chistory.call ~pid:1 ~op:(Pac.propose (Value.int 6) 2) ~response:Value.done_
         ~inv:4 ~res:5;
     ]
   in
@@ -131,9 +131,9 @@ let test_pac_concurrent_history () =
   (* But a ⊥ decide with no concurrent operation is inadmissible. *)
   let h'' =
     [
-      Chistory.call ~pid:0 ~op:(Pac.propose (Value.Int 5) 1) ~response:Value.Done
+      Chistory.call ~pid:0 ~op:(Pac.propose (Value.int 5) 1) ~response:Value.done_
         ~inv:1 ~res:2;
-      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.Bot ~inv:3 ~res:4;
+      Chistory.call ~pid:0 ~op:(Pac.decide 1) ~response:Value.bot ~inv:3 ~res:4;
     ]
   in
   Alcotest.(check bool) "unexplained ⊥ rejected" false (check_lin pac h'')
@@ -145,7 +145,7 @@ let test_generated_histories_linearizable () =
     let workloads =
       Array.init 3 (fun pid ->
           List.init 3 (fun i ->
-              if (pid + i) mod 2 = 0 then Register.write (Value.Int (pid * 10 + i))
+              if (pid + i) mod 2 = 0 then Register.write (Value.int (pid * 10 + i))
               else Register.read))
     in
     let h = Lin_gen.linearizable_history ~prng ~spec:reg ~workloads in
@@ -159,7 +159,7 @@ let test_generated_nondet_histories_linearizable () =
   let sa = Sa2.spec () in
   for _trial = 1 to 50 do
     let workloads =
-      Array.init 3 (fun pid -> [ Sa2.propose (Value.Int pid) ])
+      Array.init 3 (fun pid -> [ Sa2.propose (Value.int pid) ])
     in
     let h = Lin_gen.linearizable_history ~prng ~spec:sa ~workloads in
     Alcotest.(check bool) "nondet generated linearizable" true (check_lin sa h)
@@ -169,8 +169,8 @@ let test_corrupt_history_rejected () =
   let prng = Prng.create 5 in
   let reg = Register.spec () in
   let workloads =
-    [| [ Register.write (Value.Int 1); Register.read ];
-       [ Register.write (Value.Int 2); Register.read ] |]
+    [| [ Register.write (Value.int 1); Register.read ];
+       [ Register.write (Value.int 2); Register.read ] |]
   in
   let h = Lin_gen.linearizable_history ~prng ~spec:reg ~workloads in
   (* The substitute response (a fresh symbol) can never be produced by a
@@ -230,14 +230,14 @@ let test_checker_input_validation () =
   (* Ill-formed: overlapping calls by the same process. *)
   let bad =
     [
-      Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:1 ~res:4;
-      Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:3;
+      Chistory.call ~pid:0 ~op:Register.read ~response:Value.nil ~inv:1 ~res:4;
+      Chistory.call ~pid:0 ~op:Register.read ~response:Value.nil ~inv:2 ~res:3;
     ]
   in
   (match Lin_checker.check reg bad with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "ill-formed history should be rejected");
-  match Chistory.call ~pid:0 ~op:Register.read ~response:Value.Nil ~inv:2 ~res:2 with
+  match Chistory.call ~pid:0 ~op:Register.read ~response:Value.nil ~inv:2 ~res:2 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "inv >= res should be rejected"
 
@@ -252,7 +252,7 @@ let test_checker_call_limit () =
   let reg = Register.spec () in
   let seq k =
     Chistory.of_sequential
-      (List.init k (fun _ -> (0, Register.read, Value.Nil)))
+      (List.init k (fun _ -> (0, Register.read, Value.nil)))
   in
   (match Lin_checker.check reg (seq Lin_checker.max_calls) with
   | Lin_checker.Linearizable _ -> ()

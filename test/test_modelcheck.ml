@@ -11,16 +11,16 @@ let test_graph_counts_tiny () =
   let name = "wd" in
   let machine =
     Machine.make ~name
-      ~init:(fun ~pid:_ ~input -> Value.Pair (Value.Sym "w", input))
+      ~init:(fun ~pid:_ ~input -> Value.pair (Value.sym "w", input))
       ~delta:(fun ~pid state ->
         match state with
-        | Value.Pair (Value.Sym "w", x) ->
-          Machine.invoke 0 (Register.write x) (fun _ -> Value.Pair (Value.Sym "d", x))
-        | Value.Pair (Value.Sym "d", x) -> Machine.Decide x
+        | { Value.node = Pair ({ node = Sym "w"; _ }, x); _ } ->
+          Machine.invoke 0 (Register.write x) (fun _ -> Value.pair (Value.sym "d", x))
+        | { Value.node = Pair ({ node = Sym "d"; _ }, x); _ } -> Machine.Decide x
         | s -> Machine.bad_state ~machine:name ~pid s)
   in
   let graph =
-    Cgraph.build ~machine ~specs:[| Register.spec () |] ~inputs:[| Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs:[| Register.spec () |] ~inputs:[| Value.int 1 |] ()
   in
   Alcotest.(check int) "3 nodes" 3 (Cgraph.n_nodes graph);
   Alcotest.(check int) "2 edges" 2 (Cgraph.n_edges graph);
@@ -32,7 +32,7 @@ let test_graph_nondet_branches () =
   let machine = Consensus_protocols.one_shot ~name:"sa" ~mk_op:Sa2.propose () in
   let graph =
     Cgraph.build ~machine ~specs:[| Sa2.spec () |]
-      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+      ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   (* Some node must have two out-edges for the same pid (the nondet
      fork). *)
@@ -54,7 +54,7 @@ let test_graph_truncation () =
   let machine, specs = Candidates.flp_spin in
   let graph =
     Cgraph.build ~max_states:5 ~machine ~specs
-      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+      ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   Alcotest.(check bool) "truncated" true graph.Cgraph.truncated;
   match Cgraph.require_complete graph with
@@ -65,7 +65,7 @@ let test_scc_on_spin_graph () =
   (* flp_spin's graph has cycles (the spin loops). *)
   let machine, specs = Candidates.flp_spin in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   Alcotest.(check bool) "cycle found" true (Solvability.any_cycle graph <> None);
   (* The spin loops are self-loops, so components are singletons; the
@@ -79,7 +79,7 @@ let test_scc_on_spin_graph () =
      registers. *)
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let comp, n_comps = Cgraph.scc graph in
   Alcotest.(check bool) "multi-node SCC exists (livelock ring)" true
@@ -114,10 +114,10 @@ let test_build_matches_cmap_oracle () =
       ( "2-SA one-shot",
         ( Consensus_protocols.one_shot ~name:"sa" ~mk_op:Sa2.propose (),
           [| Sa2.spec () |] ),
-        [| Value.Int 0; Value.Int 1 |] );
+        [| Value.int 0; Value.int 1 |] );
       ( "3-consensus",
         Consensus_protocols.from_consensus_obj ~m:3,
-        [| Value.Int 0; Value.Int 1; Value.Int 0 |] );
+        [| Value.int 0; Value.int 1; Value.int 0 |] );
     ]
 
 let test_build_domain_count_invariant () =
@@ -126,7 +126,7 @@ let test_build_domain_count_invariant () =
      exercises real multi-domain expansion. *)
   let n = 5 in
   let machine = Dac_from_pac.machine ~n and specs = Dac_from_pac.specs ~n in
-  let inputs = Array.init n (fun pid -> Value.Int (if pid = 0 then 1 else 0)) in
+  let inputs = Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0)) in
   let g1 = Cgraph.build ~domains:1 ~machine ~specs ~inputs () in
   let g4 = Cgraph.build ~domains:4 ~machine ~specs ~inputs () in
   check_same_graph "domains 1 vs 4" g1 g4;
@@ -148,16 +148,68 @@ let test_build_domains_1_2_4_with_oracle () =
     [
       ( "cons:2",
         Consensus_protocols.from_consensus_obj ~m:2,
-        [| Value.Int 0; Value.Int 1 |] );
+        [| Value.int 0; Value.int 1 |] );
       ( "dac:3",
         (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3),
-        [| Value.Int 1; Value.Int 0; Value.Int 0 |] );
+        [| Value.int 1; Value.int 0; Value.int 0 |] );
     ]
+
+let test_truncation_point_domain_invariant () =
+  (* A bound small enough to cut the graph mid-exploration: every domain
+     count must stop at the same point — same node ids, same edges, same
+     truncated flag — or downstream analyses would silently diverge on
+     partial graphs. *)
+  let machine, specs = (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3) in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
+  let g1 = Cgraph.build ~max_states:40 ~domains:1 ~machine ~specs ~inputs () in
+  Alcotest.(check bool) "bound actually truncates" true g1.Cgraph.truncated;
+  List.iter
+    (fun domains ->
+      let g =
+        Cgraph.build ~max_states:40 ~domains ~machine ~specs ~inputs ()
+      in
+      Alcotest.(check bool)
+        (Fmt.str "domains=%d truncated" domains)
+        g1.Cgraph.truncated g.Cgraph.truncated;
+      check_same_graph (Fmt.str "truncated, domains 1 vs %d" domains) g1 g)
+    [ 2; 4 ]
+
+let test_intern_order_independent_across_processes () =
+  (* The cross-process regression for THE ID-NEVER-ORDERS INVARIANT
+     (lib/spec/value.ml): run the CLI's [fingerprint] command in two
+     fresh processes, the second one interning a thousand junk values
+     first so every id the graph's values receive is shifted.  Node ids,
+     edge order, truncation and all structural hashes must be byte-for-
+     byte identical. *)
+  let exe = Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "lbsa_cli.exe"))
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Fmt.str "CLI executable not found at %s" exe);
+  let run warmup =
+    let out = Filename.temp_file "lbsa_fp" ".out" in
+    let cmd =
+      Fmt.str "%s fingerprint -n 3 --intern-warmup %d > %s"
+        (Filename.quote exe) warmup (Filename.quote out)
+    in
+    let rc = Sys.command cmd in
+    let ic = open_in out in
+    let line = input_line ic in
+    close_in ic;
+    Sys.remove out;
+    Alcotest.(check int) (Fmt.str "warmup=%d exit code" warmup) 0 rc;
+    line
+  in
+  let base = run 0 and shifted = run 1000 in
+  Alcotest.(check bool) "fingerprint line non-trivial" true
+    (String.length base > String.length "fingerprint=");
+  Alcotest.(check string) "fingerprints agree across intern orders" base
+    shifted
 
 let test_exploration_stats_sane () =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   let g =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let s = Cgraph.stats g in
   Alcotest.(check int) "states = node count" (Cgraph.n_nodes g) s.Cgraph.states;
@@ -179,7 +231,7 @@ let test_verdict_carries_stats () =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   let v =
     Solvability.check_consensus ~machine ~specs
-      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+      ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   match v.Solvability.stats with
   | Some s ->
@@ -197,18 +249,18 @@ let consensus_2cons_graph inputs =
 let test_initial_config_bivalent () =
   (* With inputs 0,1 and a 2-consensus object, the schedule decides who
      proposes first, so the initial configuration is bivalent. *)
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   Alcotest.(check bool) "initial bivalent" true
     (Valence.is_bivalent a graph.Cgraph.initial)
 
 let test_same_inputs_univalent () =
   (* With equal inputs, validity forces 0-valence everywhere. *)
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 0 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 0 |] in
   Alcotest.(check bool) "0-valent" true
-    (Valence.is_valent a graph.Cgraph.initial (Value.Int 0))
+    (Valence.is_valent a graph.Cgraph.initial (Value.int 0))
 
 let test_decided_configs_univalent () =
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   Cgraph.iter_nodes
     (fun id config ->
       match Config.decisions config with
@@ -249,17 +301,17 @@ let test_valence_matches_fixpoint_oracle () =
     [
       ( "cons:2",
         Consensus_protocols.from_consensus_obj ~m:2,
-        [| Value.Int 0; Value.Int 1 |] );
+        [| Value.int 0; Value.int 1 |] );
       ( "cons:3",
         Consensus_protocols.from_consensus_obj ~m:3,
-        [| Value.Int 0; Value.Int 1; Value.Int 0 |] );
+        [| Value.int 0; Value.int 1; Value.int 0 |] );
       ( "dac:3",
         (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3),
-        [| Value.Int 1; Value.Int 0; Value.Int 0 |] );
-      ("flp_spin (cyclic)", Candidates.flp_spin, [| Value.Int 0; Value.Int 1 |]);
+        [| Value.int 1; Value.int 0; Value.int 0 |] );
+      ("flp_spin (cyclic)", Candidates.flp_spin, [| Value.int 0; Value.int 1 |]);
       ( "pac-retry (livelock SCC)",
         Candidates.consensus_from_pac_retry ~n:2 ~procs:2,
-        [| Value.Int 0; Value.Int 1 |] );
+        [| Value.int 0; Value.int 1 |] );
     ]
 
 let test_valence_matches_oracle_randomized () =
@@ -268,7 +320,7 @@ let test_valence_matches_oracle_randomized () =
      draws per machine. *)
   let prng = Prng.create 2026 in
   for trial = 1 to 10 do
-    let inputs = Array.init 3 (fun _ -> Value.Int (Prng.int prng 2)) in
+    let inputs = Array.init 3 (fun _ -> Value.int (Prng.int prng 2)) in
     let machine, specs =
       if Prng.bool prng then
         (Dac_from_pac.machine ~n:3, Dac_from_pac.specs ~n:3)
@@ -280,7 +332,7 @@ let test_valence_matches_oracle_randomized () =
   done
 
 let test_valence_summary_consistent () =
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   let s = Valence.summarize a in
   Alcotest.(check int) "counts partition nodes" (Cgraph.n_nodes graph)
     (s.Valence.n_bivalent + s.Valence.n_univalent + s.Valence.n_undecided);
@@ -295,7 +347,7 @@ let test_critical_configuration_structure () =
      running process is poised on the same non-register object (the
      2-consensus object). *)
   let graph, a, machine, specs =
-    consensus_2cons_graph [| Value.Int 0; Value.Int 1 |]
+    consensus_2cons_graph [| Value.int 0; Value.int 1 |]
   in
   let reports = Bivalency.report_critical ~machine ~specs graph a in
   Alcotest.(check bool) "critical configurations exist" true (reports <> []);
@@ -316,18 +368,18 @@ let test_flp_trichotomy_on_register_candidates () =
      spinning. *)
   let machine, specs = Candidates.flp_write_read in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   Alcotest.(check bool) "write-read: initial bivalent" true
     (Valence.is_bivalent a graph.Cgraph.initial);
   let machine, specs = Candidates.flp_spin in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   Alcotest.(check bool) "spin: initial 0-valent (always the minimum)" true
-    (Valence.is_valent a graph.Cgraph.initial (Value.Int 0))
+    (Valence.is_valent a graph.Cgraph.initial (Value.int 0))
 
 let test_bivalence_maintainable_over_bare_pac () =
   (* The FLP adversary survives over a bare 2-PAC object: the retry
@@ -338,7 +390,7 @@ let test_bivalence_maintainable_over_bare_pac () =
      consensus number above 1. *)
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   Alcotest.(check bool) "initial bivalent" true
@@ -351,7 +403,7 @@ let test_consensus_object_breaks_bivalence_maintenance () =
   (* In contrast, over a 2-consensus object the bivalence is NOT
      maintainable: critical configurations are dead-ends into
      univalence.  (This is exactly why consensus is solvable there.) *)
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   match Bivalency.bivalence_maintainable a graph with
   | Ok () -> Alcotest.fail "bivalence should not be maintainable"
   | Error _ -> ()
@@ -363,7 +415,7 @@ let test_dac_aborts_are_0_valent () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   let graph = Cgraph.build ~machine ~specs ~inputs () in
   let a = Valence.analyze graph in
   (match Bivalency.aborts_are_0_valent a graph with
@@ -381,7 +433,7 @@ let test_poised_op_names_at_criticals () =
      which is exactly where Claim 5.2.5 says the decision must happen. *)
   let machine, specs = Consensus_protocols.from_pac_nm ~n:2 ~m:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   let criticals = Bivalency.critical_configurations a graph in
@@ -402,7 +454,7 @@ let test_poised_op_names_at_criticals () =
      cannot host the decision point). *)
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   Alcotest.(check (list int)) "no critical configuration over a bare PAC" []
@@ -411,7 +463,7 @@ let test_poised_op_names_at_criticals () =
 let test_poised_reporting () =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
   let c =
-    Config.initial ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |]
+    Config.initial ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |]
   in
   (match Bivalency.poised ~machine c with
   | [ (0, Some 0); (1, Some 0) ] -> ()
@@ -583,14 +635,14 @@ let test_candidates_fail_exhaustive () =
   let machine, specs = Candidates.flp_write_read in
   let verdict =
     Solvability.check_consensus ~machine ~specs
-      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+      ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   Alcotest.(check bool) "flp-write-read fails" false verdict.Solvability.ok;
   (* flp-spin: wait-freedom violation (cycle) found. *)
   let machine, specs = Candidates.flp_spin in
   let verdict =
     Solvability.check_consensus ~machine ~specs
-      ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+      ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   Alcotest.(check bool) "flp-spin fails" false verdict.Solvability.ok;
   (* 3-DAC candidates (Theorem 4.2's evidence). *)
@@ -620,7 +672,7 @@ let test_witness_schedule_replays () =
   (* Extract the disagreement witness for flp-write-read and replay its
      schedule through the executor: the violation must reproduce. *)
   let machine, specs = Candidates.flp_write_read in
-  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let inputs = [| Value.int 0; Value.int 1 |] in
   match Solvability.consensus_witness ~machine ~specs ~inputs () with
   | None -> Alcotest.fail "expected a disagreement witness"
   | Some w ->
@@ -638,7 +690,7 @@ let test_witness_schedule_replays () =
 
 let test_dac_witness () =
   let machine, specs = Candidates.dac3_sa2_then_cons2 in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   match Solvability.dac_witness ~machine ~specs ~inputs () with
   | None ->
     (* This input vector may be safe; some binary vector must witness. *)
@@ -656,7 +708,7 @@ let test_dac_witness () =
 let test_hooks_exist_on_consensus_graph () =
   (* Claim 4.2.6's pivot exists concretely: on the 2-consensus protocol
      graph, swapping one p-step and one q-step flips the valence. *)
-  let graph, a, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, a, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   let hooks = Bivalency.find_hooks a graph in
   Alcotest.(check bool) "hooks found" true (hooks <> []);
   List.iter
@@ -670,7 +722,7 @@ let test_hooks_exist_on_consensus_graph () =
      exactly why the adversary can maintain bivalence there. *)
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
   let graph =
-    Cgraph.build ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] ()
+    Cgraph.build ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] ()
   in
   let a = Valence.analyze graph in
   Alcotest.(check (list string)) "no hooks on the bare PAC graph" []
@@ -679,7 +731,7 @@ let test_hooks_exist_on_consensus_graph () =
        (Bivalency.find_hooks a graph))
 
 let test_shortest_path_initial () =
-  let graph, _, _, _ = consensus_2cons_graph [| Value.Int 0; Value.Int 1 |] in
+  let graph, _, _, _ = consensus_2cons_graph [| Value.int 0; Value.int 1 |] in
   Alcotest.(check (option (list int)))
     "empty path to the initial node" (Some [])
     (Option.map Cgraph.schedule_of_path
@@ -687,7 +739,7 @@ let test_shortest_path_initial () =
 
 let test_solo_halts_primitive () =
   let machine, specs = Candidates.flp_spin in
-  let c = Config.initial ~machine ~specs ~inputs:[| Value.Int 0; Value.Int 1 |] in
+  let c = Config.initial ~machine ~specs ~inputs:[| Value.int 0; Value.int 1 |] in
   let accept = function
     | Config.Decided _ -> true
     | _ -> false
@@ -696,7 +748,7 @@ let test_solo_halts_primitive () =
     (Solvability.solo_halts ~machine ~specs ~pid:0 ~accept c);
   let machine = Dac_from_pac.machine ~n:2 in
   let specs = Dac_from_pac.specs ~n:2 in
-  let c = Config.initial ~machine ~specs ~inputs:[| Value.Int 1; Value.Int 0 |] in
+  let c = Config.initial ~machine ~specs ~inputs:[| Value.int 1; Value.int 0 |] in
   Alcotest.(check bool) "Algorithm 2: q1 solo decides" true
     (Solvability.solo_halts ~machine ~specs ~pid:1 ~accept c)
 
@@ -715,6 +767,10 @@ let () =
             test_build_domains_1_2_4_with_oracle;
           Alcotest.test_case "identical graph for any domain count" `Quick
             test_build_domain_count_invariant;
+          Alcotest.test_case "identical truncation point for any domain count"
+            `Quick test_truncation_point_domain_invariant;
+          Alcotest.test_case "fingerprint independent of intern order" `Quick
+            test_intern_order_independent_across_processes;
           Alcotest.test_case "exploration stats sane" `Quick
             test_exploration_stats_sane;
           Alcotest.test_case "verdict carries stats" `Quick

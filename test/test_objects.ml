@@ -15,19 +15,19 @@ let run_first spec ops =
 
 let test_register () =
   let reg = Register.spec () in
-  Alcotest.(check (list v)) "read initial" [ Value.Nil ]
+  Alcotest.(check (list v)) "read initial" [ Value.nil ]
     (run_first reg [ Register.read ]);
   Alcotest.(check (list v)) "write then read"
-    [ Value.Unit; Value.Int 3; Value.Unit; Value.Int 4 ]
+    [ Value.unit_; Value.int 3; Value.unit_; Value.int 4 ]
     (run_first reg
        [
-         Register.write (Value.Int 3);
+         Register.write (Value.int 3);
          Register.read;
-         Register.write (Value.Int 4);
+         Register.write (Value.int 4);
          Register.read;
        ]);
-  let reg5 = Register.spec ~init:(Value.Int 5) () in
-  Alcotest.(check (list v)) "custom init" [ Value.Int 5 ]
+  let reg5 = Register.spec ~init:(Value.int 5) () in
+  Alcotest.(check (list v)) "custom init" [ Value.int 5 ]
     (run_first reg5 [ Register.read ])
 
 let test_register_unknown_op () =
@@ -40,16 +40,16 @@ let test_register_unknown_op () =
 
 let test_consensus_obj () =
   let c = Consensus_obj.spec ~m:3 () in
-  let props = List.map (fun i -> Consensus_obj.propose (Value.Int i)) [ 7; 8; 9; 10 ] in
+  let props = List.map (fun i -> Consensus_obj.propose (Value.int i)) [ 7; 8; 9; 10 ] in
   Alcotest.(check (list v)) "first 3 get first value, then ⊥"
-    [ Value.Int 7; Value.Int 7; Value.Int 7; Value.Bot ]
+    [ Value.int 7; Value.int 7; Value.int 7; Value.bot ]
     (run_first c props)
 
 let test_consensus_obj_deterministic () =
   let c = Consensus_obj.spec ~m:2 () in
   Alcotest.(check bool) "deterministic" true
     (Obj_spec.is_deterministic_at c c.Obj_spec.initial
-       (Consensus_obj.propose (Value.Int 1)))
+       (Consensus_obj.propose (Value.int 1)))
 
 let test_consensus_obj_bad_m () =
   Alcotest.check_raises "m=0 rejected"
@@ -62,23 +62,23 @@ let test_sa2_branches () =
   let sa = Sa2.spec () in
   let st = sa.Obj_spec.initial in
   (* First propose: single branch, returns own value. *)
-  let bs = Obj_spec.branches sa st (Sa2.propose (Value.Int 1)) in
+  let bs = Obj_spec.branches sa st (Sa2.propose (Value.int 1)) in
   Alcotest.(check int) "first propose one branch" 1 (List.length bs);
   let st1 = (List.hd bs).Obj_spec.next in
   (* Second distinct propose: two branches. *)
-  let bs2 = Obj_spec.branches sa st1 (Sa2.propose (Value.Int 2)) in
+  let bs2 = Obj_spec.branches sa st1 (Sa2.propose (Value.int 2)) in
   Alcotest.(check int) "second propose two branches" 2 (List.length bs2);
   let responses =
     List.sort Value.compare (List.map (fun (b : Obj_spec.branch) -> b.response) bs2)
   in
-  Alcotest.(check (list v)) "branch responses" [ Value.Int 1; Value.Int 2 ] responses;
+  Alcotest.(check (list v)) "branch responses" [ Value.int 1; Value.int 2 ] responses;
   (* Third value never enters STATE. *)
   let st2 = (List.hd bs2).Obj_spec.next in
-  let bs3 = Obj_spec.branches sa st2 (Sa2.propose (Value.Int 3)) in
+  let bs3 = Obj_spec.branches sa st2 (Sa2.propose (Value.int 3)) in
   List.iter
     (fun (b : Obj_spec.branch) ->
       Alcotest.(check bool) "response among first two" true
-        (List.mem b.response [ Value.Int 1; Value.Int 2 ]))
+        (List.mem b.response [ Value.int 1; Value.int 2 ]))
     bs3
 
 let test_sa2_at_most_two_distinct () =
@@ -87,14 +87,14 @@ let test_sa2_at_most_two_distinct () =
   let sa = Sa2.spec () in
   let prng = Prng.create 42 in
   let choice bs = Prng.int prng (List.length bs) in
-  let ops = List.init 100 (fun i -> Sa2.propose (Value.Int i)) in
+  let ops = List.init 100 (fun i -> Sa2.propose (Value.int i)) in
   let h, _ = Shistory.run ~choice sa ops in
   let distinct = Listx.sort_uniq Value.compare (Shistory.responses h) in
   Alcotest.(check bool) "≤ 2 distinct" true (List.length distinct <= 2);
   List.iter
     (fun r ->
       Alcotest.(check bool) "among first two" true
-        (List.mem r [ Value.Int 0; Value.Int 1 ]))
+        (List.mem r [ Value.int 0; Value.int 1 ]))
     distinct
 
 (* --- (n,k)-SA --------------------------------------------------------- *)
@@ -102,9 +102,9 @@ let test_sa2_at_most_two_distinct () =
 let test_nk_sa_port_bound () =
   let sa = Nk_sa.spec ~n:2 ~k:1 () in
   let responses =
-    run_first sa (List.init 3 (fun i -> Nk_sa.propose (Value.Int i)))
+    run_first sa (List.init 3 (fun i -> Nk_sa.propose (Value.int i)))
   in
-  Alcotest.(check v) "third is ⊥" Value.Bot (List.nth responses 2)
+  Alcotest.(check v) "third is ⊥" Value.bot (List.nth responses 2)
 
 let test_nk_sa_k_agreement () =
   (* (5,2)-SA under random adversaries: ≤ 2 distinct non-⊥ responses,
@@ -113,7 +113,7 @@ let test_nk_sa_k_agreement () =
   let prng = Prng.create 7 in
   let choice bs = Prng.int prng (List.length bs) in
   for _trial = 1 to 50 do
-    let ops = List.init 5 (fun i -> Nk_sa.propose (Value.Int i)) in
+    let ops = List.init 5 (fun i -> Nk_sa.propose (Value.int i)) in
     let h, _ = Shistory.run ~choice sa ops in
     let rs = List.filter (fun r -> not (Value.is_bot r)) (Shistory.responses h) in
     let distinct = Listx.sort_uniq Value.compare rs in
@@ -122,7 +122,7 @@ let test_nk_sa_k_agreement () =
       (fun r ->
         Alcotest.(check bool) "validity" true
           (match r with
-          | Value.Int i -> i >= 0 && i < 5
+          | { Value.node = Int i; _ } -> i >= 0 && i < 5
           | _ -> false))
       distinct
   done
@@ -133,7 +133,7 @@ let test_nk_sa_k1_is_consensus_like () =
   let prng = Prng.create 11 in
   let choice bs = Prng.int prng (List.length bs) in
   for _trial = 1 to 50 do
-    let ops = List.init 3 (fun i -> Nk_sa.propose (Value.Int i)) in
+    let ops = List.init 3 (fun i -> Nk_sa.propose (Value.int i)) in
     let h, _ = Shistory.run ~choice sa ops in
     match Shistory.responses h with
     | first :: rest ->
@@ -146,8 +146,8 @@ let test_nk_sa_k1_is_consensus_like () =
 let test_test_and_set () =
   let tas = Classic.Test_and_set.spec () in
   Alcotest.(check (list v)) "tas semantics"
-    [ Value.Bool false; Value.Bool true; Value.Bool true; Value.Unit;
-      Value.Bool false ]
+    [ Value.bool false; Value.bool true; Value.bool true; Value.unit_;
+      Value.bool false ]
     (run_first tas
        Classic.Test_and_set.
          [ test_and_set; test_and_set; read; reset; test_and_set ])
@@ -155,51 +155,51 @@ let test_test_and_set () =
 let test_fetch_and_add () =
   let faa = Classic.Fetch_and_add.spec () in
   Alcotest.(check (list v)) "faa semantics"
-    [ Value.Int 0; Value.Int 5; Value.Int 4 ]
+    [ Value.int 0; Value.int 5; Value.int 4 ]
     (run_first faa
        Classic.Fetch_and_add.[ fetch_and_add 5; fetch_and_add (-1); read ])
 
 let test_swap () =
   let swap = Classic.Swap.spec () in
   Alcotest.(check (list v)) "swap returns previous"
-    [ Value.Nil; Value.Int 1; Value.Int 2 ]
+    [ Value.nil; Value.int 1; Value.int 2 ]
     (run_first swap
-       Classic.Swap.[ swap (Value.Int 1); swap (Value.Int 2); swap (Value.Int 3) ])
+       Classic.Swap.[ swap (Value.int 1); swap (Value.int 2); swap (Value.int 3) ])
 
 let test_queue () =
   let q = Classic.Queue_obj.spec () in
   Alcotest.(check (list v)) "fifo order"
-    [ Value.Nil; Value.Unit; Value.Unit; Value.Int 1; Value.Int 2; Value.Nil ]
+    [ Value.nil; Value.unit_; Value.unit_; Value.int 1; Value.int 2; Value.nil ]
     (run_first q
        Classic.Queue_obj.
-         [ dequeue; enqueue (Value.Int 1); enqueue (Value.Int 2); dequeue;
+         [ dequeue; enqueue (Value.int 1); enqueue (Value.int 2); dequeue;
            dequeue; dequeue ])
 
 let test_cas () =
   let cas = Classic.Compare_and_swap.spec () in
   Alcotest.(check (list v)) "cas semantics"
-    [ Value.Bool true; Value.Bool false; Value.Int 1 ]
+    [ Value.bool true; Value.bool false; Value.int 1 ]
     (run_first cas
        Classic.Compare_and_swap.
          [
-           compare_and_swap ~expected:Value.Nil ~desired:(Value.Int 1);
-           compare_and_swap ~expected:Value.Nil ~desired:(Value.Int 2);
+           compare_and_swap ~expected:Value.nil ~desired:(Value.int 1);
+           compare_and_swap ~expected:Value.nil ~desired:(Value.int 2);
            read;
          ])
 
 let test_sticky () =
   let sticky = Classic.Sticky.spec () in
   Alcotest.(check (list v)) "first write sticks"
-    [ Value.Int 1; Value.Int 1; Value.Int 1 ]
+    [ Value.int 1; Value.int 1; Value.int 1 ]
     (run_first sticky
-       Classic.Sticky.[ write (Value.Int 1); write (Value.Int 2); read ])
+       Classic.Sticky.[ write (Value.int 1); write (Value.int 2); read ])
 
 let test_snapshot_primitive () =
   let snap = Classic.Snapshot.spec ~m:2 () in
   Alcotest.(check (list v)) "update and scan"
-    [ Value.Unit; Value.List [ Value.Nil; Value.Int 9 ] ]
+    [ Value.unit_; Value.list [ Value.nil; Value.int 9 ] ]
     (run_first snap
-       Classic.Snapshot.[ update 1 (Value.Int 9); scan ])
+       Classic.Snapshot.[ update 1 (Value.int 9); scan ])
 
 (* --- (n,m)-PAC composition ------------------------------------------- *)
 
@@ -208,15 +208,15 @@ let test_pac_nm_facets () =
   let responses =
     run_first p
       [
-        Pac_nm.propose_c (Value.Int 5);
-        Pac_nm.propose_c (Value.Int 6);
-        Pac_nm.propose_c (Value.Int 7);
-        Pac_nm.propose_p (Value.Int 1) 1;
+        Pac_nm.propose_c (Value.int 5);
+        Pac_nm.propose_c (Value.int 6);
+        Pac_nm.propose_c (Value.int 7);
+        Pac_nm.propose_p (Value.int 1) 1;
         Pac_nm.decide_p 1;
       ]
   in
   Alcotest.(check (list v)) "facets behave independently"
-    [ Value.Int 5; Value.Int 5; Value.Bot; Value.Done; Value.Int 1 ]
+    [ Value.int 5; Value.int 5; Value.bot; Value.done_; Value.int 1 ]
     responses
 
 let test_o_n_is_pac_nm () =
@@ -225,9 +225,9 @@ let test_o_n_is_pac_nm () =
   (* The PAC facet has n+1 = 3 labels. *)
   let responses =
     run_first o2
-      [ O_n.propose_p (Value.Int 1) 3; O_n.decide_p 3 ]
+      [ O_n.propose_p (Value.int 1) 3; O_n.decide_p 3 ]
   in
-  Alcotest.(check (list v)) "label 3 usable" [ Value.Done; Value.Int 1 ] responses;
+  Alcotest.(check (list v)) "label 3 usable" [ Value.done_; Value.int 1 ] responses;
   Alcotest.check_raises "n=1 rejected"
     (Invalid_argument "O_n.spec: the paper defines O_n for n >= 2") (fun () ->
       ignore (O_n.spec ~n:1 ()))
@@ -240,7 +240,7 @@ let test_oprime_members () =
   let o = O_prime.spec ~power () in
   (* k=1 member behaves like 1-set agreement among 2. *)
   let responses =
-    run_first o [ O_prime.propose (Value.Int 1) 1; O_prime.propose (Value.Int 2) 1 ]
+    run_first o [ O_prime.propose (Value.int 1) 1; O_prime.propose (Value.int 2) 1 ]
   in
   (match responses with
   | [ a; b ] ->
@@ -250,14 +250,14 @@ let test_oprime_members () =
   let responses =
     run_first o
       [
-        O_prime.propose (Value.Int 1) 1;
-        O_prime.propose (Value.Int 2) 1;
-        O_prime.propose (Value.Int 3) 1;
+        O_prime.propose (Value.int 1) 1;
+        O_prime.propose (Value.int 2) 1;
+        O_prime.propose (Value.int 3) 1;
       ]
   in
-  Alcotest.(check v) "port exhausted" Value.Bot (List.nth responses 2);
+  Alcotest.(check v) "port exhausted" Value.bot (List.nth responses 2);
   (* Unknown level rejected. *)
-  match Shistory.run o [ O_prime.propose (Value.Int 1) 9 ] with
+  match Shistory.run o [ O_prime.propose (Value.int 1) 9 ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument for k=9"
 

@@ -14,11 +14,11 @@ let responses h = Shistory.responses h
 
 let test_solo_propose_decide () =
   let pac = Pac.spec ~n:3 () in
-  let h, st = run pac [ Pac.propose (Value.Int 7) 2; Pac.decide 2 ] in
-  Alcotest.(check (list v)) "done then value" [ Value.Done; Value.Int 7 ]
+  let h, st = run pac [ Pac.propose (Value.int 7) 2; Pac.decide 2 ] in
+  Alcotest.(check (list v)) "done then value" [ Value.done_; Value.int 7 ]
     (responses h);
   Alcotest.(check bool) "not upset" false (Pac.is_upset st);
-  Alcotest.(check v) "consensus value recorded" (Value.Int 7)
+  Alcotest.(check v) "consensus value recorded" (Value.int 7)
     (Pac.consensus_value st)
 
 let test_second_pair_returns_same_value () =
@@ -28,14 +28,14 @@ let test_second_pair_returns_same_value () =
   let h, _ =
     run pac
       [
-        Pac.propose (Value.Int 7) 1;
+        Pac.propose (Value.int 7) 1;
         Pac.decide 1;
-        Pac.propose (Value.Int 8) 2;
+        Pac.propose (Value.int 8) 2;
         Pac.decide 2;
       ]
   in
   Alcotest.(check (list v)) "second pair decides first value"
-    [ Value.Done; Value.Int 7; Value.Done; Value.Int 7 ]
+    [ Value.done_; Value.int 7; Value.done_; Value.int 7 ]
     (responses h)
 
 let test_interleaved_operations_return_bot () =
@@ -45,14 +45,14 @@ let test_interleaved_operations_return_bot () =
   let h, st =
     run pac
       [
-        Pac.propose (Value.Int 1) 1;
-        Pac.propose (Value.Int 2) 2;  (* intervenes: L moves to 2 *)
+        Pac.propose (Value.int 1) 1;
+        Pac.propose (Value.int 2) 2;  (* intervenes: L moves to 2 *)
         Pac.decide 1;
         Pac.decide 2;
       ]
   in
   Alcotest.(check (list v)) "both decides get ⊥"
-    [ Value.Done; Value.Done; Value.Bot; Value.Bot ]
+    [ Value.done_; Value.done_; Value.bot; Value.bot ]
     (responses h);
   (* The history is legal (alternation respected per label), so the
      object is NOT upset -- ⊥ came from concurrency detection. *)
@@ -65,28 +65,28 @@ let test_retry_after_bot_succeeds_solo () =
   let h, _ =
     run pac
       [
-        Pac.propose (Value.Int 1) 1;
-        Pac.propose (Value.Int 2) 2;
+        Pac.propose (Value.int 1) 1;
+        Pac.propose (Value.int 2) 2;
         Pac.decide 1;  (* ⊥ *)
-        Pac.propose (Value.Int 1) 1;
+        Pac.propose (Value.int 1) 1;
         Pac.decide 1;  (* decides *)
       ]
   in
-  Alcotest.(check v) "retry decides own value" (Value.Int 1)
+  Alcotest.(check v) "retry decides own value" (Value.int 1)
     (List.nth (responses h) 4)
 
 let test_decide_without_propose_upsets () =
   let pac = Pac.spec ~n:2 () in
-  let h, st = run pac [ Pac.decide 1; Pac.propose (Value.Int 3) 1; Pac.decide 1 ] in
+  let h, st = run pac [ Pac.decide 1; Pac.propose (Value.int 3) 1; Pac.decide 1 ] in
   Alcotest.(check bool) "upset" true (Pac.is_upset st);
   Alcotest.(check (list v)) "⊥ forever for decides, done for proposes"
-    [ Value.Bot; Value.Done; Value.Bot ]
+    [ Value.bot; Value.done_; Value.bot ]
     (responses h)
 
 let test_double_propose_same_label_upsets () =
   let pac = Pac.spec ~n:2 () in
   let _, st =
-    run pac [ Pac.propose (Value.Int 1) 1; Pac.propose (Value.Int 2) 1 ]
+    run pac [ Pac.propose (Value.int 1) 1; Pac.propose (Value.int 2) 1 ]
   in
   Alcotest.(check bool) "upset" true (Pac.is_upset st)
 
@@ -96,19 +96,19 @@ let test_upset_is_permanent () =
   let ops =
     Pac.decide 1
     :: List.concat_map
-         (fun i -> [ Pac.propose (Value.Int i) 2; Pac.decide 2 ])
+         (fun i -> [ Pac.propose (Value.int i) 2; Pac.decide 2 ])
          [ 1; 2; 3 ]
   in
   let h, st = run pac ops in
   Alcotest.(check bool) "still upset" true (Pac.is_upset st);
   List.iteri
     (fun i r ->
-      if i mod 2 = 0 then Alcotest.(check v) "decides ⊥" Value.Bot r)
+      if i mod 2 = 0 then Alcotest.(check v) "decides ⊥" Value.bot r)
     (responses h)
 
 let test_label_range_checked () =
   let pac = Pac.spec ~n:2 () in
-  (match run pac [ Pac.propose (Value.Int 1) 3 ] with
+  (match run pac [ Pac.propose (Value.int 1) 3 ] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "label 3 should be rejected for 2-PAC");
   match run pac [ Pac.decide 0 ] with
@@ -119,7 +119,7 @@ let test_pac_deterministic () =
   let pac = Pac.spec ~n:2 () in
   Alcotest.(check bool) "propose deterministic" true
     (Obj_spec.is_deterministic_at pac pac.Obj_spec.initial
-       (Pac.propose (Value.Int 1) 1));
+       (Pac.propose (Value.int 1) 1));
   Alcotest.(check bool) "decide deterministic" true
     (Obj_spec.is_deterministic_at pac pac.Obj_spec.initial (Pac.decide 1))
 
@@ -132,8 +132,8 @@ let test_lemma_3_2_exhaustive () =
   let pac = Pac.spec ~n () in
   let alphabet =
     [
-      Pac.propose (Value.Int 1) 1;
-      Pac.propose (Value.Int 2) 2;
+      Pac.propose (Value.int 1) 1;
+      Pac.propose (Value.int 2) 2;
       Pac.decide 1;
       Pac.decide 2;
     ]
@@ -168,20 +168,20 @@ let test_lemmas_3_3_and_3_4 () =
     let ops =
       List.init len (fun _ ->
           let i = 1 + Prng.int prng n in
-          if Prng.bool prng then Pac.propose (Value.Int (Prng.int prng 5)) i
+          if Prng.bool prng then Pac.propose (Value.int (Prng.int prng 5)) i
           else Pac.decide i)
     in
     let h, st = run pac ops in
     if not (Pac.is_upset st) then begin
       (* Lemma 3.4: L = i iff the last operation is PROPOSE(-, i). *)
       (match List.rev h with
-      | [] -> Alcotest.(check v) "L initially NIL" Value.Nil (Pac.label st)
+      | [] -> Alcotest.(check v) "L initially NIL" Value.nil (Pac.label st)
       | last :: _ -> (
         match (last.Shistory.op.Op.name, last.Shistory.op.Op.args) with
-        | "propose", [ _; Value.Int i ] ->
-          Alcotest.(check v) "L = last propose label" (Value.Int i)
+        | "propose", [ _; { Value.node = Int i; _ } ] ->
+          Alcotest.(check v) "L = last propose label" (Value.int i)
             (Pac.label st)
-        | _ -> Alcotest.(check v) "L = NIL after decide" Value.Nil (Pac.label st)));
+        | _ -> Alcotest.(check v) "L = NIL after decide" Value.nil (Pac.label st)));
       (* Lemma 3.3: V[i] = v iff the last op with label i is
          PROPOSE(v, i). *)
       List.iter
@@ -190,14 +190,15 @@ let test_lemmas_3_3_and_3_4 () =
             List.rev h
             |> List.find_opt (fun (e : Shistory.event) ->
                    match e.op.Op.args with
-                   | [ _; Value.Int j ] | [ Value.Int j ] -> j = i
+                   | [ _; { Value.node = Int j; _ } ] | [ { Value.node = Int j; _ } ] ->
+                     j = i
                    | _ -> false)
           in
           let expected =
             match last_with_i with
             | Some { op = { Op.name = "propose"; args = [ value; _ ] }; _ } ->
               value
-            | _ -> Value.Nil
+            | _ -> Value.nil
           in
           Alcotest.(check v) (Fmt.str "V[%d]" i) expected (Pac.v_entry st i))
         (Listx.range 1 n)
@@ -217,7 +218,7 @@ let test_theorem_3_5 () =
     let ops =
       List.init len (fun _ ->
           let i = 1 + Prng.int prng n in
-          if Prng.bool prng then Pac.propose (Value.Int (Prng.int prng 4)) i
+          if Prng.bool prng then Pac.propose (Value.int (Prng.int prng 4)) i
           else Pac.decide i)
     in
     let h, _ = run pac ops in
@@ -257,12 +258,14 @@ let test_theorem_3_5 () =
       | [] -> ()
       | (e : Shistory.event) :: rest ->
         (match (e.op.Op.name, e.op.Op.args) with
-        | "decide", [ Value.Int i ] ->
+        | "decide", [ { Value.node = Int i; _ } ] ->
           let expected_bot =
             Pac.is_upset state
             ||
             (match prev with
-            | Some ({ Op.name = "propose"; args = [ _; Value.Int j ] } : Op.t)
+            | Some
+                ({ Op.name = "propose"; args = [ _; { Value.node = Int j; _ } ] }
+                 : Op.t)
               ->
               j <> i
             | _ -> true)

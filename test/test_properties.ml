@@ -12,13 +12,13 @@ let value_gen : Value.t QCheck.arbitrary =
   let base =
     Gen.oneof
       [
-        Gen.return Value.Unit;
+        Gen.return Value.unit_;
         Gen.map Value.bool Gen.bool;
         Gen.map Value.int (Gen.int_bound 20);
         Gen.map Value.sym (Gen.oneofl [ "a"; "b"; "c" ]);
-        Gen.return Value.Bot;
-        Gen.return Value.Nil;
-        Gen.return Value.Done;
+        Gen.return Value.bot;
+        Gen.return Value.nil;
+        Gen.return Value.done_;
       ]
   in
   let rec tree depth =
@@ -27,7 +27,7 @@ let value_gen : Value.t QCheck.arbitrary =
       Gen.oneof
         [
           base;
-          Gen.map2 Value.pair (tree (depth - 1)) (tree (depth - 1));
+          Gen.map2 (fun a b -> Value.pair (a, b)) (tree (depth - 1)) (tree (depth - 1));
           Gen.map Value.list (Gen.list_size (Gen.int_bound 3) (tree (depth - 1)));
         ]
   in
@@ -40,7 +40,7 @@ let pac_ops_gen ~n =
     ( int_range 1 n >>= fun i ->
       bool >>= fun is_propose ->
       if is_propose then
-        map (fun v -> Pac.propose (Value.Int v) i) (int_bound 3)
+        map (fun v -> Pac.propose (Value.int v) i) (int_bound 3)
       else return (Pac.decide i) )
 
 let pac_ops_arb ~n =
@@ -134,7 +134,7 @@ let prop_pac_proposes_return_done =
       let h, _ = run_pac ~n:3 ops in
       List.for_all
         (fun (e : Shistory.event) ->
-          e.op.Op.name <> "propose" || Value.equal e.response Value.Done)
+          e.op.Op.name <> "propose" || Value.equal e.response Value.done_)
         h)
 
 (* --- 2-SA and (n,k)-SA invariants -------------------------------------- *)
@@ -149,7 +149,7 @@ let prop_sa2_responses_valid =
       let sa = Sa2.spec () in
       let prng = Prng.create (Hashtbl.hash vs) in
       let choice bs = Prng.int prng (List.length bs) in
-      let ops = List.map (fun v -> Sa2.propose (Value.Int v)) vs in
+      let ops = List.map (fun v -> Sa2.propose (Value.int v)) vs in
       let h, _ = Shistory.run ~choice sa ops in
       let first_two =
         Listx.take 2
@@ -157,7 +157,7 @@ let prop_sa2_responses_valid =
              (fun acc v ->
                if List.exists (Value.equal v) acc then acc else acc @ [ v ])
              []
-             (List.map (fun v -> Value.Int v) vs))
+             (List.map (fun v -> Value.int v) vs))
       in
       List.for_all
         (fun r -> List.exists (Value.equal r) first_two)
@@ -170,7 +170,7 @@ let prop_nk_sa_invariants =
       let sa = Nk_sa.spec ~n ~k () in
       let prng = Prng.create (Hashtbl.hash (vs, 1)) in
       let choice bs = Prng.int prng (List.length bs) in
-      let ops = List.map (fun v -> Nk_sa.propose (Value.Int v)) vs in
+      let ops = List.map (fun v -> Nk_sa.propose (Value.int v)) vs in
       let h, _ = Shistory.run ~choice sa ops in
       let responses = Shistory.responses h in
       let non_bot = List.filter (fun r -> not (Value.is_bot r)) responses in
@@ -178,7 +178,7 @@ let prop_nk_sa_invariants =
       List.length distinct <= k
       && List.length non_bot <= n
       && List.for_all
-           (fun r -> List.exists (fun v -> Value.equal r (Value.Int v)) vs)
+           (fun r -> List.exists (fun v -> Value.equal r (Value.int v)) vs)
            distinct
       && List.for_all Value.is_bot
            (if List.length responses > n then
@@ -191,9 +191,9 @@ let prop_consensus_obj_agreement =
       QCheck.assume (vs <> []);
       let m = 3 in
       let c = Consensus_obj.spec ~m () in
-      let ops = List.map (fun v -> Consensus_obj.propose (Value.Int v)) vs in
+      let ops = List.map (fun v -> Consensus_obj.propose (Value.int v)) vs in
       let h, _ = Shistory.run c ops in
-      let first = Value.Int (List.hd vs) in
+      let first = Value.int (List.hd vs) in
       List.for_all
         (fun (i, r) ->
           if i < m then Value.equal r first else Value.is_bot r)
@@ -206,7 +206,7 @@ let prop_executor_deterministic =
     QCheck.small_nat (fun seed ->
       let machine = Dac_from_pac.machine ~n:3 in
       let specs = Dac_from_pac.specs ~n:3 in
-      let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+      let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
       let run () =
         let r =
           Executor.run ~machine ~specs ~inputs
@@ -237,7 +237,7 @@ let prop_algorithm2_safety_random =
       let machine = Dac_from_pac.machine ~n in
       let specs = Dac_from_pac.specs ~n in
       let prng = Prng.create (seed * 7 + 1) in
-      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+      let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
       let r =
         Executor.run ~machine ~specs ~inputs
           ~scheduler:(Scheduler.random ~seed) ()
@@ -276,7 +276,7 @@ let prop_checker_memo_ablation_agrees =
       let spec = Register.spec () in
       let workloads =
         Array.init 2 (fun pid ->
-            [ Register.write (Value.Int pid); Register.read ])
+            [ Register.write (Value.int pid); Register.read ])
       in
       let h = Lin_gen.linearizable_history ~prng ~spec ~workloads in
       let h =
@@ -293,7 +293,7 @@ let prop_safe_agreement_safety =
       let machine = Safe_agreement.machine ~n in
       let specs = Safe_agreement.specs ~n in
       let prng = Prng.create (seed * 5 + 2) in
-      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 3)) in
+      let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 3)) in
       let r =
         Executor.run ~machine ~specs ~inputs
           ~scheduler:(Scheduler.random ~seed:(seed + 1)) ()
@@ -306,7 +306,7 @@ let prop_bg_simulation_faithful =
   QCheck.Test.make ~count:25 ~name:"BG simulation outcomes are genuine"
     (QCheck.pair QCheck.small_nat (QCheck.oneofl [ 1; 2 ])) (fun (seed, steps) ->
       let p = Sim_protocol.min_seen ~n_sim:2 ~steps in
-      let inputs = [| Value.Int 10; Value.Int 11 |] in
+      let inputs = [| Value.int 10; Value.int 11 |] in
       let outcomes = Sim_protocol.direct_outcomes p ~inputs in
       let r =
         Bg_simulation.run ~p ~sim_inputs:inputs ~simulators:2
@@ -314,7 +314,7 @@ let prop_bg_simulation_faithful =
       in
       match r.Bg_simulation.simulated_decisions with
       | Some ds ->
-        List.exists (Value.equal (Value.List ds)) outcomes
+        List.exists (Value.equal (Value.list ds)) outcomes
         && Bg_simulation.simulators_agree r
         && Bg_simulation.views_comparable r.Bg_simulation.all_views
       | None -> false)
@@ -326,7 +326,7 @@ let prop_fault_plans_preserve_dac_safety =
       let machine = Dac_from_pac.machine ~n in
       let specs = Dac_from_pac.specs ~n in
       let prng = Prng.create (seed + 11) in
-      let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+      let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
       let plan = Fault.random ~prng ~victims:[ 1; 2; 3 ] ~max_steps:6 in
       let scheduler = Fault.apply plan (Scheduler.random ~seed:(seed + 2)) in
       let r = Executor.run ~machine ~specs ~inputs ~scheduler () in

@@ -12,9 +12,9 @@ let test_dac_solo_p_decides_own_input () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   let r = Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.solo 0) () in
-  Alcotest.(check (option v)) "p decides its input" (Some (Value.Int 1))
+  Alcotest.(check (option v)) "p decides its input" (Some (Value.int 1))
     (Config.decision r.Executor.final 0)
 
 let test_dac_round_robin_agreement () =
@@ -38,7 +38,7 @@ let test_dac_random_schedules () =
   let specs = Dac_from_pac.specs ~n in
   let prng = Prng.create 77 in
   for seed = 1 to 100 do
-    let inputs = Array.init n (fun _ -> Value.Int (Prng.int prng 2)) in
+    let inputs = Array.init n (fun _ -> Value.int (Prng.int prng 2)) in
     let r =
       Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.random ~seed) ()
     in
@@ -60,7 +60,7 @@ let test_dac_crash_tolerance () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   let r =
     Executor.run ~machine ~specs ~inputs
       ~scheduler:
@@ -98,7 +98,7 @@ let synthetic_config ~statuses =
      safety checkers that only look at statuses. *)
   Config.
     {
-      locals = Array.make (Array.length statuses) Value.Unit;
+      locals = Array.make (Array.length statuses) Value.unit_;
       objects = [||];
       status = statuses;
     }
@@ -106,23 +106,23 @@ let synthetic_config ~statuses =
 let test_dac_checkers_flag_violations () =
   let c_disagree =
     synthetic_config
-      ~statuses:[| Config.Decided (Value.Int 0); Config.Decided (Value.Int 1) |]
+      ~statuses:[| Config.Decided (Value.int 0); Config.Decided (Value.int 1) |]
   in
   (match Dac.check_agreement c_disagree with
   | Error (Dac.Disagreement _) -> ()
   | _ -> Alcotest.fail "disagreement not flagged");
   let c_invalid =
-    synthetic_config ~statuses:[| Config.Decided (Value.Int 1); Config.Running |]
+    synthetic_config ~statuses:[| Config.Decided (Value.int 1); Config.Running |]
   in
-  (match Dac.check_validity ~inputs:[| Value.Int 0; Value.Int 0 |] c_invalid with
+  (match Dac.check_validity ~inputs:[| Value.int 0; Value.int 0 |] c_invalid with
   | Error (Dac.Invalid_decision _) -> ()
   | _ -> Alcotest.fail "invalid decision not flagged");
   (* A decided value whose only proposer aborted is invalid. *)
   let c_aborted_proposer =
-    synthetic_config ~statuses:[| Config.Aborted; Config.Decided (Value.Int 1) |]
+    synthetic_config ~statuses:[| Config.Aborted; Config.Decided (Value.int 1) |]
   in
   (match
-     Dac.check_validity ~inputs:[| Value.Int 1; Value.Int 0 |] c_aborted_proposer
+     Dac.check_validity ~inputs:[| Value.int 1; Value.int 0 |] c_aborted_proposer
    with
   | Error (Dac.Invalid_decision _) -> ()
   | _ -> Alcotest.fail "aborted proposer's value accepted");
@@ -144,7 +144,7 @@ let test_nontriviality_checker () =
     Trace.of_events
       [
         Config.Op_event
-          { pid = 1; obj = 0; op = Register.read; response = Value.Nil };
+          { pid = 1; obj = 0; op = Register.read; response = Value.nil };
         Config.Abort_event { pid = 0 };
       ]
   in
@@ -161,7 +161,7 @@ let test_consensus_from_obj () =
   let m = 3 in
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
   for seed = 1 to 50 do
-    let inputs = [| Value.Int 4; Value.Int 5; Value.Int 6 |] in
+    let inputs = [| Value.int 4; Value.int 5; Value.int 6 |] in
     let r = run_consensus ~machine ~specs ~procs:m ~seed inputs in
     match Consensus_task.check_run ~inputs r with
     | Ok () -> ()
@@ -173,7 +173,7 @@ let test_consensus_from_pac_nm_and_sticky () =
   List.iter
     (fun (machine, specs, procs) ->
       for seed = 1 to 30 do
-        let inputs = Array.init procs (fun i -> Value.Int i) in
+        let inputs = Array.init procs (fun i -> Value.int i) in
         let r = run_consensus ~machine ~specs ~procs ~seed inputs in
         match Consensus_task.check_run ~inputs r with
         | Ok () -> ()
@@ -254,7 +254,7 @@ let test_kset_rejects_bad_k () =
 
 let test_flp_write_read_disagrees () =
   let machine, specs = Candidates.flp_write_read in
-  let inputs = [| Value.Int 1; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0 |] in
   (* p0 runs alone first (sees NIL, keeps its 1), then p1 (sees 1,
      decides min = 0). *)
   let r =
@@ -267,7 +267,7 @@ let test_flp_write_read_disagrees () =
 
 let test_flp_spin_not_wait_free () =
   let machine, specs = Candidates.flp_spin in
-  let inputs = [| Value.Int 1; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0 |] in
   let r =
     Executor.run ~max_steps:200 ~machine ~specs ~inputs
       ~scheduler:(Scheduler.solo 0) ()
@@ -277,7 +277,7 @@ let test_flp_spin_not_wait_free () =
 
 let test_pac_retry_livelocks_under_alternation () =
   let machine, specs = Candidates.consensus_from_pac_retry ~n:2 ~procs:2 in
-  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let inputs = [| Value.int 0; Value.int 1 |] in
   let r =
     Executor.run ~max_steps:400 ~machine ~specs ~inputs
       ~scheduler:(Scheduler.round_robin ~n:2) ()
@@ -393,7 +393,7 @@ let test_of_consensus_solo_decides () =
   let specs = Obstruction_free.specs ~n ~max_rounds:5 in
   List.iter
     (fun pid ->
-      let inputs = [| Value.Int 0; Value.Int 1 |] in
+      let inputs = [| Value.int 0; Value.int 1 |] in
       let r =
         Executor.run ~machine ~specs ~inputs ~scheduler:(Scheduler.solo pid) ()
       in
@@ -426,7 +426,7 @@ let test_of_consensus_lockstep_livelocks () =
   let n = 2 in
   let machine = Obstruction_free.machine ~n ~max_rounds:6 in
   let specs = Obstruction_free.specs ~n ~max_rounds:6 in
-  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let inputs = [| Value.int 0; Value.int 1 |] in
   match
     Executor.run ~max_steps:10_000 ~machine ~specs ~inputs
       ~scheduler:(Scheduler.round_robin ~n) ()
@@ -445,7 +445,7 @@ let test_of_consensus_bounded_exhaustive_safety () =
   let n = 2 in
   let machine = Obstruction_free.machine ~n ~max_rounds:50 in
   let specs = Obstruction_free.specs ~n ~max_rounds:50 in
-  let inputs = [| Value.Int 0; Value.Int 1 |] in
+  let inputs = [| Value.int 0; Value.int 1 |] in
   let graph = Cgraph.build ~max_states:20_000 ~machine ~specs ~inputs () in
   Cgraph.iter_nodes
     (fun id config ->
@@ -482,7 +482,7 @@ let test_consensus_from_classic_objects () =
   List.iter
     (fun (machine, specs) ->
       for seed = 1 to 30 do
-        let inputs = [| Value.Int 7; Value.Int 8 |] in
+        let inputs = [| Value.int 7; Value.int 8 |] in
         let r = run_consensus ~machine ~specs ~procs:2 ~seed inputs in
         match Consensus_task.check_run ~inputs r with
         | Ok () -> ()

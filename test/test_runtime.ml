@@ -9,21 +9,21 @@ let v = Alcotest.testable Value.pp Value.equal
    other register, decide the pair. *)
 let two_phase : Machine.t * Obj_spec.t array =
   let name = "two-phase" in
-  let init ~pid:_ ~input = Value.(Pair (Sym "writing", input)) in
+  let init ~pid:_ ~input = Value.(pair (sym "writing", input)) in
   let delta ~pid state =
     match state with
-    | Value.Pair (Value.Sym "writing", x) ->
+    | { Value.node = Pair ({ node = Sym "writing"; _ }, x); _ } ->
       Machine.invoke pid (Register.write x) (fun _ ->
-          Value.(Pair (Sym "reading", x)))
-    | Value.Pair (Value.Sym "reading", x) ->
+          Value.(pair (sym "reading", x)))
+    | { Value.node = Pair ({ node = Sym "reading"; _ }, x); _ } ->
       Machine.invoke (1 - pid) Register.read (fun other ->
-          Value.(Pair (Sym "halt", Pair (x, other))))
-    | Value.Pair (Value.Sym "halt", r) -> Machine.Decide r
+          Value.(pair (sym "halt", pair (x, other))))
+    | { Value.node = Pair ({ node = Sym "halt"; _ }, r); _ } -> Machine.Decide r
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   (Machine.make ~name ~init ~delta, [| Register.spec (); Register.spec () |])
 
-let inputs01 = [| Value.Int 0; Value.Int 1 |]
+let inputs01 = [| Value.int 0; Value.int 1 |]
 
 let test_round_robin_runs_to_completion () =
   let machine, specs = two_phase in
@@ -35,10 +35,10 @@ let test_round_robin_runs_to_completion () =
   Alcotest.(check int) "6 steps (2 ops + decide each)" 6 r.Executor.steps;
   (* Round-robin interleaves fully: both see each other's write. *)
   Alcotest.(check (option v)) "p0 decision"
-    (Some Value.(Pair (Int 0, Int 1)))
+    (Some Value.(pair (int 0, int 1)))
     (Config.decision r.Executor.final 0);
   Alcotest.(check (option v)) "p1 decision"
-    (Some Value.(Pair (Int 1, Int 0)))
+    (Some Value.(pair (int 1, int 0)))
     (Config.decision r.Executor.final 1)
 
 let test_solo_scheduler () =
@@ -49,7 +49,7 @@ let test_solo_scheduler () =
   Alcotest.(check bool) "scheduler stopped after p0 halted" true
     (r.Executor.stop = Executor.Scheduler_stopped);
   Alcotest.(check (option v)) "p0 saw NIL"
-    (Some Value.(Pair (Int 0, Nil)))
+    (Some Value.(pair (int 0, nil)))
     (Config.decision r.Executor.final 0);
   Alcotest.(check (option v)) "p1 never ran" None
     (Config.decision r.Executor.final 1)
@@ -64,10 +64,10 @@ let test_fixed_scheduler_and_trace () =
   Alcotest.(check int) "trace length" 6 (Trace.length r.Executor.trace);
   (* p0 wrote and read before p1 wrote: p0 sees NIL, p1 sees 0. *)
   Alcotest.(check (option v)) "p0 decision"
-    (Some Value.(Pair (Int 0, Nil)))
+    (Some Value.(pair (int 0, nil)))
     (Config.decision r.Executor.final 0);
   Alcotest.(check (option v)) "p1 decision"
-    (Some Value.(Pair (Int 1, Int 0)))
+    (Some Value.(pair (int 1, int 0)))
     (Config.decision r.Executor.final 1);
   (* Trace pids follow the fixed schedule. *)
   let pids =
@@ -99,7 +99,7 @@ let test_starving_scheduler () =
   in
   (* p1 runs to completion first; p0 then sees p1's write. *)
   Alcotest.(check (option v)) "p0 saw p1's value"
-    (Some Value.(Pair (Int 0, Int 1)))
+    (Some Value.(pair (int 0, int 1)))
     (Config.decision r.Executor.final 0)
 
 let test_excluding_scheduler () =
@@ -112,7 +112,7 @@ let test_excluding_scheduler () =
   Alcotest.(check (option v)) "p1 crashed-like: never decided" None
     (Config.decision r.Executor.final 1);
   Alcotest.(check (option v)) "p0 decided alone"
-    (Some Value.(Pair (Int 0, Nil)))
+    (Some Value.(pair (int 0, nil)))
     (Config.decision r.Executor.final 0)
 
 let test_run_solo_continuation () =
@@ -125,7 +125,7 @@ let test_run_solo_continuation () =
   let r2 = Executor.run_solo ~machine ~specs r.Executor.final 1 in
   Alcotest.(check bool) "p1 halted" true (r2.Executor.stop = Executor.All_halted);
   Alcotest.(check (option v)) "p1 saw p0's write"
-    (Some Value.(Pair (Int 1, Int 0)))
+    (Some Value.(pair (int 1, int 0)))
     (Config.decision r2.Executor.final 1)
 
 let test_config_crash () =
@@ -148,16 +148,16 @@ let test_step_limit () =
   let name = "spinner" in
   let machine =
     Machine.make ~name
-      ~init:(fun ~pid:_ ~input:_ -> Value.Sym "spin")
+      ~init:(fun ~pid:_ ~input:_ -> Value.sym "spin")
       ~delta:(fun ~pid state ->
         match state with
-        | Value.Sym "spin" ->
-          Machine.invoke 0 Register.read (fun _ -> Value.Sym "spin")
+        | { Value.node = Sym "spin"; _ } ->
+          Machine.invoke 0 Register.read (fun _ -> Value.sym "spin")
         | s -> Machine.bad_state ~machine:name ~pid s)
   in
   let r =
     Executor.run ~max_steps:50 ~machine ~specs:[| Register.spec () |]
-      ~inputs:[| Value.Unit |] ~scheduler:(Scheduler.solo 0) ()
+      ~inputs:[| Value.unit_ |] ~scheduler:(Scheduler.solo 0) ()
   in
   Alcotest.(check bool) "fuel ran out" true (r.Executor.stop = Executor.Step_limit);
   Alcotest.(check int) "exactly max_steps" 50 r.Executor.steps
@@ -179,7 +179,7 @@ let test_nondet_resolution () =
     List.iter
       (fun d ->
         Alcotest.(check bool) "decision among proposals" true
-          (List.mem d [ Value.Int 0; Value.Int 1 ]))
+          (List.mem d [ Value.int 0; Value.int 1 ]))
       (Config.decisions r.Executor.final)
   done
 
@@ -205,15 +205,15 @@ let test_strategy_nondet () =
   (* p0 proposes 0 (gets 0, STATE={0}); p1 proposes 1: branches sorted
      {0,1}, adversary picks 1.  Decisions: 0 and 1... the adversary
      maximizes per-branch, so p1 decides 1 while p0 already had 0. *)
-  Alcotest.(check (option v)) "p0 decided 0" (Some (Value.Int 0))
+  Alcotest.(check (option v)) "p0 decided 0" (Some (Value.int 0))
     (Config.decision r.Executor.final 0);
-  Alcotest.(check (option v)) "p1 decided 1 (max branch)" (Some (Value.Int 1))
+  Alcotest.(check (option v)) "p1 decided 1 (max branch)" (Some (Value.int 1))
     (Config.decision r.Executor.final 1)
 
 let test_machine_bad_state_raises () =
   let machine, specs = two_phase in
   let c = Config.initial ~machine ~specs ~inputs:inputs01 in
-  let broken = { c with Config.locals = [| Value.Sym "garbage"; Value.Sym "garbage" |] } in
+  let broken = { c with Config.locals = [| Value.sym "garbage"; Value.sym "garbage" |] } in
   match Config.step_branches ~machine ~specs broken 0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected bad_state to raise"
@@ -228,10 +228,10 @@ let test_prefix_scheduler () =
   Alcotest.(check bool) "halted" true (r.Executor.stop = Executor.All_halted);
   (* p1 wrote and read before p0 wrote: p1 saw NIL. *)
   Alcotest.(check (option v)) "p1 read NIL"
-    (Some Value.(Pair (Int 1, Nil)))
+    (Some Value.(pair (int 1, nil)))
     (Config.decision r.Executor.final 1);
   Alcotest.(check (option v)) "p0 read p1's value"
-    (Some Value.(Pair (Int 0, Int 1)))
+    (Some Value.(pair (int 0, int 1)))
     (Config.decision r.Executor.final 0)
 
 (* --- fault injection ---------------------------------------------------- *)
@@ -247,7 +247,7 @@ let test_fault_plan () =
   Alcotest.(check (option v)) "p1 never decided" None
     (Config.decision r.Executor.final 1);
   Alcotest.(check (option v)) "p0 saw p1's write"
-    (Some Value.(Pair (Int 0, Int 1)))
+    (Some Value.(pair (int 0, int 1)))
     (Config.decision r.Executor.final 0)
 
 let test_fault_enumerate () =
@@ -259,7 +259,7 @@ let test_fault_enumerate () =
   let n = 3 in
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
-  let inputs = [| Value.Int 1; Value.Int 0; Value.Int 0 |] in
+  let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   List.iter
     (fun plan ->
       let scheduler = Fault.apply plan (Scheduler.round_robin ~n) in
@@ -300,9 +300,9 @@ let test_config_hash_deep_differences () =
     {
       Config.locals =
         [|
-          Value.List (List.init 30 (fun j -> Value.Int (if j = 29 then i else 0)));
+          Value.list (List.init 30 (fun j -> Value.int (if j = 29 then i else 0)));
         |];
-      objects = [| Value.Nil |];
+      objects = [| Value.nil |];
       status = [| Config.Running |];
     }
   in
@@ -325,7 +325,7 @@ let test_fault_apply_reusable () =
      p1's write) instead of starting with the victim pre-crashed. *)
   Alcotest.(check int) "same number of steps" r1.Executor.steps r2.Executor.steps;
   Alcotest.(check (option v)) "p0 saw p1's write again"
-    (Some Value.(Pair (Int 0, Int 1)))
+    (Some Value.(pair (int 0, int 1)))
     (Config.decision r2.Executor.final 0);
   Alcotest.(check (option v)) "p1 still crashed undecided" None
     (Config.decision r2.Executor.final 1)
@@ -354,7 +354,7 @@ let test_fixed_stops_on_halted_pid () =
     (r.Executor.stop = Executor.Scheduler_stopped);
   Alcotest.(check int) "3 steps taken" 3 r.Executor.steps;
   Alcotest.(check (option v)) "p0 decided solo"
-    (Some Value.(Pair (Int 0, Nil)))
+    (Some Value.(pair (int 0, nil)))
     (Config.decision r.Executor.final 0);
   Alcotest.(check (option v)) "p1 never stepped to a decision" None
     (Config.decision r.Executor.final 1)

@@ -7,21 +7,21 @@ let v = Alcotest.testable Value.pp Value.equal
 let sample_values =
   Value.
     [
-      Unit;
-      Bool false;
-      Bool true;
-      Int (-3);
-      Int 0;
-      Int 42;
-      Sym "a";
-      Sym "b";
-      Bot;
-      Nil;
-      Done;
-      Pair (Int 1, Sym "x");
-      List [];
-      List [ Int 1; Int 2 ];
-      List [ Int 1; Int 2; Int 3 ];
+      unit_;
+      bool false;
+      bool true;
+      int (-3);
+      int 0;
+      int 42;
+      sym "a";
+      sym "b";
+      bot;
+      nil;
+      done_;
+      pair (int 1, sym "x");
+      list [];
+      list [ int 1; int 2 ];
+      list [ int 1; int 2; int 3 ];
     ]
 
 let test_compare_reflexive () =
@@ -61,59 +61,59 @@ let test_equal_hash_consistent () =
     sample_values
 
 let test_pp () =
-  Alcotest.(check string) "bot" "⊥" (Value.to_string Value.Bot);
-  Alcotest.(check string) "nil" "NIL" (Value.to_string Value.Nil);
-  Alcotest.(check string) "done" "done" (Value.to_string Value.Done);
+  Alcotest.(check string) "bot" "⊥" (Value.to_string Value.bot);
+  Alcotest.(check string) "nil" "NIL" (Value.to_string Value.nil);
+  Alcotest.(check string) "done" "done" (Value.to_string Value.done_);
   Alcotest.(check string) "pair" "(1, x)"
-    (Value.to_string Value.(Pair (Int 1, Sym "x")));
+    (Value.to_string Value.(pair (int 1, sym "x")));
   Alcotest.(check string) "list" "[1; 2]"
-    (Value.to_string Value.(List [ Int 1; Int 2 ]))
+    (Value.to_string Value.(list [ int 1; int 2 ]))
 
 let test_accessors () =
-  Alcotest.(check (option int)) "to_int" (Some 5) (Value.to_int (Value.Int 5));
-  Alcotest.(check (option int)) "to_int sym" None (Value.to_int (Value.Sym "x"));
-  Alcotest.(check int) "to_int_exn" 7 (Value.to_int_exn (Value.Int 7));
+  Alcotest.(check (option int)) "to_int" (Some 5) (Value.to_int (Value.int 5));
+  Alcotest.(check (option int)) "to_int sym" None (Value.to_int (Value.sym "x"));
+  Alcotest.(check int) "to_int_exn" 7 (Value.to_int_exn (Value.int 7));
   Alcotest.check_raises "to_int_exn fails" (Invalid_argument "Value.to_int_exn: ⊥")
-    (fun () -> ignore (Value.to_int_exn Value.Bot));
-  Alcotest.(check bool) "is_bot" true (Value.is_bot Value.Bot);
-  Alcotest.(check bool) "is_nil" true (Value.is_nil Value.Nil);
-  Alcotest.(check bool) "is_nil of bot" false (Value.is_nil Value.Bot)
+    (fun () -> ignore (Value.to_int_exn Value.bot));
+  Alcotest.(check bool) "is_bot" true (Value.is_bot Value.bot);
+  Alcotest.(check bool) "is_nil" true (Value.is_nil Value.nil);
+  Alcotest.(check bool) "is_nil of bot" false (Value.is_nil Value.bot)
 
 let test_assoc () =
   let m = Value.Assoc.empty in
-  let m = Value.Assoc.set m (Value.Int 2) (Value.Sym "two") in
-  let m = Value.Assoc.set m (Value.Int 1) (Value.Sym "one") in
-  Alcotest.(check (option v)) "get 1" (Some (Value.Sym "one"))
-    (Value.Assoc.get m (Value.Int 1));
-  Alcotest.(check (option v)) "get 2" (Some (Value.Sym "two"))
-    (Value.Assoc.get m (Value.Int 2));
-  Alcotest.(check (option v)) "get missing" None (Value.Assoc.get m (Value.Int 3));
+  let m = Value.Assoc.set m (Value.int 2) (Value.sym "two") in
+  let m = Value.Assoc.set m (Value.int 1) (Value.sym "one") in
+  Alcotest.(check (option v)) "get 1" (Some (Value.sym "one"))
+    (Value.Assoc.get m (Value.int 1));
+  Alcotest.(check (option v)) "get 2" (Some (Value.sym "two"))
+    (Value.Assoc.get m (Value.int 2));
+  Alcotest.(check (option v)) "get missing" None (Value.Assoc.get m (Value.int 3));
   (* Insertion order must not matter for equality (sorted encoding). *)
   let m' = Value.Assoc.of_bindings
-      [ (Value.Int 1, Value.Sym "one"); (Value.Int 2, Value.Sym "two") ]
+      [ (Value.int 1, Value.sym "one"); (Value.int 2, Value.sym "two") ]
   in
   Alcotest.(check v) "order-insensitive" m m';
   (* Overwrite. *)
-  let m2 = Value.Assoc.set m (Value.Int 1) (Value.Sym "uno") in
-  Alcotest.(check (option v)) "overwrite" (Some (Value.Sym "uno"))
-    (Value.Assoc.get m2 (Value.Int 1));
+  let m2 = Value.Assoc.set m (Value.int 1) (Value.sym "uno") in
+  Alcotest.(check (option v)) "overwrite" (Some (Value.sym "uno"))
+    (Value.Assoc.get m2 (Value.int 1));
   Alcotest.(check int) "bindings length" 2 (List.length (Value.Assoc.bindings m2))
 
 let test_set () =
   let s = Value.Set_.empty in
-  let s = Value.Set_.add (Value.Int 2) s in
-  let s = Value.Set_.add (Value.Int 1) s in
-  let s = Value.Set_.add (Value.Int 2) s in
+  let s = Value.Set_.add (Value.int 2) s in
+  let s = Value.Set_.add (Value.int 1) s in
+  let s = Value.Set_.add (Value.int 2) s in
   Alcotest.(check int) "cardinal dedups" 2 (Value.Set_.cardinal s);
-  Alcotest.(check bool) "mem 1" true (Value.Set_.mem (Value.Int 1) s);
-  Alcotest.(check bool) "mem 3" false (Value.Set_.mem (Value.Int 3) s);
-  let s' = Value.Set_.of_list [ Value.Int 1; Value.Int 2 ] in
+  Alcotest.(check bool) "mem 1" true (Value.Set_.mem (Value.int 1) s);
+  Alcotest.(check bool) "mem 3" false (Value.Set_.mem (Value.int 3) s);
+  let s' = Value.Set_.of_list [ Value.int 1; Value.int 2 ] in
   Alcotest.(check v) "order-insensitive" s s'
 
 let test_op () =
-  let op1 = Op.make "propose" [ Value.Int 1 ] in
-  let op2 = Op.make "propose" [ Value.Int 1 ] in
-  let op3 = Op.make "propose" [ Value.Int 2 ] in
+  let op1 = Op.make "propose" [ Value.int 1 ] in
+  let op2 = Op.make "propose" [ Value.int 1 ] in
+  let op3 = Op.make "propose" [ Value.int 2 ] in
   Alcotest.(check bool) "op equal" true (Op.equal op1 op2);
   Alcotest.(check bool) "op differ" false (Op.equal op1 op3);
   Alcotest.(check string) "op pp" "propose(1)" (Op.to_string op1);
@@ -123,17 +123,17 @@ let test_op () =
 let test_shistory_replay () =
   let reg = Register.spec () in
   let h, final =
-    Shistory.run reg [ Register.write (Value.Int 5); Register.read ]
+    Shistory.run reg [ Register.write (Value.int 5); Register.read ]
   in
-  Alcotest.(check v) "final state" (Value.Int 5) final;
-  Alcotest.(check (list v)) "responses" [ Value.Unit; Value.Int 5 ]
+  Alcotest.(check v) "final state" (Value.int 5) final;
+  Alcotest.(check (list v)) "responses" [ Value.unit_; Value.int 5 ]
     (Shistory.responses h);
   Alcotest.(check bool) "admissible" true (Shistory.admissible reg h);
   (* Tamper with a response: no longer admissible. *)
   let bad =
     List.map
       (fun (e : Shistory.event) ->
-        if Op.equal e.op Register.read then { e with Shistory.response = Value.Int 6 }
+        if Op.equal e.op Register.read then { e with Shistory.response = Value.int 6 }
         else e)
       h
   in
@@ -145,20 +145,20 @@ let test_shistory_nondet_replay () =
   let sa = Sa2.spec () in
   let h =
     [
-      Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 1);
-      Shistory.event (Sa2.propose (Value.Int 2)) (Value.Int 2);
+      Shistory.event (Sa2.propose (Value.int 1)) (Value.int 1);
+      Shistory.event (Sa2.propose (Value.int 2)) (Value.int 2);
     ]
   in
   Alcotest.(check bool) "b-response admissible" true (Shistory.admissible sa h);
   let h' =
     [
-      Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 1);
-      Shistory.event (Sa2.propose (Value.Int 2)) (Value.Int 1);
+      Shistory.event (Sa2.propose (Value.int 1)) (Value.int 1);
+      Shistory.event (Sa2.propose (Value.int 2)) (Value.int 1);
     ]
   in
   Alcotest.(check bool) "a-response admissible" true (Shistory.admissible sa h');
   let bad =
-    [ Shistory.event (Sa2.propose (Value.Int 1)) (Value.Int 9) ]
+    [ Shistory.event (Sa2.propose (Value.int 1)) (Value.int 9) ]
   in
   Alcotest.(check bool) "foreign response inadmissible" false
     (Shistory.admissible sa bad)

@@ -5,12 +5,19 @@
      lbsa check consensus -m 2
      lbsa check kset -m 2 -k 2
      lbsa check candidate --name flp-write-read
+     lbsa solve dac -n 3 --deadline 60 --checkpoint dac3.ckpt
+     lbsa solve dac -n 3 --resume dac3.ckpt
      lbsa valence --protocol cons:2
      lbsa power -n 2 --max-k 3
      lbsa separation -n 2 --max-k 3
      lbsa lin-check --impl snapshot:3 --trials 200
      lbsa fuzz --impl snapshot:3 --trials 1000 --faults 2 --seed 42
-     lbsa objects *)
+     lbsa objects
+
+   Exit codes, uniformly: 0 = clean pass; 1 = definitive failure
+   (unsolvable task, counterexample, violation); 2 = partial outcome
+   (state quota, deadline, cancellation, worker failure — rerun bigger,
+   longer, or --resume from the checkpoint); 3 = usage error. *)
 
 open Lbsa
 open Cmdliner
@@ -92,6 +99,62 @@ let check_domains_arg =
 let sweep_plan d =
   if d <= 0 then (1, None) else (d, Some 1)
 
+(* --- supervision plumbing --------------------------------------------- *)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget in seconds.  On expiry the run stops at its \
+           next safe point and reports a partial outcome (exit 2); 0 stops \
+           at the first safe point (useful to force a checkpoint).")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "Supervisor self-test: deterministically inject artificial worker \
+           failures (first attempt of a shard fails per a pure \
+           (seed, worker) plan; the supervised retry succeeds).  Verdicts \
+           must be identical with or without this flag.")
+
+let arm_chaos = function
+  | None -> ()
+  | Some seed -> Supervisor.Chaos.arm ~seed ()
+
+(* Every supervised command: arm chaos if asked, route SIGINT to a
+   cancellation token (first ^C = graceful stop + checkpoint, second =
+   exit 130), fold the deadline in. *)
+let mk_budget ?deadline ~chaos () =
+  arm_chaos chaos;
+  let token = Supervisor.token () in
+  Supervisor.install_sigint token;
+  Supervisor.Budget.make ?deadline_s:deadline ~token ()
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "On a partial outcome (deadline, ^C, state quota) write a \
+           resumable checkpoint to FILE.  Nothing is written on a \
+           definitive verdict.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by --checkpoint.  The run \
+           parameters must match the ones recorded in the checkpoint; the \
+           combined verdict is identical to an uninterrupted run's.")
+
 (* --- run-dac ----------------------------------------------------------- *)
 
 let run_dac n seed sched_kind =
@@ -138,39 +201,39 @@ let report ?(stats = false) ?family verdict =
      | Some fs -> Fmt.pr "%a@." Solvability.pp_family_stats fs
      | None -> ()
    end);
-  if verdict.Solvability.ok then 0 else 1
+  Supervisor.exit_code ~ok:verdict.Solvability.ok verdict.Solvability.outcome
 
-let check_dac n max_states stats d =
+let check_dac n max_states stats d ~budget =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
   let sweep, inner = sweep_plan d in
   let verdict, family =
-    Solvability.for_all_inputs_timed ~domains:sweep
+    Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
-        Solvability.check_dac ~max_states ?domains:inner ~machine ~specs
-          ~inputs ())
+        Solvability.check_dac ~max_states ?domains:inner ~budget ~machine
+          ~specs ~inputs ())
       (Dac.binary_inputs n)
   in
   report ~stats ~family verdict
 
-let check_consensus m max_states stats d =
+let check_consensus m max_states stats d ~budget =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
   let sweep, inner = sweep_plan d in
   let verdict, family =
-    Solvability.for_all_inputs_timed ~domains:sweep
+    Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
-        Solvability.check_consensus ~max_states ?domains:inner ~machine ~specs
-          ~inputs ())
+        Solvability.check_consensus ~max_states ?domains:inner ~budget
+          ~machine ~specs ~inputs ())
       (Consensus_task.binary_inputs m)
   in
   report ~stats ~family verdict
 
-let check_kset m k max_states stats d =
+let check_kset m k max_states stats d ~budget =
   let machine, specs = Kset_protocols.partition ~m ~k in
   (* A single input vector: [--domains] drives the explorer itself. *)
   let domains = if d <= 0 then None else Some d in
   report ~stats
-    (Solvability.check_kset ~max_states ?domains ~machine ~specs ~k
+    (Solvability.check_kset ~max_states ?domains ~budget ~machine ~specs ~k
        ~inputs:(Kset_task.distinct_inputs (m * k))
        ())
 
@@ -192,7 +255,7 @@ let check_candidate name max_states d =
   | None ->
     Fmt.epr "unknown candidate %S; known: %s@." name
       (String.concat ", " (List.map fst candidates));
-    2
+    3
   | Some (`Consensus ((machine, specs), procs)) ->
     Fmt.pr "candidate %s (consensus among %d) — expected to FAIL:@." name procs;
     let v =
@@ -247,11 +310,12 @@ let check_cmd =
       & opt string "flp-write-read"
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
-  let run task n m k name max_states stats domains =
+  let run task n m k name max_states stats domains deadline chaos =
+    let budget = mk_budget ?deadline ~chaos () in
     match task with
-    | `Dac -> check_dac n max_states stats domains
-    | `Consensus -> check_consensus m max_states stats domains
-    | `Kset -> check_kset m k max_states stats domains
+    | `Dac -> check_dac n max_states stats domains ~budget
+    | `Consensus -> check_consensus m max_states stats domains ~budget
+    | `Kset -> check_kset m k max_states stats domains ~budget
     | `Candidate -> check_candidate name max_states domains
   in
   Cmd.v
@@ -261,7 +325,146 @@ let check_cmd =
           nondeterminism).")
     Term.(
       const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
-      $ stats_arg $ check_domains_arg)
+      $ stats_arg $ check_domains_arg $ deadline_arg $ chaos_arg)
+
+(* --- solve -------------------------------------------------------------- *)
+
+(* Single-vector solvability check with the full supervision surface:
+   --deadline and ^C stop exploration at a level boundary, --checkpoint
+   persists the frozen frontier, --resume thaws and continues it.
+   stdout carries only the verdict (checkpoint notes go to stderr), so
+   an interrupted-then-resumed run prints byte-for-byte what the
+   uninterrupted run prints. *)
+let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
+    inputs_csv =
+  let budget = mk_budget ?deadline ~chaos () in
+  let domains = if d <= 0 then None else Some d in
+  let custom =
+    match inputs_csv with
+    | None -> Ok None
+    | Some s -> (
+      match
+        List.map
+          (fun x -> Value.int (int_of_string (String.trim x)))
+          (String.split_on_char ',' s)
+      with
+      | vs -> Ok (Some (Array.of_list vs))
+      | exception Failure _ ->
+        Error (Fmt.str "--inputs %S is not a comma-separated integer list" s))
+  in
+  match custom with
+  | Error msg ->
+    Fmt.epr "%s@." msg;
+    3
+  | Ok custom ->
+    let name, inputs, check =
+      match task with
+      | `Consensus ->
+        let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+        let inputs =
+          match custom with
+          | Some v -> v
+          | None -> Array.init m (fun pid -> Value.int (pid mod 2))
+        in
+        ( Fmt.str "consensus m=%d" m,
+          inputs,
+          fun resume ->
+            Solvability.check_consensus ~max_states ?domains ~budget ?resume
+              ~machine ~specs ~inputs () )
+      | `Kset ->
+        let machine, specs = Kset_protocols.partition ~m ~k in
+        let inputs =
+          match custom with
+          | Some v -> v
+          | None -> Kset_task.distinct_inputs (m * k)
+        in
+        ( Fmt.str "kset m=%d k=%d" m k,
+          inputs,
+          fun resume ->
+            Solvability.check_kset ~max_states ?domains ~budget ?resume
+              ~machine ~specs ~k ~inputs () )
+      | `Dac ->
+        let machine = Dac_from_pac.machine ~n in
+        let specs = Dac_from_pac.specs ~n in
+        let inputs =
+          match custom with
+          | Some v -> v
+          | None ->
+            Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0))
+        in
+        ( Fmt.str "dac n=%d" n,
+          inputs,
+          fun resume ->
+            Solvability.check_dac ~max_states ?domains ~budget ?resume
+              ~machine ~specs ~inputs () )
+    in
+    (* The label pins exactly what defines the graph — task, sizes,
+       inputs.  Budget-side knobs (max_states, deadline, domains) stay
+       out: a frozen prefix is valid under any of them, and resuming a
+       quota-hit run with a larger quota is the point. *)
+    let label =
+      Fmt.str "solve %s inputs=%a" name
+        Fmt.(array ~sep:(any ",") Value.pp)
+        inputs
+    in
+    (match Option.map (fun file -> Checkpoint.load ~file) resume_file with
+    | exception Failure msg ->
+      Fmt.epr "cannot resume: %s@." msg;
+      3
+    | Some c when Checkpoint.label c <> label ->
+      Fmt.epr "cannot resume: checkpoint is for %S, this invocation is %S@."
+        (Checkpoint.label c) label;
+      3
+    | resume ->
+      let v = check (Option.map Checkpoint.thaw resume) in
+      (match (ckpt_file, v.Solvability.suspended) with
+      | Some file, Some s when Supervisor.is_partial v.Solvability.outcome ->
+        Checkpoint.save ~file (Checkpoint.freeze ~label s);
+        Fmt.epr "checkpoint written to %s (resume with --resume %s)@." file
+          file
+      | _ -> ());
+      report ~stats v)
+
+let solve_cmd =
+  let task =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("dac", `Dac); ("consensus", `Consensus); ("kset", `Kset) ]))
+          None
+      & info [] ~docv:"TASK" ~doc:"dac | consensus | kset.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Explorer worker domains (0 = auto).  The verdict never depends \
+             on this.")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inputs" ] ~docv:"CSV"
+          ~doc:
+            "Comma-separated integer input vector (default: a canonical \
+             vector per task).")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Model-check a single input vector under a supervision budget: \
+          --deadline and ^C stop at a safe point with a partial verdict \
+          (exit 2), --checkpoint persists the frozen exploration, --resume \
+          continues it to the same verdict an uninterrupted run prints.")
+    Term.(
+      const solve $ task $ n_arg $ m_arg $ k_arg $ max_states_arg $ stats_arg
+      $ domains $ deadline_arg $ chaos_arg $ checkpoint_arg $ resume_arg
+      $ inputs)
 
 (* --- valence ------------------------------------------------------------ *)
 
@@ -280,7 +483,7 @@ let valence name n m max_states stats =
   | None ->
     Fmt.epr "unknown protocol %S; known: %s@." name
       (String.concat ", " (List.map fst (protocols_by_name ~n ~m)));
-    2
+    3
   | Some (machine, specs) ->
     let procs =
       match name with
@@ -403,25 +606,30 @@ let default_workloads name ~n ~max_k =
           (Listx.range 1 max_k))
   | _ -> [||]
 
-let lin_check name n m max_k trials seed =
+let lin_check name n m max_k trials seed deadline =
   match List.assoc_opt name (impls ~n ~m ~max_k) with
   | None ->
     Fmt.epr "unknown implementation %S; known: %s@." name
       (String.concat ", " (List.map fst (impls ~n ~m ~max_k)));
-    2
+    3
   | Some mk ->
+    let budget = mk_budget ?deadline ~chaos:None () in
     let impl = mk () in
     let workloads = default_workloads name ~n ~max_k in
     Fmt.pr "implementation %s over %d clients, %d random trials...@."
       impl.Implementation.name (Array.length workloads) trials;
-    (match Harness.campaign ~seed ~trials ~impl ~workloads () with
-    | Ok t ->
+    (match Harness.campaign_supervised ~budget ~seed ~trials ~impl ~workloads () with
+    | Harness.All_pass t ->
       Fmt.pr "all %d trials linearizable@." t;
       0
-    | Error (i, run) ->
+    | Harness.Failed (i, run) ->
       Fmt.pr "trial %d NOT linearizable; history:@.%a@." i Chistory.pp
         run.Harness.history;
-      1)
+      1
+    | Harness.Stopped { completed; outcome } ->
+      Fmt.pr "stopped (%a) after %d/%d trials, all linearizable@."
+        Supervisor.pp_outcome outcome completed trials;
+      2)
 
 let lin_check_cmd =
   let impl_name =
@@ -440,11 +648,15 @@ let lin_check_cmd =
        ~doc:
          "Drive an implementation with concurrent clients and check \
           linearizability.")
-    Term.(const lin_check $ impl_name $ n_arg $ m_arg $ max_k_arg $ trials $ seed_arg)
+    Term.(
+      const lin_check $ impl_name $ n_arg $ m_arg $ max_k_arg $ trials
+      $ seed_arg $ deadline_arg)
 
 (* --- fuzz ----------------------------------------------------------------- *)
 
-let fuzz impl_names spec_names trials procs ops faults seed no_shrink domains =
+let fuzz impl_names spec_names trials procs ops faults seed no_shrink domains
+    deadline chaos shrink_budget ckpt_file resume_file =
+  let budget = mk_budget ?deadline ~chaos () in
   let shrink = not no_shrink in
   let domains = if domains <= 0 then None else Some domains in
   let parse_targets ~what ~parse names =
@@ -459,42 +671,78 @@ let fuzz impl_names spec_names trials procs ops faults seed no_shrink domains =
   in
   let impls = parse_targets ~what:"impl" ~parse:Fuzz_targets.impl_target impl_names in
   let specs = parse_targets ~what:"spec" ~parse:Fuzz_targets.spec_target spec_names in
-  if (impls = [] && impl_names <> []) || (specs = [] && spec_names <> []) then 2
+  if (impls = [] && impl_names <> []) || (specs = [] && spec_names <> []) then 3
   else begin
-    (* Default campaign: every registry spec at full budget, every honest
-       construction at a fifth of it (harness trials are ~5x dearer). *)
-    let specs, impls, impl_trials =
-      if impls = [] && specs = [] then
-        (Fuzz_targets.all_specs (), Fuzz_targets.all_impls (),
-         max 1 (trials / 5))
-      else (specs, impls, trials)
-    in
-    let reports =
-      List.map
-        (fun t ->
-          Fuzz_engine.fuzz_spec ?domains ~shrink ~procs ~ops_per_proc:ops
-            ~trials ~seed t)
-        specs
-      @ List.map
+    match
+      Option.map (fun file -> Fuzz_engine.load_checkpoint ~file) resume_file
+    with
+    | exception Failure msg ->
+      Fmt.epr "cannot resume: %s@." msg;
+      3
+    | Some c when c.Fuzz_engine.ckpt_seed <> seed ->
+      Fmt.epr "cannot resume: checkpoint records --seed %d, this run uses %d@."
+        c.Fuzz_engine.ckpt_seed seed;
+      3
+    | resume ->
+      let start_of ~cap name =
+        match resume with
+        | None -> 0
+        | Some c -> min cap (Fuzz_engine.resume_start c ~name)
+      in
+      (* Default campaign: every registry spec at full budget, every honest
+         construction at a fifth of it (harness trials are ~5x dearer). *)
+      let specs, impls, impl_trials =
+        if impls = [] && specs = [] then
+          (Fuzz_targets.all_specs (), Fuzz_targets.all_impls (),
+           max 1 (trials / 5))
+        else (specs, impls, trials)
+      in
+      let reports =
+        List.map
           (fun t ->
-            Fuzz_engine.fuzz_impl ?domains ~shrink ~faults ~ops_per_proc:ops
-              ~trials:impl_trials ~seed t)
-          impls
-    in
-    List.iter (fun r -> Fmt.pr "%a@." Fuzz_engine.pp_report r) reports;
-    let failed =
-      Lbsa_util.Listx.count
-        (fun r -> r.Fuzz_engine.failure <> None)
-        reports
-    in
-    if failed = 0 then begin
-      Fmt.pr "fuzz: %d campaigns clean@." (List.length reports);
-      0
-    end
-    else begin
-      Fmt.pr "fuzz: %d/%d campaigns FAILED@." failed (List.length reports);
-      1
-    end
+            Fuzz_engine.fuzz_spec ?domains ~shrink ~shrink_budget ~budget
+              ~start:(start_of ~cap:trials ("spec " ^ t.Fuzz_targets.desc))
+              ~procs ~ops_per_proc:ops ~trials ~seed t)
+          specs
+        @ List.map
+            (fun t ->
+              Fuzz_engine.fuzz_impl ?domains ~shrink ~shrink_budget ~budget
+                ~start:
+                  (start_of ~cap:impl_trials ("impl " ^ t.Fuzz_targets.idesc))
+                ~faults ~ops_per_proc:ops ~trials:impl_trials ~seed t)
+            impls
+      in
+      List.iter (fun r -> Fmt.pr "%a@." Fuzz_engine.pp_report r) reports;
+      let failed =
+        Lbsa_util.Listx.count
+          (fun r -> r.Fuzz_engine.failure <> None)
+          reports
+      in
+      let partial =
+        List.exists
+          (fun r -> Supervisor.is_partial r.Fuzz_engine.outcome)
+          reports
+      in
+      (match ckpt_file with
+      | Some file when partial ->
+        Fuzz_engine.save_checkpoint ~file
+          (Fuzz_engine.checkpoint_of_reports ~seed reports);
+        Fmt.epr "checkpoint written to %s (resume with --resume %s)@." file
+          file
+      | _ -> ());
+      if failed > 0 then begin
+        Fmt.pr "fuzz: %d/%d campaigns FAILED@." failed (List.length reports);
+        1
+      end
+      else if partial then begin
+        Fmt.pr "fuzz: %d campaigns stopped early, no failures@."
+          (List.length reports);
+        2
+      end
+      else begin
+        Fmt.pr "fuzz: %d campaigns clean@." (List.length reports);
+        0
+      end
   end
 
 let fuzz_cmd =
@@ -550,6 +798,16 @@ let fuzz_cmd =
       & info [ "domains" ] ~docv:"D"
           ~doc:"Worker domains (0 = auto).  Results never depend on this.")
   in
+  let shrink_budget =
+    Arg.(
+      value
+      & opt int Fuzz_engine.default_shrink_budget
+      & info [ "shrink-budget" ] ~docv:"B"
+          ~doc:
+            "Candidate evaluations allowed per shrink descent (0 keeps the \
+             unshrunk counterexample).  Shrinking also stops when \
+             --deadline fires.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -558,7 +816,8 @@ let fuzz_cmd =
           seed-reproducible shrunk counterexamples.")
     Term.(
       const fuzz $ impl_names $ spec_names $ trials $ procs $ ops $ faults
-      $ seed_arg $ no_shrink $ domains)
+      $ seed_arg $ no_shrink $ domains $ deadline_arg $ chaos_arg
+      $ shrink_budget $ checkpoint_arg $ resume_arg)
 
 (* --- universal / bg / qadri ------------------------------------------------ *)
 
@@ -713,7 +972,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_dac_cmd; check_cmd; valence_cmd; power_cmd; separation_cmd;
-            lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd; qadri_cmd;
-            objects_cmd; fingerprint_cmd;
+            run_dac_cmd; check_cmd; solve_cmd; valence_cmd; power_cmd;
+            separation_cmd; lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd;
+            qadri_cmd; objects_cmd; fingerprint_cmd;
           ]))

@@ -39,6 +39,7 @@ module O_prime = Lbsa_objects.O_prime
 module Classic = Lbsa_objects.Classic
 module Registry = Lbsa_objects.Registry
 
+module Supervisor = Lbsa_runtime.Supervisor
 module Machine = Lbsa_runtime.Machine
 module Config = Lbsa_runtime.Config
 module Scheduler = Lbsa_runtime.Scheduler
@@ -69,6 +70,7 @@ module Safe_agreement = Lbsa_protocols.Safe_agreement
 module Obstruction_free = Lbsa_protocols.Obstruction_free
 
 module Cgraph = Lbsa_modelcheck.Graph
+module Checkpoint = Lbsa_modelcheck.Checkpoint
 module Ctbl = Lbsa_modelcheck.Ctbl
 module Valence = Lbsa_modelcheck.Valence
 module Bivalency = Lbsa_modelcheck.Bivalency

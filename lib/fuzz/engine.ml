@@ -1,4 +1,5 @@
 open Lbsa_spec
+open Lbsa_runtime
 open Lbsa_implement
 open Lbsa_linearizability
 
@@ -32,7 +33,11 @@ type failure = {
 type report = {
   rtarget : string;
   trials : int;
+  completed : int;
+      (* trials [0, completed) all ran: the contiguous prefix that a
+         resumed campaign can skip.  Equals [trials] on a full run. *)
   failure : failure option;
+  outcome : Supervisor.outcome;  (* Done unless the campaign was cut short *)
   domains_used : int;
   wall_s : float;
 }
@@ -111,49 +116,88 @@ let eval_spec_case ?session ~(spec : Obj_spec.t) (case : Fuzz_case.t) : eval =
    order; a CAS-min on the best (lowest) failing index lets domains stop
    early without ever racing past a smaller candidate.  The owner of the
    global minimum always reaches it (everything before it passes), so
-   the result is the same as a sequential scan. *)
-let fan ?domains ~trials ~(run : int -> 'a option) () : (int * 'a) option * int
-    =
+   the result is the same as a sequential scan.
+
+   Supervision: each chunk body runs under [Supervisor.run_shard] (one
+   exception — or injected chaos fault — is caught in its own domain
+   and the chunk retried; trials are pure functions of their substream,
+   so a retry rescans to the same result), and the budget is polled
+   before every trial.  [completed] is the contiguous prefix of trials
+   known to have run, the resume point for a checkpointed campaign. *)
+type 'a fan_result = {
+  hit : (int * 'a) option;
+  fan_domains : int;
+  fan_completed : int;
+  fan_outcome : Supervisor.outcome;
+}
+
+let fan ?domains ?(start = 0) ?(budget = Supervisor.Budget.unlimited) ~trials
+    ~(run : int -> 'a option) () : 'a fan_result =
   let domains =
     match domains with
     | Some d ->
       if d < 1 then invalid_arg "Engine.fan: domains must be >= 1" else d
     | None -> Lazy.force default_domains
   in
-  let d = max 1 (min domains trials) in
-  if d = 1 then
-    let rec go i =
-      if i >= trials then None
-      else match run i with Some f -> Some (i, f) | None -> go (i + 1)
-    in
-    (go 0, 1)
+  if start < 0 || start > trials then
+    invalid_arg "Engine.fan: start out of range";
+  let span = trials - start in
+  let d = max 1 (min domains span) in
+  if span = 0 then
+    { hit = None; fan_domains = 1; fan_completed = trials; fan_outcome = Done }
   else begin
     let best = Atomic.make max_int in
     let found = Array.make d None in
-    let chunk = (trials + d - 1) / d in
-    let work k =
-      let lo = k * chunk and hi = min trials ((k + 1) * chunk) in
+    let reached = Array.make d start in
+    let stop_reason = Array.make d None in
+    let chunk = (span + d - 1) / d in
+    let lo_of k = start + (k * chunk) in
+    let hi_of k = min trials (lo_of k + chunk) in
+    let work k () =
+      let lo = lo_of k and hi = hi_of k in
+      (* Reset per attempt so a retried chunk rescans deterministically. *)
+      found.(k) <- None;
+      stop_reason.(k) <- None;
       let i = ref lo in
-      while !i < hi && !i < Atomic.get best do
-        (match run !i with
-        | Some f ->
-          found.(k) <- Some (!i, f);
-          let rec cas_min () =
-            let b = Atomic.get best in
-            if !i < b && not (Atomic.compare_and_set best b !i) then cas_min ()
-          in
-          cas_min ();
-          i := hi  (* later trials in this chunk cannot beat our own find *)
-        | None -> ());
-        incr i
-      done
+      let running = ref true in
+      while !running && !i < hi && !i < Atomic.get best do
+        match Supervisor.Budget.stop budget with
+        | Some o ->
+          stop_reason.(k) <- Some o;
+          running := false
+        | None ->
+          (match run !i with
+          | Some f ->
+            found.(k) <- Some (!i, f);
+            let rec cas_min () =
+              let b = Atomic.get best in
+              if !i < b && not (Atomic.compare_and_set best b !i) then
+                cas_min ()
+            in
+            cas_min ();
+            i := hi  (* later trials in this chunk cannot beat our own find *)
+          | None -> ());
+          incr i
+      done;
+      reached.(k) <- min !i hi
     in
-    let spawned =
-      List.init (d - 1) (fun k -> Domain.spawn (fun () -> work (k + 1)))
+    let shard k =
+      match Supervisor.run_shard ~worker:k (work k) with
+      | Ok () -> None
+      | Error (exn, attempts) ->
+        Some (Supervisor.Worker_failed { worker = k; exn; attempts })
     in
-    work 0;
-    List.iter Domain.join spawned;
-    let result =
+    let failures =
+      if d = 1 then [ shard 0 ]
+      else begin
+        let spawned =
+          List.init (d - 1) (fun k -> Domain.spawn (fun () -> shard (k + 1)))
+        in
+        let first = shard 0 in
+        first :: List.map Domain.join spawned
+      end
+    in
+    let hit =
       Array.fold_left
         (fun acc x ->
           match (acc, x) with
@@ -162,7 +206,25 @@ let fan ?domains ~trials ~(run : int -> 'a option) () : (int * 'a) option * int
           | acc, _ -> acc)
         None found
     in
-    (result, d)
+    (* Contiguous completed prefix: chunk k extends it only if every
+       chunk before it finished its whole range. *)
+    let fan_completed =
+      let rec go k =
+        if k >= d then trials
+        else if reached.(k) >= hi_of k then go (k + 1)
+        else reached.(k)
+      in
+      go 0
+    in
+    let fan_outcome =
+      match List.find_map Fun.id failures with
+      | Some o -> o
+      | None -> (
+        match Array.find_opt Option.is_some stop_reason with
+        | Some (Some o) -> o
+        | _ -> Done)
+    in
+    { hit; fan_domains = d; fan_completed; fan_outcome }
   end
 
 (* --- shrinking --------------------------------------------------------- *)
@@ -170,15 +232,22 @@ let fan ?domains ~trials ~(run : int -> 'a option) () : (int * 'a) option * int
 (* Greedy first-improvement descent over [Fuzz_case.shrinks], keeping a
    candidate only when it fails with the SAME kind (an oracle violation
    must not shrink into a mere crash and vice versa).  Bounded by a
-   candidate-evaluation budget; termination also follows from the
-   well-founded shrink measure. *)
-let shrink_case ~eval ~kind ~(case : Fuzz_case.t) ~history ~pending () =
-  let budget = ref 400 in
+   candidate-evaluation budget (default {!default_shrink_budget},
+   configurable end to end from the CLI) and by the run's deadline: a
+   fired [deadline] stops the descent at the best case found so far —
+   shrinking is a convenience, never worth blowing the run's budget. *)
+let default_shrink_budget = 400
+
+let shrink_case ?(budget = default_shrink_budget)
+    ?(deadline = Supervisor.Budget.unlimited) ~eval ~kind
+    ~(case : Fuzz_case.t) ~history ~pending () =
+  let budget = ref budget in
+  let expired () = Supervisor.Budget.stop deadline <> None in
   let rec descend case history pending =
     let next =
       List.find_map
         (fun c ->
-          if !budget <= 0 then None
+          if !budget <= 0 || expired () then None
           else begin
             decr budget;
             match eval c with
@@ -195,7 +264,8 @@ let shrink_case ~eval ~kind ~(case : Fuzz_case.t) ~history ~pending () =
 
 (* --- campaigns --------------------------------------------------------- *)
 
-let campaign ?domains ?(shrink = true) ~trials ~seed ~name ~gen_case ~eval () =
+let campaign ?domains ?(shrink = true) ?shrink_budget ?(start = 0) ?budget
+    ~trials ~seed ~name ~gen_case ~eval () =
   if trials < 1 then invalid_arg "Engine.campaign: trials must be >= 1";
   let t0 = Unix.gettimeofday () in
   let run trial =
@@ -204,7 +274,7 @@ let campaign ?domains ?(shrink = true) ~trials ~seed ~name ~gen_case ~eval () =
     | Ok_run -> None
     | Bad (kind, history, pending) -> Some (kind, case, history, pending)
   in
-  let found, domains_used = fan ?domains ~trials ~run () in
+  let r = fan ?domains ~start ?budget ~trials ~run () in
   let failure =
     Option.map
       (fun (trial, (kind, case, history, pending)) ->
@@ -212,41 +282,91 @@ let campaign ?domains ?(shrink = true) ~trials ~seed ~name ~gen_case ~eval () =
           if not shrink then None
           else
             let c, h, _ =
-              shrink_case ~eval ~kind ~case ~history ~pending ()
+              shrink_case ?budget:shrink_budget ?deadline:budget ~eval ~kind
+                ~case ~history ~pending ()
             in
             Some (c, h)
         in
         { target = name; trial; seed; kind; case; history; pending; shrunk })
-      found
+      r.hit
   in
   {
     rtarget = name;
     trials;
+    completed = r.fan_completed;
     failure;
-    domains_used;
+    outcome = r.fan_outcome;
+    domains_used = r.fan_domains;
     wall_s = Unix.gettimeofday () -. t0;
   }
 
-let fuzz_impl ?domains ?shrink ?(faults = 0) ?(ops_per_proc = 4) ~trials ~seed
-    (t : Targets.impl_target) =
+let fuzz_impl ?domains ?shrink ?shrink_budget ?start ?budget ?(faults = 0)
+    ?(ops_per_proc = 4) ~trials ~seed (t : Targets.impl_target) =
   let gen_case prng =
     Fuzz_case.gen ~prng
       ~gen_workloads:(t.gen_workloads ~ops_per_proc)
       ~procs:t.iprocs ~max_faults:faults ()
   in
-  campaign ?domains ?shrink ~trials ~seed ~name:("impl " ^ t.idesc) ~gen_case
+  campaign ?domains ?shrink ?shrink_budget ?start ?budget ~trials ~seed
+    ~name:("impl " ^ t.idesc) ~gen_case
     ~eval:(eval_impl_case ~session:(dls_sessions t.impl.target) ~impl:t.impl)
     ()
 
-let fuzz_spec ?domains ?shrink ?(procs = 3) ?(ops_per_proc = 4) ~trials ~seed
-    (t : Targets.spec_target) =
+let fuzz_spec ?domains ?shrink ?shrink_budget ?start ?budget ?(procs = 3)
+    ?(ops_per_proc = 4) ~trials ~seed (t : Targets.spec_target) =
   let gen_case prng =
     Fuzz_case.gen ~prng
       ~gen_workloads:(Targets.spec_workloads t ~procs ~ops_per_proc)
       ~procs ~max_faults:0 ()
   in
-  campaign ?domains ?shrink ~trials ~seed ~name:("spec " ^ t.desc) ~gen_case
+  campaign ?domains ?shrink ?shrink_budget ?start ?budget ~trials ~seed
+    ~name:("spec " ^ t.desc) ~gen_case
     ~eval:(eval_spec_case ~session:(dls_sessions t.spec) ~spec:t.spec) ()
+
+(* --- campaign checkpoints ----------------------------------------------- *)
+
+(* A fuzz checkpoint is tiny: trials are pure functions of
+   (seed, trial index), so "where we were" is just the completed-prefix
+   length per target — no case material, no values, no re-interning
+   concerns.  Resuming replays nothing and re-randomizes nothing. *)
+type checkpoint = { ckpt_seed : int; ckpt_done : (string * int) list }
+
+let checkpoint_magic = "LBSA-FUZZ-CHECKPOINT/1\n"
+
+let save_checkpoint ~file (c : checkpoint) =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc checkpoint_magic;
+      Marshal.to_channel oc c []);
+  Sys.rename tmp file
+
+let load_checkpoint ~file : checkpoint =
+  let ic =
+    try open_in_bin file
+    with Sys_error e -> failwith (Fmt.str "Engine.load_checkpoint: %s" e)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header =
+        try really_input_string ic (String.length checkpoint_magic)
+        with End_of_file -> ""
+      in
+      if not (String.equal header checkpoint_magic) then
+        failwith
+          (Fmt.str
+             "Engine.load_checkpoint: %s is not a version-1 fuzz checkpoint"
+             file);
+      (Marshal.from_channel ic : checkpoint))
+
+let checkpoint_of_reports ~seed reports =
+  { ckpt_seed = seed; ckpt_done = List.map (fun r -> (r.rtarget, r.completed)) reports }
+
+let resume_start (c : checkpoint) ~name =
+  match List.assoc_opt name c.ckpt_done with Some n -> n | None -> 0
 
 (* --- reporting --------------------------------------------------------- *)
 
@@ -278,6 +398,10 @@ let pp_failure ppf f =
 
 let pp_report ppf r =
   match r.failure with
+  | None when Supervisor.is_partial r.outcome ->
+    Fmt.pf ppf "STOP %-24s %6d/%d trials  (%a)  %d domains  %.2fs" r.rtarget
+      r.completed r.trials Supervisor.pp_outcome r.outcome r.domains_used
+      r.wall_s
   | None ->
     Fmt.pf ppf "PASS %-24s %6d trials  %d domains  %.2fs" r.rtarget r.trials
       r.domains_used r.wall_s

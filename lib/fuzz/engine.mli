@@ -25,7 +25,13 @@ type failure = {
 type report = {
   rtarget : string;
   trials : int;
+  completed : int;
+      (** trials [0, completed) all ran — the contiguous prefix a
+          resumed campaign skips; equals [trials] on a full run *)
   failure : failure option;
+  outcome : Lbsa_runtime.Supervisor.outcome;
+      (** [Done] unless the campaign was cut short by its budget or an
+          exhausted worker *)
   domains_used : int;
   wall_s : float;
 }
@@ -49,19 +55,37 @@ val eval_spec_case :
   ?session:(unit -> Checker.session) -> spec:Obj_spec.t -> Fuzz_case.t -> eval
 (** [session], when given, must produce sessions for [spec]. *)
 
+type 'a fan_result = {
+  hit : (int * 'a) option;  (** lowest failing trial, if any *)
+  fan_domains : int;
+  fan_completed : int;
+      (** contiguous prefix of trials known to have run *)
+  fan_outcome : Lbsa_runtime.Supervisor.outcome;
+}
+
 val fan :
   ?domains:int ->
+  ?start:int ->
+  ?budget:Lbsa_runtime.Supervisor.Budget.t ->
   trials:int ->
   run:(int -> 'a option) ->
   unit ->
-  (int * 'a) option * int
-(** Scan trial indices [0, trials) for the lowest failing one, fanning
-    contiguous chunks across domains with a CAS-min cutoff.  The result
-    (and every per-trial PRNG, when [run] derives it with
+  'a fan_result
+(** Scan trial indices [start, trials) for the lowest failing one,
+    fanning contiguous chunks across domains with a CAS-min cutoff.  The
+    result (and every per-trial PRNG, when [run] derives it with
     {!Lbsa_util.Prng.of_substream}) is identical for every domain count.
-    Also returns the number of domains used. *)
+    Chunk bodies run under {!Lbsa_runtime.Supervisor.run_shard} — a
+    worker exception is isolated and the chunk retried, surfacing as
+    [Worker_failed] only when retries are exhausted — and [budget] is
+    polled before every trial. *)
+
+val default_shrink_budget : int
+(** 400 candidate evaluations. *)
 
 val shrink_case :
+  ?budget:int ->
+  ?deadline:Lbsa_runtime.Supervisor.Budget.t ->
   eval:(Fuzz_case.t -> eval) ->
   kind:kind ->
   case:Fuzz_case.t ->
@@ -70,11 +94,17 @@ val shrink_case :
   unit ->
   Fuzz_case.t * Chistory.t * Checker.pending list
 (** Greedy first-improvement descent over {!Fuzz_case.shrinks}; a
-    candidate is kept only when it fails with the same [kind]. *)
+    candidate is kept only when it fails with the same [kind].  Stops
+    after [budget] candidate evaluations (default
+    {!default_shrink_budget}) or as soon as [deadline] fires, returning
+    the best case found so far. *)
 
 val fuzz_impl :
   ?domains:int ->
   ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?start:int ->
+  ?budget:Lbsa_runtime.Supervisor.Budget.t ->
   ?faults:int ->
   ?ops_per_proc:int ->
   trials:int ->
@@ -85,12 +115,31 @@ val fuzz_impl :
 val fuzz_spec :
   ?domains:int ->
   ?shrink:bool ->
+  ?shrink_budget:int ->
+  ?start:int ->
+  ?budget:Lbsa_runtime.Supervisor.Budget.t ->
   ?procs:int ->
   ?ops_per_proc:int ->
   trials:int ->
   seed:int ->
   Targets.spec_target ->
   report
+
+(** {2 Campaign checkpoints}
+
+    Fuzz trials are pure functions of [(seed, trial index)], so a
+    checkpoint is only the completed-prefix length per target; resuming
+    re-runs targets with [~start] and reproduces exactly the trials an
+    uninterrupted run would have executed. *)
+
+type checkpoint = { ckpt_seed : int; ckpt_done : (string * int) list }
+
+val checkpoint_of_reports : seed:int -> report list -> checkpoint
+val resume_start : checkpoint -> name:string -> int
+val save_checkpoint : file:string -> checkpoint -> unit
+
+val load_checkpoint : file:string -> checkpoint
+(** Raises [Failure] on a missing or foreign file. *)
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -131,22 +131,41 @@ let check ?session ?(nondet = First) ?(max_steps = 100_000)
    adversaries) over the given workloads; returns the trial count on
    success or the first non-linearizable run.  One checker session
    serves every trial — the campaign is single-threaded and the target
-   spec never changes. *)
-let campaign ~seed ~trials ~(impl : Implementation.t) ~workloads () =
+   spec never changes.  The supervised variant polls [budget] before
+   every trial (the harness's per-run safe point) and reports how far it
+   got when cut short. *)
+type campaign_outcome =
+  | All_pass of int
+  | Failed of int * run
+  | Stopped of { completed : int; outcome : Supervisor.outcome }
+
+let campaign_supervised ?(budget = Supervisor.Budget.unlimited) ~seed ~trials
+    ~(impl : Implementation.t) ~workloads () =
   let prng = Lbsa_util.Prng.create seed in
   let session = Checker.session impl.target in
   let rec go i =
-    if i >= trials then Ok trials
+    if i >= trials then All_pass trials
     else
-      let sched_seed = Lbsa_util.Prng.int prng 1_000_000_000 in
-      let nondet = Random (Lbsa_util.Prng.split prng) in
-      let scheduler = Scheduler.random ~seed:sched_seed in
-      let run, outcome = check ~session ~nondet ~impl ~workloads ~scheduler () in
-      match outcome with
-      | Checker.Linearizable _ -> go (i + 1)
-      | Checker.Not_linearizable -> Error (i, run)
+      match Supervisor.Budget.stop budget with
+      | Some outcome -> Stopped { completed = i; outcome }
+      | None -> (
+        let sched_seed = Lbsa_util.Prng.int prng 1_000_000_000 in
+        let nondet = Random (Lbsa_util.Prng.split prng) in
+        let scheduler = Scheduler.random ~seed:sched_seed in
+        let run, outcome =
+          check ~session ~nondet ~impl ~workloads ~scheduler ()
+        in
+        match outcome with
+        | Checker.Linearizable _ -> go (i + 1)
+        | Checker.Not_linearizable -> Failed (i, run))
   in
   go 0
+
+let campaign ~seed ~trials ~impl ~workloads () =
+  match campaign_supervised ~seed ~trials ~impl ~workloads () with
+  | All_pass n -> Ok n
+  | Failed (i, run) -> Error (i, run)
+  | Stopped _ -> assert false (* unlimited budget never stops *)
 
 (* Exhaustive campaign over *all* interleavings of the client programs
    (and all object nondeterminism), for tiny workloads: enumerate every

@@ -54,6 +54,23 @@ val campaign :
 (** [trials] random schedules and object adversaries; [Error (i, run)]
     is the first non-linearizable run. *)
 
+type campaign_outcome =
+  | All_pass of int
+  | Failed of int * run  (** first non-linearizable run *)
+  | Stopped of { completed : int; outcome : Supervisor.outcome }
+      (** budget fired after [completed] trials *)
+
+val campaign_supervised :
+  ?budget:Supervisor.Budget.t ->
+  seed:int ->
+  trials:int ->
+  impl:Implementation.t ->
+  workloads:Op.t list array ->
+  unit ->
+  campaign_outcome
+(** {!campaign} with a {!Supervisor.Budget.t} polled before every trial
+    — deadline and cancellation-aware; identical trial sequence. *)
+
 val exhaustive :
   ?max_steps:int ->
   impl:Implementation.t ->

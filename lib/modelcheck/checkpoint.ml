@@ -1,0 +1,196 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Checkpoint persistence.  See the .mli for why this mirrors values
+   structurally instead of marshalling [Config.t] directly: intern ids
+   and pointer identity must not cross a process boundary, so freezing
+   strips them and thawing re-interns through the smart constructors. *)
+
+(* --- the structural mirror --------------------------------------------- *)
+
+type pvalue =
+  | PUnit
+  | PBool of bool
+  | PInt of int
+  | PSym of string
+  | PBot
+  | PNil
+  | PDone
+  | PPair of pvalue * pvalue
+  | PList of pvalue list
+
+type pstatus = PRunning | PDecided of pvalue | PAborted | PCrashed
+
+type pconfig = {
+  plocals : pvalue array;
+  pobjects : pvalue array;
+  pstatus : pstatus array;
+}
+
+type pevent =
+  | POp of {
+      epid : int;
+      eobj : int;
+      ename : string;
+      eargs : pvalue list;
+      eresponse : pvalue;
+    }
+  | PDecide of { epid : int; evalue : pvalue }
+  | PAbort of { epid : int }
+
+type pedge = { ppid : int; pev : pevent; ptarget : int }
+
+type t = {
+  label : string;
+  nodes : pconfig array;
+  expanded : int;
+  edges : pedge array;
+  offsets : int array;
+  dedup_hits : int;
+  n_succs : int;
+  frontier_sizes : int array;
+}
+
+let label t = t.label
+
+(* --- freeze ------------------------------------------------------------- *)
+
+let rec freeze_value (v : Value.t) : pvalue =
+  match Value.node v with
+  | Value.Unit -> PUnit
+  | Value.Bool b -> PBool b
+  | Value.Int i -> PInt i
+  | Value.Sym s -> PSym s
+  | Value.Bot -> PBot
+  | Value.Nil -> PNil
+  | Value.Done -> PDone
+  | Value.Pair (a, b) -> PPair (freeze_value a, freeze_value b)
+  | Value.List vs -> PList (List.map freeze_value vs)
+
+let freeze_status = function
+  | Config.Running -> PRunning
+  | Config.Decided v -> PDecided (freeze_value v)
+  | Config.Aborted -> PAborted
+  | Config.Crashed -> PCrashed
+
+let freeze_config (c : Config.t) =
+  {
+    plocals = Array.map freeze_value c.Config.locals;
+    pobjects = Array.map freeze_value c.Config.objects;
+    pstatus = Array.map freeze_status c.Config.status;
+  }
+
+let freeze_event = function
+  | Config.Op_event { pid; obj; op; response } ->
+    POp
+      {
+        epid = pid;
+        eobj = obj;
+        ename = op.Op.name;
+        eargs = List.map freeze_value op.Op.args;
+        eresponse = freeze_value response;
+      }
+  | Config.Decide_event { pid; value } ->
+    PDecide { epid = pid; evalue = freeze_value value }
+  | Config.Abort_event { pid } -> PAbort { epid = pid }
+
+let freeze_edge (e : Graph.edge) =
+  { ppid = e.Graph.pid; pev = freeze_event e.Graph.event; ptarget = e.Graph.target }
+
+let freeze ~label (s : Graph.suspended) =
+  {
+    label;
+    nodes = Array.map freeze_config s.Graph.s_nodes;
+    expanded = s.Graph.s_expanded;
+    edges = Array.map freeze_edge s.Graph.s_edges;
+    offsets = Array.copy s.Graph.s_offsets;
+    dedup_hits = s.Graph.s_dedup_hits;
+    n_succs = s.Graph.s_n_succs;
+    frontier_sizes = Array.copy s.Graph.s_frontier_sizes;
+  }
+
+(* --- thaw --------------------------------------------------------------- *)
+
+let rec thaw_value = function
+  | PUnit -> Value.unit_
+  | PBool b -> Value.bool b
+  | PInt i -> Value.int i
+  | PSym s -> Value.sym s
+  | PBot -> Value.bot
+  | PNil -> Value.nil
+  | PDone -> Value.done_
+  | PPair (a, b) -> Value.pair (thaw_value a, thaw_value b)
+  | PList vs -> Value.list (List.map thaw_value vs)
+
+let thaw_status = function
+  | PRunning -> Config.Running
+  | PDecided v -> Config.Decided (thaw_value v)
+  | PAborted -> Config.Aborted
+  | PCrashed -> Config.Crashed
+
+let thaw_config c : Config.t =
+  {
+    Config.locals = Array.map thaw_value c.plocals;
+    objects = Array.map thaw_value c.pobjects;
+    status = Array.map thaw_status c.pstatus;
+  }
+
+let thaw_event = function
+  | POp { epid; eobj; ename; eargs; eresponse } ->
+    Config.Op_event
+      {
+        pid = epid;
+        obj = eobj;
+        op = Op.make ename (List.map thaw_value eargs);
+        response = thaw_value eresponse;
+      }
+  | PDecide { epid; evalue } ->
+    Config.Decide_event { pid = epid; value = thaw_value evalue }
+  | PAbort { epid } -> Config.Abort_event { pid = epid }
+
+let thaw_edge e : Graph.edge =
+  { Graph.pid = e.ppid; event = thaw_event e.pev; target = e.ptarget }
+
+let thaw t : Graph.suspended =
+  Graph.suspended_of_parts
+    ~nodes:(Array.map thaw_config t.nodes)
+    ~expanded:t.expanded
+    ~edges:(Array.map thaw_edge t.edges)
+    ~offsets:(Array.copy t.offsets) ~dedup_hits:t.dedup_hits
+    ~n_succs:t.n_succs
+    ~frontier_sizes:(Array.copy t.frontier_sizes)
+
+(* --- persistence -------------------------------------------------------- *)
+
+(* A magic line guards against feeding arbitrary files to [Marshal];
+   the version is part of it, so a format change invalidates old
+   checkpoints loudly instead of deserializing garbage. *)
+let magic = "LBSA-CHECKPOINT/1\n"
+
+let save ~file t =
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t []);
+  Sys.rename tmp file
+
+let load ~file =
+  let ic =
+    try open_in_bin file
+    with Sys_error e -> failwith (Fmt.str "Checkpoint.load: %s" e)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header =
+        try really_input_string ic (String.length magic)
+        with End_of_file -> ""
+      in
+      if not (String.equal header magic) then
+        failwith
+          (Fmt.str "Checkpoint.load: %s is not a version-1 checkpoint file"
+             file);
+      (Marshal.from_channel ic : t))

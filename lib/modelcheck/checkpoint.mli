@@ -1,0 +1,31 @@
+(** Durable checkpoints for long explorations: freeze a suspended
+    {!Graph.build} (frontier, dedup contents, edge prefix) to a purely
+    structural form, write it to disk, and thaw it back for
+    [Graph.build ~resume].
+
+    The structural detour exists because of the hash-consed value core:
+    intern ids are allocation-order-dependent and pointer identity does
+    not survive [Marshal].  A checkpoint therefore stores a mirror ADT
+    with no ids and no sharing, and [thaw] re-interns every value
+    through the [Value] smart constructors — the loaded configurations
+    are physically canonical in the loading process, whatever junk that
+    process interned first.  (The id-never-orders invariant of the value
+    core is exactly what makes this safe: nothing in the graph depends
+    on the ids a run happened to assign.) *)
+
+type t
+
+val label : t -> string
+(** Free-form run parameters recorded at freeze time (protocol, sizes,
+    max_states…); resuming code should compare it against the current
+    invocation and refuse mismatches. *)
+
+val freeze : label:string -> Graph.suspended -> t
+val thaw : t -> Graph.suspended
+
+val save : file:string -> t -> unit
+(** Atomic-ish write: magic header + version + marshalled structural
+    data.  Overwrites [file]. *)
+
+val load : file:string -> t
+(** Raises [Failure] on a missing/foreign/mismatched-version file. *)

@@ -44,12 +44,33 @@ type stats = {
   truncated : bool;
 }
 
+(* A partial exploration, frozen at a level boundary: the prefix
+   [0, s_expanded) of nodes has final out-edges; everything at or after
+   [s_expanded] is the unexpanded frontier.  Because the explorer is
+   level-synchronous and completed levels are identical for any domain
+   count, a suspended prefix — and therefore a resumed build — is too.
+   Checkpoint files store a structural mirror of this (see
+   {!Checkpoint}); values are re-interned on load. *)
+type suspended = {
+  s_nodes : Config.t array;  (* every discovered configuration, id order *)
+  s_expanded : int;
+  s_edges : edge array;
+  s_offsets : int array;  (* length s_expanded *)
+  s_dedup_hits : int;
+  s_n_succs : int;
+  s_frontier_sizes : int array;  (* completed levels only *)
+}
+
 type t = {
   nodes : Config.t array;
   edges : edge array;  (* all out-edges, flat, grouped by source node *)
   offsets : int array;  (* length nodes+1; node id owns [offsets.(id), offsets.(id+1)) *)
   initial : int;
-  truncated : bool;  (* true if max_states was hit: results are partial *)
+  truncated : bool;  (* true whenever stop <> Done: results are partial *)
+  stop : Supervisor.outcome;
+  suspended : suspended option;
+      (* present when the build stopped mid-exploration with a live
+         frontier (deadline / cancellation / worker failure) *)
   stats : stats;
 }
 
@@ -112,36 +133,55 @@ let default_domains =
 (* Below this frontier size the spawn/join overhead outweighs the work. *)
 let parallel_threshold = 256
 
-(* Expand the first [n] entries of the frontier buffer; [out.(i)] gets
-   node [i]'s successor list.  Chunks are written to disjoint indices, so
-   domains share no mutable state; [Domain.join] publishes the writes. *)
+(* Expand the first [n] entries of the frontier buffer; [Ok out] has
+   node [i]'s successor list at [out.(i)].  Chunks are written to
+   disjoint indices, so domains share no mutable state; [Domain.join]
+   publishes the writes.  Each chunk body runs under
+   [Supervisor.run_shard]: an exception in a worker — or an injected
+   chaos fault — is caught in that domain and the chunk retried with
+   bounded backoff.  The per-node successor computation is pure and a
+   retry rewrites the same disjoint slots, so isolation and retry never
+   change the produced graph.  [Error (worker, exn, attempts)] reports
+   the lowest-indexed chunk whose retries were exhausted. *)
 let expand ~domains ~machine ~specs frontier n =
   let out = Array.make n [] in
-  let work lo hi =
+  let work lo hi () =
     for i = lo to hi - 1 do
       out.(i) <- successors ~machine ~specs frontier.(i)
     done
   in
+  let shard k lo hi = Supervisor.run_shard ~worker:k (work lo hi) in
   let d = min domains n in
-  if d <= 1 || n < parallel_threshold then work 0 n
-  else begin
-    let chunk = (n + d - 1) / d in
-    let spawned =
-      List.init (d - 1) (fun k ->
-          let lo = (k + 1) * chunk in
-          let hi = min n (lo + chunk) in
-          Domain.spawn (fun () -> work lo (max lo hi)))
-    in
-    work 0 (min n chunk);
-    List.iter Domain.join spawned
-  end;
-  out
+  let results =
+    if d <= 1 || n < parallel_threshold then [ shard 0 0 n ]
+    else begin
+      let chunk = (n + d - 1) / d in
+      let spawned =
+        List.init (d - 1) (fun k ->
+            let lo = (k + 1) * chunk in
+            let hi = min n (lo + chunk) in
+            Domain.spawn (fun () -> shard (k + 1) lo (max lo hi)))
+      in
+      let first = shard 0 0 (min n chunk) in
+      first :: List.map Domain.join spawned
+    end
+  in
+  let failed = ref None in
+  List.iteri
+    (fun k r ->
+      match r with
+      | Error (exn, attempts) when !failed = None ->
+        failed := Some (k, exn, attempts)
+      | _ -> ())
+    results;
+  match !failed with None -> Ok out | Some f -> Error f
 
 (* --- construction ------------------------------------------------------ *)
 
 let default_max_states = 1_000_000
 
-let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
+let build ?(max_states = default_max_states) ?domains
+    ?(budget = Supervisor.Budget.unlimited) ?resume ~(machine : Machine.t)
     ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let domains =
     match domains with
@@ -150,13 +190,11 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     | None -> default_domains ()
   in
   let t0 = Unix.gettimeofday () in
-  let init = Config.initial ~machine ~specs ~inputs in
   let tbl = Ctbl.create 16 in
   let nodes = Dyn.create () in
   let edges = Dyn.create () in
   let offsets = Dyn.create () in
   let n_nodes = ref 0 in
-  let truncated = ref false in
   let dedup_hits = ref 0 in
   let n_succs = ref 0 in
   let frontier_sizes = Dyn.create () in
@@ -166,6 +204,8 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
      parent and child any more. *)
   let cur = ref (Dyn.create ()) in
   let nxt = ref (Dyn.create ()) in
+  (* Nodes whose out-edges have been finalized; always a level boundary. *)
+  let expanded = ref 0 in
   let register config =
     let id = !n_nodes in
     incr n_nodes;
@@ -173,49 +213,100 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     Dyn.push !nxt config;
     id
   in
-  ignore (Ctbl.find_or_add tbl init ~hash:(Config.hash init) ~if_absent:register);
-  while (!nxt).Dyn.len > 0 do
-    let f = !nxt in
-    nxt := !cur;
-    cur := f;
-    (!nxt).Dyn.len <- 0;
-    Dyn.push frontier_sizes f.Dyn.len;
-    let succs = expand ~domains ~machine ~specs f.Dyn.arr f.Dyn.len in
+  (match resume with
+  | None ->
+    let init = Config.initial ~machine ~specs ~inputs in
+    ignore
+      (Ctbl.find_or_add tbl init ~hash:(Config.hash init) ~if_absent:register)
+  | Some s ->
+    (* Rebuild the dedup table and buffers from a suspended prefix.  The
+       stored id must win over allocation order, so insertion bypasses
+       [register]; the frontier is exactly the unexpanded suffix. *)
     Array.iteri
-      (fun _i succ_list ->
-        (* Nodes are expanded in id order, so this records offsets.(id). *)
-        Dyn.push offsets edges.Dyn.len;
-        List.iter
-          (fun (pid, branches) ->
+      (fun id config ->
+        Dyn.push nodes config;
+        ignore
+          (Ctbl.find_or_add tbl config ~hash:(Config.hash config)
+             ~if_absent:(fun _ -> id));
+        if id >= s.s_expanded then Dyn.push !nxt config)
+      s.s_nodes;
+    n_nodes := Array.length s.s_nodes;
+    Array.iter (Dyn.push edges) s.s_edges;
+    Array.iter (Dyn.push offsets) s.s_offsets;
+    Array.iter (Dyn.push frontier_sizes) s.s_frontier_sizes;
+    dedup_hits := s.s_dedup_hits;
+    n_succs := s.s_n_succs;
+    expanded := s.s_expanded);
+  let stop = ref Supervisor.Done in
+  while !stop = Supervisor.Done && (!nxt).Dyn.len > 0 do
+    (* Budget and quota polls at the level boundary: the only place a
+       partial graph can stop and stay identical for every domain count.
+       The quota fires BEFORE a level is expanded, never inside one, so
+       every expanded node keeps its complete out-edge list and the
+       unexpanded frontier stays in [suspended] — that is what makes a
+       quota-truncated build checkpointable and resumable.  (A level's
+       successors are always registered in full, so the node count may
+       overshoot [max_states] by up to one frontier's growth.) *)
+    match Supervisor.Budget.stop budget with
+    | Some o -> stop := o
+    | None when !n_nodes >= max_states -> stop := Supervisor.Truncated
+    | None -> (
+      let f = !nxt in
+      nxt := !cur;
+      cur := f;
+      (!nxt).Dyn.len <- 0;
+      match expand ~domains ~machine ~specs f.Dyn.arr f.Dyn.len with
+      | Error (worker, exn, attempts) ->
+        (* This level's expansion failed even after retries.  Every
+           completed level is kept; this one is abandoned whole (its
+           nodes stay frontier), so the surviving prefix is still a
+           level boundary and domain-count-deterministic. *)
+        stop := Supervisor.Worker_failed { worker; exn; attempts }
+      | Ok succs ->
+        Dyn.push frontier_sizes f.Dyn.len;
+        Array.iteri
+          (fun _i succ_list ->
+            (* Nodes are expanded in id order, so this records offsets.(id). *)
+            Dyn.push offsets edges.Dyn.len;
             List.iter
-              (fun ((config' : Config.t), event) ->
-                incr n_succs;
-                let hash = Config.hash config' in
-                (* target = -1 marks a successor dropped by truncation. *)
-                let target =
-                  let before = Ctbl.length tbl in
-                  if before < max_states then begin
-                    let id =
+              (fun (pid, branches) ->
+                List.iter
+                  (fun ((config' : Config.t), event) ->
+                    incr n_succs;
+                    let hash = Config.hash config' in
+                    let before = Ctbl.length tbl in
+                    let target =
                       Ctbl.find_or_add tbl config' ~hash ~if_absent:register
                     in
                     if Ctbl.length tbl = before then incr dedup_hits;
-                    id
-                  end
-                  else
-                    match Ctbl.find_opt tbl config' ~hash with
-                    | Some id ->
-                      incr dedup_hits;
-                      id
-                    | None ->
-                      truncated := true;
-                      -1
-                in
-                if target >= 0 then Dyn.push edges { pid; event; target })
-              branches)
-          succ_list)
-      succs;
+                    Dyn.push edges { pid; event; target })
+                  branches)
+              succ_list)
+          succs;
+        expanded := !expanded + f.Dyn.len)
+  done;
+  let stop = !stop in
+  let suspended =
+    if !expanded < !n_nodes then
+      Some
+        {
+          s_nodes = Dyn.to_array nodes;
+          s_expanded = !expanded;
+          s_edges = Dyn.to_array edges;
+          s_offsets = Dyn.to_array offsets;
+          s_dedup_hits = !dedup_hits;
+          s_n_succs = !n_succs;
+          s_frontier_sizes = Dyn.to_array frontier_sizes;
+        }
+    else None
+  in
+  (* Unexpanded frontier nodes (partial stop) get empty out-edge slices
+     so the CSR offsets invariant (length nodes+1) holds for readers. *)
+  for _ = !expanded to !n_nodes - 1 do
+    Dyn.push offsets edges.Dyn.len
   done;
   Dyn.push offsets edges.Dyn.len;
+  let truncated = stop <> Supervisor.Done in
   let wall_s = Unix.gettimeofday () -. t0 in
   let frontier_sizes = Dyn.to_array frontier_sizes in
   let stats =
@@ -233,7 +324,7 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
       states_per_sec =
         (if wall_s > 0. then float !n_nodes /. wall_s else float !n_nodes);
       domains;
-      truncated = !truncated;
+      truncated;
     }
   in
   {
@@ -241,8 +332,29 @@ let build ?(max_states = default_max_states) ?domains ~(machine : Machine.t)
     edges = Dyn.to_array edges;
     offsets = Dyn.to_array offsets;
     initial = 0;
-    truncated = !truncated;
+    truncated;
+    stop;
+    suspended;
     stats;
+  }
+
+(* Constructor for checkpoint thawing: [suspended] is private in the
+   interface (only [build] and [Checkpoint] may produce one), so the
+   checkpoint loader goes through here. *)
+let suspended_of_parts ~nodes ~expanded ~edges ~offsets ~dedup_hits ~n_succs
+    ~frontier_sizes =
+  if expanded < 0 || expanded > Array.length nodes then
+    invalid_arg "Graph.suspended_of_parts: expanded out of range";
+  if Array.length offsets <> expanded then
+    invalid_arg "Graph.suspended_of_parts: offsets length <> expanded";
+  {
+    s_nodes = nodes;
+    s_expanded = expanded;
+    s_edges = edges;
+    s_offsets = offsets;
+    s_dedup_hits = dedup_hits;
+    s_n_succs = n_succs;
+    s_frontier_sizes = frontier_sizes;
   }
 
 (* The seed explorer: single-threaded FIFO BFS deduping through a
@@ -417,6 +529,8 @@ let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
     offsets;
     initial = 0;
     truncated = !truncated;
+    stop = (if !truncated then Supervisor.Truncated else Supervisor.Done);
+    suspended = None;
     stats;
   }
 

@@ -31,15 +31,39 @@ type stats = {
   truncated : bool;
 }
 
+(** A partial exploration frozen at a level boundary: the node prefix
+    [0, s_expanded) has final out-edges, everything after it is the
+    unexpanded frontier.  Completed levels are identical for any domain
+    count, so a suspended prefix — and a build resumed from it — is
+    too.  Serialize with {!Checkpoint} (values are re-interned on
+    load). *)
+type suspended = private {
+  s_nodes : Config.t array;  (** every discovered configuration, id order *)
+  s_expanded : int;
+  s_edges : edge array;
+  s_offsets : int array;  (** length [s_expanded] *)
+  s_dedup_hits : int;
+  s_n_succs : int;
+  s_frontier_sizes : int array;  (** completed levels only *)
+}
+
 type t = private {
   nodes : Config.t array;
   edges : edge array;  (** all out-edges, flat, grouped by source node *)
   offsets : int array;
       (** length [nodes + 1]; node [id]'s out-edges are the slice
-          [offsets.(id) .. offsets.(id+1) - 1] of [edges] *)
+          [offsets.(id) .. offsets.(id+1) - 1] of [edges]; empty slices
+          for unexpanded frontier nodes of a partial build *)
   initial : int;
   truncated : bool;
-      (** true when [max_states] was hit; results are then partial *)
+      (** true whenever [stop <> Done]; results are then partial *)
+  stop : Supervisor.outcome;
+      (** how the exploration ended: [Done], [Truncated] (max_states),
+          [Deadline], [Cancelled], or [Worker_failed] *)
+  suspended : suspended option;
+      (** the frozen exploration state, when the build stopped with a
+          live frontier (quota / deadline / cancellation / worker
+          failure) — feed back via [build ~resume] to continue *)
   stats : stats;
 }
 
@@ -51,6 +75,8 @@ val default_max_states : int
 val build :
   ?max_states:int ->
   ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
+  ?resume:suspended ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
   inputs:Lbsa_spec.Value.t array ->
@@ -58,7 +84,31 @@ val build :
   t
 (** Breadth-first construction (default bound: [default_max_states]).
     [domains] defaults to [Domain.recommended_domain_count ()] capped at
-    8; the produced graph does not depend on it. *)
+    8; the produced graph does not depend on it.  [budget] and the
+    [max_states] quota are polled at each level boundary; when either
+    fires the build returns a partial graph with [stop] set and
+    [suspended] holding the frozen frontier (a level's successors are
+    registered in full, so a quota-stopped graph may hold slightly more
+    than [max_states] nodes — never a node with a partial edge list).
+    Worker
+    exceptions are isolated and retried per chunk
+    ({!Supervisor.run_shard}); an exhausted chunk abandons its whole
+    level, keeping the surviving prefix deterministic.  [resume]
+    continues a suspended exploration; resuming an interrupted build
+    yields the graph the uninterrupted build would have produced. *)
+
+val suspended_of_parts :
+  nodes:Config.t array ->
+  expanded:int ->
+  edges:edge array ->
+  offsets:int array ->
+  dedup_hits:int ->
+  n_succs:int ->
+  frontier_sizes:int array ->
+  suspended
+(** For {!Checkpoint} thawing only: reassemble a suspended exploration
+    from its parts (basic shape checks, no deep validation — resuming
+    from a corrupted checkpoint is on the caller). *)
 
 val build_cmap :
   ?max_states:int ->

@@ -18,10 +18,15 @@ open Lbsa_runtime
 
 type verdict = {
   ok : bool;
+  outcome : Supervisor.outcome;
+      (* Done = definitive verdict; anything else = partial (the
+         explored prefix held, but exploration was cut short) *)
   inputs : Value.t array;
   states : int;
   failure : string option;
   stats : Graph.stats option;  (* exploration stats of the checked graph *)
+  suspended : Graph.suspended option;
+      (* frozen exploration for checkpoint/resume, on partial outcomes *)
 }
 
 let pp_verdict ppf v =
@@ -29,17 +34,41 @@ let pp_verdict ppf v =
     Fmt.pf ppf "OK (inputs=%a, %d states)"
       Fmt.(array ~sep:(any ",") Value.pp)
       v.inputs v.states
+  else if Supervisor.is_partial v.outcome then
+    Fmt.pf ppf "PARTIAL [%a] (inputs=%a, %d states): %s" Supervisor.pp_outcome
+      v.outcome
+      Fmt.(array ~sep:(any ",") Value.pp)
+      v.inputs v.states
+      (Option.value v.failure ~default:"?")
   else
     Fmt.pf ppf "FAIL (inputs=%a, %d states): %s"
       Fmt.(array ~sep:(any ",") Value.pp)
       v.inputs v.states
       (Option.value v.failure ~default:"?")
 
-let fail ?stats ~inputs ~states msg =
-  { ok = false; inputs; states; failure = Some msg; stats }
+let fail ?(outcome = Supervisor.Done) ?stats ?suspended ~inputs ~states msg =
+  { ok = false; outcome; inputs; states; failure = Some msg; stats; suspended }
 
 let pass ?stats ~inputs ~states () =
-  { ok = true; inputs; states; failure = None; stats }
+  {
+    ok = true;
+    outcome = Supervisor.Done;
+    inputs;
+    states;
+    failure = None;
+    stats;
+    suspended = None;
+  }
+
+(* A graph cut short (quota, deadline, cancellation, worker failure)
+   still proves safety on every explored configuration, so partial
+   verdicts are produced AFTER the safety scan: a violation in the
+   prefix is a definitive FAIL; absence of one is merely partial. *)
+let partial ~(graph : Graph.t) ~stats ~inputs ~states () =
+  fail ~outcome:graph.Graph.stop ?suspended:graph.Graph.suspended ~stats ~inputs
+    ~states
+    (Fmt.str "exploration stopped (%a); safety holds on the %d explored states"
+       Supervisor.pp_outcome graph.Graph.stop states)
 
 (* --- liveness primitives -------------------------------------------- *)
 
@@ -101,25 +130,27 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
 (* --- task checkers --------------------------------------------------- *)
 
 (* Exhaustive consensus check: safety at every node, wait-freedom of
-   every process. *)
-let check_consensus ?(max_states = Graph.default_max_states) ?domains ~machine
-    ~specs ~inputs () =
-  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
+   every process.  Liveness needs the complete graph; on a partial one
+   only the safety scan runs and the verdict is partial. *)
+let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
+    ?resume ~machine ~specs ~inputs () =
+  let graph =
+    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+  in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
-  if graph.truncated then
-    fail ~stats ~inputs ~states "state space truncated; increase max_states"
-  else
-    let violation =
-      Graph.find_map_node graph (fun _ config ->
-          match Lbsa_protocols.Consensus_task.check_safety ~inputs config with
-          | Ok () -> None
-          | Error v ->
-            Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
-    in
-    match violation with
-    | Some msg -> fail ~stats ~inputs ~states msg
-    | None -> (
+  let violation =
+    Graph.find_map_node graph (fun _ config ->
+        match Lbsa_protocols.Consensus_task.check_safety ~inputs config with
+        | Ok () -> None
+        | Error v ->
+          Some (Fmt.str "%a" Lbsa_protocols.Consensus_task.pp_violation v))
+  in
+  match violation with
+  | Some msg -> fail ~stats ~inputs ~states msg
+  | None ->
+    if graph.truncated then partial ~graph ~stats ~inputs ~states ()
+    else
       let n = Array.length inputs in
       let rec check_pid pid =
         if pid >= n then pass ~stats ~inputs ~states ()
@@ -131,27 +162,27 @@ let check_consensus ?(max_states = Graph.default_max_states) ?domains ~machine
                  pid node)
           | None -> check_pid (pid + 1)
       in
-      check_pid 0)
+      check_pid 0
 
 (* Exhaustive k-set agreement check. *)
-let check_kset ?(max_states = Graph.default_max_states) ?domains ~machine
-    ~specs ~k ~inputs () =
-  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
+let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
+    ?resume ~machine ~specs ~k ~inputs () =
+  let graph =
+    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+  in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
-  if graph.truncated then
-    fail ~stats ~inputs ~states "state space truncated; increase max_states"
-  else
-    let violation =
-      Graph.find_map_node graph (fun _ config ->
-          match Lbsa_protocols.Kset_task.check_safety ~k ~inputs config with
-          | Ok () -> None
-          | Error v ->
-            Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
-    in
-    match violation with
-    | Some msg -> fail ~stats ~inputs ~states msg
-    | None -> (
+  let violation =
+    Graph.find_map_node graph (fun _ config ->
+        match Lbsa_protocols.Kset_task.check_safety ~k ~inputs config with
+        | Ok () -> None
+        | Error v -> Some (Fmt.str "%a" Lbsa_protocols.Kset_task.pp_violation v))
+  in
+  match violation with
+  | Some msg -> fail ~stats ~inputs ~states msg
+  | None ->
+    if graph.truncated then partial ~graph ~stats ~inputs ~states ()
+    else (
       match any_cycle graph with
       | Some node ->
         fail ~stats ~inputs ~states (Fmt.str "livelock (cycle at node %d)" node)
@@ -166,16 +197,15 @@ let check_kset ?(max_states = Graph.default_max_states) ?domains ~machine
      (decides or aborts);
    - Termination (b): from every reachable node, every q != p running
      solo decides. *)
-let check_dac ?(max_states = Graph.default_max_states) ?domains ~machine ~specs
-    ~inputs () =
+let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
+    ?resume ~machine ~specs ~inputs () =
   let p = Lbsa_protocols.Dac.distinguished in
-  let graph = Graph.build ~max_states ?domains ~machine ~specs ~inputs () in
+  let graph =
+    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+  in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
-  if graph.truncated then
-    fail ~stats ~inputs ~states "state space truncated; increase max_states"
-  else
-    let ( <|> ) a b = match a with None -> b () | Some _ -> a in
+  let ( <|> ) a b = match a with None -> b () | Some _ -> a in
     (* Safety at every node, stopping at the first violation. *)
     let safety () =
       Graph.find_map_node graph (fun id config ->
@@ -242,9 +272,16 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ~machine ~specs
                 else None)
             (Config.running config))
     in
-    match safety () <|> nontriviality <|> termination with
+    match safety () with
     | Some msg -> fail ~stats ~inputs ~states msg
-    | None -> pass ~stats ~inputs ~states ()
+    | None ->
+      (* Nontriviality and termination explore solo runs off-graph;
+         they are only meaningful on a complete reachable set. *)
+      if graph.truncated then partial ~graph ~stats ~inputs ~states ()
+      else (
+        match nontriviality () <|> termination with
+        | Some msg -> fail ~stats ~inputs ~states msg
+        | None -> pass ~stats ~inputs ~states ())
 
 (* --- counterexample witnesses ----------------------------------------- *)
 
@@ -324,7 +361,8 @@ let pp_family_stats ppf s =
     s.vectors s.total_states s.wall_s s.vectors_per_sec s.fan_domains
     (if s.fan_domains = 1 then "" else "s")
 
-let for_all_inputs_timed ?(domains = 1) check inputs_list =
+let for_all_inputs_timed ?(domains = 1)
+    ?(budget = Supervisor.Budget.unlimited) check inputs_list =
   if inputs_list = [] then invalid_arg "Solvability.for_all_inputs: no inputs";
   if domains < 1 then
     invalid_arg "Solvability.for_all_inputs: domains must be >= 1";
@@ -337,13 +375,54 @@ let for_all_inputs_timed ?(domains = 1) check inputs_list =
     ignore (Atomic.fetch_and_add states v.states);
     v
   in
+  (* One supervised vector: an exception raised while checking vector
+     [i] — in whichever domain owns it — is captured and retried by
+     [run_shard]; exhausted retries become a failing [Worker_failed]
+     verdict for that vector, which then competes in the ordinary
+     CAS-min.  Nothing escapes through [Domain.join], and the first
+     failing index is the same for any domain count. *)
+  let shard i =
+    match Supervisor.run_shard ~worker:i (fun () -> check vectors.(i)) with
+    | Ok v -> checked v
+    | Error (exn, attempts) ->
+      {
+        ok = false;
+        outcome = Supervisor.Worker_failed { worker = i; exn; attempts };
+        inputs = vectors.(i);
+        states = 0;
+        failure =
+          Some
+            (Fmt.str "checker raised after %d attempt%s: %s" attempts
+               (if attempts = 1 then "" else "s")
+               exn);
+        stats = None;
+        suspended = None;
+      }
+  in
+  let interrupted o i =
+    {
+      ok = false;
+      outcome = o;
+      inputs = vectors.(min i (n - 1));
+      states = 0;
+      failure =
+        Some
+          (Fmt.str "input-family sweep stopped (%a) before all %d vectors"
+             Supervisor.pp_outcome o n);
+      stats = None;
+      suspended = None;
+    }
+  in
   let verdict =
     if d = 1 then begin
       let rec go last i =
         if i >= n then Option.get last
         else
-          let v = checked (check vectors.(i)) in
-          if v.ok then go (Some v) (i + 1) else v
+          match Supervisor.Budget.stop budget with
+          | Some o -> interrupted o i
+          | None ->
+            let v = shard i in
+            if v.ok then go (Some v) (i + 1) else v
       in
       go None 0
     end
@@ -351,24 +430,31 @@ let for_all_inputs_timed ?(domains = 1) check inputs_list =
       let best = Atomic.make max_int in
       let found = Array.make d None in
       let last = Atomic.make None in
+      let stopped = Atomic.make None in
       let chunk = (n + d - 1) / d in
       let work k =
         let lo = k * chunk and hi = min n ((k + 1) * chunk) in
         let i = ref lo in
-        while !i < hi && !i < Atomic.get best do
-          let v = checked (check vectors.(!i)) in
-          (if not v.ok then begin
-             found.(k) <- Some (!i, v);
-             let rec cas_min () =
-               let b = Atomic.get best in
-               if !i < b && not (Atomic.compare_and_set best b !i) then
-                 cas_min ()
-             in
-             cas_min ();
-             i := hi (* later vectors in this chunk cannot beat this find *)
-           end
-           else if !i = n - 1 then Atomic.set last (Some v));
-          incr i
+        let running = ref true in
+        while !running && !i < hi && !i < Atomic.get best do
+          match Supervisor.Budget.stop budget with
+          | Some o ->
+            if Atomic.get stopped = None then Atomic.set stopped (Some o);
+            running := false
+          | None ->
+            let v = shard !i in
+            (if not v.ok then begin
+               found.(k) <- Some (!i, v);
+               let rec cas_min () =
+                 let b = Atomic.get best in
+                 if !i < b && not (Atomic.compare_and_set best b !i) then
+                   cas_min ()
+               in
+               cas_min ();
+               i := hi (* later vectors in this chunk cannot beat this find *)
+             end
+             else if !i = n - 1 then Atomic.set last (Some v));
+            incr i
         done
       in
       let spawned =
@@ -387,10 +473,14 @@ let for_all_inputs_timed ?(domains = 1) check inputs_list =
       in
       match first_fail with
       | Some (_, v) -> v
-      | None ->
-        (* No chunk failed, so every chunk ran to completion and the owner
-           of the last vector recorded its (passing) verdict. *)
-        Option.get (Atomic.get last)
+      | None -> (
+        match Atomic.get stopped with
+        | Some o -> interrupted o n
+        | None ->
+          (* No chunk failed or stopped early, so every chunk ran to
+             completion and the owner of the last vector recorded its
+             (passing) verdict. *)
+          Option.get (Atomic.get last))
     end
   in
   let wall_s = Unix.gettimeofday () -. t0 in
@@ -403,5 +493,5 @@ let for_all_inputs_timed ?(domains = 1) check inputs_list =
       vectors_per_sec = (if wall_s > 0. then float_of_int n /. wall_s else 0.);
     } )
 
-let for_all_inputs ?domains check inputs_list =
-  fst (for_all_inputs_timed ?domains check inputs_list)
+let for_all_inputs ?domains ?budget check inputs_list =
+  fst (for_all_inputs_timed ?domains ?budget check inputs_list)

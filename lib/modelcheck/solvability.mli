@@ -8,12 +8,21 @@ open Lbsa_runtime
 
 type verdict = {
   ok : bool;
+  outcome : Supervisor.outcome;
+      (** [Done] = definitive; anything else = partial — the explored
+          prefix satisfied safety but exploration was cut short by a
+          quota, deadline, cancellation or worker failure.  A safety
+          violation found in a partial graph is still a definitive
+          failure ([outcome = Done], [ok = false]). *)
   inputs : Value.t array;
   states : int;
   failure : string option;
   stats : Graph.stats option;
       (** exploration statistics of the checked graph, when one was
           built *)
+  suspended : Graph.suspended option;
+      (** the frozen exploration on partial outcomes; persist with
+          {!Checkpoint} and pass back via [~resume] *)
 }
 
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -43,6 +52,8 @@ val solo_halts :
 val check_consensus :
   ?max_states:int ->
   ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
+  ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
@@ -50,11 +61,15 @@ val check_consensus :
   verdict
 (** Agreement + validity + no-abort at every node, wait-freedom of every
     process.  [max_states] defaults to [Graph.default_max_states];
-    [domains] is forwarded to {!Graph.build}. *)
+    [domains], [budget] and [resume] are forwarded to {!Graph.build}.
+    Never raises on truncation: a cut-short exploration yields a partial
+    verdict (safety checked on the explored prefix, liveness skipped). *)
 
 val check_kset :
   ?max_states:int ->
   ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
+  ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   k:int ->
@@ -65,6 +80,8 @@ val check_kset :
 val check_dac :
   ?max_states:int ->
   ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
+  ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
@@ -128,16 +145,28 @@ type family_stats = {
 val pp_family_stats : Format.formatter -> family_stats -> unit
 
 val for_all_inputs :
-  ?domains:int -> (Value.t array -> verdict) -> Value.t array list -> verdict
+  ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
+  (Value.t array -> verdict) ->
+  Value.t array list ->
+  verdict
 (** First failing verdict over a family of input vectors, or the last
     passing one.  [domains] (default 1) fans vectors out across that many
     domains; the verdict — including which failing vector wins — is
     identical for any domain count (lowest failing index, agreed by
     CAS-min).  When [domains > 1], run the per-vector check itself with
-    [~domains:1] to avoid oversubscribing cores. *)
+    [~domains:1] to avoid oversubscribing cores.
+
+    An exception escaping the per-vector check is captured in its own
+    domain and retried ({!Supervisor.run_shard}); if it keeps failing,
+    that vector gets a failing [Worker_failed] verdict that competes in
+    the usual lowest-index race — completed work is never lost and
+    nothing propagates through [Domain.join].  [budget] is polled before
+    each vector; when it fires the sweep returns a partial verdict. *)
 
 val for_all_inputs_timed :
   ?domains:int ->
+  ?budget:Supervisor.Budget.t ->
   (Value.t array -> verdict) ->
   Value.t array list ->
   verdict * family_stats

@@ -528,10 +528,12 @@ let test_for_all_inputs_domains_agree () =
         Array.iteri (fun j v -> if Array.for_all2 Value.equal v inputs then i := j) vectors;
         {
           Solvability.ok = not (List.mem !i failing);
+          outcome = Supervisor.Done;
           inputs;
           states = 1;
           failure = (if List.mem !i failing then Some "synthetic" else None);
           stats = None;
+          suspended = None;
         }
       in
       let r1 = Solvability.for_all_inputs ~domains:1 synthetic family in

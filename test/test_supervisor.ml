@@ -1,0 +1,523 @@
+(* The supervision layer: structured partial outcomes where truncation
+   used to raise, worker fault isolation across the pipeline,
+   deterministic chaos injection, and checkpoint/resume equivalence. *)
+
+open Lbsa
+
+let expired () = Supervisor.Budget.make ~deadline_s:0. ()
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_outcome label want got =
+  if got <> want then
+    Alcotest.failf "%s: expected %a, got %a" label Supervisor.pp_outcome want
+      Supervisor.pp_outcome got
+
+let same_graph label (g1 : Cgraph.t) (g2 : Cgraph.t) =
+  Alcotest.(check int)
+    (label ^ ": node count") (Cgraph.n_nodes g1) (Cgraph.n_nodes g2);
+  Alcotest.(check int)
+    (label ^ ": edge count") (Cgraph.n_edges g1) (Cgraph.n_edges g2);
+  for id = 0 to Cgraph.n_nodes g1 - 1 do
+    if not (Config.equal (Cgraph.node g1 id) (Cgraph.node g2 id)) then
+      Alcotest.failf "%s: node %d differs" label id;
+    if Cgraph.out_edges g1 id <> Cgraph.out_edges g2 id then
+      Alcotest.failf "%s: out-edges of node %d differ" label id
+  done
+
+let dac_instance n =
+  ( Dac_from_pac.machine ~n,
+    Dac_from_pac.specs ~n,
+    Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0)) )
+
+(* --- structured outcomes (the old raise-through Truncated path) -------- *)
+
+let test_truncation_is_partial_verdict () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let v =
+    Solvability.check_consensus ~max_states:1 ~machine ~specs ~inputs ()
+  in
+  Alcotest.(check bool) "partial is not ok" false v.Solvability.ok;
+  expect_outcome "quota" Supervisor.Truncated v.Solvability.outcome;
+  Alcotest.(check bool)
+    "suspension captured" true
+    (v.Solvability.suspended <> None)
+
+let test_deadline_is_partial_verdict () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let v =
+    Solvability.check_consensus ~budget:(expired ()) ~machine ~specs ~inputs
+      ()
+  in
+  Alcotest.(check bool) "partial is not ok" false v.Solvability.ok;
+  expect_outcome "deadline" Supervisor.Deadline v.Solvability.outcome;
+  Alcotest.(check bool)
+    "suspension captured" true
+    (v.Solvability.suspended <> None)
+
+let test_cancellation_is_partial_verdict () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let token = Supervisor.token () in
+  Supervisor.cancel token;
+  let budget = Supervisor.Budget.make ~deadline_s:3600. ~token () in
+  let v =
+    Solvability.check_consensus ~budget ~machine ~specs ~inputs ()
+  in
+  (* Cancellation wins over a live deadline. *)
+  expect_outcome "cancelled" Supervisor.Cancelled v.Solvability.outcome
+
+let test_sigint_routes_to_token () =
+  (* The CLI's ^C path, minus the terminal: install the handler, send
+     ourselves a real SIGINT, and watch it land in the token.  (The
+     interrupt/resume CLI test below uses --deadline 0 instead — every
+     run here is far too fast to signal from outside without racing —
+     and cancellation and deadline share the same stop path.) *)
+  let token = Supervisor.token () in
+  Supervisor.install_sigint token;
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigint Sys.Signal_default)
+    (fun () ->
+      Unix.kill (Unix.getpid ()) Sys.sigint;
+      (* OCaml delivers signals at poll points; spin on one until then. *)
+      let give_up = Unix.gettimeofday () +. 5. in
+      while
+        (not (Supervisor.cancelled token))
+        && Unix.gettimeofday () < give_up
+      do
+        ignore (Sys.opaque_identity (ref 0))
+      done;
+      Alcotest.(check bool) "SIGINT cancels the token" true
+        (Supervisor.cancelled token);
+      let budget = Supervisor.Budget.make ~token () in
+      match Supervisor.Budget.stop budget with
+      | Some Supervisor.Cancelled -> ()
+      | Some o ->
+        Alcotest.failf "expected Cancelled, got %a" Supervisor.pp_outcome o
+      | None -> Alcotest.fail "budget ignored the cancelled token")
+
+(* --- worker fault isolation -------------------------------------------- *)
+
+let test_graph_isolates_raising_machine () =
+  let machine =
+    Machine.make ~name:"raiser"
+      ~init:(fun ~pid:_ ~input -> input)
+      ~delta:(fun ~pid:_ _ -> failwith "injected machine fault")
+  in
+  let g =
+    Cgraph.build ~machine ~specs:[||] ~inputs:[| Value.int 0 |] ()
+  in
+  (match g.Cgraph.stop with
+  | Supervisor.Worker_failed { worker = 0; _ } -> ()
+  | o ->
+    Alcotest.failf "expected a worker failure, got %a" Supervisor.pp_outcome o);
+  Alcotest.(check bool) "marked truncated" true g.Cgraph.truncated;
+  Alcotest.(check int) "the explored prefix survives" 1 (Cgraph.n_nodes g)
+
+let test_sweep_survives_raising_checker () =
+  (* Regression for the latent for_all_inputs bug: an exception escaping
+     a spawned domain used to abort the whole sweep through
+     [Domain.join].  Now it becomes a failing [Worker_failed] verdict for
+     that vector, and the winning vector is domain-count-invariant. *)
+  let vectors = Consensus_task.binary_inputs 2 in
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let check inputs =
+    if Value.equal inputs.(0) (Value.int 1) then failwith "checker bug";
+    Solvability.check_consensus ~machine ~specs ~inputs ()
+  in
+  let reference = Solvability.for_all_inputs ~domains:1 check vectors in
+  Alcotest.(check bool) "sweep fails" false reference.Solvability.ok;
+  (match reference.Solvability.outcome with
+  | Supervisor.Worker_failed { attempts = 3; _ } -> ()
+  | o ->
+    Alcotest.failf "expected exhausted retries, got %a" Supervisor.pp_outcome
+      o);
+  (match reference.Solvability.failure with
+  | Some msg when contains_sub ~sub:"checker raised" msg -> ()
+  | Some msg -> Alcotest.failf "unexpected failure message %S" msg
+  | None -> Alcotest.fail "no failure message");
+  List.iter
+    (fun d ->
+      let v = Solvability.for_all_inputs ~domains:d check vectors in
+      Alcotest.(check bool) (Fmt.str "domains=%d fails" d) false
+        v.Solvability.ok;
+      if
+        not
+          (Value.equal
+             (Value.list (Array.to_list v.Solvability.inputs))
+             (Value.list (Array.to_list reference.Solvability.inputs)))
+      then Alcotest.failf "domains=%d picked a different failing vector" d)
+    [ 2; 3; 4 ]
+
+let test_run_shard_retries_then_fails () =
+  let calls = ref 0 in
+  (match
+     Supervisor.run_shard ~backoff_s:1e-6 ~worker:7 (fun () ->
+         incr calls;
+         failwith "always")
+   with
+  | Ok () -> Alcotest.fail "expected failure"
+  | Error (msg, attempts) ->
+    Alcotest.(check int) "three attempts" 3 attempts;
+    Alcotest.(check bool) "message kept" true (contains_sub ~sub:"always" msg));
+  Alcotest.(check int) "body ran once per attempt" 3 !calls;
+  match
+    Supervisor.run_shard ~backoff_s:1e-6 ~worker:7 (fun () ->
+        incr calls;
+        if !calls < 5 then failwith "flaky" else 42)
+  with
+  | Ok v -> Alcotest.(check int) "recovers" 42 v
+  | Error (msg, _) -> Alcotest.failf "should have recovered: %s" msg
+
+(* --- deterministic chaos ----------------------------------------------- *)
+
+let with_chaos seed f =
+  Supervisor.Chaos.arm ~seed ();
+  Fun.protect ~finally:Supervisor.Chaos.disarm f
+
+let test_chaos_preserves_graph_and_verdict () =
+  let machine, specs, inputs = dac_instance 4 in
+  let clean = Cgraph.build ~domains:2 ~machine ~specs ~inputs () in
+  List.iter
+    (fun d ->
+      let g =
+        with_chaos 11 (fun () ->
+            Cgraph.build ~domains:d ~machine ~specs ~inputs ())
+      in
+      expect_outcome (Fmt.str "chaos domains=%d completes" d) Supervisor.Done
+        g.Cgraph.stop;
+      same_graph (Fmt.str "chaos domains=%d" d) clean g)
+    [ 1; 2; 4 ];
+  let vectors = Dac.binary_inputs 3 in
+  let machine3, specs3, _ = dac_instance 3 in
+  let check inputs =
+    Solvability.check_dac ~domains:1 ~machine:machine3 ~specs:specs3 ~inputs
+      ()
+  in
+  let reference = Solvability.for_all_inputs ~domains:1 check vectors in
+  List.iter
+    (fun d ->
+      let v =
+        with_chaos 23 (fun () ->
+            Solvability.for_all_inputs ~domains:d check vectors)
+      in
+      Alcotest.(check bool)
+        (Fmt.str "chaos domains=%d verdict" d)
+        reference.Solvability.ok v.Solvability.ok;
+      expect_outcome
+        (Fmt.str "chaos domains=%d outcome" d)
+        reference.Solvability.outcome v.Solvability.outcome)
+    [ 1; 2; 4 ]
+
+(* --- checkpoint / resume ----------------------------------------------- *)
+
+let roundtrip_through_disk ~label s =
+  let file = Filename.temp_file "lbsa-ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      Checkpoint.save ~file (Checkpoint.freeze ~label s);
+      let c = Checkpoint.load ~file in
+      Alcotest.(check string) "label survives" label (Checkpoint.label c);
+      (* Shift the intern id space before thawing: resumed graphs must
+         not depend on the ids this process happened to assign. *)
+      for i = 1 to 1_000 do
+        ignore (Value.list [ Value.int (5_000_000 + i); Value.sym "junk" ])
+      done;
+      Checkpoint.thaw c)
+
+let test_resume_from_deadline_checkpoint () =
+  let machine, specs, inputs = dac_instance 3 in
+  let full = Cgraph.build ~machine ~specs ~inputs () in
+  let partial =
+    Cgraph.build ~budget:(expired ()) ~machine ~specs ~inputs ()
+  in
+  expect_outcome "stopped at the first level" Supervisor.Deadline
+    partial.Cgraph.stop;
+  let s = Option.get partial.Cgraph.suspended in
+  let resumed =
+    Cgraph.build
+      ~resume:(roundtrip_through_disk ~label:"dac3 from-initial" s)
+      ~machine ~specs ~inputs ()
+  in
+  expect_outcome "resume runs to completion" Supervisor.Done
+    resumed.Cgraph.stop;
+  same_graph "deadline-0 resume = uninterrupted" full resumed
+
+let test_resume_from_midway_checkpoint () =
+  (* Truncate mid-exploration (nonzero expanded prefix, partially built
+     edge array), persist, thaw, finish: identical graph. *)
+  let machine, specs, inputs = dac_instance 3 in
+  let full = Cgraph.build ~machine ~specs ~inputs () in
+  let partial =
+    Cgraph.build ~max_states:40 ~machine ~specs ~inputs ()
+  in
+  expect_outcome "quota fired" Supervisor.Truncated partial.Cgraph.stop;
+  let s = Option.get partial.Cgraph.suspended in
+  let resumed =
+    Cgraph.build
+      ~resume:(roundtrip_through_disk ~label:"dac3 midway" s)
+      ~machine ~specs ~inputs ()
+  in
+  same_graph "midway resume = uninterrupted" full resumed;
+  (* And resuming across domain counts still agrees. *)
+  let resumed4 =
+    Cgraph.build ~domains:4 ~resume:(Option.get partial.Cgraph.suspended)
+      ~machine ~specs ~inputs ()
+  in
+  same_graph "midway resume, 4 domains" full resumed4
+
+let test_checkpoint_rejects_foreign_files () =
+  let file = Filename.temp_file "lbsa-ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc "not a checkpoint at all";
+      close_out oc;
+      match Checkpoint.load ~file with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "foreign file accepted")
+
+(* --- fuzz engine under budgets ----------------------------------------- *)
+
+let test_fan_budget_stops_and_resumes () =
+  let run i = if i = 25 then Some (i * 3) else None in
+  let stopped =
+    Fuzz_engine.fan ~domains:2 ~budget:(expired ()) ~trials:40 ~run ()
+  in
+  Alcotest.(check (option (pair int int))) "no hit" None stopped.Fuzz_engine.hit;
+  Alcotest.(check int) "nothing completed" 0 stopped.Fuzz_engine.fan_completed;
+  expect_outcome "deadline surfaces" Supervisor.Deadline
+    stopped.Fuzz_engine.fan_outcome;
+  (* Resume from an arbitrary completed prefix: same hit, any domains. *)
+  List.iter
+    (fun d ->
+      let r = Fuzz_engine.fan ~domains:d ~start:10 ~trials:40 ~run () in
+      Alcotest.(check (option (pair int int)))
+        (Fmt.str "resumed, domains=%d" d)
+        (Some (25, 75)) r.Fuzz_engine.hit)
+    [ 1; 2; 4 ]
+
+let test_fuzz_checkpoint_roundtrip () =
+  let t = Fuzz_targets.spec_target "pac:2" in
+  let full = Fuzz_engine.fuzz_spec ~domains:1 ~trials:50 ~seed:5 t in
+  let stopped =
+    Fuzz_engine.fuzz_spec ~domains:1 ~budget:(expired ()) ~trials:50 ~seed:5 t
+  in
+  expect_outcome "campaign stopped" Supervisor.Deadline
+    stopped.Fuzz_engine.outcome;
+  let ckpt = Fuzz_engine.checkpoint_of_reports ~seed:5 [ stopped ] in
+  let file = Filename.temp_file "lbsa-fuzz" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      Fuzz_engine.save_checkpoint ~file ckpt;
+      let c = Fuzz_engine.load_checkpoint ~file in
+      Alcotest.(check int) "seed" 5 c.Fuzz_engine.ckpt_seed;
+      let start =
+        Fuzz_engine.resume_start c ~name:stopped.Fuzz_engine.rtarget
+      in
+      Alcotest.(check int) "completed prefix" stopped.Fuzz_engine.completed
+        start;
+      let resumed = Fuzz_engine.fuzz_spec ~domains:1 ~start ~trials:50 ~seed:5 t in
+      expect_outcome "resumed campaign finishes" Supervisor.Done
+        resumed.Fuzz_engine.outcome;
+      Alcotest.(check int) "all trials accounted for" full.Fuzz_engine.completed
+        resumed.Fuzz_engine.completed;
+      Alcotest.(check bool) "same (absent) failure" true
+        (full.Fuzz_engine.failure = None && resumed.Fuzz_engine.failure = None))
+
+let test_shrink_budget_zero_keeps_case () =
+  let t = Fuzz_targets.impl_target "mutant-pac:2" in
+  let r =
+    Fuzz_engine.fuzz_impl ~domains:1 ~shrink_budget:0 ~trials:500 ~seed:42 t
+  in
+  match r.Fuzz_engine.failure with
+  | None -> Alcotest.fail "fuzzer missed the known-bad target"
+  | Some f -> (
+    match f.Fuzz_engine.shrunk with
+    | None -> Alcotest.fail "shrink record missing"
+    | Some (c, _) ->
+      Alcotest.(check int) "budget 0 keeps the original case"
+        (Fuzz_case.n_calls f.Fuzz_engine.case)
+        (Fuzz_case.n_calls c))
+
+let test_campaign_supervised_stops () =
+  let impl = Snapshot_impl.implementation ~n:3 in
+  let workloads =
+    Array.init 3 (fun pid ->
+        [ Classic.Snapshot.update pid (Value.int (pid + 1));
+          Classic.Snapshot.scan ])
+  in
+  (match
+     Harness.campaign_supervised ~budget:(expired ()) ~seed:1 ~trials:10
+       ~impl ~workloads ()
+   with
+  | Harness.Stopped { completed = 0; outcome = Supervisor.Deadline } -> ()
+  | Harness.Stopped { completed; outcome } ->
+    Alcotest.failf "stopped after %d trials with %a" completed
+      Supervisor.pp_outcome outcome
+  | Harness.All_pass _ | Harness.Failed _ -> Alcotest.fail "expected Stopped");
+  match
+    Harness.campaign_supervised ~seed:1 ~trials:10 ~impl ~workloads ()
+  with
+  | Harness.All_pass 10 -> ()
+  | _ -> Alcotest.fail "unlimited budget should pass all trials"
+
+(* --- the CLI acceptance property --------------------------------------- *)
+
+let test_cli_interrupt_resume_byte_identical () =
+  (* `lbsa solve` interrupted at the first safe point (--deadline 0),
+     checkpointed, and resumed must print byte-for-byte what the
+     uninterrupted run prints — with chaos riding along on the resume. *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "lbsa_cli.exe"))
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Fmt.str "CLI executable not found at %s" exe);
+  let full = Filename.temp_file "lbsa-full" ".txt" in
+  let resumed = Filename.temp_file "lbsa-resumed" ".txt" in
+  let ckpt = Filename.temp_file "lbsa-solve" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ full; resumed; ckpt ])
+    (fun () ->
+      let q = Filename.quote in
+      let run fmt = Fmt.kstr Sys.command fmt in
+      Alcotest.(check int) "uninterrupted run passes" 0
+        (run "%s solve dac -n 3 > %s 2>/dev/null" (q exe) (q full));
+      Alcotest.(check int) "deadline-0 run is partial" 2
+        (run "%s solve dac -n 3 --deadline 0 --checkpoint %s > /dev/null 2>&1"
+           (q exe) (q ckpt));
+      Alcotest.(check int) "resumed run passes" 0
+        (run "%s solve dac -n 3 --resume %s --chaos-seed 11 > %s 2>/dev/null"
+           (q exe) (q ckpt) (q resumed));
+      Alcotest.(check int) "stdout is byte-for-byte identical" 0
+        (run "cmp -s %s %s" (q full) (q resumed)))
+
+(* --- Ctbl under adversarial hashing (satellite 4) ----------------------- *)
+
+let config_of_int i =
+  Config.initial ~machine:Machine.trivial_decide_input ~specs:[||]
+    ~inputs:[| Value.int i |]
+
+let test_ctbl_all_equal_hashes () =
+  (* 200 distinct keys, every one claiming hash 0: the table degrades to
+     a probe chain but must stay correct — no livelock, distinct ids,
+     hits and misses exact, and the probe telemetry must show that the
+     stored-hash shortcut can never dismiss a slot. *)
+  let n = 200 in
+  let t = Ctbl.create 1 in
+  for i = 0 to n - 1 do
+    let id = Ctbl.find_or_add t (config_of_int i) ~hash:0 ~if_absent:(fun _ -> i) in
+    Alcotest.(check int) "fresh insert keeps its id" i id
+  done;
+  Alcotest.(check int) "all keys distinct" n (Ctbl.length t);
+  for i = 0 to n - 1 do
+    match Ctbl.find_opt t (config_of_int i) ~hash:0 with
+    | Some id when id = i -> ()
+    | Some id -> Alcotest.failf "key %d resolved to id %d" i id
+    | None -> Alcotest.failf "key %d lost" i
+  done;
+  Alcotest.(check (option int))
+    "miss stays a miss" None
+    (Ctbl.find_opt t (config_of_int (n + 777)) ~hash:0);
+  let st = Ctbl.probe_stats t in
+  Alcotest.(check int)
+    "equal hashes can never be dismissed by hash" 0 st.Ctbl.hash_skips;
+  if st.Ctbl.equal_confirms < n then
+    Alcotest.failf "implausible telemetry: %d structural compares for %d hits"
+      st.Ctbl.equal_confirms n;
+  if st.Ctbl.probes < st.Ctbl.equal_confirms then
+    Alcotest.failf "probe count %d below confirm count %d" st.Ctbl.probes
+      st.Ctbl.equal_confirms
+
+let test_ctbl_growth_from_capacity_one () =
+  (* Seed the table at capacity 1 and push three orders of magnitude
+     through it: growth must preserve every binding and re-insertions at
+     capacity must stay idempotent. *)
+  let n = 1_000 in
+  let t = Ctbl.create 1 in
+  for i = 0 to n - 1 do
+    let c = config_of_int i in
+    ignore (Ctbl.find_or_add t c ~hash:(Config.hash c) ~if_absent:(fun _ -> i))
+  done;
+  Alcotest.(check int) "all inserted across growth" n (Ctbl.length t);
+  for i = 0 to n - 1 do
+    let c = config_of_int i in
+    let id = Ctbl.find_or_add t c ~hash:(Config.hash c) ~if_absent:(fun _ -> -1) in
+    Alcotest.(check int) "binding stable across growth" i id
+  done;
+  Alcotest.(check int) "no phantom entries" n (Ctbl.length t)
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "state quota yields a partial verdict" `Quick
+            test_truncation_is_partial_verdict;
+          Alcotest.test_case "deadline yields a partial verdict" `Quick
+            test_deadline_is_partial_verdict;
+          Alcotest.test_case "cancellation wins over the deadline" `Quick
+            test_cancellation_is_partial_verdict;
+          Alcotest.test_case "SIGINT routes into the token" `Quick
+            test_sigint_routes_to_token;
+        ] );
+      ( "fault isolation",
+        [
+          Alcotest.test_case "raising machine is contained" `Quick
+            test_graph_isolates_raising_machine;
+          Alcotest.test_case "raising checker no longer aborts the sweep"
+            `Quick test_sweep_survives_raising_checker;
+          Alcotest.test_case "run_shard retry discipline" `Quick
+            test_run_shard_retries_then_fails;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "injected failures never change results" `Quick
+            test_chaos_preserves_graph_and_verdict;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "resume from a deadline-0 checkpoint" `Quick
+            test_resume_from_deadline_checkpoint;
+          Alcotest.test_case "resume from a midway checkpoint" `Quick
+            test_resume_from_midway_checkpoint;
+          Alcotest.test_case "foreign files rejected" `Quick
+            test_checkpoint_rejects_foreign_files;
+        ] );
+      ( "fuzz budgets",
+        [
+          Alcotest.test_case "fan stops on budget and resumes" `Quick
+            test_fan_budget_stops_and_resumes;
+          Alcotest.test_case "fuzz checkpoint roundtrip" `Quick
+            test_fuzz_checkpoint_roundtrip;
+          Alcotest.test_case "shrink budget 0 keeps the case" `Quick
+            test_shrink_budget_zero_keeps_case;
+          Alcotest.test_case "campaign_supervised stops cleanly" `Quick
+            test_campaign_supervised_stops;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "interrupt/resume is byte-identical" `Quick
+            test_cli_interrupt_resume_byte_identical;
+        ] );
+      ( "ctbl adversarial",
+        [
+          Alcotest.test_case "all-equal-hash collisions" `Quick
+            test_ctbl_all_equal_hashes;
+          Alcotest.test_case "growth from capacity one" `Quick
+            test_ctbl_growth_from_capacity_one;
+        ] );
+    ]

@@ -969,6 +969,56 @@ let run_json () =
   (* Warm once so the first sweep doesn't pay one-time setup. *)
   ignore (sweep 1);
   let fs1 = sweep 1 and fs2 = sweep 2 and fs4 = sweep 4 in
+  (* State-space reduction on the same instance: states and wall per
+     mode, the verdict cross-checked against the unreduced run, and the
+     reduced graph cross-checked against the CMap oracle. *)
+  let canon = Canon.dac ~n:3 in
+  let dac_frozen obj st = obj = 0 && Pac.is_upset st in
+  let reductions =
+    [
+      ("none", Cgraph.no_reduction);
+      ("sym", { Cgraph.rname = "sym"; canon; sleep = false; frozen = None });
+      ( "sym+sleep",
+        {
+          Cgraph.rname = "sym+sleep";
+          canon;
+          sleep = true;
+          frozen = Some dac_frozen;
+        } );
+    ]
+  in
+  let red =
+    List.map
+      (fun (mode, reduce) ->
+        let g = Cgraph.build ~domains:1 ~reduce ~machine ~specs ~inputs () in
+        let oracle = Cgraph.build_cmap ~reduce ~machine ~specs ~inputs () in
+        let oracle_agrees =
+          Cgraph.n_nodes g = Cgraph.n_nodes oracle
+          && Cgraph.n_edges g = Cgraph.n_edges oracle
+        in
+        let v =
+          Solvability.check_dac ~domains:1 ~reduce ~machine ~specs ~inputs ()
+        in
+        let t =
+          time_per ~k:3 (fun () ->
+              ignore (Cgraph.build ~domains:1 ~reduce ~machine ~specs ~inputs ()))
+        in
+        (mode, Cgraph.n_nodes g, t, v.Solvability.ok, oracle_agrees))
+      reductions
+  in
+  let red_states mode =
+    let _, s, _, _, _ = List.find (fun (m, _, _, _, _) -> m = mode) red in
+    s
+  in
+  let red_ratio =
+    float (red_states "none") /. float (max 1 (red_states "sym+sleep"))
+  in
+  let red_verdicts_agree =
+    match red with
+    | (_, _, _, ok0, _) :: _ ->
+      List.for_all (fun (_, _, _, ok, agrees) -> ok = ok0 && agrees) red
+    | [] -> false
+  in
   (* Parallel speedup is bounded by the cores actually available: on a
      single-core box the d > 1 sweeps only measure spawn overhead. *)
   let cores = Domain.recommended_domain_count () in
@@ -998,10 +1048,19 @@ let run_json () =
      core%s available)@."
     fs1.Solvability.wall_s fs2.Solvability.wall_s fs4.Solvability.wall_s cores
     (if cores = 1 then "" else "s");
+  List.iter
+    (fun (mode, states, t, ok, agrees) ->
+      Fmt.pr
+        "reduce %-9s %4d states, %.2f ms/build, verdict %s, oracle %s@." mode
+        states (t *. 1e3)
+        (if ok then "ok" else "FAIL")
+        (if agrees then "agrees" else "DISAGREES"))
+    red;
+  Fmt.pr "reduce ratio: %.2fx fewer states under sym+sleep@." red_ratio;
   let oc = open_out "BENCH_verify.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"lbsa-bench-verify/2\",\n";
+  p "  \"schema\": \"lbsa-bench-verify/3\",\n";
   p
     "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
      \"states_per_sec\": %.0f, \"domains\": %d, \"build_ms\": %.3f, \
@@ -1030,6 +1089,17 @@ let run_json () =
      \"speedup_session_vs_seed\": %.2f },\n"
     (1. /. t_fresh) (1. /. t_sess) (1. /. t_seed) (t_seed /. t_fresh)
     (t_seed /. t_sess);
+  p "  \"reduction\": { \"case\": \"dac:3\", \"modes\": {\n";
+  List.iteri
+    (fun i (mode, states, t, ok, agrees) ->
+      p
+        "    %S: { \"states\": %d, \"build_ms\": %.3f, \"verdict_ok\": %b, \
+         \"oracle_agrees\": %b }%s\n"
+        mode states (t *. 1e3) ok agrees
+        (if i = List.length red - 1 then "" else ","))
+    red;
+  p "  }, \"ratio_none_vs_sym_sleep\": %.2f, \"verdicts_agree\": %b },\n"
+    red_ratio red_verdicts_agree;
   p
     "  \"for_all_inputs\": { \"family\": \"dac:3 binary inputs\", \
      \"vectors\": %d, \"cores_available\": %d, \"wall_s\": { \"1\": %.4f, \

@@ -17,7 +17,9 @@
    Exit codes, uniformly: 0 = clean pass; 1 = definitive failure
    (unsolvable task, counterexample, violation); 2 = partial outcome
    (state quota, deadline, cancellation, worker failure — rerun bigger,
-   longer, or --resume from the checkpoint); 3 = usage error. *)
+   longer, or --resume from the checkpoint; also a --resume whose
+   parameters mismatch the checkpoint's, which stays resumable under its
+   original parameters); 3 = usage error. *)
 
 open Lbsa
 open Cmdliner
@@ -98,6 +100,42 @@ let check_domains_arg =
    auto parallelism. *)
 let sweep_plan d =
   if d <= 0 then (1, None) else (d, Some 1)
+
+(* --- state-space reduction -------------------------------------------- *)
+
+let reduce_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("none", `None); ("sym", `Sym); ("sym+sleep", `Sym_sleep) ])
+        `None
+    & info [ "reduce" ] ~docv:"MODE"
+        ~doc:
+          "State-space reduction: none (the exact graph), sym \
+           (process-symmetry quotient), or sym+sleep (quotient plus \
+           commit-step pruning).  Verdicts are identical across modes; \
+           state counts, node ids and failure details are not.  See \
+           DESIGN.md, 'State-space reduction'.")
+
+let reduce_mode_name = function
+  | `None -> "none"
+  | `Sym -> "sym"
+  | `Sym_sleep -> "sym+sleep"
+
+(* The Graph.reduction for a requested mode.  [canon] is the certified
+   symmetry group of the protocol being checked — identity when none is
+   certified, in which case the mode still applies the sleep layer and
+   keeps its requested name so labels and checkpoints stay consistent. *)
+let mk_reduce ?frozen ~canon mode =
+  match mode with
+  | `None -> Cgraph.no_reduction
+  | `Sym -> { Cgraph.rname = "sym"; canon; sleep = false; frozen = None }
+  | `Sym_sleep -> { Cgraph.rname = "sym+sleep"; canon; sleep = true; frozen }
+
+(* dac's PAC object (index 0) is permanently inert once upset: its state
+   never changes again and every propose gets the same abort response —
+   exactly the certification the sleep layer's [frozen] hook wants. *)
+let dac_frozen obj st = obj = 0 && Pac.is_upset st
 
 (* --- supervision plumbing --------------------------------------------- *)
 
@@ -203,37 +241,41 @@ let report ?(stats = false) ?family verdict =
    end);
   Supervisor.exit_code ~ok:verdict.Solvability.ok verdict.Solvability.outcome
 
-let check_dac n max_states stats d ~budget =
+let check_dac n max_states stats d rmode ~budget =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
+  let reduce = mk_reduce ~frozen:dac_frozen ~canon:(Canon.dac ~n) rmode in
   let sweep, inner = sweep_plan d in
   let verdict, family =
     Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
-        Solvability.check_dac ~max_states ?domains:inner ~budget ~machine
-          ~specs ~inputs ())
+        Solvability.check_dac ~max_states ?domains:inner ~budget ~reduce
+          ~machine ~specs ~inputs ())
       (Dac.binary_inputs n)
   in
   report ~stats ~family verdict
 
-let check_consensus m max_states stats d ~budget =
+let check_consensus m max_states stats d rmode ~budget =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+  let reduce = mk_reduce ~canon:(Canon.exchangeable ~n:m ()) rmode in
   let sweep, inner = sweep_plan d in
   let verdict, family =
     Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
-        Solvability.check_consensus ~max_states ?domains:inner ~budget
+        Solvability.check_consensus ~max_states ?domains:inner ~budget ~reduce
           ~machine ~specs ~inputs ())
       (Consensus_task.binary_inputs m)
   in
   report ~stats ~family verdict
 
-let check_kset m k max_states stats d ~budget =
+let check_kset m k max_states stats d rmode ~budget =
   let machine, specs = Kset_protocols.partition ~m ~k in
+  let reduce = mk_reduce ~canon:(Canon.kset_partition ~m ~k) rmode in
   (* A single input vector: [--domains] drives the explorer itself. *)
   let domains = if d <= 0 then None else Some d in
   report ~stats
-    (Solvability.check_kset ~max_states ?domains ~budget ~machine ~specs ~k
+    (Solvability.check_kset ~max_states ?domains ~budget ~reduce ~machine
+       ~specs ~k
        ~inputs:(Kset_task.distinct_inputs (m * k))
        ())
 
@@ -249,8 +291,24 @@ let candidates =
       `Consensus (Candidates.consensus_from_pac_retry ~n:2 ~procs:2, 2) );
   ]
 
-let check_candidate name max_states d =
+(* A witness search answers one of three things; only an exhaustive miss
+   may be printed as a liveness-only failure — a truncated search saying
+   "no witness" was the false negative this message replaces. *)
+let report_witness = function
+  | Solvability.Witness w -> Fmt.pr "witness:@.%a@." Solvability.pp_witness w
+  | Solvability.No_witness ->
+    Fmt.pr "(liveness failure: no safety witness configuration)@."
+  | Solvability.Search_truncated o ->
+    Fmt.pr
+      "(witness search stopped early (%a): no safety violation in the \
+       explored prefix; raise --max-states for a definitive witness)@."
+      Supervisor.pp_outcome o
+
+let check_candidate name max_states d rmode =
   let sweep, inner = sweep_plan d in
+  (* No certified symmetry group for free-form candidates: [sym] is the
+     identity quotient here, but [sym+sleep] still prunes commit steps. *)
+  let reduce = mk_reduce ~canon:Canon.identity rmode in
   match List.assoc_opt name candidates with
   | None ->
     Fmt.epr "unknown candidate %S; known: %s@." name
@@ -261,38 +319,30 @@ let check_candidate name max_states d =
     let v =
       Solvability.for_all_inputs ~domains:sweep
         (fun inputs ->
-          Solvability.check_consensus ~max_states ?domains:inner ~machine
-            ~specs ~inputs ())
+          Solvability.check_consensus ~max_states ?domains:inner ~reduce
+            ~machine ~specs ~inputs ())
         (Consensus_task.binary_inputs procs)
     in
     Fmt.pr "%a@." Solvability.pp_verdict v;
     (if not v.Solvability.ok then
-       match
-         Solvability.consensus_witness ~max_states ~machine ~specs
-           ~inputs:v.Solvability.inputs ()
-       with
-       | Some w -> Fmt.pr "witness:@.%a@." Solvability.pp_witness w
-       | None ->
-         Fmt.pr "(liveness failure: no safety witness configuration)@.");
+       report_witness
+         (Solvability.consensus_witness ~max_states ~machine ~specs
+            ~inputs:v.Solvability.inputs ()));
     if v.Solvability.ok then 1 else 0
   | Some (`Dac ((machine, specs), procs)) ->
     Fmt.pr "candidate %s (%d-DAC) — expected to FAIL:@." name procs;
     let v =
       Solvability.for_all_inputs ~domains:sweep
         (fun inputs ->
-          Solvability.check_dac ~max_states ?domains:inner ~machine ~specs
-            ~inputs ())
+          Solvability.check_dac ~max_states ?domains:inner ~reduce ~machine
+            ~specs ~inputs ())
         (Dac.binary_inputs procs)
     in
     Fmt.pr "%a@." Solvability.pp_verdict v;
     (if not v.Solvability.ok then
-       match
-         Solvability.dac_witness ~max_states ~machine ~specs
-           ~inputs:v.Solvability.inputs ()
-       with
-       | Some w -> Fmt.pr "witness:@.%a@." Solvability.pp_witness w
-       | None ->
-         Fmt.pr "(liveness failure: no safety witness configuration)@.");
+       report_witness
+         (Solvability.dac_witness ~max_states ~machine ~specs
+            ~inputs:v.Solvability.inputs ()));
     if v.Solvability.ok then 1 else 0
 
 let check_cmd =
@@ -310,13 +360,13 @@ let check_cmd =
       & opt string "flp-write-read"
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
-  let run task n m k name max_states stats domains deadline chaos =
+  let run task n m k name max_states stats domains rmode deadline chaos =
     let budget = mk_budget ?deadline ~chaos () in
     match task with
-    | `Dac -> check_dac n max_states stats domains ~budget
-    | `Consensus -> check_consensus m max_states stats domains ~budget
-    | `Kset -> check_kset m k max_states stats domains ~budget
-    | `Candidate -> check_candidate name max_states domains
+    | `Dac -> check_dac n max_states stats domains rmode ~budget
+    | `Consensus -> check_consensus m max_states stats domains rmode ~budget
+    | `Kset -> check_kset m k max_states stats domains rmode ~budget
+    | `Candidate -> check_candidate name max_states domains rmode
   in
   Cmd.v
     (Cmd.info "check"
@@ -325,7 +375,7 @@ let check_cmd =
           nondeterminism).")
     Term.(
       const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
-      $ stats_arg $ check_domains_arg $ deadline_arg $ chaos_arg)
+      $ stats_arg $ check_domains_arg $ reduce_arg $ deadline_arg $ chaos_arg)
 
 (* --- solve -------------------------------------------------------------- *)
 
@@ -335,8 +385,8 @@ let check_cmd =
    stdout carries only the verdict (checkpoint notes go to stderr), so
    an interrupted-then-resumed run prints byte-for-byte what the
    uninterrupted run prints. *)
-let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
-    inputs_csv =
+let solve task n m k max_states stats rmode d deadline chaos ckpt_file
+    resume_file inputs_csv =
   let budget = mk_budget ?deadline ~chaos () in
   let domains = if d <= 0 then None else Some d in
   let custom =
@@ -361,6 +411,7 @@ let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
       match task with
       | `Consensus ->
         let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+        let reduce = mk_reduce ~canon:(Canon.exchangeable ~n:m ()) rmode in
         let inputs =
           match custom with
           | Some v -> v
@@ -369,10 +420,11 @@ let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
         ( Fmt.str "consensus m=%d" m,
           inputs,
           fun resume ->
-            Solvability.check_consensus ~max_states ?domains ~budget ?resume
-              ~machine ~specs ~inputs () )
+            Solvability.check_consensus ~max_states ?domains ~budget ~reduce
+              ?resume ~machine ~specs ~inputs () )
       | `Kset ->
         let machine, specs = Kset_protocols.partition ~m ~k in
+        let reduce = mk_reduce ~canon:(Canon.kset_partition ~m ~k) rmode in
         let inputs =
           match custom with
           | Some v -> v
@@ -381,11 +433,14 @@ let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
         ( Fmt.str "kset m=%d k=%d" m k,
           inputs,
           fun resume ->
-            Solvability.check_kset ~max_states ?domains ~budget ?resume
-              ~machine ~specs ~k ~inputs () )
+            Solvability.check_kset ~max_states ?domains ~budget ~reduce
+              ?resume ~machine ~specs ~k ~inputs () )
       | `Dac ->
         let machine = Dac_from_pac.machine ~n in
         let specs = Dac_from_pac.specs ~n in
+        let reduce =
+          mk_reduce ~frozen:dac_frozen ~canon:(Canon.dac ~n) rmode
+        in
         let inputs =
           match custom with
           | Some v -> v
@@ -395,26 +450,31 @@ let solve task n m k max_states stats d deadline chaos ckpt_file resume_file
         ( Fmt.str "dac n=%d" n,
           inputs,
           fun resume ->
-            Solvability.check_dac ~max_states ?domains ~budget ?resume
-              ~machine ~specs ~inputs () )
+            Solvability.check_dac ~max_states ?domains ~budget ~reduce
+              ?resume ~machine ~specs ~inputs () )
     in
     (* The label pins exactly what defines the graph — task, sizes,
-       inputs.  Budget-side knobs (max_states, deadline, domains) stay
-       out: a frozen prefix is valid under any of them, and resuming a
-       quota-hit run with a larger quota is the point. *)
+       inputs, reduction mode.  Budget-side knobs (max_states, deadline,
+       domains) stay out: a frozen prefix is valid under any of them, and
+       resuming a quota-hit run with a larger quota is the point.  A
+       mismatch is a graph-shape divergence, not a usage typo, so it
+       rejects with the partial-outcome exit code 2: the checkpointed
+       work is intact and resumable under the original parameters. *)
     let label =
-      Fmt.str "solve %s inputs=%a" name
+      Fmt.str "solve %s inputs=%a reduce=%s" name
         Fmt.(array ~sep:(any ",") Value.pp)
-        inputs
+        inputs (reduce_mode_name rmode)
     in
     (match Option.map (fun file -> Checkpoint.load ~file) resume_file with
     | exception Failure msg ->
       Fmt.epr "cannot resume: %s@." msg;
       3
     | Some c when Checkpoint.label c <> label ->
-      Fmt.epr "cannot resume: checkpoint is for %S, this invocation is %S@."
+      Fmt.epr
+        "cannot resume: checkpoint is for %S, this invocation is %S; rerun \
+         with the original parameters (or drop --resume)@."
         (Checkpoint.label c) label;
-      3
+      2
     | resume ->
       let v = check (Option.map Checkpoint.thaw resume) in
       (match (ckpt_file, v.Solvability.suspended) with
@@ -463,8 +523,8 @@ let solve_cmd =
           continues it to the same verdict an uninterrupted run prints.")
     Term.(
       const solve $ task $ n_arg $ m_arg $ k_arg $ max_states_arg $ stats_arg
-      $ domains $ deadline_arg $ chaos_arg $ checkpoint_arg $ resume_arg
-      $ inputs)
+      $ reduce_arg $ domains $ deadline_arg $ chaos_arg $ checkpoint_arg
+      $ resume_arg $ inputs)
 
 (* --- valence ------------------------------------------------------------ *)
 
@@ -478,7 +538,7 @@ let protocols_by_name ~n ~m =
       (Dac_from_pac.machine ~n, Dac_from_pac.specs ~n) );
   ]
 
-let valence name n m max_states stats =
+let valence name n m max_states stats rmode =
   match List.assoc_opt name (protocols_by_name ~n ~m) with
   | None ->
     Fmt.epr "unknown protocol %S; known: %s@." name
@@ -496,7 +556,13 @@ let valence name n m max_states stats =
         Array.init procs (fun pid -> Value.int (if pid = 0 then 1 else 0))
       else Array.init procs (fun pid -> Value.int (pid mod 2))
     in
-    let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
+    let reduce =
+      match name with
+      | "dac" -> mk_reduce ~frozen:dac_frozen ~canon:(Canon.dac ~n) rmode
+      | "cons" -> mk_reduce ~canon:(Canon.exchangeable ~n:m ()) rmode
+      | _ -> mk_reduce ~canon:Canon.identity rmode
+    in
+    let graph = Cgraph.build ~max_states ~reduce ~machine ~specs ~inputs () in
     if stats then Fmt.pr "%a@." Cgraph.pp_stats (Cgraph.stats graph);
     let a = Valence.analyze graph in
     let s = Valence.summarize a in
@@ -535,7 +601,8 @@ let valence_cmd =
     (Cmd.info "valence"
        ~doc:"Compute the valence structure of a protocol's configuration graph.")
     Term.(
-      const valence $ proto_name $ n_arg $ m_arg $ max_states_arg $ stats_arg)
+      const valence $ proto_name $ n_arg $ m_arg $ max_states_arg $ stats_arg
+      $ reduce_arg)
 
 (* --- power / separation ------------------------------------------------- *)
 

@@ -14,7 +14,7 @@
     - tasks and protocols: {!Dac}, {!Dac_from_pac}, {!Consensus_task},
       {!Consensus_protocols}, {!Kset_task}, {!Kset_protocols},
       {!Candidates};
-    - the model checker: {!Cgraph}, {!Valence}, {!Bivalency},
+    - the model checker: {!Cgraph}, {!Canon}, {!Valence}, {!Bivalency},
       {!Solvability};
     - the conformance fuzzer: {!Fuzz_case}, {!Fuzz_targets},
       {!Fuzz_engine}, {!Fuzz_mutant};
@@ -69,6 +69,7 @@ module Candidates = Lbsa_protocols.Candidates
 module Safe_agreement = Lbsa_protocols.Safe_agreement
 module Obstruction_free = Lbsa_protocols.Obstruction_free
 
+module Canon = Lbsa_modelcheck.Canon
 module Cgraph = Lbsa_modelcheck.Graph
 module Checkpoint = Lbsa_modelcheck.Checkpoint
 module Ctbl = Lbsa_modelcheck.Ctbl

@@ -235,13 +235,18 @@ let fan ?domains ?(start = 0) ?(budget = Supervisor.Budget.unlimited) ~trials
    candidate-evaluation budget (default {!default_shrink_budget},
    configurable end to end from the CLI) and by the run's deadline: a
    fired [deadline] stops the descent at the best case found so far —
-   shrinking is a convenience, never worth blowing the run's budget. *)
+   shrinking is a convenience, never worth blowing the run's budget.
+   The returned step count says how many candidates were actually
+   accepted: 0 means the result IS the original case (budget 0, or a
+   deadline that fired before any candidate was evaluated) and must not
+   be reported as a shrink. *)
 let default_shrink_budget = 400
 
 let shrink_case ?(budget = default_shrink_budget)
     ?(deadline = Supervisor.Budget.unlimited) ~eval ~kind
     ~(case : Fuzz_case.t) ~history ~pending () =
   let budget = ref budget in
+  let steps = ref 0 in
   let expired () = Supervisor.Budget.stop deadline <> None in
   let rec descend case history pending =
     let next =
@@ -257,8 +262,10 @@ let shrink_case ?(budget = default_shrink_budget)
         (Fuzz_case.shrinks case)
     in
     match next with
-    | Some (c, h, p) -> descend c h p
-    | None -> (case, history, pending)
+    | Some (c, h, p) ->
+      incr steps;
+      descend c h p
+    | None -> (case, history, pending, !steps)
   in
   descend case history pending
 
@@ -281,11 +288,22 @@ let campaign ?domains ?(shrink = true) ?shrink_budget ?(start = 0) ?budget
         let shrunk =
           if not shrink then None
           else
-            let c, h, _ =
+            let c, _, _, steps =
               shrink_case ?budget:shrink_budget ?deadline:budget ~eval ~kind
                 ~case ~history ~pending ()
             in
-            Some (c, h)
+            (* A zero-step descent (budget 0, or the deadline fired
+               before the first candidate) is the original case — not a
+               shrink.  And a deadline firing mid-descent must not let a
+               stale candidate through: re-run the final case and report
+               it only if it still fails the same way.  [eval] is
+               deterministic, so a reproduction failure here is a bug in
+               the shrinker itself — fall back to the unshrunk case. *)
+            if steps = 0 then None
+            else
+              match eval c with
+              | Bad (k, h', _) when same_kind kind k -> Some (c, h')
+              | Bad _ | Ok_run -> None
         in
         { target = name; trial; seed; kind; case; history; pending; shrunk })
       r.hit

@@ -20,6 +20,9 @@ type failure = {
   history : Chistory.t;
   pending : Checker.pending list;
   shrunk : (Fuzz_case.t * Chistory.t) option;
+      (** a strictly smaller case re-validated to fail with the same
+          [kind]; [None] when shrinking was off, found nothing, or its
+          budget/deadline left no genuine (re-validated) shrink *)
 }
 
 type report = {
@@ -92,12 +95,16 @@ val shrink_case :
   history:Chistory.t ->
   pending:Checker.pending list ->
   unit ->
-  Fuzz_case.t * Chistory.t * Checker.pending list
+  Fuzz_case.t * Chistory.t * Checker.pending list * int
 (** Greedy first-improvement descent over {!Fuzz_case.shrinks}; a
     candidate is kept only when it fails with the same [kind].  Stops
     after [budget] candidate evaluations (default
     {!default_shrink_budget}) or as soon as [deadline] fires, returning
-    the best case found so far. *)
+    the best case found so far plus the number of accepted shrink
+    steps.  A step count of 0 means the result is the original case
+    (e.g. budget 0): callers must not present it as a shrink, and
+    {!fuzz_impl}/{!fuzz_spec} campaigns re-validate the final case and
+    record [shrunk = None] when nothing genuinely shrank. *)
 
 val fuzz_impl :
   ?domains:int ->

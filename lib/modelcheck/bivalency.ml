@@ -57,20 +57,15 @@ let common_poised_object ~machine config =
 (* Detailed poised-step analysis, used to mechanize the finer structure
    of the Section 5 proof (Subclaims 5.2.8.1/5.2.8.2: at the critical
    configuration every process is poised on a *decide* operation on the
-   PAC object, never a propose). *)
-type poised_step =
+   PAC object, never a propose).  The vocabulary lives in [Canon] —
+   shared with the explorer's commit-step pruning — and is re-exported
+   here under its historical name. *)
+type poised_step = Canon.poised =
   | Poised_op of { obj : int; op : Op.t }
   | Poised_decide of Value.t
   | Poised_abort
 
-let poised_ops ~(machine : Machine.t) (config : Config.t) =
-  List.map
-    (fun pid ->
-      match machine.delta ~pid config.locals.(pid) with
-      | Machine.Invoke { obj; op; _ } -> (pid, Poised_op { obj; op })
-      | Machine.Decide v -> (pid, Poised_decide v)
-      | Machine.Abort -> (pid, Poised_abort))
-    (Config.running config)
+let poised_ops ~machine config = Canon.poised_steps ~machine config
 
 (* Do all running processes poise the same operation *name* on the same
    object?  Returns (object, op-name) if so. *)

@@ -16,8 +16,10 @@ val common_poised_object : machine:Machine.t -> Config.t -> int option
 (** Claim 5.2.3 analog: the single object all running processes are
     poised on, if there is one. *)
 
-(** Detailed poised-step analysis (Subclaims 5.2.8.1/5.2.8.2). *)
-type poised_step =
+(** Detailed poised-step analysis (Subclaims 5.2.8.1/5.2.8.2); the
+    vocabulary is {!Canon.poised}, shared with the explorer's
+    commit-step pruning. *)
+type poised_step = Canon.poised =
   | Poised_op of { obj : int; op : Op.t }
   | Poised_decide of Value.t
   | Poised_abort

@@ -1,0 +1,245 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Process-symmetry quotient for the explorer, plus the commit-step
+   vocabulary shared with the bivalency toolkit.
+
+   A symmetry group is represented extensionally: the explicit list of
+   its non-identity automorphisms.  Each automorphism is a permutation
+   of processes, optionally a compatible permutation of objects, and
+   optionally a rewrite of object states (the hook for object encodings
+   that mention process identities, e.g. PAC labels).  Groups here are
+   tiny — (n-1)! for n-DAC, (m!)^k * k! for the k*m partition protocol —
+   so [canonical] simply takes the [Config.compare]-least image over the
+   whole orbit.  Element comparisons are O(1) thanks to hash-consing, so
+   one canonicalization costs O(|G| * n) pointer work.
+
+   Soundness (why quotienting preserves verdicts) is argued in
+   DESIGN.md, "State-space reduction".  The constructors below only
+   build groups for protocols whose step machines are certified
+   equivariant: [exchangeable] requires a pid-independent delta over
+   pid-free object states, [dac] fixes the distinguished process 0 and
+   renames PAC labels, [kset_partition] permutes within groups and
+   whole groups together with their consensus objects. *)
+
+type auto = {
+  proc : int array;  (* image process i carries old process proc.(i) *)
+  obj : int array option;  (* image object o carries old object obj.(o) *)
+  rename_obj : (int -> Value.t -> Value.t) option;
+      (* rewrite of old object [index]'s state, applied during permute *)
+}
+
+type t = { order : int; autos : auto list }
+(* [autos] excludes the identity; [order] = |autos| + 1. *)
+
+let identity = { order = 1; autos = [] }
+let is_identity g = g.autos = []
+let order g = g.order
+
+let apply a config =
+  Config.permute ?obj:a.obj ?rename_obj:a.rename_obj ~proc:a.proc config
+
+(* The lex-least image of [config] over its orbit.  Returns [config]
+   itself (physically) when it is already minimal, so callers can count
+   actual canonizations with [!=]. *)
+let canonical g config =
+  match g.autos with
+  | [] -> config
+  | autos ->
+    List.fold_left
+      (fun best a ->
+        let img = apply a config in
+        if Config.compare img best < 0 then img else best)
+      config autos
+
+let orbit g config =
+  List.sort_uniq Config.compare
+    (config :: List.map (fun a -> apply a config) g.autos)
+
+(* --- group constructors ------------------------------------------------ *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        permutations (List.filter (fun y -> y <> x) l)
+        |> List.map (fun p -> x :: p))
+      l
+
+let is_id_array a =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> i then ok := false) a;
+  !ok
+
+(* All process-permutation arrays moving only [movable] (identity
+   included); [proc.(i)] is the old index placed at image slot [i]. *)
+let perm_arrays ~n ~movable =
+  permutations movable
+  |> List.map (fun assignment ->
+         let proc = Array.init n Fun.id in
+         List.iteri (fun j src -> proc.(List.nth movable j) <- src) assignment;
+         proc)
+
+let of_proc_arrays ?mk_rename ?mk_obj arrays =
+  let autos =
+    List.filter_map
+      (fun proc ->
+        if is_id_array proc then None
+        else
+          Some
+            {
+              proc;
+              obj = Option.map (fun f -> f proc) mk_obj;
+              rename_obj = Option.map (fun f -> f proc) mk_rename;
+            })
+      arrays
+  in
+  { order = List.length autos + 1; autos }
+
+let exchangeable ~n ?(fixed = []) () =
+  if n < 0 then invalid_arg "Canon.exchangeable: n must be >= 0";
+  let movable =
+    List.filter (fun i -> not (List.mem i fixed)) (Lbsa_util.Listx.range 0 (n - 1))
+  in
+  of_proc_arrays (perm_arrays ~n ~movable)
+
+let inverse proc =
+  let inv = Array.make (Array.length proc) 0 in
+  Array.iteri (fun i src -> inv.(src) <- i) proc;
+  inv
+
+(* n-DAC from an n-PAC (Section 3): the distinguished process 0 is
+   fixed; permuting processes 1..n-1 must rename the PAC labels they
+   propose under (process p uses label p+1).  Old label l names old
+   process l-1, which lands at image slot inv.(l-1), so l becomes
+   inv.(l-1)+1. *)
+let dac ~n =
+  if n < 1 then invalid_arg "Canon.dac: n must be >= 1";
+  let movable = Lbsa_util.Listx.range 1 (n - 1) in
+  let mk_rename proc =
+    let inv = inverse proc in
+    fun _obj state ->
+      Lbsa_objects.Pac.rename_labels (fun l -> inv.(l - 1) + 1) state
+  in
+  of_proc_arrays ~mk_rename (perm_arrays ~n ~movable)
+
+(* The k*m-process partition protocol (Section 6): process p belongs to
+   group p/m and proposes to consensus object p/m.  The symmetry group
+   is (within-group permutations)^k x (group permutations), with the k
+   identical consensus objects permuted along with the groups.  Object
+   states are pid-free, so no state rewrite is needed. *)
+let kset_partition ~m ~k =
+  if m < 1 || k < 1 then invalid_arg "Canon.kset_partition";
+  let n = m * k in
+  let group_perms = permutations (Lbsa_util.Listx.range 0 (k - 1)) in
+  let within_perms = permutations (Lbsa_util.Listx.range 0 (m - 1)) in
+  (* one within-group permutation per group *)
+  let rec tau_choices g =
+    if g = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun tau -> tau :: rest) within_perms)
+        (tau_choices (g - 1))
+  in
+  let arrays =
+    List.concat_map
+      (fun sigma ->
+        let sigma = Array.of_list sigma in
+        (* sigma.(j) = old group at image group slot j; invert to map
+           old group g to its image slot. *)
+        let sigma_img = inverse sigma in
+        List.map
+          (fun taus ->
+            let taus = Array.of_list (List.map Array.of_list taus) in
+            (* image slot of old process p = within-image of its rank,
+               inside the image slot of its group *)
+            let img_of =
+              Array.init n (fun p ->
+                  let g = p / m and r = p mod m in
+                  let tau_img = inverse taus.(g) in
+                  (sigma_img.(g) * m) + tau_img.(r))
+            in
+            (inverse img_of, sigma))
+          (tau_choices k))
+      group_perms
+  in
+  let autos =
+    List.filter_map
+      (fun (proc, sigma) ->
+        if is_id_array proc then None
+        else Some { proc; obj = Some sigma; rename_obj = None })
+      arrays
+  in
+  { order = List.length autos + 1; autos }
+
+(* --- poised / commit steps --------------------------------------------- *)
+
+(* The poised-step vocabulary of the bivalency toolkit (what each
+   running process does next), shared here so both the Section 4/5
+   proof mechanization ([Bivalency]) and the explorer's ample-step
+   pruning speak the same language. *)
+type poised =
+  | Poised_op of { obj : int; op : Op.t }
+  | Poised_decide of Value.t
+  | Poised_abort
+
+let poised_steps ~(machine : Machine.t) (config : Config.t) =
+  List.map
+    (fun pid ->
+      match machine.delta ~pid config.locals.(pid) with
+      | Machine.Invoke { obj; op; _ } -> (pid, Poised_op { obj; op })
+      | Machine.Decide v -> (pid, Poised_decide v)
+      | Machine.Abort -> (pid, Poised_abort))
+    (Config.running config)
+
+(* The ample ("commit") step of a configuration, if any: the least
+   running process whose next step is invisible to every other process —
+   a decide/abort (writes only its own status) or an operation on a
+   [frozen] object (protocol-certified: state unchanged, constant
+   response, forever — e.g. an upset PAC).  Such a step commutes with
+   every step of every other process and stays enabled, so expanding it
+   alone is a valid singleton persistent set; see DESIGN.md. *)
+(* Flush every poised decide/abort into the configuration: each such
+   step writes only its own process's status and commutes with every
+   step of every other process, so a configuration and its flushed form
+   reach exactly the same decisions and violations (DESIGN.md).  The
+   explorer's sleep layer normalizes successors through this, so
+   pre-decide interleavings never materialize as distinct nodes.  One
+   pass suffices — a decide/abort changes no local state, so it cannot
+   make another process decide-poised.  The result matches what the
+   corresponding [Config.step_branches] steps would build (statuses
+   updated, locals left stale), so flushed configurations are genuinely
+   reachable ones.  Returns the flushed configuration (the argument
+   itself, physically, when nothing was poised) and the step count. *)
+let flush_commits ~machine (config : Config.t) =
+  let steps = ref 0 in
+  let status = ref [||] in
+  List.iter
+    (fun (pid, step) ->
+      let commit st =
+        if !steps = 0 then status := Array.copy config.Config.status;
+        !status.(pid) <- st;
+        incr steps
+      in
+      match step with
+      | Poised_decide v -> commit (Config.Decided v)
+      | Poised_abort -> commit Config.Aborted
+      | Poised_op _ -> ())
+    (poised_steps ~machine config);
+  if !steps = 0 then (config, 0)
+  else ({ config with Config.status = !status }, !steps)
+
+let commit_pid ~machine ?frozen (config : Config.t) =
+  let frozen_ok =
+    match frozen with None -> fun _ _ -> false | Some f -> f
+  in
+  let rec scan = function
+    | [] -> None
+    | (pid, step) :: rest -> (
+      match step with
+      | Poised_decide _ | Poised_abort -> Some pid
+      | Poised_op { obj; _ } ->
+        if frozen_ok obj config.objects.(obj) then Some pid else scan rest)
+  in
+  scan (poised_steps ~machine config)

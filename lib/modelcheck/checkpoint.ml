@@ -49,9 +49,14 @@ type t = {
   dedup_hits : int;
   n_succs : int;
   frontier_sizes : int array;
+  reduction : string;  (* reduction mode the exploration ran under *)
+  canonized : int;
+  ample_nodes : int;
+  ample_pruned : int;
 }
 
 let label t = t.label
+let reduction t = t.reduction
 
 (* --- freeze ------------------------------------------------------------- *)
 
@@ -107,6 +112,10 @@ let freeze ~label (s : Graph.suspended) =
     dedup_hits = s.Graph.s_dedup_hits;
     n_succs = s.Graph.s_n_succs;
     frontier_sizes = Array.copy s.Graph.s_frontier_sizes;
+    reduction = s.Graph.s_reduction;
+    canonized = s.Graph.s_canonized;
+    ample_nodes = s.Graph.s_ample_nodes;
+    ample_pruned = s.Graph.s_ample_pruned;
   }
 
 (* --- thaw --------------------------------------------------------------- *)
@@ -159,13 +168,16 @@ let thaw t : Graph.suspended =
     ~offsets:(Array.copy t.offsets) ~dedup_hits:t.dedup_hits
     ~n_succs:t.n_succs
     ~frontier_sizes:(Array.copy t.frontier_sizes)
+    ~reduction:t.reduction ~canonized:t.canonized ~ample_nodes:t.ample_nodes
+    ~ample_pruned:t.ample_pruned
 
 (* --- persistence -------------------------------------------------------- *)
 
 (* A magic line guards against feeding arbitrary files to [Marshal];
    the version is part of it, so a format change invalidates old
-   checkpoints loudly instead of deserializing garbage. *)
-let magic = "LBSA-CHECKPOINT/1\n"
+   checkpoints loudly instead of deserializing garbage.  Version 2
+   added the reduction mode and counters. *)
+let magic = "LBSA-CHECKPOINT/2\n"
 
 let save ~file t =
   let tmp = file ^ ".tmp" in
@@ -191,6 +203,6 @@ let load ~file =
       in
       if not (String.equal header magic) then
         failwith
-          (Fmt.str "Checkpoint.load: %s is not a version-1 checkpoint file"
+          (Fmt.str "Checkpoint.load: %s is not a version-2 checkpoint file"
              file);
       (Marshal.from_channel ic : t))

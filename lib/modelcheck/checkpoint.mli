@@ -20,6 +20,12 @@ val label : t -> string
     max_states…); resuming code should compare it against the current
     invocation and refuse mismatches. *)
 
+val reduction : t -> string
+(** The reduction mode name ("none" / "sym" / "sym+sleep") the frozen
+    exploration ran under.  Resuming under a different mode would
+    silently explore a different graph; [Graph.build ~resume] rejects
+    the mismatch, and CLIs should refuse it up front. *)
+
 val freeze : label:string -> Graph.suspended -> t
 val thaw : t -> Graph.suspended
 

@@ -29,6 +29,36 @@ open Lbsa_runtime
 
 type edge = { pid : int; event : Config.event; target : int }
 
+(* An opt-in reduction of the explored graph: [canon] quotients states
+   by a process-symmetry group (successors are replaced by their orbit
+   representative before dedup), and [sleep] prunes commuting schedules
+   by expanding only the commit step of a configuration when one exists
+   (a poised decide/abort, or an operation on an object the [frozen]
+   hint certifies permanently inert).  [rname] is the user-facing mode
+   name ("none" / "sym" / "sym+sleep"); it is recorded in stats and
+   checkpoints, and a resumed build must use the same mode.  Soundness:
+   DESIGN.md, "State-space reduction". *)
+type reduction = {
+  rname : string;
+  canon : Canon.t;
+  sleep : bool;
+  frozen : (int -> Lbsa_spec.Value.t -> bool) option;
+}
+
+let no_reduction =
+  { rname = "none"; canon = Canon.identity; sleep = false; frozen = None }
+
+type reduction_stats = {
+  rmode : string;
+  group_order : int;
+  canonized : int;  (* successors replaced by a smaller orbit representative *)
+  ample_nodes : int;  (* expanded nodes where only the commit step was taken *)
+  ample_pruned : int;  (* running processes not expanded at those nodes *)
+}
+
+let no_reduction_stats =
+  { rmode = "none"; group_order = 1; canonized = 0; ample_nodes = 0; ample_pruned = 0 }
+
 type stats = {
   states : int;
   edges : int;
@@ -42,6 +72,7 @@ type stats = {
   states_per_sec : float;
   domains : int;
   truncated : bool;
+  reduction : reduction_stats;
 }
 
 (* A partial exploration, frozen at a level boundary: the prefix
@@ -59,6 +90,10 @@ type suspended = {
   s_dedup_hits : int;
   s_n_succs : int;
   s_frontier_sizes : int array;  (* completed levels only *)
+  s_reduction : string;  (* reduction mode name; a resume must match it *)
+  s_canonized : int;
+  s_ample_nodes : int;
+  s_ample_pruned : int;
 }
 
 type t = {
@@ -76,12 +111,16 @@ type t = {
 
 exception Truncated
 
+let pp_reduction_stats ppf r =
+  Fmt.pf ppf "reduction: %s (group order %d, %d canonized, %d ample nodes, %d steps pruned)"
+    r.rmode r.group_order r.canonized r.ample_nodes r.ample_pruned
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>states: %d%s@,edges: %d@,levels: %d (peak frontier %d)@,\
      dedup: %d hits (%.1f%% of %d successors)@,\
      probes: %d (%d skipped on hash, %d equal-confirms)@,\
-     wall: %.3f s (%.0f states/s, %d domain%s)@]"
+     wall: %.3f s (%.0f states/s, %d domain%s)%a@]"
     s.states
     (if s.truncated then " [TRUNCATED]" else "")
     s.edges s.levels s.peak_frontier s.dedup_hits (100. *. s.dedup_rate)
@@ -89,6 +128,9 @@ let pp_stats ppf s =
     s.probe.Ctbl.probes s.probe.Ctbl.hash_skips s.probe.Ctbl.equal_confirms
     s.wall_s s.states_per_sec s.domains
     (if s.domains = 1 then "" else "s")
+    (fun ppf r ->
+      if r.rmode <> "none" then Fmt.pf ppf "@,%a" pp_reduction_stats r)
+    s.reduction
 
 (* --- small growable arrays (flat storage while the size is unknown) --- *)
 
@@ -114,14 +156,62 @@ end
 
 (* All successors of one configuration, grouped per pid (one list cell
    and pair per *process*, not per successor), in the deterministic order
-   the seed BFS used: pids ascending, object branches in spec order. *)
-let successors ~machine ~specs config =
-  let acc = ref [] in
-  for pid = Config.n_processes config - 1 downto 0 do
-    if Config.is_running config pid then
-      acc := (pid, Config.step_branches ~machine ~specs config pid) :: !acc
-  done;
-  !acc
+   the seed BFS used: pids ascending, object branches in spec order.
+   With a nontrivial [reduce] this is the single shared reduction step
+   of both explorers ([build] and the [build_cmap] oracle, which must
+   stay graph-identical): the ample rule first restricts expansion to
+   the commit step when one exists, then every successor is flushed
+   (poised decide/aborts committed in place) and replaced by its
+   canonical orbit representative.  Returns the per-pid branch lists
+   plus this node's reduction counters: successors canonized, and
+   steps short-circuited by commit pruning (suppressed sibling
+   expansions plus flushed decide/aborts). *)
+(* Normalize one configuration under [reduce]: flush poised
+   decide/abort steps into it (sleep layer), then replace it by its
+   canonical orbit representative (symmetry layer).  Flushing first is
+   sound in either order — it is equivariant under the group, since it
+   applies the commuting commit steps of *every* poised process at
+   once.  Returns the reduced configuration plus (flushed steps,
+   canonizations). *)
+let reduce_config ~reduce ~machine config =
+  let config, flushed =
+    if reduce.sleep then Canon.flush_commits ~machine config else (config, 0)
+  in
+  if Canon.is_identity reduce.canon then (config, flushed, 0)
+  else
+    let c = Canon.canonical reduce.canon config in
+    (c, flushed, if c != config then 1 else 0)
+
+let successors ~reduce ~machine ~specs config =
+  let ample =
+    if reduce.sleep then Canon.commit_pid ~machine ?frozen:reduce.frozen config
+    else None
+  in
+  let canonized = ref 0 in
+  let flushed = ref 0 in
+  let branches_of pid =
+    let bs = Config.step_branches ~machine ~specs config pid in
+    if (not reduce.sleep) && Canon.is_identity reduce.canon then bs
+    else
+      List.map
+        (fun ((c' : Config.t), event) ->
+          let c'', f, k = reduce_config ~reduce ~machine c' in
+          flushed := !flushed + f;
+          canonized := !canonized + k;
+          (c'', event))
+        bs
+  in
+  match ample with
+  | Some pid ->
+    let bs = branches_of pid in
+    let pruned = List.length (Config.running config) - 1 in
+    ([ (pid, bs) ], !canonized, pruned + !flushed)
+  | None ->
+    let acc = ref [] in
+    for pid = Config.n_processes config - 1 downto 0 do
+      if Config.is_running config pid then acc := (pid, branches_of pid) :: !acc
+    done;
+    (!acc, !canonized, !flushed)
 
 (* [recommended_domain_count] probes the machine; do it once, not per
    build (builds of tiny graphs run at ~1M states/s, where even a few
@@ -143,11 +233,11 @@ let parallel_threshold = 256
    retry rewrites the same disjoint slots, so isolation and retry never
    change the produced graph.  [Error (worker, exn, attempts)] reports
    the lowest-indexed chunk whose retries were exhausted. *)
-let expand ~domains ~machine ~specs frontier n =
-  let out = Array.make n [] in
+let expand ~domains ~reduce ~machine ~specs frontier n =
+  let out = Array.make n ([], 0, 0) in
   let work lo hi () =
     for i = lo to hi - 1 do
-      out.(i) <- successors ~machine ~specs frontier.(i)
+      out.(i) <- successors ~reduce ~machine ~specs frontier.(i)
     done
   in
   let shard k lo hi = Supervisor.run_shard ~worker:k (work lo hi) in
@@ -181,8 +271,8 @@ let expand ~domains ~machine ~specs frontier n =
 let default_max_states = 1_000_000
 
 let build ?(max_states = default_max_states) ?domains
-    ?(budget = Supervisor.Budget.unlimited) ?resume ~(machine : Machine.t)
-    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+    ?(budget = Supervisor.Budget.unlimited) ?(reduce = no_reduction) ?resume
+    ~(machine : Machine.t) ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -197,6 +287,9 @@ let build ?(max_states = default_max_states) ?domains
   let n_nodes = ref 0 in
   let dedup_hits = ref 0 in
   let n_succs = ref 0 in
+  let canonized = ref 0 in
+  let ample_nodes = ref 0 in
+  let ample_pruned = ref 0 in
   let frontier_sizes = Dyn.create () in
   (* Two frontier buffers, swapped each level; no per-level copying.
      Hashing a candidate successor is [Config.hash]: a fold over the
@@ -215,13 +308,20 @@ let build ?(max_states = default_max_states) ?domains
   in
   (match resume with
   | None ->
-    let init = Config.initial ~machine ~specs ~inputs in
+    let init, _, _ =
+      reduce_config ~reduce ~machine (Config.initial ~machine ~specs ~inputs)
+    in
     ignore
       (Ctbl.find_or_add tbl init ~hash:(Config.hash init) ~if_absent:register)
   | Some s ->
     (* Rebuild the dedup table and buffers from a suspended prefix.  The
        stored id must win over allocation order, so insertion bypasses
        [register]; the frontier is exactly the unexpanded suffix. *)
+    if s.s_reduction <> reduce.rname then
+      invalid_arg
+        (Fmt.str
+           "Graph.build: resume reduction mode %S does not match requested %S"
+           s.s_reduction reduce.rname);
     Array.iteri
       (fun id config ->
         Dyn.push nodes config;
@@ -236,6 +336,9 @@ let build ?(max_states = default_max_states) ?domains
     Array.iter (Dyn.push frontier_sizes) s.s_frontier_sizes;
     dedup_hits := s.s_dedup_hits;
     n_succs := s.s_n_succs;
+    canonized := s.s_canonized;
+    ample_nodes := s.s_ample_nodes;
+    ample_pruned := s.s_ample_pruned;
     expanded := s.s_expanded);
   let stop = ref Supervisor.Done in
   while !stop = Supervisor.Done && (!nxt).Dyn.len > 0 do
@@ -255,7 +358,7 @@ let build ?(max_states = default_max_states) ?domains
       nxt := !cur;
       cur := f;
       (!nxt).Dyn.len <- 0;
-      match expand ~domains ~machine ~specs f.Dyn.arr f.Dyn.len with
+      match expand ~domains ~reduce ~machine ~specs f.Dyn.arr f.Dyn.len with
       | Error (worker, exn, attempts) ->
         (* This level's expansion failed even after retries.  Every
            completed level is kept; this one is abandoned whole (its
@@ -265,7 +368,12 @@ let build ?(max_states = default_max_states) ?domains
       | Ok succs ->
         Dyn.push frontier_sizes f.Dyn.len;
         Array.iteri
-          (fun _i succ_list ->
+          (fun _i (succ_list, n_canon, n_pruned) ->
+            canonized := !canonized + n_canon;
+            if n_pruned > 0 then begin
+              incr ample_nodes;
+              ample_pruned := !ample_pruned + n_pruned
+            end;
             (* Nodes are expanded in id order, so this records offsets.(id). *)
             Dyn.push offsets edges.Dyn.len;
             List.iter
@@ -297,6 +405,10 @@ let build ?(max_states = default_max_states) ?domains
           s_dedup_hits = !dedup_hits;
           s_n_succs = !n_succs;
           s_frontier_sizes = Dyn.to_array frontier_sizes;
+          s_reduction = reduce.rname;
+          s_canonized = !canonized;
+          s_ample_nodes = !ample_nodes;
+          s_ample_pruned = !ample_pruned;
         }
     else None
   in
@@ -325,6 +437,14 @@ let build ?(max_states = default_max_states) ?domains
         (if wall_s > 0. then float !n_nodes /. wall_s else float !n_nodes);
       domains;
       truncated;
+      reduction =
+        {
+          rmode = reduce.rname;
+          group_order = Canon.order reduce.canon;
+          canonized = !canonized;
+          ample_nodes = !ample_nodes;
+          ample_pruned = !ample_pruned;
+        };
     }
   in
   {
@@ -342,7 +462,7 @@ let build ?(max_states = default_max_states) ?domains
    interface (only [build] and [Checkpoint] may produce one), so the
    checkpoint loader goes through here. *)
 let suspended_of_parts ~nodes ~expanded ~edges ~offsets ~dedup_hits ~n_succs
-    ~frontier_sizes =
+    ~frontier_sizes ~reduction ~canonized ~ample_nodes ~ample_pruned =
   if expanded < 0 || expanded > Array.length nodes then
     invalid_arg "Graph.suspended_of_parts: expanded out of range";
   if Array.length offsets <> expanded then
@@ -355,6 +475,10 @@ let suspended_of_parts ~nodes ~expanded ~edges ~offsets ~dedup_hits ~n_succs
     s_dedup_hits = dedup_hits;
     s_n_succs = n_succs;
     s_frontier_sizes = frontier_sizes;
+    s_reduction = reduction;
+    s_canonized = canonized;
+    s_ample_nodes = ample_nodes;
+    s_ample_pruned = ample_pruned;
   }
 
 (* The seed explorer: single-threaded FIFO BFS deduping through a
@@ -448,10 +572,12 @@ end
 
 module CMap = Map.Make (Seed_ord)
 
-let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
-    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
+    ~(machine : Machine.t) ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let t0 = Unix.gettimeofday () in
-  let init = Config.initial ~machine ~specs ~inputs in
+  let init, _, _ =
+    reduce_config ~reduce ~machine (Config.initial ~machine ~specs ~inputs)
+  in
   let ids = ref (CMap.singleton init 0) in
   let nodes = ref [ init ] in
   let n_nodes = ref 1 in
@@ -460,6 +586,9 @@ let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
   let truncated = ref false in
   let dedup_hits = ref 0 in
   let n_succs = ref 0 in
+  let canonized = ref 0 in
+  let ample_nodes = ref 0 in
+  let ample_pruned = ref 0 in
   Queue.add (init, 0) queue;
   let id_of config =
     incr n_succs;
@@ -482,16 +611,24 @@ let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
   in
   while not (Queue.is_empty queue) do
     let config, id = Queue.pop queue in
+    let succ_list, n_canon, n_pruned =
+      successors ~reduce ~machine ~specs config
+    in
+    canonized := !canonized + n_canon;
+    if n_pruned > 0 then begin
+      incr ample_nodes;
+      ample_pruned := !ample_pruned + n_pruned
+    end;
     let out =
       List.concat_map
-        (fun pid ->
+        (fun (pid, branches) ->
           List.filter_map
             (fun (config', event) ->
               match id_of config' with
               | Some target -> Some { pid; event; target }
               | None -> None)
-            (Config.step_branches ~machine ~specs config pid))
-        (Config.running config)
+            branches)
+        succ_list
     in
     Hashtbl.replace edges id out
   done;
@@ -521,6 +658,14 @@ let build_cmap ?(max_states = default_max_states) ~(machine : Machine.t)
       states_per_sec = (if wall_s > 0. then float n /. wall_s else float n);
       domains = 1;
       truncated = !truncated;
+      reduction =
+        {
+          rmode = reduce.rname;
+          group_order = Canon.order reduce.canon;
+          canonized = !canonized;
+          ample_nodes = !ample_nodes;
+          ample_pruned = !ample_pruned;
+        };
     }
   in
   {

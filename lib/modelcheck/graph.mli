@@ -12,6 +12,54 @@ open Lbsa_runtime
 
 type edge = { pid : int; event : Config.event; target : int }
 
+(** An opt-in reduction of the explored graph (see DESIGN.md,
+    "State-space reduction", for the soundness argument):
+
+    - [canon]: quotient states by a process-symmetry group — every
+      successor is replaced by its [Canon.canonical] orbit
+      representative before dedup, so the explorer visits one
+      configuration per orbit;
+    - [sleep]: commit-step (ample-set) pruning — poised decide/abort
+      steps, which are invisible to every other process, are flushed
+      directly into each successor ([Canon.flush_commits]), so
+      pre-decide interleavings never become distinct nodes; and when a
+      configuration has a running process poised on an operation on an
+      object [frozen] certifies permanently inert, only that process is
+      expanded.
+
+    [rname] is the user-facing mode name ("none" / "sym" /
+    "sym+sleep"); it is recorded in stats and checkpoints, and a
+    resumed build must use the same mode.  Node ids and failure
+    messages may differ across modes; solvability and valence verdicts
+    do not. *)
+type reduction = {
+  rname : string;
+  canon : Canon.t;
+  sleep : bool;
+  frozen : (int -> Lbsa_spec.Value.t -> bool) option;
+}
+
+val no_reduction : reduction
+(** ["none"]: identity group, no pruning — the exact seed graph. *)
+
+(** Reduction telemetry, part of {!stats}. *)
+type reduction_stats = {
+  rmode : string;
+  group_order : int;
+  canonized : int;
+      (** successors replaced by a smaller orbit representative *)
+  ample_nodes : int;
+      (** expanded nodes where commit-step pruning fired — the ample
+          rule restricted expansion to one process, or a successor had
+          poised decide/aborts flushed into it *)
+  ample_pruned : int;
+      (** steps short-circuited at those nodes: sibling expansions
+          suppressed by the ample rule plus decide/aborts flushed into
+          successors *)
+}
+
+val no_reduction_stats : reduction_stats
+
 (** Exploration statistics, collected by every [build]. *)
 type stats = {
   states : int;
@@ -29,6 +77,7 @@ type stats = {
   states_per_sec : float;
   domains : int;
   truncated : bool;
+  reduction : reduction_stats;
 }
 
 (** A partial exploration frozen at a level boundary: the node prefix
@@ -45,6 +94,11 @@ type suspended = private {
   s_dedup_hits : int;
   s_n_succs : int;
   s_frontier_sizes : int array;  (** completed levels only *)
+  s_reduction : string;
+      (** reduction mode name; [build ~resume] rejects a mismatch *)
+  s_canonized : int;
+  s_ample_nodes : int;
+  s_ample_pruned : int;
 }
 
 type t = private {
@@ -76,6 +130,7 @@ val build :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?reduce:reduction ->
   ?resume:suspended ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
@@ -93,9 +148,14 @@ val build :
     Worker
     exceptions are isolated and retried per chunk
     ({!Supervisor.run_shard}); an exhausted chunk abandons its whole
-    level, keeping the surviving prefix deterministic.  [resume]
-    continues a suspended exploration; resuming an interrupted build
-    yields the graph the uninterrupted build would have produced. *)
+    level, keeping the surviving prefix deterministic.  [reduce]
+    (default {!no_reduction}) quotients and prunes the exploration; the
+    reduced graph is still domain-count-deterministic and identical to
+    the [build_cmap] oracle's under the same [reduce].  [resume]
+    continues a suspended exploration (its recorded reduction mode must
+    match [reduce], else [Invalid_argument]); resuming an interrupted
+    build yields the graph the uninterrupted build would have
+    produced. *)
 
 val suspended_of_parts :
   nodes:Config.t array ->
@@ -105,6 +165,10 @@ val suspended_of_parts :
   dedup_hits:int ->
   n_succs:int ->
   frontier_sizes:int array ->
+  reduction:string ->
+  canonized:int ->
+  ample_nodes:int ->
+  ample_pruned:int ->
   suspended
 (** For {!Checkpoint} thawing only: reassemble a suspended exploration
     from its parts (basic shape checks, no deep validation — resuming
@@ -112,6 +176,7 @@ val suspended_of_parts :
 
 val build_cmap :
   ?max_states:int ->
+  ?reduce:reduction ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
   inputs:Lbsa_spec.Value.t array ->
@@ -119,7 +184,9 @@ val build_cmap :
   t
 (** The seed explorer: sequential BFS deduping through a
     [Map.Make(Config)].  Kept as differential-testing oracle and
-    benchmark baseline; produces a graph identical to {!build}. *)
+    benchmark baseline; produces a graph identical to {!build} —
+    including under a nontrivial [reduce], which goes through the same
+    shared reduction step. *)
 
 val n_nodes : t -> int
 val n_edges : t -> int

@@ -133,9 +133,10 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
    every process.  Liveness needs the complete graph; on a partial one
    only the safety scan runs and the verdict is partial. *)
 let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?resume ~machine ~specs ~inputs () =
+    ?reduce ?resume ~machine ~specs ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
+      ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -166,9 +167,10 @@ let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
 
 (* Exhaustive k-set agreement check. *)
 let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?resume ~machine ~specs ~k ~inputs () =
+    ?reduce ?resume ~machine ~specs ~k ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
+      ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -198,10 +200,11 @@ let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
    - Termination (b): from every reachable node, every q != p running
      solo decides. *)
 let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?resume ~machine ~specs ~inputs () =
+    ?reduce ?resume ~machine ~specs ~inputs () =
   let p = Lbsa_protocols.Dac.distinguished in
   let graph =
-    Graph.build ~max_states ?domains ?budget ?resume ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
+      ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -301,8 +304,25 @@ let pp_witness ppf w =
     Fmt.(list ~sep:(any " ") int)
     w.schedule Config.pp w.config
 
+(* The outcome of a witness search.  A found witness is definitive even
+   on a truncated graph (the violating prefix was explored in full); the
+   *absence* of one is only meaningful when the whole reachable set was
+   scanned, so a cut-short exploration without a hit must not masquerade
+   as "no witness" — that was a false negative until this variant forced
+   callers to distinguish the cases. *)
+type witness_search =
+  | Witness of witness
+  | No_witness  (* exhaustive: the complete graph holds no violation *)
+  | Search_truncated of Supervisor.outcome
+      (* no violation in the explored prefix, but exploration stopped
+         early — the verdict is inconclusive *)
+
 (* Find the first configuration violating [judge] and extract its
-   schedule.  [judge] returns a violation description, or None. *)
+   schedule.  [judge] returns a violation description, or None.
+   Witness searches always run unreduced: the schedule must replay
+   concretely from the initial configuration, which a symmetry-quotient
+   graph (whose edges connect orbit representatives) does not
+   guarantee. *)
 let find_safety_witness ?(max_states = Graph.default_max_states) ~machine ~specs
     ~inputs ~(judge : Config.t -> string option) () =
   let graph = Graph.build ~max_states ~machine ~specs ~inputs () in
@@ -311,10 +331,11 @@ let find_safety_witness ?(max_states = Graph.default_max_states) ~machine ~specs
         Option.map (fun violation -> (id, config, violation)) (judge config))
   in
   match found with
-  | None -> None
+  | None ->
+    if graph.truncated then Search_truncated graph.stop else No_witness
   | Some (id, config, violation) ->
     let path = Option.get (Graph.shortest_path graph ~target:id) in
-    Some { schedule = Graph.schedule_of_path path; violation; config }
+    Witness { schedule = Graph.schedule_of_path path; violation; config }
 
 let consensus_witness ?max_states ~machine ~specs ~inputs () =
   let judge config =

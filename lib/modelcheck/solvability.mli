@@ -53,6 +53,7 @@ val check_consensus :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
@@ -61,14 +62,18 @@ val check_consensus :
   verdict
 (** Agreement + validity + no-abort at every node, wait-freedom of every
     process.  [max_states] defaults to [Graph.default_max_states];
-    [domains], [budget] and [resume] are forwarded to {!Graph.build}.
-    Never raises on truncation: a cut-short exploration yields a partial
-    verdict (safety checked on the explored prefix, liveness skipped). *)
+    [domains], [budget], [reduce] and [resume] are forwarded to
+    {!Graph.build}.  A sound [reduce] (see {!Canon}) changes the
+    explored graph but not the verdict's [ok]/[outcome]; node ids and
+    failure messages may differ.  Never raises on truncation: a
+    cut-short exploration yields a partial verdict (safety checked on
+    the explored prefix, liveness skipped). *)
 
 val check_kset :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
@@ -81,6 +86,7 @@ val check_dac :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
@@ -105,6 +111,17 @@ type witness = {
 
 val pp_witness : Format.formatter -> witness -> unit
 
+(** The outcome of a witness search.  A found {!Witness} is definitive
+    even when the exploration was cut short (its violating prefix was
+    explored in full).  [No_witness] asserts the {e complete} reachable
+    graph holds no violation; when exploration stopped early without a
+    hit the search answers {!Search_truncated} instead — treating that
+    as "no witness" was a false negative. *)
+type witness_search =
+  | Witness of witness
+  | No_witness
+  | Search_truncated of Supervisor.outcome
+
 val find_safety_witness :
   ?max_states:int ->
   machine:Machine.t ->
@@ -112,9 +129,11 @@ val find_safety_witness :
   inputs:Value.t array ->
   judge:(Config.t -> string option) ->
   unit ->
-  witness option
+  witness_search
 (** The first configuration violating [judge], with the shortest
-    schedule reaching it. *)
+    schedule reaching it.  Always explores unreduced: witness schedules
+    must replay concretely, which a symmetry-quotiented graph does not
+    guarantee. *)
 
 val consensus_witness :
   ?max_states:int ->
@@ -122,7 +141,7 @@ val consensus_witness :
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
   unit ->
-  witness option
+  witness_search
 
 val dac_witness :
   ?max_states:int ->
@@ -130,7 +149,7 @@ val dac_witness :
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
   unit ->
-  witness option
+  witness_search
 
 (** {2 Input-family sweeps} *)
 

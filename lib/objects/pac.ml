@@ -83,6 +83,28 @@ let spec ~n () =
   in
   Obj_spec.make ~name:(Fmt.str "%d-PAC" n) ~initial:(initial ~n) ~step ()
 
+(* Rewrite the labels occurring in a PAC state under a relabelling [f]
+   (a permutation of [1..n]): the keys of the V map and the L component.
+   The stored proposal values, the consensus value and the upset flag
+   carry no labels and are left alone.  [Assoc.of_bindings] re-sorts, so
+   the result is again a well-formed (canonically ordered) PAC state.
+   This is the object-state half of a process symmetry: when process i
+   proposes under label i+1, permuting processes must permute labels. *)
+let rename_labels f state =
+  let st = view state in
+  let rename v =
+    match v.Value.node with
+    | Value.Int i -> Value.int (f i)
+    | Value.Nil -> v
+    | _ -> invalid_arg "Pac.rename_labels: malformed label"
+  in
+  let v =
+    Value.Assoc.bindings st.v
+    |> List.map (fun (k, x) -> (rename k, x))
+    |> Value.Assoc.of_bindings
+  in
+  encode { st with v; l = rename st.l }
+
 (* --- Introspection used by the Lemma 3.2-3.4 test suites ------------- *)
 
 let is_upset state = (view state).upset

@@ -21,6 +21,13 @@ val spec : n:int -> unit -> Obj_spec.t
 (** Raises [Invalid_argument] when [n < 1]; the step function raises on
     labels outside [1..n]. *)
 
+val rename_labels : (int -> int) -> Value.t -> Value.t
+(** [rename_labels f state] rewrites every label in [state] — the keys
+    of the V map and the L component — by [f] (which must permute
+    [1..n]).  Proposal values, the consensus value and the upset flag
+    are untouched.  Used by the model checker's symmetry quotient, where
+    permuting processes must permute the labels they propose under. *)
+
 (** {2 State introspection (used to check Lemmas 3.2–3.4)} *)
 
 val is_upset : Value.t -> bool

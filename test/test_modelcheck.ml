@@ -676,8 +676,9 @@ let test_witness_schedule_replays () =
   let machine, specs = Candidates.flp_write_read in
   let inputs = [| Value.int 0; Value.int 1 |] in
   match Solvability.consensus_witness ~machine ~specs ~inputs () with
-  | None -> Alcotest.fail "expected a disagreement witness"
-  | Some w ->
+  | Solvability.No_witness | Solvability.Search_truncated _ ->
+    Alcotest.fail "expected a disagreement witness"
+  | Solvability.Witness w ->
     Alcotest.(check bool) "schedule non-empty" true (w.Solvability.schedule <> []);
     let r =
       Executor.run ~machine ~specs ~inputs
@@ -694,16 +695,18 @@ let test_dac_witness () =
   let machine, specs = Candidates.dac3_sa2_then_cons2 in
   let inputs = [| Value.int 1; Value.int 0; Value.int 0 |] in
   match Solvability.dac_witness ~machine ~specs ~inputs () with
-  | None ->
+  | Solvability.No_witness | Solvability.Search_truncated _ ->
     (* This input vector may be safe; some binary vector must witness. *)
     let witnessed =
       List.exists
         (fun inputs ->
-          Solvability.dac_witness ~machine ~specs ~inputs () <> None)
+          match Solvability.dac_witness ~machine ~specs ~inputs () with
+          | Solvability.Witness _ -> true
+          | Solvability.No_witness | Solvability.Search_truncated _ -> false)
         (Dac.binary_inputs 3)
     in
     Alcotest.(check bool) "some input vector witnesses" true witnessed
-  | Some w ->
+  | Solvability.Witness w ->
     Alcotest.(check bool) "violation described" true
       (String.length w.Solvability.violation > 0)
 

@@ -1,0 +1,450 @@
+(* State-space reduction: the symmetry quotient (Canon), commit-step
+   pruning, oracle agreement on quotiented graphs, truncation-sound
+   witness search, and checkpoint/resume compatibility across
+   reduction modes. *)
+
+open Lbsa
+
+(* --- protocol instances with their symmetry groups --------------------- *)
+
+let dac3 () =
+  let n = 3 in
+  ( Dac_from_pac.machine ~n,
+    Dac_from_pac.specs ~n,
+    [| Value.int 1; Value.int 0; Value.int 0 |],
+    Canon.dac ~n )
+
+let cons2 () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  (machine, specs, [| Value.int 0; Value.int 1 |], Canon.exchangeable ~n:2 ())
+
+let kset22 () =
+  let machine, specs = Kset_protocols.partition ~m:2 ~k:2 in
+  ( machine,
+    specs,
+    Kset_task.distinct_inputs 4,
+    Canon.kset_partition ~m:2 ~k:2 )
+
+let dac_frozen obj state = obj = 0 && Pac.is_upset state
+
+let sym canon = { Cgraph.rname = "sym"; canon; sleep = false; frozen = None }
+
+let sym_sleep ?frozen canon =
+  { Cgraph.rname = "sym+sleep"; canon; sleep = true; frozen }
+
+(* --- the quotient map: permutation invariance on reachable states ------ *)
+
+let test_group_orders () =
+  Alcotest.(check int) "exchangeable 3" 6
+    (Canon.order (Canon.exchangeable ~n:3 ()));
+  Alcotest.(check int) "exchangeable 3 fixing one" 2
+    (Canon.order (Canon.exchangeable ~n:3 ~fixed:[ 0 ] ()));
+  Alcotest.(check int) "dac 3 fixes p0" 2 (Canon.order (Canon.dac ~n:3));
+  Alcotest.(check int) "dac 4 fixes p0" 6 (Canon.order (Canon.dac ~n:4));
+  Alcotest.(check int) "kset 2,2: (2!)^2 * 2!" 8
+    (Canon.order (Canon.kset_partition ~m:2 ~k:2));
+  (* The dac group must never move the distinguished process 0. *)
+  List.iter
+    (fun (a : Canon.auto) ->
+      Alcotest.(check int) "p0 fixed" 0 a.Canon.proc.(0))
+    (Canon.dac ~n:4).Canon.autos
+
+(* [canonical] must send every member of an orbit to the same
+   representative, that representative must be the [Config.compare]-least
+   orbit element, and [Config.hash] must agree wherever [compare] says
+   equal — the properties the explorer's dedup table keys on. *)
+let check_orbit_stability label group graph =
+  Cgraph.iter_nodes
+    (fun id c ->
+      let rep = Canon.canonical group c in
+      if not (Config.equal (Canon.canonical group rep) rep) then
+        Alcotest.failf "%s: canonical not idempotent at node %d" label id;
+      if Config.compare rep c > 0 then
+        Alcotest.failf "%s: canonical exceeds its argument at node %d" label
+          id;
+      (match Canon.orbit group c with
+      | least :: _ ->
+        if not (Config.equal rep least) then
+          Alcotest.failf "%s: canonical is not the orbit minimum at node %d"
+            label id
+      | [] -> Alcotest.failf "%s: empty orbit at node %d" label id);
+      List.iter
+        (fun a ->
+          let rep' = Canon.canonical group (Canon.apply a c) in
+          if not (Config.equal rep' rep) then
+            Alcotest.failf
+              "%s: node %d: permuted image canonizes to a different \
+               representative"
+              label id;
+          if Config.compare rep' rep <> 0 then
+            Alcotest.failf "%s: node %d: compare disagrees with equal" label
+              id;
+          if Config.hash rep' <> Config.hash rep then
+            Alcotest.failf "%s: node %d: orbit representatives hash apart"
+              label id)
+        group.Canon.autos)
+    graph
+
+let test_canonical_permutation_stable () =
+  List.iter
+    (fun (label, (machine, specs, inputs, group)) ->
+      let graph = Cgraph.build ~machine ~specs ~inputs () in
+      check_orbit_stability label group graph)
+    [
+      ("dac:3", dac3 ());
+      ("cons:2", cons2 ());
+      ("kset 2,2", kset22 ());
+    ]
+
+let test_near_symmetric_orbits () =
+  (* Adversarial hand-built configurations: genuinely symmetric pairs
+     must merge, near-symmetric ones — where only one of the parallel
+     arrays is mirrored — must not. *)
+  let g = Canon.exchangeable ~n:2 () in
+  let a = Value.int 0 and b = Value.int 1 in
+  let mk locals status =
+    { Config.locals; objects = [| Value.int 7 |]; status }
+  in
+  let rep c = Canon.canonical g c in
+  (* mirror images: same orbit *)
+  let c1 = mk [| a; b |] [| Config.Running; Config.Running |] in
+  let c2 = mk [| b; a |] [| Config.Running; Config.Running |] in
+  Alcotest.(check bool) "mirrored locals merge" true
+    (Config.equal (rep c1) (rep c2));
+  (* mirroring locals AND statuses together: same orbit *)
+  let c3 = mk [| a; b |] [| Config.Decided a; Config.Running |] in
+  let c4 = mk [| b; a |] [| Config.Running; Config.Decided a |] in
+  Alcotest.(check bool) "jointly mirrored config merges" true
+    (Config.equal (rep c3) (rep c4));
+  Alcotest.(check int) "orbit hashes agree" (Config.hash (rep c3))
+    (Config.hash (rep c4));
+  (* mirroring only the locals, statuses left in place: different orbit *)
+  let c5 = mk [| b; a |] [| Config.Decided a; Config.Running |] in
+  Alcotest.(check bool) "half-mirrored config must NOT merge" false
+    (Config.equal (rep c3) (rep c5));
+  (* same shape, different decision value: different orbit *)
+  let c6 = mk [| a; b |] [| Config.Decided b; Config.Running |] in
+  Alcotest.(check bool) "different decisions must NOT merge" false
+    (Config.equal (rep c3) (rep c6));
+  (* a group that fixes pid 0 must not merge the mirror pair *)
+  let fixed = Canon.exchangeable ~n:2 ~fixed:[ 0 ] () in
+  Alcotest.(check bool) "fixed-pid group keeps mirror images apart" false
+    (Config.equal (Canon.canonical fixed c1) (Canon.canonical fixed c2))
+
+(* --- reduced builds against the CMap oracle ---------------------------- *)
+
+let check_same_graph label (g1 : Cgraph.t) (g2 : Cgraph.t) =
+  Alcotest.(check int)
+    (label ^ ": node count")
+    (Cgraph.n_nodes g1) (Cgraph.n_nodes g2);
+  Alcotest.(check int)
+    (label ^ ": edge count")
+    (Cgraph.n_edges g1) (Cgraph.n_edges g2);
+  Alcotest.(check int) (label ^ ": initial") g1.Cgraph.initial g2.Cgraph.initial;
+  for id = 0 to Cgraph.n_nodes g1 - 1 do
+    if not (Config.equal (Cgraph.node g1 id) (Cgraph.node g2 id)) then
+      Alcotest.failf "%s: node %d differs" label id;
+    if Cgraph.out_edges g1 id <> Cgraph.out_edges g2 id then
+      Alcotest.failf "%s: out-edges of node %d differ" label id
+  done
+
+let test_reduced_build_matches_cmap_oracle () =
+  (* The parallel explorer and the seed CMap explorer share one
+     reduction step; under every mode they must still produce the same
+     graph, node ids and edge order included. *)
+  List.iter
+    (fun (label, (machine, specs, inputs, canon), frozen) ->
+      List.iter
+        (fun reduce ->
+          let g = Cgraph.build ~reduce ~machine ~specs ~inputs () in
+          let oracle = Cgraph.build_cmap ~reduce ~machine ~specs ~inputs () in
+          check_same_graph
+            (Fmt.str "%s [%s]" label reduce.Cgraph.rname)
+            g oracle)
+        [ sym canon; sym_sleep ?frozen canon ])
+    [
+      ("dac:3", dac3 (), Some dac_frozen);
+      ("cons:2", cons2 (), None);
+      ("kset 2,2", kset22 (), None);
+    ]
+
+(* --- verdict agreement and the acceptance ratio ------------------------ *)
+
+let check_done label (v : Solvability.verdict) =
+  match v.Solvability.outcome with
+  | Supervisor.Done -> ()
+  | o -> Alcotest.failf "%s: partial outcome %a" label Supervisor.pp_outcome o
+
+let test_dac3_verdicts_agree_and_ratio () =
+  let machine, specs, inputs, canon = dac3 () in
+  let check reduce = Solvability.check_dac ?reduce ~machine ~specs ~inputs () in
+  let v_none = check None in
+  let v_sym = check (Some (sym canon)) in
+  let v_sleep = check (Some (sym_sleep ~frozen:dac_frozen canon)) in
+  List.iter (fun (l, v) -> check_done l v)
+    [ ("none", v_none); ("sym", v_sym); ("sym+sleep", v_sleep) ];
+  Alcotest.(check bool) "none ok" true v_none.Solvability.ok;
+  Alcotest.(check bool) "sym agrees" v_none.Solvability.ok v_sym.Solvability.ok;
+  Alcotest.(check bool) "sym+sleep agrees" v_none.Solvability.ok
+    v_sleep.Solvability.ok;
+  Alcotest.(check bool) "sym explores fewer states" true
+    (v_sym.Solvability.states < v_none.Solvability.states);
+  Alcotest.(check bool) "sleep explores no more than sym" true
+    (v_sleep.Solvability.states <= v_sym.Solvability.states);
+  (* The acceptance floor: sym+sleep must explore at least 3x fewer
+     states than the unreduced build on dac:3. *)
+  if v_none.Solvability.states < 3 * v_sleep.Solvability.states then
+    Alcotest.failf "reduction ratio below 3x on dac:3: %d vs %d states"
+      v_none.Solvability.states v_sleep.Solvability.states
+
+let test_verdicts_agree_across_modes () =
+  (* Consensus and k-set checkers, plus the dac binary input family and
+     two failing candidates: ok must agree mode-by-mode, for passing and
+     failing protocols alike. *)
+  let machine, specs, inputs, canon = cons2 () in
+  let cons reduce =
+    (Solvability.check_consensus ?reduce ~machine ~specs ~inputs ())
+      .Solvability.ok
+  in
+  Alcotest.(check bool) "cons:2 sym" (cons None) (cons (Some (sym canon)));
+  Alcotest.(check bool) "cons:2 sym+sleep" (cons None)
+    (cons (Some (sym_sleep canon)));
+  let machine, specs, inputs, canon = kset22 () in
+  let kset reduce =
+    (Solvability.check_kset ?reduce ~machine ~specs ~k:2 ~inputs ())
+      .Solvability.ok
+  in
+  Alcotest.(check bool) "kset 2,2 sym" (kset None) (kset (Some (sym canon)));
+  Alcotest.(check bool) "kset 2,2 sym+sleep" (kset None)
+    (kset (Some (sym_sleep canon)));
+  (* full binary family on dac:3 *)
+  let machine, specs, _, canon = dac3 () in
+  let family reduce =
+    let v =
+      Solvability.for_all_inputs
+        (fun inputs -> Solvability.check_dac ?reduce ~machine ~specs ~inputs ())
+        (Dac.binary_inputs 3)
+    in
+    v.Solvability.ok
+  in
+  Alcotest.(check bool) "dac:3 family sym" (family None)
+    (family (Some (sym canon)));
+  Alcotest.(check bool) "dac:3 family sym+sleep" (family None)
+    (family (Some (sym_sleep ~frozen:dac_frozen canon)));
+  (* a buggy dac candidate must keep failing under reduction *)
+  let machine, specs = Candidates.dac3_sa2_then_cons2 in
+  let broken reduce =
+    let v =
+      Solvability.for_all_inputs
+        (fun inputs -> Solvability.check_dac ?reduce ~machine ~specs ~inputs ())
+        (Dac.binary_inputs 3)
+    in
+    v.Solvability.ok
+  in
+  Alcotest.(check bool) "broken candidate fails unreduced" false (broken None);
+  Alcotest.(check bool) "broken candidate fails under sym" false
+    (broken (Some (sym canon)));
+  Alcotest.(check bool) "broken candidate fails under sym+sleep" false
+    (broken (Some (sym_sleep ~frozen:dac_frozen canon)))
+
+(* --- valence on reduced graphs ----------------------------------------- *)
+
+let equal_class a b =
+  match (a, b) with
+  | Valence.Bivalent, Valence.Bivalent -> true
+  | Valence.Undecided, Valence.Undecided -> true
+  | Valence.Valent x, Valence.Valent y -> Value.equal x y
+  | _ -> false
+
+let test_valence_agreement_on_reduced_graphs () =
+  (* On each reduced graph both valence engines must agree node-by-node,
+     and the initial classification must be stable across modes. *)
+  List.iter
+    (fun (label, (machine, specs, inputs, canon), frozen) ->
+      let initial_class reduce =
+        let g = Cgraph.build ?reduce ~machine ~specs ~inputs () in
+        let a = Valence.analyze g in
+        let oracle = Valence.analyze_fixpoint g in
+        for id = 0 to Cgraph.n_nodes g - 1 do
+          if
+            not (equal_class (Valence.classify a id) (Valence.classify oracle id))
+          then
+            Alcotest.failf "%s: valence engines disagree at node %d" label id
+        done;
+        Valence.classify a g.Cgraph.initial
+      in
+      let c_none = initial_class None in
+      List.iter
+        (fun reduce ->
+          let c = initial_class (Some reduce) in
+          if not (equal_class c_none c) then
+            Alcotest.failf "%s [%s]: initial valence differs: %a vs %a" label
+              reduce.Cgraph.rname Valence.pp_classification c_none
+              Valence.pp_classification c)
+        [ sym canon; sym_sleep ?frozen canon ])
+    [
+      ("dac:3", dac3 (), Some dac_frozen);
+      ("cons:2", cons2 (), None);
+    ]
+
+(* --- truncation-sound witness search (regression) ---------------------- *)
+
+let test_witness_search_truncation_sound () =
+  (* A correct protocol under a tiny state bound: the search must answer
+     Search_truncated — answering No_witness on a cut-off graph was the
+     false negative this guards against. *)
+  let machine, specs, inputs, _ = cons2 () in
+  (match Solvability.consensus_witness ~max_states:2 ~machine ~specs ~inputs ()
+   with
+  | Solvability.Search_truncated o ->
+    Alcotest.(check bool) "partial outcome" true (Supervisor.is_partial o)
+  | Solvability.No_witness ->
+    Alcotest.fail "truncated search claimed a definitive no-witness"
+  | Solvability.Witness w ->
+    Alcotest.failf "correct protocol produced a witness: %s"
+      w.Solvability.violation);
+  (* unbounded, the answer is definitive *)
+  (match Solvability.consensus_witness ~machine ~specs ~inputs () with
+  | Solvability.No_witness -> ()
+  | Solvability.Search_truncated _ ->
+    Alcotest.fail "complete search reported truncation"
+  | Solvability.Witness w ->
+    Alcotest.failf "correct protocol produced a witness: %s"
+      w.Solvability.violation);
+  (* A broken protocol: a found witness stays definitive, and a bound
+     too small to reach the violation must again answer truncated, never
+     no-witness. *)
+  let machine, specs = Candidates.flp_write_read in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  (match Solvability.consensus_witness ~machine ~specs ~inputs () with
+  | Solvability.Witness _ -> ()
+  | _ -> Alcotest.fail "expected a disagreement witness");
+  match Solvability.consensus_witness ~max_states:2 ~machine ~specs ~inputs ()
+  with
+  | Solvability.No_witness ->
+    Alcotest.fail "truncated search on a broken protocol claimed no witness"
+  | Solvability.Search_truncated _ | Solvability.Witness _ -> ()
+
+(* --- resume compatibility ---------------------------------------------- *)
+
+let test_resume_rejects_reduction_mismatch () =
+  let machine, specs, inputs, canon = dac3 () in
+  let reduce = sym canon in
+  let partial =
+    Cgraph.build ~max_states:20 ~reduce ~machine ~specs ~inputs ()
+  in
+  Alcotest.(check bool) "bound truncates" true partial.Cgraph.truncated;
+  let s = Option.get partial.Cgraph.suspended in
+  (match Cgraph.build ~resume:s ~machine ~specs ~inputs () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "resume under a different reduction must be rejected");
+  (match
+     Cgraph.build ~resume:s
+       ~reduce:(sym_sleep ~frozen:dac_frozen canon)
+       ~machine ~specs ~inputs ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sym checkpoint must not resume under sym+sleep");
+  (* matching mode: the resumed build is the uninterrupted build *)
+  let resumed = Cgraph.build ~resume:s ~reduce ~machine ~specs ~inputs () in
+  let full = Cgraph.build ~reduce ~machine ~specs ~inputs () in
+  check_same_graph "resumed vs uninterrupted [sym]" resumed full
+
+(* --- the CLI resume contract (exit 2 on divergent parameters) ---------- *)
+
+let with_cli k =
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "lbsa_cli.exe"))
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Fmt.str "CLI executable not found at %s" exe);
+  let full = Filename.temp_file "lbsa-full" ".txt" in
+  let resumed = Filename.temp_file "lbsa-resumed" ".txt" in
+  let ckpt = Filename.temp_file "lbsa-solve" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> if Sys.file_exists f then Sys.remove f)
+        [ full; resumed; ckpt ])
+    (fun () -> k ~q:Filename.quote ~exe ~full ~resumed ~ckpt)
+
+let run fmt = Fmt.kstr Sys.command fmt
+
+let test_cli_resume_rejects_reduce_mismatch () =
+  (* `lbsa solve --resume` with a different --reduce must refuse with
+     exit 2 rather than silently diverge from the checkpointed run. *)
+  with_cli (fun ~q ~exe ~full:_ ~resumed:_ ~ckpt ->
+      Alcotest.(check int) "deadline-0 sym run is partial" 2
+        (run
+           "%s solve dac -n 3 --reduce sym --deadline 0 --checkpoint %s > \
+            /dev/null 2>&1"
+           (q exe) (q ckpt));
+      Alcotest.(check int) "resume without --reduce sym is refused" 2
+        (run "%s solve dac -n 3 --resume %s > /dev/null 2>&1" (q exe) (q ckpt));
+      Alcotest.(check int) "resume with --reduce sym+sleep is refused" 2
+        (run "%s solve dac -n 3 --reduce sym+sleep --resume %s > /dev/null 2>&1"
+           (q exe) (q ckpt));
+      Alcotest.(check int) "resume with matching --reduce passes" 0
+        (run "%s solve dac -n 3 --reduce sym --resume %s > /dev/null 2>&1"
+           (q exe) (q ckpt)))
+
+let test_cli_resume_other_domains_byte_identical () =
+  (* --domains is a budget knob, not a graph parameter: resuming with a
+     different domain count must reproduce the uninterrupted run
+     byte-for-byte. *)
+  with_cli (fun ~q ~exe ~full ~resumed ~ckpt ->
+      Alcotest.(check int) "uninterrupted 1-domain run passes" 0
+        (run "%s solve dac -n 3 --reduce sym --domains 1 > %s 2>/dev/null"
+           (q exe) (q full));
+      Alcotest.(check int) "deadline-0 run is partial" 2
+        (run
+           "%s solve dac -n 3 --reduce sym --domains 1 --deadline 0 \
+            --checkpoint %s > /dev/null 2>&1"
+           (q exe) (q ckpt));
+      Alcotest.(check int) "resume with --domains 2 passes" 0
+        (run
+           "%s solve dac -n 3 --reduce sym --domains 2 --resume %s > %s \
+            2>/dev/null"
+           (q exe) (q ckpt) (q resumed));
+      Alcotest.(check int) "stdout is byte-for-byte identical" 0
+        (run "cmp -s %s %s" (q full) (q resumed)))
+
+let () =
+  Alcotest.run "reduction"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "group orders" `Quick test_group_orders;
+          Alcotest.test_case "canonical permutation-stable" `Quick
+            test_canonical_permutation_stable;
+          Alcotest.test_case "near-symmetric orbits" `Quick
+            test_near_symmetric_orbits;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "reduced build matches CMap oracle" `Quick
+            test_reduced_build_matches_cmap_oracle;
+          Alcotest.test_case "dac:3 verdicts agree, ratio >= 3x" `Quick
+            test_dac3_verdicts_agree_and_ratio;
+          Alcotest.test_case "verdicts agree across modes" `Slow
+            test_verdicts_agree_across_modes;
+          Alcotest.test_case "valence agreement on reduced graphs" `Quick
+            test_valence_agreement_on_reduced_graphs;
+        ] );
+      ( "soundness regressions",
+        [
+          Alcotest.test_case "witness search is truncation-sound" `Quick
+            test_witness_search_truncation_sound;
+          Alcotest.test_case "resume rejects reduction mismatch" `Quick
+            test_resume_rejects_reduction_mismatch;
+        ] );
+      ( "cli resume contract",
+        [
+          Alcotest.test_case "divergent --reduce is refused (exit 2)" `Quick
+            test_cli_resume_rejects_reduce_mismatch;
+          Alcotest.test_case "divergent --domains stays byte-identical" `Quick
+            test_cli_resume_other_domains_byte_identical;
+        ] );
+    ]

@@ -333,7 +333,12 @@ let test_fuzz_checkpoint_roundtrip () =
       Alcotest.(check bool) "same (absent) failure" true
         (full.Fuzz_engine.failure = None && resumed.Fuzz_engine.failure = None))
 
-let test_shrink_budget_zero_keeps_case () =
+let test_shrink_budget_zero_reports_no_shrink () =
+  (* Regression: a 0-budget descent returns the original case, which
+     used to be reported as [shrunk = Some original] — a "shrunk to N
+     calls" claim for a case that never shrank (and, mid-descent, was
+     never re-validated).  The failure itself must still be reported,
+     with the shrink record honestly absent. *)
   let t = Fuzz_targets.impl_target "mutant-pac:2" in
   let r =
     Fuzz_engine.fuzz_impl ~domains:1 ~shrink_budget:0 ~trials:500 ~seed:42 t
@@ -342,11 +347,24 @@ let test_shrink_budget_zero_keeps_case () =
   | None -> Alcotest.fail "fuzzer missed the known-bad target"
   | Some f -> (
     match f.Fuzz_engine.shrunk with
-    | None -> Alcotest.fail "shrink record missing"
+    | None -> ()
     | Some (c, _) ->
-      Alcotest.(check int) "budget 0 keeps the original case"
-        (Fuzz_case.n_calls f.Fuzz_engine.case)
-        (Fuzz_case.n_calls c))
+      Alcotest.failf "budget 0 reported a phantom shrink to %d calls"
+        (Fuzz_case.n_calls c));
+    (* With a real budget the same failure must shrink to a strictly
+       smaller (or equal-size, but then unreported) re-validated case. *)
+    (let r' =
+       Fuzz_engine.fuzz_impl ~domains:1 ~trials:500 ~seed:42 t
+     in
+     match r'.Fuzz_engine.failure with
+     | None -> Alcotest.fail "fuzzer missed the known-bad target unshrunk"
+     | Some f' -> (
+       match f'.Fuzz_engine.shrunk with
+       | None -> ()
+       | Some (c, _) ->
+         (* Shrink steps drop calls or faults, never add either. *)
+         Alcotest.(check bool) "a reported shrink is no larger" true
+           (Fuzz_case.n_calls c <= Fuzz_case.n_calls f'.Fuzz_engine.case)))
 
 let test_campaign_supervised_stops () =
   let impl = Snapshot_impl.implementation ~n:3 in
@@ -503,8 +521,8 @@ let () =
             test_fan_budget_stops_and_resumes;
           Alcotest.test_case "fuzz checkpoint roundtrip" `Quick
             test_fuzz_checkpoint_roundtrip;
-          Alcotest.test_case "shrink budget 0 keeps the case" `Quick
-            test_shrink_budget_zero_keeps_case;
+          Alcotest.test_case "shrink budget 0 reports no shrink" `Quick
+            test_shrink_budget_zero_reports_no_shrink;
           Alcotest.test_case "campaign_supervised stops cleanly" `Quick
             test_campaign_supervised_stops;
         ] );

@@ -1019,6 +1019,91 @@ let run_json () =
       List.for_all (fun (_, _, _, ok, agrees) -> ok = ok0 && agrees) red
     | [] -> false
   in
+  (* Verification service: client-observed cold vs hot latency for the
+     dac:3 solvability query under every reduction mode, plus the
+     daemon's own counters.  One in-process daemon on a throwaway socket
+     and store — the same path [lbsa serve] exercises. *)
+  let serve_dir =
+    let d = Filename.temp_file "lbsa-bench-serve" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let serve_cfg =
+    {
+      Serve_daemon.socket = Filename.concat serve_dir "sock";
+      store_dir = Filename.concat serve_dir "store";
+      workers = 1;
+      default_deadline_s = None;
+      log = false;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Serve_daemon.run serve_cfg) in
+  let client =
+    match Serve_client.connect ~wait_s:10. ~socket:serve_cfg.socket () with
+    | Ok c -> c
+    | Error e -> failwith ("bench: cannot reach serve daemon: " ^ e)
+  in
+  let serve_query reduce =
+    Serve_api.Verify
+      {
+        task = Serve_api.Dac { n = 3 };
+        question = Serve_api.Solve;
+        inputs = [ 1; 0; 0 ];
+        max_states = Cgraph.default_max_states;
+        reduce;
+      }
+  in
+  let client_wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let serve_modes =
+    List.map
+      (fun reduce ->
+        let q = serve_query reduce in
+        let ask () =
+          match Serve_client.query client q with
+          | Ok (r, cached, _) -> (Serve_api.render r, cached)
+          | Error e -> failwith ("bench: serve query failed: " ^ e)
+        in
+        let (cold_render, _), cold_ms = client_wall ask in
+        let hot_ms = ref infinity and hot_equal = ref true in
+        for _ = 1 to 10 do
+          let (r, cached), ms = client_wall ask in
+          if not cached then failwith "bench: warm serve query missed cache";
+          if ms < !hot_ms then hot_ms := ms;
+          hot_equal := !hot_equal && String.equal r cold_render
+        done;
+        (Serve_api.reduce_name reduce, cold_ms, !hot_ms, !hot_equal))
+      [ `None; `Sym; `Sym_sleep ]
+  in
+  let serve_stats =
+    match Serve_client.stats client with
+    | Ok s -> s
+    | Error e -> failwith ("bench: serve stats failed: " ^ e)
+  in
+  (match Serve_client.shutdown client with
+  | Ok _ -> ()
+  | Error e -> failwith ("bench: serve shutdown failed: " ^ e));
+  Serve_client.close client;
+  let (_ : Serve_wire.stats) = Domain.join daemon in
+  let rec rm_rf path =
+    if Sys.is_directory path then (
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path)
+    else Sys.remove path
+  in
+  (try rm_rf serve_dir with Sys_error _ | Unix.Unix_error _ -> ());
+  let serve_speedup_min =
+    List.fold_left
+      (fun acc (_, cold, hot, _) -> Float.min acc (cold /. hot))
+      infinity serve_modes
+  in
+  let serve_verdicts_equal =
+    List.for_all (fun (_, _, _, eq) -> eq) serve_modes
+  in
   (* Parallel speedup is bounded by the cores actually available: on a
      single-core box the d > 1 sweeps only measure spawn overhead. *)
   let cores = Domain.recommended_domain_count () in
@@ -1057,10 +1142,22 @@ let run_json () =
         (if agrees then "agrees" else "DISAGREES"))
     red;
   Fmt.pr "reduce ratio: %.2fx fewer states under sym+sleep@." red_ratio;
+  List.iter
+    (fun (mode, cold, hot, eq) ->
+      Fmt.pr "serve %-9s cold %.2f ms, hot %.3f ms (%.0fx), verdict %s@." mode
+        cold hot (cold /. hot)
+        (if eq then "equal" else "DIFFERS"))
+    serve_modes;
+  Fmt.pr
+    "serve counters: %d queries, %d mem hits, %d store hits, %d computed, \
+     queue peak %d@."
+    serve_stats.Serve_wire.st_queries serve_stats.Serve_wire.st_hits_mem
+    serve_stats.Serve_wire.st_hits_store serve_stats.Serve_wire.st_computed
+    serve_stats.Serve_wire.st_queue_peak;
   let oc = open_out "BENCH_verify.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"lbsa-bench-verify/3\",\n";
+  p "  \"schema\": \"lbsa-bench-verify/4\",\n";
   p
     "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
      \"states_per_sec\": %.0f, \"domains\": %d, \"build_ms\": %.3f, \
@@ -1103,10 +1200,33 @@ let run_json () =
   p
     "  \"for_all_inputs\": { \"family\": \"dac:3 binary inputs\", \
      \"vectors\": %d, \"cores_available\": %d, \"wall_s\": { \"1\": %.4f, \
-     \"2\": %.4f, \"4\": %.4f }, \"speedup_4_domains\": %.2f }\n"
+     \"2\": %.4f, \"4\": %.4f }, \"speedup_4_domains\": %.2f },\n"
     fs1.Solvability.vectors cores fs1.Solvability.wall_s
     fs2.Solvability.wall_s fs4.Solvability.wall_s
     (fs1.Solvability.wall_s /. fs4.Solvability.wall_s);
+  p "  \"serve\": { \"case\": \"dac:3 solve\", \"modes\": {\n";
+  List.iteri
+    (fun i (mode, cold, hot, eq) ->
+      p
+        "    %S: { \"cold_ms\": %.3f, \"hot_ms\": %.4f, \"speedup\": %.1f, \
+         \"verdict_equal\": %b }%s\n"
+        mode cold hot (cold /. hot) eq
+        (if i = List.length serve_modes - 1 then "" else ","))
+    serve_modes;
+  p
+    "  }, \"speedup_min\": %.1f, \"verdicts_equal\": %b, \"queries\": %d, \
+     \"hits_mem\": %d, \"hits_store\": %d, \"misses\": %d, \"computed\": %d, \
+     \"joined\": %d, \"queue_peak\": %d, \"corrupt\": %d, \
+     \"hot_us_mean\": %.1f, \"cold_us_mean\": %.1f }\n"
+    serve_speedup_min serve_verdicts_equal serve_stats.Serve_wire.st_queries
+    serve_stats.Serve_wire.st_hits_mem serve_stats.Serve_wire.st_hits_store
+    serve_stats.Serve_wire.st_misses serve_stats.Serve_wire.st_computed
+    serve_stats.Serve_wire.st_joined serve_stats.Serve_wire.st_queue_peak
+    serve_stats.Serve_wire.st_corrupt
+    (serve_stats.Serve_wire.st_hot_us_total
+    /. float (max 1 serve_stats.Serve_wire.st_hot_count))
+    (serve_stats.Serve_wire.st_cold_us_total
+    /. float (max 1 serve_stats.Serve_wire.st_cold_count));
   p "}\n";
   close_out oc;
   Fmt.pr "wrote BENCH_verify.json@."

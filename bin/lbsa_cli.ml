@@ -978,6 +978,15 @@ let objects_cmd =
 
 (* --- fingerprint ----------------------------------------------------------- *)
 
+let inputs_arg =
+  Arg.(
+    value
+    & opt (some (list ~sep:',' int)) None
+    & info [ "inputs" ] ~docv:"I1,I2,..."
+        ~doc:
+          "Full input vector, one integer per process.  Defaults to the \
+           task's canonical vector.")
+
 (* Structural fingerprint of a fixed configuration graph, for the
    cross-process determinism regression: two runs of this command must
    print identical lines no matter how many unrelated values were
@@ -986,27 +995,64 @@ let objects_cmd =
    space with [--intern-warmup] would change the output.  The fold below
    deliberately touches only structural data: per-node [Config.hash]
    (purely structural by construction) in node-id order, then each
-   node's out-edge (pid, target) sequence. *)
-let fingerprint warmup n max_states =
+   node's out-edge (pid, target) sequence.
+
+   The fingerprint must also pin every parameter the graph is a function
+   of.  It originally folded structure only and ignored the reduction
+   mode, the input vector and the state quota — so `--reduce sym` on
+   inputs 0,1,1 could collide with the exact graph on the default
+   inputs.  Those parameters now join the fold, and the printed [key=]
+   field is the serve cache's canonical digest for the equivalent
+   solvability query ({!Serve_api.key}), tying the two fingerprint
+   notions together. *)
+let fingerprint warmup n max_states mode inputs_opt =
   for i = 1 to warmup do
     ignore (Value.list [ Value.int (1_000_000 + i); Value.sym "warmup" ])
   done;
-  let machine = Dac_from_pac.machine ~n in
-  let specs = Dac_from_pac.specs ~n in
-  let inputs = Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0)) in
-  let graph = Cgraph.build ~max_states ~machine ~specs ~inputs () in
-  let h = ref 0x811c9dc5 in
-  let comb k = h := Value.hash_combine !h k land max_int in
-  for id = 0 to Cgraph.n_nodes graph - 1 do
-    comb (Config.hash (Cgraph.node graph id));
-    Cgraph.iter_out_edges graph id (fun e ->
-        comb e.Cgraph.pid;
-        comb e.Cgraph.target)
-  done;
-  Fmt.pr "states=%d edges=%d truncated=%b fingerprint=%08x@."
-    (Cgraph.n_nodes graph) (Cgraph.n_edges graph) graph.Cgraph.truncated
-    (!h land 0xffffffff);
-  0
+  let raw_inputs =
+    match inputs_opt with
+    | Some l -> l
+    | None -> List.init n (fun pid -> if pid = 0 then 1 else 0)
+  in
+  if List.length raw_inputs <> n then begin
+    Fmt.epr "lbsa fingerprint: dac:%d expects %d inputs, got %d@." n n
+      (List.length raw_inputs);
+    3
+  end
+  else begin
+    let machine = Dac_from_pac.machine ~n in
+    let specs = Dac_from_pac.specs ~n in
+    let inputs = Array.of_list (List.map Value.int raw_inputs) in
+    let reduce = mk_reduce ~frozen:dac_frozen ~canon:(Canon.dac ~n) mode in
+    let graph = Cgraph.build ~max_states ~reduce ~machine ~specs ~inputs () in
+    let h = ref 0x811c9dc5 in
+    let comb k = h := Value.hash_combine !h k land max_int in
+    for id = 0 to Cgraph.n_nodes graph - 1 do
+      comb (Config.hash (Cgraph.node graph id));
+      Cgraph.iter_out_edges graph id (fun e ->
+          comb e.Cgraph.pid;
+          comb e.Cgraph.target)
+    done;
+    String.iter (fun c -> comb (Char.code c)) (reduce_mode_name mode);
+    Array.iter (fun v -> comb (Value.hash v)) inputs;
+    comb max_states;
+    let q =
+      Serve_api.Verify
+        {
+          task = Serve_api.Dac { n };
+          question = Serve_api.Solve;
+          inputs = raw_inputs;
+          max_states;
+          reduce = mode;
+        }
+    in
+    Fmt.pr "states=%d edges=%d truncated=%b reduce=%s fingerprint=%08x key=%s@."
+      (Cgraph.n_nodes graph) (Cgraph.n_edges graph) graph.Cgraph.truncated
+      (reduce_mode_name mode)
+      (!h land 0xffffffff)
+      (Serve_api.key q);
+    0
+  end
 
 let fingerprint_cmd =
   let warmup =
@@ -1024,8 +1070,246 @@ let fingerprint_cmd =
        ~doc:
          "Print a structural fingerprint of the dac configuration graph \
           (cross-process determinism probe: output must be independent of \
-          value-interning order).")
-    Term.(const fingerprint $ warmup $ n_arg $ max_states_arg)
+          value-interning order, and must pin the reduction mode, input \
+          vector and state quota).")
+    Term.(
+      const fingerprint $ warmup $ n_arg $ max_states_arg $ reduce_arg
+      $ inputs_arg)
+
+(* --- serve / query / shutdown ---------------------------------------------- *)
+
+let default_socket =
+  Filename.concat (Filename.get_temp_dir_name ()) "lbsa-serve.sock"
+
+let default_store =
+  Filename.concat (Filename.get_temp_dir_name ()) "lbsa-store"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt string default_store
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result-store directory (content-addressed, \
+           checksummed; survives daemon restarts).")
+
+let wait_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "wait" ] ~docv:"SEC"
+        ~doc:
+          "Keep retrying the connection for up to SEC seconds while the \
+           daemon's socket is absent (start-then-query races in scripts).")
+
+let serve socket store workers default_deadline quiet =
+  let cfg =
+    {
+      Serve_daemon.socket;
+      store_dir = store;
+      workers;
+      default_deadline_s = default_deadline;
+      log = not quiet;
+    }
+  in
+  match Serve_daemon.run cfg with
+  | stats ->
+    Fmt.pr "%a@." Serve_wire.pp_stats stats;
+    0
+  | exception Failure msg ->
+    Fmt.epr "lbsa serve: %s@." msg;
+    1
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "workers" ] ~docv:"W" ~doc:"Worker domains in the pool.")
+  in
+  let default_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SEC"
+          ~doc:
+            "Per-query wall-clock cap applied when the client sets none; \
+             a cut query reports a partial result and (for fuzz) persists \
+             its completed prefix.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent verification daemon: a worker pool answering \
+          solvability/valence/fuzz queries over a unix socket, memoizing \
+          every key-determined answer in a content-addressed store.  \
+          Blocks until `lbsa shutdown`; prints the final counters.")
+    Term.(const serve $ socket_arg $ store_arg $ workers $ default_deadline
+          $ quiet)
+
+let task_conv =
+  let parse s =
+    let int_ge lo v k =
+      match int_of_string_opt v with
+      | Some v when v >= lo -> Ok (k v)
+      | _ -> Error (`Msg (Fmt.str "%S: expected an integer >= %d" s lo))
+    in
+    match String.split_on_char ':' s with
+    | [ "dac"; n ] -> int_ge 2 n (fun n -> Serve_api.Dac { n })
+    | [ "cons"; m ] | [ "consensus"; m ] ->
+      int_ge 1 m (fun m -> Serve_api.Consensus { m })
+    | [ "kset"; m; k ] ->
+      Result.bind (int_ge 1 m Fun.id) (fun m ->
+          int_ge 1 k (fun k -> Serve_api.Kset { m; k }))
+    | "cand" :: (_ :: _ as rest) | "candidate" :: (_ :: _ as rest) ->
+      Ok (Serve_api.Candidate { name = String.concat ":" rest })
+    | _ ->
+      Error
+        (`Msg
+           "task is dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name> (see \
+            `lbsa check candidate` for names)")
+  in
+  let print ppf t = Fmt.string ppf (Serve_api.task_label t) in
+  Arg.conv (parse, print)
+
+let query task fuzz_target question inputs_opt max_states mode trials procs ops
+    seed socket wait_s deadline want_stats =
+  let fail msg =
+    Fmt.epr "lbsa query: %s@." msg;
+    3
+  in
+  let with_client f =
+    match Serve_client.connect ~wait_s ~socket () with
+    | Error msg -> fail msg
+    | Ok c -> Fun.protect ~finally:(fun () -> Serve_client.close c)
+                (fun () -> f c)
+  in
+  let ask q =
+    with_client (fun c ->
+        match Serve_client.query ?deadline_s:deadline c q with
+        | Error msg -> fail msg
+        | Ok (res, cached, wall_us) ->
+          Fmt.epr "lbsa query: %s in %.1f ms@."
+            (if cached then "cache hit" else "computed")
+            (wall_us /. 1000.);
+          Fmt.pr "%s@." (Serve_api.render res);
+          Serve_api.exit_code res)
+  in
+  if want_stats then
+    with_client (fun c ->
+        match Serve_client.stats c with
+        | Error msg -> fail msg
+        | Ok s ->
+          Fmt.pr "%a@." Serve_wire.pp_stats s;
+          0)
+  else
+    match (task, fuzz_target) with
+    | Some _, Some _ -> fail "give either a TASK or --fuzz, not both"
+    | None, None -> fail "nothing to ask: give a TASK, --fuzz, or --stats"
+    | Some task, None ->
+      let inputs =
+        match inputs_opt with
+        | Some l -> l
+        | None -> Serve_api.default_inputs task
+      in
+      ask
+        (Serve_api.Verify { task; question; inputs; max_states; reduce = mode })
+    | None, Some target ->
+      ask (Serve_api.Fuzz { target; trials; procs; ops; seed })
+
+let query_cmd =
+  let task =
+    Arg.(
+      value
+      & pos 0 (some task_conv) None
+      & info [] ~docv:"TASK"
+          ~doc:"dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name>.")
+  in
+  let fuzz_target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fuzz" ] ~docv:"IMPL"
+          ~doc:
+            "Instead of a verification question, run (or resume) a \
+             conformance-fuzz campaign against this registry \
+             implementation.")
+  in
+  let question =
+    Arg.(
+      value
+      & opt (enum [ ("solve", Serve_api.Solve); ("valence", Serve_api.Valence) ])
+          Serve_api.Solve
+      & info [ "question" ] ~docv:"Q"
+          ~doc:"solve (solvability verdict) or valence (graph summary).")
+  in
+  let trials =
+    Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Fuzz trials.")
+  in
+  let procs =
+    Arg.(value & opt int 3 & info [ "procs" ] ~docv:"P" ~doc:"Fuzz processes.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"O" ~doc:"Fuzz ops per process.")
+  in
+  let want_stats =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ] ~doc:"Print the daemon's counters instead of asking.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Ask the verification daemon.  Cold answers are computed by the \
+          worker pool and memoized; identical queries — across clients and \
+          daemon restarts — come back from the cache, byte-identical.  \
+          Exit codes follow the CLI-wide 0/1/2 policy for the answer \
+          itself; 3 means the daemon could not be reached or the query was \
+          malformed.")
+    Term.(
+      const query $ task $ fuzz_target $ question $ inputs_arg
+      $ max_states_arg $ reduce_arg $ trials $ procs $ ops $ seed_arg
+      $ socket_arg $ wait_arg $ deadline_arg $ want_stats)
+
+let shutdown socket wait_s =
+  match Serve_client.connect ~wait_s ~socket () with
+  | Error msg ->
+    Fmt.epr "lbsa shutdown: %s@." msg;
+    1
+  | Ok c ->
+    Fun.protect
+      ~finally:(fun () -> Serve_client.close c)
+      (fun () ->
+        match Serve_client.shutdown c with
+        | Ok (Some stats) ->
+          Fmt.pr "%a@." Serve_wire.pp_stats stats;
+          0
+        | Ok None -> 0
+        | Error msg ->
+          Fmt.epr "lbsa shutdown: %s@." msg;
+          1)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:
+         "Drain and stop the verification daemon: it finishes and answers \
+          every queued and in-flight query, then exits; this command \
+          blocks until the drain completes and prints the final counters.")
+    Term.(const shutdown $ socket_arg $ wait_arg)
 
 (* --- main ------------------------------------------------------------------ *)
 
@@ -1041,5 +1325,6 @@ let () =
           [
             run_dac_cmd; check_cmd; solve_cmd; valence_cmd; power_cmd;
             separation_cmd; lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd;
-            qadri_cmd; objects_cmd; fingerprint_cmd;
+            qadri_cmd; objects_cmd; fingerprint_cmd; serve_cmd; query_cmd;
+            shutdown_cmd;
           ]))

@@ -18,7 +18,9 @@
       {!Solvability};
     - the conformance fuzzer: {!Fuzz_case}, {!Fuzz_targets},
       {!Fuzz_engine}, {!Fuzz_mutant};
-    - the hierarchy toolkit: {!Power}, {!Level}, {!Separation}. *)
+    - the hierarchy toolkit: {!Power}, {!Level}, {!Separation};
+    - the verification service: {!Serve_api}, {!Serve_wire},
+      {!Serve_store}, {!Serve_daemon}, {!Serve_client}. *)
 
 module Prng = Lbsa_util.Prng
 module Listx = Lbsa_util.Listx
@@ -84,6 +86,12 @@ module Fuzz_mutant = Lbsa_fuzz.Mutant
 
 module Sim_protocol = Lbsa_bg.Sim_protocol
 module Bg_simulation = Lbsa_bg.Bg_simulation
+
+module Serve_api = Lbsa_serve.Api
+module Serve_wire = Lbsa_serve.Wire
+module Serve_store = Lbsa_serve.Store
+module Serve_daemon = Lbsa_serve.Daemon
+module Serve_client = Lbsa_serve.Client
 
 module Power = Lbsa_hierarchy.Power
 module Level = Lbsa_hierarchy.Level

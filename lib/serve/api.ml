@@ -1,0 +1,371 @@
+open Lbsa_util
+open Lbsa_spec
+open Lbsa_runtime
+open Lbsa_protocols
+open Lbsa_modelcheck
+
+(* The service API: one pure-data query language shared by every
+   front-end (the unix-socket daemon today, HTTP/batch backends later),
+   a canonical cross-process-stable cache key per query, and the cold
+   compute path that answers a query by running the verification
+   pipeline.
+
+   Everything in a query and a result is plain data — ints, strings,
+   bools — never a [Value.t] or a [Config.t]: intern ids and pointer
+   identity must not cross a process boundary (the checkpoint layer
+   learned this first), and plain data keeps the wire protocol and the
+   store trivially marshalable. *)
+
+type reduce_mode = [ `None | `Sym | `Sym_sleep ]
+
+type task =
+  | Dac of { n : int }
+  | Consensus of { m : int }
+  | Kset of { m : int; k : int }
+  | Candidate of { name : string }
+
+type question = Solve | Valence
+
+type query =
+  | Verify of {
+      task : task;
+      question : question;
+      inputs : int list;
+      max_states : int;
+      reduce : reduce_mode;
+    }
+  | Fuzz of { target : string; trials : int; procs : int; ops : int; seed : int }
+
+(* --- results ------------------------------------------------------------ *)
+
+type verify_payload = {
+  v_ok : bool;
+  v_outcome : string;
+  v_partial : bool;
+  v_inputs : int list;
+  v_states : int;
+  v_failure : string option;
+}
+
+type valence_payload = {
+  l_nodes : int;
+  l_edges : int;
+  l_truncated : bool;  (** the [max_states] quota fired (key-determined) *)
+  l_partial : bool;  (** a budget cut the build (not key-determined) *)
+  l_bivalent : int;
+  l_univalent : int;
+  l_undecided : int;
+  l_initial : string;
+}
+
+type fuzz_payload = {
+  f_target : string;
+  f_trials : int;
+  f_completed : int;
+  f_partial : bool;
+  f_failure : string option;
+  f_resumed_from : int;
+}
+
+type result =
+  | Verdict of verify_payload
+  | Valences of valence_payload
+  | Fuzz_report of fuzz_payload
+
+(* --- canonical fingerprint --------------------------------------------- *)
+
+let reduce_name = function
+  | `None -> "none"
+  | `Sym -> "sym"
+  | `Sym_sleep -> "sym+sleep"
+
+let reduce_of_name = function
+  | "none" -> Some `None
+  | "sym" -> Some `Sym
+  | "sym+sleep" -> Some `Sym_sleep
+  | _ -> None
+
+let task_label = function
+  | Dac { n } -> Fmt.str "dac:%d" n
+  | Consensus { m } -> Fmt.str "cons:%d" m
+  | Kset { m; k } -> Fmt.str "kset:%d:%d" m k
+  | Candidate { name } -> "cand:" ^ name
+
+let question_label = function Solve -> "solve" | Valence -> "valence"
+
+(* The canonical preimage pins EVERYTHING the answer is a function of:
+   task, question, the full input vector, the state quota and the
+   reduction mode.  The original `lbsa fingerprint` ignored the last
+   three, so two semantically different queries could share a key; the
+   serve cache would then return one query's verdict for the other.
+   Budget-side knobs (deadline, domains, worker count) stay out — they
+   can change how long an answer takes, never what it is. *)
+let canonical = function
+  | Verify v ->
+    Fmt.str "lbsa-query/1 verify task=%s question=%s inputs=%s max_states=%d \
+             reduce=%s"
+      (task_label v.task)
+      (question_label v.question)
+      (String.concat "," (List.map string_of_int v.inputs))
+      v.max_states (reduce_name v.reduce)
+  | Fuzz f ->
+    Fmt.str "lbsa-query/1 fuzz target=%s trials=%d procs=%d ops=%d seed=%d"
+      f.target f.trials f.procs f.ops f.seed
+
+let key q = Fnv.to_hex (Fnv.string (canonical q))
+
+(* --- task instances ----------------------------------------------------- *)
+
+type flavor = Check_dac | Check_consensus | Check_kset of int
+
+type instance = {
+  machine : Machine.t;
+  specs : Obj_spec.t array;
+  procs : int;
+  flavor : flavor;
+  canon : Canon.t;
+  frozen : (int -> Value.t -> bool) option;
+}
+
+(* dac's PAC object (index 0) is permanently inert once upset — the
+   certification the sleep layer's [frozen] hook wants (same rule as the
+   CLI's check/solve commands). *)
+let dac_frozen obj st = obj = 0 && Lbsa_objects.Pac.is_upset st
+
+let candidate_names =
+  [
+    "flp-write-read"; "flp-spin"; "3dac-sa2-then-cons2";
+    "3dac-cons2-announce"; "3cons-from-22pac"; "pac-retry";
+  ]
+
+let candidate name =
+  match name with
+  | "flp-write-read" -> (Check_consensus, Candidates.flp_write_read, 2)
+  | "flp-spin" -> (Check_consensus, Candidates.flp_spin, 2)
+  | "3dac-sa2-then-cons2" -> (Check_dac, Candidates.dac3_sa2_then_cons2, 3)
+  | "3dac-cons2-announce" -> (Check_dac, Candidates.dac3_cons2_announce, 3)
+  | "3cons-from-22pac" ->
+    (Check_consensus, Candidates.consensus_m1_from_pac_nm ~n:2 ~m:2, 3)
+  | "pac-retry" ->
+    (Check_consensus, Candidates.consensus_from_pac_retry ~n:2 ~procs:2, 2)
+  | _ ->
+    invalid_arg
+      (Fmt.str "unknown candidate %S; known: %s" name
+         (String.concat ", " candidate_names))
+
+let instance = function
+  | Dac { n } ->
+    {
+      machine = Dac_from_pac.machine ~n;
+      specs = Dac_from_pac.specs ~n;
+      procs = n;
+      flavor = Check_dac;
+      canon = Canon.dac ~n;
+      frozen = Some dac_frozen;
+    }
+  | Consensus { m } ->
+    let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+    {
+      machine;
+      specs;
+      procs = m;
+      flavor = Check_consensus;
+      canon = Canon.exchangeable ~n:m ();
+      frozen = None;
+    }
+  | Kset { m; k } ->
+    let machine, specs = Kset_protocols.partition ~m ~k in
+    {
+      machine;
+      specs;
+      procs = m * k;
+      flavor = Check_kset k;
+      canon = Canon.kset_partition ~m ~k;
+      frozen = None;
+    }
+  | Candidate { name } ->
+    let flavor, (machine, specs), procs = candidate name in
+    (* No certified symmetry group for free-form candidates: [sym] is
+       the identity quotient, [sym+sleep] still prunes commit steps. *)
+    { machine; specs; procs; flavor; canon = Canon.identity; frozen = None }
+
+let default_inputs = function
+  | Dac { n } -> List.init n (fun pid -> if pid = 0 then 1 else 0)
+  | Consensus { m } -> List.init m (fun pid -> pid mod 2)
+  | Kset { m; k } -> List.init (m * k) Fun.id
+  | Candidate { name } ->
+    let _, _, procs = candidate name in
+    List.init procs (fun pid -> pid mod 2)
+
+let reduction_for inst (mode : reduce_mode) : Graph.reduction =
+  match mode with
+  | `None -> Graph.no_reduction
+  | `Sym -> { Graph.rname = "sym"; canon = inst.canon; sleep = false; frozen = None }
+  | `Sym_sleep ->
+    { Graph.rname = "sym+sleep"; canon = inst.canon; sleep = true;
+      frozen = inst.frozen }
+
+(* --- cold compute ------------------------------------------------------- *)
+
+type computed = {
+  res : result;
+  cacheable : bool;
+      (** safe to memoize forever: the result is a pure function of the
+          canonical key.  [Done] results always are; [Truncated] ones
+          are too, because [max_states] is part of the key; deadline /
+          cancellation / worker-failure results are not. *)
+  fuzz_prefix : int option;
+      (** on a partial fuzz campaign: the completed-trial prefix worth
+          persisting so an identical query resumes instead of replaying *)
+}
+
+let cacheable_outcome = function
+  | Supervisor.Done | Supervisor.Truncated -> true
+  | Supervisor.Deadline | Supervisor.Cancelled | Supervisor.Worker_failed _ ->
+    false
+
+let compute ?(budget = Supervisor.Budget.unlimited) ?(start = 0) q : computed =
+  match q with
+  | Verify v -> (
+    let inst = instance v.task in
+    if List.length v.inputs <> inst.procs then
+      invalid_arg
+        (Fmt.str "task %s expects %d inputs, got %d" (task_label v.task)
+           inst.procs (List.length v.inputs));
+    let inputs = Array.of_list (List.map Value.int v.inputs) in
+    let reduce = reduction_for inst v.reduce in
+    let machine = inst.machine and specs = inst.specs in
+    match v.question with
+    | Solve ->
+      let verdict =
+        match inst.flavor with
+        | Check_dac ->
+          Solvability.check_dac ~max_states:v.max_states ~domains:1 ~budget
+            ~reduce ~machine ~specs ~inputs ()
+        | Check_consensus ->
+          Solvability.check_consensus ~max_states:v.max_states ~domains:1
+            ~budget ~reduce ~machine ~specs ~inputs ()
+        | Check_kset k ->
+          Solvability.check_kset ~max_states:v.max_states ~domains:1 ~budget
+            ~reduce ~machine ~specs ~k ~inputs ()
+      in
+      {
+        res =
+          Verdict
+            {
+              v_ok = verdict.Solvability.ok;
+              v_outcome =
+                Fmt.str "%a" Supervisor.pp_outcome verdict.Solvability.outcome;
+              v_partial = Supervisor.is_partial verdict.Solvability.outcome;
+              v_inputs = v.inputs;
+              v_states = verdict.Solvability.states;
+              v_failure = verdict.Solvability.failure;
+            };
+        cacheable = cacheable_outcome verdict.Solvability.outcome;
+        fuzz_prefix = None;
+      }
+    | Valence ->
+      let graph =
+        Graph.build ~max_states:v.max_states ~domains:1 ~budget ~reduce
+          ~machine ~specs ~inputs ()
+      in
+      let a = Lbsa_modelcheck.Valence.analyze graph in
+      let s = Lbsa_modelcheck.Valence.summarize a in
+      {
+        res =
+          Valences
+            {
+              l_nodes = Graph.n_nodes graph;
+              l_edges = Graph.n_edges graph;
+              l_truncated = graph.Graph.stop = Supervisor.Truncated;
+              l_partial =
+                graph.Graph.truncated
+                && graph.Graph.stop <> Supervisor.Truncated;
+              l_bivalent = s.Lbsa_modelcheck.Valence.n_bivalent;
+              l_univalent = s.Lbsa_modelcheck.Valence.n_univalent;
+              l_undecided = s.Lbsa_modelcheck.Valence.n_undecided;
+              l_initial =
+                Fmt.str "%a" Lbsa_modelcheck.Valence.pp_classification
+                  (Lbsa_modelcheck.Valence.classify a graph.Graph.initial);
+            };
+        cacheable = cacheable_outcome graph.Graph.stop;
+        fuzz_prefix = None;
+      })
+  | Fuzz f ->
+    let target = Lbsa_fuzz.Targets.spec_target f.target in
+    let report =
+      Lbsa_fuzz.Engine.fuzz_spec ~domains:1 ~start ~budget ~procs:f.procs
+        ~ops_per_proc:f.ops ~trials:f.trials ~seed:f.seed target
+    in
+    let partial =
+      Supervisor.is_partial report.Lbsa_fuzz.Engine.outcome
+      && report.Lbsa_fuzz.Engine.failure = None
+    in
+    {
+      res =
+        Fuzz_report
+          {
+            f_target = f.target;
+            f_trials = f.trials;
+            f_completed = report.Lbsa_fuzz.Engine.completed;
+            f_partial = partial;
+            f_failure =
+              Option.map
+                (fun (fl : Lbsa_fuzz.Engine.failure) ->
+                  Fmt.str "trial %d: %a%s" fl.Lbsa_fuzz.Engine.trial
+                    Lbsa_fuzz.Engine.pp_kind fl.Lbsa_fuzz.Engine.kind
+                    (match fl.Lbsa_fuzz.Engine.shrunk with
+                    | Some (c, _) ->
+                      Fmt.str " (shrunk to %d calls)"
+                        (Lbsa_fuzz.Fuzz_case.n_calls c)
+                    | None -> ""))
+                report.Lbsa_fuzz.Engine.failure;
+            f_resumed_from = start;
+          };
+      (* A failure is definitive and reproducible from (seed, trial):
+         cacheable.  A clean full run is cacheable.  A deadline-cut
+         clean prefix is not a final answer: persist it as a prefix. *)
+      cacheable = not partial;
+      fuzz_prefix = (if partial then Some report.Lbsa_fuzz.Engine.completed
+                     else None);
+    }
+
+(* --- rendering ---------------------------------------------------------- *)
+
+(* The canonical one-line rendering of a result: what `lbsa query`
+   prints, and the form the test battery byte-compares between cold,
+   warm and cross-restart answers.  [f_resumed_from] is deliberately
+   excluded — a resumed campaign must render exactly as an
+   uninterrupted one (the checkpoint layer's contract). *)
+let render = function
+  | Verdict v ->
+    let inputs = String.concat "," (List.map string_of_int v.v_inputs) in
+    if v.v_ok then Fmt.str "OK (inputs=%s, %d states)" inputs v.v_states
+    else if v.v_partial then
+      Fmt.str "PARTIAL [%s] (inputs=%s, %d states): %s" v.v_outcome inputs
+        v.v_states
+        (Option.value v.v_failure ~default:"?")
+    else
+      Fmt.str "FAIL (inputs=%s, %d states): %s" inputs v.v_states
+        (Option.value v.v_failure ~default:"?")
+  | Valences l ->
+    Fmt.str
+      "%d configurations (%d edges)%s; valence: %d bivalent, %d univalent, \
+       %d undecided; initial %s"
+      l.l_nodes l.l_edges
+      (if l.l_truncated then " [TRUNCATED]"
+       else if l.l_partial then " [PARTIAL]"
+       else "")
+      l.l_bivalent l.l_univalent l.l_undecided l.l_initial
+  | Fuzz_report f ->
+    Fmt.str "fuzz %s: %d/%d trials, %s" f.f_target f.f_completed f.f_trials
+      (match f.f_failure with
+      | None -> if f.f_partial then "clean so far (partial)" else "clean"
+      | Some s -> "FAILED at " ^ s)
+
+(* The CLI-wide exit-code policy applied to a service result. *)
+let exit_code = function
+  | Verdict v -> if v.v_partial then 2 else if v.v_ok then 0 else 1
+  | Valences l -> if l.l_truncated || l.l_partial then 2 else 0
+  | Fuzz_report f ->
+    if f.f_failure <> None then 1 else if f.f_partial then 2 else 0

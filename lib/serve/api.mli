@@ -1,0 +1,126 @@
+(** The verification-service API: a pure-data query language, a
+    canonical content-address per query, and the cold compute path.
+
+    Every front-end — the unix-socket daemon in {!Daemon}, the CLI's
+    [lbsa query], later HTTP or batch-file backends — speaks this module
+    and nothing lower: a query is plain data (no [Value.t], no intern
+    ids), its {!canonical} preimage pins everything the answer depends
+    on, and {!compute} answers it by running the verification pipeline.
+
+    The cache-correctness contract: [compute q] is a pure function of
+    [canonical q] whenever the returned {!computed.cacheable} is true.
+    That is what makes content-addressed memoization sound — and why the
+    reduction mode, input vector and state quota are all part of the
+    preimage (the original [lbsa fingerprint] omitted them; two
+    semantically different queries could share a key). *)
+
+open Lbsa_runtime
+
+type reduce_mode = [ `None | `Sym | `Sym_sleep ]
+
+type task =
+  | Dac of { n : int }
+  | Consensus of { m : int }
+  | Kset of { m : int; k : int }
+  | Candidate of { name : string }
+
+type question = Solve | Valence
+
+type query =
+  | Verify of {
+      task : task;
+      question : question;
+      inputs : int list;  (** full input vector, one int per process *)
+      max_states : int;
+      reduce : reduce_mode;
+    }
+  | Fuzz of { target : string; trials : int; procs : int; ops : int; seed : int }
+      (** a spec-level fuzz campaign against a registry target
+          ([Targets.spec_target] syntax); trials are pure functions of
+          [(seed, index)], so completed prefixes are reusable *)
+
+type verify_payload = {
+  v_ok : bool;
+  v_outcome : string;
+  v_partial : bool;
+  v_inputs : int list;
+  v_states : int;
+  v_failure : string option;
+}
+
+type valence_payload = {
+  l_nodes : int;
+  l_edges : int;
+  l_truncated : bool;  (** the [max_states] quota fired (key-determined) *)
+  l_partial : bool;  (** a budget cut the build (not key-determined) *)
+  l_bivalent : int;
+  l_univalent : int;
+  l_undecided : int;
+  l_initial : string;
+}
+
+type fuzz_payload = {
+  f_target : string;
+  f_trials : int;
+  f_completed : int;
+  f_partial : bool;
+  f_failure : string option;
+  f_resumed_from : int;
+      (** trials skipped thanks to a cached prefix; metadata only —
+          {!render} excludes it, so resumed output equals cold output *)
+}
+
+type result =
+  | Verdict of verify_payload
+  | Valences of valence_payload
+  | Fuzz_report of fuzz_payload
+
+(** {2 Canonical fingerprint} *)
+
+val canonical : query -> string
+(** The full preimage: task, question, inputs, [max_states], reduction
+    mode (or fuzz target/trials/procs/ops/seed).  Cross-process stable
+    by construction — plain data in, deterministic formatting out. *)
+
+val key : query -> string
+(** 16-hex-digit FNV-1a digest of {!canonical} — the store filename.
+    Consumers must verify the stored preimage against [canonical q] on
+    every read; the digest routes, the preimage decides. *)
+
+val reduce_name : reduce_mode -> string
+val reduce_of_name : string -> reduce_mode option
+val task_label : task -> string
+val question_label : question -> string
+val candidate_names : string list
+val default_inputs : task -> int list
+
+(** {2 Cold compute} *)
+
+type computed = {
+  res : result;
+  cacheable : bool;
+      (** the result is a pure function of the canonical key: [Done]
+          and [Truncated] outcomes qualify ([max_states] is in the
+          key); deadline / cancellation / worker failures do not *)
+  fuzz_prefix : int option;
+      (** on a deadline-cut clean fuzz campaign: the completed-trial
+          prefix worth persisting for resumption *)
+}
+
+val compute : ?budget:Supervisor.Budget.t -> ?start:int -> query -> computed
+(** Run the query.  [budget] bounds wall clock and carries the
+    cancellation token ({!Supervisor.Budget}); [start] (fuzz only)
+    resumes from a completed-trial prefix.  The explorer and fuzz
+    fan-out are pinned to one domain — the service's worker pool is the
+    parallelism layer.  Raises [Invalid_argument] on an unknown task,
+    candidate or fuzz target, or an input vector of the wrong arity. *)
+
+(** {2 Rendering} *)
+
+val render : result -> string
+(** The canonical one-line form: what [lbsa query] prints and what the
+    test battery byte-compares across cold, warm and cross-restart
+    answers. *)
+
+val exit_code : result -> int
+(** The CLI-wide 0/1/2 policy applied to a result. *)

@@ -1,0 +1,79 @@
+(* Client side of the verification service: connect (optionally waiting
+   for the socket to appear), one request/response exchange per call.
+   Everything here is synchronous — the daemon replies in request order
+   per connection, and a query reply only arrives once the answer
+   exists. *)
+
+type t = { fd : Unix.file_descr; socket : string }
+
+let connect ?(wait_s = 0.) ~socket () =
+  let deadline = Unix.gettimeofday () +. wait_s in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> Ok { fd; socket }
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.05;
+        attempt ()
+      end
+      else
+        Error
+          (Fmt.str "no daemon listening on %s%s" socket
+             (if wait_s > 0. then
+                Fmt.str " after waiting %.1fs" wait_s
+              else ""))
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Fmt.str "connect %s: %s" socket (Unix.error_message e))
+  in
+  attempt ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let roundtrip t req =
+  match
+    Wire.send_request t.fd req;
+    Wire.recv_response t.fd
+  with
+  | resp -> Ok resp
+  | exception Wire.Closed ->
+    Error (Fmt.str "daemon on %s closed the connection" t.socket)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Fmt.str "i/o error talking to %s: %s" t.socket
+             (Unix.error_message e))
+  | exception Failure msg -> Error msg
+
+let query ?deadline_s t q =
+  match roundtrip t (Wire.Query { q; deadline_s }) with
+  | Ok (Wire.Result { r; cached; wall_us }) -> Ok (r, cached, wall_us)
+  | Ok (Wire.Error msg) -> Error msg
+  | Ok _ -> Error "daemon sent an unexpected response to a query"
+  | Error _ as e -> e
+
+let stats t =
+  match roundtrip t Wire.Stats with
+  | Ok (Wire.Stats_r s) -> Ok s
+  | Ok (Wire.Error msg) -> Error msg
+  | Ok _ -> Error "daemon sent an unexpected response to a stats request"
+  | Error _ as e -> e
+
+let ping t =
+  match roundtrip t Wire.Ping with
+  | Ok Wire.Pong -> Ok ()
+  | Ok (Wire.Error msg) -> Error msg
+  | Ok _ -> Error "daemon sent an unexpected response to a ping"
+  | Error _ as e -> e
+
+let shutdown t =
+  (* the daemon answers the shutdown requester with its final counters
+     once the queue has fully drained *)
+  match roundtrip t Wire.Shutdown with
+  | Ok (Wire.Stats_r s) -> Ok (Some s)
+  | Ok Wire.Shutting_down -> Ok None
+  | Ok (Wire.Error msg) -> Error msg
+  | Ok _ -> Error "daemon sent an unexpected response to a shutdown"
+  | Error _ as e -> e

@@ -1,0 +1,28 @@
+(** Synchronous client for the verification daemon: one connection, one
+    request/response exchange per call.  All failures come back as
+    [Error msg] — connecting to a dead socket, a daemon that drops the
+    connection, a malformed frame — so CLI front-ends can map them
+    straight to exit code 3. *)
+
+type t
+
+val connect : ?wait_s:float -> socket:string -> unit -> (t, string) result
+(** Connect to the daemon's socket, retrying for up to [wait_s] seconds
+    (default 0: a single attempt) while the socket is absent or refusing
+    — the start-the-daemon-then-query race in scripts and CI. *)
+
+val close : t -> unit
+
+val query :
+  ?deadline_s:float -> t -> Api.query ->
+  (Api.result * bool * float, string) result
+(** Ask, blocking until the answer exists.  Returns the result, whether
+    it was served from cache, and the daemon-side latency in µs. *)
+
+val stats : t -> (Wire.stats, string) result
+val ping : t -> (unit, string) result
+
+val shutdown : t -> (Wire.stats option, string) result
+(** Request a drain-and-exit.  Blocks until every queued and in-flight
+    job has been answered; the daemon replies with its final counters
+    (older daemons may reply with a bare acknowledgement — [None]). *)

@@ -1,0 +1,114 @@
+open Lbsa_util
+
+(* The persistent memo store: one file per entry in a flat directory,
+   addressed by the query key's hex digest.
+
+   Entry layout:
+
+     LBSA-STORE/1\n
+     <16 hex chars: FNV-1a of the body>\n
+     <body: 4-byte BE canonical length, canonical preimage, data>
+
+   The failure policy is "degrade to recomputation, never a wrong
+   answer": any deviation — missing magic, short file, checksum
+   mismatch, a stored preimage that is not the requested one (a digest
+   collision or a hand-renamed file) — makes [get] count the entry
+   corrupt, delete it, and report a miss.  Writes go through a
+   tmp-then-rename so a crash mid-write leaves either the old entry or
+   none, and a concurrent reader never sees a torn file. *)
+
+type t = {
+  dir : string;
+  mutable corrupt : int;
+  mutable puts : int;
+  mutable gets : int;
+}
+
+let magic = "LBSA-STORE/1\n"
+
+let open_ ~dir =
+  (if not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  if not (Sys.is_directory dir) then
+    failwith (Fmt.str "Store.open_: %s is not a directory" dir);
+  { dir; corrupt = 0; puts = 0; gets = 0 }
+
+let dir t = t.dir
+let corrupt_count t = t.corrupt
+
+let path t ~key = Filename.concat t.dir (key ^ ".lbsa")
+
+let body ~canonical ~data =
+  let clen = String.length canonical in
+  let b = Buffer.create (4 + clen + String.length data) in
+  Buffer.add_int32_be b (Int32.of_int clen);
+  Buffer.add_string b canonical;
+  Buffer.add_string b data;
+  Buffer.contents b
+
+let put t ~key ~canonical ~data =
+  let file = path t ~key in
+  let body = body ~canonical ~data in
+  let tmp = file ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc (Fnv.to_hex (Fnv.string body));
+      output_char oc '\n';
+      output_string oc body);
+  Sys.rename tmp file;
+  t.puts <- t.puts + 1
+
+let discard t file =
+  t.corrupt <- t.corrupt + 1;
+  try Sys.remove file with Sys_error _ -> ()
+
+(* Read and validate one entry; [None] on any defect. *)
+let read_entry ~canonical file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let hlen = String.length magic + 17 in
+      if len < hlen + 4 then None
+      else begin
+        let header = really_input_string ic (String.length magic) in
+        let sum = really_input_string ic 17 in
+        if header <> magic || sum.[16] <> '\n' then None
+        else begin
+          let body = really_input_string ic (len - hlen) in
+          if Fnv.to_hex (Fnv.string body) <> String.sub sum 0 16 then None
+          else
+            let clen = Int32.to_int (String.get_int32_be body 0) in
+            if clen < 0 || 4 + clen > String.length body then None
+            else if String.sub body 4 clen <> canonical then None
+            else Some (String.sub body (4 + clen)
+                         (String.length body - 4 - clen))
+        end
+      end)
+
+let get t ~key ~canonical =
+  t.gets <- t.gets + 1;
+  let file = path t ~key in
+  if not (Sys.file_exists file) then None
+  else
+    match read_entry ~canonical file with
+    | Some data -> Some data
+    | None ->
+      discard t file;
+      None
+    | exception (Sys_error _ | End_of_file) ->
+      discard t file;
+      None
+
+let entries t =
+  if Sys.file_exists t.dir && Sys.is_directory t.dir then
+    Array.to_list (Sys.readdir t.dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".lbsa")
+    |> List.map Filename.chop_extension
+    |> List.sort String.compare
+  else []

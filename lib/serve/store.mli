@@ -1,0 +1,34 @@
+(** The persistent content-addressed memo store: one checksummed file
+    per entry, named by the query key's hex digest, holding the full
+    canonical preimage next to the payload.
+
+    Correctness policy: a corrupt, truncated, tampered or colliding
+    entry is detected on read, counted, deleted and reported as a miss —
+    the service recomputes; it never serves a wrong answer.  The store
+    itself is payload-agnostic (bytes in, bytes out); {!Daemon} layers
+    its entry encoding on top. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Create or open the store directory.  Raises [Failure] if [dir]
+    exists and is not a directory. *)
+
+val dir : t -> string
+
+val put : t -> key:string -> canonical:string -> data:string -> unit
+(** Atomically (tmp-then-rename) write the entry for [key]. *)
+
+val get : t -> key:string -> canonical:string -> string option
+(** The payload stored for [key], provided the entry validates (magic,
+    checksum) and its stored preimage equals [canonical].  Any defect
+    deletes the entry, bumps {!corrupt_count} and yields [None]. *)
+
+val corrupt_count : t -> int
+(** Entries discarded as corrupt/truncated/colliding since [open_]. *)
+
+val entries : t -> string list
+(** All entry keys currently on disk, sorted (for tests and tooling). *)
+
+val path : t -> key:string -> string
+(** The entry file a key maps to (for fault-injection tests). *)

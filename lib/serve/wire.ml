@@ -1,0 +1,123 @@
+(* The wire protocol: length-prefixed marshalled frames over a local
+   stream socket.
+
+   Frame layout: 4 magic bytes ("LBS1"), 4-byte big-endian payload
+   length, then the payload ([Marshal] of a {!request} or {!response}).
+   Marshalling is safe here because both ends are the same binary
+   family speaking plain data (ints, strings, options — never values
+   with intern ids), the magic guards against a stray client, and the
+   length cap bounds allocation before any unmarshalling happens. *)
+
+type stats = {
+  st_queries : int;
+  st_hits_mem : int;
+  st_hits_store : int;
+  st_misses : int;
+  st_computed : int;
+  st_joined : int;
+  st_queue_peak : int;
+  st_workers : int;
+  st_corrupt : int;
+  st_prefix_stored : int;
+  st_prefix_resumed : int;
+  st_hot_us_total : float;
+  st_hot_count : int;
+  st_cold_us_total : float;
+  st_cold_count : int;
+  st_uptime_s : float;
+}
+
+type request =
+  | Query of { q : Api.query; deadline_s : float option }
+  | Stats
+  | Ping
+  | Shutdown
+
+type response =
+  | Result of { r : Api.result; cached : bool; wall_us : float }
+  | Stats_r of stats
+  | Pong
+  | Shutting_down
+  | Error of string
+
+let magic = "LBS1"
+let max_frame = 16 * 1024 * 1024
+
+exception Closed
+
+let really_read fd buf off len =
+  let got = ref 0 in
+  while !got < len do
+    let n = Unix.read fd buf (off + !got) (len - !got) in
+    if n = 0 then raise Closed;
+    got := !got + n
+  done
+
+let really_write fd buf off len =
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd buf (off + !sent) (len - !sent)
+  done
+
+let send fd msg =
+  let payload = Marshal.to_bytes msg [] in
+  let len = Bytes.length payload in
+  if len > max_frame then invalid_arg "Wire.send: frame too large";
+  let frame = Bytes.create (8 + len) in
+  Bytes.blit_string magic 0 frame 0 4;
+  Bytes.set_int32_be frame 4 (Int32.of_int len);
+  Bytes.blit payload 0 frame 8 len;
+  really_write fd frame 0 (8 + len)
+
+let recv fd =
+  let header = Bytes.create 8 in
+  really_read fd header 0 8;
+  if Bytes.sub_string header 0 4 <> magic then
+    failwith "Wire.recv: bad frame magic (not an lbsa-serve peer?)";
+  let len = Int32.to_int (Bytes.get_int32_be header 4) in
+  if len < 0 || len > max_frame then
+    failwith (Printf.sprintf "Wire.recv: implausible frame length %d" len);
+  let payload = Bytes.create len in
+  really_read fd payload 0 len;
+  Marshal.from_bytes payload 0
+
+let send_request fd (r : request) = send fd r
+let recv_request fd : request = recv fd
+let send_response fd (r : response) = send fd r
+let recv_response fd : response = recv fd
+
+let zero_stats ~workers =
+  {
+    st_queries = 0;
+    st_hits_mem = 0;
+    st_hits_store = 0;
+    st_misses = 0;
+    st_computed = 0;
+    st_joined = 0;
+    st_queue_peak = 0;
+    st_workers = workers;
+    st_corrupt = 0;
+    st_prefix_stored = 0;
+    st_prefix_resumed = 0;
+    st_hot_us_total = 0.;
+    st_hot_count = 0;
+    st_cold_us_total = 0.;
+    st_cold_count = 0;
+    st_uptime_s = 0.;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "queries=%d hits=%d (mem %d, store %d) misses=%d computed=%d joined=%d \
+     queue_peak=%d workers=%d corrupt=%d prefix_stored=%d prefix_resumed=%d \
+     hot_us_mean=%.1f cold_us_mean=%.1f uptime_s=%.1f"
+    s.st_queries
+    (s.st_hits_mem + s.st_hits_store)
+    s.st_hits_mem s.st_hits_store s.st_misses s.st_computed s.st_joined
+    s.st_queue_peak s.st_workers s.st_corrupt s.st_prefix_stored
+    s.st_prefix_resumed
+    (if s.st_hot_count = 0 then 0.
+     else s.st_hot_us_total /. float s.st_hot_count)
+    (if s.st_cold_count = 0 then 0.
+     else s.st_cold_us_total /. float s.st_cold_count)
+    s.st_uptime_s

@@ -1,0 +1,49 @@
+(** The daemon's wire protocol: length-prefixed marshalled frames over a
+    local stream socket (4 magic bytes, 4-byte big-endian length,
+    marshalled plain-data payload).  Trusted-local-peer protocol: the
+    magic and the frame-length cap reject stray clients, nothing more —
+    do not expose the socket beyond the machine boundary. *)
+
+(** Cumulative daemon counters, as served by a [Stats] request. *)
+type stats = {
+  st_queries : int;  (** [Query] requests received *)
+  st_hits_mem : int;  (** answered from the in-memory memo *)
+  st_hits_store : int;  (** answered from the persistent store *)
+  st_misses : int;  (** required a computation *)
+  st_computed : int;  (** computations actually run (≤ misses) *)
+  st_joined : int;  (** queries that joined an in-flight computation *)
+  st_queue_peak : int;  (** max simultaneous distinct in-flight keys *)
+  st_workers : int;
+  st_corrupt : int;  (** corrupt / truncated store entries discarded *)
+  st_prefix_stored : int;  (** partial fuzz prefixes persisted *)
+  st_prefix_resumed : int;  (** computations resumed from a prefix *)
+  st_hot_us_total : float;  (** cumulative latency of cache hits *)
+  st_hot_count : int;
+  st_cold_us_total : float;  (** cumulative latency of computed answers *)
+  st_cold_count : int;
+  st_uptime_s : float;
+}
+
+type request =
+  | Query of { q : Api.query; deadline_s : float option }
+  | Stats
+  | Ping
+  | Shutdown
+
+type response =
+  | Result of { r : Api.result; cached : bool; wall_us : float }
+  | Stats_r of stats
+  | Pong
+  | Shutting_down
+  | Error of string
+
+exception Closed
+(** The peer closed the connection mid-frame. *)
+
+val send_request : Unix.file_descr -> request -> unit
+val recv_request : Unix.file_descr -> request
+val send_response : Unix.file_descr -> response -> unit
+val recv_response : Unix.file_descr -> response
+
+val zero_stats : workers:int -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,21 @@
+(* FNV-1a over byte strings.  The serve layer's content-addressed store
+   and query keys need a digest that is (a) identical in every process
+   and on every platform with 64-bit ints and (b) cheap enough to run
+   on every cache probe.  FNV-1a folded into OCaml's 63-bit native int
+   is both; collisions are tolerable because every consumer stores the
+   full preimage next to the digest and verifies it on read. *)
+
+let prime = 0x100000001b3
+
+let fold_string acc s =
+  let h = ref acc in
+  String.iter (fun c -> h := (!h lxor Char.code c) * prime) s;
+  (* Mix the length in so "a" + "bc" and "ab" + "c" folded in sequence
+     cannot collide trivially; keep the result non-negative. *)
+  ((!h lxor String.length s) * prime) land max_int
+
+let seed = 0xbf29ce484222325 (* FNV-1a offset basis, truncated to fit OCaml's int *)
+
+let string s = fold_string seed s
+
+let to_hex h = Printf.sprintf "%016x" h

@@ -920,6 +920,46 @@ let time_per ?(k = 5) f =
   done;
   !best
 
+(* Out-of-core cases run through `lbsa explore` in a fresh subprocess,
+   so the reported peak RSS (VmHWM) is honestly per-run — this process
+   never inherits a child's high-water mark — and the key=value stdout
+   parses with a string split. *)
+let cli_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "lbsa_cli.exe"))
+
+let explore_sub args =
+  let cmd =
+    String.concat " " (List.map Filename.quote (cli_exe :: "explore" :: args))
+  in
+  let ic = Unix.open_process_in cmd in
+  let kv = Hashtbl.create 32 in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '=' with
+       | Some i ->
+         Hashtbl.replace kv (String.sub line 0 i)
+           (String.sub line (i + 1) (String.length line - i - 1))
+       | None -> ()
+     done
+   with End_of_file -> ());
+  (* 0 = complete graph, 2 = partial (quota/deadline) — both carry
+     telemetry worth recording; anything else is a harness bug. *)
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED (0 | 2) -> ()
+  | _ -> failwith ("bench: explore subprocess failed: " ^ cmd));
+  kv
+
+let kv_s kv k =
+  match Hashtbl.find_opt kv k with
+  | Some v -> v
+  | None -> failwith ("bench: explore output missing key " ^ k)
+
+let kv_i kv k = int_of_string (kv_s kv k)
+let kv_f kv k = float_of_string (kv_s kv k)
+
 let run_json () =
   hr "Verification pipeline measurements -> BENCH_verify.json";
   let machine = Dac_from_pac.machine ~n:3 in
@@ -1096,6 +1136,105 @@ let run_json () =
     else Sys.remove path
   in
   (try rm_rf serve_dir with Sys_error _ | Unix.Unix_error _ -> ());
+  (* Out-of-core explorer.  Shard sweep and spilled run on a mid-size
+     obstruction-free case (of:3:2, ~105k states): every run must end
+     Done with the same structural fingerprint, the spilled run must
+     actually write segments, and `explore` must remove its own spill
+     directory once the graph completes.  The >= 1e7-state big case
+     takes minutes of wall and gigabytes of spill, so it only runs when
+     LBSA_BENCH_BIG=1; CI and quick local regens get "skipped": true. *)
+  let ooc_dir =
+    let d = Filename.temp_file "lbsa-bench-ooc" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let ooc_case = "of:3:2" in
+  let ooc_sweep =
+    List.map
+      (fun s ->
+        ( s,
+          explore_sub [ ooc_case; "--shards"; string_of_int s; "--fingerprint" ]
+        ))
+      [ 1; 4; 16; 64 ]
+  in
+  let ooc_spilled =
+    explore_sub
+      [
+        ooc_case;
+        "--shards";
+        "4";
+        "--spill-dir";
+        Filename.concat ooc_dir "spill";
+        "--spill-threshold";
+        "20000";
+        "--fingerprint";
+      ]
+  in
+  let ooc_fp = kv_s (List.assoc 1 ooc_sweep) "fingerprint" in
+  let ooc_fingerprints_equal =
+    List.for_all
+      (fun (_, kv) -> String.equal (kv_s kv "fingerprint") ooc_fp)
+      ooc_sweep
+    && String.equal (kv_s ooc_spilled "fingerprint") ooc_fp
+  in
+  let ooc_outcomes_done =
+    List.for_all (fun (_, kv) -> kv_s kv "outcome" = "done") ooc_sweep
+    && kv_s ooc_spilled "outcome" = "done"
+  in
+  let ooc_spill_engaged = kv_i ooc_spilled "spill_segments" > 0 in
+  let ooc_spill_cleaned =
+    not (Sys.file_exists (Filename.concat ooc_dir "spill"))
+  in
+  (* The sharded+spilled explorer must agree with the seed CMap oracle
+     node-for-node on dac:3, and its solvability verdict with the
+     resident run from the reduction section above. *)
+  let ooc_verdict =
+    Solvability.check_dac ~domains:1 ~shards:4
+      ~spill:
+        {
+          Cgraph.spill_dir = Filename.concat ooc_dir "oracle-spill";
+          spill_threshold = 40;
+        }
+      ~machine ~specs ~inputs ()
+  in
+  let ooc_verdict_ok =
+    let _, _, _, ok_none, _ = List.find (fun (m, _, _, _, _) -> m = "none") red in
+    ooc_verdict.Solvability.ok = ok_none
+  in
+  let ooc_oracle_agrees =
+    let g =
+      Cgraph.build ~domains:1 ~shards:4
+        ~spill:
+          {
+            Cgraph.spill_dir = Filename.concat ooc_dir "oracle-spill2";
+            spill_threshold = 40;
+          }
+        ~machine ~specs ~inputs ()
+    in
+    let oracle = Cgraph.build_cmap ~machine ~specs ~inputs () in
+    Cgraph.n_nodes g = Cgraph.n_nodes oracle
+    && Cgraph.n_edges g = Cgraph.n_edges oracle
+  in
+  let ooc_big =
+    match Sys.getenv_opt "LBSA_BENCH_BIG" with
+    | Some "1" ->
+      Some
+        (explore_sub
+           [
+             "of:4:2";
+             "--max-states";
+             "40000000";
+             "--shards";
+             "64";
+             "--spill-dir";
+             Filename.concat ooc_dir "big-spill";
+             "--spill-threshold";
+             "2000000";
+           ])
+    | _ -> None
+  in
+  (try rm_rf ooc_dir with Sys_error _ | Unix.Unix_error _ -> ());
   let serve_speedup_min =
     List.fold_left
       (fun acc (_, cold, hot, _) -> Float.min acc (cold /. hot))
@@ -1154,10 +1293,36 @@ let run_json () =
     serve_stats.Serve_wire.st_queries serve_stats.Serve_wire.st_hits_mem
     serve_stats.Serve_wire.st_hits_store serve_stats.Serve_wire.st_computed
     serve_stats.Serve_wire.st_queue_peak;
+  List.iter
+    (fun (s, kv) ->
+      Fmt.pr
+        "ooc %s shards=%-2d  %.0f states/s, wall %.2f s, peak RSS %d kB, %d \
+         steals@."
+        ooc_case s (kv_f kv "states_per_sec") (kv_f kv "wall_s")
+        (kv_i kv "peak_rss_kb") (kv_i kv "steals"))
+    ooc_sweep;
+  Fmt.pr
+    "ooc %s spilled: %d segments / %d bytes on disk, %d faults, peak RSS %d \
+     kB; fingerprints %s, oracle %s@."
+    ooc_case
+    (kv_i ooc_spilled "spill_segments")
+    (kv_i ooc_spilled "spill_bytes")
+    (kv_i ooc_spilled "seg_faults")
+    (kv_i ooc_spilled "peak_rss_kb")
+    (if ooc_fingerprints_equal then "equal" else "DIFFER")
+    (if ooc_oracle_agrees then "agrees" else "DISAGREES");
+  (match ooc_big with
+  | Some kv ->
+    Fmt.pr
+      "ooc big of:4:2: %d states, %.0f states/s, wall %.1f s, peak RSS %d \
+       kB, %d spill bytes, outcome %s@."
+      (kv_i kv "states") (kv_f kv "states_per_sec") (kv_f kv "wall_s")
+      (kv_i kv "peak_rss_kb") (kv_i kv "spill_bytes") (kv_s kv "outcome")
+  | None -> Fmt.pr "ooc big case skipped (set LBSA_BENCH_BIG=1 to run)@.");
   let oc = open_out "BENCH_verify.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"lbsa-bench-verify/4\",\n";
+  p "  \"schema\": \"lbsa-bench-verify/5\",\n";
   p
     "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
      \"states_per_sec\": %.0f, \"domains\": %d, \"build_ms\": %.3f, \
@@ -1217,7 +1382,7 @@ let run_json () =
     "  }, \"speedup_min\": %.1f, \"verdicts_equal\": %b, \"queries\": %d, \
      \"hits_mem\": %d, \"hits_store\": %d, \"misses\": %d, \"computed\": %d, \
      \"joined\": %d, \"queue_peak\": %d, \"corrupt\": %d, \
-     \"hot_us_mean\": %.1f, \"cold_us_mean\": %.1f }\n"
+     \"hot_us_mean\": %.1f, \"cold_us_mean\": %.1f },\n"
     serve_speedup_min serve_verdicts_equal serve_stats.Serve_wire.st_queries
     serve_stats.Serve_wire.st_hits_mem serve_stats.Serve_wire.st_hits_store
     serve_stats.Serve_wire.st_misses serve_stats.Serve_wire.st_computed
@@ -1227,6 +1392,53 @@ let run_json () =
     /. float (max 1 serve_stats.Serve_wire.st_hot_count))
     (serve_stats.Serve_wire.st_cold_us_total
     /. float (max 1 serve_stats.Serve_wire.st_cold_count));
+  p "  \"out_of_core\": { \"sweep_case\": %S, \"cores_available\": %d,\n"
+    ooc_case cores;
+  p "    \"shard_sweep\": {\n";
+  List.iteri
+    (fun i (s, kv) ->
+      p
+        "      \"%d\": { \"states\": %d, \"states_per_sec\": %.1f, \
+         \"wall_s\": %.3f, \"peak_rss_kb\": %d, \"steals\": %d }%s\n"
+        s (kv_i kv "states") (kv_f kv "states_per_sec") (kv_f kv "wall_s")
+        (kv_i kv "peak_rss_kb") (kv_i kv "steals")
+        (if i = List.length ooc_sweep - 1 then "" else ","))
+    ooc_sweep;
+  p
+    "    }, \"spilled\": { \"shards\": 4, \"spill_threshold\": 20000, \
+     \"states\": %d, \"states_per_sec\": %.1f, \"spill_segments\": %d, \
+     \"spill_bytes\": %d, \"seg_faults\": %d, \"frozen_keys\": %d, \
+     \"peak_rss_kb\": %d },\n"
+    (kv_i ooc_spilled "states")
+    (kv_f ooc_spilled "states_per_sec")
+    (kv_i ooc_spilled "spill_segments")
+    (kv_i ooc_spilled "spill_bytes")
+    (kv_i ooc_spilled "seg_faults")
+    (kv_i ooc_spilled "frozen_keys")
+    (kv_i ooc_spilled "peak_rss_kb");
+  p
+    "    \"fingerprints_equal\": %b, \"outcomes_done\": %b, \
+     \"spill_engaged\": %b, \"spill_dir_cleaned_on_done\": %b, \
+     \"verdict_ok\": %b, \"oracle_agrees\": %b,\n"
+    ooc_fingerprints_equal ooc_outcomes_done ooc_spill_engaged
+    ooc_spill_cleaned ooc_verdict_ok ooc_oracle_agrees;
+  (match ooc_big with
+  | Some kv ->
+    p
+      "    \"big\": { \"case\": \"of:4:2\", \"skipped\": false, \"shards\": \
+       64, \"spill_threshold\": 2000000, \"states\": %d, \
+       \"states_per_sec\": %.1f, \"wall_s\": %.1f, \"peak_rss_kb\": %d, \
+       \"spill_segments\": %d, \"spill_bytes\": %d, \"outcome\": %S, \
+       \"min_states_target\": 10000000, \"reached_target\": %b } }\n"
+      (kv_i kv "states") (kv_f kv "states_per_sec") (kv_f kv "wall_s")
+      (kv_i kv "peak_rss_kb")
+      (kv_i kv "spill_segments")
+      (kv_i kv "spill_bytes") (kv_s kv "outcome")
+      (kv_i kv "states" >= 10_000_000)
+  | None ->
+    p
+      "    \"big\": { \"case\": \"of:4:2\", \"skipped\": true, \"hint\": \
+       \"set LBSA_BENCH_BIG=1 to run the >= 1e7-state case\" } }\n");
   p "}\n";
   close_out oc;
   Fmt.pr "wrote BENCH_verify.json@."

@@ -101,6 +101,55 @@ let check_domains_arg =
 let sweep_plan d =
   if d <= 0 then (1, None) else (d, Some 1)
 
+(* --- out-of-core exploration ------------------------------------------ *)
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"P"
+        ~doc:
+          "Dedup-table shards (a power of two up to 4096), routed by the \
+           high bits of the configuration hash so each shard grows \
+           independently.  The explored graph — node ids, edges, verdict — \
+           is identical for every value.")
+
+let spill_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill-dir" ] ~docv:"DIR"
+        ~doc:
+          "Bound resident memory: once more than --spill-threshold expanded \
+           states are resident, the oldest ones move to checksummed segment \
+           files under DIR and fault back in on demand.  The explored graph \
+           is identical with or without spilling.  Segments are scratch: \
+           stale ones are wiped on start and DIR is cleaned when the run \
+           completes.")
+
+let spill_threshold_arg =
+  Arg.(
+    value
+    & opt int Lbsa_modelcheck.Graph.default_spill_threshold
+    & info [ "spill-threshold" ] ~docv:"S"
+        ~doc:
+          "Resident expanded states beyond which the oldest spill to \
+           --spill-dir (ignored without it).")
+
+let mk_spill dir threshold =
+  Option.map
+    (fun spill_dir -> { Cgraph.spill_dir; spill_threshold = threshold })
+    dir
+
+(* Spilled segments are scratch (Segstore wipes stale ones on start);
+   once a run completes cleanly nothing will ever read them again, so
+   the CLI removes them — a partial run's are left for inspection and
+   are re-spilled from scratch on resume anyway. *)
+let clean_spill_on_done spill ~done_ =
+  match spill with
+  | Some s when done_ -> Lbsa_modelcheck.Segstore.clean_dir ~dir:s.Cgraph.spill_dir
+  | _ -> ()
+
 (* --- state-space reduction -------------------------------------------- *)
 
 let reduce_arg =
@@ -241,7 +290,7 @@ let report ?(stats = false) ?family verdict =
    end);
   Supervisor.exit_code ~ok:verdict.Solvability.ok verdict.Solvability.outcome
 
-let check_dac n max_states stats d rmode ~budget =
+let check_dac n max_states stats d rmode shards ~budget =
   let machine = Dac_from_pac.machine ~n in
   let specs = Dac_from_pac.specs ~n in
   let reduce = mk_reduce ~frozen:dac_frozen ~canon:(Canon.dac ~n) rmode in
@@ -250,12 +299,12 @@ let check_dac n max_states stats d rmode ~budget =
     Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
         Solvability.check_dac ~max_states ?domains:inner ~budget ~reduce
-          ~machine ~specs ~inputs ())
+          ~shards ~machine ~specs ~inputs ())
       (Dac.binary_inputs n)
   in
   report ~stats ~family verdict
 
-let check_consensus m max_states stats d rmode ~budget =
+let check_consensus m max_states stats d rmode shards ~budget =
   let machine, specs = Consensus_protocols.from_consensus_obj ~m in
   let reduce = mk_reduce ~canon:(Canon.exchangeable ~n:m ()) rmode in
   let sweep, inner = sweep_plan d in
@@ -263,19 +312,19 @@ let check_consensus m max_states stats d rmode ~budget =
     Solvability.for_all_inputs_timed ~domains:sweep ~budget
       (fun inputs ->
         Solvability.check_consensus ~max_states ?domains:inner ~budget ~reduce
-          ~machine ~specs ~inputs ())
+          ~shards ~machine ~specs ~inputs ())
       (Consensus_task.binary_inputs m)
   in
   report ~stats ~family verdict
 
-let check_kset m k max_states stats d rmode ~budget =
+let check_kset m k max_states stats d rmode shards ~budget =
   let machine, specs = Kset_protocols.partition ~m ~k in
   let reduce = mk_reduce ~canon:(Canon.kset_partition ~m ~k) rmode in
   (* A single input vector: [--domains] drives the explorer itself. *)
   let domains = if d <= 0 then None else Some d in
   report ~stats
-    (Solvability.check_kset ~max_states ?domains ~budget ~reduce ~machine
-       ~specs ~k
+    (Solvability.check_kset ~max_states ?domains ~budget ~reduce ~shards
+       ~machine ~specs ~k
        ~inputs:(Kset_task.distinct_inputs (m * k))
        ())
 
@@ -360,12 +409,14 @@ let check_cmd =
       & opt string "flp-write-read"
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
-  let run task n m k name max_states stats domains rmode deadline chaos =
+  let run task n m k name max_states stats domains rmode shards deadline chaos
+      =
     let budget = mk_budget ?deadline ~chaos () in
     match task with
-    | `Dac -> check_dac n max_states stats domains rmode ~budget
-    | `Consensus -> check_consensus m max_states stats domains rmode ~budget
-    | `Kset -> check_kset m k max_states stats domains rmode ~budget
+    | `Dac -> check_dac n max_states stats domains rmode shards ~budget
+    | `Consensus ->
+      check_consensus m max_states stats domains rmode shards ~budget
+    | `Kset -> check_kset m k max_states stats domains rmode shards ~budget
     | `Candidate -> check_candidate name max_states domains rmode
   in
   Cmd.v
@@ -375,7 +426,8 @@ let check_cmd =
           nondeterminism).")
     Term.(
       const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
-      $ stats_arg $ check_domains_arg $ reduce_arg $ deadline_arg $ chaos_arg)
+      $ stats_arg $ check_domains_arg $ reduce_arg $ shards_arg $ deadline_arg
+      $ chaos_arg)
 
 (* --- solve -------------------------------------------------------------- *)
 
@@ -385,10 +437,11 @@ let check_cmd =
    stdout carries only the verdict (checkpoint notes go to stderr), so
    an interrupted-then-resumed run prints byte-for-byte what the
    uninterrupted run prints. *)
-let solve task n m k max_states stats rmode d deadline chaos ckpt_file
-    resume_file inputs_csv =
+let solve task n m k max_states stats rmode d shards spill_dir spill_threshold
+    deadline chaos ckpt_file resume_file inputs_csv =
   let budget = mk_budget ?deadline ~chaos () in
   let domains = if d <= 0 then None else Some d in
+  let spill = mk_spill spill_dir spill_threshold in
   let custom =
     match inputs_csv with
     | None -> Ok None
@@ -421,7 +474,7 @@ let solve task n m k max_states stats rmode d deadline chaos ckpt_file
           inputs,
           fun resume ->
             Solvability.check_consensus ~max_states ?domains ~budget ~reduce
-              ?resume ~machine ~specs ~inputs () )
+              ?resume ~shards ?spill ~machine ~specs ~inputs () )
       | `Kset ->
         let machine, specs = Kset_protocols.partition ~m ~k in
         let reduce = mk_reduce ~canon:(Canon.kset_partition ~m ~k) rmode in
@@ -434,7 +487,7 @@ let solve task n m k max_states stats rmode d deadline chaos ckpt_file
           inputs,
           fun resume ->
             Solvability.check_kset ~max_states ?domains ~budget ~reduce
-              ?resume ~machine ~specs ~k ~inputs () )
+              ?resume ~shards ?spill ~machine ~specs ~k ~inputs () )
       | `Dac ->
         let machine = Dac_from_pac.machine ~n in
         let specs = Dac_from_pac.specs ~n in
@@ -451,7 +504,7 @@ let solve task n m k max_states stats rmode d deadline chaos ckpt_file
           inputs,
           fun resume ->
             Solvability.check_dac ~max_states ?domains ~budget ~reduce
-              ?resume ~machine ~specs ~inputs () )
+              ?resume ~shards ?spill ~machine ~specs ~inputs () )
     in
     (* The label pins exactly what defines the graph — task, sizes,
        inputs, reduction mode.  Budget-side knobs (max_states, deadline,
@@ -466,6 +519,11 @@ let solve task n m k max_states stats rmode d deadline chaos ckpt_file
         inputs (reduce_mode_name rmode)
     in
     (match Option.map (fun file -> Checkpoint.load ~file) resume_file with
+    | exception Checkpoint.Version_mismatch msg ->
+      (* Old-version checkpoints exit like a parameter mismatch (2): the
+         file is coherent, this build just refuses to read it. *)
+      Fmt.epr "cannot resume: %s@." msg;
+      2
     | exception Failure msg ->
       Fmt.epr "cannot resume: %s@." msg;
       3
@@ -483,6 +541,8 @@ let solve task n m k max_states stats rmode d deadline chaos ckpt_file
         Fmt.epr "checkpoint written to %s (resume with --resume %s)@." file
           file
       | _ -> ());
+      clean_spill_on_done spill
+        ~done_:(v.Solvability.outcome = Supervisor.Done);
       report ~stats v)
 
 let solve_cmd =
@@ -523,7 +583,8 @@ let solve_cmd =
           continues it to the same verdict an uninterrupted run prints.")
     Term.(
       const solve $ task $ n_arg $ m_arg $ k_arg $ max_states_arg $ stats_arg
-      $ reduce_arg $ domains $ deadline_arg $ chaos_arg $ checkpoint_arg
+      $ reduce_arg $ domains $ shards_arg $ spill_dir_arg
+      $ spill_threshold_arg $ deadline_arg $ chaos_arg $ checkpoint_arg
       $ resume_arg $ inputs)
 
 (* --- valence ------------------------------------------------------------ *)
@@ -538,7 +599,8 @@ let protocols_by_name ~n ~m =
       (Dac_from_pac.machine ~n, Dac_from_pac.specs ~n) );
   ]
 
-let valence name n m max_states stats rmode =
+let valence name n m max_states stats rmode shards spill_dir spill_threshold =
+  let spill = mk_spill spill_dir spill_threshold in
   match List.assoc_opt name (protocols_by_name ~n ~m) with
   | None ->
     Fmt.epr "unknown protocol %S; known: %s@." name
@@ -562,7 +624,10 @@ let valence name n m max_states stats rmode =
       | "cons" -> mk_reduce ~canon:(Canon.exchangeable ~n:m ()) rmode
       | _ -> mk_reduce ~canon:Canon.identity rmode
     in
-    let graph = Cgraph.build ~max_states ~reduce ~machine ~specs ~inputs () in
+    let graph =
+      Cgraph.build ~max_states ~reduce ~shards ?spill ~machine ~specs ~inputs
+        ()
+    in
     if stats then Fmt.pr "%a@." Cgraph.pp_stats (Cgraph.stats graph);
     let a = Valence.analyze graph in
     let s = Valence.summarize a in
@@ -587,6 +652,7 @@ let valence name n m max_states stats rmode =
       Fmt.pr "bivalence maintainable: adversary avoids decisions forever@."
     | Ok () -> Fmt.pr "no bivalent configurations@."
     | Error id -> Fmt.pr "bivalent dead-end at node %d@." id);
+    clean_spill_on_done spill ~done_:(not graph.Cgraph.truncated);
     0
 
 let valence_cmd =
@@ -602,7 +668,204 @@ let valence_cmd =
        ~doc:"Compute the valence structure of a protocol's configuration graph.")
     Term.(
       const valence $ proto_name $ n_arg $ m_arg $ max_states_arg $ stats_arg
-      $ reduce_arg)
+      $ reduce_arg $ shards_arg $ spill_dir_arg $ spill_threshold_arg)
+
+(* --- explore ------------------------------------------------------------ *)
+
+(* Machine-readable single-graph exploration, built for the out-of-core
+   benchmarks: each case runs in its own process so the reported peak
+   RSS (VmHWM from /proc/self/status) is honestly per-run — the parent
+   bench never inherits a child's high-water mark — and the key=value
+   stdout is trivially parseable.  [--fingerprint] appends the
+   structural graph fingerprint used by the spilled-vs-resident
+   equivalence checks; it reads every configuration (faulting each
+   segment once, in order), so the big memory-bound cases skip it. *)
+
+let explore_task_conv =
+  let parse s =
+    let int_ge lo v k =
+      match int_of_string_opt v with
+      | Some v when v >= lo -> Ok (k v)
+      | _ -> Error (`Msg (Fmt.str "%S: expected an integer >= %d" s lo))
+    in
+    match String.split_on_char ':' s with
+    | [ "dac"; n ] -> int_ge 2 n (fun n -> `Dac n)
+    | [ "cons"; m ] -> int_ge 1 m (fun m -> `Cons m)
+    | [ "kset"; m; k ] ->
+      Result.bind (int_ge 1 m Fun.id) (fun m ->
+          int_ge 1 k (fun k -> `Kset (m, k)))
+    | [ "of"; n; r ] ->
+      Result.bind (int_ge 2 n Fun.id) (fun n ->
+          int_ge 1 r (fun r -> `Of (n, r)))
+    | _ ->
+      Error
+        (`Msg
+           "task is dac:<n> | cons:<m> | kset:<m>:<k> | of:<n>:<rounds> \
+            (obstruction-free consensus, <rounds> commit-adopt rounds)")
+  in
+  let print ppf = function
+    | `Dac n -> Fmt.pf ppf "dac:%d" n
+    | `Cons m -> Fmt.pf ppf "cons:%d" m
+    | `Kset (m, k) -> Fmt.pf ppf "kset:%d:%d" m k
+    | `Of (n, r) -> Fmt.pf ppf "of:%d:%d" n r
+  in
+  Arg.conv (parse, print)
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file -> 0
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              try
+                Scanf.sscanf
+                  (String.sub line 6 (String.length line - 6))
+                  " %d" Fun.id
+              with Scanf.Scan_failure _ | Failure _ -> 0
+            else go ()
+        in
+        go ())
+
+(* The same structural fold as `lbsa fingerprint`, over any graph:
+   per-node [Config.hash] in id order, then each node's (pid, target)
+   out-steps.  Intern ids never enter, so the value is identical across
+   processes, shard counts, domain counts and spill settings. *)
+let graph_fingerprint graph =
+  let h = ref 0x811c9dc5 in
+  let comb k = h := Value.hash_combine !h k land max_int in
+  for id = 0 to Cgraph.n_nodes graph - 1 do
+    comb (Config.hash (Cgraph.node graph id));
+    Cgraph.iter_out_steps graph id (fun pid target ->
+        comb pid;
+        comb target)
+  done;
+  !h land 0xffffffff
+
+let explore task max_states rmode d shards spill_dir spill_threshold deadline
+    chaos want_fp want_stats =
+  let budget = mk_budget ?deadline ~chaos () in
+  let domains = if d <= 0 then None else Some d in
+  let spill = mk_spill spill_dir spill_threshold in
+  let label = Fmt.str "%a" (Arg.conv_printer explore_task_conv) task in
+  let machine, specs, inputs, canon, frozen =
+    match task with
+    | `Dac n ->
+      ( Dac_from_pac.machine ~n,
+        Dac_from_pac.specs ~n,
+        Array.init n (fun pid -> Value.int (if pid = 0 then 1 else 0)),
+        Canon.dac ~n,
+        Some dac_frozen )
+    | `Cons m ->
+      let machine, specs = Consensus_protocols.from_consensus_obj ~m in
+      ( machine,
+        specs,
+        Array.init m (fun pid -> Value.int (pid mod 2)),
+        Canon.exchangeable ~n:m (),
+        None )
+    | `Kset (m, k) ->
+      let machine, specs = Kset_protocols.partition ~m ~k in
+      ( machine,
+        specs,
+        Kset_task.distinct_inputs (m * k),
+        Canon.kset_partition ~m ~k,
+        None )
+    | `Of (n, r) ->
+      (* No certified symmetry group: [sym] degrades to the identity
+         quotient, like free-form candidates.  [`Spin] makes spun-out
+         states absorbing livelock leaves, so the bounded graph is
+         finite and the exploration can actually complete. *)
+      ( Obstruction_free.machine_spin ~n ~max_rounds:r,
+        Obstruction_free.specs ~n ~max_rounds:r,
+        Array.init n (fun pid -> Value.int (pid mod 2)),
+        Canon.identity,
+        None )
+  in
+  let reduce = mk_reduce ?frozen ~canon rmode in
+  let graph =
+    Cgraph.build ~max_states ?domains ~budget ~reduce ~shards ?spill ~machine
+      ~specs ~inputs ()
+  in
+  let s = Cgraph.stats graph in
+  let outcome =
+    match graph.Cgraph.stop with
+    | Supervisor.Done -> "done"
+    | Supervisor.Truncated -> "truncated"
+    | Supervisor.Deadline -> "deadline"
+    | Supervisor.Cancelled -> "cancelled"
+    | Supervisor.Worker_failed _ -> "worker_failed"
+  in
+  let fp = if want_fp then Some (graph_fingerprint graph) else None in
+  if want_stats then Fmt.epr "%a@." Cgraph.pp_stats s;
+  Fmt.pr "task=%s@." label;
+  Fmt.pr "reduce=%s@." (reduce_mode_name rmode);
+  Fmt.pr "states=%d@." s.Cgraph.states;
+  Fmt.pr "edges=%d@." s.Cgraph.edges;
+  Fmt.pr "levels=%d@." s.Cgraph.levels;
+  Fmt.pr "truncated=%b@." graph.Cgraph.truncated;
+  Fmt.pr "outcome=%s@." outcome;
+  Fmt.pr "wall_s=%.6f@." s.Cgraph.wall_s;
+  Fmt.pr "states_per_sec=%.1f@." s.Cgraph.states_per_sec;
+  Fmt.pr "domains=%d@." s.Cgraph.domains;
+  Fmt.pr "shards=%d@." s.Cgraph.shards;
+  Fmt.pr "steals=%d@." s.Cgraph.steals;
+  Fmt.pr "dedup_rate=%.4f@." s.Cgraph.dedup_rate;
+  Fmt.pr "spill_segments=%d@." s.Cgraph.spill.Cgraph.sp_segments;
+  Fmt.pr "spill_bytes=%d@." s.Cgraph.spill.Cgraph.sp_bytes;
+  Fmt.pr "seg_faults=%d@." s.Cgraph.spill.Cgraph.sp_seg_faults;
+  Fmt.pr "frozen_keys=%d@." s.Cgraph.spill.Cgraph.sp_frozen;
+  Fmt.pr "key_faults=%d@." s.Cgraph.spill.Cgraph.sp_key_faults;
+  Fmt.pr "peak_rss_kb=%d@." (peak_rss_kb ());
+  (match fp with
+  | Some fp -> Fmt.pr "fingerprint=%08x@." fp
+  | None -> ());
+  clean_spill_on_done spill ~done_:(graph.Cgraph.stop = Supervisor.Done);
+  Supervisor.exit_code ~ok:true graph.Cgraph.stop
+
+let explore_cmd =
+  let task =
+    Arg.(
+      required
+      & pos 0 (some explore_task_conv) None
+      & info [] ~docv:"TASK"
+          ~doc:"dac:<n> | cons:<m> | kset:<m>:<k> | of:<n>:<rounds>.")
+  in
+  let fp =
+    Arg.(
+      value
+      & flag
+      & info [ "fingerprint" ]
+          ~doc:
+            "Append the structural graph fingerprint (reads every \
+             configuration; skip it for memory-bound runs).")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Explorer worker domains (0 = auto).  The graph never depends \
+             on this.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Build one configuration graph and print machine-readable \
+          key=value telemetry (states, throughput, shard/steal/spill \
+          counters, per-process peak RSS).  The benchmark harness runs \
+          each case through this command in a fresh process so peak-RSS \
+          numbers are honest.  Exit 0 on a complete graph, 2 on a \
+          partial one.")
+    Term.(
+      const explore $ task $ max_states_arg $ reduce_arg $ domains
+      $ shards_arg $ spill_dir_arg $ spill_threshold_arg $ deadline_arg
+      $ chaos_arg $ fp $ stats_arg)
 
 (* --- power / separation ------------------------------------------------- *)
 
@@ -1323,8 +1586,8 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_dac_cmd; check_cmd; solve_cmd; valence_cmd; power_cmd;
-            separation_cmd; lin_check_cmd; fuzz_cmd; universal_cmd; bg_cmd;
-            qadri_cmd; objects_cmd; fingerprint_cmd; serve_cmd; query_cmd;
-            shutdown_cmd;
+            run_dac_cmd; check_cmd; solve_cmd; valence_cmd; explore_cmd;
+            power_cmd; separation_cmd; lin_check_cmd; fuzz_cmd; universal_cmd;
+            bg_cmd; qadri_cmd; objects_cmd; fingerprint_cmd; serve_cmd;
+            query_cmd; shutdown_cmd;
           ]))

@@ -75,6 +75,9 @@ module Canon = Lbsa_modelcheck.Canon
 module Cgraph = Lbsa_modelcheck.Graph
 module Checkpoint = Lbsa_modelcheck.Checkpoint
 module Ctbl = Lbsa_modelcheck.Ctbl
+module Ctbl_sharded = Lbsa_modelcheck.Ctbl_sharded
+module Mirror = Lbsa_modelcheck.Mirror
+module Segstore = Lbsa_modelcheck.Segstore
 module Valence = Lbsa_modelcheck.Valence
 module Bivalency = Lbsa_modelcheck.Bivalency
 module Solvability = Lbsa_modelcheck.Solvability

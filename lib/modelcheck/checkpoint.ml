@@ -1,50 +1,37 @@
-open Lbsa_spec
-open Lbsa_runtime
+(* Checkpoint persistence.  See the .mli for why this stores the
+   structural Mirror forms instead of marshalling [Config.t] directly:
+   intern ids and pointer identity must not cross a process boundary,
+   so freezing strips them and thawing re-interns through the smart
+   constructors.
 
-(* Checkpoint persistence.  See the .mli for why this mirrors values
-   structurally instead of marshalling [Config.t] directly: intern ids
-   and pointer identity must not cross a process boundary, so freezing
-   strips them and thawing re-interns through the smart constructors. *)
+   Version 3 replaced the single whole-file Marshal blob with the
+   framed section discipline of the out-of-core segment store
+   ({!Segstore.Segio}): one checksummed CKMETA section, then the node
+   and edge arrays streamed in bounded CKNODES/CKEDGES chunks.  Each
+   section is independently checksummed, a corrupt chunk fails loudly
+   at its own offset, and writing a multi-gigabyte checkpoint never
+   needs a second whole-graph copy in one Marshal buffer. *)
 
-(* --- the structural mirror --------------------------------------------- *)
-
-type pvalue =
-  | PUnit
-  | PBool of bool
-  | PInt of int
-  | PSym of string
-  | PBot
-  | PNil
-  | PDone
-  | PPair of pvalue * pvalue
-  | PList of pvalue list
-
-type pstatus = PRunning | PDecided of pvalue | PAborted | PCrashed
-
-type pconfig = {
-  plocals : pvalue array;
-  pobjects : pvalue array;
-  pstatus : pstatus array;
+type meta = {
+  m_label : string;
+  m_expanded : int;
+  m_offsets : int array;
+  m_dedup_hits : int;
+  m_n_succs : int;
+  m_frontier_sizes : int array;
+  m_reduction : string;
+  m_canonized : int;
+  m_ample_nodes : int;
+  m_ample_pruned : int;
+  m_n_nodes : int;
+  m_n_edges : int;
 }
-
-type pevent =
-  | POp of {
-      epid : int;
-      eobj : int;
-      ename : string;
-      eargs : pvalue list;
-      eresponse : pvalue;
-    }
-  | PDecide of { epid : int; evalue : pvalue }
-  | PAbort of { epid : int }
-
-type pedge = { ppid : int; pev : pevent; ptarget : int }
 
 type t = {
   label : string;
-  nodes : pconfig array;
+  nodes : Mirror.pconfig array;
   expanded : int;
-  edges : pedge array;
+  edges : Mirror.pedge array;
   offsets : int array;
   dedup_hits : int;
   n_succs : int;
@@ -58,54 +45,20 @@ type t = {
 let label t = t.label
 let reduction t = t.reduction
 
-(* --- freeze ------------------------------------------------------------- *)
-
-let rec freeze_value (v : Value.t) : pvalue =
-  match Value.node v with
-  | Value.Unit -> PUnit
-  | Value.Bool b -> PBool b
-  | Value.Int i -> PInt i
-  | Value.Sym s -> PSym s
-  | Value.Bot -> PBot
-  | Value.Nil -> PNil
-  | Value.Done -> PDone
-  | Value.Pair (a, b) -> PPair (freeze_value a, freeze_value b)
-  | Value.List vs -> PList (List.map freeze_value vs)
-
-let freeze_status = function
-  | Config.Running -> PRunning
-  | Config.Decided v -> PDecided (freeze_value v)
-  | Config.Aborted -> PAborted
-  | Config.Crashed -> PCrashed
-
-let freeze_config (c : Config.t) =
-  {
-    plocals = Array.map freeze_value c.Config.locals;
-    pobjects = Array.map freeze_value c.Config.objects;
-    pstatus = Array.map freeze_status c.Config.status;
-  }
-
-let freeze_event = function
-  | Config.Op_event { pid; obj; op; response } ->
-    POp
-      {
-        epid = pid;
-        eobj = obj;
-        ename = op.Op.name;
-        eargs = List.map freeze_value op.Op.args;
-        eresponse = freeze_value response;
-      }
-  | Config.Decide_event { pid; value } ->
-    PDecide { epid = pid; evalue = freeze_value value }
-  | Config.Abort_event { pid } -> PAbort { epid = pid }
+(* --- freeze / thaw ------------------------------------------------------- *)
 
 let freeze_edge (e : Graph.edge) =
-  { ppid = e.Graph.pid; pev = freeze_event e.Graph.event; ptarget = e.Graph.target }
+  Mirror.freeze_step ~pid:e.Graph.pid ~event:e.Graph.event
+    ~target:e.Graph.target
+
+let thaw_edge e : Graph.edge =
+  let pid, event, target = Mirror.thaw_step e in
+  { Graph.pid; event; target }
 
 let freeze ~label (s : Graph.suspended) =
   {
     label;
-    nodes = Array.map freeze_config s.Graph.s_nodes;
+    nodes = Array.map Mirror.freeze_config s.Graph.s_nodes;
     expanded = s.Graph.s_expanded;
     edges = Array.map freeze_edge s.Graph.s_edges;
     offsets = Array.copy s.Graph.s_offsets;
@@ -118,51 +71,9 @@ let freeze ~label (s : Graph.suspended) =
     ample_pruned = s.Graph.s_ample_pruned;
   }
 
-(* --- thaw --------------------------------------------------------------- *)
-
-let rec thaw_value = function
-  | PUnit -> Value.unit_
-  | PBool b -> Value.bool b
-  | PInt i -> Value.int i
-  | PSym s -> Value.sym s
-  | PBot -> Value.bot
-  | PNil -> Value.nil
-  | PDone -> Value.done_
-  | PPair (a, b) -> Value.pair (thaw_value a, thaw_value b)
-  | PList vs -> Value.list (List.map thaw_value vs)
-
-let thaw_status = function
-  | PRunning -> Config.Running
-  | PDecided v -> Config.Decided (thaw_value v)
-  | PAborted -> Config.Aborted
-  | PCrashed -> Config.Crashed
-
-let thaw_config c : Config.t =
-  {
-    Config.locals = Array.map thaw_value c.plocals;
-    objects = Array.map thaw_value c.pobjects;
-    status = Array.map thaw_status c.pstatus;
-  }
-
-let thaw_event = function
-  | POp { epid; eobj; ename; eargs; eresponse } ->
-    Config.Op_event
-      {
-        pid = epid;
-        obj = eobj;
-        op = Op.make ename (List.map thaw_value eargs);
-        response = thaw_value eresponse;
-      }
-  | PDecide { epid; evalue } ->
-    Config.Decide_event { pid = epid; value = thaw_value evalue }
-  | PAbort { epid } -> Config.Abort_event { pid = epid }
-
-let thaw_edge e : Graph.edge =
-  { Graph.pid = e.ppid; event = thaw_event e.pev; target = e.ptarget }
-
 let thaw t : Graph.suspended =
   Graph.suspended_of_parts
-    ~nodes:(Array.map thaw_config t.nodes)
+    ~nodes:(Array.map Mirror.thaw_config t.nodes)
     ~expanded:t.expanded
     ~edges:(Array.map thaw_edge t.edges)
     ~offsets:(Array.copy t.offsets) ~dedup_hits:t.dedup_hits
@@ -176,8 +87,18 @@ let thaw t : Graph.suspended =
 (* A magic line guards against feeding arbitrary files to [Marshal];
    the version is part of it, so a format change invalidates old
    checkpoints loudly instead of deserializing garbage.  Version 2
-   added the reduction mode and counters. *)
-let magic = "LBSA-CHECKPOINT/2\n"
+   added the reduction mode and counters; version 3 moved to the
+   framed-section format above.  Version-2 files are refused, not
+   migrated: a checkpoint is a resumable scratch artifact, and the
+   exploration it froze is cheaper to redo than a silent cross-version
+   misread would be to debug. *)
+let magic = "LBSA-CHECKPOINT/3\n"
+let magic_family = "LBSA-CHECKPOINT/"
+
+exception Version_mismatch of string
+
+(* Array chunk size for the streamed node/edge sections. *)
+let chunk_len = 65_536
 
 let save ~file t =
   let tmp = file ^ ".tmp" in
@@ -186,7 +107,36 @@ let save ~file t =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
-      Marshal.to_channel oc t []);
+      let meta =
+        {
+          m_label = t.label;
+          m_expanded = t.expanded;
+          m_offsets = t.offsets;
+          m_dedup_hits = t.dedup_hits;
+          m_n_succs = t.n_succs;
+          m_frontier_sizes = t.frontier_sizes;
+          m_reduction = t.reduction;
+          m_canonized = t.canonized;
+          m_ample_nodes = t.ample_nodes;
+          m_ample_pruned = t.ample_pruned;
+          m_n_nodes = Array.length t.nodes;
+          m_n_edges = Array.length t.edges;
+        }
+      in
+      Segstore.Segio.write_section oc ~tag:"CKMETA"
+        (Marshal.to_string meta []);
+      let stream tag arr =
+        let n = Array.length arr in
+        let lo = ref 0 in
+        while !lo < n do
+          let len = min chunk_len (n - !lo) in
+          Segstore.Segio.write_section oc ~tag
+            (Marshal.to_string (!lo, Array.sub arr !lo len) []);
+          lo := !lo + len
+        done
+      in
+      stream "CKNODES" t.nodes;
+      stream "CKEDGES" t.edges);
   Sys.rename tmp file
 
 let load ~file =
@@ -202,7 +152,68 @@ let load ~file =
         with End_of_file -> ""
       in
       if not (String.equal header magic) then
-        failwith
-          (Fmt.str "Checkpoint.load: %s is not a version-2 checkpoint file"
-             file);
-      (Marshal.from_channel ic : t))
+        if
+          String.length header >= String.length magic_family
+          && String.equal
+               (String.sub header 0 (String.length magic_family))
+               magic_family
+        then
+          raise
+            (Version_mismatch
+               (Fmt.str
+                  "Checkpoint.load: %s is a %s checkpoint; this build reads \
+                   version 3 only (re-run the exploration to produce a new \
+                   checkpoint)"
+                  file
+                  (String.trim header)))
+        else
+          failwith
+            (Fmt.str "Checkpoint.load: %s is not a version-3 checkpoint file"
+               file);
+      let defect msg = failwith (Fmt.str "Checkpoint.load: %s: %s" file msg) in
+      let meta =
+        match Segstore.Segio.read_section ic with
+        | Some ("CKMETA", payload) -> (Marshal.from_string payload 0 : meta)
+        | Some (tag, _) -> defect (Fmt.str "expected CKMETA, got %s" tag)
+        | None -> defect "truncated (no CKMETA)"
+      in
+      if meta.m_n_nodes < 0 || meta.m_n_edges < 0 then defect "negative counts";
+      let nodes =
+        Array.make meta.m_n_nodes
+          { Mirror.plocals = [||]; pobjects = [||]; pstatus = [||] }
+      in
+      let edges =
+        Array.make meta.m_n_edges
+          { Mirror.ppid = 0; pev = Mirror.PAbort { epid = 0 }; ptarget = 0 }
+      in
+      let fill (type a) tag (arr : a array) total =
+        let got = ref 0 in
+        while !got < total do
+          match Segstore.Segio.read_section ic with
+          | Some (tag', payload) when String.equal tag' tag ->
+            let lo, chunk = (Marshal.from_string payload 0 : int * a array) in
+            if lo <> !got || lo + Array.length chunk > total then
+              defect (Fmt.str "%s chunk out of order" tag);
+            Array.blit chunk 0 arr lo (Array.length chunk);
+            got := !got + Array.length chunk
+          | Some (tag', _) ->
+            defect (Fmt.str "expected %s, got %s" tag tag')
+          | None -> defect (Fmt.str "truncated in %s" tag)
+        done
+      in
+      fill "CKNODES" nodes meta.m_n_nodes;
+      fill "CKEDGES" edges meta.m_n_edges;
+      {
+        label = meta.m_label;
+        nodes;
+        expanded = meta.m_expanded;
+        edges;
+        offsets = meta.m_offsets;
+        dedup_hits = meta.m_dedup_hits;
+        n_succs = meta.m_n_succs;
+        frontier_sizes = meta.m_frontier_sizes;
+        reduction = meta.m_reduction;
+        canonized = meta.m_canonized;
+        ample_nodes = meta.m_ample_nodes;
+        ample_pruned = meta.m_ample_pruned;
+      })

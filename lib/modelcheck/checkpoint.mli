@@ -15,6 +15,14 @@
 
 type t
 
+exception Version_mismatch of string
+(** The file is a checkpoint, but from another format version.  Old
+    checkpoints are refused, never migrated: the frozen exploration is
+    cheaper to redo than a cross-version misread is to debug.  CLIs
+    surface this as exit code 2 (the partial-outcome code, like a
+    reduce-mode mismatch): the file is coherent, only this build cannot
+    use it. *)
+
 val label : t -> string
 (** Free-form run parameters recorded at freeze time (protocol, sizes,
     max_states…); resuming code should compare it against the current
@@ -30,8 +38,12 @@ val freeze : label:string -> Graph.suspended -> t
 val thaw : t -> Graph.suspended
 
 val save : file:string -> t -> unit
-(** Atomic-ish write: magic header + version + marshalled structural
-    data.  Overwrites [file]. *)
+(** Atomic-ish write: versioned magic header, then framed checksummed
+    sections (shared with {!Segstore.Segio}) — one CKMETA section and
+    the node/edge arrays streamed in bounded chunks.  Overwrites
+    [file]. *)
 
 val load : file:string -> t
-(** Raises [Failure] on a missing/foreign/mismatched-version file. *)
+(** Raises [Failure] on a missing/foreign/corrupt file, and
+    {!Version_mismatch} on a checkpoint from another format version
+    (version 2 and older are refused, never migrated). *)

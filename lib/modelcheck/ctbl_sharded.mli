@@ -1,0 +1,72 @@
+(** Hash-prefix-sharded dedup table: 2^k independent {!Ctbl}-style
+    open-addressing tables routed by the high bits of the caller's
+    hash (the 64-stripe intern table in [lib/spec/value.ml] is the
+    in-repo template for the idea).
+
+    Sharding buys two things over one big table.  Growth is local: a
+    shard that fills rehashes only its own entries, so insertion never
+    rehashes the world and the worst-case pause scales with 1/2^k of
+    the table.  And shards age independently: {!freeze_below} evicts
+    the configurations of long-expanded (cold) entries from any shard
+    while keeping their hash and id resident, so an out-of-core build
+    can bound the RAM the dedup table pins.  A probe that lands on a
+    frozen slot with a matching stored hash faults the configuration
+    back through the [resolve] callback (backed by the {!Segstore})
+    for the one [Config.equal] it needs — full-hash collisions are the
+    only other reason to fault, so cold entries cost a disk touch only
+    on genuine re-encounters.
+
+    Routing uses the {e high} bits of the hash while in-shard slots use
+    the low bits, so sharding leaves probe sequences independent of the
+    shard count: for any k, the same keys collide within a shard exactly
+    as they would in one table.  With [shards = 1] the only overhead
+    per lookup is a single shift. *)
+
+open Lbsa_runtime
+
+type t
+
+type shard_stat = {
+  ss_size : int;  (** entries (resident + frozen) *)
+  ss_frozen : int;  (** entries whose configuration lives on disk *)
+  ss_capacity : int;
+  ss_probes : int;
+  ss_hash_skips : int;
+  ss_equal_confirms : int;
+  ss_faults : int;  (** frozen-slot resolves *)
+}
+
+val create : ?shards:int -> ?resolve:(int -> Config.t) -> int -> t
+(** [create ~shards ~resolve n] sizes each shard for about [n/shards]
+    expected entries.  [shards] must be a power of two in \[1, 4096\]
+    (default 1).  [resolve id] must return the configuration that was
+    inserted with id [id]; it is only called after {!freeze_below} has
+    frozen entries, so callers that never freeze can omit it. *)
+
+val n_shards : t -> int
+val length : t -> int
+
+val find_or_add :
+  t -> Config.t -> hash:int -> if_absent:(Config.t -> int) -> int
+(** Same contract as {!Ctbl.find_or_add}: returns the id bound to the
+    key, inserting [if_absent key] first when absent; detect a fresh
+    insert by comparing {!length} before and after.  [hash] must be
+    non-negative (the explorer's [Config.hash] always is). *)
+
+val find_opt : t -> Config.t -> hash:int -> int option
+
+val freeze_below : t -> id_limit:int -> int
+(** Drops the resident configuration of every entry with id below
+    [id_limit], in every shard; such entries keep their hash and id and
+    answer probes through [resolve].  Returns the number of entries
+    newly frozen.  Requires [resolve] to have been supplied. *)
+
+val frozen : t -> int
+val faults : t -> int
+
+val probe_stats : t -> Ctbl.probe_stats
+(** Aggregate probe traffic across shards, in {!Ctbl}'s own stats type
+    (frozen-slot resolves count as equal-confirms there; see
+    {!shard_stat.ss_faults} for the split). *)
+
+val shard_stats : t -> shard_stat array

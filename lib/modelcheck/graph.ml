@@ -59,6 +59,31 @@ type reduction_stats = {
 let no_reduction_stats =
   { rmode = "none"; group_order = 1; canonized = 0; ample_nodes = 0; ample_pruned = 0 }
 
+(* Out-of-core spilling: once more than [spill_threshold] expanded
+   (cold) states are resident, the oldest ones — their configurations
+   and their CSR edge slice — move to disk segments under [spill_dir],
+   and the dedup entries covering them are frozen to (hash, id) pairs.
+   Spilling happens only at level boundaries, so it never races the
+   expansion workers and never touches the live frontier. *)
+type spill = { spill_dir : string; spill_threshold : int }
+
+type spill_stats = {
+  sp_segments : int;  (* segments written *)
+  sp_bytes : int;  (* bytes across live segment files *)
+  sp_seg_faults : int;  (* segment loads back from disk *)
+  sp_frozen : int;  (* dedup entries whose key lives on disk *)
+  sp_key_faults : int;  (* frozen dedup slots resolved through a segment *)
+}
+
+let no_spill_stats =
+  {
+    sp_segments = 0;
+    sp_bytes = 0;
+    sp_seg_faults = 0;
+    sp_frozen = 0;
+    sp_key_faults = 0;
+  }
+
 type stats = {
   states : int;
   edges : int;
@@ -68,6 +93,12 @@ type stats = {
   dedup_hits : int;  (* successors that were already-known states *)
   dedup_rate : float;  (* dedup_hits / successors generated *)
   probe : Ctbl.probe_stats;  (* dedup-table probe traffic; zeros for build_cmap *)
+  shards : int;  (* dedup shard count the build ran with *)
+  shard_stats : Ctbl_sharded.shard_stat array;  (* per-shard occupancy/probes *)
+  steals : int;
+      (* frontier spans stolen between domains; timing-dependent
+         telemetry — the produced graph never depends on it *)
+  spill : spill_stats;
   wall_s : float;
   states_per_sec : float;
   domains : int;
@@ -96,10 +127,26 @@ type suspended = {
   s_ample_pruned : int;
 }
 
+(* Edge targets (and pids) also live packed in one flat, always-resident
+   int array: [(target lsl 8) lor pid].  Every pure-topology pass — SCC,
+   the valence sweep, liveness cycle searches, shortest-path parents —
+   reads only this array, so an out-of-core graph answers them with zero
+   segment faults; full [edge] records (with their events) fault in only
+   when a caller actually asks for them. *)
+let pid_bits = 8
+
+let pack_step ~pid ~target =
+  if pid lsr pid_bits <> 0 then invalid_arg "Graph: pid does not fit 8 bits";
+  (target lsl pid_bits) lor pid
+
 type t = {
-  nodes : Config.t array;
-  edges : edge array;  (* all out-edges, flat, grouped by source node *)
+  nodes : Config.t array;  (* resident suffix: ids [n_base, n_base + length) *)
+  n_base : int;  (* 0 unless the build spilled *)
+  edges : edge array;  (* resident suffix of the flat CSR edge array *)
+  e_base : int;
+  targets : int array;  (* all edges, packed (target lsl 8) lor pid *)
   offsets : int array;  (* length nodes+1; node id owns [offsets.(id), offsets.(id+1)) *)
+  segs : Segstore.t option;  (* cold prefix [0, n_base) and its edges *)
   initial : int;
   truncated : bool;  (* true whenever stop <> Done: results are partial *)
   stop : Supervisor.outcome;
@@ -115,12 +162,31 @@ let pp_reduction_stats ppf r =
   Fmt.pf ppf "reduction: %s (group order %d, %d canonized, %d ample nodes, %d steps pruned)"
     r.rmode r.group_order r.canonized r.ample_nodes r.ample_pruned
 
+let pp_sharding ppf s =
+  if s.shards > 1 || s.steals > 0 then begin
+    let occupied =
+      Array.fold_left
+        (fun a (sh : Ctbl_sharded.shard_stat) ->
+          a + if sh.Ctbl_sharded.ss_size > 0 then 1 else 0)
+        0 s.shard_stats
+    in
+    Fmt.pf ppf "@,shards: %d (%d occupied), steals: %d" s.shards occupied
+      s.steals
+  end
+
+let pp_spill ppf sp =
+  if sp.sp_segments > 0 then
+    Fmt.pf ppf
+      "@,spill: %d segments (%d bytes), %d segment faults, %d frozen keys \
+       (%d key faults)"
+      sp.sp_segments sp.sp_bytes sp.sp_seg_faults sp.sp_frozen sp.sp_key_faults
+
 let pp_stats ppf s =
   Fmt.pf ppf
     "@[<v>states: %d%s@,edges: %d@,levels: %d (peak frontier %d)@,\
      dedup: %d hits (%.1f%% of %d successors)@,\
      probes: %d (%d skipped on hash, %d equal-confirms)@,\
-     wall: %.3f s (%.0f states/s, %d domain%s)%a@]"
+     wall: %.3f s (%.0f states/s, %d domain%s)%a%a%a@]"
     s.states
     (if s.truncated then " [TRUNCATED]" else "")
     s.edges s.levels s.peak_frontier s.dedup_hits (100. *. s.dedup_rate)
@@ -130,7 +196,7 @@ let pp_stats ppf s =
     (if s.domains = 1 then "" else "s")
     (fun ppf r ->
       if r.rmode <> "none" then Fmt.pf ppf "@,%a" pp_reduction_stats r)
-    s.reduction
+    s.reduction pp_sharding s pp_spill s.spill
 
 (* --- small growable arrays (flat storage while the size is unknown) --- *)
 
@@ -223,56 +289,191 @@ let default_domains =
 (* Below this frontier size the spawn/join overhead outweighs the work. *)
 let parallel_threshold = 256
 
-(* Expand the first [n] entries of the frontier buffer; [Ok out] has
-   node [i]'s successor list at [out.(i)].  Chunks are written to
-   disjoint indices, so domains share no mutable state; [Domain.join]
-   publishes the writes.  Each chunk body runs under
-   [Supervisor.run_shard]: an exception in a worker — or an injected
-   chaos fault — is caught in that domain and the chunk retried with
-   bounded backoff.  The per-node successor computation is pure and a
-   retry rewrites the same disjoint slots, so isolation and retry never
-   change the produced graph.  [Error (worker, exn, attempts)] reports
-   the lowest-indexed chunk whose retries were exhausted. *)
+(* Granule of the work-stealing loop: a worker claims this many frontier
+   indices at a time from its own span. *)
+let steal_block = 64
+
+(* One worker's span of unclaimed frontier indices.  [lo] advances as
+   the owner claims blocks; [hi] retreats when a thief steals the upper
+   half.  The lock covers both fields; every deque operation is a few
+   loads and stores, so contention is negligible next to successor
+   computation. *)
+type deque = { mutable dq_lo : int; mutable dq_hi : int; dq_lock : Mutex.t }
+
+(* Expand the first [n] entries of the frontier buffer; [Ok (out,
+   steals)] has node [i]'s successor list at [out.(i)].
+
+   Scheduling is work-stealing: the frontier is split into [d] initial
+   spans (one per domain), each worker claims [steal_block]-sized blocks
+   from the front of its own span, and a worker whose span is empty
+   steals the upper half of a victim's remaining span, installs it as
+   its own and continues.  Stealing only moves *which worker* computes
+   an index, never what is computed or where it lands: [out.(i)] is a
+   pure function of [frontier.(i)], every index is written exactly once,
+   and the caller's merge reads [out] sequentially in frontier order —
+   so the produced graph is bit-identical for any domain count and any
+   steal interleaving, exactly as with static chunking.  [Domain.join]
+   publishes the writes.
+
+   Termination: an atomic [remaining] counts unprocessed indices, and a
+   worker whose own span and every victim's span are empty spins until
+   it reaches zero (some worker is still computing the last claimed
+   blocks) or a failure is flagged.
+
+   Fault isolation: each worker loop runs under [Supervisor.run_shard],
+   which retries a crashed attempt with bounded backoff.  A worker
+   records its claimed block in [claimed.(k)] before processing, so a
+   retry first reprocesses that block (idempotent: pure recompute into
+   the same disjoint slots) before claiming more.  [remaining] is
+   decremented once per completed block, after processing; injected
+   chaos faults fire at attempt entry — before any claim — so a
+   transient crash never leaves the counter torn.  A deterministic
+   crash (a raising machine) exhausts its retries, flags [failed], and
+   every other worker exits; the level is then abandoned whole.
+   [Error (worker, exn, attempts)] reports the lowest such worker. *)
 let expand ~domains ~reduce ~machine ~specs frontier n =
   let out = Array.make n ([], 0, 0) in
-  let work lo hi () =
+  let process lo hi =
     for i = lo to hi - 1 do
       out.(i) <- successors ~reduce ~machine ~specs frontier.(i)
     done
   in
-  let shard k lo hi = Supervisor.run_shard ~worker:k (work lo hi) in
   let d = min domains n in
-  let results =
-    if d <= 1 || n < parallel_threshold then [ shard 0 0 n ]
-    else begin
-      let chunk = (n + d - 1) / d in
-      let spawned =
-        List.init (d - 1) (fun k ->
-            let lo = (k + 1) * chunk in
-            let hi = min n (lo + chunk) in
-            Domain.spawn (fun () -> shard (k + 1) lo (max lo hi)))
+  if d <= 1 || n < parallel_threshold then
+    match Supervisor.run_shard ~worker:0 (fun () -> process 0 n) with
+    | Ok () -> Ok (out, 0)
+    | Error (exn, attempts) -> Error (0, exn, attempts)
+  else begin
+    let chunk = (n + d - 1) / d in
+    let deques =
+      Array.init d (fun k ->
+          {
+            dq_lo = min n (k * chunk);
+            dq_hi = min n ((k + 1) * chunk);
+            dq_lock = Mutex.create ();
+          })
+    in
+    let remaining = Atomic.make n in
+    let failed = Atomic.make false in
+    let steals = Atomic.make 0 in
+    let claimed = Array.make d None in
+    let take_own k =
+      let dq = deques.(k) in
+      Mutex.lock dq.dq_lock;
+      let r =
+        if dq.dq_lo < dq.dq_hi then begin
+          let lo = dq.dq_lo in
+          let hi = min dq.dq_hi (lo + steal_block) in
+          dq.dq_lo <- hi;
+          Some (lo, hi)
+        end
+        else None
       in
-      let first = shard 0 0 (min n chunk) in
-      first :: List.map Domain.join spawned
-    end
-  in
-  let failed = ref None in
-  List.iteri
-    (fun k r ->
-      match r with
-      | Error (exn, attempts) when !failed = None ->
-        failed := Some (k, exn, attempts)
-      | _ -> ())
-    results;
-  match !failed with None -> Ok out | Some f -> Error f
+      Mutex.unlock dq.dq_lock;
+      r
+    in
+    let steal k =
+      let rec go i =
+        if i >= d then None
+        else begin
+          let dq = deques.((k + i) mod d) in
+          Mutex.lock dq.dq_lock;
+          let got =
+            let rem = dq.dq_hi - dq.dq_lo in
+            if rem <= 0 then None
+            else begin
+              (* Steal the upper half (the whole span when it is down
+                 to one block) — the victim keeps the work nearest its
+                 cursor. *)
+              let mid =
+                if rem <= steal_block then dq.dq_lo else dq.dq_lo + (rem / 2)
+              in
+              let r = (mid, dq.dq_hi) in
+              dq.dq_hi <- mid;
+              Some r
+            end
+          in
+          Mutex.unlock dq.dq_lock;
+          match got with
+          | Some (lo, hi) ->
+            Atomic.incr steals;
+            (* Install the stolen span as our own (only the owner ever
+               writes both ends outside a steal, and our span is empty),
+               then claim from it normally. *)
+            let own = deques.(k) in
+            Mutex.lock own.dq_lock;
+            own.dq_lo <- lo;
+            own.dq_hi <- hi;
+            Mutex.unlock own.dq_lock;
+            take_own k
+          | None -> go (i + 1)
+        end
+      in
+      go 1
+    in
+    let rec worker k () =
+      (match claimed.(k) with
+      | Some (lo, hi) ->
+        (* A previous attempt of this worker crashed mid-block; redo it
+           (pure recompute into the same slots) before claiming more. *)
+        process lo hi;
+        ignore (Atomic.fetch_and_add remaining (lo - hi));
+        claimed.(k) <- None
+      | None -> ());
+      if Atomic.get failed then ()
+      else
+        match (match take_own k with Some b -> Some b | None -> steal k) with
+        | Some (lo, hi) ->
+          claimed.(k) <- Some (lo, hi);
+          process lo hi;
+          ignore (Atomic.fetch_and_add remaining (lo - hi));
+          claimed.(k) <- None;
+          worker k ()
+        | None ->
+          if Atomic.get remaining > 0 then begin
+            Domain.cpu_relax ();
+            worker k ()
+          end
+    in
+    let shard k =
+      let r = Supervisor.run_shard ~worker:k (worker k) in
+      (match r with
+      | Error _ -> Atomic.set failed true
+      | Ok () -> ());
+      r
+    in
+    let spawned =
+      List.init (d - 1) (fun k -> Domain.spawn (fun () -> shard (k + 1)))
+    in
+    let first = shard 0 in
+    let results = first :: List.map Domain.join spawned in
+    let worst = ref None in
+    List.iteri
+      (fun k r ->
+        match r with
+        | Error (exn, attempts) when !worst = None ->
+          worst := Some (k, exn, attempts)
+        | _ -> ())
+      results;
+    match !worst with
+    | None -> Ok (out, Atomic.get steals)
+    | Some f -> Error f
+  end
 
 (* --- construction ------------------------------------------------------ *)
 
 let default_max_states = 1_000_000
+let default_spill_threshold = 500_000
+
+(* Hole values for compacting the resident arrays after a spill: the
+   freed suffix slots must stop retaining the spilled configurations. *)
+let hole_config : Config.t = { locals = [||]; objects = [||]; status = [||] }
+let hole_edge = { pid = 0; event = Config.Abort_event { pid = 0 }; target = 0 }
 
 let build ?(max_states = default_max_states) ?domains
     ?(budget = Supervisor.Budget.unlimited) ?(reduce = no_reduction) ?resume
-    ~(machine : Machine.t) ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+    ?(shards = 1) ?spill ~(machine : Machine.t)
+    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -280,16 +481,36 @@ let build ?(max_states = default_max_states) ?domains
     | None -> default_domains ()
   in
   let t0 = Unix.gettimeofday () in
-  let tbl = Ctbl.create 16 in
   let nodes = Dyn.create () in
   let edges = Dyn.create () in
+  let targets = Dyn.create () in
   let offsets = Dyn.create () in
   let n_nodes = ref 0 in
+  (* Ids below [n_base] (and edge indices below [e_base]) live in the
+     segment store; the Dyn buffers hold only the resident suffix. *)
+  let n_base = ref 0 in
+  let e_base = ref 0 in
+  let store =
+    match spill with
+    | None -> None
+    | Some sp ->
+      if sp.spill_threshold < 1 then
+        invalid_arg "Graph.build: spill_threshold < 1";
+      Some (Segstore.create ~dir:sp.spill_dir)
+  in
+  (* Configuration of a node id, wherever it lives — the dedup table's
+     resolve callback for frozen entries, and the accessor below. *)
+  let config_of id =
+    if id >= !n_base then nodes.Dyn.arr.(id - !n_base)
+    else Segstore.node (Option.get store) id
+  in
+  let tbl = Ctbl_sharded.create ~shards ~resolve:config_of 16 in
   let dedup_hits = ref 0 in
   let n_succs = ref 0 in
   let canonized = ref 0 in
   let ample_nodes = ref 0 in
   let ample_pruned = ref 0 in
+  let steals = ref 0 in
   let frontier_sizes = Dyn.create () in
   (* Two frontier buffers, swapped each level; no per-level copying.
      Hashing a candidate successor is [Config.hash]: a fold over the
@@ -312,11 +533,14 @@ let build ?(max_states = default_max_states) ?domains
       reduce_config ~reduce ~machine (Config.initial ~machine ~specs ~inputs)
     in
     ignore
-      (Ctbl.find_or_add tbl init ~hash:(Config.hash init) ~if_absent:register)
+      (Ctbl_sharded.find_or_add tbl init ~hash:(Config.hash init)
+         ~if_absent:register)
   | Some s ->
     (* Rebuild the dedup table and buffers from a suspended prefix.  The
        stored id must win over allocation order, so insertion bypasses
-       [register]; the frontier is exactly the unexpanded suffix. *)
+       [register]; the frontier is exactly the unexpanded suffix.  A
+       resumed build starts fully resident (a suspended exploration is
+       materialized); spilling, if enabled, re-engages as it grows. *)
     if s.s_reduction <> reduce.rname then
       invalid_arg
         (Fmt.str
@@ -326,12 +550,16 @@ let build ?(max_states = default_max_states) ?domains
       (fun id config ->
         Dyn.push nodes config;
         ignore
-          (Ctbl.find_or_add tbl config ~hash:(Config.hash config)
+          (Ctbl_sharded.find_or_add tbl config ~hash:(Config.hash config)
              ~if_absent:(fun _ -> id));
         if id >= s.s_expanded then Dyn.push !nxt config)
       s.s_nodes;
     n_nodes := Array.length s.s_nodes;
-    Array.iter (Dyn.push edges) s.s_edges;
+    Array.iter
+      (fun e ->
+        Dyn.push edges e;
+        Dyn.push targets (pack_step ~pid:e.pid ~target:e.target))
+      s.s_edges;
     Array.iter (Dyn.push offsets) s.s_offsets;
     Array.iter (Dyn.push frontier_sizes) s.s_frontier_sizes;
     dedup_hits := s.s_dedup_hits;
@@ -340,6 +568,50 @@ let build ?(max_states = default_max_states) ?domains
     ample_nodes := s.s_ample_nodes;
     ample_pruned := s.s_ample_pruned;
     expanded := s.s_expanded);
+  (* Spill the cold prefix down to [threshold / 2] resident expanded
+     nodes, in segment chunks; runs at a level boundary only (single
+     threaded, frontier untouched — frontier ids are >= expanded and
+     the cut stays strictly below it).  After the segments are written,
+     the resident Dyns are compacted in place and the dedup entries
+     covering the spilled ids are frozen to (hash, id). *)
+  let maybe_spill () =
+    match (spill, store) with
+    | Some sp, Some st when !expanded - !n_base > sp.spill_threshold ->
+      let keep = max 1 (sp.spill_threshold / 2) in
+      let cut_to = !expanded - keep in
+      let seg_len = min 65536 (max 64 (sp.spill_threshold / 4)) in
+      let e_cut = ref !e_base in
+      let lo = ref !n_base in
+      while !lo < cut_to do
+        let hi = min cut_to (!lo + seg_len) in
+        let elo = offsets.Dyn.arr.(!lo) in
+        let ehi = offsets.Dyn.arr.(hi) in
+        let configs =
+          Array.init (hi - !lo) (fun i ->
+              Mirror.freeze_config nodes.Dyn.arr.(!lo + i - !n_base))
+        in
+        let pedges =
+          Array.init (ehi - elo) (fun i ->
+              let e = edges.Dyn.arr.(elo + i - !e_base) in
+              Mirror.freeze_step ~pid:e.pid ~event:e.event ~target:e.target)
+        in
+        Segstore.write_segment st ~lo:!lo ~hi ~elo ~ehi ~configs ~edges:pedges;
+        e_cut := ehi;
+        lo := hi
+      done;
+      let nshift = cut_to - !n_base in
+      Array.blit nodes.Dyn.arr nshift nodes.Dyn.arr 0 (nodes.Dyn.len - nshift);
+      Array.fill nodes.Dyn.arr (nodes.Dyn.len - nshift) nshift hole_config;
+      nodes.Dyn.len <- nodes.Dyn.len - nshift;
+      n_base := cut_to;
+      let eshift = !e_cut - !e_base in
+      Array.blit edges.Dyn.arr eshift edges.Dyn.arr 0 (edges.Dyn.len - eshift);
+      Array.fill edges.Dyn.arr (edges.Dyn.len - eshift) eshift hole_edge;
+      edges.Dyn.len <- edges.Dyn.len - eshift;
+      e_base := !e_cut;
+      ignore (Ctbl_sharded.freeze_below tbl ~id_limit:cut_to)
+    | _ -> ()
+  in
   let stop = ref Supervisor.Done in
   while !stop = Supervisor.Done && (!nxt).Dyn.len > 0 do
     (* Budget and quota polls at the level boundary: the only place a
@@ -365,7 +637,8 @@ let build ?(max_states = default_max_states) ?domains
            nodes stay frontier), so the surviving prefix is still a
            level boundary and domain-count-deterministic. *)
         stop := Supervisor.Worker_failed { worker; exn; attempts }
-      | Ok succs ->
+      | Ok (succs, level_steals) ->
+        steals := !steals + level_steals;
         Dyn.push frontier_sizes f.Dyn.len;
         Array.iteri
           (fun _i (succ_list, n_canon, n_pruned) ->
@@ -375,32 +648,46 @@ let build ?(max_states = default_max_states) ?domains
               ample_pruned := !ample_pruned + n_pruned
             end;
             (* Nodes are expanded in id order, so this records offsets.(id). *)
-            Dyn.push offsets edges.Dyn.len;
+            Dyn.push offsets (!e_base + edges.Dyn.len);
             List.iter
               (fun (pid, branches) ->
                 List.iter
                   (fun ((config' : Config.t), event) ->
                     incr n_succs;
                     let hash = Config.hash config' in
-                    let before = Ctbl.length tbl in
+                    let before = Ctbl_sharded.length tbl in
                     let target =
-                      Ctbl.find_or_add tbl config' ~hash ~if_absent:register
+                      Ctbl_sharded.find_or_add tbl config' ~hash
+                        ~if_absent:register
                     in
-                    if Ctbl.length tbl = before then incr dedup_hits;
-                    Dyn.push edges { pid; event; target })
+                    if Ctbl_sharded.length tbl = before then incr dedup_hits;
+                    Dyn.push edges { pid; event; target };
+                    Dyn.push targets (pack_step ~pid ~target))
                   branches)
               succ_list)
           succs;
-        expanded := !expanded + f.Dyn.len)
+        expanded := !expanded + f.Dyn.len;
+        maybe_spill ())
   done;
   let stop = !stop in
+  (* Materialized views over resident + spilled storage, for [suspended]
+     and for fully-resident final graphs.  The sequential walk faults
+     each segment at most [cache_slots] times. *)
+  let all_nodes () = Array.init !n_nodes config_of in
+  let all_edges () =
+    Array.init (!e_base + edges.Dyn.len) (fun i ->
+        if i >= !e_base then edges.Dyn.arr.(i - !e_base)
+        else
+          let pid, event, target = Segstore.step (Option.get store) i in
+          { pid; event; target })
+  in
   let suspended =
     if !expanded < !n_nodes then
       Some
         {
-          s_nodes = Dyn.to_array nodes;
+          s_nodes = all_nodes ();
           s_expanded = !expanded;
-          s_edges = Dyn.to_array edges;
+          s_edges = all_edges ();
           s_offsets = Dyn.to_array offsets;
           s_dedup_hits = !dedup_hits;
           s_n_succs = !n_succs;
@@ -412,26 +699,43 @@ let build ?(max_states = default_max_states) ?domains
         }
     else None
   in
+  let n_all_edges = !e_base + edges.Dyn.len in
   (* Unexpanded frontier nodes (partial stop) get empty out-edge slices
      so the CSR offsets invariant (length nodes+1) holds for readers. *)
   for _ = !expanded to !n_nodes - 1 do
-    Dyn.push offsets edges.Dyn.len
+    Dyn.push offsets n_all_edges
   done;
-  Dyn.push offsets edges.Dyn.len;
+  Dyn.push offsets n_all_edges;
   let truncated = stop <> Supervisor.Done in
   let wall_s = Unix.gettimeofday () -. t0 in
   let frontier_sizes = Dyn.to_array frontier_sizes in
+  let spill_stats =
+    match store with
+    | None -> no_spill_stats
+    | Some st ->
+      {
+        sp_segments = Segstore.n_segments st;
+        sp_bytes = Segstore.spilled_bytes st;
+        sp_seg_faults = Segstore.faults st;
+        sp_frozen = Ctbl_sharded.frozen tbl;
+        sp_key_faults = Ctbl_sharded.faults tbl;
+      }
+  in
   let stats =
     {
       states = !n_nodes;
-      edges = edges.Dyn.len;
+      edges = n_all_edges;
       levels = Array.length frontier_sizes;
       frontier_sizes;
       peak_frontier = Array.fold_left max 0 frontier_sizes;
       dedup_hits = !dedup_hits;
       dedup_rate =
         (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
-      probe = Ctbl.probe_stats tbl;
+      probe = Ctbl_sharded.probe_stats tbl;
+      shards;
+      shard_stats = Ctbl_sharded.shard_stats tbl;
+      steals = !steals;
+      spill = spill_stats;
       wall_s;
       states_per_sec =
         (if wall_s > 0. then float !n_nodes /. wall_s else float !n_nodes);
@@ -449,8 +753,12 @@ let build ?(max_states = default_max_states) ?domains
   in
   {
     nodes = Dyn.to_array nodes;
+    n_base = !n_base;
     edges = Dyn.to_array edges;
+    e_base = !e_base;
+    targets = Dyn.to_array targets;
     offsets = Dyn.to_array offsets;
+    segs = store;
     initial = 0;
     truncated;
     stop;
@@ -654,6 +962,10 @@ let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
       dedup_rate =
         (if !n_succs = 0 then 0. else float !dedup_hits /. float !n_succs);
       probe = { Ctbl.probes = 0; hash_skips = 0; equal_confirms = 0 };
+      shards = 1;
+      shard_stats = [||];
+      steals = 0;
+      spill = no_spill_stats;
       wall_s;
       states_per_sec = (if wall_s > 0. then float n /. wall_s else float n);
       domains = 1;
@@ -668,10 +980,16 @@ let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
         };
     }
   in
+  let edges = Dyn.to_array flat in
   {
     nodes;
-    edges = Dyn.to_array flat;
+    n_base = 0;
+    edges;
+    e_base = 0;
+    targets =
+      Array.map (fun e -> pack_step ~pid:e.pid ~target:e.target) edges;
     offsets;
+    segs = None;
     initial = 0;
     truncated = !truncated;
     stop = (if !truncated then Supervisor.Truncated else Supervisor.Done);
@@ -681,41 +999,77 @@ let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
 
 (* --- accessors ---------------------------------------------------------- *)
 
-let n_nodes t = Array.length t.nodes
-let n_edges t = Array.length t.edges
+let n_nodes t = t.n_base + Array.length t.nodes
+let n_edges t = Array.length t.targets
 let stats t = t.stats
 
-let node t id = t.nodes.(id)
+let node t id =
+  if id >= t.n_base then t.nodes.(id - t.n_base)
+  else Segstore.node (Option.get t.segs) id
+
+(* Full edge records for index [i], faulting a segment in for the cold
+   prefix.  Topology-only readers should use {!iter_out_steps} /
+   {!exists_out_step}, which never fault. *)
+let edge_at t i =
+  if i >= t.e_base then t.edges.(i - t.e_base)
+  else
+    let pid, event, target = Segstore.step (Option.get t.segs) i in
+    { pid; event; target }
 
 let iter_out_edges t id f =
   for i = t.offsets.(id) to t.offsets.(id + 1) - 1 do
-    f t.edges.(i)
+    f (edge_at t i)
   done
 
 let fold_out_edges t id f acc =
   let acc = ref acc in
   for i = t.offsets.(id) to t.offsets.(id + 1) - 1 do
-    acc := f !acc t.edges.(i)
+    acc := f !acc (edge_at t i)
   done;
   !acc
 
 let exists_out_edge t id p =
-  let rec go i = i < t.offsets.(id + 1) && (p t.edges.(i) || go (i + 1)) in
+  let rec go i = i < t.offsets.(id + 1) && (p (edge_at t i) || go (i + 1)) in
   go t.offsets.(id)
 
 let out_degree t id = t.offsets.(id + 1) - t.offsets.(id)
 
 let out_edges t id =
-  List.init (out_degree t id) (fun i -> t.edges.(t.offsets.(id) + i))
+  List.init (out_degree t id) (fun i -> edge_at t (t.offsets.(id) + i))
 
-let iter_nodes f t = Array.iteri (fun id config -> f id config) t.nodes
+(* Packed-topology readers: pid and target straight out of the resident
+   [targets] array — no segment faults, no allocation. *)
+let iter_out_steps t id f =
+  for i = t.offsets.(id) to t.offsets.(id + 1) - 1 do
+    let v = t.targets.(i) in
+    f (v land ((1 lsl pid_bits) - 1)) (v lsr pid_bits)
+  done
+
+let exists_out_step t id p =
+  let rec go i =
+    i < t.offsets.(id + 1)
+    &&
+    let v = t.targets.(i) in
+    p (v land ((1 lsl pid_bits) - 1)) (v lsr pid_bits) || go (i + 1)
+  in
+  go t.offsets.(id)
+
+let iter_nodes f t =
+  for id = 0 to n_nodes t - 1 do
+    f id (node t id)
+  done
 
 let find_map_node t f =
-  let n = Array.length t.nodes in
+  let n = n_nodes t in
   let rec go id =
     if id >= n then None
-    else match f id t.nodes.(id) with Some _ as r -> r | None -> go (id + 1)
+    else match f id (node t id) with Some _ as r -> r | None -> go (id + 1)
   in
+  go 0
+
+let find_id t p =
+  let n = n_nodes t in
+  let rec go id = if id >= n then None else if p id then Some id else go (id + 1) in
   go 0
 
 let find_node t p =
@@ -730,7 +1084,11 @@ let shortest_path t ~target =
   if target = t.initial then Some []
   else begin
     let n = n_nodes t in
-    let parent = Array.make n None in
+    (* Parent search runs over the packed targets array (no segment
+       faults); only the edges actually on the returned path are
+       materialized, faulting at most one segment per path step. *)
+    let parent = Array.make n (-1) in  (* edge index into the parent *)
+    let parent_node = Array.make n (-1) in
     let queue = Queue.create () in
     Queue.add t.initial queue;
     let seen = Array.make n false in
@@ -738,20 +1096,24 @@ let shortest_path t ~target =
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let u = Queue.pop queue in
-      iter_out_edges t u (fun e ->
-          if (not seen.(e.target)) && not !found then begin
-            seen.(e.target) <- true;
-            parent.(e.target) <- Some (u, e);
-            if e.target = target then found := true
-            else Queue.add e.target queue
-          end)
+      let hi = t.offsets.(u + 1) - 1 in
+      let i = ref t.offsets.(u) in
+      while (not !found) && !i <= hi do
+        let v = t.targets.(!i) lsr pid_bits in
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- !i;
+          parent_node.(v) <- u;
+          if v = target then found := true else Queue.add v queue
+        end;
+        incr i
+      done
     done;
     if not !found then None
     else begin
       let rec walk node acc =
-        match parent.(node) with
-        | None -> acc
-        | Some (u, e) -> walk u (e :: acc)
+        if parent.(node) < 0 then acc
+        else walk parent_node.(node) (edge_at t parent.(node) :: acc)
       in
       Some (walk target [])
     end
@@ -767,13 +1129,12 @@ let schedule_of_path edges = List.map (fun e -> e.pid) edges
    reverse-graph build, no per-node allocation. *)
 let scc t =
   let n = n_nodes t in
-  let n_edges = Array.length t.edges in
-  (* Flatten edge targets into an int array once so the DFS scans plain
-     ints instead of chasing edge records. *)
-  let target = Array.make (max n_edges 1) 0 in
-  for i = 0 to n_edges - 1 do
-    target.(i) <- t.edges.(i).target
-  done;
+  (* The packed targets array is the flattened form the DFS wants —
+     resident even for out-of-core graphs, so the whole pass runs with
+     zero segment faults (and RAM builds skip the flatten copy an
+     earlier revision needed). *)
+  let targets = t.targets in
+  let target i = targets.(i) lsr pid_bits in
   let index = Array.make n (-1) in  (* discovery order; -1 = unvisited *)
   let lowlink = Array.make n 0 in
   (* A node is on Tarjan's component stack iff it has been discovered
@@ -824,7 +1185,7 @@ let scc t =
         end
         else begin
           stack_edge.(!sp) <- ei + 1;
-          let v = target.(ei) in
+          let v = target ei in
           if index.(v) = -1 then begin
             push v;
             incr sp;

@@ -60,6 +60,30 @@ type reduction_stats = {
 
 val no_reduction_stats : reduction_stats
 
+(** Out-of-core spilling, opt-in per build: once more than
+    [spill_threshold] expanded (cold) states are resident, the oldest
+    ones — configurations and their CSR edge slice — move to disk
+    segments under [spill_dir] (see {!Segstore}), and the dedup entries
+    covering them are frozen to (hash, id) pairs that fault the
+    configuration back only when a probe's full hash matches.  Spilling
+    happens only at level boundaries: it never races expansion workers,
+    never touches the live frontier, and leaves the produced graph
+    bit-identical to an unspilled build's. *)
+type spill = { spill_dir : string; spill_threshold : int }
+
+(** Out-of-core telemetry, part of {!stats}; all zeros without [spill]. *)
+type spill_stats = {
+  sp_segments : int;  (** segments written *)
+  sp_bytes : int;  (** bytes across live segment files *)
+  sp_seg_faults : int;  (** segment loads back from disk *)
+  sp_frozen : int;  (** dedup entries whose key lives on disk *)
+  sp_key_faults : int;
+      (** frozen dedup slots resolved through a segment — genuine
+          re-encounters of cold states plus full-hash collisions *)
+}
+
+val no_spill_stats : spill_stats
+
 (** Exploration statistics, collected by every [build]. *)
 type stats = {
   states : int;
@@ -73,6 +97,13 @@ type stats = {
       (** dedup-table probe traffic — how many structural equality
           checks the stored hashes avoided; all zeros for [build_cmap],
           whose map baseline has no probe counters *)
+  shards : int;  (** dedup shard count the build ran with *)
+  shard_stats : Ctbl_sharded.shard_stat array;
+      (** per-shard occupancy and probe traffic; empty for [build_cmap] *)
+  steals : int;
+      (** frontier spans stolen between domains — timing-dependent
+          telemetry; the produced graph never depends on it *)
+  spill : spill_stats;
   wall_s : float;
   states_per_sec : float;
   domains : int;
@@ -103,11 +134,20 @@ type suspended = private {
 
 type t = private {
   nodes : Config.t array;
-  edges : edge array;  (** all out-edges, flat, grouped by source node *)
+      (** the resident suffix, ids [n_base, n_base + length); the whole
+          graph when the build did not spill ([n_base = 0]) *)
+  n_base : int;
+  edges : edge array;  (** resident suffix of the flat CSR edge array *)
+  e_base : int;
+  targets : int array;
+      (** every edge, packed [(target lsl 8) lor pid] — always resident,
+          so pure-topology passes (SCC, valence sweep, cycle searches)
+          run with zero segment faults on an out-of-core graph *)
   offsets : int array;
       (** length [nodes + 1]; node [id]'s out-edges are the slice
-          [offsets.(id) .. offsets.(id+1) - 1] of [edges]; empty slices
-          for unexpanded frontier nodes of a partial build *)
+          [offsets.(id) .. offsets.(id+1) - 1] of the edge array; empty
+          slices for unexpanded frontier nodes of a partial build *)
+  segs : Segstore.t option;  (** the cold prefix, when the build spilled *)
   initial : int;
   truncated : bool;
       (** true whenever [stop <> Done]; results are then partial *)
@@ -126,12 +166,17 @@ exception Truncated
 val default_max_states : int
 (** 1_000_000. *)
 
+val default_spill_threshold : int
+(** 500_000 resident expanded states. *)
+
 val build :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
   ?reduce:reduction ->
   ?resume:suspended ->
+  ?shards:int ->
+  ?spill:spill ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
   inputs:Lbsa_spec.Value.t array ->
@@ -155,7 +200,17 @@ val build :
     continues a suspended exploration (its recorded reduction mode must
     match [reduce], else [Invalid_argument]); resuming an interrupted
     build yields the graph the uninterrupted build would have
-    produced. *)
+    produced.
+
+    [shards] (default 1; a power of two up to 4096) shards the dedup
+    table by the high bits of [Config.hash] — growth and freezing are
+    then per-shard, and the produced graph (ids, edges, truncation) is
+    identical for every shard count.  [spill] bounds resident state:
+    cold expanded nodes move to disk segments and their dedup keys are
+    frozen, again without changing the produced graph — only the
+    telemetry in {!stats} and the laziness of node access differ.  A
+    spilled graph's [suspended] (interrupt path) is materialized fully
+    in RAM when taken. *)
 
 val suspended_of_parts :
   nodes:Config.t array ->
@@ -202,7 +257,21 @@ val out_degree : t -> int -> int
 val iter_out_edges : t -> int -> (edge -> unit) -> unit
 val fold_out_edges : t -> int -> ('a -> edge -> 'a) -> 'a -> 'a
 val exists_out_edge : t -> int -> (edge -> bool) -> bool
+
+val iter_out_steps : t -> int -> (int -> int -> unit) -> unit
+(** [iter_out_steps t id f] calls [f pid target] for each out-edge of
+    [id], straight from the packed targets array — no event
+    materialization, no allocation, and no segment faults on an
+    out-of-core graph.  Prefer this (and {!exists_out_step}) for
+    topology-only passes. *)
+
+val exists_out_step : t -> int -> (int -> int -> bool) -> bool
+
 val iter_nodes : (int -> Config.t -> unit) -> t -> unit
+
+val find_id : t -> (int -> bool) -> int option
+(** Lowest node id satisfying an id-only predicate; never touches
+    configurations, so it cannot fault segments. *)
 
 val find_node : t -> (int -> Config.t -> bool) -> int option
 (** Lowest node id satisfying the predicate, stopping at the first hit —

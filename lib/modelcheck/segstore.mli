@@ -1,0 +1,85 @@
+(** Out-of-core segment store: cold node-id ranges of an exploration
+    (their configurations and their CSR edge slice) spilled to disk and
+    faulted back in on demand.
+
+    A segment covers a half-open id range [lo, hi) of the expanded
+    prefix together with its edge-index range [elo, ehi); segments are
+    written in increasing id order and never overlap, so lookup is a
+    binary search.  Files carry the same magic + per-section checksum
+    discipline as checkpoints (see {!Segio}); payloads are the
+    structural {!Mirror} forms, and fault-in re-interns every value
+    through the [Value] smart constructors, so the id-never-orders
+    invariant survives a round trip through disk exactly as it does for
+    checkpoints.
+
+    Spilled segments are scratch, not durable state: {!create} clears
+    any stale [seg-*.seg] files in the directory (a resumed run
+    re-spills deterministically from its checkpoint), and callers
+    remove the directory with {!remove_all} once a run completes. *)
+
+open Lbsa_runtime
+
+(** Framed section IO shared with the version-3 checkpoint format: each
+    section is an 8-byte tag, a big-endian payload length, a big-endian
+    FNV-1a payload checksum, then the payload.  [read_section] raises
+    [Failure] on any framing or checksum defect and returns [None] at a
+    clean end of file. *)
+module Segio : sig
+  val write_section : out_channel -> tag:string -> string -> unit
+  (** [tag] is at most 8 bytes; it is padded to exactly 8 on disk. *)
+
+  val read_section : in_channel -> (string * string) option
+  (** Returns the trimmed tag and the payload. *)
+end
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] if needed and deletes any stale [seg-*.seg] files in
+    it.  Raises [Failure] if [dir] exists and is not a directory. *)
+
+val dir : t -> string
+
+val write_segment :
+  t ->
+  lo:int ->
+  hi:int ->
+  elo:int ->
+  ehi:int ->
+  configs:Mirror.pconfig array ->
+  edges:Mirror.pedge array ->
+  unit
+(** Spills ids [lo, hi) (configs, in id order) and their out-edge slice
+    [elo, ehi) (edges, in CSR order).  Ranges must extend the store:
+    [lo] equals the previous segment's [hi] (or 0). *)
+
+val node : t -> int -> Config.t
+(** [node t id] faults in the segment covering [id] (if not cached) and
+    returns its re-interned configuration.  Raises [Invalid_argument]
+    if no segment covers [id]. *)
+
+val step : t -> int -> int * Config.event * int
+(** [step t i] returns the [(pid, event, target)] of global edge index
+    [i], faulting in the covering segment.  Raises [Invalid_argument]
+    if no segment covers [i]. *)
+
+val spilled_upto : t -> int
+(** One past the highest spilled node id (0 when empty). *)
+
+val n_segments : t -> int
+
+val spilled_bytes : t -> int
+(** Total bytes written across live segment files. *)
+
+val faults : t -> int
+(** Segment loads from disk (cache misses), cumulative. *)
+
+val remove_all : t -> unit
+(** Deletes every segment file this store wrote and removes the
+    directory if that leaves it empty.  The store is unusable after. *)
+
+val clean_dir : dir:string -> unit
+(** Path-based cleanup for callers that no longer hold the store:
+    deletes the [seg-*.seg] files in [dir] (nothing else) and removes
+    the directory if that leaves it empty.  A no-op on a missing
+    [dir]. *)

@@ -74,21 +74,23 @@ let partial ~(graph : Graph.t) ~stats ~inputs ~states () =
 
 (* Does some reachable cycle contain a step of [pid]?  Using the SCC
    condensation: yes iff some SCC contains an edge of [pid] internal to
-   it (including self-loops). *)
+   it (including self-loops).  Both searches are pure topology, so they
+   read the packed targets array ([Graph.exists_out_step]) and never
+   fault segments on an out-of-core graph. *)
 let cycle_with_step_of (graph : Graph.t) pid =
   let comp, _ = Graph.scc graph in
-  Graph.find_node graph (fun u _ ->
-      Graph.exists_out_edge graph u (fun e ->
-          e.pid = pid && comp.(u) = comp.(e.target)))
+  Graph.find_id graph (fun u ->
+      Graph.exists_out_step graph u (fun pid' target ->
+          pid' = pid && comp.(u) = comp.(target)))
 
 (* Any cycle at all (some process can run forever). *)
 let any_cycle (graph : Graph.t) =
   let comp, n_comps = Graph.scc graph in
   let sizes = Array.make n_comps 0 in
   Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
-  Graph.find_node graph (fun u _ ->
+  Graph.find_id graph (fun u ->
       sizes.(comp.(u)) > 1
-      || Graph.exists_out_edge graph u (fun e -> e.target = u))
+      || Graph.exists_out_step graph u (fun _pid target -> target = u))
 
 (* Solo termination of [pid] from [config]: explore the pid-solo subgraph
    (all nondeterministic branches), requiring that every run halts pid in
@@ -133,10 +135,10 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
    every process.  Liveness needs the complete graph; on a partial one
    only the safety scan runs and the verdict is partial. *)
 let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ~machine ~specs ~inputs () =
+    ?reduce ?resume ?shards ?spill ~machine ~specs ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
-      ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
+      ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -167,10 +169,10 @@ let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
 
 (* Exhaustive k-set agreement check. *)
 let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ~machine ~specs ~k ~inputs () =
+    ?reduce ?resume ?shards ?spill ~machine ~specs ~k ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
-      ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
+      ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -200,11 +202,11 @@ let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
    - Termination (b): from every reachable node, every q != p running
      solo decides. *)
 let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ~machine ~specs ~inputs () =
+    ?reduce ?resume ?shards ?spill ~machine ~specs ~inputs () =
   let p = Lbsa_protocols.Dac.distinguished in
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ~machine ~specs
-      ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
+      ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in

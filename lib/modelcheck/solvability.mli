@@ -55,6 +55,8 @@ val check_consensus :
   ?budget:Supervisor.Budget.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
+  ?shards:int ->
+  ?spill:Graph.spill ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->
@@ -62,12 +64,14 @@ val check_consensus :
   verdict
 (** Agreement + validity + no-abort at every node, wait-freedom of every
     process.  [max_states] defaults to [Graph.default_max_states];
-    [domains], [budget], [reduce] and [resume] are forwarded to
-    {!Graph.build}.  A sound [reduce] (see {!Canon}) changes the
-    explored graph but not the verdict's [ok]/[outcome]; node ids and
-    failure messages may differ.  Never raises on truncation: a
-    cut-short exploration yields a partial verdict (safety checked on
-    the explored prefix, liveness skipped). *)
+    [domains], [budget], [reduce], [resume], [shards] and [spill] are
+    forwarded to {!Graph.build}.  A sound [reduce] (see {!Canon})
+    changes the explored graph but not the verdict's [ok]/[outcome];
+    node ids and failure messages may differ; [shards] and [spill]
+    change neither the graph nor the verdict (the liveness searches are
+    segment-fault-free on an out-of-core graph).  Never raises on
+    truncation: a cut-short exploration yields a partial verdict
+    (safety checked on the explored prefix, liveness skipped). *)
 
 val check_kset :
   ?max_states:int ->
@@ -75,6 +79,8 @@ val check_kset :
   ?budget:Supervisor.Budget.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
+  ?shards:int ->
+  ?spill:Graph.spill ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   k:int ->
@@ -88,6 +94,8 @@ val check_dac :
   ?budget:Supervisor.Budget.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
+  ?shards:int ->
+  ?spill:Graph.spill ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   inputs:Value.t array ->

@@ -149,11 +149,16 @@ let analyze (graph : Graph.t) =
     members.(cursor.(c)) <- u;
     cursor.(c) <- cursor.(c) + 1
   done;
+  (* The sweep needs only edge targets, so it reads the packed targets
+     array ({!Graph.iter_out_steps}) — on an out-of-core graph this
+     whole pass (like the SCC above) runs with zero segment faults;
+     only the status seeding above touched configurations, once each,
+     in sequential id order. *)
   for c = n_comps - 1 downto 0 do
     for i = counts.(c) to counts.(c + 1) - 1 do
       let u = members.(i) in
-      Graph.iter_out_edges graph u (fun e ->
-          let c' = comp.(e.target) in
+      Graph.iter_out_steps graph u (fun _pid target ->
+          let c' = comp.(target) in
           cmask.(c) <- cmask.(c) lor cmask.(c');
           if cabort.(c') then cabort.(c) <- true)
     done

@@ -39,22 +39,39 @@ let adopt_tag = Value.sym "adopt"
 let a_reg ~n ~r pid = (2 * n * (r - 1)) + pid
 let b_reg ~n ~r pid = (2 * n * (r - 1)) + n + pid
 
-let machine ~n ~max_rounds : Machine.t =
+let machine_with on_exhaust ~n ~max_rounds : Machine.t =
   let name = Fmt.str "of-consensus-%d" n in
-  let check_round r =
-    if r > max_rounds then
-      raise
-        (Out_of_rounds
-           (Fmt.str "obstruction-free consensus exceeded %d rounds" max_rounds))
-  in
   let init ~pid:_ ~input = Value.(list [ sym "a-write"; int 1; input ]) in
   let delta ~pid state =
     match state with
     | {
+        Value.node =
+          List [ { node = Sym "a-write"; _ }; { node = Int r; _ }; _ ];
+        _;
+      }
+      when r > max_rounds -> (
+      (* The register banks ran out.  The protocol itself never
+         terminates under perfect lockstep — this bound is the model
+         checker's, not the algorithm's — so the caller picks how the
+         cut shows up: a loud exception (executor runs, where silence
+         would look like termination) or an absorbing self-loop (bounded
+         exhaustive exploration, where the spun-out frontier is a
+         livelock leaf and the finite graph can actually complete). *)
+      match on_exhaust with
+      | `Raise ->
+        raise
+          (Out_of_rounds
+             (Fmt.str "obstruction-free consensus exceeded %d rounds"
+                max_rounds))
+      | `Spin ->
+        Machine.invoke
+          (a_reg ~n ~r:max_rounds pid)
+          Register.read
+          (fun _ -> state))
+    | {
         Value.node = List [ { node = Sym "a-write"; _ }; { node = Int r; _ }; v ];
         _;
       } ->
-      check_round r;
       Machine.invoke
         (a_reg ~n ~r pid)
         (Register.write v)
@@ -134,6 +151,9 @@ let machine ~n ~max_rounds : Machine.t =
     | s -> Machine.bad_state ~machine:name ~pid s
   in
   Machine.make ~name ~init ~delta
+
+let machine ~n ~max_rounds = machine_with `Raise ~n ~max_rounds
+let machine_spin ~n ~max_rounds = machine_with `Spin ~n ~max_rounds
 
 let specs ~n ~max_rounds : Obj_spec.t array =
   Array.init (2 * n * max_rounds) (fun _ -> Register.spec ())

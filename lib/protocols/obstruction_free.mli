@@ -10,4 +10,17 @@ exception Out_of_rounds of string
 (** The bounded register banks ran out ([max_rounds] exceeded). *)
 
 val machine : n:int -> max_rounds:int -> Machine.t
+(** Raises {!Out_of_rounds} from [delta] once a round counter passes
+    [max_rounds] — a cut imposed by the bounded register banks, not by
+    the algorithm, which can livelock forever.  The loud failure is
+    right for executor runs, where silence would look like
+    termination. *)
+
+val machine_spin : n:int -> max_rounds:int -> Machine.t
+(** Same protocol, but a spun-out state becomes an absorbing self-loop —
+    a livelock leaf — instead of raising, so the bounded state space is
+    a finite graph and an exhaustive exploration can complete.  Safety
+    is unaffected (spun-out processes never decide); this is the
+    machine behind `lbsa explore of:<n>:<rounds>`. *)
+
 val specs : n:int -> max_rounds:int -> Obj_spec.t array

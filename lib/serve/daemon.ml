@@ -125,7 +125,17 @@ let now () = Unix.gettimeofday ()
 
 let safe_send_response fd resp =
   try Wire.send_response fd resp; true
-  with Unix.Unix_error _ | Wire.Closed -> false
+  with
+  | Unix.Unix_error _ | Wire.Closed -> false
+  | Invalid_argument _ ->
+    (* [Wire.send] refused the frame (response over the 16 MB cap —
+       results are summaries, so this means a defect upstream).  The
+       client gets an error answer; the select loop must not die. *)
+    (try
+       Wire.send_response fd
+         (Wire.Error "internal error: response exceeds the wire frame cap");
+       true
+     with Unix.Unix_error _ | Wire.Closed | Invalid_argument _ -> false)
 
 let close_client st fd =
   st.clients <- List.filter (fun c -> c <> fd) st.clients;

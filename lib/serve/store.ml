@@ -20,11 +20,21 @@ open Lbsa_util
 type t = {
   dir : string;
   mutable corrupt : int;
+  mutable oversized : int;
   mutable puts : int;
   mutable gets : int;
 }
 
 let magic = "LBSA-STORE/1\n"
+
+(* Entries are verdict+stats summaries, a few hundred bytes each; the
+   cap is pure armour.  Half the wire layer's 16 MB frame cap: anything
+   the store accepts is guaranteed to fit back through a response frame
+   with room to spare, so a future payload that somehow embeds graph
+   bulk (a 10^7-state exploration is gigabytes) is refused here — the
+   service degrades to recomputing that answer — rather than persisted
+   only to die as a frame error on every later cache hit. *)
+let max_payload = 8 * 1024 * 1024
 
 let open_ ~dir =
   (if not (Sys.file_exists dir) then
@@ -32,10 +42,11 @@ let open_ ~dir =
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   if not (Sys.is_directory dir) then
     failwith (Fmt.str "Store.open_: %s is not a directory" dir);
-  { dir; corrupt = 0; puts = 0; gets = 0 }
+  { dir; corrupt = 0; oversized = 0; puts = 0; gets = 0 }
 
 let dir t = t.dir
 let corrupt_count t = t.corrupt
+let oversized_count t = t.oversized
 
 let path t ~key = Filename.concat t.dir (key ^ ".lbsa")
 
@@ -47,7 +58,7 @@ let body ~canonical ~data =
   Buffer.add_string b data;
   Buffer.contents b
 
-let put t ~key ~canonical ~data =
+let put_unchecked t ~key ~canonical ~data =
   let file = path t ~key in
   let body = body ~canonical ~data in
   let tmp = file ^ ".tmp" in
@@ -61,6 +72,13 @@ let put t ~key ~canonical ~data =
       output_string oc body);
   Sys.rename tmp file;
   t.puts <- t.puts + 1
+
+let put t ~key ~canonical ~data =
+  if 4 + String.length canonical + String.length data > max_payload then
+    (* refuse, don't write: the entry would be unservable (see
+       [max_payload]); the daemon just recomputes this answer *)
+    t.oversized <- t.oversized + 1
+  else put_unchecked t ~key ~canonical ~data
 
 let discard t file =
   t.corrupt <- t.corrupt + 1;

@@ -16,8 +16,19 @@ val open_ : dir:string -> t
 
 val dir : t -> string
 
+val max_payload : int
+(** The largest [canonical]+[data] body {!put} will persist (8 MB, half
+    the wire layer's frame cap).  Entries are verdict+stats summaries a
+    few hundred bytes long, so the cap is pure armour: a payload that
+    somehow embedded graph bulk (a 10^7-state exploration answer) would
+    otherwise be persisted only to die as a frame error on every later
+    cache hit. *)
+
 val put : t -> key:string -> canonical:string -> data:string -> unit
-(** Atomically (tmp-then-rename) write the entry for [key]. *)
+(** Atomically (tmp-then-rename) write the entry for [key].  A body
+    over {!max_payload} is refused — nothing is written, and
+    {!oversized_count} is bumped; the service degrades to recomputing
+    that answer instead of caching it. *)
 
 val get : t -> key:string -> canonical:string -> string option
 (** The payload stored for [key], provided the entry validates (magic,
@@ -26,6 +37,9 @@ val get : t -> key:string -> canonical:string -> string option
 
 val corrupt_count : t -> int
 (** Entries discarded as corrupt/truncated/colliding since [open_]. *)
+
+val oversized_count : t -> int
+(** Writes refused by the {!max_payload} guard since [open_]. *)
 
 val entries : t -> string list
 (** All entry keys currently on disk, sorted (for tests and tooling). *)

@@ -244,6 +244,87 @@ let test_store_collision_refused () =
         "original untouched" (Some "answer A")
         (Serve_store.get s ~key:"aaaa" ~canonical:"question A"))
 
+(* The payload guard: a body over [max_payload] is refused outright —
+   no file, no corruption count, just an oversized count — and the key
+   stays serviceable for normally-sized rewrites. *)
+let test_store_oversized_refused () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let s = Serve_store.open_ ~dir in
+      let key = "feedface00000001" and canonical = "a big question" in
+      Serve_store.put s ~key ~canonical
+        ~data:(String.make (Serve_store.max_payload + 1) 'x');
+      Alcotest.(check bool)
+        "nothing written" false
+        (Sys.file_exists (Serve_store.path s ~key));
+      Alcotest.(check (option string))
+        "reported as a miss" None
+        (Serve_store.get s ~key ~canonical);
+      Alcotest.(check int) "counted oversized" 1 (Serve_store.oversized_count s);
+      Alcotest.(check int)
+        "not counted corrupt" 0 (Serve_store.corrupt_count s);
+      (* the same key still takes a sane entry afterwards *)
+      Serve_store.put s ~key ~canonical ~data:"a small answer";
+      Alcotest.(check (option string))
+        "small rewrite serves" (Some "a small answer")
+        (Serve_store.get s ~key ~canonical))
+
+(* The other half of the guard, end to end: a quota-truncated explore
+   answers with a fixed-size verdict+stats summary, never the graph.
+   However many states the exploration visited, what crosses the wire
+   and what lands in the store stays a few hundred bytes — far under
+   both the 16 MB frame cap and the store's [max_payload] — so a
+   >=10^7-state answer can never die as a frame error on a cache hit. *)
+let test_truncated_explore_roundtrips_as_summary () =
+  let task = Serve_api.Dac { n = 3 } in
+  let q =
+    Serve_api.Verify
+      {
+        task;
+        question = Serve_api.Solve;
+        inputs = Serve_api.default_inputs task;
+        max_states = 40;  (* dac:3 has 190 reachable states: quota fires *)
+        reduce = `None;
+      }
+  in
+  let computed = Serve_api.compute q in
+  (match computed.Serve_api.res with
+  | Serve_api.Verdict v ->
+    Alcotest.(check string) "quota fired" "truncated" v.Serve_api.v_outcome
+  | _ -> Alcotest.fail "solve answered with a non-verdict result");
+  Alcotest.(check bool)
+    "truncated answers are cacheable (max_states is in the key)" true
+    computed.Serve_api.cacheable;
+  Alcotest.(check bool)
+    "the marshalled answer is a summary, not a graph" true
+    (String.length (Marshal.to_string computed.Serve_api.res []) < 4096);
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let (), _ =
+        with_daemon ~dir (fun ~socket ->
+            let c = connect ~socket in
+            Fun.protect
+              ~finally:(fun () -> Serve_client.close c)
+              (fun () ->
+                let r1, cached1 = ask c q in
+                Alcotest.(check bool) "cold is computed" false cached1;
+                let r2, cached2 = ask c q in
+                Alcotest.(check bool) "truncated answer cached" true cached2;
+                Alcotest.(check string)
+                  "warm = cold" (Serve_api.render r1) (Serve_api.render r2)))
+      in
+      let s = Serve_store.open_ ~dir in
+      let key = Serve_api.key q in
+      let file = Serve_store.path s ~key in
+      Alcotest.(check bool) "entry persisted" true (Sys.file_exists file);
+      Alcotest.(check bool)
+        "persisted entry is summary-sized" true
+        ((Unix.stat file).Unix.st_size < 4096))
+
 (* --- cache-identity property over the task registry --------------------- *)
 
 let matrix_tasks =
@@ -712,6 +793,10 @@ let () =
           Alcotest.test_case "empty file refused" `Quick test_store_empty_file;
           Alcotest.test_case "digest collision refused" `Quick
             test_store_collision_refused;
+          Alcotest.test_case "oversized payload refused" `Quick
+            test_store_oversized_refused;
+          Alcotest.test_case "truncated explore round-trips as a summary"
+            `Quick test_truncated_explore_roundtrips_as_summary;
         ] );
       ( "cache identity",
         [

@@ -478,6 +478,234 @@ let test_ctbl_growth_from_capacity_one () =
   done;
   Alcotest.(check int) "no phantom entries" n (Ctbl.length t)
 
+(* --- the sharded dedup table and out-of-core builds ---------------------- *)
+
+(* Reduction modes for the equivalence matrix, built the way the serve
+   API builds them (dac's PAC object is inert once upset — the [frozen]
+   certification the sleep layer wants). *)
+let dac_reductions n =
+  let frozen obj st = obj = 0 && Pac.is_upset st in
+  [
+    Cgraph.no_reduction;
+    { Cgraph.rname = "sym"; canon = Canon.dac ~n; sleep = false; frozen = None };
+    { Cgraph.rname = "sym+sleep"; canon = Canon.dac ~n; sleep = true;
+      frozen = Some frozen };
+  ]
+
+(* The tentpole's central property: the dedup shard count changes probe
+   routing and growth locality, never the graph.  Node set, edge set
+   and verdict are identical across shard counts and reduction modes,
+   and agree with the sequential [build_cmap] oracle. *)
+let test_sharded_equals_single () =
+  let machine, specs, inputs = dac_instance 3 in
+  List.iter
+    (fun reduce ->
+      let oracle = Cgraph.build_cmap ~reduce ~machine ~specs ~inputs () in
+      let baseline =
+        Solvability.check_dac ~domains:1 ~reduce ~shards:1 ~machine ~specs
+          ~inputs ()
+      in
+      List.iter
+        (fun shards ->
+          let g = Cgraph.build ~reduce ~shards ~machine ~specs ~inputs () in
+          same_graph
+            (Fmt.str "%s shards=%d vs oracle" reduce.Cgraph.rname shards)
+            oracle g;
+          Alcotest.(check int)
+            (Fmt.str "%s shards=%d: stats report the count"
+               reduce.Cgraph.rname shards)
+            shards (Cgraph.stats g).Cgraph.shards;
+          let v =
+            Solvability.check_dac ~domains:1 ~reduce ~shards ~machine ~specs
+              ~inputs ()
+          in
+          Alcotest.(check bool)
+            (Fmt.str "%s shards=%d: verdict" reduce.Cgraph.rname shards)
+            baseline.Solvability.ok v.Solvability.ok;
+          expect_outcome
+            (Fmt.str "%s shards=%d: outcome" reduce.Cgraph.rname shards)
+            baseline.Solvability.outcome v.Solvability.outcome)
+        [ 1; 4; 64 ])
+    (dac_reductions 3)
+
+(* Adversarial routing: every key carries hash 0, so all of them route
+   to shard 0 and collide there.  The hot shard must stay correct and
+   grow alone — the 63 idle shards keep their initial capacity. *)
+let test_sharded_one_hot_shard () =
+  let n = 600 in
+  let t = Ctbl_sharded.create ~shards:64 1 in
+  for i = 0 to n - 1 do
+    let id =
+      Ctbl_sharded.find_or_add t (config_of_int i) ~hash:0
+        ~if_absent:(fun _ -> i)
+    in
+    Alcotest.(check int) (Fmt.str "insert %d keeps its id" i) i id
+  done;
+  Alcotest.(check int) "all keys distinct" n (Ctbl_sharded.length t);
+  for i = 0 to n - 1 do
+    match Ctbl_sharded.find_opt t (config_of_int i) ~hash:0 with
+    | Some id -> Alcotest.(check int) (Fmt.str "find %d" i) i id
+    | None -> Alcotest.failf "key %d lost" i
+  done;
+  Alcotest.(check (option int))
+    "absent key still missing" None
+    (Ctbl_sharded.find_opt t (config_of_int (n + 777)) ~hash:0);
+  let ss = Ctbl_sharded.shard_stats t in
+  Alcotest.(check int) "shard 0 holds everything" n ss.(0).Ctbl_sharded.ss_size;
+  Array.iteri
+    (fun i s ->
+      if i > 0 then begin
+        Alcotest.(check int)
+          (Fmt.str "shard %d empty" i) 0 s.Ctbl_sharded.ss_size;
+        Alcotest.(check int)
+          (Fmt.str "shard %d never grew" i)
+          16 s.Ctbl_sharded.ss_capacity
+      end)
+    ss
+
+(* Freezing keeps lookups exact: frozen slots answer through [resolve]
+   (counted as faults), resident ones never fault, and probe chains
+   running through frozen slots stay intact.  This doubles as the
+   regression guard for the sentinel-sharing defect: [frozen_key] and
+   the empty-slot marker were once compiled to the same static block,
+   so freezing silently emptied slots — resident entries behind them
+   went unfindable and re-encounters of frozen states got fresh ids. *)
+let test_sharded_freeze_resolves () =
+  let n = 100 and limit = 50 in
+  let all = Array.init n config_of_int in
+  let resolve id = all.(id) in
+  List.iter
+    (fun shards ->
+      let t = Ctbl_sharded.create ~shards ~resolve 16 in
+      for i = 0 to n - 1 do
+        ignore
+          (Ctbl_sharded.find_or_add t all.(i) ~hash:(Config.hash all.(i))
+             ~if_absent:(fun _ -> i))
+      done;
+      let froze = Ctbl_sharded.freeze_below t ~id_limit:limit in
+      Alcotest.(check int)
+        (Fmt.str "shards=%d: froze the cold prefix" shards)
+        limit froze;
+      Alcotest.(check int)
+        (Fmt.str "shards=%d: frozen count" shards)
+        limit (Ctbl_sharded.frozen t);
+      for i = 0 to n - 1 do
+        match
+          Ctbl_sharded.find_opt t all.(i) ~hash:(Config.hash all.(i))
+        with
+        | Some id when id = i -> ()
+        | Some id ->
+          Alcotest.failf "shards=%d: key %d resolved to %d" shards i id
+        | None -> Alcotest.failf "shards=%d: key %d lost to freezing" shards i
+      done;
+      Alcotest.(check bool)
+        (Fmt.str "shards=%d: frozen hits fault" shards)
+        true
+        (Ctbl_sharded.faults t >= limit);
+      (* re-adding a frozen key must dedup, not mint a fresh id *)
+      let id =
+        Ctbl_sharded.find_or_add t all.(0) ~hash:(Config.hash all.(0))
+          ~if_absent:(fun _ -> Alcotest.fail "frozen key re-added as new")
+      in
+      Alcotest.(check int) (Fmt.str "shards=%d: dedup survives" shards) 0 id)
+    [ 1; 4; 64 ]
+
+(* Out-of-core builds: an aggressively tiny threshold forces many
+   spill waves on dac:3, and the graph must stay bit-identical to the
+   resident build's, for every shard count and reduction mode.
+   [same_graph] reads every node, so it also exercises fault-in. *)
+let test_spill_build_equivalence () =
+  let machine, specs, inputs = dac_instance 3 in
+  let dir = Filename.temp_file "lbsa-spill" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> Segstore.clean_dir ~dir)
+    (fun () ->
+      List.iter
+        (fun reduce ->
+          let resident = Cgraph.build ~reduce ~machine ~specs ~inputs () in
+          List.iter
+            (fun shards ->
+              let spill =
+                { Cgraph.spill_dir = dir; spill_threshold = 20 }
+              in
+              let g =
+                Cgraph.build ~reduce ~shards ~spill ~machine ~specs ~inputs ()
+              in
+              let label =
+                Fmt.str "spilled %s shards=%d" reduce.Cgraph.rname shards
+              in
+              let sp = (Cgraph.stats g).Cgraph.spill in
+              Alcotest.(check bool)
+                (label ^ ": spill engaged") true
+                (sp.Cgraph.sp_segments > 0 && sp.Cgraph.sp_bytes > 0);
+              Alcotest.(check bool)
+                (label ^ ": dedup keys went cold") true
+                (sp.Cgraph.sp_frozen > 0);
+              same_graph label resident g)
+            [ 1; 4 ])
+        (dac_reductions 3);
+      (* path-based cleanup drops the segment files and the directory *)
+      Segstore.clean_dir ~dir;
+      Alcotest.(check bool)
+        "spill dir fully cleaned" false (Sys.file_exists dir))
+
+(* Interrupting a spilled build, checkpointing it (format 3), and
+   resuming yields the uninterrupted graph: the suspended state is
+   materialized out of the segments, frozen through the Mirror forms,
+   and re-interned on load. *)
+let test_spill_checkpoint_resume () =
+  let machine, specs, inputs = dac_instance 3 in
+  let full = Cgraph.build ~machine ~specs ~inputs () in
+  let dir = Filename.temp_file "lbsa-spill" ".d" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> Segstore.clean_dir ~dir)
+    (fun () ->
+      let spill = { Cgraph.spill_dir = dir; spill_threshold = 20 } in
+      let partial =
+        Cgraph.build ~max_states:100 ~spill ~machine ~specs ~inputs ()
+      in
+      expect_outcome "quota fired mid-spill" Supervisor.Truncated
+        partial.Cgraph.stop;
+      Alcotest.(check bool)
+        "the partial build really spilled" true
+        ((Cgraph.stats partial).Cgraph.spill.Cgraph.sp_segments > 0);
+      let s = Option.get partial.Cgraph.suspended in
+      let resumed =
+        Cgraph.build
+          ~resume:(roundtrip_through_disk ~label:"dac3 spilled midway" s)
+          ~machine ~specs ~inputs ()
+      in
+      same_graph "spilled interrupt/resume = uninterrupted" full resumed;
+      (* and resuming back INTO a spilled build also agrees *)
+      let resumed_spilled =
+        Cgraph.build ~spill ~shards:4
+          ~resume:(Option.get partial.Cgraph.suspended)
+          ~machine ~specs ~inputs ()
+      in
+      same_graph "resume into a spilled sharded build" full resumed_spilled)
+
+(* The version-3 compatibility rule: a coherent checkpoint from an
+   older format version raises [Version_mismatch] (CLIs exit 2), never
+   [Failure] and never a misread. *)
+let test_checkpoint_v2_refused () =
+  let file = Filename.temp_file "lbsa-ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc "LBSA-CHECKPOINT/2\nwhatever the old format held";
+      close_out oc;
+      match Checkpoint.load ~file with
+      | exception Checkpoint.Version_mismatch msg ->
+        Alcotest.(check bool)
+          "names the found version" true
+          (contains_sub ~sub:"LBSA-CHECKPOINT/2" msg)
+      | exception Failure msg ->
+        Alcotest.failf "old version reported as plain failure: %s" msg
+      | _ -> Alcotest.fail "version-2 checkpoint accepted")
+
 let () =
   Alcotest.run "supervisor"
     [
@@ -537,5 +765,20 @@ let () =
             test_ctbl_all_equal_hashes;
           Alcotest.test_case "growth from capacity one" `Quick
             test_ctbl_growth_from_capacity_one;
+        ] );
+      ( "out of core",
+        [
+          Alcotest.test_case "sharded = single-table, any shard count" `Quick
+            test_sharded_equals_single;
+          Alcotest.test_case "adversarial one-hot shard routing" `Quick
+            test_sharded_one_hot_shard;
+          Alcotest.test_case "frozen slots resolve exactly" `Quick
+            test_sharded_freeze_resolves;
+          Alcotest.test_case "spilled build = resident build" `Quick
+            test_spill_build_equivalence;
+          Alcotest.test_case "spill + checkpoint + resume" `Quick
+            test_spill_checkpoint_resume;
+          Alcotest.test_case "version-2 checkpoint refused" `Quick
+            test_checkpoint_v2_refused;
         ] );
     ]

@@ -1092,6 +1092,7 @@ let run_json () =
         inputs = [ 1; 0; 0 ];
         max_states = Cgraph.default_max_states;
         reduce;
+        substrate = "shm";
       }
   in
   let client_wall f =
@@ -1243,6 +1244,58 @@ let run_json () =
   let serve_verdicts_equal =
     List.for_all (fun (_, _, _, eq) -> eq) serve_modes
   in
+  (* Fairness-aware liveness on the message-passing substrate: safety
+     (consensus solvability) vs liveness (fair-cycle search) on the SAME
+     vc:2 task and graph, the live bcast:2 control, and the shrunk-lasso
+     size.  Single-domain build + greedy shrink, so every number here is
+     deterministic and CI can byte-compare the witness elsewhere. *)
+  let mp = Substrate.mp () in
+  let vc_machine = View_change.machine ~n:2 in
+  let vc_specs = View_change.specs ~n:2 () in
+  let vc_inputs = View_change.inputs ~n:2 in
+  let vc_graph =
+    Cgraph.build ~domains:1 ~substrate:mp ~machine:vc_machine ~specs:vc_specs
+      ~inputs:vc_inputs ()
+  in
+  let t_vc_safety =
+    time_per ~k:3 (fun () ->
+        ignore
+          (Solvability.check_consensus ~domains:1 ~substrate:mp
+             ~machine:vc_machine ~specs:vc_specs ~inputs:vc_inputs ()))
+  in
+  let t_vc_live =
+    time_per ~k:3 (fun () ->
+        ignore
+          (Liveness.analyze ~machine:vc_machine ~specs:vc_specs ~substrate:mp
+             vc_graph))
+  in
+  let vc_report =
+    Liveness.analyze ~machine:vc_machine ~specs:vc_specs ~substrate:mp vc_graph
+  in
+  let vc_livelock, lasso_prefix, lasso_cycle, lasso_valid =
+    match vc_report.Liveness.verdict with
+    | Liveness.Livelock w ->
+      let w, _ =
+        Lasso.shrink ~machine:vc_machine ~specs:vc_specs ~substrate:mp
+          ~graph:vc_graph w
+      in
+      ( true,
+        List.length w.Liveness.w_prefix,
+        List.length w.Liveness.w_cycle,
+        Liveness.validate ~machine:vc_machine ~specs:vc_specs ~substrate:mp
+          vc_graph w )
+    | Liveness.Live -> (false, 0, 0, false)
+  in
+  let bcast_live =
+    let machine = View_change.bcast_machine ~n:2 in
+    let specs = View_change.bcast_specs ~n:2 () in
+    let inputs = View_change.inputs ~n:2 in
+    let g =
+      Cgraph.build ~domains:1 ~substrate:mp ~machine ~specs ~inputs ()
+    in
+    (Liveness.analyze ~machine ~specs ~substrate:mp g).Liveness.verdict
+    = Liveness.Live
+  in
   (* Parallel speedup is bounded by the cores actually available: on a
      single-core box the d > 1 sweeps only measure spawn overhead. *)
   let cores = Domain.recommended_domain_count () in
@@ -1319,10 +1372,19 @@ let run_json () =
       (kv_i kv "states") (kv_f kv "states_per_sec") (kv_f kv "wall_s")
       (kv_i kv "peak_rss_kb") (kv_i kv "spill_bytes") (kv_s kv "outcome")
   | None -> Fmt.pr "ooc big case skipped (set LBSA_BENCH_BIG=1 to run)@.");
+  Fmt.pr
+    "liveness vc:2 (mp): %d states, safety %.2f ms vs liveness %.2f ms; %d/%d \
+     SCCs fair, %s, lasso %d+%d (%s), bcast:2 %s@."
+    (Cgraph.n_nodes vc_graph) (t_vc_safety *. 1e3) (t_vc_live *. 1e3)
+    vc_report.Liveness.fair_sccs vc_report.Liveness.sccs
+    (if vc_livelock then "LIVELOCK" else "live")
+    lasso_prefix lasso_cycle
+    (if lasso_valid then "oracle agrees" else "ORACLE REJECTS")
+    (if bcast_live then "live" else "LIVELOCK");
   let oc = open_out "BENCH_verify.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"lbsa-bench-verify/5\",\n";
+  p "  \"schema\": \"lbsa-bench-verify/6\",\n";
   p
     "  \"explore\": { \"case\": \"dac:3\", \"states\": %d, \
      \"states_per_sec\": %.0f, \"domains\": %d, \"build_ms\": %.3f, \
@@ -1392,6 +1454,16 @@ let run_json () =
     /. float (max 1 serve_stats.Serve_wire.st_hot_count))
     (serve_stats.Serve_wire.st_cold_us_total
     /. float (max 1 serve_stats.Serve_wire.st_cold_count));
+  p
+    "  \"liveness\": { \"case\": \"vc:2\", \"substrate\": \"mp\", \
+     \"states\": %d, \"safety_ms\": %.3f, \"liveness_ms\": %.3f, \
+     \"sccs\": %d, \"cyclic_sccs\": %d, \"fair_sccs\": %d, \
+     \"livelock\": %b, \"lasso_prefix\": %d, \"lasso_cycle\": %d, \
+     \"witness_oracle_agrees\": %b, \"bcast_control_live\": %b },\n"
+    (Cgraph.n_nodes vc_graph)
+    (t_vc_safety *. 1e3) (t_vc_live *. 1e3) vc_report.Liveness.sccs
+    vc_report.Liveness.cyclic_sccs vc_report.Liveness.fair_sccs vc_livelock
+    lasso_prefix lasso_cycle lasso_valid bcast_live;
   p "  \"out_of_core\": { \"sweep_case\": %S, \"cores_available\": %d,\n"
     ooc_case cores;
   p "    \"shard_sweep\": {\n";

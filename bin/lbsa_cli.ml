@@ -186,6 +186,69 @@ let mk_reduce ?frozen ~canon mode =
    exactly the certification the sleep layer's [frozen] hook wants. *)
 let dac_frozen obj st = obj = 0 && Pac.is_upset st
 
+(* --- execution substrate ----------------------------------------------- *)
+
+let substrate_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "substrate" ] ~docv:"SUB"
+        ~doc:
+          "Execution substrate: shm (crash-fault shared memory), mp \
+           (message passing: adversary-controlled delivery with timeouts), \
+           or mp+byz:<f> (mp plus up to <f> Byzantine message injections).  \
+           Message-passing tasks (vc, bcast) default to mp, all others to \
+           shm, and a task cannot run under the other family's substrate.  \
+           The substrate changes the explored graph and the fairness \
+           constraints, so it is part of every cache key and checkpoint.")
+
+let live_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "live" ]
+        ~doc:
+          "Ask the liveness question instead of solvability: search the \
+           configuration graph for a fair cycle — an admissible livelock \
+           under the substrate's fairness constraints — and print a shrunk \
+           lasso witness (prefix + cycle, as execution traces) when one \
+           exists.  Exit 0 = live, 1 = livelock, 2 = partial (truncated \
+           graph, so a Live answer is not definitive).")
+
+(* Liveness questions and message-passing tasks are answered locally
+   through the serve compute path: one code path for `check --live`, the
+   vc/bcast tasks and the daemon, so CLI answers and cached daemon
+   answers can never diverge. *)
+let local_verify ~err_tag ~budget ~task ~question ~max_states ~rmode
+    ~substrate =
+  let substrate =
+    match substrate with
+    | Some s -> s
+    | None -> Serve_api.default_substrate task
+  in
+  let q =
+    Serve_api.Verify
+      {
+        task;
+        question;
+        inputs = Serve_api.default_inputs task;
+        max_states;
+        reduce = rmode;
+        substrate;
+      }
+  in
+  match Serve_api.compute ~budget q with
+  | { Serve_api.res; _ } ->
+    Fmt.pr "%s@." (Serve_api.render res);
+    (match res with
+    | Serve_api.Liveness_report { Serve_api.lv_witness = Some w; _ } ->
+      Fmt.pr "%s@." w
+    | _ -> ());
+    Serve_api.exit_code res
+  | exception Invalid_argument msg ->
+    Fmt.epr "%s: %s@." err_tag msg;
+    3
+
 (* --- supervision plumbing --------------------------------------------- *)
 
 let deadline_arg =
@@ -400,8 +463,14 @@ let check_cmd =
       required
       & pos 0 (some (enum
                        [ ("dac", `Dac); ("consensus", `Consensus);
-                         ("kset", `Kset); ("candidate", `Candidate) ])) None
-      & info [] ~docv:"TASK" ~doc:"dac | consensus | kset | candidate.")
+                         ("kset", `Kset); ("candidate", `Candidate);
+                         ("vc", `Vc); ("bcast", `Bcast) ])) None
+      & info [] ~docv:"TASK"
+          ~doc:
+            "dac | consensus | kset | candidate | vc | bcast.  vc and \
+             bcast are message-passing protocols (substrate mp): vc is a \
+             view change with a split-vote livelock, bcast its live \
+             control.")
   in
   let cand_name =
     Arg.(
@@ -410,24 +479,52 @@ let check_cmd =
       & info [ "name" ] ~docv:"NAME" ~doc:"Candidate name (for candidate).")
   in
   let run task n m k name max_states stats domains rmode shards deadline chaos
-      =
+      substrate live =
     let budget = mk_budget ?deadline ~chaos () in
-    match task with
-    | `Dac -> check_dac n max_states stats domains rmode shards ~budget
-    | `Consensus ->
-      check_consensus m max_states stats domains rmode shards ~budget
-    | `Kset -> check_kset m k max_states stats domains rmode shards ~budget
-    | `Candidate -> check_candidate name max_states domains rmode
+    let api_task =
+      match task with
+      | `Dac -> Serve_api.Dac { n }
+      | `Consensus -> Serve_api.Consensus { m }
+      | `Kset -> Serve_api.Kset { m; k }
+      | `Candidate -> Serve_api.Candidate { name }
+      | `Vc -> Serve_api.Vc { n }
+      | `Bcast -> Serve_api.Bcast { n }
+    in
+    let mp = match task with `Vc | `Bcast -> true | _ -> false in
+    if live || mp then
+      (* mp tasks without --live get the solvability question on the mp
+         substrate (agreement/validity/wait-freedom); --live asks for a
+         fair cycle instead, on any task. *)
+      local_verify ~err_tag:"lbsa check" ~budget ~task:api_task
+        ~question:(if live then Serve_api.Live else Serve_api.Solve)
+        ~max_states ~rmode ~substrate
+    else
+      match substrate with
+      | Some s when s <> "shm" ->
+        Fmt.epr
+          "lbsa check: task %s is shared-memory; --substrate %s needs a \
+           message-passing task (vc, bcast)@."
+          (Serve_api.task_label api_task) s;
+        3
+      | _ -> (
+        match task with
+        | `Dac -> check_dac n max_states stats domains rmode shards ~budget
+        | `Consensus ->
+          check_consensus m max_states stats domains rmode shards ~budget
+        | `Kset -> check_kset m k max_states stats domains rmode shards ~budget
+        | `Candidate -> check_candidate name max_states domains rmode
+        | `Vc | `Bcast -> assert false)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Exhaustively model-check a task (all schedules, all object \
-          nondeterminism).")
+          nondeterminism); with --live, check liveness (fair-cycle \
+          search) instead.")
     Term.(
       const run $ task $ n_arg $ m_arg $ k_arg $ cand_name $ max_states_arg
       $ stats_arg $ check_domains_arg $ reduce_arg $ shards_arg $ deadline_arg
-      $ chaos_arg)
+      $ chaos_arg $ substrate_arg $ live_arg)
 
 (* --- solve -------------------------------------------------------------- *)
 
@@ -527,6 +624,16 @@ let solve task n m k max_states stats rmode d shards spill_dir spill_threshold
     | exception Failure msg ->
       Fmt.epr "cannot resume: %s@." msg;
       3
+    | Some c when Checkpoint.substrate c <> "shm" ->
+      (* solve runs shared-memory tasks only; a checkpoint frozen under
+         another substrate is a different graph.  Refused like any other
+         graph-shape divergence: exit 2, the file stays resumable under
+         its original parameters. *)
+      Fmt.epr
+        "cannot resume: checkpoint was explored under substrate %S, this \
+         command explores under \"shm\"@."
+        (Checkpoint.substrate c);
+      2
     | Some c when Checkpoint.label c <> label ->
       Fmt.epr
         "cannot resume: checkpoint is for %S, this invocation is %S; rerun \
@@ -1268,7 +1375,7 @@ let inputs_arg =
    field is the serve cache's canonical digest for the equivalent
    solvability query ({!Serve_api.key}), tying the two fingerprint
    notions together. *)
-let fingerprint warmup n max_states mode inputs_opt =
+let fingerprint warmup n max_states mode question substrate inputs_opt =
   for i = 1 to warmup do
     ignore (Value.list [ Value.int (1_000_000 + i); Value.sym "warmup" ])
   done;
@@ -1299,19 +1406,32 @@ let fingerprint warmup n max_states mode inputs_opt =
     String.iter (fun c -> comb (Char.code c)) (reduce_mode_name mode);
     Array.iter (fun v -> comb (Value.hash v)) inputs;
     comb max_states;
+    (* The question and substrate don't change the dac graph fold above
+       (the command always explores dac under shm), but they do change
+       which serve query the printed key addresses — and the key
+       separation is the point: a liveness answer and a safety answer,
+       or the same task under different fairness, must never share a
+       cache slot. *)
+    String.iter (fun c -> comb (Char.code c)) (Serve_api.question_label question);
+    String.iter (fun c -> comb (Char.code c)) substrate;
     let q =
       Serve_api.Verify
         {
           task = Serve_api.Dac { n };
-          question = Serve_api.Solve;
+          question;
           inputs = raw_inputs;
           max_states;
           reduce = mode;
+          substrate;
         }
     in
-    Fmt.pr "states=%d edges=%d truncated=%b reduce=%s fingerprint=%08x key=%s@."
+    Fmt.pr
+      "states=%d edges=%d truncated=%b reduce=%s question=%s substrate=%s \
+       fingerprint=%08x key=%s@."
       (Cgraph.n_nodes graph) (Cgraph.n_edges graph) graph.Cgraph.truncated
       (reduce_mode_name mode)
+      (Serve_api.question_label question)
+      substrate
       (!h land 0xffffffff)
       (Serve_api.key q);
     0
@@ -1328,16 +1448,38 @@ let fingerprint_cmd =
              shifting every subsequent intern id.  The printed fingerprint \
              must not change.")
   in
+  let question =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("solve", Serve_api.Solve); ("valence", Serve_api.Valence);
+               ("live", Serve_api.Live) ])
+          Serve_api.Solve
+      & info [ "question" ] ~docv:"Q"
+          ~doc:
+            "Which question the printed key addresses (solve | valence | \
+             live); distinct questions must print distinct keys.")
+  in
+  let substrate =
+    Arg.(
+      value
+      & opt string "shm"
+      & info [ "substrate" ] ~docv:"SUB"
+          ~doc:
+            "Which substrate the printed key addresses; distinct \
+             substrates must print distinct keys.")
+  in
   Cmd.v
     (Cmd.info "fingerprint"
        ~doc:
          "Print a structural fingerprint of the dac configuration graph \
           (cross-process determinism probe: output must be independent of \
           value-interning order, and must pin the reduction mode, input \
-          vector and state quota).")
+          vector, state quota, question and substrate).")
     Term.(
       const fingerprint $ warmup $ n_arg $ max_states_arg $ reduce_arg
-      $ inputs_arg)
+      $ question $ substrate $ inputs_arg)
 
 (* --- serve / query / shutdown ---------------------------------------------- *)
 
@@ -1436,17 +1578,19 @@ let task_conv =
           int_ge 1 k (fun k -> Serve_api.Kset { m; k }))
     | "cand" :: (_ :: _ as rest) | "candidate" :: (_ :: _ as rest) ->
       Ok (Serve_api.Candidate { name = String.concat ":" rest })
+    | [ "vc"; n ] -> int_ge 2 n (fun n -> Serve_api.Vc { n })
+    | [ "bcast"; n ] -> int_ge 1 n (fun n -> Serve_api.Bcast { n })
     | _ ->
       Error
         (`Msg
-           "task is dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name> (see \
-            `lbsa check candidate` for names)")
+           "task is dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name> | \
+            vc:<n> | bcast:<n> (see `lbsa check candidate` for names)")
   in
   let print ppf t = Fmt.string ppf (Serve_api.task_label t) in
   Arg.conv (parse, print)
 
-let query task fuzz_target question inputs_opt max_states mode trials procs ops
-    seed socket wait_s deadline want_stats =
+let query task fuzz_target question substrate inputs_opt max_states mode trials
+    procs ops seed socket wait_s deadline want_stats =
   let fail msg =
     Fmt.epr "lbsa query: %s@." msg;
     3
@@ -1485,8 +1629,14 @@ let query task fuzz_target question inputs_opt max_states mode trials procs ops
         | Some l -> l
         | None -> Serve_api.default_inputs task
       in
+      let substrate =
+        match substrate with
+        | Some s -> s
+        | None -> Serve_api.default_substrate task
+      in
       ask
-        (Serve_api.Verify { task; question; inputs; max_states; reduce = mode })
+        (Serve_api.Verify
+           { task; question; inputs; max_states; reduce = mode; substrate })
     | None, Some target ->
       ask (Serve_api.Fuzz { target; trials; procs; ops; seed })
 
@@ -1496,7 +1646,9 @@ let query_cmd =
       value
       & pos 0 (some task_conv) None
       & info [] ~docv:"TASK"
-          ~doc:"dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name>.")
+          ~doc:
+            "dac:<n> | cons:<m> | kset:<m>:<k> | cand:<name> | vc:<n> | \
+             bcast:<n>.")
   in
   let fuzz_target =
     Arg.(
@@ -1511,10 +1663,15 @@ let query_cmd =
   let question =
     Arg.(
       value
-      & opt (enum [ ("solve", Serve_api.Solve); ("valence", Serve_api.Valence) ])
+      & opt
+          (enum
+             [ ("solve", Serve_api.Solve); ("valence", Serve_api.Valence);
+               ("live", Serve_api.Live) ])
           Serve_api.Solve
       & info [ "question" ] ~docv:"Q"
-          ~doc:"solve (solvability verdict) or valence (graph summary).")
+          ~doc:
+            "solve (solvability verdict), valence (graph summary), or live \
+             (fair-cycle liveness verdict with a shrunk lasso witness).")
   in
   let trials =
     Arg.(value & opt int 200 & info [ "trials" ] ~docv:"T" ~doc:"Fuzz trials.")
@@ -1543,7 +1700,7 @@ let query_cmd =
           itself; 3 means the daemon could not be reached or the query was \
           malformed.")
     Term.(
-      const query $ task $ fuzz_target $ question $ inputs_arg
+      const query $ task $ fuzz_target $ question $ substrate_arg $ inputs_arg
       $ max_states_arg $ reduce_arg $ trials $ procs $ ops $ seed_arg
       $ socket_arg $ wait_arg $ deadline_arg $ want_stats)
 

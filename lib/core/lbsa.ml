@@ -48,6 +48,7 @@ module Scheduler = Lbsa_runtime.Scheduler
 module Executor = Lbsa_runtime.Executor
 module Trace = Lbsa_runtime.Trace
 module Fault = Lbsa_runtime.Fault
+module Substrate = Lbsa_runtime.Substrate
 
 module Chistory = Lbsa_linearizability.Chistory
 module Lin_checker = Lbsa_linearizability.Checker
@@ -70,6 +71,7 @@ module Kset_protocols = Lbsa_protocols.Kset_protocols
 module Candidates = Lbsa_protocols.Candidates
 module Safe_agreement = Lbsa_protocols.Safe_agreement
 module Obstruction_free = Lbsa_protocols.Obstruction_free
+module View_change = Lbsa_protocols.View_change
 
 module Canon = Lbsa_modelcheck.Canon
 module Cgraph = Lbsa_modelcheck.Graph
@@ -81,11 +83,13 @@ module Segstore = Lbsa_modelcheck.Segstore
 module Valence = Lbsa_modelcheck.Valence
 module Bivalency = Lbsa_modelcheck.Bivalency
 module Solvability = Lbsa_modelcheck.Solvability
+module Liveness = Lbsa_modelcheck.Liveness
 
 module Fuzz_case = Lbsa_fuzz.Fuzz_case
 module Fuzz_targets = Lbsa_fuzz.Targets
 module Fuzz_engine = Lbsa_fuzz.Engine
 module Fuzz_mutant = Lbsa_fuzz.Mutant
+module Lasso = Lbsa_fuzz.Lasso
 
 module Sim_protocol = Lbsa_bg.Sim_protocol
 module Bg_simulation = Lbsa_bg.Bg_simulation

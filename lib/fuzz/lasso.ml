@@ -1,0 +1,89 @@
+open Lbsa_modelcheck
+
+(* Livelock-witness shrinking.
+
+   Unlike case shrinking (Engine.shrink_case), which must re-run the
+   harness per candidate, a lasso witness is a pair of walks in an
+   already-built graph, so every shrink move is pure surgery on the
+   walks: whenever a node appears twice in a walk, the subwalk between
+   the two occurrences is a detour that can be cut without breaking
+   walk validity.  Candidates are re-checked with Liveness.validate —
+   the same oracle the acceptance criterion uses — which also rejects
+   cuts that would drop a running process from the cycle or empty it.
+
+   The descent is greedy first-improvement with largest-cut-first
+   candidate order and a candidate-evaluation budget, mirroring
+   Engine.shrink_case; everything is deterministic for a given graph
+   and witness. *)
+
+let default_budget = Engine.default_shrink_budget
+
+let size (w : Liveness.witness) =
+  List.length w.Liveness.w_prefix + List.length w.Liveness.w_cycle
+
+let nodes_of ~src edges =
+  Array.of_list (src :: List.map (fun e -> e.Graph.target) edges)
+
+(* Remove the edges at indices [i, j). *)
+let cut edges i j = List.filteri (fun k _ -> k < i || k >= j) edges
+
+(* Index pairs (i, j) with the same node at walk positions i and j,
+   largest cut first (ties by position). *)
+let candidate_cuts ~src edges =
+  let nodes = nodes_of ~src edges in
+  let len = Array.length nodes in
+  let out = ref [] in
+  for i = 0 to len - 2 do
+    for j = i + 1 to len - 1 do
+      if nodes.(i) = nodes.(j) then out := (i, j) :: !out
+    done
+  done;
+  List.sort
+    (fun (i1, j1) (i2, j2) ->
+      match compare (j2 - i2) (j1 - i1) with 0 -> compare i1 i2 | c -> c)
+    !out
+
+let shrink ?(budget = default_budget) ~machine ~specs ~substrate ~graph w =
+  let validate = Liveness.validate ~machine ~specs ~substrate graph in
+  let evals = ref 0 in
+  let steps = ref 0 in
+  let current = ref w in
+  let improved = ref true in
+  (* Accept the first candidate the oracle validates, then restart the
+     candidate scan from the shrunk witness. *)
+  let try_candidates cands make =
+    let rec go = function
+      | [] -> ()
+      | c :: rest ->
+        if !evals < budget then begin
+          incr evals;
+          let w' = make c in
+          if validate w' then begin
+            current := w';
+            incr steps;
+            improved := true
+          end
+          else go rest
+        end
+    in
+    go cands
+  in
+  while !improved && !evals < budget do
+    improved := false;
+    let w = !current in
+    try_candidates
+      (candidate_cuts ~src:0 w.Liveness.w_prefix)
+      (fun (i, j) -> { w with Liveness.w_prefix = cut w.Liveness.w_prefix i j });
+    if not !improved then begin
+      let n_edges = List.length w.Liveness.w_cycle in
+      let cands =
+        (* cutting the whole cycle would empty it *)
+        List.filter
+          (fun (i, j) -> j - i < n_edges)
+          (candidate_cuts ~src:w.Liveness.w_head w.Liveness.w_cycle)
+      in
+      try_candidates cands (fun (i, j) ->
+          { w with Liveness.w_cycle = cut w.Liveness.w_cycle i j })
+    end
+  done;
+  (!current, !steps)

@@ -1,0 +1,30 @@
+(** Livelock-witness (lasso) shrinking.
+
+    The stitched cycle {!Lbsa_modelcheck.Liveness.analyze} returns may
+    revisit nodes; [shrink] cuts such detours — any subwalk between two
+    occurrences of the same node, in the prefix or the cycle — by
+    greedy first-improvement descent, re-checking every candidate with
+    {!Lbsa_modelcheck.Liveness.validate} (which rejects cuts that would
+    empty the cycle or drop a running process from it).  Deterministic
+    for a given graph and witness. *)
+
+open Lbsa_runtime
+open Lbsa_modelcheck
+
+val default_budget : int
+(** {!Engine.default_shrink_budget} candidate evaluations. *)
+
+val size : Liveness.witness -> int
+(** Total step count: prefix length + cycle length. *)
+
+val shrink :
+  ?budget:int ->
+  machine:Machine.t ->
+  specs:Lbsa_spec.Obj_spec.t array ->
+  substrate:Substrate.t ->
+  graph:Graph.t ->
+  Liveness.witness ->
+  Liveness.witness * int
+(** The shrunk witness plus the number of accepted shrink steps (0
+    means the input came back unchanged — already minimal, or budget
+    exhausted). *)

@@ -26,7 +26,33 @@ let pac_family_op ~ports prng =
   | 1 -> `Propose_p (1 + Prng.int prng ports)
   | _ -> `Decide_p (1 + Prng.int prng ports)
 
-let spec_target desc =
+let rec spec_target desc =
+  match String.split_on_char ':' desc with
+  | [ "mpnet"; n; t ] ->
+    (* The mp substrate's network object (lib/runtime Substrate) as a
+       plain linearizable spec: sends, guarded deliveries, timeouts and
+       delays under the fuzzer's oracle.  Not a registry object — the
+       alphabet is per-instantiation — so it is built directly and kept
+       out of [all_specs]. *)
+    let n = int_of_string n and t = int_of_string t in
+    if n < 1 || t < 1 then
+      invalid_arg "Fuzz targets: mpnet:<n>:<t> needs n >= 1 and t >= 1";
+    let types = List.init t (Fmt.str "m%d") in
+    let spec = Lbsa_runtime.Substrate.network_spec ~n ~types () in
+    let gen_op ~pid prng =
+      if Prng.bool prng then
+        Lbsa_runtime.Substrate.send (List.nth types (Prng.int prng t))
+      else
+        let listen = List.filter (fun _ -> Prng.bool prng) types in
+        let listen =
+          if listen = [] then [ List.nth types (Prng.int prng t) ] else listen
+        in
+        Lbsa_runtime.Substrate.recv ~pid ~timeout:(Prng.bool prng) listen
+    in
+    { desc; spec; gen_op; procs = max 1 (min n 3) }
+  | _ -> registry_spec_target desc
+
+and registry_spec_target desc =
   let spec = Registry.of_string desc in
   let gen_op, procs =
     match String.split_on_char ':' desc with

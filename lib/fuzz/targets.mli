@@ -14,7 +14,11 @@ type spec_target = {
 }
 
 val spec_target : string -> spec_target
-(** Raises [Invalid_argument] on unknown syntax. *)
+(** Registry object syntax, plus [mpnet:<n>:<t>] — the mp substrate's
+    network object ({!Lbsa_runtime.Substrate.network_spec}) for [n]
+    receivers over a [t]-symbol alphabet, fuzzing sends, guarded
+    deliveries, timeouts and delays.  Raises [Invalid_argument] on
+    unknown syntax. *)
 
 val all_specs : unit -> spec_target list
 (** One concrete instantiation per {!Lbsa_objects.Registry.known} row; a

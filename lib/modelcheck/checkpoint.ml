@@ -20,6 +20,7 @@ type meta = {
   m_n_succs : int;
   m_frontier_sizes : int array;
   m_reduction : string;
+  m_substrate : string;
   m_canonized : int;
   m_ample_nodes : int;
   m_ample_pruned : int;
@@ -37,6 +38,7 @@ type t = {
   n_succs : int;
   frontier_sizes : int array;
   reduction : string;  (* reduction mode the exploration ran under *)
+  substrate : string;  (* substrate the exploration ran under *)
   canonized : int;
   ample_nodes : int;
   ample_pruned : int;
@@ -44,6 +46,7 @@ type t = {
 
 let label t = t.label
 let reduction t = t.reduction
+let substrate t = t.substrate
 
 (* --- freeze / thaw ------------------------------------------------------- *)
 
@@ -66,6 +69,7 @@ let freeze ~label (s : Graph.suspended) =
     n_succs = s.Graph.s_n_succs;
     frontier_sizes = Array.copy s.Graph.s_frontier_sizes;
     reduction = s.Graph.s_reduction;
+    substrate = s.Graph.s_substrate;
     canonized = s.Graph.s_canonized;
     ample_nodes = s.Graph.s_ample_nodes;
     ample_pruned = s.Graph.s_ample_pruned;
@@ -79,8 +83,8 @@ let thaw t : Graph.suspended =
     ~offsets:(Array.copy t.offsets) ~dedup_hits:t.dedup_hits
     ~n_succs:t.n_succs
     ~frontier_sizes:(Array.copy t.frontier_sizes)
-    ~reduction:t.reduction ~canonized:t.canonized ~ample_nodes:t.ample_nodes
-    ~ample_pruned:t.ample_pruned
+    ~reduction:t.reduction ~substrate:t.substrate ~canonized:t.canonized
+    ~ample_nodes:t.ample_nodes ~ample_pruned:t.ample_pruned
 
 (* --- persistence -------------------------------------------------------- *)
 
@@ -91,8 +95,12 @@ let thaw t : Graph.suspended =
    framed-section format above.  Version-2 files are refused, not
    migrated: a checkpoint is a resumable scratch artifact, and the
    exploration it froze is cheaper to redo than a silent cross-version
-   misread would be to debug. *)
-let magic = "LBSA-CHECKPOINT/3\n"
+   misread would be to debug.  Version 4 records the execution
+   substrate the exploration ran under, so a resume cannot silently
+   replay a shared-memory prefix under a message-passing step relation
+   (or vice versa); version-3 files are refused like any older
+   format. *)
+let magic = "LBSA-CHECKPOINT/4\n"
 let magic_family = "LBSA-CHECKPOINT/"
 
 exception Version_mismatch of string
@@ -116,6 +124,7 @@ let save ~file t =
           m_n_succs = t.n_succs;
           m_frontier_sizes = t.frontier_sizes;
           m_reduction = t.reduction;
+          m_substrate = t.substrate;
           m_canonized = t.canonized;
           m_ample_nodes = t.ample_nodes;
           m_ample_pruned = t.ample_pruned;
@@ -162,13 +171,13 @@ let load ~file =
             (Version_mismatch
                (Fmt.str
                   "Checkpoint.load: %s is a %s checkpoint; this build reads \
-                   version 3 only (re-run the exploration to produce a new \
+                   version 4 only (re-run the exploration to produce a new \
                    checkpoint)"
                   file
                   (String.trim header)))
         else
           failwith
-            (Fmt.str "Checkpoint.load: %s is not a version-3 checkpoint file"
+            (Fmt.str "Checkpoint.load: %s is not a version-4 checkpoint file"
                file);
       let defect msg = failwith (Fmt.str "Checkpoint.load: %s: %s" file msg) in
       let meta =
@@ -213,6 +222,7 @@ let load ~file =
         n_succs = meta.m_n_succs;
         frontier_sizes = meta.m_frontier_sizes;
         reduction = meta.m_reduction;
+        substrate = meta.m_substrate;
         canonized = meta.m_canonized;
         ample_nodes = meta.m_ample_nodes;
         ample_pruned = meta.m_ample_pruned;

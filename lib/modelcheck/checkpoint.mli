@@ -34,6 +34,12 @@ val reduction : t -> string
     silently explore a different graph; [Graph.build ~resume] rejects
     the mismatch, and CLIs should refuse it up front. *)
 
+val substrate : t -> string
+(** The execution substrate name ("shm" / "mp" / "mp+byz:f") the frozen
+    exploration ran under — recorded since format version 4.  Same
+    contract as {!reduction}: a resume under a different substrate is a
+    different graph, and [Graph.build ~resume] rejects the mismatch. *)
+
 val freeze : label:string -> Graph.suspended -> t
 val thaw : t -> Graph.suspended
 

@@ -122,6 +122,7 @@ type suspended = {
   s_n_succs : int;
   s_frontier_sizes : int array;  (* completed levels only *)
   s_reduction : string;  (* reduction mode name; a resume must match it *)
+  s_substrate : string;  (* substrate name; a resume must match it too *)
   s_canonized : int;
   s_ample_nodes : int;
   s_ample_pruned : int;
@@ -248,7 +249,7 @@ let reduce_config ~reduce ~machine config =
     let c = Canon.canonical reduce.canon config in
     (c, flushed, if c != config then 1 else 0)
 
-let successors ~reduce ~machine ~specs config =
+let successors ?(substrate = Substrate.shm) ~reduce ~machine ~specs config =
   let ample =
     if reduce.sleep then Canon.commit_pid ~machine ?frozen:reduce.frozen config
     else None
@@ -256,7 +257,7 @@ let successors ~reduce ~machine ~specs config =
   let canonized = ref 0 in
   let flushed = ref 0 in
   let branches_of pid =
-    let bs = Config.step_branches ~machine ~specs config pid in
+    let bs = substrate.Substrate.step_branches ~machine ~specs config pid in
     if (not reduce.sleep) && Canon.is_identity reduce.canon then bs
     else
       List.map
@@ -331,11 +332,11 @@ type deque = { mutable dq_lo : int; mutable dq_hi : int; dq_lock : Mutex.t }
    crash (a raising machine) exhausts its retries, flags [failed], and
    every other worker exits; the level is then abandoned whole.
    [Error (worker, exn, attempts)] reports the lowest such worker. *)
-let expand ~domains ~reduce ~machine ~specs frontier n =
+let expand ~domains ~substrate ~reduce ~machine ~specs frontier n =
   let out = Array.make n ([], 0, 0) in
   let process lo hi =
     for i = lo to hi - 1 do
-      out.(i) <- successors ~reduce ~machine ~specs frontier.(i)
+      out.(i) <- successors ~substrate ~reduce ~machine ~specs frontier.(i)
     done
   in
   let d = min domains n in
@@ -471,9 +472,9 @@ let hole_config : Config.t = { locals = [||]; objects = [||]; status = [||] }
 let hole_edge = { pid = 0; event = Config.Abort_event { pid = 0 }; target = 0 }
 
 let build ?(max_states = default_max_states) ?domains
-    ?(budget = Supervisor.Budget.unlimited) ?(reduce = no_reduction) ?resume
-    ?(shards = 1) ?spill ~(machine : Machine.t)
-    ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
+    ?(budget = Supervisor.Budget.unlimited) ?(substrate = Substrate.shm)
+    ?(reduce = no_reduction) ?resume ?(shards = 1) ?spill
+    ~(machine : Machine.t) ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -530,7 +531,8 @@ let build ?(max_states = default_max_states) ?domains
   (match resume with
   | None ->
     let init, _, _ =
-      reduce_config ~reduce ~machine (Config.initial ~machine ~specs ~inputs)
+      reduce_config ~reduce ~machine
+        (substrate.Substrate.initial ~machine ~specs ~inputs)
     in
     ignore
       (Ctbl_sharded.find_or_add tbl init ~hash:(Config.hash init)
@@ -546,6 +548,11 @@ let build ?(max_states = default_max_states) ?domains
         (Fmt.str
            "Graph.build: resume reduction mode %S does not match requested %S"
            s.s_reduction reduce.rname);
+    if s.s_substrate <> substrate.Substrate.sname then
+      invalid_arg
+        (Fmt.str
+           "Graph.build: resume substrate %S does not match requested %S"
+           s.s_substrate substrate.Substrate.sname);
     Array.iteri
       (fun id config ->
         Dyn.push nodes config;
@@ -630,7 +637,9 @@ let build ?(max_states = default_max_states) ?domains
       nxt := !cur;
       cur := f;
       (!nxt).Dyn.len <- 0;
-      match expand ~domains ~reduce ~machine ~specs f.Dyn.arr f.Dyn.len with
+      match
+        expand ~domains ~substrate ~reduce ~machine ~specs f.Dyn.arr f.Dyn.len
+      with
       | Error (worker, exn, attempts) ->
         (* This level's expansion failed even after retries.  Every
            completed level is kept; this one is abandoned whole (its
@@ -693,6 +702,7 @@ let build ?(max_states = default_max_states) ?domains
           s_n_succs = !n_succs;
           s_frontier_sizes = Dyn.to_array frontier_sizes;
           s_reduction = reduce.rname;
+          s_substrate = substrate.Substrate.sname;
           s_canonized = !canonized;
           s_ample_nodes = !ample_nodes;
           s_ample_pruned = !ample_pruned;
@@ -770,7 +780,8 @@ let build ?(max_states = default_max_states) ?domains
    interface (only [build] and [Checkpoint] may produce one), so the
    checkpoint loader goes through here. *)
 let suspended_of_parts ~nodes ~expanded ~edges ~offsets ~dedup_hits ~n_succs
-    ~frontier_sizes ~reduction ~canonized ~ample_nodes ~ample_pruned =
+    ~frontier_sizes ~reduction ~substrate ~canonized ~ample_nodes ~ample_pruned
+    =
   if expanded < 0 || expanded > Array.length nodes then
     invalid_arg "Graph.suspended_of_parts: expanded out of range";
   if Array.length offsets <> expanded then
@@ -784,6 +795,7 @@ let suspended_of_parts ~nodes ~expanded ~edges ~offsets ~dedup_hits ~n_succs
     s_n_succs = n_succs;
     s_frontier_sizes = frontier_sizes;
     s_reduction = reduction;
+    s_substrate = substrate;
     s_canonized = canonized;
     s_ample_nodes = ample_nodes;
     s_ample_pruned = ample_pruned;
@@ -880,11 +892,13 @@ end
 
 module CMap = Map.Make (Seed_ord)
 
-let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
+let build_cmap ?(max_states = default_max_states)
+    ?(substrate = Substrate.shm) ?(reduce = no_reduction)
     ~(machine : Machine.t) ~(specs : Lbsa_spec.Obj_spec.t array) ~inputs () =
   let t0 = Unix.gettimeofday () in
   let init, _, _ =
-    reduce_config ~reduce ~machine (Config.initial ~machine ~specs ~inputs)
+    reduce_config ~reduce ~machine
+      (substrate.Substrate.initial ~machine ~specs ~inputs)
   in
   let ids = ref (CMap.singleton init 0) in
   let nodes = ref [ init ] in
@@ -920,7 +934,7 @@ let build_cmap ?(max_states = default_max_states) ?(reduce = no_reduction)
   while not (Queue.is_empty queue) do
     let config, id = Queue.pop queue in
     let succ_list, n_canon, n_pruned =
-      successors ~reduce ~machine ~specs config
+      successors ~substrate ~reduce ~machine ~specs config
     in
     canonized := !canonized + n_canon;
     if n_pruned > 0 then begin

@@ -127,6 +127,8 @@ type suspended = private {
   s_frontier_sizes : int array;  (** completed levels only *)
   s_reduction : string;
       (** reduction mode name; [build ~resume] rejects a mismatch *)
+  s_substrate : string;
+      (** substrate name; [build ~resume] rejects a mismatch *)
   s_canonized : int;
   s_ample_nodes : int;
   s_ample_pruned : int;
@@ -173,6 +175,7 @@ val build :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?substrate:Substrate.t ->
   ?reduce:reduction ->
   ?resume:suspended ->
   ?shards:int ->
@@ -183,6 +186,10 @@ val build :
   unit ->
   t
 (** Breadth-first construction (default bound: [default_max_states]).
+    [substrate] (default {!Substrate.shm}) supplies the step relation
+    the exploration quantifies over; its name is recorded in suspended
+    explorations, and [build ~resume] refuses a substrate mismatch just
+    like a reduction-mode mismatch.
     [domains] defaults to [Domain.recommended_domain_count ()] capped at
     8; the produced graph does not depend on it.  [budget] and the
     [max_states] quota are polled at each level boundary; when either
@@ -221,6 +228,7 @@ val suspended_of_parts :
   n_succs:int ->
   frontier_sizes:int array ->
   reduction:string ->
+  substrate:string ->
   canonized:int ->
   ample_nodes:int ->
   ample_pruned:int ->
@@ -231,6 +239,7 @@ val suspended_of_parts :
 
 val build_cmap :
   ?max_states:int ->
+  ?substrate:Substrate.t ->
   ?reduce:reduction ->
   machine:Machine.t ->
   specs:Lbsa_spec.Obj_spec.t array ->
@@ -254,6 +263,12 @@ val out_edges : t -> int -> edge list
     on hot paths. *)
 
 val out_degree : t -> int -> int
+
+val edge_at : t -> int -> edge
+(** The full edge record at a flat CSR index (node [id] owns indices
+    [offsets.(id) .. offsets.(id+1) - 1]), faulting a segment in for
+    the cold prefix of an out-of-core graph. *)
+
 val iter_out_edges : t -> int -> (edge -> unit) -> unit
 val fold_out_edges : t -> int -> ('a -> edge -> 'a) -> 'a -> 'a
 val exists_out_edge : t -> int -> (edge -> bool) -> bool

@@ -1,0 +1,350 @@
+open Lbsa_runtime
+
+(* Fairness-aware liveness checking: fair-cycle (lasso) detection over
+   the reachable configuration graph, layered on the same iterative
+   Tarjan SCC pass the valence analysis uses.
+
+   A livelock is an infinite admissible execution in which some process
+   runs forever without halting.  On a finite complete graph every
+   infinite execution eventually stays inside one SCC, so livelock
+   detection reduces to finding a *fair* SCC — one that supports an
+   infinite schedule satisfying the substrate's fairness constraints —
+   and a witness is a lasso: a finite prefix from the initial
+   configuration to the component plus a cycle inside it.
+
+   Statuses are absorbing (a halted process never runs again), so all
+   configurations of an SCC share one status vector; "the running
+   processes of a component" is well defined.
+
+   The *no mandatory exits* constraint comes first: a configuration
+   enabling a mandatory action ({!Substrate.mandatory_exit}) of a
+   running process — a poised decide/abort commit, and for the
+   message-passing substrate any send or guarded delivery that changes
+   the (monotone-counter) network state — cannot appear on a fair
+   cycle at all: the substrate's strong-fairness constraint says an
+   action enabled infinitely often is eventually taken, and every
+   mandatory action provably leaves its component.  So such
+   configurations are masked out and SCCs are computed on the
+   *restricted* subgraph.  (Masking before the SCC pass, rather than
+   testing whole components of the full graph, matters: a fair cycle
+   may wind through the clean part of a component whose other nodes do
+   enable mandatory actions — a whole-component test would miss it and
+   answer Live unsoundly.)
+
+   A component [C] of the restricted subgraph is a fair cycle iff:
+
+   1. it can be dwelt in at all: |C| > 1, or its single node has a
+      self-loop;
+   2. some process is still running (an all-halted terminal component
+      is quiescence, not livelock);
+   3. *process fairness*: every running process has at least one edge
+      internal to [C].  A fair schedule must run every non-crashed
+      process infinitely often; since [C] is strongly connected, any
+      set of internal edges (one per running process) can be stitched
+      into a single cycle, and conversely a process with no internal
+      edge anywhere in [C] cannot take a step without leaving it.
+
+   This is exactly the existence of a closed walk that avoids
+   mandatory-enabling configurations and schedules every running
+   process — the walk-level property [validate] checks witness-by-
+   witness and the brute-force product-space oracle in the test
+   battery decides independently.
+
+   The criterion is exact for the unreduced graph of a complete
+   exploration.  On the message-passing examples the reduction layers
+   are identity (no certified symmetry group, no frozen objects), so
+   verdicts agree across --reduce modes by construction; a truncated
+   graph yields a partial verdict upstream. *)
+
+type witness = {
+  w_head : int;  (* node id the lasso loops through *)
+  w_prefix : Graph.edge list;  (* initial -> head *)
+  w_cycle : Graph.edge list;  (* head -> ... -> head, nonempty *)
+}
+
+type verdict = Live | Livelock of witness
+
+type report = {
+  verdict : verdict;
+  sccs : int;  (* total SCC count *)
+  cyclic_sccs : int;  (* components satisfying condition 1 *)
+  fair_sccs : int;  (* components satisfying all four conditions *)
+  wall_s : float;
+}
+
+let prefix_trace w = Trace.of_events (List.map (fun e -> e.Graph.event) w.w_prefix)
+let cycle_trace w = Trace.of_events (List.map (fun e -> e.Graph.event) w.w_cycle)
+
+let witness_pids w =
+  List.sort_uniq Stdlib.compare (List.map (fun e -> e.Graph.pid) w.w_cycle)
+
+(* Deterministic BFS over edge indices from [src] until [accept u edge]
+   takes an edge, restricted to nodes with [ok node]; returns the edge
+   path ending with the accepted edge.  Edge order is CSR order, so the
+   result depends only on the graph. *)
+let bfs_edges graph ~ok ~src ~accept =
+  let n = Graph.n_nodes graph in
+  let parent = Array.make n (-1) in
+  let parent_node = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let result = ref None in
+  let path_to u =
+    let rec walk v acc =
+      if v = src then acc
+      else walk parent_node.(v) (Graph.edge_at graph parent.(v) :: acc)
+    in
+    walk u []
+  in
+  while !result = None && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let lo = graph.Graph.offsets.(u) and hi = graph.Graph.offsets.(u + 1) in
+    let i = ref lo in
+    while !result = None && !i < hi do
+      let e = Graph.edge_at graph !i in
+      let v = e.Graph.target in
+      if accept u e then result := Some (path_to u @ [ e ])
+      else if ok v && not seen.(v) then begin
+        seen.(v) <- true;
+        parent.(v) <- !i;
+        parent_node.(v) <- u;
+        Queue.add v queue
+      end;
+      incr i
+    done
+  done;
+  !result
+
+(* A cycle through [head] inside component [in_comp], scheduling every
+   pid of [must_cover] at least once: greedily walk (BFS, deterministic)
+   to the nearest internal edge of a still-uncovered pid until all are
+   covered, then close back at [head].  The stitched walk may revisit
+   nodes — the Lasso shrinker exists to cut those detours. *)
+let cycle_through graph ~in_comp ~head ~must_cover =
+  let uncovered = Hashtbl.create 8 in
+  List.iter (fun pid -> Hashtbl.replace uncovered pid ()) must_cover;
+  let cover e =
+    List.iter (fun pid -> Hashtbl.remove uncovered pid)
+      [ e.Graph.pid ]
+  in
+  let cycle = ref [] in
+  let cur = ref head in
+  let guard = ref (List.length must_cover + 1) in
+  while Hashtbl.length uncovered > 0 && !guard > 0 do
+    decr guard;
+    match
+      bfs_edges graph ~ok:in_comp ~src:!cur ~accept:(fun _u e ->
+          in_comp e.Graph.target && Hashtbl.mem uncovered e.Graph.pid)
+    with
+    | None -> guard := 0 (* cannot happen for a fair component *)
+    | Some path ->
+      List.iter cover path;
+      cycle := !cycle @ path;
+      cur := (List.nth path (List.length path - 1)).Graph.target
+  done;
+  if Hashtbl.length uncovered > 0 then None
+  else if !cur = head && !cycle <> [] then Some !cycle
+  else
+    match
+      bfs_edges graph ~ok:in_comp ~src:!cur ~accept:(fun _u e ->
+          e.Graph.target = head)
+    with
+    | None -> None
+    | Some path -> Some (!cycle @ path)
+
+(* Iterative Tarjan over the subgraph of nodes satisfying [ok]; edges
+   into or out of masked nodes are ignored and masked nodes keep
+   component -1.  Only the partition matters, not the numbering. *)
+let scc_masked graph ~ok comp =
+  let n = Graph.n_nodes graph in
+  let offsets = graph.Graph.offsets in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let tstack = Stack.create () in
+  let next = ref 0 in
+  let nc = ref 0 in
+  let visit u =
+    index.(u) <- !next;
+    low.(u) <- !next;
+    incr next;
+    Stack.push u tstack;
+    on_stack.(u) <- true
+  in
+  for root = 0 to n - 1 do
+    if ok root && index.(root) = -1 then begin
+      let call = ref [ (root, ref offsets.(root)) ] in
+      visit root;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (u, i) :: rest ->
+          if !i < offsets.(u + 1) then begin
+            let v = (Graph.edge_at graph !i).Graph.target in
+            incr i;
+            if ok v then
+              if index.(v) = -1 then begin
+                visit v;
+                call := (v, ref offsets.(v)) :: !call
+              end
+              else if on_stack.(v) then low.(u) <- min low.(u) index.(v)
+          end
+          else begin
+            if low.(u) = index.(u) then begin
+              let rec pop () =
+                let w = Stack.pop tstack in
+                on_stack.(w) <- false;
+                comp.(w) <- !nc;
+                if w <> u then pop ()
+              in
+              pop ();
+              incr nc
+            end;
+            call := rest;
+            match rest with
+            | (p, _) :: _ -> low.(p) <- min low.(p) low.(u)
+            | [] -> ()
+          end
+      done
+    end
+  done;
+  !nc
+
+let analyze ~machine ~specs ~(substrate : Substrate.t) graph =
+  let t0 = Unix.gettimeofday () in
+  let _, full_sccs = Graph.scc graph in
+  let n = Graph.n_nodes graph in
+  (* Mask out configurations enabling a mandatory action of a running
+     process: none may appear on a fair cycle (see the header). *)
+  let good =
+    Array.init n (fun u ->
+        let config = Graph.node graph u in
+        not
+          (List.exists
+             (fun pid ->
+               substrate.Substrate.mandatory_exit ~machine ~specs config pid)
+             (Config.running config)))
+  in
+  let ok u = good.(u) in
+  let comp = Array.make n (-1) in
+  let nc = scc_masked graph ~ok comp in
+  (* Internal-edge presence per restricted component, in one sweep. *)
+  let has_internal = Array.make nc false in
+  for u = 0 to n - 1 do
+    if good.(u) then
+      Graph.iter_out_steps graph u (fun _pid v ->
+          if comp.(v) = comp.(u) then has_internal.(comp.(u)) <- true)
+  done;
+  (* Members per component, in node-id order (node ids are BFS order,
+     so the first member is also the component's shallowest node). *)
+  let members = Array.make nc [] in
+  for u = n - 1 downto 0 do
+    if good.(u) then members.(comp.(u)) <- u :: members.(comp.(u))
+  done;
+  let cyclic_sccs = ref 0 in
+  let fair_sccs = ref 0 in
+  let best = ref None in
+  for c = 0 to nc - 1 do
+    if has_internal.(c) then begin
+      (* Condition 1: nontrivial, or a single node with a self-loop. *)
+      incr cyclic_sccs;
+      let head = List.hd members.(c) in
+      let running = Config.running (Graph.node graph head) in
+      if running <> [] then begin
+        (* Condition 3: every running pid has an internal edge. *)
+        let covered = Hashtbl.create 8 in
+        List.iter
+          (fun u ->
+            Graph.iter_out_steps graph u (fun pid v ->
+                if comp.(v) = c then Hashtbl.replace covered pid ()))
+          members.(c);
+        let process_fair =
+          List.for_all (fun pid -> Hashtbl.mem covered pid) running
+        in
+        if process_fair then begin
+          incr fair_sccs;
+          if !best = None then begin
+            let in_comp u = u >= 0 && good.(u) && comp.(u) = c in
+            match cycle_through graph ~in_comp ~head ~must_cover:running with
+            | None -> ()
+            | Some cycle -> (
+              match Graph.shortest_path graph ~target:head with
+              | None -> ()
+              | Some prefix ->
+                best := Some { w_head = head; w_prefix = prefix; w_cycle = cycle })
+          end
+        end
+      end
+    end
+  done;
+  {
+    verdict = (match !best with None -> Live | Some w -> Livelock w);
+    sccs = full_sccs;
+    cyclic_sccs = !cyclic_sccs;
+    fair_sccs = !fair_sccs;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+(* Re-check a (possibly shrunk) witness against the graph — the oracle
+   side of the acceptance criterion: the walk must be well-formed in
+   the graph, the cycle must close at its head, stay within one SCC,
+   schedule every running process, and pass through no configuration
+   with a mandatory exit. *)
+let validate ~machine ~specs ~(substrate : Substrate.t) graph w =
+  let walk_ok src edges =
+    let ok, last =
+      List.fold_left
+        (fun (ok, u) e ->
+          let here =
+            ok
+            && Graph.exists_out_step graph u (fun pid v ->
+                   pid = e.Graph.pid && v = e.Graph.target)
+          in
+          (here, e.Graph.target))
+        (true, src) edges
+    in
+    (ok, last)
+  in
+  let pok, phead = walk_ok 0 w.w_prefix in
+  let cok, cend = walk_ok w.w_head w.w_cycle in
+  pok && cok && phead = w.w_head && cend = w.w_head && w.w_cycle <> []
+  &&
+  let comp, _ = Graph.scc graph in
+  let nodes_on_cycle =
+    w.w_head :: List.map (fun e -> e.Graph.target) w.w_cycle
+  in
+  List.for_all (fun u -> comp.(u) = comp.(w.w_head)) nodes_on_cycle
+  &&
+  let running = Config.running (Graph.node graph w.w_head) in
+  let pids = witness_pids w in
+  List.for_all (fun pid -> List.mem pid pids) running
+  && List.for_all
+       (fun u ->
+         let config = Graph.node graph u in
+         not
+           (List.exists
+              (fun pid ->
+                substrate.Substrate.mandatory_exit ~machine ~specs config pid)
+              running))
+       nodes_on_cycle
+
+let pp_witness ppf w =
+  Fmt.pf ppf
+    "@[<v>livelock lasso (head node %d):@,prefix (%d steps):@,%a@,cycle (%d \
+     steps):@,%a@]"
+    w.w_head (List.length w.w_prefix) Trace.pp (prefix_trace w)
+    (List.length w.w_cycle) Trace.pp (cycle_trace w)
+
+let pp_report ppf r =
+  match r.verdict with
+  | Live ->
+    Fmt.pf ppf
+      "@[<v>live: no fair cycle (%d SCCs, %d cyclic, 0 fair) [%.3f s]@]"
+      r.sccs r.cyclic_sccs r.wall_s
+  | Livelock w ->
+    Fmt.pf ppf "@[<v>LIVELOCK: %d fair SCC%s of %d (%d cyclic) [%.3f s]@,%a@]"
+      r.fair_sccs
+      (if r.fair_sccs = 1 then "" else "s")
+      r.sccs r.cyclic_sccs r.wall_s pp_witness w

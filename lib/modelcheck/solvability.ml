@@ -100,7 +100,8 @@ type solo_cache = (Config.t, bool) Hashtbl.t
 
 let solo_cache () : solo_cache = Hashtbl.create 1024
 
-let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
+let solo_halts ?(cache = solo_cache ()) ?(substrate = Substrate.shm) ~machine
+    ~specs ~pid ~accept config =
   let module CM = Map.Make (Config) in
   (* On-stack set for cycle detection within one DFS. *)
   let rec go on_stack config =
@@ -112,7 +113,9 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
         let r =
           if not (Config.is_running config pid) then accept config.Config.status.(pid)
           else
-            let branches = Config.step_branches ~machine ~specs config pid in
+            let branches =
+              substrate.Substrate.step_branches ~machine ~specs config pid
+            in
             List.for_all
               (fun (config', _) -> go (CM.add config () on_stack) config')
               branches
@@ -135,10 +138,10 @@ let solo_halts ?(cache = solo_cache ()) ~machine ~specs ~pid ~accept config =
    every process.  Liveness needs the complete graph; on a partial one
    only the safety scan runs and the verdict is partial. *)
 let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ?shards ?spill ~machine ~specs ~inputs () =
+    ?substrate ?reduce ?resume ?shards ?spill ~machine ~specs ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
-      ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?substrate ?reduce ?resume ?shards
+      ?spill ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -169,10 +172,10 @@ let check_consensus ?(max_states = Graph.default_max_states) ?domains ?budget
 
 (* Exhaustive k-set agreement check. *)
 let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ?shards ?spill ~machine ~specs ~k ~inputs () =
+    ?substrate ?reduce ?resume ?shards ?spill ~machine ~specs ~k ~inputs () =
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
-      ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ?substrate ?reduce ?resume ?shards
+      ?spill ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -202,11 +205,12 @@ let check_kset ?(max_states = Graph.default_max_states) ?domains ?budget
    - Termination (b): from every reachable node, every q != p running
      solo decides. *)
 let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
-    ?reduce ?resume ?shards ?spill ~machine ~specs ~inputs () =
+    ?(substrate = Substrate.shm) ?reduce ?resume ?shards ?spill ~machine ~specs
+    ~inputs () =
   let p = Lbsa_protocols.Dac.distinguished in
   let graph =
-    Graph.build ~max_states ?domains ?budget ?reduce ?resume ?shards ?spill
-      ~machine ~specs ~inputs ()
+    Graph.build ~max_states ?domains ?budget ~substrate ?reduce ?resume ?shards
+      ?spill ~machine ~specs ~inputs ()
   in
   let states = Graph.n_nodes graph in
   let stats = Graph.stats graph in
@@ -232,7 +236,7 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
         else if Config.is_running config p then
           List.iter
             (fun (c', _) -> p_solo c')
-            (Config.step_branches ~machine ~specs config p)
+            (substrate.Substrate.step_branches ~machine ~specs config p)
       in
       match p_solo (Graph.node graph graph.initial) with
       | () -> None
@@ -254,7 +258,7 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
           (if
              Config.is_running config p
              && not
-                  (solo_halts ~cache:cache_a ~machine ~specs ~pid:p
+                  (solo_halts ~cache:cache_a ~substrate ~machine ~specs ~pid:p
                      ~accept:accept_a config)
            then Some (Fmt.str "node %d: termination (a) fails for p" id)
            else None)
@@ -272,7 +276,9 @@ let check_dac ?(max_states = Graph.default_max_states) ?domains ?budget
                     c
                 in
                 if
-                  not (solo_halts ~cache ~machine ~specs ~pid:q ~accept:accept_b config)
+                  not
+                    (solo_halts ~cache ~substrate ~machine ~specs ~pid:q
+                       ~accept:accept_b config)
                 then Some (Fmt.str "node %d: termination (b) fails for q%d" id q)
                 else None)
             (Config.running config))

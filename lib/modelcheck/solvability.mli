@@ -39,6 +39,7 @@ val solo_cache : unit -> solo_cache
 
 val solo_halts :
   ?cache:solo_cache ->
+  ?substrate:Substrate.t ->
   machine:Machine.t ->
   specs:Obj_spec.t array ->
   pid:int ->
@@ -53,6 +54,7 @@ val check_consensus :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?substrate:Substrate.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   ?shards:int ->
@@ -64,8 +66,8 @@ val check_consensus :
   verdict
 (** Agreement + validity + no-abort at every node, wait-freedom of every
     process.  [max_states] defaults to [Graph.default_max_states];
-    [domains], [budget], [reduce], [resume], [shards] and [spill] are
-    forwarded to {!Graph.build}.  A sound [reduce] (see {!Canon})
+    [domains], [budget], [substrate], [reduce], [resume], [shards] and
+    [spill] are forwarded to {!Graph.build}.  A sound [reduce] (see {!Canon})
     changes the explored graph but not the verdict's [ok]/[outcome];
     node ids and failure messages may differ; [shards] and [spill]
     change neither the graph nor the verdict (the liveness searches are
@@ -77,6 +79,7 @@ val check_kset :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?substrate:Substrate.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   ?shards:int ->
@@ -92,6 +95,7 @@ val check_dac :
   ?max_states:int ->
   ?domains:int ->
   ?budget:Supervisor.Budget.t ->
+  ?substrate:Substrate.t ->
   ?reduce:Graph.reduction ->
   ?resume:Graph.suspended ->
   ?shards:int ->

@@ -1,0 +1,113 @@
+open Lbsa_spec
+open Lbsa_runtime
+
+(* Message-passing demo protocols for the [mp] substrate.
+
+   [machine ~n] is a deliberately minimal view-change protocol with a
+   genuine liveness bug — the split-vote lock class of bug TLC found in
+   dBFT 2.0 (nodes locked on different views can never assemble a
+   quorum; see ROADMAP.md).  All communication goes through the
+   substrate's network object (the single shared object, at index 0):
+
+   - process 0 is the view-0 leader: it broadcasts an [e0] echo and
+     waits for a quorum of n [e0]s, then decides view 0;
+   - every other process probes for an [e0] with a timeout.  If one
+     arrives it adopts view 0 — echoes [e0] itself and waits for the
+     quorum like the leader.  If the adversary times it out first, it
+     moves to view 1: broadcasts [e1] and waits (with no further
+     timeout — it is locked on view 1) for a quorum of n [e1]s, then
+     decides view 1.
+
+   Safety is trivial (a quorum of n for [ev] requires every process to
+   echo [ev], so the two quorums are mutually exclusive), but liveness
+   fails: once any process times out into view 1 while the leader is
+   locked on view 0, neither quorum can ever form — every sent message
+   is delivered, all counters drain, and the survivors poll forever.
+   That terminal polling loop is a fair SCC (delay self-steps only, no
+   mandatory network progress anywhere), and the liveness analysis
+   finds it and renders the (prefix, cycle) lasso.  The timeout is an
+   always-enabled adversary branch, so the livelock coexists in the
+   same graph with the happy path where every probe delivers and all
+   processes decide view 0.
+
+   [bcast ~n] is the positive control: everyone broadcasts one [e] and
+   decides after collecting n of them.  Every pre-decision
+   configuration keeps a delivery or a send enabled (mandatory network
+   progress), so no fair cycle exists and the verdict is Live. *)
+
+let types = [ "e0"; "e1" ]
+
+let net = 0 (* the network object's index in [specs] *)
+
+let s_start = Value.sym "S"
+let s_wait0 = Value.sym "W0"
+let s_dec0 = Value.sym "D0"
+let s_probe = Value.sym "P"
+let s_adopt = Value.sym "A"
+let s_view1 = Value.sym "V"
+let s_wait1 = Value.sym "W1"
+let s_dec1 = Value.sym "D1"
+
+(* Wait for the [ev] quorum: poll until the delivery count reaches n. *)
+let wait_step ~n ~pid ev ~waiting ~decided =
+  Machine.invoke net
+    (Substrate.recv ~pid [ ev ])
+    (fun r ->
+      match Value.node r with
+      | Value.Pair (_, cnt) when Value.to_int_exn cnt >= n -> decided
+      | _ -> waiting)
+
+let machine ~n =
+  if n < 2 then invalid_arg "View_change.machine: n < 2";
+  Machine.make
+    ~name:(Fmt.str "vc:%d" n)
+    ~init:(fun ~pid ~input:_ -> if pid = 0 then s_start else s_probe)
+    ~delta:(fun ~pid st ->
+      match Value.node st with
+      | Value.Sym "S" ->
+        Machine.invoke net (Substrate.send "e0") (fun _ -> s_wait0)
+      | Value.Sym "W0" -> wait_step ~n ~pid "e0" ~waiting:s_wait0 ~decided:s_dec0
+      | Value.Sym "D0" -> Machine.Decide (Value.int 0)
+      | Value.Sym "P" ->
+        Machine.invoke net
+          (Substrate.recv ~pid ~timeout:true [ "e0" ])
+          (fun r ->
+            match Value.node r with
+            | Value.Pair _ -> s_adopt (* an e0 arrived: adopt view 0 *)
+            | Value.Sym _ -> s_view1 (* timed out: move to view 1 *)
+            | _ -> s_probe (* delayed: probe again *))
+      | Value.Sym "A" ->
+        Machine.invoke net (Substrate.send "e0") (fun _ -> s_wait0)
+      | Value.Sym "V" ->
+        Machine.invoke net (Substrate.send "e1") (fun _ -> s_wait1)
+      | Value.Sym "W1" -> wait_step ~n ~pid "e1" ~waiting:s_wait1 ~decided:s_dec1
+      | Value.Sym "D1" -> Machine.Decide (Value.int 1)
+      | _ -> Machine.bad_state ~machine:"view-change" ~pid st)
+
+let specs ?byz ~n () = [| Substrate.network_spec ?byz ~n ~types () |]
+
+let inputs ~n = Array.make n Value.unit_
+
+(* --- the live positive control ----------------------------------------- *)
+
+let bcast_types = [ "e" ]
+
+let b_start = Value.sym "S"
+let b_wait = Value.sym "W"
+let b_dec = Value.sym "D"
+
+let bcast_machine ~n =
+  if n < 1 then invalid_arg "View_change.bcast_machine: n < 1";
+  Machine.make
+    ~name:(Fmt.str "bcast:%d" n)
+    ~init:(fun ~pid:_ ~input:_ -> b_start)
+    ~delta:(fun ~pid st ->
+      match Value.node st with
+      | Value.Sym "S" ->
+        Machine.invoke net (Substrate.send "e") (fun _ -> b_wait)
+      | Value.Sym "W" -> wait_step ~n ~pid "e" ~waiting:b_wait ~decided:b_dec
+      | Value.Sym "D" -> Machine.Decide (Value.int n)
+      | _ -> Machine.bad_state ~machine:"bcast" ~pid st)
+
+let bcast_specs ?byz ~n () =
+  [| Substrate.network_spec ?byz ~n ~types:bcast_types () |]

@@ -1,0 +1,33 @@
+(** Message-passing demo protocols for {!Lbsa_runtime.Substrate.mp}.
+
+    [machine ~n] is a minimal view-change protocol with a deliberate
+    split-vote livelock: process 0 broadcasts an [e0] echo and waits
+    for a quorum of [n]; every other process probes for an [e0] with an
+    adversary-controlled timeout, echoing [e0] on delivery or locking
+    onto view 1 (broadcast [e1], wait for [n] of them) on timeout.
+    Safety holds on every schedule, but once any process times out the
+    two views split the echoes and neither quorum can form — the
+    survivors poll forever, which the fair-cycle analysis reports as a
+    livelock lasso.  [bcast_machine ~n] is the positive control that the
+    analysis proves Live.  See the implementation header for the full
+    argument. *)
+
+open Lbsa_spec
+open Lbsa_runtime
+
+val types : string list
+(** Message alphabet of the view-change protocol: [["e0"; "e1"]]. *)
+
+val machine : n:int -> Machine.t
+(** The view-change protocol for [n >= 2] processes (quorum [n]). *)
+
+val specs : ?byz:int -> n:int -> unit -> Obj_spec.t array
+(** The single shared object: the substrate's network (index 0). *)
+
+val inputs : n:int -> Value.t array
+(** Unit inputs — the protocol is input-free. *)
+
+val bcast_machine : n:int -> Machine.t
+(** Everyone broadcasts one [e] and decides after collecting [n]. *)
+
+val bcast_specs : ?byz:int -> n:int -> unit -> Obj_spec.t array

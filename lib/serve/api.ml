@@ -23,8 +23,10 @@ type task =
   | Consensus of { m : int }
   | Kset of { m : int; k : int }
   | Candidate of { name : string }
+  | Vc of { n : int }
+  | Bcast of { n : int }
 
-type question = Solve | Valence
+type question = Solve | Valence | Live
 
 type query =
   | Verify of {
@@ -33,6 +35,7 @@ type query =
       inputs : int list;
       max_states : int;
       reduce : reduce_mode;
+      substrate : string;
     }
   | Fuzz of { target : string; trials : int; procs : int; ops : int; seed : int }
 
@@ -67,10 +70,23 @@ type fuzz_payload = {
   f_resumed_from : int;
 }
 
+type live_payload = {
+  lv_live : bool;
+  lv_nodes : int;
+  lv_sccs : int;
+  lv_fair : int;
+  lv_truncated : bool;  (** the [max_states] quota fired (key-determined) *)
+  lv_partial : bool;  (** a budget cut the build (not key-determined) *)
+  lv_prefix : int;  (** shrunk lasso prefix length; 0 when live *)
+  lv_cycle : int;  (** shrunk lasso cycle length; 0 when live *)
+  lv_witness : string option;  (** the shrunk lasso rendered as traces *)
+}
+
 type result =
   | Verdict of verify_payload
   | Valences of valence_payload
   | Fuzz_report of fuzz_payload
+  | Liveness_report of live_payload
 
 (* --- canonical fingerprint --------------------------------------------- *)
 
@@ -90,26 +106,54 @@ let task_label = function
   | Consensus { m } -> Fmt.str "cons:%d" m
   | Kset { m; k } -> Fmt.str "kset:%d:%d" m k
   | Candidate { name } -> "cand:" ^ name
+  | Vc { n } -> Fmt.str "vc:%d" n
+  | Bcast { n } -> Fmt.str "bcast:%d" n
 
-let question_label = function Solve -> "solve" | Valence -> "valence"
+let question_label = function
+  | Solve -> "solve"
+  | Valence -> "valence"
+  | Live -> "live"
+
+(* Substrate names as plain query data; the record is rebuilt on the
+   computing side.  "mp+byz:f" carries its Byzantine budget because the
+   network object's delivery guard depends on it — same graph-changing
+   status as the reduction mode. *)
+let substrate_of_name = function
+  | "shm" -> Some (Substrate.shm, 0)
+  | "mp" -> Some (Substrate.mp (), 0)
+  | name -> (
+    match String.split_on_char ':' name with
+    | [ "mp+byz"; f ] -> (
+      match int_of_string_opt f with
+      | Some f when f >= 0 -> Some (Substrate.mp ~byz:f (), f)
+      | _ -> None)
+    | _ -> None)
+
+let mp_task = function Vc _ | Bcast _ -> true | _ -> false
+
+let default_substrate task = if mp_task task then "mp" else "shm"
 
 (* The canonical preimage pins EVERYTHING the answer is a function of:
-   task, question, the full input vector, the state quota and the
-   reduction mode.  The original `lbsa fingerprint` ignored the last
-   three, so two semantically different queries could share a key; the
-   serve cache would then return one query's verdict for the other.
-   Budget-side knobs (deadline, domains, worker count) stay out — they
-   can change how long an answer takes, never what it is. *)
+   task, question, the full input vector, the state quota, the
+   reduction mode and the execution substrate.  The original `lbsa
+   fingerprint` ignored everything after the inputs, so two
+   semantically different queries could share a key; the serve cache
+   would then return one query's verdict for the other.  /2 added the
+   substrate and the liveness question — a liveness answer and a safety
+   answer on the same task must never share a key, nor may the same
+   task under shm and mp fairness.  Budget-side knobs (deadline,
+   domains, worker count) stay out — they can change how long an answer
+   takes, never what it is. *)
 let canonical = function
   | Verify v ->
-    Fmt.str "lbsa-query/1 verify task=%s question=%s inputs=%s max_states=%d \
-             reduce=%s"
+    Fmt.str "lbsa-query/2 verify task=%s question=%s inputs=%s max_states=%d \
+             reduce=%s substrate=%s"
       (task_label v.task)
       (question_label v.question)
       (String.concat "," (List.map string_of_int v.inputs))
-      v.max_states (reduce_name v.reduce)
+      v.max_states (reduce_name v.reduce) v.substrate
   | Fuzz f ->
-    Fmt.str "lbsa-query/1 fuzz target=%s trials=%d procs=%d ops=%d seed=%d"
+    Fmt.str "lbsa-query/2 fuzz target=%s trials=%d procs=%d ops=%d seed=%d"
       f.target f.trials f.procs f.ops f.seed
 
 let key q = Fnv.to_hex (Fnv.string (canonical q))
@@ -153,7 +197,7 @@ let candidate name =
       (Fmt.str "unknown candidate %S; known: %s" name
          (String.concat ", " candidate_names))
 
-let instance = function
+let instance ?(byz = 0) = function
   | Dac { n } ->
     {
       machine = Dac_from_pac.machine ~n;
@@ -188,6 +232,28 @@ let instance = function
     (* No certified symmetry group for free-form candidates: [sym] is
        the identity quotient, [sym+sleep] still prunes commit steps. *)
     { machine; specs; procs; flavor; canon = Canon.identity; frozen = None }
+  | Vc { n } ->
+    (* Message-passing tasks: no certified symmetry group (the leader
+       breaks exchangeability), no frozen objects — both reductions are
+       identity quotients, so verdicts agree across --reduce modes by
+       construction. *)
+    {
+      machine = View_change.machine ~n;
+      specs = View_change.specs ~byz ~n ();
+      procs = n;
+      flavor = Check_consensus;
+      canon = Canon.identity;
+      frozen = None;
+    }
+  | Bcast { n } ->
+    {
+      machine = View_change.bcast_machine ~n;
+      specs = View_change.bcast_specs ~byz ~n ();
+      procs = n;
+      flavor = Check_consensus;
+      canon = Canon.identity;
+      frozen = None;
+    }
 
 let default_inputs = function
   | Dac { n } -> List.init n (fun pid -> if pid = 0 then 1 else 0)
@@ -196,6 +262,9 @@ let default_inputs = function
   | Candidate { name } ->
     let _, _, procs = candidate name in
     List.init procs (fun pid -> pid mod 2)
+  | Vc { n } | Bcast { n } ->
+    (* input-free protocols; the vector only fixes the arity *)
+    List.init n (fun _ -> 0)
 
 let reduction_for inst (mode : reduce_mode) : Graph.reduction =
   match mode with
@@ -227,7 +296,26 @@ let cacheable_outcome = function
 let compute ?(budget = Supervisor.Budget.unlimited) ?(start = 0) q : computed =
   match q with
   | Verify v -> (
-    let inst = instance v.task in
+    let substrate, byz =
+      match substrate_of_name v.substrate with
+      | Some s -> s
+      | None ->
+        invalid_arg
+          (Fmt.str "unknown substrate %S (try shm, mp, mp+byz:<f>)" v.substrate)
+    in
+    (* The substrate is not a free knob: message-passing tasks need the
+       network-fairness constraints (and build their network object from
+       the substrate's byz budget), shared-memory tasks mean nothing
+       under them. *)
+    if mp_task v.task && substrate.Substrate.sname = "shm" then
+      invalid_arg
+        (Fmt.str "task %s is message-passing; use --substrate mp"
+           (task_label v.task));
+    if (not (mp_task v.task)) && substrate.Substrate.sname <> "shm" then
+      invalid_arg
+        (Fmt.str "task %s is shared-memory; use --substrate shm"
+           (task_label v.task));
+    let inst = instance ~byz v.task in
     if List.length v.inputs <> inst.procs then
       invalid_arg
         (Fmt.str "task %s expects %d inputs, got %d" (task_label v.task)
@@ -241,13 +329,13 @@ let compute ?(budget = Supervisor.Budget.unlimited) ?(start = 0) q : computed =
         match inst.flavor with
         | Check_dac ->
           Solvability.check_dac ~max_states:v.max_states ~domains:1 ~budget
-            ~reduce ~machine ~specs ~inputs ()
+            ~substrate ~reduce ~machine ~specs ~inputs ()
         | Check_consensus ->
           Solvability.check_consensus ~max_states:v.max_states ~domains:1
-            ~budget ~reduce ~machine ~specs ~inputs ()
+            ~budget ~substrate ~reduce ~machine ~specs ~inputs ()
         | Check_kset k ->
           Solvability.check_kset ~max_states:v.max_states ~domains:1 ~budget
-            ~reduce ~machine ~specs ~k ~inputs ()
+            ~substrate ~reduce ~machine ~specs ~k ~inputs ()
       in
       {
         res =
@@ -266,8 +354,8 @@ let compute ?(budget = Supervisor.Budget.unlimited) ?(start = 0) q : computed =
       }
     | Valence ->
       let graph =
-        Graph.build ~max_states:v.max_states ~domains:1 ~budget ~reduce
-          ~machine ~specs ~inputs ()
+        Graph.build ~max_states:v.max_states ~domains:1 ~budget ~substrate
+          ~reduce ~machine ~specs ~inputs ()
       in
       let a = Lbsa_modelcheck.Valence.analyze graph in
       let s = Lbsa_modelcheck.Valence.summarize a in
@@ -288,6 +376,51 @@ let compute ?(budget = Supervisor.Budget.unlimited) ?(start = 0) q : computed =
                 Fmt.str "%a" Lbsa_modelcheck.Valence.pp_classification
                   (Lbsa_modelcheck.Valence.classify a graph.Graph.initial);
             };
+        cacheable = cacheable_outcome graph.Graph.stop;
+        fuzz_prefix = None;
+      }
+    | Live ->
+      let graph =
+        Graph.build ~max_states:v.max_states ~domains:1 ~budget ~substrate
+          ~reduce ~machine ~specs ~inputs ()
+      in
+      let report = Liveness.analyze ~machine ~specs ~substrate graph in
+      let truncated = graph.Graph.stop = Supervisor.Truncated in
+      let partial =
+        graph.Graph.truncated && graph.Graph.stop <> Supervisor.Truncated
+      in
+      let payload =
+        match report.Liveness.verdict with
+        | Liveness.Live ->
+          {
+            lv_live = true;
+            lv_nodes = Graph.n_nodes graph;
+            lv_sccs = report.Liveness.sccs;
+            lv_fair = 0;
+            lv_truncated = truncated;
+            lv_partial = partial;
+            lv_prefix = 0;
+            lv_cycle = 0;
+            lv_witness = None;
+          }
+        | Liveness.Livelock w ->
+          let w, _steps =
+            Lbsa_fuzz.Lasso.shrink ~machine ~specs ~substrate ~graph w
+          in
+          {
+            lv_live = false;
+            lv_nodes = Graph.n_nodes graph;
+            lv_sccs = report.Liveness.sccs;
+            lv_fair = report.Liveness.fair_sccs;
+            lv_truncated = truncated;
+            lv_partial = partial;
+            lv_prefix = List.length w.Liveness.w_prefix;
+            lv_cycle = List.length w.Liveness.w_cycle;
+            lv_witness = Some (Fmt.str "%a" Liveness.pp_witness w);
+          }
+      in
+      {
+        res = Liveness_report payload;
         cacheable = cacheable_outcome graph.Graph.stop;
         fuzz_prefix = None;
       })
@@ -362,10 +495,32 @@ let render = function
       (match f.f_failure with
       | None -> if f.f_partial then "clean so far (partial)" else "clean"
       | Some s -> "FAILED at " ^ s)
+  | Liveness_report l ->
+    let qualifier =
+      if l.lv_truncated then " [TRUNCATED]"
+      else if l.lv_partial then " [PARTIAL]"
+      else ""
+    in
+    if l.lv_live then
+      Fmt.str "LIVE (%d configurations, %d SCCs, no fair cycle)%s" l.lv_nodes
+        l.lv_sccs qualifier
+    else
+      Fmt.str
+        "LIVELOCK (%d configurations, %d fair SCC%s of %d): lasso prefix=%d \
+         cycle=%d%s"
+        l.lv_nodes l.lv_fair
+        (if l.lv_fair = 1 then "" else "s")
+        l.lv_sccs l.lv_prefix l.lv_cycle qualifier
 
-(* The CLI-wide exit-code policy applied to a service result. *)
+(* The CLI-wide exit-code policy applied to a service result.  A
+   livelock is a definitive failure (1); a Live verdict on a truncated
+   or budget-cut graph is only a partial answer (2) — a fair cycle
+   could hide past the cut — while a livelock found in a prefix is
+   already definitive. *)
 let exit_code = function
   | Verdict v -> if v.v_partial then 2 else if v.v_ok then 0 else 1
   | Valences l -> if l.l_truncated || l.l_partial then 2 else 0
   | Fuzz_report f ->
     if f.f_failure <> None then 1 else if f.f_partial then 2 else 0
+  | Liveness_report l ->
+    if not l.lv_live then 1 else if l.lv_truncated || l.lv_partial then 2 else 0

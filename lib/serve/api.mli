@@ -23,8 +23,10 @@ type task =
   | Consensus of { m : int }
   | Kset of { m : int; k : int }
   | Candidate of { name : string }
+  | Vc of { n : int }  (** message-passing view change (livelock fixture) *)
+  | Bcast of { n : int }  (** message-passing broadcast (live control) *)
 
-type question = Solve | Valence
+type question = Solve | Valence | Live
 
 type query =
   | Verify of {
@@ -33,6 +35,9 @@ type query =
       inputs : int list;  (** full input vector, one int per process *)
       max_states : int;
       reduce : reduce_mode;
+      substrate : string;
+          (** execution-substrate name ("shm", "mp", "mp+byz:<f>");
+              graph-changing, hence part of the canonical preimage *)
     }
   | Fuzz of { target : string; trials : int; procs : int; ops : int; seed : int }
       (** a spec-level fuzz campaign against a registry target
@@ -70,10 +75,25 @@ type fuzz_payload = {
           {!render} excludes it, so resumed output equals cold output *)
 }
 
+type live_payload = {
+  lv_live : bool;
+  lv_nodes : int;
+  lv_sccs : int;
+  lv_fair : int;  (** fair (livelock-supporting) SCC count *)
+  lv_truncated : bool;  (** the [max_states] quota fired (key-determined) *)
+  lv_partial : bool;  (** a budget cut the build (not key-determined) *)
+  lv_prefix : int;  (** shrunk lasso prefix length; 0 when live *)
+  lv_cycle : int;  (** shrunk lasso cycle length; 0 when live *)
+  lv_witness : string option;
+      (** the shrunk lasso rendered as execution traces; deterministic
+          for a given query (single-domain build, greedy shrink) *)
+}
+
 type result =
   | Verdict of verify_payload
   | Valences of valence_payload
   | Fuzz_report of fuzz_payload
+  | Liveness_report of live_payload
 
 (** {2 Canonical fingerprint} *)
 
@@ -93,6 +113,17 @@ val task_label : task -> string
 val question_label : question -> string
 val candidate_names : string list
 val default_inputs : task -> int list
+
+val substrate_of_name : string -> (Substrate.t * int) option
+(** The substrate record plus its Byzantine budget ("shm" and "mp"
+    carry 0); [None] on unknown syntax. *)
+
+val mp_task : task -> bool
+(** Whether the task runs on the message-passing substrate ({!Vc},
+    {!Bcast}).  [compute] rejects mp tasks under "shm" and vice versa. *)
+
+val default_substrate : task -> string
+(** "mp" for message-passing tasks, "shm" otherwise. *)
 
 (** {2 Cold compute} *)
 

@@ -441,6 +441,36 @@ let test_prng_substream_negative_index () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "negative index should be rejected"
 
+(* Property companion to the halted-pid fixes above: a [starving]
+   scheduler only ever returns a runnable pid — a crashed (non-runnable)
+   process is never scheduled — and it yields its victim only when the
+   victim is the sole runnable process.  Holds through the wrapper for
+   any inner scheduler that picks from the runnable set it is handed,
+   because [starving] filters the victim out before delegating. *)
+let prop_starving_never_schedules_crashed =
+  QCheck.Test.make ~count:1000
+    ~name:"starving never schedules a crashed pid"
+    QCheck.(triple (int_range 2 5) (int_range 0 31) small_nat)
+    (fun (n, crash_mask, seed) ->
+      let victim = seed mod n in
+      let runnable =
+        List.filter
+          (fun pid -> crash_mask land (1 lsl pid) = 0)
+          (List.init n Fun.id)
+      in
+      let lawful sched =
+        let s = Scheduler.starving victim sched in
+        List.for_all
+          (fun step ->
+            match s.Scheduler.next ~step ~runnable with
+            | None -> true
+            | Some pid ->
+              List.mem pid runnable
+              && (pid <> victim || runnable = [ victim ]))
+          (List.init 20 Fun.id)
+      in
+      lawful (Scheduler.round_robin ~n) && lawful (Scheduler.random ~seed))
+
 let () =
   Alcotest.run "runtime"
     [
@@ -469,6 +499,7 @@ let () =
             test_nondet_resolution;
           Alcotest.test_case "custom adversary strategy" `Quick
             test_strategy_nondet;
+          QCheck_alcotest.to_alcotest prop_starving_never_schedules_crashed;
         ] );
       ( "fault",
         [

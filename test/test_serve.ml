@@ -84,11 +84,17 @@ let ask ?deadline_s c q =
 
 let max_states = 200_000
 
-let verify ?(question = Serve_api.Solve) ?(reduce = `None) ?inputs task =
+let verify ?(question = Serve_api.Solve) ?(reduce = `None) ?substrate ?inputs
+    task =
   let inputs =
     match inputs with Some l -> l | None -> Serve_api.default_inputs task
   in
-  Serve_api.Verify { task; question; inputs; max_states; reduce }
+  let substrate =
+    match substrate with
+    | Some s -> s
+    | None -> Serve_api.default_substrate task
+  in
+  Serve_api.Verify { task; question; inputs; max_states; reduce; substrate }
 
 (* The golden pin: the canonical preimage format and its digest are the
    persistent store's on-disk address space — drift invalidates (or
@@ -98,10 +104,10 @@ let test_canonical_golden () =
   let q = verify ~reduce:`Sym (Serve_api.Dac { n = 3 }) in
   Alcotest.(check string)
     "canonical preimage"
-    "lbsa-query/1 verify task=dac:3 question=solve inputs=1,0,0 \
-     max_states=200000 reduce=sym"
+    "lbsa-query/2 verify task=dac:3 question=solve inputs=1,0,0 \
+     max_states=200000 reduce=sym substrate=shm"
     (Serve_api.canonical q);
-  Alcotest.(check string) "digest" "10cfd66cc818ef1c" (Serve_api.key q)
+  Alcotest.(check string) "digest" "1aee6902e752d54b" (Serve_api.key q)
 
 (* Regression for the fingerprint defect this PR fixes: every
    key-determining parameter must separate the canonical preimage.  The
@@ -133,8 +139,20 @@ let test_key_separation () =
          inputs = Serve_api.default_inputs dac;
          max_states = max_states + 1;
          reduce = `None;
+         substrate = "shm";
        });
   distinct "task" base (verify (Serve_api.Consensus { m = 2 }));
+  (* the /2 additions: substrate and the liveness question are
+     graph-changing, so they must separate keys too *)
+  let vc = Serve_api.Vc { n = 2 } in
+  distinct "substrate shm/mp" (verify ~substrate:"shm" vc)
+    (verify ~substrate:"mp" vc);
+  distinct "substrate mp/mp+byz"
+    (verify ~substrate:"mp" vc)
+    (verify ~substrate:"mp+byz:1" vc);
+  distinct "question solve/live" (verify vc)
+    (verify ~question:Serve_api.Live vc);
+  distinct "task vc/bcast" (verify vc) (verify (Serve_api.Bcast { n = 2 }));
   distinct "verify/fuzz"
     base
     (Serve_api.Fuzz { target = "queue"; trials = 1; procs = 2; ops = 2; seed = 1 })
@@ -287,6 +305,7 @@ let test_truncated_explore_roundtrips_as_summary () =
         inputs = Serve_api.default_inputs task;
         max_states = 40;  (* dac:3 has 190 reachable states: quota fires *)
         reduce = `None;
+        substrate = "shm";
       }
   in
   let computed = Serve_api.compute q in
@@ -412,6 +431,77 @@ let test_cache_identity_matrix () =
         "restart: all answers from the store" n stats2.Serve_wire.st_hits_store;
       Alcotest.(check int)
         "restart: store pristine" 0 stats2.Serve_wire.st_corrupt)
+
+(* Liveness answers cache like safety answers: cold, warm and
+   cross-restart renders byte-identical — including the livelock case,
+   whose render carries the fair-SCC counts and shrunk-lasso shape. *)
+let test_live_cache_identity () =
+  let qs =
+    [
+      verify ~question:Serve_api.Live (Serve_api.Vc { n = 2 });
+      verify ~question:Serve_api.Live (Serve_api.Bcast { n = 2 });
+    ]
+  in
+  let reference =
+    List.map (fun q -> (q, Serve_api.render (Serve_api.compute q).res)) qs
+  in
+  (match reference with
+  | (_, vc_render) :: (_, bcast_render) :: _ ->
+    Alcotest.(check bool)
+      "vc:2 is a livelock" true
+      (contains_sub ~sub:"LIVELOCK" vc_render);
+    Alcotest.(check bool)
+      "bcast:2 is live" true
+      (contains_sub ~sub:"LIVE" bcast_render
+      && not (contains_sub ~sub:"LIVELOCK" bcast_render))
+  | _ -> Alcotest.fail "reference renders missing");
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let (), _ =
+        with_daemon ~dir (fun ~socket ->
+            let c = connect ~socket in
+            Fun.protect
+              ~finally:(fun () -> Serve_client.close c)
+              (fun () ->
+                List.iter
+                  (fun (q, want) ->
+                    let r1, cached1 = ask c q in
+                    Alcotest.(check bool)
+                      ("cold is computed: " ^ Serve_api.canonical q)
+                      false cached1;
+                    Alcotest.(check string)
+                      ("cold = reference: " ^ Serve_api.canonical q)
+                      want (Serve_api.render r1);
+                    let r2, cached2 = ask c q in
+                    Alcotest.(check bool)
+                      ("warm is cached: " ^ Serve_api.canonical q)
+                      true cached2;
+                    Alcotest.(check string)
+                      ("warm = reference: " ^ Serve_api.canonical q)
+                      want (Serve_api.render r2))
+                  reference))
+      in
+      let (), stats2 =
+        with_daemon ~dir (fun ~socket ->
+            let c = connect ~socket in
+            Fun.protect
+              ~finally:(fun () -> Serve_client.close c)
+              (fun () ->
+                List.iter
+                  (fun (q, want) ->
+                    let r, cached = ask c q in
+                    Alcotest.(check bool)
+                      ("restart hit: " ^ Serve_api.canonical q)
+                      true cached;
+                    Alcotest.(check string)
+                      ("restart = reference: " ^ Serve_api.canonical q)
+                      want (Serve_api.render r))
+                  reference))
+      in
+      Alcotest.(check int)
+        "restart: no recomputation" 0 stats2.Serve_wire.st_computed)
 
 (* Corrupt the store between restarts: the daemon must detect, log,
    recompute, answer identically, and heal the entry on disk. *)
@@ -622,6 +712,7 @@ let test_ping_stats_and_bad_query () =
                           inputs = [ 0; 1 ];
                           max_states;
                           reduce = `None;
+                          substrate = "shm";
                         })
                  with
                 | Error msg ->
@@ -764,6 +855,7 @@ let test_cli_fingerprint_pins_parameters () =
            inputs = [ 1; 0; 0 ];
            max_states = Lbsa_modelcheck.Graph.default_max_states;
            reduce = `Sym;
+           substrate = "shm";
          })
   in
   Alcotest.(check bool)
@@ -802,6 +894,8 @@ let () =
         [
           Alcotest.test_case "registry x reduce x question matrix" `Slow
             test_cache_identity_matrix;
+          Alcotest.test_case "liveness answers cache byte-identically" `Quick
+            test_live_cache_identity;
           Alcotest.test_case "daemon recovers from corrupt store" `Quick
             test_daemon_recovers_from_corrupt_store;
         ] );

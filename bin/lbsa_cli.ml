@@ -276,6 +276,27 @@ let arm_chaos = function
   | None -> ()
   | Some seed -> Supervisor.Chaos.arm ~seed ()
 
+let io_chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "io-chaos-seed" ] ~docv:"SEED"
+        ~doc:
+          "I/O self-test: deterministically inject syscall faults (EINTR, \
+           short reads/writes, ENOSPC, EIO) into the persistence and wire \
+           layers per a pure (seed, call-site, call-index) plan.  Transient \
+           faults are absorbed by the resilient-I/O retry loops; hard \
+           faults surface as the same clean refusals a real device error \
+           would.  Answers must never change.  Injection counters are \
+           reported on stderr at exit.")
+
+let arm_io_chaos = function
+  | None -> ()
+  | Some seed ->
+    Lbsa.Rio.arm ~seed ();
+    at_exit (fun () ->
+        Fmt.epr "io-chaos: %a@." Lbsa.Rio.pp_counters (Lbsa.Rio.counters ()))
+
 (* Every supervised command: arm chaos if asked, route SIGINT to a
    cancellation token (first ^C = graceful stop + checkpoint, second =
    exit 130), fold the deadline in. *)
@@ -535,7 +556,8 @@ let check_cmd =
    an interrupted-then-resumed run prints byte-for-byte what the
    uninterrupted run prints. *)
 let solve task n m k max_states stats rmode d shards spill_dir spill_threshold
-    deadline chaos ckpt_file resume_file inputs_csv =
+    deadline chaos io_chaos ckpt_file resume_file inputs_csv =
+  arm_io_chaos io_chaos;
   let budget = mk_budget ?deadline ~chaos () in
   let domains = if d <= 0 then None else Some d in
   let spill = mk_spill spill_dir spill_threshold in
@@ -621,6 +643,13 @@ let solve task n m k max_states stats rmode d shards spill_dir spill_threshold
          file is coherent, this build just refuses to read it. *)
       Fmt.epr "cannot resume: %s@." msg;
       2
+    | exception Checkpoint.Corrupt msg ->
+      (* The file is a current-version checkpoint with a damaged body (a
+         torn write this format is designed to make impossible, bit rot,
+         or an injected fault).  Refuse like a partial outcome: the
+         exploration is resumable only by re-running it. *)
+      Fmt.epr "cannot resume: corrupt checkpoint: %s@." msg;
+      2
     | exception Failure msg ->
       Fmt.epr "cannot resume: %s@." msg;
       3
@@ -691,8 +720,8 @@ let solve_cmd =
     Term.(
       const solve $ task $ n_arg $ m_arg $ k_arg $ max_states_arg $ stats_arg
       $ reduce_arg $ domains $ shards_arg $ spill_dir_arg
-      $ spill_threshold_arg $ deadline_arg $ chaos_arg $ checkpoint_arg
-      $ resume_arg $ inputs)
+      $ spill_threshold_arg $ deadline_arg $ chaos_arg $ io_chaos_arg
+      $ checkpoint_arg $ resume_arg $ inputs)
 
 (* --- valence ------------------------------------------------------------ *)
 
@@ -1514,13 +1543,15 @@ let wait_arg =
           "Keep retrying the connection for up to SEC seconds while the \
            daemon's socket is absent (start-then-query races in scripts).")
 
-let serve socket store workers default_deadline quiet =
+let serve socket store workers default_deadline store_probe io_chaos quiet =
+  arm_io_chaos io_chaos;
   let cfg =
     {
       Serve_daemon.socket;
       store_dir = store;
       workers;
       default_deadline_s = default_deadline;
+      store_probe_s = store_probe;
       log = not quiet;
     }
   in
@@ -1549,6 +1580,17 @@ let serve_cmd =
              a cut query reports a partial result and (for fuzz) persists \
              its completed prefix.")
   in
+  let store_probe =
+    Arg.(
+      value
+      & opt float 5.
+      & info [ "store-probe" ] ~docv:"SEC"
+          ~doc:
+            "While the store is degraded (ENOSPC, EROFS, persistent I/O \
+             errors) the daemon keeps answering from computation alone and \
+             re-probes the store every SEC seconds, re-enabling persistence \
+             once a probe write commits.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"No chatter on stderr.")
   in
@@ -1557,10 +1599,12 @@ let serve_cmd =
        ~doc:
          "Run the persistent verification daemon: a worker pool answering \
           solvability/valence/fuzz queries over a unix socket, memoizing \
-          every key-determined answer in a content-addressed store.  \
-          Blocks until `lbsa shutdown`; prints the final counters.")
+          every key-determined answer in a content-addressed store.  A \
+          failing store degrades the daemon to compute-only answers (with \
+          periodic re-probing), never to failed queries.  Blocks until \
+          `lbsa shutdown`; prints the final counters.")
     Term.(const serve $ socket_arg $ store_arg $ workers $ default_deadline
-          $ quiet)
+          $ store_probe $ io_chaos_arg $ quiet)
 
 let task_conv =
   let parse s =

@@ -24,6 +24,7 @@
 
 module Prng = Lbsa_util.Prng
 module Listx = Lbsa_util.Listx
+module Rio = Lbsa_util.Rio
 
 module Value = Lbsa_spec.Value
 module Op = Lbsa_spec.Op
@@ -42,6 +43,7 @@ module Classic = Lbsa_objects.Classic
 module Registry = Lbsa_objects.Registry
 
 module Supervisor = Lbsa_runtime.Supervisor
+module Crashdrive = Lbsa_runtime.Crashdrive
 module Machine = Lbsa_runtime.Machine
 module Config = Lbsa_runtime.Config
 module Scheduler = Lbsa_runtime.Scheduler

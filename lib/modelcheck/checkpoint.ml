@@ -105,16 +105,27 @@ let magic_family = "LBSA-CHECKPOINT/"
 
 exception Version_mismatch of string
 
+exception Corrupt of string
+(* The file carries the checkpoint magic but its body fails validation
+   (truncation, checksum, chunk order, undecodable section) or keeps
+   hitting I/O errors.  Distinct from the [Failure] of
+   not-a-checkpoint-at-all: a corrupt checkpoint is a damaged scratch
+   artifact — CLIs refuse it with the partial exit code 2 (re-run the
+   exploration), not the usage code. *)
+
 (* Array chunk size for the streamed node/edge sections. *)
 let chunk_len = 65_536
 
+(* The save streams through a {!Lbsa_util.Rio} atomic commit: tmp file,
+   fsync, rename, directory fsync.  Without the fsyncs, tmp+rename only
+   protects against a *process* crash — a power loss shortly after
+   rename could still leave the new name pointing at unwritten data.
+   The crash points Rio exposes under LBSA_IO_CRASH=checkpoint.save:<n>
+   are what the kill-mid-checkpoint harness drives. *)
 let save ~file t =
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
+  Lbsa_util.Rio.with_atomic_file ~site:"checkpoint.save" ~path:file (fun w ->
+      let sink = Lbsa_util.Rio.write_string w in
+      sink magic;
       let meta =
         {
           m_label = t.label;
@@ -132,21 +143,20 @@ let save ~file t =
           m_n_edges = Array.length t.edges;
         }
       in
-      Segstore.Segio.write_section oc ~tag:"CKMETA"
+      Segstore.Segio.write_section_sink sink ~tag:"CKMETA"
         (Marshal.to_string meta []);
       let stream tag arr =
         let n = Array.length arr in
         let lo = ref 0 in
         while !lo < n do
           let len = min chunk_len (n - !lo) in
-          Segstore.Segio.write_section oc ~tag
+          Segstore.Segio.write_section_sink sink ~tag
             (Marshal.to_string (!lo, Array.sub arr !lo len) []);
           lo := !lo + len
         done
       in
       stream "CKNODES" t.nodes;
-      stream "CKEDGES" t.edges);
-  Sys.rename tmp file
+      stream "CKEDGES" t.edges)
 
 let load ~file =
   let ic =
@@ -179,10 +189,31 @@ let load ~file =
           failwith
             (Fmt.str "Checkpoint.load: %s is not a version-4 checkpoint file"
                file);
-      let defect msg = failwith (Fmt.str "Checkpoint.load: %s: %s" file msg) in
-      let meta =
+      (* Magic validated: any defect from here on is a *corrupt
+         checkpoint*, reported with the typed [Corrupt] so CLIs can
+         refuse it cleanly (exit 2) instead of dying on an untyped
+         [Failure] from Segio or [Marshal]. *)
+      let defect msg =
+        raise (Corrupt (Fmt.str "Checkpoint.load: %s: %s" file msg))
+      in
+      (try Lbsa_util.Rio.inject_read_fault ~site:"checkpoint.load"
+       with Unix.Unix_error (e, _, _) -> defect (Unix.error_message e));
+      let read_section ic =
         match Segstore.Segio.read_section ic with
-        | Some ("CKMETA", payload) -> (Marshal.from_string payload 0 : meta)
+        | s -> s
+        | exception Failure msg -> defect msg
+        | exception (Sys_error msg) -> defect msg
+        | exception Unix.Unix_error (e, _, _) ->
+          defect (Unix.error_message e)
+      in
+      let unmarshal : type a. string -> a = fun payload ->
+        try Marshal.from_string payload 0
+        with Failure msg | Invalid_argument msg ->
+          defect (Fmt.str "undecodable section: %s" msg)
+      in
+      let meta =
+        match read_section ic with
+        | Some ("CKMETA", payload) -> (unmarshal payload : meta)
         | Some (tag, _) -> defect (Fmt.str "expected CKMETA, got %s" tag)
         | None -> defect "truncated (no CKMETA)"
       in
@@ -198,9 +229,9 @@ let load ~file =
       let fill (type a) tag (arr : a array) total =
         let got = ref 0 in
         while !got < total do
-          match Segstore.Segio.read_section ic with
+          match read_section ic with
           | Some (tag', payload) when String.equal tag' tag ->
-            let lo, chunk = (Marshal.from_string payload 0 : int * a array) in
+            let lo, chunk = (unmarshal payload : int * a array) in
             if lo <> !got || lo + Array.length chunk > total then
               defect (Fmt.str "%s chunk out of order" tag);
             Array.blit chunk 0 arr lo (Array.length chunk);

@@ -23,6 +23,14 @@ exception Version_mismatch of string
     reduce-mode mismatch): the file is coherent, only this build cannot
     use it. *)
 
+exception Corrupt of string
+(** The file carries the current checkpoint magic but its body fails
+    validation — truncation, a framing or checksum defect, a chunk out
+    of order, an undecodable section — or keeps hitting I/O errors.  A
+    corrupt checkpoint is a damaged scratch artifact: CLIs refuse it
+    with exit code 2 (re-run the exploration), never resume from it,
+    and never crash in [Marshal] on it. *)
+
 val label : t -> string
 (** Free-form run parameters recorded at freeze time (protocol, sizes,
     max_states…); resuming code should compare it against the current
@@ -44,12 +52,15 @@ val freeze : label:string -> Graph.suspended -> t
 val thaw : t -> Graph.suspended
 
 val save : file:string -> t -> unit
-(** Atomic-ish write: versioned magic header, then framed checksummed
-    sections (shared with {!Segstore.Segio}) — one CKMETA section and
-    the node/edge arrays streamed in bounded chunks.  Overwrites
-    [file]. *)
+(** Atomic, durable write through {!Lbsa_util.Rio.with_atomic_file}:
+    versioned magic header, then framed checksummed sections (shared
+    with {!Segstore.Segio}) — one CKMETA section and the node/edge
+    arrays streamed in bounded chunks — committed tmp + fsync + rename
+    + directory fsync.  A crash at any point leaves either the previous
+    [file] or the new one, never a torn mix.  Overwrites [file]. *)
 
 val load : file:string -> t
-(** Raises [Failure] on a missing/foreign/corrupt file, and
+(** Raises [Failure] on a missing or non-checkpoint file,
     {!Version_mismatch} on a checkpoint from another format version
-    (version 2 and older are refused, never migrated). *)
+    (older versions are refused, never migrated), and {!Corrupt} on a
+    current-version checkpoint whose body fails validation. *)

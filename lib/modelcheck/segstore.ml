@@ -22,15 +22,20 @@ module Segio = struct
     done;
     !n
 
-  let write_section oc ~tag payload =
+  (* Sink-based writer so sections can stream through an [out_channel]
+     or a {!Lbsa_util.Rio} atomic-commit writer alike. *)
+  let write_section_sink sink ~tag payload =
     if String.length tag > tag_len then invalid_arg "Segio.write_section: tag";
-    output_string oc tag;
-    output_string oc (String.make (tag_len - String.length tag) ' ');
+    sink tag;
+    sink (String.make (tag_len - String.length tag) ' ');
     let hdr = Buffer.create 16 in
     put_be hdr (String.length payload);
     put_be hdr (Lbsa_util.Fnv.string payload);
-    output_string oc (Buffer.contents hdr);
-    output_string oc payload
+    sink (Buffer.contents hdr);
+    sink payload
+
+  let write_section oc ~tag payload =
+    write_section_sink (output_string oc) ~tag payload
 
   let read_section ic =
     match really_input_string ic tag_len with
@@ -43,6 +48,11 @@ module Segio = struct
       let len = get_be hdr 0 in
       let sum = get_be hdr 8 in
       if len < 0 then failwith "Segio.read_section: negative length";
+      (* a corrupt length field must fail as a framing defect, not as an
+         attempt to allocate a flipped-bit-sized string: no section can
+         be longer than what is left of the file *)
+      if len > in_channel_length ic - pos_in ic then
+        failwith "Segio.read_section: length field exceeds file size";
       match really_input_string ic len with
       | exception End_of_file -> failwith "Segio.read_section: truncated payload"
       | payload ->
@@ -54,6 +64,14 @@ end
 (* --- the store ----------------------------------------------------------- *)
 
 let magic = "LBSA-SEG/1\n"
+
+exception Corrupt of string
+(* A spilled segment that fails validation on fault-in (bad magic,
+   framing, checksum, or undecodable payload), or keeps failing with
+   I/O errors after a retry.  Segments are a cache of data this run
+   already computed and dropped from RAM, so there is nothing to
+   recompute from — the typed refusal propagates to the supervisor /
+   CLI boundary (a clean partial exit), never an unmarshal crash. *)
 
 type seg = { lo : int; hi : int; elo : int; ehi : int; file : string }
 
@@ -70,6 +88,7 @@ type t = {
   mutable segs : seg array; (* sorted by lo; contiguous *)
   mutable bytes : int;
   mutable n_faults : int;
+  mutable n_corrupt : int;
   cache : loaded option array;
   mutable clock : int; (* next cache slot to evict *)
 }
@@ -78,6 +97,7 @@ let dir t = t.sdir
 let n_segments t = Array.length t.segs
 let spilled_bytes t = t.bytes
 let faults t = t.n_faults
+let corrupt_count t = t.n_corrupt
 
 let spilled_upto t =
   let n = Array.length t.segs in
@@ -111,6 +131,7 @@ let create ~dir =
     segs = [||];
     bytes = 0;
     n_faults = 0;
+    n_corrupt = 0;
     cache = Array.make cache_slots None;
     clock = 0;
   }
@@ -120,26 +141,26 @@ let write_segment t ~lo ~hi ~elo ~ehi ~configs ~edges =
   if hi - lo <> Array.length configs || ehi - elo <> Array.length edges then
     invalid_arg "Segstore.write_segment: range/payload mismatch";
   let file = Filename.concat t.sdir (Printf.sprintf "seg-%012d.seg" lo) in
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      Segio.write_section oc ~tag:"SEGMETA"
+  Lbsa_util.Rio.with_atomic_file ~site:"segstore.write" ~path:file (fun w ->
+      let sink = Lbsa_util.Rio.write_string w in
+      sink magic;
+      Segio.write_section_sink sink ~tag:"SEGMETA"
         (Marshal.to_string (lo, hi, elo, ehi) []);
-      Segio.write_section oc ~tag:"SEGNODES" (Marshal.to_string configs []);
-      Segio.write_section oc ~tag:"SEGEDGES" (Marshal.to_string edges []));
-  Sys.rename tmp file;
+      Segio.write_section_sink sink ~tag:"SEGNODES"
+        (Marshal.to_string configs []);
+      Segio.write_section_sink sink ~tag:"SEGEDGES"
+        (Marshal.to_string edges []));
   t.bytes <- t.bytes + (try (Unix.stat file).Unix.st_size with Unix.Unix_error _ -> 0);
   t.segs <- Array.append t.segs [| { lo; hi; elo; ehi; file } |]
 
-let load_seg t idx =
+(* One parse attempt.  Raises [Corrupt] for a validation defect (the
+   file's bytes are wrong — retrying cannot help), [Sys_error] /
+   [Unix_error] for a device-level failure (possibly transient). *)
+let read_seg_file t idx =
   let s = t.segs.(idx) in
-  let ic =
-    try open_in_bin s.file
-    with Sys_error e -> failwith (Fmt.str "Segstore: %s" e)
-  in
+  Lbsa_util.Rio.inject_read_fault ~site:"segstore.read";
+  let corrupt fmt = Fmt.kstr (fun m -> raise (Corrupt m)) fmt in
+  let ic = open_in_bin s.file in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
@@ -148,31 +169,66 @@ let load_seg t idx =
         with End_of_file -> ""
       in
       if not (String.equal header magic) then
-        failwith (Fmt.str "Segstore: %s is not a segment file" s.file);
+        corrupt "Segstore: %s is not a segment file" s.file;
       let expect tag =
         match Segio.read_section ic with
         | Some (t', payload) when String.equal t' tag -> payload
         | Some (t', _) ->
-          failwith (Fmt.str "Segstore: %s: expected %s, got %s" s.file tag t')
-        | None -> failwith (Fmt.str "Segstore: %s: truncated" s.file)
+          corrupt "Segstore: %s: expected %s, got %s" s.file tag t'
+        | None -> corrupt "Segstore: %s: truncated" s.file
+        | exception Failure msg -> corrupt "Segstore: %s: %s" s.file msg
+      in
+      let unmarshal : type a. string -> a = fun payload ->
+        (* the checksum already validated these bytes, but a format skew
+           from another build would still explode here — keep it typed *)
+        try Marshal.from_string payload 0
+        with Failure msg | Invalid_argument msg ->
+          corrupt "Segstore: %s: undecodable section: %s" s.file msg
       in
       let lo', hi', elo', ehi' =
-        (Marshal.from_string (expect "SEGMETA") 0 : int * int * int * int)
+        (unmarshal (expect "SEGMETA") : int * int * int * int)
       in
       if lo' <> s.lo || hi' <> s.hi || elo' <> s.elo || ehi' <> s.ehi then
-        failwith (Fmt.str "Segstore: %s: range mismatch" s.file);
-      let pconfigs =
-        (Marshal.from_string (expect "SEGNODES") 0 : Mirror.pconfig array)
-      in
-      let pedges =
-        (Marshal.from_string (expect "SEGEDGES") 0 : Mirror.pedge array)
-      in
-      t.n_faults <- t.n_faults + 1;
+        corrupt "Segstore: %s: range mismatch" s.file;
+      let pconfigs = (unmarshal (expect "SEGNODES") : Mirror.pconfig array) in
+      let pedges = (unmarshal (expect "SEGEDGES") : Mirror.pedge array) in
+      if Array.length pconfigs <> s.hi - s.lo
+         || Array.length pedges <> s.ehi - s.elo
+      then corrupt "Segstore: %s: payload/range mismatch" s.file;
       {
         l_seg = idx;
         l_configs = Array.map Mirror.thaw_config pconfigs;
         l_steps = Array.map Mirror.thaw_step pedges;
       })
+
+(* Fault-in with the recompute-or-refuse policy: a device error gets
+   one backed-off retry (transient EIO, injected or real); a validation
+   defect or a second device failure is counted and refused with the
+   typed [Corrupt] — never an unmarshal crash, never silently wrong
+   data (the per-section checksums decide). *)
+let load_seg t idx =
+  let refuse msg =
+    t.n_corrupt <- t.n_corrupt + 1;
+    raise (Corrupt msg)
+  in
+  let l =
+    match read_seg_file t idx with
+    | l -> l
+    | exception Corrupt msg -> refuse msg
+    | exception (Sys_error _ | Unix.Unix_error _ | End_of_file) -> (
+      Lbsa_util.Rio.sleep_backoff ~site:"segstore.read" ~attempt:0;
+      match read_seg_file t idx with
+      | l -> l
+      | exception Corrupt msg -> refuse msg
+      | exception Sys_error msg -> refuse (Fmt.str "Segstore: %s" msg)
+      | exception Unix.Unix_error (e, _, _) ->
+        refuse
+          (Fmt.str "Segstore: %s: %s" t.segs.(idx).file (Unix.error_message e))
+      | exception End_of_file ->
+        refuse (Fmt.str "Segstore: %s: truncated" t.segs.(idx).file))
+  in
+  t.n_faults <- t.n_faults + 1;
+  l
 
 let cached t idx =
   let rec find i =

@@ -28,9 +28,20 @@ module Segio : sig
   val write_section : out_channel -> tag:string -> string -> unit
   (** [tag] is at most 8 bytes; it is padded to exactly 8 on disk. *)
 
+  val write_section_sink : (string -> unit) -> tag:string -> string -> unit
+  (** Same framing through an arbitrary sink — used to stream sections
+      into a {!Lbsa_util.Rio} atomic-commit writer. *)
+
   val read_section : in_channel -> (string * string) option
   (** Returns the trimmed tag and the payload. *)
 end
+
+exception Corrupt of string
+(** A segment failed validation on fault-in (magic, framing, checksum,
+    undecodable payload, or repeated I/O errors).  Spilled segments are
+    a cache of data already evicted from RAM, so the store refuses with
+    this typed error — callers surface it as a clean partial outcome —
+    instead of crashing in [Marshal] or returning wrong data. *)
 
 type t
 
@@ -56,12 +67,13 @@ val write_segment :
 val node : t -> int -> Config.t
 (** [node t id] faults in the segment covering [id] (if not cached) and
     returns its re-interned configuration.  Raises [Invalid_argument]
-    if no segment covers [id]. *)
+    if no segment covers [id]; raises {!Corrupt} (after one backed-off
+    retry for device-level errors) if the segment fails validation. *)
 
 val step : t -> int -> int * Config.event * int
 (** [step t i] returns the [(pid, event, target)] of global edge index
     [i], faulting in the covering segment.  Raises [Invalid_argument]
-    if no segment covers [i]. *)
+    if no segment covers [i]; raises {!Corrupt} like {!node}. *)
 
 val spilled_upto : t -> int
 (** One past the highest spilled node id (0 when empty). *)
@@ -73,6 +85,9 @@ val spilled_bytes : t -> int
 
 val faults : t -> int
 (** Segment loads from disk (cache misses), cumulative. *)
+
+val corrupt_count : t -> int
+(** Fault-ins refused as {!Corrupt}, cumulative. *)
 
 val remove_all : t -> unit
 (** Deletes every segment file this store wrote and removes the

@@ -7,8 +7,16 @@
 type t = { fd : Unix.file_descr; socket : string }
 
 let connect ?(wait_s = 0.) ~socket () =
+  (* a daemon that dies mid-exchange must surface as [Error], not kill
+     this process with SIGPIPE on the next write *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let deadline = Unix.gettimeofday () +. wait_s in
-  let rec attempt () =
+  (* Jittered exponential backoff between attempts (deterministic, see
+     {!Lbsa_util.Rio.backoff_s}): many clients started together against
+     a slow-to-bind daemon decorrelate instead of stampeding the socket
+     in lockstep every 50 ms. *)
+  let rec attempt n =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | () -> Ok { fd; socket }
@@ -17,8 +25,8 @@ let connect ?(wait_s = 0.) ~socket () =
           ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN), _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       if Unix.gettimeofday () < deadline then begin
-        Unix.sleepf 0.05;
-        attempt ()
+        Lbsa_util.Rio.sleep_backoff ~site:"client.connect" ~attempt:n;
+        attempt (n + 1)
       end
       else
         Error
@@ -30,7 +38,7 @@ let connect ?(wait_s = 0.) ~socket () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Fmt.str "connect %s: %s" socket (Unix.error_message e))
   in
-  attempt ()
+  attempt 0
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

@@ -9,7 +9,11 @@ type t
 val connect : ?wait_s:float -> socket:string -> unit -> (t, string) result
 (** Connect to the daemon's socket, retrying for up to [wait_s] seconds
     (default 0: a single attempt) while the socket is absent or refusing
-    — the start-the-daemon-then-query race in scripts and CI. *)
+    — the start-the-daemon-then-query race in scripts and CI.  Retries
+    use jittered exponential backoff ({!Lbsa_util.Rio.backoff_s}), so
+    concurrent waiting clients decorrelate.  Also ignores SIGPIPE for
+    the process: a daemon dying mid-exchange must come back as an
+    [Error], not a signal death. *)
 
 val close : t -> unit
 

@@ -22,6 +22,7 @@ type config = {
   store_dir : string;
   workers : int;
   default_deadline_s : float option;  (** per-query cap unless the client sets one *)
+  store_probe_s : float;  (** degraded-mode re-probe interval *)
   log : bool;
 }
 
@@ -67,6 +68,9 @@ type state = {
   wake_r : Unix.file_descr;
   token : Supervisor.token;
   mutable stats : Wire.stats;
+  mutable degraded : bool;  (* store unusable: serve from memo + compute *)
+  mutable next_probe : float;  (* when degraded: next re-probe time *)
+  mutable consec_corrupt : int;  (* corrupt store reads since last clean one *)
   mutable draining : bool;
   mutable shutdown_fds : Unix.file_descr list;  (* reply after drain *)
   mutable clients : Unix.file_descr list;
@@ -163,6 +167,73 @@ let reply_result st fd ~cached ~t0 res =
   if cached then bump_hot st dt else bump_cold st dt;
   ignore (safe_send_response fd (Wire.Result { r = res; cached; wall_us = dt }))
 
+(* -- graceful degradation ------------------------------------------- *)
+
+(* When the store turns hostile — ENOSPC/EROFS/EIO on a put or get, or
+   a storm of consecutive corrupt entries (a directory that keeps
+   handing back garbage) — the daemon flips to compute-only mode: the
+   memo table and the worker pool still answer every query, the store
+   is simply skipped.  [st_degraded] counts every store operation
+   failed or skipped this way.  A periodic probe (a real commit through
+   the put path) re-arms the store once the device recovers. *)
+
+let corrupt_storm_threshold = 5
+
+let bump_degraded st =
+  st.stats <-
+    { st.stats with Wire.st_degraded = st.stats.Wire.st_degraded + 1 }
+
+let enter_degraded st ~reason =
+  bump_degraded st;
+  if not st.degraded then begin
+    st.degraded <- true;
+    st.next_probe <- now () +. st.cfg.store_probe_s;
+    logf st "store degraded (%s): serving compute-only; re-probing every %gs"
+      reason st.cfg.store_probe_s
+  end
+
+(* While degraded, each store access first checks whether the probe
+   window elapsed; a successful probe re-arms immediately. *)
+let maybe_reprobe st =
+  if st.degraded && now () >= st.next_probe then begin
+    match Store.probe st.store with
+    | Ok () ->
+      st.degraded <- false;
+      st.consec_corrupt <- 0;
+      logf st "store probe succeeded; store re-armed"
+    | Error msg ->
+      st.next_probe <- now () +. st.cfg.store_probe_s;
+      logf st "store probe failed (%s); staying degraded" msg
+  end
+
+let store_put st ~key ~canonical ~data =
+  maybe_reprobe st;
+  if st.degraded then begin
+    bump_degraded st;
+    false
+  end
+  else
+    match Store.put st.store ~key ~canonical ~data with
+    | Ok () -> true
+    | Error msg ->
+      logf st "store put %s failed: %s" key msg;
+      enter_degraded st ~reason:msg;
+      false
+
+let store_get st ~key ~canonical =
+  maybe_reprobe st;
+  if st.degraded then begin
+    bump_degraded st;
+    None
+  end
+  else begin
+    let io_before = Store.io_error_count st.store in
+    let found = Store.get st.store ~key ~canonical in
+    if Store.io_error_count st.store > io_before then
+      enter_degraded st ~reason:"read error";
+    found
+  end
+
 (* Look the query up in the two cache layers.  [`Hit r] answers now;
    [`Resume n] means a persisted fuzz prefix lets the computation start
    at trial [n]; [`Miss] is a cold start. *)
@@ -173,13 +244,17 @@ let lookup st ~canonical ~key =
     `Hit r
   | None ->
     let before = Store.corrupt_count st.store in
-    let found = Store.get st.store ~key ~canonical in
+    let found = store_get st ~key ~canonical in
     let corrupted = Store.corrupt_count st.store - before in
     if corrupted > 0 then begin
       st.stats <-
         { st.stats with Wire.st_corrupt = st.stats.Wire.st_corrupt + corrupted };
+      st.consec_corrupt <- st.consec_corrupt + corrupted;
+      if st.consec_corrupt >= corrupt_storm_threshold then
+        enter_degraded st ~reason:"corruption storm";
       logf st "store entry %s corrupt; discarded, recomputing" key
-    end;
+    end
+    else if found <> None then st.consec_corrupt <- 0;
     (match found with
     | Some data ->
       (match decode_entry data with
@@ -258,17 +333,20 @@ let handle_completion st { c_job = job; c_result } =
     st.stats <- { st.stats with Wire.st_computed = st.stats.Wire.st_computed + 1 };
     if cacheable then begin
       Hashtbl.replace st.memo job.j_canonical res;
-      Store.put st.store ~key:job.j_key ~canonical:job.j_canonical
-        ~data:(encode_entry (Final res))
+      ignore
+        (store_put st ~key:job.j_key ~canonical:job.j_canonical
+           ~data:(encode_entry (Final res)))
     end
     else begin
       (match fuzz_prefix with
       | Some n when n > job.j_start ->
-        Store.put st.store ~key:job.j_key ~canonical:job.j_canonical
-          ~data:(encode_entry (Prefix n));
-        st.stats <-
-          { st.stats with
-            Wire.st_prefix_stored = st.stats.Wire.st_prefix_stored + 1 }
+        if
+          store_put st ~key:job.j_key ~canonical:job.j_canonical
+            ~data:(encode_entry (Prefix n))
+        then
+          st.stats <-
+            { st.stats with
+              Wire.st_prefix_stored = st.stats.Wire.st_prefix_stored + 1 }
       | _ -> ())
     end;
     List.iter
@@ -337,6 +415,7 @@ let run cfg =
       mu = Mutex.create (); cond = Condition.create ();
       jobs = Queue.create (); done_q = Queue.create (); wake_w; wake_r;
       token = Supervisor.token (); stats = Wire.zero_stats ~workers;
+      degraded = false; next_probe = 0.; consec_corrupt = 0;
       draining = false; shutdown_fds = []; clients = []; started = now () }
   in
   let pool =

@@ -17,7 +17,15 @@
 
     Shutdown is a drain: stop accepting, finish and answer every queued
     and in-flight job, then reply to the requester with the final
-    counters and exit. *)
+    counters and exit.
+
+    Graceful degradation: a store that hits device-level errors
+    (ENOSPC, EROFS, EIO — real or {!Lbsa_util.Rio}-injected) or a storm
+    of consecutive corrupt entries flips the daemon into compute-only
+    mode — queries keep being answered from the memo table and the
+    worker pool, store reads and writes are skipped and counted in
+    [st_degraded].  Every [store_probe_s] seconds a real commit is
+    probed through the put path; success re-arms the store. *)
 
 type config = {
   socket : string;  (** unix-domain socket path *)
@@ -25,6 +33,8 @@ type config = {
   workers : int;  (** worker domains (clamped to ≥ 1) *)
   default_deadline_s : float option;
       (** per-query wall-clock cap when the client sets none *)
+  store_probe_s : float;
+      (** how often a degraded store is re-probed for recovery *)
   log : bool;  (** chatter on stderr *)
 }
 

@@ -21,6 +21,7 @@ type t = {
   dir : string;
   mutable corrupt : int;
   mutable oversized : int;
+  mutable io_errors : int;
   mutable puts : int;
   mutable gets : int;
 }
@@ -42,11 +43,12 @@ let open_ ~dir =
      with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   if not (Sys.is_directory dir) then
     failwith (Fmt.str "Store.open_: %s is not a directory" dir);
-  { dir; corrupt = 0; oversized = 0; puts = 0; gets = 0 }
+  { dir; corrupt = 0; oversized = 0; io_errors = 0; puts = 0; gets = 0 }
 
 let dir t = t.dir
 let corrupt_count t = t.corrupt
 let oversized_count t = t.oversized
+let io_error_count t = t.io_errors
 
 let path t ~key = Filename.concat t.dir (key ^ ".lbsa")
 
@@ -58,27 +60,48 @@ let body ~canonical ~data =
   Buffer.add_string b data;
   Buffer.contents b
 
+(* Entry commits run the full Rio durability discipline (write tmp,
+   fsync file, rename, fsync directory): a power loss at any point
+   leaves the old entry or none, never a zero-length "committed"
+   file. *)
 let put_unchecked t ~key ~canonical ~data =
   let file = path t ~key in
   let body = body ~canonical ~data in
-  let tmp = file ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_string oc (Fnv.to_hex (Fnv.string body));
-      output_char oc '\n';
-      output_string oc body);
-  Sys.rename tmp file;
+  Rio.with_atomic_file ~site:"store.put" ~path:file (fun w ->
+      Rio.write_string w magic;
+      Rio.write_string w (Fnv.to_hex (Fnv.string body));
+      Rio.write_string w "\n";
+      Rio.write_string w body);
   t.puts <- t.puts + 1
 
 let put t ~key ~canonical ~data =
-  if 4 + String.length canonical + String.length data > max_payload then
+  if 4 + String.length canonical + String.length data > max_payload then begin
     (* refuse, don't write: the entry would be unservable (see
        [max_payload]); the daemon just recomputes this answer *)
-    t.oversized <- t.oversized + 1
-  else put_unchecked t ~key ~canonical ~data
+    t.oversized <- t.oversized + 1;
+    Ok ()
+  end
+  else
+    match put_unchecked t ~key ~canonical ~data with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      t.io_errors <- t.io_errors + 1;
+      Error (Unix.error_message e)
+    | exception Sys_error msg ->
+      t.io_errors <- t.io_errors + 1;
+      Error msg
+
+(* A put/remove of a throwaway entry through the exact commit path:
+   the daemon's degraded mode re-probes with this before re-arming. *)
+let probe t =
+  let key = ".probe" in
+  match put_unchecked t ~key ~canonical:"probe" ~data:"" with
+  | () ->
+    t.puts <- t.puts - 1;
+    (try Sys.remove (path t ~key) with Sys_error _ -> ());
+    Ok ()
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error msg -> Error msg
 
 let discard t file =
   t.corrupt <- t.corrupt + 1;
@@ -109,18 +132,36 @@ let read_entry ~canonical file =
         end
       end)
 
+(* Failure classification on read: a validation defect (bad magic,
+   checksum, preimage) means the *entry* is bad — discard it and
+   recompute; a [Unix_error] means the *device* is sick (injected or
+   real EIO) — the entry may be fine, so keep it, retry once with
+   backoff, and count an io error for the daemon's degradation
+   tracking. *)
 let get t ~key ~canonical =
   t.gets <- t.gets + 1;
   let file = path t ~key in
   if not (Sys.file_exists file) then None
   else
-    match read_entry ~canonical file with
+    let attempt () =
+      Rio.inject_read_fault ~site:"store.get";
+      read_entry ~canonical file
+    in
+    match
+      try attempt ()
+      with Unix.Unix_error _ ->
+        Rio.sleep_backoff ~site:"store.get" ~attempt:0;
+        attempt ()
+    with
     | Some data -> Some data
     | None ->
       discard t file;
       None
     | exception (Sys_error _ | End_of_file) ->
       discard t file;
+      None
+    | exception Unix.Unix_error _ ->
+      t.io_errors <- t.io_errors + 1;
       None
 
 let entries t =

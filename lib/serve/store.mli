@@ -24,22 +24,38 @@ val max_payload : int
     otherwise be persisted only to die as a frame error on every later
     cache hit. *)
 
-val put : t -> key:string -> canonical:string -> data:string -> unit
-(** Atomically (tmp-then-rename) write the entry for [key].  A body
-    over {!max_payload} is refused — nothing is written, and
-    {!oversized_count} is bumped; the service degrades to recomputing
-    that answer instead of caching it. *)
+val put :
+  t -> key:string -> canonical:string -> data:string -> (unit, string) result
+(** Atomically write the entry for [key] with the full {!Lbsa_util.Rio}
+    durability discipline (tmp, fsync file, rename, fsync directory).
+    A body over {!max_payload} is refused — nothing is written,
+    {!oversized_count} is bumped, and the call still returns [Ok ()]
+    (a policy refusal, not a store failure).  [Error msg] means the
+    write itself failed (ENOSPC, EROFS, EIO, ...): nothing torn is left
+    behind, {!io_error_count} is bumped, and the daemon uses this to
+    flip into compute-only degraded mode. *)
+
+val probe : t -> (unit, string) result
+(** Commit and remove a throwaway entry through the exact {!put} path —
+    the degraded-mode re-probe.  Does not perturb {!entries} or the
+    put counter. *)
 
 val get : t -> key:string -> canonical:string -> string option
 (** The payload stored for [key], provided the entry validates (magic,
-    checksum) and its stored preimage equals [canonical].  Any defect
-    deletes the entry, bumps {!corrupt_count} and yields [None]. *)
+    checksum) and its stored preimage equals [canonical].  A validation
+    defect deletes the entry, bumps {!corrupt_count} and yields [None];
+    a device-level read error ([Unix_error], retried once with backoff)
+    keeps the entry, bumps {!io_error_count} and yields [None]. *)
 
 val corrupt_count : t -> int
 (** Entries discarded as corrupt/truncated/colliding since [open_]. *)
 
 val oversized_count : t -> int
 (** Writes refused by the {!max_payload} guard since [open_]. *)
+
+val io_error_count : t -> int
+(** Device-level put/get failures (ENOSPC, EROFS, EIO, ...) since
+    [open_] — the daemon's degradation signal. *)
 
 val entries : t -> string list
 (** All entry keys currently on disk, sorted (for tests and tooling). *)

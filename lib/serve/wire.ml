@@ -18,6 +18,7 @@ type stats = {
   st_queue_peak : int;
   st_workers : int;
   st_corrupt : int;
+  st_degraded : int;
   st_prefix_stored : int;
   st_prefix_resumed : int;
   st_hot_us_total : float;
@@ -45,19 +46,20 @@ let max_frame = 16 * 1024 * 1024
 
 exception Closed
 
+(* Both loops go through {!Lbsa_util.Rio}: EINTR/EAGAIN are retried
+   (a signal must not kill a healthy connection) and short transfers
+   are completed there; the only end-of-stream signal is a clean
+   [End_of_file], which maps to [Closed] — a peer that died or
+   half-closed its socket mid-frame, never an infinite loop.  Hard I/O
+   errors propagate as [Unix_error] for the caller's
+   close-this-connection path. *)
+
 let really_read fd buf off len =
-  let got = ref 0 in
-  while !got < len do
-    let n = Unix.read fd buf (off + !got) (len - !got) in
-    if n = 0 then raise Closed;
-    got := !got + n
-  done
+  try Lbsa_util.Rio.really_read ~site:"wire.read" fd buf off len
+  with End_of_file -> raise Closed
 
 let really_write fd buf off len =
-  let sent = ref 0 in
-  while !sent < len do
-    sent := !sent + Unix.write fd buf (off + !sent) (len - !sent)
-  done
+  Lbsa_util.Rio.really_write ~site:"wire.write" fd buf off len
 
 let send fd msg =
   let payload = Marshal.to_bytes msg [] in
@@ -97,6 +99,7 @@ let zero_stats ~workers =
     st_queue_peak = 0;
     st_workers = workers;
     st_corrupt = 0;
+    st_degraded = 0;
     st_prefix_stored = 0;
     st_prefix_resumed = 0;
     st_hot_us_total = 0.;
@@ -109,12 +112,12 @@ let zero_stats ~workers =
 let pp_stats ppf s =
   Fmt.pf ppf
     "queries=%d hits=%d (mem %d, store %d) misses=%d computed=%d joined=%d \
-     queue_peak=%d workers=%d corrupt=%d prefix_stored=%d prefix_resumed=%d \
-     hot_us_mean=%.1f cold_us_mean=%.1f uptime_s=%.1f"
+     queue_peak=%d workers=%d corrupt=%d degraded=%d prefix_stored=%d \
+     prefix_resumed=%d hot_us_mean=%.1f cold_us_mean=%.1f uptime_s=%.1f"
     s.st_queries
     (s.st_hits_mem + s.st_hits_store)
     s.st_hits_mem s.st_hits_store s.st_misses s.st_computed s.st_joined
-    s.st_queue_peak s.st_workers s.st_corrupt s.st_prefix_stored
+    s.st_queue_peak s.st_workers s.st_corrupt s.st_degraded s.st_prefix_stored
     s.st_prefix_resumed
     (if s.st_hot_count = 0 then 0.
      else s.st_hot_us_total /. float s.st_hot_count)

@@ -15,6 +15,9 @@ type stats = {
   st_queue_peak : int;  (** max simultaneous distinct in-flight keys *)
   st_workers : int;
   st_corrupt : int;  (** corrupt / truncated store entries discarded *)
+  st_degraded : int;
+      (** store operations skipped or failed while the daemon is in
+          compute-only degraded mode (0 while the store is healthy) *)
   st_prefix_stored : int;  (** partial fuzz prefixes persisted *)
   st_prefix_resumed : int;  (** computations resumed from a prefix *)
   st_hot_us_total : float;  (** cumulative latency of cache hits *)

@@ -1,0 +1,615 @@
+(* Robustness battery: crash-recovery of the persistence formats under
+   real SIGKILL at injected crash points, the wire layer under EINTR
+   and half-closed peers, segment fault-in under flipped bytes, the
+   daemon's compute-only degraded mode, and a seeded fault-plan sweep
+   over every resilient-I/O site.
+
+   The central property, shared with the rest of the suite: faults may
+   cost retries, refusals or recomputation, but they must never change
+   an answer.  A killed process leaves either the previous artifact or
+   the new one — never a torn mix — and every failure a caller can see
+   is typed (a [Result], [Corrupt], [Closed]), never an unmarshal crash
+   or a wrong byte. *)
+
+open Lbsa
+
+(* --- scratch plumbing --------------------------------------------------- *)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let fresh_path suffix =
+  let f = Filename.temp_file "lbsa-crash" suffix in
+  Sys.remove f;
+  f
+
+let fresh_dir () =
+  let d = fresh_path ".dir" in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let read_file f =
+  let ic = open_in_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file f s =
+  let oc = open_out_bin f in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "lbsa_cli.exe"))
+
+let require_exe () =
+  if not (Sys.file_exists exe) then
+    Alcotest.failf "CLI executable not found at %s" exe
+
+(* --- kill-mid-checkpoint recovery --------------------------------------- *)
+
+(* For each of the five crash points of an atomic commit (torn final
+   chunk, data written, file fsynced, renamed, directory fsynced):
+   SIGKILL a real `lbsa solve --checkpoint` child at that exact point,
+   then recover — resume if the checkpoint file exists, fresh run if it
+   does not — and require the recovered stdout to be byte-identical to
+   an uninterrupted run's.  A checkpoint file that exists but fails to
+   load must be refused with the clean partial exit 2 (and the fresh
+   run must still match); any other outcome is a recovery bug. *)
+let test_kill_mid_checkpoint () =
+  require_exe ()
+  ;
+  let args = [ "solve"; "dac"; "-n"; "3" ] in
+  let full = Crashdrive.run ~exe ~args () in
+  Alcotest.(check (option int)) "baseline exits 0" (Some 0)
+    (Crashdrive.exited full);
+  for point = 1 to 5 do
+    let ck = fresh_path ".ckpt" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun f -> if Sys.file_exists f then Sys.remove f)
+          [ ck; ck ^ ".tmp" ])
+      (fun () ->
+        let crashed =
+          Crashdrive.run
+            ~env:[ ("LBSA_IO_CRASH", Fmt.str "checkpoint.save:%d" point) ]
+            ~exe
+            ~args:(args @ [ "--deadline"; "0"; "--checkpoint"; ck ])
+            ()
+        in
+        if not (Crashdrive.killed_by crashed Sys.sigkill) then
+          Alcotest.failf "point %d: child was not SIGKILLed (out=%S err=%S)"
+            point crashed.Crashdrive.out crashed.Crashdrive.err;
+        (* the commit is tmp+rename: before the rename (points 1-3) the
+           final path must not exist; after it (4-5) it must *)
+        Alcotest.(check bool)
+          (Fmt.str "point %d: checkpoint visible iff renamed" point)
+          (point >= 4) (Sys.file_exists ck);
+        let recovered =
+          if Sys.file_exists ck then begin
+            let r =
+              Crashdrive.run ~exe ~args:(args @ [ "--resume"; ck ]) ()
+            in
+            match Crashdrive.exited r with
+            | Some 0 -> r
+            | Some 2 ->
+              (* a clean refusal is acceptable; recovery is a fresh run *)
+              Crashdrive.run ~exe ~args ()
+            | _ ->
+              Alcotest.failf "point %d: resume neither 0 nor 2 (err=%S)"
+                point r.Crashdrive.err
+          end
+          else Crashdrive.run ~exe ~args ()
+        in
+        Alcotest.(check (option int))
+          (Fmt.str "point %d: recovery exits 0" point)
+          (Some 0)
+          (Crashdrive.exited recovered);
+        Alcotest.(check string)
+          (Fmt.str "point %d: recovered stdout byte-identical" point)
+          full.Crashdrive.out recovered.Crashdrive.out)
+  done
+
+(* A checkpoint with a damaged body (valid magic, flipped byte past it)
+   must be refused with exit 2 — the partial-outcome code — naming the
+   corruption, never resumed and never crashed on. *)
+let test_corrupt_checkpoint_refused () =
+  require_exe ();
+  let args = [ "solve"; "dac"; "-n"; "3" ] in
+  let ck = fresh_path ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists ck then Sys.remove ck)
+    (fun () ->
+      let partial =
+        Crashdrive.run ~exe
+          ~args:(args @ [ "--deadline"; "0"; "--checkpoint"; ck ])
+          ()
+      in
+      Alcotest.(check (option int))
+        "deadline-0 exits 2" (Some 2)
+        (Crashdrive.exited partial);
+      let bytes = Bytes.of_string (read_file ck) in
+      let i = (Bytes.length bytes / 2) + 19 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x01));
+      write_file ck (Bytes.to_string bytes);
+      let r = Crashdrive.run ~exe ~args:(args @ [ "--resume"; ck ]) () in
+      Alcotest.(check (option int))
+        "corrupt resume exits 2" (Some 2) (Crashdrive.exited r);
+      Alcotest.(check bool)
+        "stderr names the corruption" true
+        (contains_sub ~sub:"corrupt" r.Crashdrive.err))
+
+(* --- daemon: kill mid-store-commit, restart, re-answer ------------------- *)
+
+let cli_query ~socket ~extra =
+  Crashdrive.run ~exe
+    ~args:([ "query"; "dac:2"; "--socket"; socket; "--wait"; "10" ] @ extra)
+    ()
+
+(* SIGKILL a real daemon at the first store.put crash point (a torn,
+   fsynced tmp-file prefix on disk), restart it on the same store
+   directory, and require the re-asked query to succeed with exactly
+   the stdout a never-crashed daemon prints. *)
+let test_daemon_killed_mid_put () =
+  require_exe ();
+  let dir = fresh_dir () in
+  let clean_dir = fresh_dir () in
+  let socket = fresh_path ".sock" in
+  let shutdown sock =
+    ignore
+      (Crashdrive.run ~exe
+         ~args:[ "shutdown"; "--socket"; sock; "--wait"; "2" ]
+         ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf dir;
+      rm_rf clean_dir)
+    (fun () ->
+      (* reference answer from a daemon that never crashes *)
+      let ref_sock = fresh_path ".sock" in
+      let clean_daemon =
+        Crashdrive.spawn ~exe
+          ~args:[ "serve"; "--socket"; ref_sock; "--store"; clean_dir;
+                  "--quiet" ]
+          ()
+      in
+      let reference = cli_query ~socket:ref_sock ~extra:[] in
+      shutdown ref_sock;
+      ignore (Crashdrive.wait clean_daemon);
+      Alcotest.(check (option int))
+        "reference query exits 0" (Some 0)
+        (Crashdrive.exited reference);
+      (* crashing daemon: dies inside its first store commit *)
+      let daemon =
+        Crashdrive.spawn
+          ~env:[ ("LBSA_IO_CRASH", "store.put:1") ]
+          ~exe
+          ~args:[ "serve"; "--socket"; socket; "--store"; dir; "--quiet" ]
+          ()
+      in
+      (* the query may or may not get its answer out before the daemon
+         dies; only the daemon's death is asserted here *)
+      ignore (cli_query ~socket ~extra:[]);
+      let dead = Crashdrive.wait daemon in
+      if not (Crashdrive.killed_by dead Sys.sigkill) then
+        Alcotest.failf "daemon was not SIGKILLed (err=%S)"
+          dead.Crashdrive.err;
+      (* restart on the same (possibly torn) store directory *)
+      let daemon2 =
+        Crashdrive.spawn ~exe
+          ~args:[ "serve"; "--socket"; socket; "--store"; dir; "--quiet" ]
+          ()
+      in
+      let again = cli_query ~socket ~extra:[] in
+      shutdown socket;
+      ignore (Crashdrive.wait daemon2);
+      Alcotest.(check (option int))
+        "post-restart query exits 0" (Some 0)
+        (Crashdrive.exited again);
+      Alcotest.(check string)
+        "post-restart answer byte-identical" reference.Crashdrive.out
+        again.Crashdrive.out)
+
+(* --- wire regressions ---------------------------------------------------- *)
+
+(* A peer that dies after sending a partial frame (here: half the magic,
+   then a half-close) must surface as the typed [Wire.Closed], never a
+   hang, a garbage frame, or an uncaught End_of_file. *)
+let test_wire_half_closed_peer () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () ->
+      ignore (Unix.write_substring a "LB" 0 2);
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Serve_wire.recv_request b with
+      | _ -> Alcotest.fail "partial frame parsed as a request"
+      | exception Serve_wire.Closed -> ()
+      | exception e ->
+        Alcotest.failf "expected Wire.Closed, got %s" (Printexc.to_string e))
+
+(* Forced EINTR on the wire sites must be absorbed by the retry loops:
+   the roundtrip still completes, and the retry counter shows the
+   interruptions actually happened. *)
+let test_wire_eintr_absorbed () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Rio.unforce ();
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () ->
+      Rio.reset_counters ();
+      Rio.force ~times:3 ~site:"wire.write" ~error:Unix.EINTR ();
+      Serve_wire.send_request a Serve_wire.Ping;
+      Rio.force ~times:3 ~site:"wire.read" ~error:Unix.EINTR ();
+      (match Serve_wire.recv_request b with
+      | Serve_wire.Ping -> ()
+      | _ -> Alcotest.fail "roundtrip decoded the wrong request");
+      Rio.unforce ();
+      let c = Rio.counters () in
+      Alcotest.(check bool)
+        "interruptions were absorbed, not avoided" true
+        (c.Rio.c_retries >= 6))
+
+(* --- segment store: flipped byte refused, never unmarshalled ------------- *)
+
+let test_segstore_flipped_byte () =
+  let machine, specs = Consensus_protocols.from_consensus_obj ~m:2 in
+  let inputs = [| Value.int 0; Value.int 1 |] in
+  let g = Cgraph.build ~machine ~specs ~inputs () in
+  let n = min 4 (Cgraph.n_nodes g) in
+  let configs = Array.init n (fun id -> Cgraph.node g id) in
+  let pconfigs = Array.map Mirror.freeze_config configs in
+  let edges =
+    Array.of_list
+      (List.concat_map
+         (fun id ->
+           List.map
+             (fun (e : Cgraph.edge) ->
+               Mirror.freeze_step ~pid:e.Cgraph.pid ~event:e.Cgraph.event
+                 ~target:e.Cgraph.target)
+             (Cgraph.out_edges g id))
+         (List.init n Fun.id))
+  in
+  let seg_file_of dir =
+    match
+      Array.to_list (Sys.readdir dir)
+      |> List.filter (fun f -> Filename.check_suffix f ".seg")
+    with
+    | [ f ] -> Filename.concat dir f
+    | l -> Alcotest.failf "expected one segment file, got %d" (List.length l)
+  in
+  (* sanity on a pristine store: the round trip works *)
+  let dir0 = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir0)
+    (fun () ->
+      let t0 = Segstore.create ~dir:dir0 in
+      Segstore.write_segment t0 ~lo:0 ~hi:n ~elo:0 ~ehi:(Array.length edges)
+        ~configs:pconfigs ~edges;
+      Alcotest.(check bool)
+        "pristine fault-in round-trips" true
+        (Config.equal configs.(0) (Segstore.node t0 0)));
+  (* flip one payload byte before the first fault-in (nothing is cached
+     until a read, so the mutated bytes are what gets validated) *)
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let t = Segstore.create ~dir in
+      Segstore.write_segment t ~lo:0 ~hi:n ~elo:0 ~ehi:(Array.length edges)
+        ~configs:pconfigs ~edges;
+      let seg_file = seg_file_of dir in
+      let bytes = Bytes.of_string (read_file seg_file) in
+      let i = Bytes.length bytes - 7 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x10));
+      write_file seg_file (Bytes.to_string bytes);
+      (match Segstore.node t 0 with
+      | _ -> Alcotest.fail "flipped byte unmarshalled as a node"
+      | exception Segstore.Corrupt msg ->
+        Alcotest.(check bool)
+          "refusal names the defect" true
+          (contains_sub ~sub:"Segstore" msg));
+      Alcotest.(check int) "refusal counted" 1 (Segstore.corrupt_count t))
+
+(* --- daemon graceful degradation ----------------------------------------- *)
+
+let ask c q =
+  match Serve_client.query c q with
+  | Ok (r, cached, _) -> (r, cached)
+  | Error msg -> Alcotest.failf "query failed: %s" msg
+
+let verify_q task =
+  Serve_api.Verify
+    {
+      task;
+      question = Serve_api.Solve;
+      inputs = Serve_api.default_inputs task;
+      max_states = 200_000;
+      reduce = `None;
+      substrate = Serve_api.default_substrate task;
+    }
+
+(* A store that starts failing hard (every put raising EROFS, as a
+   remounted-read-only disk would) must flip the daemon to compute-only
+   mode: queries keep getting correct answers, the degradation is
+   counted, and once the store heals a re-probe re-arms persistence. *)
+let test_daemon_degrades_and_recovers () =
+  let dir = fresh_dir () in
+  let socket = fresh_path ".sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      Rio.unforce ();
+      rm_rf dir)
+    (fun () ->
+      Rio.force ~site:"store.put" ~error:Unix.EROFS ();
+      let d =
+        Domain.spawn (fun () ->
+            Serve_daemon.run
+              {
+                Serve_daemon.socket;
+                store_dir = dir;
+                workers = 1;
+                default_deadline_s = None;
+                store_probe_s = 0.05;
+                log = false;
+              })
+      in
+      let c =
+        match Serve_client.connect ~wait_s:10. ~socket () with
+        | Ok c -> c
+        | Error msg -> Alcotest.failf "daemon did not come up: %s" msg
+      in
+      let stats =
+        Fun.protect
+          ~finally:(fun () ->
+            (match Serve_client.connect ~wait_s:10. ~socket () with
+            | Ok c2 ->
+              ignore (Serve_client.shutdown c2);
+              Serve_client.close c2
+            | Error _ -> ());
+            Serve_client.close c)
+          (fun () ->
+            (* first query: computes, put fails hard, daemon degrades —
+               but the answer must still arrive *)
+            let r1, _ = ask c (verify_q (Serve_api.Dac { n = 2 })) in
+            (* second query under degradation: still answered *)
+            let r2, _ = ask c (verify_q (Serve_api.Consensus { m = 2 })) in
+            (match (r1, r2) with
+            | Serve_api.Verdict _, Serve_api.Verdict _ -> ()
+            | _ -> Alcotest.fail "degraded daemon returned a non-verdict");
+            let st =
+              match Serve_client.stats c with
+              | Ok st -> st
+              | Error msg -> Alcotest.failf "stats failed: %s" msg
+            in
+            Alcotest.(check bool)
+              "degradation counted" true
+              (st.Serve_wire.st_degraded > 0);
+            (* heal the store and wait out the probe interval *)
+            Rio.unforce ();
+            Unix.sleepf 0.2;
+            let r3, _ = ask c (verify_q (Serve_api.Kset { m = 2; k = 2 })) in
+            (match r3 with
+            | Serve_api.Verdict _ -> ()
+            | _ -> Alcotest.fail "healed daemon returned a non-verdict");
+            let entries =
+              Sys.readdir dir |> Array.to_list
+              |> List.filter (fun f -> not (Filename.check_suffix f ".tmp"))
+            in
+            Alcotest.(check bool)
+              "store re-armed after heal (entry persisted)" true
+              (entries <> []))
+      in
+      ignore stats;
+      ignore (Domain.join d))
+
+(* --- seeded fault-plan sweep --------------------------------------------- *)
+
+(* Twenty seeds, every resilient-I/O component, injection rate 25%:
+   transient faults must be absorbed, hard faults must surface only as
+   the component's typed failure (a [put] Error, a [get] miss, a
+   [Corrupt], a [Closed], a [Unix_error] from a commit) — and any
+   answer that does come back must equal the unfaulted one.  Zero
+   tolerance for wrong bytes and for exceptions outside the typed
+   set. *)
+let test_fault_plan_sweep () =
+  (* unfaulted reference material, built before arming *)
+  let machine = Dac_from_pac.machine ~n:3 in
+  let specs = Dac_from_pac.specs ~n:3 in
+  let inputs = Array.init 3 (fun pid -> Value.int (if pid = 0 then 1 else 0)) in
+  let partial = Cgraph.build ~max_states:40 ~machine ~specs ~inputs () in
+  let suspended = Option.get partial.Cgraph.suspended in
+  let g = Cgraph.build ~machine ~specs ~inputs () in
+  let nseg = min 4 (Cgraph.n_nodes g) in
+  let seg_configs = Array.init nseg (fun id -> Cgraph.node g id) in
+  let seg_pconfigs = Array.map Mirror.freeze_config seg_configs in
+  let seg_edges =
+    Array.of_list
+      (List.concat_map
+         (fun id ->
+           List.map
+             (fun (e : Cgraph.edge) ->
+               Mirror.freeze_step ~pid:e.Cgraph.pid ~event:e.Cgraph.event
+                 ~target:e.Cgraph.target)
+             (Cgraph.out_edges g id))
+         (List.init nseg Fun.id))
+  in
+  let survived = ref 0 and refused = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Rio.disarm ())
+    (fun () ->
+      for seed = 1 to 20 do
+        Rio.arm ~seed ~rate_percent:25 ();
+        (* store: every hit must serve the written bytes *)
+        let dir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let s = Serve_store.open_ ~dir in
+            for i = 0 to 7 do
+              let key = Fmt.str "k%02d%04d" i seed in
+              let canonical = Fmt.str "question %d/%d" seed i in
+              let data = Fmt.str "answer %d/%d" seed i in
+              (match Serve_store.put s ~key ~canonical ~data with
+              | Ok () -> ()
+              | Error _ -> incr refused);
+              match Serve_store.get s ~key ~canonical with
+              | None -> ()
+              | Some got ->
+                incr survived;
+                if got <> data then
+                  Alcotest.failf "seed %d: store served wrong bytes" seed
+            done);
+        (* checkpoint: save may refuse; a loadable save must thaw equal *)
+        let ck = fresh_path ".ckpt" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun f -> if Sys.file_exists f then Sys.remove f)
+              [ ck; ck ^ ".tmp" ])
+          (fun () ->
+            match
+              Checkpoint.save ~file:ck
+                (Checkpoint.freeze ~label:"sweep" suspended)
+            with
+            | exception Unix.Unix_error _ -> incr refused
+            | () -> (
+              match Checkpoint.load ~file:ck with
+              | exception Checkpoint.Corrupt _ -> incr refused
+              | c ->
+                incr survived;
+                if Checkpoint.label c <> "sweep" then
+                  Alcotest.failf "seed %d: checkpoint label drifted" seed;
+                let s' = Checkpoint.thaw c in
+                if
+                  s'.Cgraph.s_expanded <> suspended.Cgraph.s_expanded
+                  || Array.length s'.Cgraph.s_nodes
+                     <> Array.length suspended.Cgraph.s_nodes
+                then
+                  Alcotest.failf "seed %d: checkpoint round-trip drifted" seed))
+          ;
+        (* segstore: a fault-in either matches the original or refuses *)
+        let sdir = fresh_dir () in
+        Fun.protect
+          ~finally:(fun () -> rm_rf sdir)
+          (fun () ->
+            match
+              let t = Segstore.create ~dir:sdir in
+              Segstore.write_segment t ~lo:0 ~hi:nseg ~elo:0
+                ~ehi:(Array.length seg_edges) ~configs:seg_pconfigs
+                ~edges:seg_edges;
+              t
+            with
+            | exception Unix.Unix_error _ -> incr refused
+            | t -> (
+              for id = 0 to nseg - 1 do
+                match Segstore.node t id with
+                | exception Segstore.Corrupt _ -> incr refused
+                | cfg ->
+                  incr survived;
+                  if not (Config.equal cfg seg_configs.(id)) then
+                    Alcotest.failf "seed %d: segstore served wrong config"
+                      seed
+              done));
+        (* wire: a roundtrip either delivers the exact frame or fails
+           with the typed closure/IO errors *)
+        for round = 0 to 2 do
+          let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (* each side hangs up on its own failure (shutdown, so the fd
+             number stays owned): the peer's blocked read then sees EOF
+             as [Closed] instead of waiting forever on a half-sent
+             frame *)
+          let hangup fd =
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ()
+          in
+          let server =
+            Domain.spawn (fun () ->
+                match Serve_wire.recv_request b with
+                | Serve_wire.Ping -> (
+                  try Serve_wire.send_response b Serve_wire.Pong
+                  with Serve_wire.Closed | Unix.Unix_error _ | Failure _ ->
+                    hangup b)
+                | _ -> hangup b
+                | exception
+                    ( Serve_wire.Closed | Unix.Unix_error _ | Failure _ ) ->
+                  hangup b)
+          in
+          (match
+             Serve_wire.send_request a Serve_wire.Ping;
+             Serve_wire.recv_response a
+           with
+          | Serve_wire.Pong -> incr survived
+          | _ -> Alcotest.failf "seed %d round %d: wrong frame" seed round
+          | exception (Serve_wire.Closed | Unix.Unix_error _) ->
+            incr refused;
+            hangup a);
+          Domain.join server;
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ a; b ]
+        done;
+        Rio.disarm ()
+      done);
+  (* the sweep must have both injected real trouble and survived it *)
+  let c = Rio.counters () in
+  let injected =
+    c.Rio.c_eintr + c.Rio.c_short_read + c.Rio.c_short_write + c.Rio.c_enospc
+    + c.Rio.c_eio
+  in
+  Alcotest.(check bool) "faults were injected" true (injected > 0);
+  Alcotest.(check bool) "hard faults were refused" true (!refused > 0);
+  Alcotest.(check bool) "some operations survived" true (!survived > 0)
+
+(* --- registration -------------------------------------------------------- *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "crash_recovery"
+    [
+      ( "checkpoint",
+        [
+          tc "SIGKILL at each crash point, recovery byte-identical"
+            test_kill_mid_checkpoint;
+          tc "corrupt checkpoint refused with exit 2"
+            test_corrupt_checkpoint_refused;
+        ] );
+      ( "daemon",
+        [
+          tc "killed mid-store-commit, restart re-answers identically"
+            test_daemon_killed_mid_put;
+          tc "store failure degrades to compute-only, then recovers"
+            test_daemon_degrades_and_recovers;
+        ] );
+      ( "wire",
+        [
+          tc "half-closed peer surfaces as Closed" test_wire_half_closed_peer;
+          tc "forced EINTR absorbed by retry loops" test_wire_eintr_absorbed;
+        ] );
+      ( "segstore",
+        [ tc "flipped byte refused as Corrupt" test_segstore_flipped_byte ] );
+      ( "sweep",
+        [ tc "20 seeds x all sites: no wrong answers" test_fault_plan_sweep ]
+      );
+    ]

@@ -38,7 +38,8 @@ let rec rm_rf path =
 (* Run [f] against a live in-process daemon; always drain it afterwards
    (even on test failure) so the domain can be joined.  Returns [f]'s
    result and the daemon's final counters. *)
-let with_daemon ?(workers = 2) ?default_deadline_s ~dir f =
+let with_daemon ?(workers = 2) ?default_deadline_s ?(store_probe_s = 5.) ~dir f
+    =
   let socket = fresh_path ".sock" in
   let d =
     Domain.spawn (fun () ->
@@ -48,6 +49,7 @@ let with_daemon ?(workers = 2) ?default_deadline_s ~dir f =
             store_dir = dir;
             workers;
             default_deadline_s;
+            store_probe_s;
             log = false;
           })
   in
@@ -159,19 +161,26 @@ let test_key_separation () =
 
 (* --- the store under fault injection ------------------------------------ *)
 
+(* [Store.put] reports device-level failures as [Error]; these tests run
+   against a healthy filesystem, so any [Error] is itself a failure. *)
+let put_ok s ~key ~canonical ~data =
+  match Serve_store.put s ~key ~canonical ~data with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "Store.put failed: %s" msg
+
 let test_store_roundtrip () =
   let dir = fresh_dir () in
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       let s = Serve_store.open_ ~dir in
-      Serve_store.put s ~key:"abcd" ~canonical:"question one" ~data:"answer";
+      put_ok s ~key:"abcd" ~canonical:"question one" ~data:"answer";
       Alcotest.(check (option string))
         "roundtrip" (Some "answer")
         (Serve_store.get s ~key:"abcd" ~canonical:"question one");
       Alcotest.(check (list string)) "listed" [ "abcd" ] (Serve_store.entries s);
       (* overwrite is atomic and replaces *)
-      Serve_store.put s ~key:"abcd" ~canonical:"question one" ~data:"answer2";
+      put_ok s ~key:"abcd" ~canonical:"question one" ~data:"answer2";
       Alcotest.(check (option string))
         "overwrite" (Some "answer2")
         (Serve_store.get s ~key:"abcd" ~canonical:"question one");
@@ -186,7 +195,7 @@ let check_detects label mutate =
     (fun () ->
       let s = Serve_store.open_ ~dir in
       let key = "deadbeef00000001" and canonical = "some question" in
-      Serve_store.put s ~key ~canonical ~data:"the answer";
+      put_ok s ~key ~canonical ~data:"the answer";
       mutate (Serve_store.path s ~key);
       Alcotest.(check (option string))
         (label ^ ": detected as a miss") None
@@ -196,7 +205,7 @@ let check_detects label mutate =
         (label ^ ": evicted") false
         (Sys.file_exists (Serve_store.path s ~key));
       (* the recompute-and-rewrite path restores service *)
-      Serve_store.put s ~key ~canonical ~data:"the answer";
+      put_ok s ~key ~canonical ~data:"the answer";
       Alcotest.(check (option string))
         (label ^ ": rewrite serves") (Some "the answer")
         (Serve_store.get s ~key ~canonical))
@@ -250,7 +259,7 @@ let test_store_collision_refused () =
     ~finally:(fun () -> rm_rf dir)
     (fun () ->
       let s = Serve_store.open_ ~dir in
-      Serve_store.put s ~key:"aaaa" ~canonical:"question A" ~data:"answer A";
+      put_ok s ~key:"aaaa" ~canonical:"question A" ~data:"answer A";
       (* simulate key "bbbb" hashing to the same file contents as "aaaa" *)
       write_file (Serve_store.path s ~key:"bbbb")
         (read_file (Serve_store.path s ~key:"aaaa"));
@@ -272,7 +281,7 @@ let test_store_oversized_refused () =
     (fun () ->
       let s = Serve_store.open_ ~dir in
       let key = "feedface00000001" and canonical = "a big question" in
-      Serve_store.put s ~key ~canonical
+      put_ok s ~key ~canonical
         ~data:(String.make (Serve_store.max_payload + 1) 'x');
       Alcotest.(check bool)
         "nothing written" false
@@ -284,7 +293,7 @@ let test_store_oversized_refused () =
       Alcotest.(check int)
         "not counted corrupt" 0 (Serve_store.corrupt_count s);
       (* the same key still takes a sane entry afterwards *)
-      Serve_store.put s ~key ~canonical ~data:"a small answer";
+      put_ok s ~key ~canonical ~data:"a small answer";
       Alcotest.(check (option string))
         "small rewrite serves" (Some "a small answer")
         (Serve_store.get s ~key ~canonical))
@@ -753,6 +762,7 @@ let test_socket_exclusion () =
                   store_dir = dir2;
                   workers = 1;
                   default_deadline_s = None;
+                  store_probe_s = 5.;
                   log = false;
                 }
             with
